@@ -1,0 +1,27 @@
+"""Shared, cached experiment runs for the benchmark suite.
+
+Figures 6 and 7 come from the *same* measurement campaign (the paper
+scores localization and AoA error on one dataset), so the band
+experiment is run once per band and cached at module scope.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.runner import SnrBandResult, run_snr_band_experiment
+
+SYSTEMS = ("ROArray", "SpotFi", "ArrayTrack")
+
+
+@lru_cache(maxsize=None)
+def band_result(band: str) -> SnrBandResult:
+    """The Figs. 6/7 comparison campaign for one SNR band (cached)."""
+    return run_snr_band_experiment(
+        band,
+        n_locations=10 * bench_scale(),
+        n_packets=10,
+        n_aps=6,
+        seed=2017,
+    )

@@ -1,0 +1,20 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures and prints the
+series/rows that figure plots.  Scale knobs:
+
+``REPRO_BENCH_SCALE``
+    Integer multiplier on the number of test locations (default 1).
+    The paper evaluates 300 locations; the default benchmark scale uses
+    a smaller sample so a full run finishes in tens of minutes on a
+    laptop.  ``REPRO_BENCH_SCALE=5`` roughly reproduces paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def bench_scale() -> int:
+    """The location-count multiplier from the environment."""
+    return max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))

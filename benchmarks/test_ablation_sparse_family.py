@@ -1,0 +1,103 @@
+"""Ablation — the sparse-recovery family on one AoA problem.
+
+Beyond the plain ℓ1 program the paper uses, this repository implements
+two upgrades from the paper's own citation neighborhood: iteratively
+reweighted ℓ1 (Candès & Wakin [23]) and sparse Bayesian learning (the
+engine of Yang et al. [31]).  This bench runs all three on identical
+multipath AoA problems and compares peak accuracy, spectrum sharpness
+and wall-clock.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.noise import awgn
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.grids import AngleGrid
+from repro.core.steering import angle_steering_dictionary
+from repro.optim import solve_lasso_fista, solve_reweighted_lasso, solve_sbl
+from repro.optim.tuning import residual_kappa
+from repro.spectral.spectrum import AngleSpectrum
+
+N_TRIALS = 8
+SNR_DB = 10.0
+
+
+def run_family():
+    array = UniformLinearArray()
+    from repro.channel.ofdm import intel5300_layout
+
+    layout = intel5300_layout()
+    grid = AngleGrid(n_points=181)
+    dictionary = angle_steering_dictionary(array, grid)
+
+    stats = {name: {"error": [], "sharpness": [], "seconds": 0.0}
+             for name in ("l1", "reweighted l1", "SBL")}
+    for trial in range(N_TRIALS):
+        rng = np.random.default_rng(500 + trial)
+        true_aoa = float(rng.uniform(30.0, 150.0))
+        other = true_aoa - 50.0 if true_aoa > 90.0 else true_aoa + 50.0
+        profile = MultipathProfile(
+            paths=[
+                PropagationPath(true_aoa, 0.0, 1.0, is_direct=True),
+                PropagationPath(other, 0.0, 0.6 * np.exp(1j)),
+            ]
+        )
+        y = awgn(synthesize_csi_matrix(profile, array, layout)[:, 0], SNR_DB, rng)
+        kappa = residual_kappa(dictionary, y, fraction=0.15)
+
+        # With only M = 3 measurements, SBL needs the noise level pinned
+        # (co-estimating σ² from 3 samples is hopeless); the ℓ1 solvers
+        # get the equivalent information through κ.
+        snr_linear = 10.0 ** (SNR_DB / 10.0)
+        noise_variance = float(np.mean(np.abs(y) ** 2)) / (1.0 + snr_linear)
+        solvers = {
+            "l1": lambda: solve_lasso_fista(dictionary, y, kappa, max_iterations=300),
+            "reweighted l1": lambda: solve_reweighted_lasso(dictionary, y, kappa),
+            "SBL": lambda: solve_sbl(dictionary, y, noise_variance=noise_variance),
+        }
+        for name, solve in solvers.items():
+            start = time.perf_counter()
+            result = solve()
+            stats[name]["seconds"] += time.perf_counter() - start
+            spectrum = AngleSpectrum(grid.angles_deg, np.abs(result.x)).normalized()
+            stats[name]["error"].append(
+                spectrum.closest_peak_error(true_aoa, max_peaks=4, min_relative_height=0.2)
+            )
+            stats[name]["sharpness"].append(spectrum.sharpness())
+
+    return {
+        name: (
+            float(np.median(s["error"])),
+            float(np.median(s["sharpness"])),
+            s["seconds"] / N_TRIALS,
+        )
+        for name, s in stats.items()
+    }
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_sparse_recovery_family(benchmark):
+    results = benchmark.pedantic(run_family, rounds=1, iterations=1)
+
+    print(f"\n=== Ablation: sparse-recovery family (2-path AoA, {SNR_DB:.0f} dB) ===")
+    for name, (error, sharpness, seconds) in results.items():
+        print(
+            f"{name:>14}: median err {error:5.1f}° | sharpness {sharpness:.3f} "
+            f"| {seconds * 1e3:7.1f} ms/solve"
+        )
+
+    # The ℓ1 members recover the direct path on this problem...
+    assert results["l1"][0] < 8.0
+    assert results["reweighted l1"][0] <= results["l1"][0] + 1.0
+    # ...and reweighting sharpens the spectrum over plain ℓ1.
+    assert results["reweighted l1"][1] >= results["l1"][1]
+    # SBL's Gaussian-prior posterior mean blurs *coherent* two-path
+    # mixtures on a 3-sensor single snapshot — a real limitation worth
+    # pinning: it must stay within the two-path angular span, but we do
+    # not require peak-level accuracy from it here.
+    assert results["SBL"][0] < 55.0

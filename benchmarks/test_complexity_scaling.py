@@ -1,0 +1,89 @@
+"""Paper §III-C — computational complexity of the joint estimator.
+
+Claims benchmarked:
+
+1. Solve cost grows steeply with the grid product Nθ·Nτ (the paper says
+   O((NθNτ)³) for the interior-point solve; FISTA's per-iteration cost
+   is O(M·L·NθNτ), still dominated by the grid product).
+2. Cost is *almost independent* of the number of antennas M and
+   subcarriers L (they only set the short dimension of the dictionary).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.ofdm import SubcarrierLayout
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.core.joint import estimate_joint_spectrum
+from repro.core.steering import SteeringCache
+
+
+def profile():
+    return MultipathProfile(
+        paths=[
+            PropagationPath(60.0, 40e-9, 1.0, is_direct=True),
+            PropagationPath(130.0, 220e-9, 0.5),
+        ]
+    )
+
+
+def solve_once(n_antennas: int, n_subcarriers: int, n_angles: int, n_toas: int) -> float:
+    """Wall-clock seconds for one joint solve at a given problem size."""
+    array = UniformLinearArray(n_antennas=n_antennas, spacing=0.02, wavelength=0.056)
+    layout = SubcarrierLayout(n_subcarriers=n_subcarriers, spacing=1.25e6)
+    cache = SteeringCache(array, layout, AngleGrid(n_points=n_angles), DelayGrid(n_points=n_toas))
+    csi = synthesize_csi_matrix(profile(), array, layout)
+    cache.joint_dictionary  # build outside the timed region
+    cache.joint_lipschitz
+    start = time.perf_counter()
+    estimate_joint_spectrum(csi, cache, max_iterations=100)
+    return time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_complexity_grid_dominates_hardware_size(benchmark):
+    def run():
+        return {
+            "grid small (31×11)": solve_once(3, 30, 31, 11),
+            "grid medium (61×21)": solve_once(3, 30, 61, 21),
+            "grid large (91×41)": solve_once(3, 30, 91, 41),
+            "antennas 2 (61×21)": solve_once(2, 30, 61, 21),
+            "antennas 3 (61×21)": solve_once(3, 30, 61, 21),
+            "subcarriers 16 (61×21)": solve_once(3, 16, 61, 21),
+            "subcarriers 30 (61×21)": solve_once(3, 30, 61, 21),
+        }
+
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\n=== §III-C: joint-solve wall clock vs problem size ===")
+    for label, seconds in timings.items():
+        print(f"{label:>24}: {seconds * 1e3:8.1f} ms")
+
+    # Grid growth dominates: the large grid costs much more than the small.
+    assert timings["grid large (91×41)"] > 2.0 * timings["grid small (31×11)"]
+
+    # Hardware dimensions barely matter (paper: "almost independent of M
+    # and Nsub").  Allow generous slack for timer noise.
+    assert timings["antennas 3 (61×21)"] < 4.0 * timings["antennas 2 (61×21)"]
+    assert timings["subcarriers 30 (61×21)"] < 4.0 * timings["subcarriers 16 (61×21)"]
+
+
+@pytest.mark.benchmark(group="complexity")
+def test_single_joint_solve_throughput(benchmark):
+    """Microbenchmark: one full-size (91×50) joint solve, timed properly."""
+    array = UniformLinearArray()
+    layout = SubcarrierLayout(n_subcarriers=30, spacing=1.25e6)
+    cache = SteeringCache(array, layout, AngleGrid(n_points=91), DelayGrid(n_points=50))
+    csi = synthesize_csi_matrix(profile(), array, layout)
+    cache.joint_dictionary
+    cache.joint_lipschitz
+
+    spectrum, _ = benchmark(lambda: estimate_joint_spectrum(csi, cache, max_iterations=100))
+    assert spectrum.power.shape == (91, 50)
+    # Sanity: the spectrum still localizes the strongest path.
+    assert abs(spectrum.peaks(max_peaks=2)[0].aoa_deg - 60.0) <= 4.0

@@ -1,0 +1,54 @@
+"""Paper Fig. 6 — localization-error CDFs per SNR band.
+
+Paper medians (meters):
+
+====== ========= ======== ============
+band   ROArray   SpotFi   ArrayTrack
+====== ========= ======== ============
+high     0.63      0.64      2.3
+low      0.91      2.61      3.52
+====== ========= ======== ============
+
+(90th percentile at high SNR: 2.66 / 2.51 / 5.66.)
+
+The reproduction targets the *shape*: ROArray ≈ SpotFi ≪ ArrayTrack at
+high SNR; ROArray ≪ SpotFi < ArrayTrack at low SNR.
+"""
+
+import pytest
+
+from benchmarks._shared import SYSTEMS, band_result
+from repro.experiments.reporting import format_comparison
+
+THRESHOLDS_M = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def run_all_bands():
+    return {band: band_result(band) for band in ("high", "medium", "low")}
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_localization_error_cdfs(benchmark):
+    results = benchmark.pedantic(run_all_bands, rounds=1, iterations=1)
+
+    cdfs = {}
+    for band, result in results.items():
+        cdfs[band] = {name: result.localization_cdf(name) for name in SYSTEMS}
+        print(f"\n=== Fig. 6 ({band} SNR): localization error ===")
+        print(format_comparison(cdfs[band], unit="m", thresholds=THRESHOLDS_M))
+
+    high, low = cdfs["high"], cdfs["low"]
+
+    # High SNR: ROArray comparable to SpotFi, both well ahead of ArrayTrack.
+    assert high["ROArray"].median <= 1.5 * high["SpotFi"].median + 0.3
+    assert high["ROArray"].median < high["ArrayTrack"].median
+    assert high["SpotFi"].median < high["ArrayTrack"].median
+
+    # Low SNR: the headline result — ROArray clearly best.
+    assert low["ROArray"].median < low["SpotFi"].median
+    assert low["ROArray"].median < low["ArrayTrack"].median
+    # The paper's gap is ~2.9×/3.9×; require at least ~1.8× to confirm shape.
+    assert low["SpotFi"].median / low["ROArray"].median > 1.8
+
+    # Within each system, low SNR is no easier than high SNR.
+    assert low["SpotFi"].median >= high["SpotFi"].median

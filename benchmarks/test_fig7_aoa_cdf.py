@@ -1,0 +1,55 @@
+"""Paper Fig. 7 — direct-path AoA-error CDFs per SNR band.
+
+Paper medians (degrees):
+
+====== ========= ======== ============
+band   ROArray   SpotFi   ArrayTrack
+====== ========= ======== ============
+high     6.7       6.62      9.10
+medium   7.32      7.40     10.0
+low      7.9      12.3      15.2
+====== ========= ======== ============
+
+Metric, per the paper §IV-C: the difference between the ground-truth
+direct-path AoA and the *closest peak* in each system's spectrum.
+Shape targets: all three are close at high/medium SNR; at low SNR
+ROArray degrades only mildly while MUSIC-based systems fall off.
+"""
+
+import pytest
+
+from benchmarks._shared import SYSTEMS, band_result
+from repro.experiments.reporting import format_comparison
+
+THRESHOLDS_DEG = (2.0, 5.0, 10.0, 20.0, 40.0)
+
+
+def run_all_bands():
+    return {band: band_result(band) for band in ("high", "medium", "low")}
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_aoa_error_cdfs(benchmark):
+    results = benchmark.pedantic(run_all_bands, rounds=1, iterations=1)
+
+    closest, direct = {}, {}
+    for band, result in results.items():
+        closest[band] = {name: result.aoa_cdf(name) for name in SYSTEMS}
+        direct[band] = {name: result.direct_aoa_cdf(name) for name in SYSTEMS}
+        print(f"\n=== Fig. 7 ({band} SNR): closest-peak AoA error ===")
+        print(format_comparison(closest[band], unit="deg", thresholds=THRESHOLDS_DEG))
+        print(f"--- ({band} SNR) chosen-direct-path AoA error (stricter) ---")
+        print(format_comparison(direct[band], unit="deg"))
+
+    # High SNR: ROArray ≈ SpotFi (within a factor), ArrayTrack behind.
+    high = closest["high"]
+    assert high["ROArray"].median <= high["ArrayTrack"].median + 2.0
+
+    # Low SNR: ROArray's direct-path identification degrades least.
+    low_direct = direct["low"]
+    assert low_direct["ROArray"].median <= low_direct["SpotFi"].median
+    assert low_direct["ROArray"].median <= low_direct["ArrayTrack"].median
+
+    # ROArray low-SNR degradation is mild (paper: 6.7° → 7.9°).
+    ratio = direct["low"]["ROArray"].median / max(direct["high"]["ROArray"].median, 1.0)
+    assert ratio < 4.0

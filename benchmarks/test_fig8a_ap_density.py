@@ -1,0 +1,40 @@
+"""Paper Fig. 8a — ROArray localization error vs number of APs.
+
+Paper medians: 1.04 m (5 APs), 1.56 m (4 APs), 2.79 m (3 APs) — accuracy
+improves monotonically with AP density because the RSSI-weighted
+localizer can lean on more high-quality direct paths.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.runner import run_ap_density_experiment
+
+AP_COUNTS = (5, 4, 3)
+
+
+@pytest.mark.benchmark(group="fig8a")
+def test_fig8a_accuracy_vs_ap_density(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_ap_density_experiment(
+            ap_counts=AP_COUNTS,
+            n_locations=8 * bench_scale(),
+            n_packets=10,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Fig. 8a: ROArray localization error vs #APs (paired scenes) ===")
+    for n_aps in AP_COUNTS:
+        cdf = results[n_aps]
+        print(f"{n_aps} APs | median {cdf.median:.2f} m | p90 {cdf.percentile(90):.2f} m")
+
+    # Figure shape: more APs → better accuracy, in the median and the
+    # tail (allow small-sample slack between adjacent counts, but the
+    # endpoints must be well ordered).
+    assert results[5].median < results[3].median
+    assert results[5].percentile(90) <= results[3].percentile(90)
+    assert results[4].median <= results[3].median + 0.25
+    assert results[5].median <= results[4].median + 0.25

@@ -1,0 +1,44 @@
+"""Paper Fig. 8c — impact of client antenna polarization deviation.
+
+Paper medians: small at 0° deviation, 2.21 m for (0°, 20°] and 4.71 m
+for (20°, 45°] — a 1-D array suffers badly when the client antenna
+tilts out of the polarization plane.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.runner import run_polarization_experiment
+
+RANGES = ((0.0, 0.0), (0.0, 20.0), (20.0, 45.0))
+
+
+@pytest.mark.benchmark(group="fig8c")
+def test_fig8c_polarization_deviation(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_polarization_experiment(
+            deviation_ranges_deg=RANGES,
+            n_locations=8 * bench_scale(),
+            n_packets=8,
+            n_aps=5,
+            seed=83,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print("\n=== Fig. 8c: ROArray localization error vs polarization deviation ===")
+    for deviation_range in RANGES:
+        cdf = results[deviation_range]
+        label = f"{deviation_range[0]:.0f}–{deviation_range[1]:.0f}°"
+        print(f"dev {label:>7} | median {cdf.median:.2f} m | p90 {cdf.percentile(90):.2f} m")
+
+    aligned = results[(0.0, 0.0)]
+    mild = results[(0.0, 20.0)]
+    severe = results[(20.0, 45.0)]
+
+    # Figure shape: accuracy degrades monotonically with deviation, and
+    # the worst band is substantially worse than perfect alignment.
+    assert aligned.median <= mild.median + 0.2
+    assert mild.median <= severe.median + 0.2
+    assert severe.median > 1.5 * aligned.median

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""The paper's headline scenario: localization at low SNR with blocked LoS.
+
+Builds the 18 m × 12 m classroom testbed with 6 wall-mounted APs,
+places a client, obstructs the direct paths (the physical cause of low
+SNR), and compares ROArray against SpotFi and ArrayTrack on the *same*
+CSI traces — the setting of paper Fig. 6c, where ROArray's median error
+(0.91 m) beats SpotFi (2.61 m) and ArrayTrack (3.52 m).
+
+Run:  python examples/low_snr_localization.py  [n_locations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines import ArrayTrackEstimator, SpotFiEstimator
+from repro.core import RoArrayEstimator
+from repro.experiments import run_snr_band_experiment, summarize_systems
+
+
+def main() -> None:
+    n_locations = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+
+    systems = [RoArrayEstimator(), SpotFiEstimator(), ArrayTrackEstimator()]
+    print(
+        f"Running the low-SNR band (≤ 2 dB, blocked LoS) on {n_locations} "
+        "random classroom locations, 10 packets per AP, 6 APs...\n"
+    )
+    result = run_snr_band_experiment(
+        "low", n_locations=n_locations, n_packets=10, n_aps=6, seed=42, systems=systems
+    )
+
+    print("Localization error:")
+    print(summarize_systems({s.name: result.localization_cdf(s.name) for s in systems}))
+
+    print("\nDirect-path AoA error (degrees):")
+    print(
+        summarize_systems(
+            {s.name: result.direct_aoa_cdf(s.name) for s in systems}, unit="deg"
+        )
+    )
+
+    ro = result.localization_cdf("ROArray").median
+    sf = result.localization_cdf("SpotFi").median
+    print(
+        f"\nROArray vs SpotFi at low SNR: {ro:.2f} m vs {sf:.2f} m "
+        f"({sf / max(ro, 1e-9):.1f}× better) — the robustness sparse recovery buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

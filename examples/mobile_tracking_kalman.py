@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Tracking a walking client: raw per-burst fixes vs Kalman smoothing.
+
+Combines three layers of the library:
+
+* :mod:`repro.channel.mobility` walks a client through the classroom
+  (random-waypoint model),
+* ROArray produces an independent fix from a short packet burst at
+  every trajectory sample,
+* :mod:`repro.core.tracking` smooths the fix stream with a
+  constant-velocity Kalman filter and gates outliers.
+
+Run:  python examples/mobile_tracking_kalman.py
+"""
+
+import numpy as np
+
+from repro.channel import CsiSynthesizer, ImpairmentModel, UniformLinearArray, intel5300_layout
+from repro.channel.geometry import Scene
+from repro.channel.mobility import RandomWaypointModel
+from repro.core import RoArrayEstimator
+from repro.core.localization import ApObservation, localize_weighted_aoa
+from repro.core.tracking import KalmanTracker
+from repro.experiments import classroom_access_points, classroom_room
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+    room = classroom_room()
+    access_points = classroom_access_points(5, room)
+    array = UniformLinearArray()
+    layout = intel5300_layout()
+    estimator = RoArrayEstimator()
+    synthesizers = [
+        CsiSynthesizer(array, layout, ImpairmentModel(), seed=i) for i in range(5)
+    ]
+    tracker = KalmanTracker(measurement_noise_m=1.0, process_noise=1.2)
+
+    trajectory = RandomWaypointModel(room).generate(
+        rng, duration_s=12.0, sample_interval_s=0.5, start=(4.0, 4.0)
+    )
+
+    # Low-SNR localization occasionally misidentifies the direct path and
+    # produces a fix several meters off (see the Fig. 6c CDF tail).  We
+    # force two such events so the run always demonstrates the gate.
+    outlier_steps = {8, 17}
+
+    print(" t(s)   truth          raw fix        err   tracked        err  gated")
+    raw_errors, tracked_errors = [], []
+    for step, sample in enumerate(trajectory):
+        scene = Scene(room=room, access_points=access_points, client=sample.position)
+        observations = []
+        for i in range(len(access_points)):
+            # A harsh link: low SNR and an obstructed LoS, the regime
+            # where raw fixes occasionally jump and gating pays off.
+            profile = scene.multipath_profile(i, layout.wavelength).with_direct_attenuation(7.0)
+            trace = synthesizers[i].packets(profile, n_packets=2, snr_db=0.0, rng=rng)
+            analysis = estimator.analyze(trace)
+            observations.append(
+                ApObservation(access_points[i], analysis.direct.aoa_deg, trace.rssi_dbm)
+            )
+        fix = localize_weighted_aoa(observations, room, resolution_m=0.1)
+        fix_position = fix.position
+        if step in outlier_steps:
+            fix_position = (
+                float(rng.uniform(0.5, room.width - 0.5)),
+                float(rng.uniform(0.5, room.depth - 0.5)),
+            )
+        state = tracker.update(sample.time_s, fix_position)
+
+        truth = np.array(sample.position)
+        raw_error = float(np.linalg.norm(np.array(fix_position) - truth))
+        tracked_error = float(np.linalg.norm(np.array(state.position) - truth))
+        raw_errors.append(raw_error)
+        tracked_errors.append(tracked_error)
+        print(
+            f"{sample.time_s:5.1f}  ({truth[0]:5.2f},{truth[1]:5.2f})  "
+            f"({fix_position[0]:5.2f},{fix_position[1]:5.2f}) {raw_error:5.2f}  "
+            f"({state.position[0]:5.2f},{state.position[1]:5.2f}) {tracked_error:5.2f}  "
+            f"{'' if state.accepted else 'REJECTED'}"
+        )
+
+    print(
+        f"\nmedian error: raw {np.median(raw_errors):.2f} m, "
+        f"tracked {np.median(tracked_errors):.2f} m"
+    )
+    print(
+        f"worst error:  raw {np.max(raw_errors):.2f} m, "
+        f"tracked {np.max(tracked_errors):.2f} m  "
+        "(the gate absorbs the spurious fixes)"
+    )
+
+
+if __name__ == "__main__":
+    main()

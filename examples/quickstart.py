@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: estimate a direct path from one WiFi packet.
+
+The minimal end-to-end ROArray flow:
+
+1. Model the receiver hardware (3-antenna half-wavelength ULA, Intel
+   5300 subcarrier layout).
+2. Synthesize one packet of CSI for a 4-path indoor channel whose
+   direct path arrives from 150°.
+3. Run joint (AoA, ToA) sparse recovery and pick the smallest-ToA peak.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.channel import (
+    CsiSynthesizer,
+    ImpairmentModel,
+    UniformLinearArray,
+    intel5300_layout,
+    random_profile,
+)
+from repro.core import RoArrayEstimator
+from repro.experiments.reporting import format_spectrum_ascii
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # --- the channel: 4 dominant paths, LoS at 150°, 30 ns -----------------
+    profile = random_profile(rng, n_paths=4, direct_aoa_deg=150.0, direct_toa_s=30e-9)
+    print("Ground-truth paths:")
+    for path in profile.paths:
+        tag = "direct" if path.is_direct else "reflection"
+        print(
+            f"  {tag:<10} AoA {path.aoa_deg:6.1f}°  ToA {path.toa_s * 1e9:6.1f} ns  "
+            f"|gain| {abs(path.gain):.2f}"
+        )
+
+    # --- the receiver: one commodity AP ------------------------------------
+    array = UniformLinearArray()          # 3 antennas, λ/2 spacing
+    layout = intel5300_layout()           # 30 subcarriers, fδ = 1.25 MHz
+    synthesizer = CsiSynthesizer(array, layout, ImpairmentModel(), seed=0)
+
+    # --- one packet at 10 dB SNR -------------------------------------------
+    trace = synthesizer.packets(profile, n_packets=1, snr_db=10.0, rng=rng)
+    print(f"\nCSI matrix shape (antennas × subcarriers): {trace.packet(0).shape}")
+
+    # --- ROArray: joint sparse recovery + smallest-ToA rule ----------------
+    estimator = RoArrayEstimator()
+    estimate = estimator.estimate_direct_path(trace)
+    print(
+        f"\nEstimated direct path: AoA {estimate.aoa_deg:.1f}° "
+        f"(truth 150.0°), ToA {estimate.toa_s * 1e9:.0f} ns "
+        f"(includes packet detection delay), {estimate.n_paths} paths resolved"
+    )
+
+    spectrum = estimator.aoa_spectrum(trace)
+    print("\nAoA spectrum (angle marginal of the joint spectrum):")
+    print(format_spectrum_ascii(spectrum))
+
+
+if __name__ == "__main__":
+    main()

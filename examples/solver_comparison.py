@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Ablation: FISTA vs ADMM vs OMP on identical AoA problems.
+
+The paper solves its ℓ1 programs with CVX's second-order cone solvers;
+this repository ships three interchangeable solvers.  This example runs
+all of them on the same joint (AoA, ToA) measurement and compares
+accuracy, sparsity and wall-clock — including OMP's model-order
+sensitivity, the weakness §III-A credits ROArray with avoiding.
+
+Run:  python examples/solver_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.channel import (
+    CsiSynthesizer,
+    ImpairmentModel,
+    UniformLinearArray,
+    intel5300_layout,
+    random_profile,
+)
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.core.joint import coefficients_to_joint_power
+from repro.core.steering import SteeringCache, vectorize_csi_matrix
+from repro.optim import solve_lasso_admm, solve_lasso_fista, solve_omp
+from repro.optim.tuning import residual_kappa
+from repro.spectral.spectrum import JointSpectrum
+
+
+def spectrum_from(x, cache):
+    power = coefficients_to_joint_power(
+        x, cache.angle_grid.n_points, cache.delay_grid.n_points
+    )
+    return JointSpectrum(cache.angle_grid.angles_deg, cache.delay_grid.toas_s, power)
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    array = UniformLinearArray()
+    layout = intel5300_layout()
+    cache = SteeringCache(array, layout, AngleGrid(n_points=61), DelayGrid(n_points=25))
+
+    true_aoa = 150.0
+    profile = random_profile(rng, n_paths=4, direct_aoa_deg=true_aoa)
+    synthesizer = CsiSynthesizer(
+        array, layout, ImpairmentModel(detection_delay_range_s=0.0, sfo_std_s=0.0), seed=0
+    )
+    trace = synthesizer.packets(profile, n_packets=1, snr_db=5.0, rng=rng)
+    y = vectorize_csi_matrix(trace.packet(0))
+
+    dictionary = cache.joint_dictionary
+    kappa = residual_kappa(dictionary, y, fraction=0.15)
+
+    print(f"Joint dictionary: {dictionary.shape}, true AoA {true_aoa}°, SNR 5 dB\n")
+    print(f"{'solver':<22} {'AoA err':>8} {'paths':>6} {'time':>9}")
+
+    runs = {
+        "FISTA (kappa auto)": lambda: solve_lasso_fista(
+            dictionary, y, kappa, max_iterations=250, lipschitz=cache.joint_lipschitz
+        ),
+        "ADMM (kappa auto)": lambda: solve_lasso_admm(dictionary, y, kappa, max_iterations=250),
+        "OMP (K=4, true)": lambda: solve_omp(dictionary, y, sparsity=4),
+        "OMP (K=10, over)": lambda: solve_omp(dictionary, y, sparsity=10),
+        "OMP (K=2, under)": lambda: solve_omp(dictionary, y, sparsity=2),
+    }
+    for name, run in runs.items():
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        spectrum = spectrum_from(result.x, cache)
+        error = spectrum.angle_marginal().closest_peak_error(
+            true_aoa, max_peaks=6, min_relative_height=0.2
+        )
+        print(
+            f"{name:<22} {error:7.1f}° {result.sparsity(rtol=0.2):6d} {elapsed * 1e3:7.1f} ms"
+        )
+
+    print(
+        "\nNote how OMP's quality swings with the assumed model order K, "
+        "while the ℓ1 solvers need no K at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

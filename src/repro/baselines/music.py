@@ -1,0 +1,139 @@
+"""MUSIC (MUltiple SIgnal Classification) and covariance conditioning.
+
+MUSIC (Schmidt [14]) eigendecomposes the snapshot covariance, splits
+signal from noise subspace using a model order ``K``, and scores each
+candidate steering vector by how orthogonal it is to the noise
+subspace:
+
+    P(θ) = 1 / ‖E_nᴴ s(θ)‖²
+
+Indoor multipath is *coherent* (all paths carry the same symbol), which
+rank-collapses the covariance; the standard fixes implemented here are
+forward–backward averaging and spatial smoothing over subarrays.  The
+paper's §II motivates ROArray with exactly the failure mode these tools
+cannot fix: when the SNR is low the signal/noise subspace split itself
+becomes unreliable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.spectral.spectrum import AngleSpectrum, JointSpectrum
+
+
+def sample_covariance(snapshots: np.ndarray) -> np.ndarray:
+    """``R = Y Yᴴ / N`` for a snapshot matrix ``Y`` of shape (M, N)."""
+    snapshots = np.asarray(snapshots)
+    if snapshots.ndim != 2:
+        raise SolverError(f"snapshots must be 2-D (sensors × snapshots), got ndim={snapshots.ndim}")
+    n = snapshots.shape[1]
+    if n == 0:
+        raise SolverError("need at least one snapshot")
+    return snapshots @ snapshots.conj().T / n
+
+
+def forward_backward_average(covariance: np.ndarray) -> np.ndarray:
+    """Forward–backward averaging: ``(R + J R* J) / 2``.
+
+    ``J`` is the exchange (flip) matrix.  Decorrelates pairs of coherent
+    sources on a ULA at no aperture cost.
+    """
+    covariance = np.asarray(covariance)
+    if covariance.ndim != 2 or covariance.shape[0] != covariance.shape[1]:
+        raise SolverError(f"covariance must be square, got shape {covariance.shape}")
+    flipped = covariance[::-1, ::-1].conj()
+    return 0.5 * (covariance + flipped)
+
+
+def spatial_smoothing(snapshots: np.ndarray, subarray_size: int) -> np.ndarray:
+    """Average subarray covariances over a sliding window (ULA smoothing).
+
+    Returns a ``subarray_size × subarray_size`` covariance whose rank is
+    restored up to the number of subarrays, at the cost of shrinking the
+    effective aperture — the trade ArrayTrack-class systems must make to
+    handle coherent multipath with few antennas.
+    """
+    snapshots = np.asarray(snapshots)
+    m = snapshots.shape[0]
+    if not 2 <= subarray_size <= m:
+        raise SolverError(f"subarray_size must be in [2, {m}], got {subarray_size}")
+    n_subarrays = m - subarray_size + 1
+    accumulated = np.zeros((subarray_size, subarray_size), dtype=complex)
+    for start in range(n_subarrays):
+        block = snapshots[start : start + subarray_size]
+        accumulated += sample_covariance(block)
+    return accumulated / n_subarrays
+
+
+def noise_subspace(covariance: np.ndarray, n_sources: int) -> np.ndarray:
+    """Eigenvectors spanning the noise subspace (columns).
+
+    ``n_sources`` is the assumed model order ``K``; MUSIC's accuracy
+    hinges on it (paper §III-B notes SpotFi fixes K = 5 and suffers
+    when the true K differs).
+    """
+    covariance = np.asarray(covariance)
+    m = covariance.shape[0]
+    if not 1 <= n_sources < m:
+        raise SolverError(f"n_sources must be in [1, {m - 1}], got {n_sources}")
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    # eigh returns ascending order: the smallest M−K eigenpairs are noise.
+    return eigenvectors[:, : m - n_sources]
+
+
+def music_pseudospectrum(noise_basis: np.ndarray, steering: np.ndarray) -> np.ndarray:
+    """``P = 1/‖E_nᴴ s‖²`` for each steering column."""
+    projections = noise_basis.conj().T @ steering
+    denominator = np.sum(np.abs(projections) ** 2, axis=0)
+    floor = 1e-12 * max(float(denominator.max(initial=0.0)), 1e-300)
+    return 1.0 / np.maximum(denominator, floor)
+
+
+def music_angle_spectrum(
+    snapshots: np.ndarray,
+    steering: np.ndarray,
+    angles_deg: np.ndarray,
+    *,
+    n_sources: int,
+    forward_backward: bool = True,
+) -> AngleSpectrum:
+    """1-D spatial MUSIC from an (M × N) snapshot matrix.
+
+    Parameters
+    ----------
+    steering:
+        Candidate steering matrix of shape ``(M, len(angles_deg))`` —
+        build it with :meth:`repro.channel.array.UniformLinearArray.steering_matrix`.
+    """
+    covariance = sample_covariance(snapshots)
+    if forward_backward:
+        covariance = forward_backward_average(covariance)
+    basis = noise_subspace(covariance, n_sources)
+    return AngleSpectrum(angles_deg, music_pseudospectrum(basis, steering))
+
+
+def music_joint_spectrum(
+    covariance: np.ndarray,
+    steering: np.ndarray,
+    angles_deg: np.ndarray,
+    toas_s: np.ndarray,
+    *,
+    n_sources: int,
+) -> JointSpectrum:
+    """2-D (AoA, ToA) MUSIC from a pre-smoothed covariance.
+
+    ``steering`` has one column per (angle, delay) pair, delay-major
+    (column ``j·Nθ + i`` ↔ angle ``i``, delay ``j``), matching
+    :func:`repro.core.steering.joint_steering_dictionary`.
+    """
+    basis = noise_subspace(covariance, n_sources)
+    power = music_pseudospectrum(basis, steering)
+    n_angles, n_toas = angles_deg.size, toas_s.size
+    if power.size != n_angles * n_toas:
+        raise SolverError(
+            f"steering has {power.size} columns, expected {n_angles}×{n_toas}"
+        )
+    grid = power.reshape(n_toas, n_angles).T  # delay-major columns → (angle, delay)
+    return JointSpectrum(angles_deg, toas_s, grid)

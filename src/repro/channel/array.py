@@ -1,0 +1,79 @@
+"""Uniform linear array (ULA) model.
+
+Implements the antenna-array phase model of the paper's Figure 1 and
+Eq. 1: a far-field signal arriving from angle θ (measured from the array
+axis, θ ∈ [0°, 180°]) induces a per-antenna phase progression
+
+    s(θ) = [1, Λ(θ), …, Λ(θ)^{M−1}]ᵀ,   Λ(θ) = exp(−j·2π·d·cosθ / λ).
+
+To keep the mapping θ ↦ s(θ) unambiguous over [0°, 180°] the element
+spacing must satisfy d ≤ λ/2; the constructor enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.constants import (
+    FIVE_GHZ_WAVELENGTH,
+    INTEL5300_ANTENNA_SPACING,
+)
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UniformLinearArray:
+    """An equally spaced linear antenna array.
+
+    Attributes
+    ----------
+    n_antennas:
+        Number of elements ``M`` (3 for the paper's Intel 5300 APs).
+    spacing:
+        Element spacing ``d`` in meters.
+    wavelength:
+        Carrier wavelength ``λ`` in meters.
+    """
+
+    n_antennas: int = 3
+    spacing: float = INTEL5300_ANTENNA_SPACING
+    wavelength: float = FIVE_GHZ_WAVELENGTH
+
+    def __post_init__(self) -> None:
+        if self.n_antennas < 2:
+            raise ConfigurationError(f"an array needs >= 2 antennas, got {self.n_antennas}")
+        if self.spacing <= 0:
+            raise ConfigurationError(f"antenna spacing must be positive, got {self.spacing}")
+        if self.wavelength <= 0:
+            raise ConfigurationError(f"wavelength must be positive, got {self.wavelength}")
+        if self.spacing > self.wavelength / 2 + 1e-12:
+            raise ConfigurationError(
+                f"spacing {self.spacing:.4g} m exceeds λ/2 = {self.wavelength / 2:.4g} m; "
+                "AoA would be ambiguous over [0°, 180°] (paper Fig. 1)"
+            )
+
+    def phase_factor(self, aoa_deg: np.ndarray | float) -> np.ndarray:
+        """The adjacent-element phase factor Λ(θ) = exp(−j2πd·cosθ/λ)."""
+        theta = np.deg2rad(np.asarray(aoa_deg, dtype=float))
+        return np.exp(-2j * np.pi * self.spacing * np.cos(theta) / self.wavelength)
+
+    def steering_vector(self, aoa_deg: float) -> np.ndarray:
+        """Paper Eq. 1: phase shifts relative to the first antenna."""
+        factor = self.phase_factor(aoa_deg)
+        return factor ** np.arange(self.n_antennas)
+
+    def steering_matrix(self, aoas_deg: np.ndarray) -> np.ndarray:
+        """Paper Eq. 2/6: one steering vector per angle, shape ``(M, len(aoas))``."""
+        aoas_deg = np.asarray(aoas_deg, dtype=float)
+        if aoas_deg.ndim != 1:
+            raise ConfigurationError(f"aoas_deg must be 1-D, got ndim={aoas_deg.ndim}")
+        factors = self.phase_factor(aoas_deg)[None, :]
+        exponents = np.arange(self.n_antennas)[:, None]
+        return factors**exponents
+
+    @property
+    def aperture(self) -> float:
+        """Physical aperture (m): distance between the first and last element."""
+        return self.spacing * (self.n_antennas - 1)

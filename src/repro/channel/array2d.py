@@ -1,0 +1,141 @@
+"""Planar (2-D) antenna arrays — the paper's §IV-F future-work direction.
+
+Fig. 8c shows the 1-D array's accuracy collapsing when the client
+antenna tilts out of the polarization plane; the paper proposes "the
+2-dimension antenna array with both vertical and horizontal
+polarizations" as the remedy.  This module provides that hardware
+model:
+
+* :class:`PlanarArray` — an n_x × n_y rectangular grid of elements in
+  the x–y plane.  A far-field signal from azimuth φ / elevation θ
+  induces per-element phases through the projection of its direction
+  cosines onto the element positions, generalizing paper Eq. 1.
+* :class:`DualPolarizationFeed` — a pair of orthogonally polarized
+  feeds per element; combining them bounds the polarization loss at
+  √½ of the ideal gain regardless of client tilt, instead of the
+  cos(deviation) collapse of a single feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.constants import FIVE_GHZ_WAVELENGTH
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PlanarArray:
+    """A rectangular grid of antennas in the x–y plane.
+
+    Attributes
+    ----------
+    n_x / n_y:
+        Elements along each axis (total ``n_x · n_y``).
+    spacing_x / spacing_y:
+        Element pitch in meters; each must be ≤ λ/2 to keep the
+        azimuth–elevation mapping unambiguous over the upper half-space.
+    wavelength:
+        Carrier wavelength λ in meters.
+    """
+
+    n_x: int = 2
+    n_y: int = 2
+    spacing_x: float = FIVE_GHZ_WAVELENGTH / 2.0
+    spacing_y: float = FIVE_GHZ_WAVELENGTH / 2.0
+    wavelength: float = FIVE_GHZ_WAVELENGTH
+
+    def __post_init__(self) -> None:
+        if self.n_x < 1 or self.n_y < 1 or self.n_x * self.n_y < 2:
+            raise ConfigurationError(
+                f"planar array needs >= 2 elements, got {self.n_x}×{self.n_y}"
+            )
+        if self.spacing_x <= 0 or self.spacing_y <= 0:
+            raise ConfigurationError("element spacings must be positive")
+        if self.wavelength <= 0:
+            raise ConfigurationError("wavelength must be positive")
+        half = self.wavelength / 2 + 1e-12
+        if self.spacing_x > half or self.spacing_y > half:
+            raise ConfigurationError(
+                "element spacing exceeds λ/2; azimuth/elevation would be ambiguous"
+            )
+
+    @property
+    def n_elements(self) -> int:
+        return self.n_x * self.n_y
+
+    def element_positions(self) -> np.ndarray:
+        """(n_elements, 2) element coordinates in meters, x-fastest."""
+        xs = self.spacing_x * np.arange(self.n_x)
+        ys = self.spacing_y * np.arange(self.n_y)
+        gx, gy = np.meshgrid(xs, ys, indexing="ij")
+        return np.column_stack([gx.reshape(-1), gy.reshape(-1)])
+
+    @staticmethod
+    def direction_cosines(azimuth_deg: float, elevation_deg: float) -> np.ndarray:
+        """In-plane direction cosines (u, v) of an arrival direction.
+
+        Azimuth is measured in the array plane from +x; elevation from
+        the plane toward zenith (90° = boresight, phases flat).
+        """
+        azimuth = np.deg2rad(azimuth_deg)
+        elevation = np.deg2rad(elevation_deg)
+        return np.array(
+            [np.cos(elevation) * np.cos(azimuth), np.cos(elevation) * np.sin(azimuth)]
+        )
+
+    def steering_vector(self, azimuth_deg: float, elevation_deg: float) -> np.ndarray:
+        """Per-element phases for one arrival direction (generalized Eq. 1)."""
+        if not 0.0 <= elevation_deg <= 90.0:
+            raise ConfigurationError(f"elevation must be in [0, 90], got {elevation_deg}")
+        cosines = self.direction_cosines(azimuth_deg, elevation_deg)
+        projections = self.element_positions() @ cosines
+        return np.exp(-2j * np.pi * projections / self.wavelength)
+
+    def steering_matrix(
+        self, azimuths_deg: np.ndarray, elevations_deg: np.ndarray
+    ) -> np.ndarray:
+        """Dictionary over an (azimuth × elevation) grid.
+
+        Column ordering is elevation-major: column ``j·Naz + i``
+        corresponds to azimuth ``i``, elevation ``j`` (mirroring the
+        delay-major layout of the joint ToA&AoA dictionary).
+        """
+        azimuths_deg = np.asarray(azimuths_deg, dtype=float)
+        elevations_deg = np.asarray(elevations_deg, dtype=float)
+        columns = []
+        for elevation in elevations_deg:
+            for azimuth in azimuths_deg:
+                columns.append(self.steering_vector(float(azimuth), float(elevation)))
+        return np.stack(columns, axis=1)
+
+
+@dataclass(frozen=True)
+class DualPolarizationFeed:
+    """Two orthogonally polarized feeds combined per element.
+
+    A single feed receives amplitude ``cos(deviation)`` of a tilted
+    client antenna; the orthogonal feed receives ``sin(deviation)``.
+    Diversity combining (root-sum-square, i.e. maximum-ratio combining
+    of the two feeds) therefore receives the full amplitude at any
+    tilt — up to the ``combining_efficiency`` of the combiner.
+    """
+
+    combining_efficiency: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.combining_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"combining efficiency must be in (0, 1], got {self.combining_efficiency}"
+            )
+
+    def amplitude(self, deviation_deg: float) -> float:
+        """Received amplitude factor at a given polarization deviation."""
+        if not 0.0 <= deviation_deg <= 90.0:
+            raise ConfigurationError(f"deviation must be in [0, 90], got {deviation_deg}")
+        deviation = np.deg2rad(deviation_deg)
+        co = np.cos(deviation)
+        cross = np.sin(deviation)
+        return self.combining_efficiency * float(np.sqrt(co**2 + cross**2))

@@ -1,0 +1,30 @@
+"""Physical constants and WiFi band parameters used across the simulator."""
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum, m/s."""
+
+FIVE_GHZ_CENTER = 5.32e9
+"""Center frequency (Hz) of the 40 MHz 5 GHz channel used by the testbed.
+
+The paper fixes a non-busy 40 MHz channel in the 5 GHz band for all
+tests (2.4 GHz is unusable on the Intel 5300 due to firmware phase
+ambiguity).  Channel 64 (5.32 GHz) gives the λ ≈ 5.6 cm the paper's
+half-wavelength 2.6 cm antenna spacing corresponds to.
+"""
+
+FIVE_GHZ_WAVELENGTH = SPEED_OF_LIGHT / FIVE_GHZ_CENTER
+"""Carrier wavelength (m) at :data:`FIVE_GHZ_CENTER` — about 5.6 cm."""
+
+INTEL5300_ANTENNA_SPACING = FIVE_GHZ_WAVELENGTH / 2.0
+"""Half-wavelength antenna spacing (m) used by the paper's 3-antenna APs."""
+
+INTEL5300_SUBCARRIERS = 30
+"""The Intel 5300 reports CSI for 30 of the 114/116 subcarriers."""
+
+INTEL5300_SUBCARRIER_SPACING = 1.25e6
+"""Effective spacing (Hz) between reported subcarriers on a 40 MHz band.
+
+Per the paper's footnote 7: CSI is reported every 4 subcarriers on a
+40 MHz band, so fδ = 4 × 312.5 kHz = 1.25 MHz, bounding the unambiguous
+ToA range at τmax = 1/fδ = 800 ns.
+"""

@@ -1,0 +1,171 @@
+"""CSI synthesis — producing the paper's Eq. 4 matrix.
+
+For each packet the Intel 5300 reports a complex matrix
+``C ∈ ℂ^{M×L}`` (M antennas × L subcarriers).  The clean channel of a
+K-path profile is
+
+    C[i, l] = Σ_k a_k · Λ(θ_k)^i · Γ(τ_k)^l
+
+with Λ from Eq. 1 (AoA phase across antennas) and Γ from Eq. 12 (ToA
+phase across subcarriers).  On top of the clean channel the synthesizer
+applies, in order: the per-packet detection delay (an extra common
+Γ(τ_d)^l ramp), per-boot antenna phase offsets, polarization effects,
+and AWGN at the requested SNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.noise import awgn
+from repro.channel.ofdm import SubcarrierLayout
+from repro.channel.paths import MultipathProfile
+from repro.channel.trace import CsiTrace
+from repro.exceptions import ConfigurationError
+
+
+def synthesize_csi_matrix(
+    profile: MultipathProfile,
+    array: UniformLinearArray,
+    layout: SubcarrierLayout,
+    *,
+    extra_delay_s: float = 0.0,
+    antenna_phase_offsets: np.ndarray | None = None,
+    antenna_gains: np.ndarray | None = None,
+) -> np.ndarray:
+    """The clean (noise-free) CSI matrix for one packet.
+
+    Parameters
+    ----------
+    extra_delay_s:
+        Common delay added to every path (packet detection delay).
+    antenna_phase_offsets:
+        Optional per-antenna phase offsets in radians (per-boot effect).
+    antenna_gains:
+        Optional per-antenna complex gain factors (polarization ripple).
+
+    Returns
+    -------
+    numpy.ndarray
+        Complex matrix of shape ``(array.n_antennas, layout.n_subcarriers)``.
+    """
+    m = array.n_antennas
+    length = layout.n_subcarriers
+
+    antenna_index = np.arange(m)[:, None]            # (M, 1)
+    subcarrier_index = np.arange(length)[None, :]     # (1, L)
+
+    csi = np.zeros((m, length), dtype=complex)
+    for path in profile.paths:
+        spatial = array.phase_factor(path.aoa_deg) ** antenna_index
+        temporal = layout.delay_phase_factor(path.toa_s + extra_delay_s) ** subcarrier_index
+        csi += path.gain * spatial * temporal
+
+    if antenna_phase_offsets is not None:
+        offsets = np.asarray(antenna_phase_offsets, dtype=float)
+        if offsets.shape != (m,):
+            raise ConfigurationError(f"phase offsets must have shape ({m},), got {offsets.shape}")
+        csi *= np.exp(1j * offsets)[:, None]
+
+    if antenna_gains is not None:
+        gains = np.asarray(antenna_gains, dtype=complex)
+        if gains.shape != (m,):
+            raise ConfigurationError(f"antenna gains must have shape ({m},), got {gains.shape}")
+        csi *= gains[:, None]
+
+    return csi
+
+
+@dataclass
+class CsiSynthesizer:
+    """Generates packet batches of impaired, noisy CSI for one link.
+
+    One synthesizer instance corresponds to one AP "boot": the antenna
+    phase offsets are drawn once at construction (from ``seed``) and
+    shared by every packet, exactly like a real NIC that keeps its RF
+    phase until the channel is retuned.  Per-packet randomness
+    (detection delay, noise, polarization ripple) is drawn from the
+    generator passed to :meth:`packets`.
+    """
+
+    array: UniformLinearArray
+    layout: SubcarrierLayout
+    impairments: ImpairmentModel = ImpairmentModel()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        boot_rng = np.random.default_rng(self.seed)
+        self.phase_offsets = self.impairments.draw_phase_offsets(boot_rng, self.array.n_antennas)
+
+    def packets(
+        self,
+        profile: MultipathProfile,
+        *,
+        n_packets: int,
+        snr_db: float,
+        rng: np.random.Generator,
+    ) -> CsiTrace:
+        """Synthesize ``n_packets`` CSI matrices at the requested SNR.
+
+        The profile is power-normalized first so ``snr_db`` is exact
+        regardless of absolute path gains; the polarization amplitude
+        factor is then applied *after* normalization so antenna tilt
+        lowers the effective SNR as it does physically.
+        """
+        if n_packets < 1:
+            raise ConfigurationError(f"n_packets must be >= 1, got {n_packets}")
+        # RSSI reflects the *physical* link strength (Friis gains and
+        # polarization loss) even though the profile is then normalized
+        # so the synthesized SNR is exact.
+        amplitude = self.impairments.polarization_amplitude()
+        link_power = profile.total_power * amplitude**2
+        profile = profile.normalized()
+
+        matrices = np.empty(
+            (n_packets, self.array.n_antennas, self.layout.n_subcarriers), dtype=complex
+        )
+        delays = np.empty(n_packets)
+        for p in range(n_packets):
+            delay = self.impairments.draw_detection_delay(rng)
+            ripple = self.impairments.draw_polarization_ripple(rng, self.array.n_antennas)
+            cfo_phase = self.impairments.draw_cfo_phase(rng)
+            clean = synthesize_csi_matrix(
+                profile,
+                self.array,
+                self.layout,
+                extra_delay_s=delay,
+                antenna_phase_offsets=self.phase_offsets,
+                antenna_gains=amplitude * ripple,
+            ) * np.exp(1j * cfo_phase)
+            matrices[p] = awgn(clean, snr_db, rng)
+            delays[p] = delay
+
+        return CsiTrace(
+            csi=matrices,
+            snr_db=snr_db,
+            detection_delays_s=delays,
+            antenna_phase_offsets=self.phase_offsets.copy(),
+            true_aoas_deg=profile.aoas_deg,
+            true_toas_s=profile.toas_s,
+            direct_aoa_deg=profile.direct_path.aoa_deg,
+            direct_toa_s=profile.direct_path.toa_s,
+            rssi_dbm=rssi_from_power(link_power),
+        )
+
+
+def rssi_from_power(mean_power: float, *, reference_dbm: float = 40.0) -> float:
+    """Map a link power to an RSSI-like dBm figure.
+
+    The multi-AP localizer (paper Eq. 19) only uses RSSI as a *relative*
+    weight across APs, so any monotone map works; we use
+    ``reference_dbm + 10·log10(power)`` with a floor at −100 dBm.  The
+    default reference puts a 5 m Friis link near −40 dBm, a realistic
+    indoor figure.
+    """
+    if mean_power <= 0:
+        return -100.0
+    return max(reference_dbm + 10.0 * np.log10(mean_power), -100.0)

@@ -1,0 +1,135 @@
+"""Hardware impairments of the Intel 5300 testbed.
+
+Three effects dominate what makes commodity-NIC CSI hard to use
+directly, and all three are modeled here:
+
+* **Packet detection delay** — every packet is time-stamped where the
+  correlator fires, which adds a random *common* delay to every path's
+  ToA.  This is why the paper's Fig. 4(a)/(b) spectra from two packets
+  of the *same* static link sit at different delays, and why raw ToA
+  cannot be used as an absolute range on this hardware (§V).
+* **Per-boot phase offsets** — each RF chain acquires an unknown
+  constant phase every time the channel is (re)tuned; uncorrected, it
+  scrambles the inter-antenna phase that AoA estimation depends on.
+  This is the effect paper §III-D's calibration (after Phaser [13])
+  removes, and Fig. 8b quantifies.
+* **Polarization loss** — when the client's antenna tilts out of the
+  AP's polarization plane, reception degrades sharply (paper Fig. 8c).
+  We model an amplitude factor of cos(deviation) plus per-antenna gain
+  ripple growing with the deviation, capturing both the SNR loss and
+  the manifold mismatch a tilted antenna causes on a 1-D array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def polarization_loss(deviation_deg: float) -> float:
+    """Amplitude factor for a polarization deviation angle (cosine law).
+
+    0° → 1.0 (no loss); 90° → floor of 0.05 (never exactly zero: real
+    antennas leak cross-polarized energy).
+    """
+    if deviation_deg < 0 or deviation_deg > 90:
+        raise ConfigurationError(f"deviation must be in [0, 90] degrees, got {deviation_deg}")
+    return max(float(np.cos(np.deg2rad(deviation_deg))), 0.05)
+
+
+@dataclass(frozen=True)
+class ImpairmentModel:
+    """Configuration of the per-packet and per-boot hardware effects.
+
+    Attributes
+    ----------
+    detection_delay_range_s:
+        Packet detection delay is drawn per packet, uniform in
+        ``[0, detection_delay_range_s]``.  ~50-200 ns is typical for the
+        Intel 5300; 0 disables the effect.
+    phase_offset_std_rad:
+        Per-antenna static phase offsets are drawn per *boot* from a
+        uniform distribution over ``[−π, π]`` when this is positive
+        (the value only gates the effect on/off for antennas after the
+        first; the first antenna is the phase reference and stays 0).
+    sfo_std_s:
+        Residual sampling-frequency-offset jitter: an extra per-packet
+        delay perturbation with this standard deviation.
+    cfo_residual_rad:
+        Residual carrier-frequency-offset phase: each packet acquires a
+        random common phase, uniform in ``[−cfo_residual_rad,
+        cfo_residual_rad]``.  Common across antennas and subcarriers, it
+        is invisible to single-packet spectra (|coefficients| are phase-
+        blind) but decorrelates packets, which is why multi-packet
+        fusion uses magnitude-preserving ℓ2,1 recovery rather than
+        averaging raw CSI.
+    polarization_deviation_deg:
+        Client antenna tilt out of the AP polarization plane.
+    polarization_ripple:
+        Relative per-antenna gain ripple at 90° deviation (scales
+        linearly with deviation); models the manifold mismatch of a
+        tilted antenna on a 1-D array.  The paper attributes the Fig. 8c
+        collapse to exactly this effect ("very poor wireless reception
+        since the manifold of the antenna array is 1-dimension"), so the
+        default is strong: a 30° tilt perturbs each antenna's complex
+        gain by ~0.8 rms while a level client is untouched.
+    """
+
+    detection_delay_range_s: float = 100e-9
+    phase_offset_std_rad: float = 0.0
+    sfo_std_s: float = 2e-9
+    cfo_residual_rad: float = 0.3
+    polarization_deviation_deg: float = 0.0
+    polarization_ripple: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.detection_delay_range_s < 0:
+            raise ConfigurationError("detection_delay_range_s must be non-negative")
+        if self.sfo_std_s < 0:
+            raise ConfigurationError("sfo_std_s must be non-negative")
+        if self.cfo_residual_rad < 0:
+            raise ConfigurationError("cfo_residual_rad must be non-negative")
+        if not 0 <= self.polarization_deviation_deg <= 90:
+            raise ConfigurationError("polarization_deviation_deg must be in [0, 90]")
+        if self.polarization_ripple < 0:
+            raise ConfigurationError("polarization_ripple must be non-negative")
+
+    def draw_detection_delay(self, rng: np.random.Generator) -> float:
+        """Per-packet common delay (detection + SFO jitter), seconds."""
+        delay = float(rng.uniform(0.0, self.detection_delay_range_s))
+        if self.sfo_std_s > 0:
+            delay += abs(float(rng.normal(0.0, self.sfo_std_s)))
+        return delay
+
+    def draw_cfo_phase(self, rng: np.random.Generator) -> float:
+        """Per-packet common phase from residual CFO (radians)."""
+        if self.cfo_residual_rad == 0:
+            return 0.0
+        return float(rng.uniform(-self.cfo_residual_rad, self.cfo_residual_rad))
+
+    def draw_phase_offsets(self, rng: np.random.Generator, n_antennas: int) -> np.ndarray:
+        """Per-boot phase offsets (radians); antenna 0 is the reference."""
+        offsets = np.zeros(n_antennas)
+        if self.phase_offset_std_rad > 0:
+            offsets[1:] = rng.uniform(-np.pi, np.pi, size=n_antennas - 1)
+        return offsets
+
+    def polarization_amplitude(self) -> float:
+        return polarization_loss(self.polarization_deviation_deg)
+
+    def draw_polarization_ripple(self, rng: np.random.Generator, n_antennas: int) -> np.ndarray:
+        """Per-antenna complex gain ripple caused by antenna tilt.
+
+        Returns a length-``n_antennas`` vector of complex factors near 1;
+        the perturbation magnitude scales with deviation/90° ×
+        ``polarization_ripple``.
+        """
+        severity = (self.polarization_deviation_deg / 90.0) * self.polarization_ripple
+        if severity == 0:
+            return np.ones(n_antennas, dtype=complex)
+        real = rng.normal(0.0, severity, size=n_antennas)
+        imag = rng.normal(0.0, severity, size=n_antennas)
+        return 1.0 + real + 1j * imag

@@ -1,0 +1,96 @@
+"""OFDM subcarrier layouts.
+
+The joint ToA&AoA model (paper §III-B) depends on only two properties of
+the OFDM grid: how many subcarriers report CSI and how far apart they
+are.  :class:`SubcarrierLayout` captures both plus the carrier
+frequency, and :func:`intel5300_layout` builds the layout of the
+hardware the paper uses (30 reported subcarriers spaced fδ = 1.25 MHz
+on a 40 MHz channel, so τmax = 1/fδ = 800 ns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.constants import (
+    FIVE_GHZ_CENTER,
+    INTEL5300_SUBCARRIER_SPACING,
+    INTEL5300_SUBCARRIERS,
+    SPEED_OF_LIGHT,
+)
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SubcarrierLayout:
+    """A set of equally spaced CSI-reporting subcarriers.
+
+    Attributes
+    ----------
+    n_subcarriers:
+        Number of subcarriers ``L`` with CSI measurements.
+    spacing:
+        Spacing fδ in Hz between adjacent *reported* subcarriers (paper
+        footnote 7).
+    center_frequency:
+        Carrier center frequency in Hz; sets the wavelength used for the
+        AoA phase model.
+    """
+
+    n_subcarriers: int = INTEL5300_SUBCARRIERS
+    spacing: float = INTEL5300_SUBCARRIER_SPACING
+    center_frequency: float = FIVE_GHZ_CENTER
+
+    def __post_init__(self) -> None:
+        if self.n_subcarriers < 1:
+            raise ConfigurationError(f"need >= 1 subcarrier, got {self.n_subcarriers}")
+        if self.spacing <= 0:
+            raise ConfigurationError(f"subcarrier spacing must be positive, got {self.spacing}")
+        if self.center_frequency <= 0:
+            raise ConfigurationError(f"center frequency must be positive, got {self.center_frequency}")
+
+    @property
+    def wavelength(self) -> float:
+        """Carrier wavelength λ = c / f_c in meters."""
+        return SPEED_OF_LIGHT / self.center_frequency
+
+    @property
+    def max_unambiguous_delay(self) -> float:
+        """τmax = 1/fδ: delays wrap modulo this (800 ns for Intel 5300)."""
+        return 1.0 / self.spacing
+
+    def frequency_offsets(self) -> np.ndarray:
+        """Baseband offsets of each reported subcarrier from the first one.
+
+        The ToA phase ramp across subcarriers (paper Eq. 12) depends only
+        on these relative offsets: subcarrier ``l`` adds
+        ``exp(−j·2π·l·fδ·τ)``.
+        """
+        return self.spacing * np.arange(self.n_subcarriers, dtype=float)
+
+    def delay_phase_factor(self, toa_s: np.ndarray | float) -> np.ndarray:
+        """Paper Eq. 12: Γ(τ) = exp(−j·2π·fδ·τ), the adjacent-subcarrier factor."""
+        toa_s = np.asarray(toa_s, dtype=float)
+        return np.exp(-2j * np.pi * self.spacing * toa_s)
+
+    def delay_response(self, toa_s: float) -> np.ndarray:
+        """Per-subcarrier phase ramp [1, Γ, …, Γ^{L−1}] for one delay."""
+        return self.delay_phase_factor(toa_s) ** np.arange(self.n_subcarriers)
+
+
+def intel5300_layout(bandwidth_40mhz: bool = True) -> SubcarrierLayout:
+    """The subcarrier layout of the Intel 5300 CSI tool.
+
+    With a 40 MHz channel (the paper's setting) the NIC reports CSI for
+    30 subcarriers spaced 1.25 MHz apart; on a 20 MHz channel the 30
+    reported subcarriers are spaced every 2 raw subcarriers, i.e.
+    625 kHz.
+    """
+    spacing = INTEL5300_SUBCARRIER_SPACING if bandwidth_40mhz else 0.625e6
+    return SubcarrierLayout(
+        n_subcarriers=INTEL5300_SUBCARRIERS,
+        spacing=spacing,
+        center_frequency=FIVE_GHZ_CENTER,
+    )

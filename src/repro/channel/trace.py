@@ -1,0 +1,123 @@
+"""On-disk / in-memory CSI trace format.
+
+A :class:`CsiTrace` is the unit of data every estimator in this package
+consumes: a batch of per-packet CSI matrices from one AP for one client
+position, together with the ground truth the simulator knows (true
+AoAs/ToAs, injected detection delays and phase offsets) so experiments
+can score estimates without a site survey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class CsiTrace:
+    """A batch of CSI packets from one AP/client link.
+
+    Attributes
+    ----------
+    csi:
+        Complex array of shape ``(n_packets, n_antennas, n_subcarriers)``.
+    snr_db:
+        The SNR the batch was synthesized at (or measured at, for
+        imported traces).
+    detection_delays_s:
+        Ground-truth per-packet detection delay (seconds).
+    antenna_phase_offsets:
+        Ground-truth per-boot phase offsets (radians).
+    true_aoas_deg / true_toas_s:
+        Ground-truth parameters of every path.
+    direct_aoa_deg / direct_toa_s:
+        Ground truth for the LoS path specifically.
+    rssi_dbm:
+        RSSI-like received strength for Eq. 19 weighting.
+    """
+
+    csi: np.ndarray
+    snr_db: float
+    detection_delays_s: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    antenna_phase_offsets: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    true_aoas_deg: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    true_toas_s: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    direct_aoa_deg: float = float("nan")
+    direct_toa_s: float = float("nan")
+    rssi_dbm: float = float("nan")
+
+    def __post_init__(self) -> None:
+        self.csi = np.asarray(self.csi, dtype=complex)
+        if self.csi.ndim != 3:
+            raise ConfigurationError(
+                f"csi must be (packets, antennas, subcarriers), got shape {self.csi.shape}"
+            )
+
+    @property
+    def n_packets(self) -> int:
+        return self.csi.shape[0]
+
+    @property
+    def n_antennas(self) -> int:
+        return self.csi.shape[1]
+
+    @property
+    def n_subcarriers(self) -> int:
+        return self.csi.shape[2]
+
+    def packet(self, index: int) -> np.ndarray:
+        """One CSI matrix (paper Eq. 4), shape ``(antennas, subcarriers)``."""
+        return self.csi[index]
+
+    def subset(self, n_packets: int) -> "CsiTrace":
+        """A trace containing only the first ``n_packets`` packets."""
+        if not 1 <= n_packets <= self.n_packets:
+            raise ConfigurationError(
+                f"n_packets must be in [1, {self.n_packets}], got {n_packets}"
+            )
+        return CsiTrace(
+            csi=self.csi[:n_packets],
+            snr_db=self.snr_db,
+            detection_delays_s=self.detection_delays_s[:n_packets],
+            antenna_phase_offsets=self.antenna_phase_offsets,
+            true_aoas_deg=self.true_aoas_deg,
+            true_toas_s=self.true_toas_s,
+            direct_aoa_deg=self.direct_aoa_deg,
+            direct_toa_s=self.direct_toa_s,
+            rssi_dbm=self.rssi_dbm,
+        )
+
+    def save(self, path: str | Path) -> None:
+        """Persist to a ``.npz`` file."""
+        np.savez_compressed(
+            Path(path),
+            csi=self.csi,
+            snr_db=self.snr_db,
+            detection_delays_s=self.detection_delays_s,
+            antenna_phase_offsets=self.antenna_phase_offsets,
+            true_aoas_deg=self.true_aoas_deg,
+            true_toas_s=self.true_toas_s,
+            direct_aoa_deg=self.direct_aoa_deg,
+            direct_toa_s=self.direct_toa_s,
+            rssi_dbm=self.rssi_dbm,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CsiTrace":
+        """Load a trace written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            return cls(
+                csi=data["csi"],
+                snr_db=float(data["snr_db"]),
+                detection_delays_s=data["detection_delays_s"],
+                antenna_phase_offsets=data["antenna_phase_offsets"],
+                true_aoas_deg=data["true_aoas_deg"],
+                true_toas_s=data["true_toas_s"],
+                direct_aoa_deg=float(data["direct_aoa_deg"]),
+                direct_toa_s=float(data["direct_toa_s"]),
+                rssi_dbm=float(data["rssi_dbm"]),
+            )

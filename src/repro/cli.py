@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+Four subcommands cover the workflows a user has before writing code:
+
+``roarray simulate``
+    Synthesize a CSI trace for a random classroom link and save it as
+    ``.npz`` (the :class:`~repro.channel.trace.CsiTrace` format).
+``roarray analyze``
+    Load a trace and run one of the three systems on it; prints the
+    direct-path estimate and an ASCII AoA spectrum.
+``roarray localize``
+    Run one full multi-AP localization round end to end and print the
+    fix against ground truth.
+``roarray figures``
+    List the paper's figures and the benchmark that regenerates each.
+
+Also runnable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.ofdm import intel5300_layout
+from repro.channel.paths import random_profile
+from repro.channel.trace import CsiTrace
+
+
+def _build_system(name: str):
+    from repro.baselines.arraytrack import ArrayTrackEstimator
+    from repro.baselines.spotfi import SpotFiEstimator
+    from repro.core.pipeline import RoArrayEstimator
+
+    systems = {
+        "roarray": RoArrayEstimator,
+        "spotfi": SpotFiEstimator,
+        "arraytrack": ArrayTrackEstimator,
+    }
+    return systems[name]()
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    profile = random_profile(
+        rng,
+        n_paths=args.paths,
+        direct_aoa_deg=args.aoa,
+        direct_toa_s=30e-9,
+    )
+    if args.blockage_db > 0:
+        profile = profile.with_direct_attenuation(args.blockage_db)
+    synthesizer = CsiSynthesizer(
+        UniformLinearArray(), intel5300_layout(), ImpairmentModel(), seed=args.seed
+    )
+    trace = synthesizer.packets(profile, n_packets=args.packets, snr_db=args.snr, rng=rng)
+    trace.save(args.output)
+    print(
+        f"wrote {args.output}: {trace.n_packets} packets, "
+        f"{trace.n_antennas}×{trace.n_subcarriers} CSI, SNR {trace.snr_db:g} dB, "
+        f"direct AoA {trace.direct_aoa_deg:g}°"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import format_spectrum_ascii
+
+    trace = CsiTrace.load(args.trace)
+    system = _build_system(args.system)
+    analysis = system.analyze(trace)
+    print(f"system: {system.name}")
+    print(
+        f"direct path: AoA {analysis.direct.aoa_deg:.1f}°"
+        + ("" if np.isnan(analysis.direct.toa_s) else f", ToA {analysis.direct.toa_s * 1e9:.0f} ns")
+        + f", {analysis.direct.n_paths} path(s) resolved"
+    )
+    if not np.isnan(trace.direct_aoa_deg):
+        print(
+            f"ground truth: AoA {trace.direct_aoa_deg:.1f}° "
+            f"(error {abs(analysis.direct.aoa_deg - trace.direct_aoa_deg):.1f}°)"
+        )
+    if hasattr(system, "aoa_spectrum"):
+        print("AoA spectrum:")
+        print(format_spectrum_ascii(system.aoa_spectrum(trace)))
+    return 0
+
+
+def cmd_localize(args: argparse.Namespace) -> int:
+    from repro.core.localization import ApObservation, localize_weighted_aoa
+    from repro.experiments.runner import _scene_traces
+    from repro.experiments.scenarios import SNR_BANDS, build_random_scene
+
+    rng = np.random.default_rng(args.seed)
+    band = SNR_BANDS[args.band]
+    scene = build_random_scene(rng, n_aps=args.aps)
+    snrs = [band.draw(rng) for _ in range(args.aps)]
+    blockages = [band.draw_blockage(rng) for _ in range(args.aps)]
+    traces = _scene_traces(
+        scene,
+        snr_db_per_ap=snrs,
+        n_packets=args.packets,
+        impairments=ImpairmentModel(),
+        rng=rng,
+        boot_seed=args.seed,
+        blockage_db_per_ap=blockages,
+    )
+    system = _build_system(args.system)
+    observations = []
+    for i, trace in enumerate(traces):
+        analysis = system.analyze(trace)
+        truth = scene.ground_truth_aoa(i)
+        print(
+            f"AP {scene.access_points[i].name:<12} SNR {snrs[i]:5.1f} dB | "
+            f"AoA {analysis.direct.aoa_deg:6.1f}° (truth {truth:6.1f}°)"
+        )
+        observations.append(
+            ApObservation(scene.access_points[i], analysis.direct.aoa_deg, trace.rssi_dbm)
+        )
+    fix = localize_weighted_aoa(observations, scene.room, resolution_m=args.resolution)
+    error = fix.error_to(scene.client)
+    print(
+        f"\nfix ({fix.position[0]:.2f}, {fix.position[1]:.2f}) m | "
+        f"truth ({scene.client[0]:.2f}, {scene.client[1]:.2f}) m | error {error:.2f} m"
+    )
+    return 0
+
+
+FIGURES = {
+    "fig2": ("MUSIC AoA spectra vs SNR", "benchmarks/test_fig2_music_snr.py"),
+    "fig3": ("sparse spectrum vs iterations", "benchmarks/test_fig3_iterations.py"),
+    "fig4": ("single packets vs multi-packet fusion", "benchmarks/test_fig4_joint_fusion.py"),
+    "fig6": ("localization CDFs, 3 systems × 3 SNR bands", "benchmarks/test_fig6_localization_cdf.py"),
+    "fig7": ("AoA-error CDFs, 3 systems × 3 SNR bands", "benchmarks/test_fig7_aoa_cdf.py"),
+    "fig8a": ("accuracy vs number of APs", "benchmarks/test_fig8a_ap_density.py"),
+    "fig8b": ("phase-calibration schemes", "benchmarks/test_fig8b_calibration.py"),
+    "fig8c": ("polarization deviation", "benchmarks/test_fig8c_polarization.py"),
+    "sec3c": ("complexity scaling", "benchmarks/test_complexity_scaling.py"),
+}
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    sections = tuple(args.sections) if args.sections else None
+    markdown = generate_report(scale=args.scale, seed=args.seed, sections=sections)
+    if args.output == "-":
+        print(markdown)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
+    return 0
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    print("paper figure → benchmark (run with: pytest <file> --benchmark-only -s)")
+    for key, (description, path) in FIGURES.items():
+        print(f"  {key:<6} {description:<45} {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="roarray",
+        description="ROArray (ICDCS'17) reproduction — simulate, analyze, localize.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="synthesize a CSI trace to .npz")
+    simulate.add_argument("output", help="output .npz path")
+    simulate.add_argument("--snr", type=float, default=10.0, help="SNR in dB (default 10)")
+    simulate.add_argument("--packets", type=int, default=10, help="packets (default 10)")
+    simulate.add_argument("--paths", type=int, default=4, help="multipath count (default 4)")
+    simulate.add_argument("--aoa", type=float, default=150.0, help="direct-path AoA in deg")
+    simulate.add_argument("--blockage-db", type=float, default=0.0, help="LoS attenuation")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    analyze = subparsers.add_parser("analyze", help="run a system on a saved trace")
+    analyze.add_argument("trace", help=".npz trace path")
+    analyze.add_argument(
+        "--system", choices=("roarray", "spotfi", "arraytrack"), default="roarray"
+    )
+    analyze.set_defaults(handler=cmd_analyze)
+
+    localize = subparsers.add_parser("localize", help="one end-to-end localization round")
+    localize.add_argument(
+        "--system", choices=("roarray", "spotfi", "arraytrack"), default="roarray"
+    )
+    localize.add_argument("--band", choices=("high", "medium", "low"), default="medium")
+    localize.add_argument("--aps", type=int, default=6)
+    localize.add_argument("--packets", type=int, default=10)
+    localize.add_argument("--resolution", type=float, default=0.1)
+    localize.add_argument("--seed", type=int, default=0)
+    localize.set_defaults(handler=cmd_localize)
+
+    figures = subparsers.add_parser("figures", help="map paper figures to benchmarks")
+    figures.set_defaults(handler=cmd_figures)
+
+    report = subparsers.add_parser(
+        "report", help="run the full evaluation and write a markdown report"
+    )
+    report.add_argument("output", help="output .md path (or - for stdout)")
+    report.add_argument("--scale", type=int, default=1, help="location multiplier")
+    report.add_argument("--seed", type=int, default=2017)
+    report.add_argument(
+        "--sections",
+        nargs="+",
+        choices=("fig2", "fig3", "fig4", "bands", "fig8"),
+        default=None,
+        help="subset of sections (default: all)",
+    )
+    report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""2-D (azimuth, elevation) sparse AoA estimation — §IV-F extension.
+
+Runs the same grid-linearized ℓ1 program as :mod:`repro.core.aoa`, but
+against a :class:`~repro.channel.array2d.PlanarArray` dictionary over an
+azimuth × elevation grid.  With both angles resolved, a client's
+bearing survives antenna tilt — the remedy the paper sketches for the
+polarization sensitivity of Fig. 8c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.array2d import PlanarArray
+from repro.exceptions import ConfigurationError, SolverError
+from repro.optim import solve_lasso_fista, solve_mmv_fista
+from repro.optim.linalg import estimate_lipschitz
+from repro.optim.result import SolverResult
+from repro.optim.tuning import residual_kappa
+from repro.spectral.peaks import find_peaks_2d
+
+
+@dataclass(frozen=True)
+class AzimuthElevationGrid:
+    """Sampling grid over azimuth [0°, 360°) × elevation [0°, 90°]."""
+
+    n_azimuths: int = 73
+    n_elevations: int = 10
+    max_elevation_deg: float = 90.0
+
+    def __post_init__(self) -> None:
+        if self.n_azimuths < 2 or self.n_elevations < 2:
+            raise ConfigurationError("need >= 2 grid points per axis")
+        if not 0.0 < self.max_elevation_deg <= 90.0:
+            raise ConfigurationError("max elevation must be in (0, 90]")
+
+    @property
+    def azimuths_deg(self) -> np.ndarray:
+        return np.linspace(0.0, 360.0, self.n_azimuths, endpoint=False)
+
+    @property
+    def elevations_deg(self) -> np.ndarray:
+        return np.linspace(0.0, self.max_elevation_deg, self.n_elevations)
+
+
+@dataclass
+class PlanarSpectrum:
+    """A 2-D spectrum over (azimuth, elevation)."""
+
+    azimuths_deg: np.ndarray
+    elevations_deg: np.ndarray
+    power: np.ndarray
+
+    def __post_init__(self) -> None:
+        expected = (self.azimuths_deg.size, self.elevations_deg.size)
+        if self.power.shape != expected:
+            raise ConfigurationError(
+                f"power shape {self.power.shape} does not match grids {expected}"
+            )
+
+    def strongest_direction(self) -> tuple[float, float]:
+        """(azimuth, elevation) of the global maximum."""
+        i, j = np.unravel_index(int(np.argmax(self.power)), self.power.shape)
+        return float(self.azimuths_deg[i]), float(self.elevations_deg[j])
+
+    def peaks(self, *, max_peaks: int = 6, min_relative_height: float = 0.2):
+        cells = find_peaks_2d(
+            self.power, max_peaks=max_peaks, min_relative_height=min_relative_height
+        )
+        return [
+            (float(self.azimuths_deg[i]), float(self.elevations_deg[j]), float(self.power[i, j]))
+            for i, j in cells
+        ]
+
+    def closest_azimuth_error(self, true_azimuth_deg: float, **peak_kwargs) -> float:
+        """Wrap-aware azimuth error to the nearest peak."""
+        peaks = self.peaks(**peak_kwargs)
+        if not peaks:
+            peaks = [(*self.strongest_direction(), 1.0)]
+        deltas = [abs((az - true_azimuth_deg + 180.0) % 360.0 - 180.0) for az, _, _ in peaks]
+        return min(deltas)
+
+
+def estimate_aoa2d_spectrum(
+    snapshots: np.ndarray,
+    array: PlanarArray,
+    grid: AzimuthElevationGrid | None = None,
+    *,
+    kappa_fraction: float = 0.15,
+    max_iterations: int = 250,
+    dictionary: np.ndarray | None = None,
+    lipschitz: float | None = None,
+) -> tuple[PlanarSpectrum, SolverResult]:
+    """Sparse 2-D AoA spectrum from planar-array snapshots.
+
+    Parameters
+    ----------
+    snapshots:
+        ``(n_elements,)`` for one snapshot or ``(n_elements, N)`` for N
+        snapshots (jointly sparse across them).
+    dictionary / lipschitz:
+        Optional precomputed steering dictionary (elevation-major
+        columns, from :meth:`PlanarArray.steering_matrix`) and its
+        ``‖AᴴA‖₂``.
+    """
+    snapshots = np.asarray(snapshots, dtype=complex)
+    if snapshots.ndim not in (1, 2):
+        raise SolverError(f"snapshots must be 1-D or 2-D, got ndim={snapshots.ndim}")
+    if snapshots.shape[0] != array.n_elements:
+        raise SolverError(
+            f"snapshots have {snapshots.shape[0]} sensors but the array has {array.n_elements}"
+        )
+    grid = grid or AzimuthElevationGrid()
+
+    if dictionary is None:
+        dictionary = array.steering_matrix(grid.azimuths_deg, grid.elevations_deg)
+    if lipschitz is None:
+        lipschitz = estimate_lipschitz(dictionary)
+
+    if snapshots.ndim == 1:
+        kappa = residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
+        result = solve_lasso_fista(
+            dictionary, snapshots, kappa, max_iterations=max_iterations, lipschitz=lipschitz
+        )
+        magnitudes = np.abs(result.x)
+    else:
+        gradient = 2.0 * np.linalg.norm(dictionary.conj().T @ snapshots, axis=1)
+        peak = float(gradient.max(initial=0.0))
+        if peak == 0.0:
+            raise SolverError("snapshots are orthogonal to every steering vector")
+        result = solve_mmv_fista(
+            dictionary,
+            snapshots,
+            kappa_fraction * peak,
+            max_iterations=max_iterations,
+            lipschitz=lipschitz,
+        )
+        magnitudes = np.linalg.norm(result.x, axis=1)
+
+    power = magnitudes.reshape(grid.n_elevations, grid.n_azimuths).T
+    return PlanarSpectrum(grid.azimuths_deg, grid.elevations_deg, power), result

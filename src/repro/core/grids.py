@@ -1,0 +1,72 @@
+"""Sampling grids over angle and delay.
+
+The linearization step of paper §III-A replaces the unknown continuous
+path parameters with a dense, *known* grid: Nθ angles spanning
+[0°, 180°] and (for the joint estimator) Nτ delays spanning
+[0, τmax = 1/fδ].  Grid density trades resolution against the
+O((NθNτ)³) solve cost the paper's §III-C discusses; the defaults below
+match the paper's reported working point (Nθ = 90, Nτ = 50 for the
+joint spectrum, 1°-spaced angles for the spatial-only spectrum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AngleGrid:
+    """Equally spaced AoA candidates over [start, stop] degrees."""
+
+    start_deg: float = 0.0
+    stop_deg: float = 180.0
+    n_points: int = 181
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_deg < self.stop_deg <= 180.0:
+            raise ConfigurationError(
+                f"angle grid must satisfy 0 <= start < stop <= 180, got [{self.start_deg}, {self.stop_deg}]"
+            )
+        if self.n_points < 2:
+            raise ConfigurationError(f"angle grid needs >= 2 points, got {self.n_points}")
+
+    @property
+    def angles_deg(self) -> np.ndarray:
+        return np.linspace(self.start_deg, self.stop_deg, self.n_points)
+
+    @property
+    def spacing_deg(self) -> float:
+        return (self.stop_deg - self.start_deg) / (self.n_points - 1)
+
+
+@dataclass(frozen=True)
+class DelayGrid:
+    """Equally spaced ToA candidates over [start, stop] seconds.
+
+    ``stop_s`` defaults to the Intel 5300's unambiguous range
+    τmax = 1/fδ = 800 ns; delays beyond it alias (paper §III-B).
+    """
+
+    start_s: float = 0.0
+    stop_s: float = 800e-9
+    n_points: int = 50
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_s < self.stop_s:
+            raise ConfigurationError(
+                f"delay grid must satisfy 0 <= start < stop, got [{self.start_s}, {self.stop_s}]"
+            )
+        if self.n_points < 2:
+            raise ConfigurationError(f"delay grid needs >= 2 points, got {self.n_points}")
+
+    @property
+    def toas_s(self) -> np.ndarray:
+        return np.linspace(self.start_s, self.stop_s, self.n_points)
+
+    @property
+    def spacing_s(self) -> float:
+        return (self.stop_s - self.start_s) / (self.n_points - 1)

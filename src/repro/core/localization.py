@@ -1,0 +1,116 @@
+"""Multi-AP localization (paper §III-D, Eq. 19).
+
+Given one direct-path AoA estimate per AP, ROArray searches a 10 cm
+candidate grid over the room and picks the location minimizing the
+RSSI-weighted squared AoA deviation
+
+    min_p  Σᵢ Rᵢ · (ϕᵢ(p) − ϕ̂ᵢ)²
+
+where ``ϕᵢ(p)`` is the angle AP *i* would see for a client at ``p``.
+RSSI enters as a *relative* weight — stronger links are trusted more —
+so we map dBm to linear received power and normalize; any monotone map
+preserves the paper's intent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.geometry import AccessPoint, Room
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ApObservation:
+    """One AP's contribution to localization."""
+
+    access_point: AccessPoint
+    aoa_deg: float
+    rssi_dbm: float = -50.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.aoa_deg <= 180.0:
+            raise ConfigurationError(f"aoa_deg must be in [0, 180], got {self.aoa_deg}")
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """The located position and the residual cost at the optimum."""
+
+    position: tuple[float, float]
+    cost: float
+
+    def error_to(self, true_position: tuple[float, float]) -> float:
+        """Euclidean localization error in meters."""
+        dx = self.position[0] - true_position[0]
+        dy = self.position[1] - true_position[1]
+        return float(np.hypot(dx, dy))
+
+
+def rssi_weights(rssi_dbm: np.ndarray) -> np.ndarray:
+    """Normalized linear-power weights from dBm RSSIs.
+
+    The strongest AP gets the largest weight; weights sum to 1.  RSSIs
+    are first clipped to a 30 dB dynamic range below the best link so a
+    single deeply faded AP cannot be assigned a numerically zero weight.
+    """
+    rssi_dbm = np.asarray(rssi_dbm, dtype=float)
+    if rssi_dbm.size == 0:
+        raise ConfigurationError("need at least one RSSI")
+    clipped = np.maximum(rssi_dbm, rssi_dbm.max() - 30.0)
+    linear = 10.0 ** (clipped / 10.0)
+    return linear / linear.sum()
+
+
+def predicted_aoa_grid(
+    access_point: AccessPoint, xs: np.ndarray, ys: np.ndarray
+) -> np.ndarray:
+    """AoA (degrees) AP would observe for a client at each (x, y) grid cell.
+
+    Returns an array of shape ``(len(xs), len(ys))``.
+    """
+    gx, gy = np.meshgrid(xs, ys, indexing="ij")
+    dx = gx - access_point.position[0]
+    dy = gy - access_point.position[1]
+    distance = np.hypot(dx, dy)
+    distance = np.where(distance == 0, np.finfo(float).eps, distance)
+    axis = access_point.axis_unit
+    cosine = np.clip((dx * axis[0] + dy * axis[1]) / distance, -1.0, 1.0)
+    return np.rad2deg(np.arccos(cosine))
+
+
+def localize_weighted_aoa(
+    observations: list[ApObservation],
+    room: Room,
+    *,
+    resolution_m: float = 0.1,
+) -> LocalizationResult:
+    """Paper Eq. 19: weighted AoA grid search over the room.
+
+    Parameters
+    ----------
+    observations:
+        Direct-path AoA + RSSI per AP; at least two APs are required for
+        an unambiguous fix with a 1-D angle each.
+    resolution_m:
+        Candidate grid pitch (the paper uses 10 cm).
+    """
+    if len(observations) < 2:
+        raise ConfigurationError(f"localization needs >= 2 APs, got {len(observations)}")
+    if resolution_m <= 0:
+        raise ConfigurationError(f"resolution must be positive, got {resolution_m}")
+
+    xs = np.arange(0.0, room.width + resolution_m / 2, resolution_m)
+    ys = np.arange(0.0, room.depth + resolution_m / 2, resolution_m)
+
+    weights = rssi_weights(np.array([obs.rssi_dbm for obs in observations]))
+    cost = np.zeros((xs.size, ys.size))
+    for weight, obs in zip(weights, observations):
+        predicted = predicted_aoa_grid(obs.access_point, xs, ys)
+        cost += weight * (predicted - obs.aoa_deg) ** 2
+
+    best = int(np.argmin(cost))
+    i, j = np.unravel_index(best, cost.shape)
+    return LocalizationResult(position=(float(xs[i]), float(ys[j])), cost=float(cost[i, j]))

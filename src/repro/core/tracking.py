@@ -1,0 +1,139 @@
+"""Position tracking over per-fix localization estimates.
+
+ROArray produces an independent position fix per packet burst; a moving
+client benefits from fusing consecutive fixes with a motion model.
+This module implements a constant-velocity Kalman filter over the 2-D
+fix stream — the standard downstream smoother a deployment would put
+behind the localizer — plus an innovation gate that rejects the gross
+outliers low-SNR fixes occasionally produce.
+
+State: ``[x, y, vx, vy]``; measurements: raw (x, y) fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class TrackState:
+    """Posterior state after one tracker update."""
+
+    time_s: float
+    position: tuple[float, float]
+    velocity: tuple[float, float]
+    accepted: bool
+
+
+@dataclass
+class KalmanTracker:
+    """Constant-velocity Kalman filter with innovation gating.
+
+    Attributes
+    ----------
+    process_noise:
+        Acceleration noise density (m/s²); ~0.5 suits pedestrians.
+    measurement_noise_m:
+        Standard deviation of a localization fix (meters).  ROArray's
+        medium-SNR fixes are ~0.5 m.
+    gate_sigmas:
+        Mahalanobis gate: fixes farther than this many standard
+        deviations from the prediction are rejected (the filter coasts).
+    """
+
+    process_noise: float = 0.5
+    measurement_noise_m: float = 0.7
+    gate_sigmas: float = 4.0
+
+    _state: np.ndarray | None = field(default=None, repr=False)
+    _covariance: np.ndarray | None = field(default=None, repr=False)
+    _last_time: float = field(default=0.0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.process_noise <= 0 or self.measurement_noise_m <= 0:
+            raise ConfigurationError("noise parameters must be positive")
+        if self.gate_sigmas <= 0:
+            raise ConfigurationError("gate_sigmas must be positive")
+
+    @property
+    def initialized(self) -> bool:
+        return self._state is not None
+
+    def update(self, time_s: float, fix: tuple[float, float]) -> TrackState:
+        """Ingest one localization fix; returns the posterior state.
+
+        The first fix initializes the track (zero velocity, wide
+        covariance).  Later fixes are gated: an implausible fix is
+        rejected and the filter returns the coasted prediction.
+        """
+        measurement = np.asarray(fix, dtype=float)
+        if measurement.shape != (2,):
+            raise ConfigurationError(f"fix must be (x, y), got shape {measurement.shape}")
+
+        if self._state is None:
+            self._state = np.array([measurement[0], measurement[1], 0.0, 0.0])
+            self._covariance = np.diag(
+                [self.measurement_noise_m**2, self.measurement_noise_m**2, 4.0, 4.0]
+            )
+            self._last_time = time_s
+            return TrackState(time_s, tuple(measurement), (0.0, 0.0), accepted=True)
+
+        dt = time_s - self._last_time
+        if dt < 0:
+            raise ConfigurationError(f"time went backwards: {self._last_time} → {time_s}")
+        dt = max(dt, 1e-6)
+        self._last_time = time_s
+
+        # Predict.
+        transition = np.eye(4)
+        transition[0, 2] = transition[1, 3] = dt
+        q = self.process_noise**2
+        process = np.array(
+            [
+                [dt**4 / 4, 0, dt**3 / 2, 0],
+                [0, dt**4 / 4, 0, dt**3 / 2],
+                [dt**3 / 2, 0, dt**2, 0],
+                [0, dt**3 / 2, 0, dt**2],
+            ]
+        ) * q
+        state = transition @ self._state
+        covariance = transition @ self._covariance @ transition.T + process
+
+        # Gate.
+        observation = np.zeros((2, 4))
+        observation[0, 0] = observation[1, 1] = 1.0
+        innovation = measurement - observation @ state
+        innovation_cov = (
+            observation @ covariance @ observation.T
+            + self.measurement_noise_m**2 * np.eye(2)
+        )
+        mahalanobis = float(innovation @ np.linalg.solve(innovation_cov, innovation))
+        accepted = mahalanobis <= self.gate_sigmas**2
+
+        if accepted:
+            gain = covariance @ observation.T @ np.linalg.inv(innovation_cov)
+            state = state + gain @ innovation
+            covariance = (np.eye(4) - gain @ observation) @ covariance
+
+        self._state = state
+        self._covariance = covariance
+        return TrackState(
+            time_s=time_s,
+            position=(float(state[0]), float(state[1])),
+            velocity=(float(state[2]), float(state[3])),
+            accepted=accepted,
+        )
+
+
+def track_fixes(
+    fixes: list[tuple[float, tuple[float, float]]],
+    *,
+    tracker: KalmanTracker | None = None,
+) -> list[TrackState]:
+    """Run a tracker over a (time, fix) sequence and return all states."""
+    tracker = tracker or KalmanTracker()
+    return [tracker.update(t, fix) for t, fix in fixes]

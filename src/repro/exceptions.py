@@ -1,0 +1,26 @@
+"""Exception hierarchy for the ROArray reproduction.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing subsystems.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class SolverError(ReproError):
+    """A sparse-recovery solver received bad input or failed to make progress."""
+
+
+class GeometryError(ReproError):
+    """A scene/geometry construction is degenerate (e.g. AP outside room)."""
+
+
+class CalibrationError(ReproError):
+    """Phase calibration could not be performed with the given measurements."""

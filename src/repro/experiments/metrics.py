@@ -1,0 +1,65 @@
+"""Error statistics: the CDFs, medians and percentiles the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class ErrorCdf:
+    """An empirical error distribution.
+
+    Wraps a sample of non-negative errors (meters or degrees) and
+    exposes exactly the statistics the paper's figures use: the
+    empirical CDF curve, the median, and arbitrary percentiles (the
+    paper quotes medians and 90th percentiles).
+    """
+
+    samples: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.samples = np.asarray(self.samples, dtype=float).ravel()
+        if self.samples.size == 0:
+            raise ConfigurationError("an error CDF needs at least one sample")
+        if np.any(self.samples < 0) or not np.all(np.isfinite(self.samples)):
+            raise ConfigurationError("error samples must be finite and non-negative")
+
+    def __len__(self) -> int:
+        return self.samples.size
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.samples))
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 100:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.samples, q))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.samples))
+
+    def cdf_points(self) -> tuple[np.ndarray, np.ndarray]:
+        """(sorted errors, cumulative fractions) — the paper's CDF curves."""
+        ordered = np.sort(self.samples)
+        fractions = np.arange(1, ordered.size + 1) / ordered.size
+        return ordered, fractions
+
+    def fraction_below(self, threshold: float) -> float:
+        """P(error ≤ threshold)."""
+        return float(np.mean(self.samples <= threshold))
+
+
+def summarize_systems(errors_by_system: dict[str, ErrorCdf], *, unit: str = "m") -> str:
+    """A plain-text table of median / 90th percentile per system."""
+    lines = [f"{'system':<12} {'median':>10} {'p90':>10}  (n)"]
+    for name, cdf in errors_by_system.items():
+        lines.append(
+            f"{name:<12} {cdf.median:>8.2f} {unit} {cdf.percentile(90):>8.2f} {unit}  ({len(cdf)})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment results.
+
+The benchmarks print these blocks so the regenerated "figures" are
+readable in CI logs; EXPERIMENTS.md records them next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.metrics import ErrorCdf
+from repro.spectral.spectrum import AngleSpectrum
+
+
+def format_cdf_series(cdf: ErrorCdf, *, thresholds: tuple[float, ...], unit: str = "m") -> str:
+    """One CDF curve as 'P(err <= t)' rows — the figures' y-axis samples."""
+    rows = [f"  P(err <= {t:g} {unit}) = {cdf.fraction_below(t):.2f}" for t in thresholds]
+    return "\n".join(rows)
+
+
+def format_comparison(
+    cdfs: dict[str, ErrorCdf], *, unit: str = "m", thresholds: tuple[float, ...] = ()
+) -> str:
+    """Median/90th table plus optional CDF samples for several systems."""
+    lines = []
+    for name, cdf in cdfs.items():
+        lines.append(
+            f"{name:<12} median={cdf.median:.2f} {unit}  p90={cdf.percentile(90):.2f} {unit}  n={len(cdf)}"
+        )
+        if thresholds:
+            lines.append(format_cdf_series(cdf, thresholds=thresholds, unit=unit))
+    return "\n".join(lines)
+
+
+def format_spectrum_ascii(spectrum: AngleSpectrum, *, width: int = 60, height: int = 8) -> str:
+    """A small ASCII rendering of an AoA spectrum (for logs, not plots)."""
+    normalized = spectrum.normalized()
+    n = normalized.power.size
+    bins = np.array_split(np.arange(n), width)
+    columns = np.array([normalized.power[b].max() if b.size else 0.0 for b in bins])
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = (level - 0.5) / height
+        rows.append("".join("#" if c >= threshold else " " for c in columns))
+    axis = f"{spectrum.angles_deg[0]:.0f}°{' ' * (width - 10)}{spectrum.angles_deg[-1]:.0f}°"
+    return "\n".join(rows + [axis])

@@ -1,0 +1,133 @@
+"""The synthetic classroom testbed and SNR regimes.
+
+The paper's testbed (Fig. 5) is an 18 m × 12 m classroom with six
+3-antenna APs and 300 tested client locations; scenarios are binned by
+SNR into high (≥15 dB), medium ((2, 15) dB) and low (≤2 dB) regimes
+(§IV-B).  This module generates matching synthetic scenes: APs on the
+walls facing inward, clients sampled uniformly inside a safety margin,
+and a few random scatterers so every link sees a rich multipath
+profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.geometry import AccessPoint, Room, Scene
+from repro.exceptions import ConfigurationError
+
+
+def classroom_room(*, reflection_coefficient: float = 0.5) -> Room:
+    """The 18 m × 12 m room of paper Fig. 5."""
+    return Room(width=18.0, depth=12.0, reflection_coefficient=reflection_coefficient)
+
+
+def classroom_access_points(n_aps: int = 6, room: Room | None = None) -> list[AccessPoint]:
+    """Wall-mounted APs with array axes along their wall, facing inward.
+
+    The first six placements mimic a practical deployment: one AP per
+    short wall, two per long wall.  ``n_aps < 6`` keeps a well-spread
+    prefix (used by the Fig. 8a AP-density sweep).
+    """
+    room = room or classroom_room()
+    w, d = room.width, room.depth
+    placements = [
+        AccessPoint(position=(0.0, d / 2), axis_direction_deg=90.0, name="ap-west"),
+        AccessPoint(position=(w, d / 2), axis_direction_deg=90.0, name="ap-east"),
+        AccessPoint(position=(w / 4, 0.0), axis_direction_deg=0.0, name="ap-south-1"),
+        AccessPoint(position=(3 * w / 4, d), axis_direction_deg=0.0, name="ap-north-2"),
+        AccessPoint(position=(3 * w / 4, 0.0), axis_direction_deg=0.0, name="ap-south-2"),
+        AccessPoint(position=(w / 4, d), axis_direction_deg=0.0, name="ap-north-1"),
+    ]
+    if not 1 <= n_aps <= len(placements):
+        raise ConfigurationError(f"n_aps must be in [1, {len(placements)}], got {n_aps}")
+    return placements[:n_aps]
+
+
+def sample_client_position(rng: np.random.Generator, room: Room, *, margin: float = 1.0) -> tuple[float, float]:
+    """A client location uniformly inside the room, away from the walls."""
+    if margin * 2 >= min(room.width, room.depth):
+        raise ConfigurationError(f"margin {margin} leaves no interior in {room.width}×{room.depth}")
+    x = float(rng.uniform(margin, room.width - margin))
+    y = float(rng.uniform(margin, room.depth - margin))
+    return (x, y)
+
+
+def sample_scatterers(
+    rng: np.random.Generator, room: Room, *, n_scatterers: int = 3, margin: float = 0.5
+) -> list[tuple[float, float]]:
+    """Random point scatterers (furniture, people) inside the room."""
+    return [
+        (
+            float(rng.uniform(margin, room.width - margin)),
+            float(rng.uniform(margin, room.depth - margin)),
+        )
+        for _ in range(n_scatterers)
+    ]
+
+
+def build_random_scene(
+    rng: np.random.Generator,
+    *,
+    n_aps: int = 6,
+    n_scatterers: int = 3,
+    room: Room | None = None,
+) -> Scene:
+    """One random test location in the classroom, with scatterers."""
+    room = room or classroom_room()
+    return Scene(
+        room=room,
+        access_points=classroom_access_points(n_aps, room),
+        client=sample_client_position(rng, room),
+        scatterers=sample_scatterers(rng, room, n_scatterers=n_scatterers),
+    )
+
+
+@dataclass(frozen=True)
+class SnrBand:
+    """One of the paper's SNR regimes.
+
+    Besides the SNR interval, a band carries the *physical cause* of its
+    SNR: low-SNR links are low-SNR because the LoS path is obstructed
+    ("far away from APs, serious NLoS, and interference", paper §V), so
+    lower bands also draw a direct-path blockage attenuation.  This is
+    what makes the regime genuinely hard — reflections rival the direct
+    path — rather than merely noisy.
+    """
+
+    name: str
+    low_db: float
+    high_db: float
+    blockage_low_db: float = 0.0
+    blockage_high_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.high_db <= self.low_db:
+            raise ConfigurationError(f"empty SNR band [{self.low_db}, {self.high_db}]")
+        if self.blockage_low_db < 0 or self.blockage_high_db < self.blockage_low_db:
+            raise ConfigurationError(
+                f"bad blockage range [{self.blockage_low_db}, {self.blockage_high_db}]"
+            )
+
+    def draw(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low_db, self.high_db))
+
+    def draw_blockage(self, rng: np.random.Generator) -> float:
+        if self.blockage_high_db == self.blockage_low_db:
+            return self.blockage_low_db
+        return float(rng.uniform(self.blockage_low_db, self.blockage_high_db))
+
+    def contains(self, snr_db: float) -> bool:
+        return self.low_db <= snr_db <= self.high_db
+
+
+SNR_BANDS: dict[str, SnrBand] = {
+    # The paper's bins are high [15, ∞), medium (2, 15), low (−∞, 2];
+    # the open ends are truncated to realistic WiFi extremes.  Blockage
+    # grows as the SNR drops, reflecting the physical cause.
+    "high": SnrBand("high", 15.0, 25.0, 0.0, 2.0),
+    "medium": SnrBand("medium", 2.0, 15.0, 2.0, 7.0),
+    "low": SnrBand("low", -3.0, 2.0, 6.0, 13.0),
+}

@@ -1,0 +1,135 @@
+"""ADMM for the complex LASSO.
+
+Solves the same program as :mod:`repro.optim.fista`,
+
+    min_x  ‖A x − y‖₂² + κ ‖x‖₁,
+
+by the alternating direction method of multipliers (Boyd et al. [18] in
+the paper's bibliography).  ADMM trades a one-time factorization of
+``AᴴA + ρI`` for very cheap iterations, which wins when the same
+dictionary is solved against many right-hand sides — exactly the
+multi-AP, multi-location sweeps of the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import SolverError
+from repro.optim.fista import lasso_objective
+from repro.optim.linalg import soft_threshold, validate_system
+from repro.optim.result import SolverResult
+
+
+class CachedAdmmFactors:
+    """Pre-factorized normal equations for repeated ADMM solves.
+
+    For an ``(m, n)`` dictionary with ``m < n`` (always the case for the
+    paper's overcomplete grids) we factor the *small* ``m × m`` system
+    via the matrix-inversion lemma:
+
+        (AᴴA + ρI)⁻¹ = (I − Aᴴ(ρI + AAᴴ)⁻¹A) / ρ
+    """
+
+    def __init__(self, matrix: np.ndarray, rho: float) -> None:
+        if rho <= 0:
+            raise SolverError(f"rho must be positive, got {rho}")
+        self.matrix = matrix
+        self.rho = rho
+        m, n = matrix.shape
+        self.wide = m < n
+        if self.wide:
+            gram_small = matrix @ matrix.conj().T
+            self._factor = scipy.linalg.cho_factor(gram_small + rho * np.eye(m))
+        else:
+            gram = matrix.conj().T @ matrix
+            self._factor = scipy.linalg.cho_factor(gram + rho * np.eye(n))
+
+    def solve(self, q: np.ndarray) -> np.ndarray:
+        """Return ``(AᴴA + ρI)⁻¹ q``."""
+        if self.wide:
+            inner = scipy.linalg.cho_solve(self._factor, self.matrix @ q)
+            return (q - self.matrix.conj().T @ inner) / self.rho
+        return scipy.linalg.cho_solve(self._factor, q)
+
+
+def solve_lasso_admm(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    kappa: float,
+    *,
+    rho: float | None = None,
+    max_iterations: int = 500,
+    tolerance: float = 1e-6,
+    factors: CachedAdmmFactors | None = None,
+    track_history: bool = False,
+) -> SolverResult:
+    """Solve ``min ‖Ax − y‖₂² + κ‖x‖₁`` by ADMM.
+
+    Parameters
+    ----------
+    rho:
+        ADMM penalty parameter.  The default (``None``) auto-scales to
+        ``max(κ, 1)``, which keeps the z-update threshold ``κ/(2ρ)``
+        near unity — a ρ far below κ makes the shrinkage step so
+        aggressive that the iterates crawl away from zero.
+    factors:
+        Optional pre-built :class:`CachedAdmmFactors` for ``(matrix,
+        rho)``; build once and reuse across right-hand sides.
+
+    Notes
+    -----
+    The split is ``min ‖Ax − y‖² + κ‖z‖₁  s.t. x = z``.  With the
+    data term written as ``‖Ax − y‖²`` (no ½ factor, matching the
+    paper's Eq. 11) the x-update solves ``(2AᴴA + ρI)x = 2Aᴴy + ρ(z −
+    u)``; we fold the factor 2 into the cached factorization by scaling.
+    """
+    validate_system(matrix, rhs)
+    if rhs.ndim != 1:
+        raise SolverError("solve_lasso_admm expects a 1-D measurement vector")
+    if kappa < 0:
+        raise SolverError(f"kappa must be non-negative, got {kappa}")
+
+    n = matrix.shape[1]
+    # Work with the equivalent 1/2-scaled objective: min ½‖Ax−y‖² + (κ/2)‖x‖₁
+    # which has the same minimizer as Eq. 11 and the textbook ADMM updates.
+    half_kappa = kappa / 2.0
+
+    if rho is None:
+        rho = factors.rho if factors is not None else max(kappa, 1.0)
+    if factors is None:
+        factors = CachedAdmmFactors(matrix, rho)
+    elif factors.matrix is not matrix or factors.rho != rho:
+        raise SolverError("provided CachedAdmmFactors were built for a different (matrix, rho)")
+
+    atb = matrix.conj().T @ rhs
+    x = np.zeros(n, dtype=complex)
+    z = np.zeros(n, dtype=complex)
+    u = np.zeros(n, dtype=complex)
+
+    history: list[float] = []
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        x = factors.solve(atb + rho * (z - u))
+        z_prev = z
+        z = soft_threshold(x + u, half_kappa / rho)
+        u = u + x - z
+
+        primal_residual = np.linalg.norm(x - z)
+        dual_residual = rho * np.linalg.norm(z - z_prev)
+        if track_history:
+            history.append(lasso_objective(matrix, rhs, z, kappa))
+        scale = max(1.0, float(np.linalg.norm(z)))
+        if primal_residual <= tolerance * scale and dual_residual <= tolerance * scale:
+            converged = True
+            break
+
+    return SolverResult(
+        x=z,
+        objective=lasso_objective(matrix, rhs, z, kappa),
+        iterations=iterations,
+        converged=converged,
+        history=history,
+    )

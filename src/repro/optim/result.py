@@ -1,0 +1,58 @@
+"""Common result container for the sparse-recovery solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class SolverResult:
+    """Outcome of one sparse-recovery solve.
+
+    Attributes
+    ----------
+    x:
+        The recovered coefficient vector (1-D, complex) or matrix (2-D for
+        the MMV solver: one row per dictionary atom, one column per
+        snapshot).
+    objective:
+        Final value of the solver's objective function.
+    iterations:
+        Number of iterations actually performed.
+    converged:
+        ``True`` when the stopping tolerance was met before the iteration
+        cap; ``False`` when the solver ran out of iterations.  A
+        non-converged result is still usable — FISTA/ADMM iterates are
+        feasible at every step — which is what paper Fig. 3 exploits when
+        it shows spectra after 3/6/9/14 iterations.
+    history:
+        Per-iteration objective values (empty if tracking was disabled).
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+    converged: bool
+    history: list[float] = field(default_factory=list)
+
+    @property
+    def support(self) -> np.ndarray:
+        """Indices of the nonzero entries (rows for MMV) of ``x``."""
+        if self.x.ndim == 1:
+            magnitude = np.abs(self.x)
+        else:
+            magnitude = np.linalg.norm(self.x, axis=1)
+        return np.flatnonzero(magnitude > 0)
+
+    def sparsity(self, rtol: float = 1e-3) -> int:
+        """Number of entries whose magnitude exceeds ``rtol`` × the peak."""
+        if self.x.ndim == 1:
+            magnitude = np.abs(self.x)
+        else:
+            magnitude = np.linalg.norm(self.x, axis=1)
+        peak = magnitude.max(initial=0.0)
+        if peak == 0.0:
+            return 0
+        return int(np.count_nonzero(magnitude > rtol * peak))

@@ -1,0 +1,103 @@
+"""Iteratively reweighted ℓ1 minimization (Candès–Wakin–Boyd).
+
+The plain ℓ1 penalty is biased: large coefficients pay more than small
+ones, so recovered peaks are shrunk and faint paths can be drowned by
+the bias of strong ones.  Reweighted ℓ1 alternates LASSO solves with
+per-atom weights ``w_i = 1 / (|x_i| + ε)``, which approximates the ℓ0
+penalty and yields visibly sharper spectra — a standard upgrade for
+sparse DOA estimation built directly on the machinery the paper uses
+(ref. [23] is Candès & Wakin).
+
+Implementation note: a weighted LASSO ``min ‖Ax−y‖² + κ‖Wx‖₁`` is the
+plain LASSO in the variables ``z = Wx`` with columns of ``A`` scaled by
+``1/w_i``, so each outer iteration reuses :func:`solve_lasso_fista`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.optim.fista import lasso_objective, solve_lasso_fista
+from repro.optim.linalg import validate_system
+from repro.optim.result import SolverResult
+
+
+def solve_reweighted_lasso(
+    matrix: np.ndarray,
+    rhs: np.ndarray,
+    kappa: float,
+    *,
+    reweight_iterations: int = 3,
+    epsilon: float | None = None,
+    inner_iterations: int = 200,
+    tolerance: float = 1e-6,
+) -> SolverResult:
+    """Reweighted-ℓ1 sparse recovery.
+
+    Parameters
+    ----------
+    matrix / rhs / kappa:
+        As in :func:`repro.optim.fista.solve_lasso_fista`; κ applies to
+        the *first* (unweighted) pass.
+    reweight_iterations:
+        Number of reweighting passes after the initial solve.  2–4 is
+        the standard range; returns diminish quickly.
+    epsilon:
+        Stability floor in the weight ``1/(|x| + ε)``.  Defaults to 10%
+        of the first pass's peak magnitude — large enough that zero
+        coefficients get a finite (not crushing) weight, small enough
+        that strong atoms become nearly free.
+    inner_iterations / tolerance:
+        Passed to the inner FISTA solves.
+
+    Returns
+    -------
+    SolverResult
+        ``iterations`` counts the total inner FISTA iterations across
+        all passes; ``history`` holds the objective after each outer
+        pass (measured with the *unweighted* κ‖x‖₁ for comparability).
+    """
+    validate_system(matrix, rhs)
+    if rhs.ndim != 1:
+        raise SolverError("solve_reweighted_lasso expects a 1-D measurement vector")
+    if reweight_iterations < 0:
+        raise SolverError(f"reweight_iterations must be >= 0, got {reweight_iterations}")
+    if epsilon is not None and epsilon <= 0:
+        raise SolverError(f"epsilon must be positive, got {epsilon}")
+
+    first = solve_lasso_fista(
+        matrix, rhs, kappa, max_iterations=inner_iterations, tolerance=tolerance
+    )
+    x = first.x
+    total_inner = first.iterations
+    history = [lasso_objective(matrix, rhs, x, kappa)]
+
+    peak = float(np.abs(x).max(initial=0.0))
+    if peak == 0.0:
+        # Everything thresholded away on the first pass; reweighting
+        # cannot resurrect it.
+        return SolverResult(x=x, objective=history[0], iterations=total_inner,
+                            converged=first.converged, history=history)
+    floor = epsilon if epsilon is not None else 0.1 * peak
+
+    for _ in range(reweight_iterations):
+        weights = 1.0 / (np.abs(x) + floor)
+        # Normalize so atoms currently at zero keep the original κ while
+        # strong atoms become nearly penalty-free (the debiasing effect).
+        weights /= weights.max()
+        scaled_matrix = matrix / weights[None, :]
+        inner = solve_lasso_fista(
+            scaled_matrix, rhs, kappa, max_iterations=inner_iterations, tolerance=tolerance
+        )
+        x = inner.x / weights
+        total_inner += inner.iterations
+        history.append(lasso_objective(matrix, rhs, x, kappa))
+
+    return SolverResult(
+        x=x,
+        objective=history[-1],
+        iterations=total_inner,
+        converged=True,
+        history=history,
+    )

@@ -1,0 +1,20 @@
+"""Shared spectrum containers and peak finding.
+
+Every estimator in this package — MUSIC, SpotFi, ArrayTrack and ROArray
+itself — ultimately produces either a 1-D AoA spectrum or a 2-D
+(AoA, ToA) spectrum and reads off its peaks.  This subpackage holds the
+common containers (:class:`AngleSpectrum`, :class:`JointSpectrum`) and
+the peak detectors so the systems are compared on identical
+post-processing.
+"""
+
+from repro.spectral.peaks import find_peaks_1d, find_peaks_2d
+from repro.spectral.spectrum import AngleSpectrum, JointSpectrum, SpectrumPeak
+
+__all__ = [
+    "AngleSpectrum",
+    "JointSpectrum",
+    "SpectrumPeak",
+    "find_peaks_1d",
+    "find_peaks_2d",
+]

@@ -1,0 +1,98 @@
+"""Local-maximum peak detection on 1-D and 2-D sampled spectra."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def find_peaks_1d(
+    values: np.ndarray,
+    *,
+    max_peaks: int | None = None,
+    min_relative_height: float = 0.05,
+) -> list[int]:
+    """Indices of local maxima, strongest first.
+
+    A sample is a peak when it is at least as large as both neighbors
+    (array ends count as peaks when they dominate their single
+    neighbor) and reaches ``min_relative_height`` × the global maximum.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ConfigurationError(f"find_peaks_1d expects 1-D input, got ndim={values.ndim}")
+    n = values.size
+    if n == 0:
+        return []
+    if n == 1:
+        return [0] if values[0] > 0 else []
+
+    peak = values.max()
+    if peak <= 0:
+        return []
+    floor = min_relative_height * peak
+
+    candidates: list[int] = []
+    for i in range(n):
+        left = values[i - 1] if i > 0 else -np.inf
+        right = values[i + 1] if i < n - 1 else -np.inf
+        if values[i] >= floor and values[i] >= left and values[i] >= right:
+            # Skip plateau duplicates: only the first sample of a flat run counts.
+            if i > 0 and values[i] == values[i - 1] and (i - 1) in candidates:
+                continue
+            candidates.append(i)
+
+    candidates.sort(key=lambda i: values[i], reverse=True)
+    if max_peaks is not None:
+        candidates = candidates[:max_peaks]
+    return candidates
+
+
+def find_peaks_2d(
+    values: np.ndarray,
+    *,
+    max_peaks: int | None = None,
+    min_relative_height: float = 0.05,
+) -> list[tuple[int, int]]:
+    """(row, col) indices of 2-D local maxima, strongest first.
+
+    A cell is a peak when it dominates its 8-neighborhood (edges use the
+    available neighbors) and reaches ``min_relative_height`` × the
+    global maximum.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError(f"find_peaks_2d expects 2-D input, got ndim={values.ndim}")
+    if values.size == 0:
+        return []
+    peak = values.max()
+    if peak <= 0:
+        return []
+    floor = min_relative_height * peak
+
+    padded = np.full((values.shape[0] + 2, values.shape[1] + 2), -np.inf)
+    padded[1:-1, 1:-1] = values
+    center = padded[1:-1, 1:-1]
+    is_peak = center >= floor
+    for dr in (-1, 0, 1):
+        for dc in (-1, 0, 1):
+            if dr == 0 and dc == 0:
+                continue
+            neighbor = padded[1 + dr : padded.shape[0] - 1 + dr, 1 + dc : padded.shape[1] - 1 + dc]
+            is_peak &= center >= neighbor
+
+    rows, cols = np.nonzero(is_peak)
+    order = np.argsort(values[rows, cols])[::-1]
+    results = [(int(rows[i]), int(cols[i])) for i in order]
+
+    # Deduplicate plateau runs: keep one representative per connected flat peak.
+    deduped: list[tuple[int, int]] = []
+    for r, c in results:
+        if any(abs(r - r2) <= 1 and abs(c - c2) <= 1 and values[r, c] == values[r2, c2] for r2, c2 in deduped):
+            continue
+        deduped.append((r, c))
+
+    if max_peaks is not None:
+        deduped = deduped[:max_peaks]
+    return deduped

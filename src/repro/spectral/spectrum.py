@@ -1,0 +1,151 @@
+"""Spectrum containers: the objects the paper's figures plot.
+
+An :class:`AngleSpectrum` is the polar curve of paper Figs. 2–3; a
+:class:`JointSpectrum` is the 2-D (ToA, AoA) heat map of paper Fig. 4.
+Both normalize power to [0, 1] like the paper's plots ("the power in
+the y-axis is normalized for all scenarios", Fig. 2 caption) and expose
+peak extraction through the shared detectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.spectral.peaks import find_peaks_1d, find_peaks_2d
+
+
+@dataclass(frozen=True)
+class SpectrumPeak:
+    """One extracted path estimate."""
+
+    aoa_deg: float
+    power: float
+    toa_s: float = float("nan")
+
+    @property
+    def has_toa(self) -> bool:
+        return not np.isnan(self.toa_s)
+
+
+@dataclass
+class AngleSpectrum:
+    """A 1-D AoA spectrum sampled on an angle grid."""
+
+    angles_deg: np.ndarray
+    power: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.angles_deg = np.asarray(self.angles_deg, dtype=float)
+        self.power = np.asarray(self.power, dtype=float)
+        if self.angles_deg.shape != self.power.shape or self.angles_deg.ndim != 1:
+            raise ConfigurationError(
+                f"angle grid {self.angles_deg.shape} and power {self.power.shape} must be equal 1-D shapes"
+            )
+        if np.any(self.power < 0):
+            raise ConfigurationError("spectrum power must be non-negative")
+
+    def normalized(self) -> "AngleSpectrum":
+        """Peak-normalized copy (paper figures plot power in [0, 1])."""
+        peak = self.power.max(initial=0.0)
+        if peak == 0:
+            return AngleSpectrum(self.angles_deg.copy(), self.power.copy())
+        return AngleSpectrum(self.angles_deg.copy(), self.power / peak)
+
+    def peaks(self, *, max_peaks: int | None = None, min_relative_height: float = 0.05) -> list[SpectrumPeak]:
+        indices = find_peaks_1d(
+            self.power, max_peaks=max_peaks, min_relative_height=min_relative_height
+        )
+        return [SpectrumPeak(aoa_deg=float(self.angles_deg[i]), power=float(self.power[i])) for i in indices]
+
+    def strongest_aoa(self) -> float:
+        """Angle of the global maximum."""
+        return float(self.angles_deg[int(np.argmax(self.power))])
+
+    def closest_peak_error(self, true_aoa_deg: float, **peak_kwargs) -> float:
+        """|true − closest peak| in degrees — the paper's Fig. 7 metric.
+
+        The paper measures AoA accuracy as "the difference between the
+        ground truth direct-path AoA and the closest peaks in the
+        spectrum" (§IV-C).  Falls back to the global maximum when no
+        peak clears the height floor.
+        """
+        peaks = self.peaks(**peak_kwargs)
+        if not peaks:
+            return abs(self.strongest_aoa() - true_aoa_deg)
+        return min(abs(p.aoa_deg - true_aoa_deg) for p in peaks)
+
+    def sharpness(self) -> float:
+        """Inverse participation ratio of the normalized spectrum.
+
+        1/N for a flat spectrum, → 1 for a single-bin spike; the Fig. 2
+        experiment uses it to quantify "the sharpness of beam".
+        """
+        total = self.power.sum()
+        if total == 0:
+            return 0.0
+        p = self.power / total
+        return float(np.sum(p**2))
+
+
+@dataclass
+class JointSpectrum:
+    """A 2-D (AoA × ToA) spectrum sampled on a rectangular grid.
+
+    ``power[i, j]`` corresponds to ``angles_deg[i]`` and ``toas_s[j]``.
+    """
+
+    angles_deg: np.ndarray
+    toas_s: np.ndarray
+    power: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.angles_deg = np.asarray(self.angles_deg, dtype=float)
+        self.toas_s = np.asarray(self.toas_s, dtype=float)
+        self.power = np.asarray(self.power, dtype=float)
+        expected = (self.angles_deg.size, self.toas_s.size)
+        if self.power.shape != expected:
+            raise ConfigurationError(
+                f"power shape {self.power.shape} does not match grids {expected}"
+            )
+        if np.any(self.power < 0):
+            raise ConfigurationError("spectrum power must be non-negative")
+
+    def normalized(self) -> "JointSpectrum":
+        peak = self.power.max(initial=0.0)
+        if peak == 0:
+            return JointSpectrum(self.angles_deg.copy(), self.toas_s.copy(), self.power.copy())
+        return JointSpectrum(self.angles_deg.copy(), self.toas_s.copy(), self.power / peak)
+
+    def peaks(self, *, max_peaks: int | None = None, min_relative_height: float = 0.05) -> list[SpectrumPeak]:
+        cells = find_peaks_2d(
+            self.power, max_peaks=max_peaks, min_relative_height=min_relative_height
+        )
+        return [
+            SpectrumPeak(
+                aoa_deg=float(self.angles_deg[r]),
+                toa_s=float(self.toas_s[c]),
+                power=float(self.power[r, c]),
+            )
+            for r, c in cells
+        ]
+
+    def angle_marginal(self) -> AngleSpectrum:
+        """Collapse the ToA axis (max over delays) into an AoA spectrum."""
+        return AngleSpectrum(self.angles_deg.copy(), self.power.max(axis=1))
+
+    def direct_path_peak(
+        self, *, max_peaks: int = 10, min_relative_height: float = 0.1
+    ) -> SpectrumPeak:
+        """The smallest-ToA peak — ROArray's direct-path rule (paper §III-B)."""
+        peaks = self.peaks(max_peaks=max_peaks, min_relative_height=min_relative_height)
+        if not peaks:
+            r, c = np.unravel_index(int(np.argmax(self.power)), self.power.shape)
+            return SpectrumPeak(
+                aoa_deg=float(self.angles_deg[r]),
+                toa_s=float(self.toas_s[c]),
+                power=float(self.power[r, c]),
+            )
+        return min(peaks, key=lambda p: p.toa_s)

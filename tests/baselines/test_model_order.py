@@ -1,0 +1,95 @@
+"""Tests for information-theoretic model-order estimation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.model_order import (
+    estimate_model_order,
+    estimate_model_order_from_snapshots,
+)
+from repro.exceptions import SolverError
+
+
+def snapshots_with_sources(rng, n_sensors=8, n_sources=3, n_snapshots=500, snr=100.0):
+    mixing = rng.standard_normal((n_sensors, n_sources)) + 1j * rng.standard_normal(
+        (n_sensors, n_sources)
+    )
+    symbols = rng.standard_normal((n_sources, n_snapshots)) + 1j * rng.standard_normal(
+        (n_sources, n_snapshots)
+    )
+    clean = mixing @ symbols
+    sigma = np.sqrt(np.mean(np.abs(clean) ** 2) / snr / 2)
+    noise = sigma * (
+        rng.standard_normal(clean.shape) + 1j * rng.standard_normal(clean.shape)
+    )
+    return clean + noise
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("true_k", [1, 2, 3, 5])
+    def test_mdl_recovers_order_high_snr(self, rng, true_k):
+        snapshots = snapshots_with_sources(rng, n_sources=true_k)
+        assert estimate_model_order_from_snapshots(snapshots, criterion="mdl") == true_k
+
+    def test_aic_recovers_order_high_snr(self, rng):
+        snapshots = snapshots_with_sources(rng, n_sources=2)
+        assert estimate_model_order_from_snapshots(snapshots, criterion="aic") == 2
+
+    def test_pure_noise_gives_zero(self, rng):
+        noise = rng.standard_normal((8, 500)) + 1j * rng.standard_normal((8, 500))
+        assert estimate_model_order_from_snapshots(noise, criterion="mdl") == 0
+
+    def test_low_snr_underestimates(self):
+        """Weak sources sink below the noise floor — the fundamental
+        subspace-method limit the paper leans on."""
+        rng = np.random.default_rng(0)
+        snapshots = snapshots_with_sources(rng, n_sources=4, n_snapshots=40, snr=0.05)
+        estimated = estimate_model_order_from_snapshots(snapshots, criterion="mdl")
+        assert estimated < 4
+
+    def test_max_order_cap(self, rng):
+        snapshots = snapshots_with_sources(rng, n_sources=5)
+        assert estimate_model_order_from_snapshots(snapshots, max_order=2) <= 2
+
+
+class TestValidation:
+    def test_rejects_non_square(self):
+        with pytest.raises(SolverError):
+            estimate_model_order(np.zeros((3, 4)), 10)
+
+    def test_rejects_bad_snapshots_count(self):
+        with pytest.raises(SolverError):
+            estimate_model_order(np.eye(3), 0)
+
+    def test_rejects_bad_criterion(self):
+        with pytest.raises(SolverError):
+            estimate_model_order(np.eye(3), 10, criterion="bic")
+
+    def test_rejects_1d_snapshots(self):
+        with pytest.raises(SolverError):
+            estimate_model_order_from_snapshots(np.zeros(5))
+
+
+class TestMusicIntegration:
+    def test_estimated_order_drives_music(self, rng):
+        """MDL + MUSIC resolves the right number of uncorrelated sources."""
+        from repro.baselines.music import music_angle_spectrum
+        from repro.channel.array import UniformLinearArray
+        from repro.core.grids import AngleGrid
+
+        array = UniformLinearArray(n_antennas=6, spacing=0.02, wavelength=0.056)
+        steering_true = array.steering_matrix(np.array([50.0, 120.0]))
+        symbols = rng.standard_normal((2, 400)) + 1j * rng.standard_normal((2, 400))
+        snapshots = steering_true @ symbols
+        snapshots += 0.01 * (
+            rng.standard_normal(snapshots.shape) + 1j * rng.standard_normal(snapshots.shape)
+        )
+        k = estimate_model_order_from_snapshots(snapshots, criterion="mdl")
+        assert k == 2
+        grid = AngleGrid(n_points=181)
+        spectrum = music_angle_spectrum(
+            snapshots, array.steering_matrix(grid.angles_deg), grid.angles_deg, n_sources=k
+        )
+        peaks = sorted(p.aoa_deg for p in spectrum.peaks(max_peaks=2))
+        assert peaks[0] == pytest.approx(50.0, abs=2.0)
+        assert peaks[1] == pytest.approx(120.0, abs=2.0)

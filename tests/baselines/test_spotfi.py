@@ -1,0 +1,175 @@
+"""Tests for the SpotFi baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spotfi import (
+    SpotFiConfig,
+    SpotFiEstimator,
+    sanitize_csi_phase,
+    smoothed_csi_matrix,
+    subarray_joint_steering,
+)
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import CsiSynthesizer, synthesize_csi_matrix
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.ofdm import intel5300_layout
+from repro.channel.paths import MultipathProfile, PropagationPath, random_profile
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.exceptions import ConfigurationError, SolverError
+from repro.spectral.spectrum import SpectrumPeak
+
+
+class TestSanitize:
+    def test_removes_common_slope(self, array):
+        layout = intel5300_layout()
+        profile = MultipathProfile(
+            paths=[PropagationPath(70.0, 0.0, 1.0, is_direct=True)]
+        )
+        delayed = synthesize_csi_matrix(profile, array, layout, extra_delay_s=150e-9)
+        sanitized = sanitize_csi_phase(delayed)
+        # After sanitization the across-subcarrier phase ramp is ~flat.
+        phases = np.unwrap(np.angle(sanitized[0]))
+        slope = np.polyfit(np.arange(phases.size), phases, 1)[0]
+        assert abs(slope) < 1e-6
+
+    def test_preserves_amplitudes(self, array):
+        layout = intel5300_layout()
+        rng = np.random.default_rng(0)
+        profile = random_profile(rng, n_paths=3)
+        csi = synthesize_csi_matrix(profile, array, layout, extra_delay_s=80e-9)
+        sanitized = sanitize_csi_phase(csi)
+        np.testing.assert_allclose(np.abs(sanitized), np.abs(csi), rtol=1e-12)
+
+    def test_preserves_antenna_phase_differences(self, array):
+        """Sanitization must not disturb the spatial (AoA) information."""
+        layout = intel5300_layout()
+        profile = MultipathProfile(paths=[PropagationPath(55.0, 0.0, 1.0, is_direct=True)])
+        csi = synthesize_csi_matrix(profile, array, layout, extra_delay_s=120e-9)
+        sanitized = sanitize_csi_phase(csi)
+        before = np.angle(csi[1] / csi[0])
+        after = np.angle(sanitized[1] / sanitized[0])
+        np.testing.assert_allclose(after, before, atol=1e-9)
+
+    def test_rejects_1d(self):
+        with pytest.raises(SolverError):
+            sanitize_csi_phase(np.zeros(30))
+
+
+class TestSmoothedMatrix:
+    def test_paper_dimensions(self, rng):
+        """3 antennas × 30 subcarriers with a 2×15 window → 30 × 32."""
+        csi = rng.standard_normal((3, 30)) + 1j * rng.standard_normal((3, 30))
+        smoothed = smoothed_csi_matrix(csi)
+        assert smoothed.shape == (30, 32)
+
+    def test_first_column_is_first_window(self, rng):
+        csi = rng.standard_normal((3, 30)) + 1j * rng.standard_normal((3, 30))
+        smoothed = smoothed_csi_matrix(csi)
+        expected = csi[0:2, 0:15].reshape(-1)
+        np.testing.assert_array_equal(smoothed[:, 0], expected)
+
+    def test_last_column_is_last_window(self, rng):
+        csi = rng.standard_normal((3, 30)) + 1j * rng.standard_normal((3, 30))
+        smoothed = smoothed_csi_matrix(csi)
+        expected = csi[1:3, 15:30].reshape(-1)
+        np.testing.assert_array_equal(smoothed[:, -1], expected)
+
+    def test_rejects_oversized_window(self, rng):
+        csi = rng.standard_normal((3, 30))
+        with pytest.raises(ConfigurationError):
+            smoothed_csi_matrix(csi, antenna_window=4)
+        with pytest.raises(ConfigurationError):
+            smoothed_csi_matrix(csi, subcarrier_window=31)
+
+
+class TestSubarraySteering:
+    def test_column_structure_matches_smoothed_rows(self):
+        """Dictionary column (θ, τ) must equal the clean smoothed response."""
+        array = UniformLinearArray()
+        layout = intel5300_layout()
+        angle_grid = AngleGrid(n_points=7)
+        delay_grid = DelayGrid(n_points=5)
+        steering = subarray_joint_steering(array, layout, angle_grid, delay_grid)
+        assert steering.shape == (30, 35)
+
+        # Build the clean CSI for the grid point (angle index 3, delay index 2)
+        # and check the first smoothed window equals that steering column.
+        theta = angle_grid.angles_deg[3]
+        tau = delay_grid.toas_s[2]
+        profile = MultipathProfile(paths=[PropagationPath(theta, tau, 1.0, is_direct=True)])
+        csi = synthesize_csi_matrix(profile, array, layout)
+        window = csi[0:2, 0:15].reshape(-1)
+        column = steering[:, 2 * 7 + 3]  # delay-major ordering
+        np.testing.assert_allclose(window, column, atol=1e-10)
+
+
+class TestEstimator:
+    def test_finds_direct_path_clean_scene(self, rng):
+        array = UniformLinearArray()
+        layout = intel5300_layout()
+        profile = random_profile(rng, n_paths=3, direct_aoa_deg=150.0, direct_toa_s=30e-9)
+        synthesizer = CsiSynthesizer(array, layout, ImpairmentModel(), seed=0)
+        trace = synthesizer.packets(profile, n_packets=8, snr_db=20.0, rng=rng)
+        estimate = SpotFiEstimator().estimate_direct_path(trace)
+        assert estimate.aoa_deg == pytest.approx(150.0, abs=6.0)
+
+    def test_aoa_spectrum_peaks_near_truth(self, rng):
+        array = UniformLinearArray()
+        layout = intel5300_layout()
+        profile = random_profile(rng, n_paths=3, direct_aoa_deg=120.0)
+        synthesizer = CsiSynthesizer(array, layout, ImpairmentModel(), seed=0)
+        trace = synthesizer.packets(profile, n_packets=5, snr_db=20.0, rng=rng)
+        spectrum = SpotFiEstimator().aoa_spectrum(trace)
+        assert spectrum.closest_peak_error(120.0, max_peaks=4) < 6.0
+
+    def test_analyze_reports_candidates(self, rng):
+        array = UniformLinearArray()
+        layout = intel5300_layout()
+        profile = random_profile(rng, n_paths=3, direct_aoa_deg=100.0)
+        synthesizer = CsiSynthesizer(array, layout, ImpairmentModel(), seed=0)
+        trace = synthesizer.packets(profile, n_packets=4, snr_db=18.0, rng=rng)
+        analysis = SpotFiEstimator().analyze(trace)
+        assert len(analysis.candidate_aoas_deg) >= 1
+        assert analysis.closest_aoa_error(100.0) <= abs(analysis.direct.aoa_deg - 100.0) + 1e-9
+
+
+class TestClustering:
+    def make_estimator(self):
+        return SpotFiEstimator(config=SpotFiConfig())
+
+    def peaks(self, entries):
+        return [SpectrumPeak(aoa_deg=a, power=p, toa_s=t) for a, t, p in entries]
+
+    def test_nearby_peaks_merge(self):
+        estimator = self.make_estimator()
+        clusters = estimator.cluster_peaks(
+            self.peaks([(100.0, 100e-9, 1.0), (103.0, 110e-9, 0.9)])
+        )
+        assert len(clusters) == 1
+        assert clusters[0].size == 2
+
+    def test_distant_peaks_stay_separate(self):
+        estimator = self.make_estimator()
+        clusters = estimator.cluster_peaks(
+            self.peaks([(100.0, 100e-9, 1.0), (140.0, 100e-9, 0.9)])
+        )
+        assert len(clusters) == 2
+
+    def test_toa_gap_splits_cluster(self):
+        estimator = self.make_estimator()
+        clusters = estimator.cluster_peaks(
+            self.peaks([(100.0, 100e-9, 1.0), (101.0, 500e-9, 0.9)])
+        )
+        assert len(clusters) == 2
+
+    def test_likelihood_prefers_early_large_cluster(self):
+        estimator = self.make_estimator()
+        clusters = estimator.cluster_peaks(
+            self.peaks(
+                [(60.0, 50e-9, 0.8)] * 5          # early, consistent, seen 5×
+                + [(150.0, 400e-9, 1.0)] * 2       # late, stronger, seen 2×
+            )
+        )
+        best = max(clusters, key=lambda c: estimator.cluster_likelihood(c, clusters))
+        assert best.mean_aoa_deg == pytest.approx(60.0)

@@ -1,0 +1,94 @@
+"""Tests for the ULA steering model (paper Eq. 1/2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.array import UniformLinearArray
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_defaults_match_paper_hardware(self, array):
+        assert array.n_antennas == 3
+        # Paper: antennas "equally spaced at half wavelength, 2.6 cm".
+        assert array.spacing == pytest.approx(array.wavelength / 2)
+        assert array.spacing == pytest.approx(0.028, abs=0.003)
+
+    def test_rejects_single_antenna(self):
+        with pytest.raises(ConfigurationError):
+            UniformLinearArray(n_antennas=1)
+
+    def test_rejects_spacing_above_half_wavelength(self):
+        with pytest.raises(ConfigurationError, match="ambiguous"):
+            UniformLinearArray(spacing=0.06, wavelength=0.056)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ConfigurationError):
+            UniformLinearArray(spacing=0.0)
+
+    def test_aperture(self):
+        array = UniformLinearArray(n_antennas=4, spacing=0.02, wavelength=0.056)
+        assert array.aperture == pytest.approx(0.06)
+
+
+class TestSteeringVector:
+    def test_first_entry_is_one(self, array):
+        for aoa in (0.0, 45.0, 90.0, 180.0):
+            assert array.steering_vector(aoa)[0] == pytest.approx(1.0)
+
+    def test_entries_are_unit_magnitude(self, array):
+        vector = array.steering_vector(37.0)
+        np.testing.assert_allclose(np.abs(vector), 1.0)
+
+    def test_broadside_has_no_phase_progression(self, array):
+        """θ = 90° ⇒ cos θ = 0 ⇒ all antennas in phase."""
+        np.testing.assert_allclose(array.steering_vector(90.0), np.ones(3), atol=1e-12)
+
+    def test_endfire_phase_step_is_pi_at_half_wavelength(self, array):
+        """θ = 0° with d = λ/2 ⇒ adjacent phase −2πd/λ = −π."""
+        vector = array.steering_vector(0.0)
+        assert np.angle(vector[1]) == pytest.approx(-np.pi, abs=1e-9) or np.angle(
+            vector[1]
+        ) == pytest.approx(np.pi, abs=1e-9)
+
+    def test_geometric_progression(self, array):
+        """Eq. 1: entry m is Λ^m."""
+        vector = array.steering_vector(62.0)
+        factor = vector[1]
+        np.testing.assert_allclose(vector[2], factor**2, rtol=1e-12)
+
+    @given(st.floats(0.0, 180.0))
+    @settings(max_examples=50, deadline=None)
+    def test_injective_over_valid_range(self, aoa):
+        """d ≤ λ/2 keeps distinct angles distinguishable (Fig. 1 caption)."""
+        array = UniformLinearArray()
+        other = aoa + 7.0
+        if other > 180.0:
+            other = aoa - 7.0
+        v1 = array.steering_vector(aoa)
+        v2 = array.steering_vector(other)
+        assert not np.allclose(v1, v2, atol=1e-6)
+
+
+class TestSteeringMatrix:
+    def test_columns_match_vectors(self, array):
+        angles = np.array([10.0, 90.0, 140.0])
+        matrix = array.steering_matrix(angles)
+        assert matrix.shape == (3, 3)
+        for j, angle in enumerate(angles):
+            np.testing.assert_allclose(matrix[:, j], array.steering_vector(angle))
+
+    def test_rejects_2d_angles(self, array):
+        with pytest.raises(ConfigurationError):
+            array.steering_matrix(np.zeros((2, 2)))
+
+    def test_superposition(self, array):
+        """Eq. 3: y = S a holds by construction."""
+        angles = np.array([40.0, 130.0])
+        gains = np.array([1.0 + 0.5j, -0.3 + 0.2j])
+        s = array.steering_matrix(angles)
+        y = s @ gains
+        manual = gains[0] * array.steering_vector(40.0) + gains[1] * array.steering_vector(130.0)
+        np.testing.assert_allclose(y, manual)

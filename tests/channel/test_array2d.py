@@ -1,0 +1,89 @@
+"""Tests for the planar-array extension (paper §IV-F)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.array2d import DualPolarizationFeed, PlanarArray
+from repro.channel.impairments import polarization_loss
+from repro.exceptions import ConfigurationError
+
+
+class TestPlanarArray:
+    def test_element_positions_grid(self):
+        array = PlanarArray(n_x=2, n_y=3, spacing_x=0.02, spacing_y=0.01)
+        positions = array.element_positions()
+        assert positions.shape == (6, 2)
+        np.testing.assert_allclose(positions[0], [0.0, 0.0])
+        assert positions[:, 0].max() == pytest.approx(0.02)
+        assert positions[:, 1].max() == pytest.approx(0.02)
+
+    def test_boresight_has_flat_phase(self):
+        array = PlanarArray()
+        vector = array.steering_vector(azimuth_deg=123.0, elevation_deg=90.0)
+        np.testing.assert_allclose(vector, np.ones(array.n_elements), atol=1e-12)
+
+    def test_unit_magnitude(self):
+        array = PlanarArray()
+        vector = array.steering_vector(40.0, 30.0)
+        np.testing.assert_allclose(np.abs(vector), 1.0)
+
+    def test_grazing_arrival_along_x_matches_ula(self):
+        """At elevation 0, azimuth 0, a 1×M row behaves like paper Eq. 1 endfire."""
+        array = PlanarArray(n_x=3, n_y=1, spacing_x=PlanarArray().wavelength / 2)
+        vector = array.steering_vector(0.0, 0.0)
+        # Adjacent phase step: −2π·(λ/2)/λ = −π.
+        step = np.angle(vector[1] / vector[0])
+        assert abs(abs(step) - np.pi) < 1e-9
+
+    def test_azimuth_distinguishable_via_second_dimension(self):
+        """A ULA cannot tell front from back; a planar array can."""
+        array = PlanarArray(n_x=2, n_y=2)
+        front = array.steering_vector(60.0, 20.0)
+        mirrored = array.steering_vector(-60.0 % 360.0, 20.0)
+        assert not np.allclose(front, mirrored, atol=1e-6)
+
+    def test_steering_matrix_ordering(self):
+        array = PlanarArray()
+        azimuths = np.array([0.0, 90.0, 180.0])
+        elevations = np.array([10.0, 50.0])
+        matrix = array.steering_matrix(azimuths, elevations)
+        assert matrix.shape == (4, 6)
+        np.testing.assert_allclose(
+            matrix[:, 1 * 3 + 2], array.steering_vector(180.0, 50.0)
+        )
+
+    def test_rejects_single_element(self):
+        with pytest.raises(ConfigurationError):
+            PlanarArray(n_x=1, n_y=1)
+
+    def test_rejects_wide_spacing(self):
+        with pytest.raises(ConfigurationError, match="ambiguous"):
+            PlanarArray(spacing_x=0.06, wavelength=0.056)
+
+    def test_rejects_bad_elevation(self):
+        with pytest.raises(ConfigurationError):
+            PlanarArray().steering_vector(0.0, 91.0)
+
+
+class TestDualPolarization:
+    def test_no_loss_at_any_tilt(self):
+        feed = DualPolarizationFeed(combining_efficiency=1.0)
+        for deviation in (0.0, 20.0, 45.0, 90.0):
+            assert feed.amplitude(deviation) == pytest.approx(1.0)
+
+    def test_beats_single_feed_at_large_tilt(self):
+        """The §IV-F remedy for Fig. 8c: tilt no longer kills reception."""
+        feed = DualPolarizationFeed()
+        for deviation in (20.0, 45.0, 70.0):
+            assert feed.amplitude(deviation) > polarization_loss(deviation)
+
+    def test_efficiency_scales(self):
+        assert DualPolarizationFeed(combining_efficiency=0.5).amplitude(0.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            DualPolarizationFeed(combining_efficiency=0.0)
+
+    def test_rejects_bad_deviation(self):
+        with pytest.raises(ConfigurationError):
+            DualPolarizationFeed().amplitude(120.0)

@@ -1,0 +1,147 @@
+"""Tests for CSI synthesis — the paper's Eq. 4 measurement model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiSynthesizer, rssi_from_power, synthesize_csi_matrix
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.noise import measured_snr_db
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.exceptions import ConfigurationError
+
+
+def single_path_profile(aoa_deg=60.0, toa_s=40e-9, gain=1.0 + 0j):
+    return MultipathProfile(paths=[PropagationPath(aoa_deg, toa_s, gain, is_direct=True)])
+
+
+class TestSynthesizeCsiMatrix:
+    def test_shape(self, array, layout, two_path_profile):
+        csi = synthesize_csi_matrix(two_path_profile, array, layout)
+        assert csi.shape == (3, 16)
+
+    def test_single_path_is_rank_one(self, array, layout):
+        csi = synthesize_csi_matrix(single_path_profile(), array, layout)
+        singular_values = np.linalg.svd(csi, compute_uv=False)
+        assert singular_values[1] < 1e-9 * singular_values[0]
+
+    def test_antenna_phase_progression_matches_steering(self, array, layout):
+        """Across antennas, the phase factor is Λ(θ) (Eq. 1)."""
+        csi = synthesize_csi_matrix(single_path_profile(aoa_deg=50.0), array, layout)
+        expected = array.phase_factor(50.0)
+        observed = csi[1, 0] / csi[0, 0]
+        assert observed == pytest.approx(expected, abs=1e-12)
+
+    def test_subcarrier_phase_progression_matches_delay(self, array, layout):
+        """Across subcarriers, the phase factor is Γ(τ) (Eq. 12)."""
+        tau = 100e-9
+        csi = synthesize_csi_matrix(single_path_profile(toa_s=tau), array, layout)
+        expected = layout.delay_phase_factor(tau)
+        observed = csi[0, 1] / csi[0, 0]
+        assert observed == pytest.approx(expected, abs=1e-12)
+
+    def test_superposition_of_paths(self, array, layout, two_path_profile):
+        total = synthesize_csi_matrix(two_path_profile, array, layout)
+        parts = sum(
+            synthesize_csi_matrix(MultipathProfile(paths=[p]), array, layout)
+            for p in two_path_profile.paths
+        )
+        np.testing.assert_allclose(total, parts, atol=1e-12)
+
+    def test_extra_delay_adds_common_ramp(self, array, layout, two_path_profile):
+        base = synthesize_csi_matrix(two_path_profile, array, layout)
+        delayed = synthesize_csi_matrix(two_path_profile, array, layout, extra_delay_s=50e-9)
+        ramp = layout.delay_response(50e-9)
+        np.testing.assert_allclose(delayed, base * ramp[None, :], atol=1e-12)
+
+    def test_phase_offsets_applied_per_antenna(self, array, layout, two_path_profile):
+        offsets = np.array([0.0, 0.5, -1.0])
+        base = synthesize_csi_matrix(two_path_profile, array, layout)
+        shifted = synthesize_csi_matrix(
+            two_path_profile, array, layout, antenna_phase_offsets=offsets
+        )
+        np.testing.assert_allclose(shifted, base * np.exp(1j * offsets)[:, None], atol=1e-12)
+
+    def test_rejects_wrong_offset_shape(self, array, layout, two_path_profile):
+        with pytest.raises(ConfigurationError):
+            synthesize_csi_matrix(
+                two_path_profile, array, layout, antenna_phase_offsets=np.zeros(5)
+            )
+
+    def test_rejects_wrong_gain_shape(self, array, layout, two_path_profile):
+        with pytest.raises(ConfigurationError):
+            synthesize_csi_matrix(two_path_profile, array, layout, antenna_gains=np.ones(2))
+
+
+class TestCsiSynthesizer:
+    def test_trace_shape_and_metadata(self, synthesizer, two_path_profile, rng):
+        trace = synthesizer.packets(two_path_profile, n_packets=4, snr_db=12.0, rng=rng)
+        assert trace.csi.shape == (4, 3, 16)
+        assert trace.snr_db == 12.0
+        assert trace.direct_aoa_deg == 60.0
+        np.testing.assert_allclose(trace.true_aoas_deg, [60.0, 120.0])
+
+    def test_snr_is_accurate(self, array, layout, two_path_profile, clean_impairments, rng):
+        synthesizer = CsiSynthesizer(array, layout, clean_impairments, seed=0)
+        normalized = two_path_profile.normalized()
+        clean = synthesize_csi_matrix(normalized, array, layout)
+        trace = synthesizer.packets(two_path_profile, n_packets=60, snr_db=5.0, rng=rng)
+        snrs = [measured_snr_db(clean, trace.packet(p)) for p in range(60)]
+        assert np.mean(snrs) == pytest.approx(5.0, abs=0.7)
+
+    def test_boot_offsets_constant_across_packets(self, array, layout, rng):
+        impairments = ImpairmentModel(
+            detection_delay_range_s=0.0, sfo_std_s=0.0, phase_offset_std_rad=1.0
+        )
+        synthesizer = CsiSynthesizer(array, layout, impairments, seed=42)
+        trace = synthesizer.packets(single_path_profile(), n_packets=3, snr_db=60.0, rng=rng)
+        # With no per-packet effects, inter-antenna ratios are identical
+        # across packets (offsets are per boot, not per packet).
+        ratios = trace.csi[:, 1, 0] / trace.csi[:, 0, 0]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-2)
+
+    def test_same_seed_same_offsets(self, array, layout):
+        impairments = ImpairmentModel(phase_offset_std_rad=1.0)
+        a = CsiSynthesizer(array, layout, impairments, seed=7)
+        b = CsiSynthesizer(array, layout, impairments, seed=7)
+        np.testing.assert_array_equal(a.phase_offsets, b.phase_offsets)
+
+    def test_detection_delays_recorded(self, array, layout, rng):
+        impairments = ImpairmentModel(detection_delay_range_s=100e-9, sfo_std_s=0.0)
+        synthesizer = CsiSynthesizer(array, layout, impairments, seed=0)
+        trace = synthesizer.packets(single_path_profile(), n_packets=5, snr_db=30.0, rng=rng)
+        assert trace.detection_delays_s.shape == (5,)
+        assert np.all(trace.detection_delays_s <= 100e-9)
+
+    def test_rejects_zero_packets(self, synthesizer, two_path_profile, rng):
+        with pytest.raises(ConfigurationError):
+            synthesizer.packets(two_path_profile, n_packets=0, snr_db=10.0, rng=rng)
+
+    def test_rssi_reflects_link_power(self, array, layout, clean_impairments, rng):
+        strong = single_path_profile(gain=1.0)
+        weak = single_path_profile(gain=0.01)
+        synthesizer = CsiSynthesizer(array, layout, clean_impairments, seed=0)
+        strong_trace = synthesizer.packets(strong, n_packets=1, snr_db=10.0, rng=rng)
+        weak_trace = synthesizer.packets(weak, n_packets=1, snr_db=10.0, rng=rng)
+        assert strong_trace.rssi_dbm > weak_trace.rssi_dbm
+
+    def test_polarization_tilt_lowers_rssi(self, array, layout, rng):
+        upright = CsiSynthesizer(array, layout, ImpairmentModel(), seed=0)
+        tilted = CsiSynthesizer(
+            array, layout, ImpairmentModel(polarization_deviation_deg=45.0), seed=0
+        )
+        profile = single_path_profile()
+        a = upright.packets(profile, n_packets=1, snr_db=10.0, rng=np.random.default_rng(0))
+        b = tilted.packets(profile, n_packets=1, snr_db=10.0, rng=np.random.default_rng(0))
+        assert b.rssi_dbm < a.rssi_dbm
+
+
+class TestRssiFromPower:
+    def test_monotone(self):
+        assert rssi_from_power(1e-6) > rssi_from_power(1e-8)
+
+    def test_floor(self):
+        assert rssi_from_power(0.0) == -100.0
+        assert rssi_from_power(1e-30) == -100.0
+
+    def test_log_slope(self):
+        assert rssi_from_power(1e-6) - rssi_from_power(1e-7) == pytest.approx(10.0)

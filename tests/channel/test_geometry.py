@@ -1,0 +1,235 @@
+"""Tests for room geometry and image-method multipath tracing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.constants import SPEED_OF_LIGHT
+from repro.channel.geometry import (
+    AccessPoint,
+    Room,
+    Scene,
+    Wall,
+    reflect_point,
+    trace_paths,
+)
+from repro.exceptions import GeometryError
+
+WAVELENGTH = 0.056
+
+
+class TestWall:
+    def test_mirror_vertical_wall(self):
+        wall = Wall(axis=0, offset=2.0, lo=0.0, hi=10.0)
+        np.testing.assert_allclose(wall.mirror(np.array([5.0, 3.0])), [-1.0, 3.0])
+
+    def test_mirror_horizontal_wall(self):
+        wall = Wall(axis=1, offset=0.0, lo=0.0, hi=10.0)
+        np.testing.assert_allclose(wall.mirror(np.array([4.0, 3.0])), [4.0, -3.0])
+
+    def test_mirror_is_involution(self):
+        wall = Wall(axis=0, offset=1.5, lo=0.0, hi=5.0)
+        point = np.array([3.3, 0.7])
+        np.testing.assert_allclose(wall.mirror(wall.mirror(point)), point)
+
+    def test_reflect_point_alias(self):
+        wall = Wall(axis=1, offset=2.0, lo=0.0, hi=4.0)
+        np.testing.assert_allclose(reflect_point([1.0, 5.0], wall), [1.0, -1.0])
+
+    def test_contains_projection(self):
+        wall = Wall(axis=0, offset=0.0, lo=1.0, hi=2.0)
+        assert wall.contains_projection(np.array([0.0, 1.5]))
+        assert not wall.contains_projection(np.array([0.0, 3.0]))
+
+    def test_rejects_degenerate_extent(self):
+        with pytest.raises(GeometryError):
+            Wall(axis=0, offset=0.0, lo=2.0, hi=1.0)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(GeometryError):
+            Wall(axis=2, offset=0.0, lo=0.0, hi=1.0)
+
+
+class TestRoom:
+    def test_default_is_paper_classroom_scale(self):
+        room = Room()
+        assert room.width == 18.0 and room.depth == 12.0
+
+    def test_four_walls_bound_the_rectangle(self):
+        room = Room(width=4.0, depth=3.0)
+        offsets = sorted((w.axis, w.offset) for w in room.walls)
+        assert offsets == [(0, 0.0), (0, 4.0), (1, 0.0), (1, 3.0)]
+
+    def test_contains(self):
+        room = Room(width=4.0, depth=3.0)
+        assert room.contains(np.array([2.0, 1.5]))
+        assert not room.contains(np.array([-0.1, 1.0]))
+        assert not room.contains(np.array([2.0, 3.1]))
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(GeometryError):
+            Room(width=0.0)
+
+    def test_rejects_bad_reflection_coefficient(self):
+        with pytest.raises(GeometryError):
+            Room(reflection_coefficient=1.5)
+
+
+class TestAccessPointBearing:
+    def test_along_axis_is_zero_degrees(self):
+        ap = AccessPoint(position=(0.0, 0.0), axis_direction_deg=0.0)
+        assert ap.bearing_to_aoa(np.array([5.0, 0.0])) == pytest.approx(0.0)
+
+    def test_perpendicular_is_ninety(self):
+        ap = AccessPoint(position=(0.0, 0.0), axis_direction_deg=0.0)
+        assert ap.bearing_to_aoa(np.array([0.0, 5.0])) == pytest.approx(90.0)
+
+    def test_behind_is_180(self):
+        ap = AccessPoint(position=(1.0, 1.0), axis_direction_deg=0.0)
+        assert ap.bearing_to_aoa(np.array([0.0, 1.0])) == pytest.approx(180.0)
+
+    def test_rotated_axis(self):
+        ap = AccessPoint(position=(0.0, 0.0), axis_direction_deg=90.0)
+        assert ap.bearing_to_aoa(np.array([0.0, 3.0])) == pytest.approx(0.0)
+        assert ap.bearing_to_aoa(np.array([3.0, 0.0])) == pytest.approx(90.0)
+
+    def test_coincident_source_rejected(self):
+        ap = AccessPoint(position=(1.0, 1.0))
+        with pytest.raises(GeometryError):
+            ap.bearing_to_aoa(np.array([1.0, 1.0]))
+
+    @given(st.floats(0.5, 17.5), st.floats(0.5, 11.5))
+    @settings(max_examples=30, deadline=None)
+    def test_bearing_always_in_range(self, x, y):
+        ap = AccessPoint(position=(0.0, 6.0), axis_direction_deg=90.0)
+        if (x, y) == (0.0, 6.0):
+            return
+        aoa = ap.bearing_to_aoa(np.array([x, y]))
+        assert 0.0 <= aoa <= 180.0
+
+
+class TestTracePaths:
+    def setup_method(self):
+        self.room = Room(width=10.0, depth=8.0, reflection_coefficient=0.6)
+        self.receiver = AccessPoint(position=(0.0, 4.0), axis_direction_deg=90.0, name="rx")
+
+    def test_direct_path_present_and_earliest(self):
+        profile = trace_paths(self.room, np.array([6.0, 4.0]), self.receiver, WAVELENGTH)
+        direct = profile.direct_path
+        assert direct.is_direct
+        assert direct.toa_s == min(profile.toas_s)
+
+    def test_direct_toa_matches_distance(self):
+        profile = trace_paths(self.room, np.array([6.0, 4.0]), self.receiver, WAVELENGTH)
+        assert profile.direct_path.toa_s == pytest.approx(6.0 / SPEED_OF_LIGHT)
+
+    def test_direct_aoa_matches_bearing(self):
+        profile = trace_paths(self.room, np.array([6.0, 7.0]), self.receiver, WAVELENGTH)
+        assert profile.direct_path.aoa_deg == pytest.approx(
+            self.receiver.bearing_to_aoa(np.array([6.0, 7.0]))
+        )
+
+    def test_first_order_reflections_found(self):
+        profile = trace_paths(self.room, np.array([6.0, 4.0]), self.receiver, WAVELENGTH)
+        # Symmetric transmitter: top, bottom and far-wall bounces exist.
+        assert len(profile) >= 3
+
+    def test_reflection_length_matches_image_distance(self):
+        """Image method invariant: path length = |image − rx|."""
+        tx = np.array([6.0, 2.0])
+        profile = trace_paths(self.room, tx, self.receiver, WAVELENGTH)
+        # The floor (y=0) bounce has unfolded length |(6,−2) − (0,4)|.
+        expected = np.linalg.norm([6.0, -2.0 - 4.0])
+        lengths = profile.toas_s * SPEED_OF_LIGHT
+        assert any(abs(l - expected) < 1e-9 for l in lengths)
+
+    def test_reflections_weaker_than_direct(self):
+        profile = trace_paths(self.room, np.array([3.0, 4.0]), self.receiver, WAVELENGTH)
+        direct_gain = abs(profile.direct_path.gain)
+        for path in profile.paths:
+            if not path.is_direct:
+                assert abs(path.gain) < direct_gain
+
+    def test_scatterer_adds_path(self):
+        base = trace_paths(self.room, np.array([6.0, 4.0]), self.receiver, WAVELENGTH)
+        with_scatterer = trace_paths(
+            self.room, np.array([6.0, 4.0]), self.receiver, WAVELENGTH,
+            scatterers=[(3.0, 6.0)],
+        )
+        assert len(with_scatterer) == len(base) + 1
+
+    def test_scatterer_outside_room_rejected(self):
+        with pytest.raises(GeometryError):
+            trace_paths(
+                self.room, np.array([6.0, 4.0]), self.receiver, WAVELENGTH,
+                scatterers=[(30.0, 6.0)],
+            )
+
+    def test_coincident_tx_rx_rejected(self):
+        with pytest.raises(GeometryError):
+            trace_paths(self.room, np.array([0.0, 4.0]), self.receiver, WAVELENGTH)
+
+    def test_paths_sorted_by_toa(self):
+        profile = trace_paths(self.room, np.array([6.0, 5.0]), self.receiver, WAVELENGTH)
+        assert np.all(np.diff(profile.toas_s) >= 0)
+
+    def test_second_order_adds_longer_weaker_paths(self):
+        tx = np.array([6.0, 5.0])
+        first = trace_paths(self.room, tx, self.receiver, WAVELENGTH, max_reflections=1)
+        second = trace_paths(self.room, tx, self.receiver, WAVELENGTH, max_reflections=2)
+        assert len(second) > len(first)
+        first_max_toa = max(first.toas_s)
+        extras = [p for p in second.paths if p.toa_s > first_max_toa]
+        assert extras, "second-order bounces should arrive after all first-order ones"
+        # Double bounces carry the reflection coefficient twice.
+        weakest_first = min(abs(p.gain) for p in first.paths)
+        assert min(abs(p.gain) for p in extras) < weakest_first
+
+    def test_second_order_direct_path_unchanged(self):
+        tx = np.array([6.0, 5.0])
+        first = trace_paths(self.room, tx, self.receiver, WAVELENGTH, max_reflections=1)
+        second = trace_paths(self.room, tx, self.receiver, WAVELENGTH, max_reflections=2)
+        assert second.direct_path.toa_s == pytest.approx(first.direct_path.toa_s)
+        assert second.direct_path.aoa_deg == pytest.approx(first.direct_path.aoa_deg)
+
+    def test_double_bounce_length_matches_double_image(self):
+        """Image-method invariant for two bounces: length = |image₂ − rx|."""
+        tx = np.array([6.0, 5.0])
+        profile = trace_paths(self.room, tx, self.receiver, WAVELENGTH, max_reflections=2)
+        # Floor (y=0) then ceiling (y=8): image = (6, −5) → (6, 21).
+        expected = np.linalg.norm(np.array([6.0, 21.0]) - np.array([0.0, 4.0]))
+        lengths = profile.toas_s * SPEED_OF_LIGHT
+        assert any(abs(l - expected) < 1e-9 for l in lengths)
+
+    def test_rejects_unsupported_reflection_order(self):
+        with pytest.raises(GeometryError):
+            trace_paths(
+                self.room, np.array([6.0, 5.0]), self.receiver, WAVELENGTH, max_reflections=3
+            )
+
+
+class TestScene:
+    def test_ground_truth_consistency(self):
+        room = Room()
+        scene = Scene(
+            room=room,
+            access_points=[AccessPoint((0.0, 6.0), 90.0, "a"), AccessPoint((18.0, 6.0), 90.0, "b")],
+            client=(9.0, 6.0),
+        )
+        assert scene.ground_truth_aoa(0) == pytest.approx(90.0)
+        assert scene.ground_truth_distance(0) == pytest.approx(9.0)
+        profile = scene.multipath_profile(0, WAVELENGTH)
+        assert profile.direct_path.aoa_deg == pytest.approx(scene.ground_truth_aoa(0))
+
+    def test_client_outside_room_rejected(self):
+        with pytest.raises(GeometryError):
+            Scene(room=Room(), access_points=[AccessPoint((0.0, 6.0))], client=(99.0, 6.0))
+
+    def test_ap_outside_room_rejected(self):
+        with pytest.raises(GeometryError):
+            Scene(room=Room(), access_points=[AccessPoint((-1.0, 6.0))], client=(9.0, 6.0))
+
+    def test_requires_at_least_one_ap(self):
+        with pytest.raises(GeometryError):
+            Scene(room=Room(), access_points=[], client=(9.0, 6.0))

@@ -1,0 +1,136 @@
+"""Tests for the hardware impairment models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.impairments import ImpairmentModel, polarization_loss
+from repro.exceptions import ConfigurationError
+
+
+class TestPolarizationLoss:
+    def test_no_deviation_no_loss(self):
+        assert polarization_loss(0.0) == 1.0
+
+    def test_cosine_law(self):
+        assert polarization_loss(60.0) == pytest.approx(0.5)
+
+    def test_floor_at_extreme_tilt(self):
+        assert polarization_loss(90.0) == 0.05
+
+    def test_monotonically_decreasing(self):
+        values = [polarization_loss(d) for d in (0, 15, 30, 45, 60, 75)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_rejects_out_of_range(self):
+        for deviation in (-1.0, 91.0):
+            with pytest.raises(ConfigurationError):
+                polarization_loss(deviation)
+
+
+class TestDetectionDelay:
+    def test_within_configured_range(self, rng):
+        model = ImpairmentModel(detection_delay_range_s=100e-9, sfo_std_s=0.0)
+        delays = [model.draw_detection_delay(rng) for _ in range(200)]
+        assert all(0.0 <= d <= 100e-9 for d in delays)
+
+    def test_zero_range_zero_delay(self, rng):
+        model = ImpairmentModel(detection_delay_range_s=0.0, sfo_std_s=0.0)
+        assert model.draw_detection_delay(rng) == 0.0
+
+    def test_sfo_adds_jitter(self, rng):
+        model = ImpairmentModel(detection_delay_range_s=0.0, sfo_std_s=5e-9)
+        delays = [model.draw_detection_delay(rng) for _ in range(100)]
+        assert max(delays) > 0.0
+
+    def test_delays_vary_per_packet(self, rng):
+        """The effect behind paper Fig. 4a vs 4b."""
+        model = ImpairmentModel()
+        delays = {model.draw_detection_delay(rng) for _ in range(10)}
+        assert len(delays) == 10
+
+    def test_rejects_negative_range(self):
+        with pytest.raises(ConfigurationError):
+            ImpairmentModel(detection_delay_range_s=-1.0)
+
+
+class TestCfoResidual:
+    def test_zero_cfo_gives_zero_phase(self, rng):
+        model = ImpairmentModel(cfo_residual_rad=0.0)
+        assert model.draw_cfo_phase(rng) == 0.0
+
+    def test_phase_bounded(self, rng):
+        model = ImpairmentModel(cfo_residual_rad=0.4)
+        phases = [model.draw_cfo_phase(rng) for _ in range(100)]
+        assert all(-0.4 <= p <= 0.4 for p in phases)
+        assert len(set(phases)) > 50  # varies per packet
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ImpairmentModel(cfo_residual_rad=-0.1)
+
+    def test_cfo_invisible_to_interantenna_ratio(self, rng):
+        """Common phase cancels across antennas — AoA is CFO-immune."""
+        from repro.channel.csi import CsiSynthesizer
+        from repro.channel.ofdm import SubcarrierLayout
+        from repro.channel.paths import MultipathProfile, PropagationPath
+        from repro.channel.array import UniformLinearArray
+
+        model = ImpairmentModel(
+            detection_delay_range_s=0.0, sfo_std_s=0.0, cfo_residual_rad=3.0
+        )
+        synthesizer = CsiSynthesizer(
+            UniformLinearArray(), SubcarrierLayout(n_subcarriers=16, spacing=1.25e6),
+            model, seed=0,
+        )
+        profile = MultipathProfile(
+            paths=[PropagationPath(70.0, 30e-9, 1.0, is_direct=True)]
+        )
+        trace = synthesizer.packets(profile, n_packets=4, snr_db=60.0, rng=rng)
+        ratios = trace.csi[:, 1, 0] / trace.csi[:, 0, 0]
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-2)
+
+
+class TestPhaseOffsets:
+    def test_disabled_by_default(self, rng):
+        model = ImpairmentModel()
+        np.testing.assert_array_equal(model.draw_phase_offsets(rng, 3), np.zeros(3))
+
+    def test_reference_antenna_stays_zero(self, rng):
+        model = ImpairmentModel(phase_offset_std_rad=1.0)
+        offsets = model.draw_phase_offsets(rng, 3)
+        assert offsets[0] == 0.0
+        assert np.all(offsets[1:] != 0.0)
+
+    def test_offsets_bounded_by_pi(self, rng):
+        model = ImpairmentModel(phase_offset_std_rad=1.0)
+        for _ in range(20):
+            offsets = model.draw_phase_offsets(rng, 4)
+            assert np.all(np.abs(offsets) <= np.pi)
+
+
+class TestPolarizationRipple:
+    def test_no_deviation_unit_gains(self, rng):
+        model = ImpairmentModel(polarization_deviation_deg=0.0)
+        np.testing.assert_array_equal(
+            model.draw_polarization_ripple(rng, 3), np.ones(3, dtype=complex)
+        )
+
+    def test_ripple_grows_with_deviation(self):
+        mild = ImpairmentModel(polarization_deviation_deg=10.0)
+        severe = ImpairmentModel(polarization_deviation_deg=45.0)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        deviation_mild = np.abs(mild.draw_polarization_ripple(rng_a, 3) - 1.0)
+        deviation_severe = np.abs(severe.draw_polarization_ripple(rng_b, 3) - 1.0)
+        assert deviation_severe.mean() > deviation_mild.mean()
+
+    def test_amplitude_factor_uses_cosine_law(self):
+        model = ImpairmentModel(polarization_deviation_deg=60.0)
+        assert model.polarization_amplitude() == pytest.approx(0.5)
+
+    def test_rejects_invalid_deviation(self):
+        with pytest.raises(ConfigurationError):
+            ImpairmentModel(polarization_deviation_deg=120.0)
+
+    def test_rejects_negative_ripple(self):
+        with pytest.raises(ConfigurationError):
+            ImpairmentModel(polarization_ripple=-0.1)

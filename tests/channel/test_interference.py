@@ -1,0 +1,131 @@
+"""Tests for the co-channel interference model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.interference import (
+    Interferer,
+    add_interference,
+    interference_to_noise_equivalent_db,
+)
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.exceptions import ConfigurationError
+
+
+def victim_csi(array, layout):
+    profile = MultipathProfile(
+        paths=[PropagationPath(60.0, 40e-9, 1.0, is_direct=True)]
+    ).normalized()
+    return synthesize_csi_matrix(profile, array, layout)
+
+
+def interferer_profile(aoa=140.0):
+    return MultipathProfile(paths=[PropagationPath(aoa, 60e-9, 1.0, is_direct=True)])
+
+
+class TestAddInterference:
+    def test_power_calibrated_to_inr(self, array, layout, rng):
+        csi = victim_csi(array, layout)
+        interfered = add_interference(
+            csi, [Interferer(interferer_profile(), power_db=0.0)], array, layout, rng
+        )
+        added_power = np.mean(np.abs(interfered - csi) ** 2)
+        victim_power = np.mean(np.abs(csi) ** 2)
+        assert added_power == pytest.approx(victim_power, rel=0.05)
+
+    def test_weak_interferer_adds_little(self, array, layout, rng):
+        csi = victim_csi(array, layout)
+        interfered = add_interference(
+            csi, [Interferer(interferer_profile(), power_db=-20.0)], array, layout, rng
+        )
+        added = np.mean(np.abs(interfered - csi) ** 2)
+        assert added < 0.02 * np.mean(np.abs(csi) ** 2)
+
+    def test_batch_input_per_packet_phases(self, array, layout, rng):
+        csi = np.stack([victim_csi(array, layout)] * 3)
+        interfered = add_interference(
+            csi, [Interferer(interferer_profile())], array, layout, rng
+        )
+        assert interfered.shape == csi.shape
+        # Per-packet symbol phases: added components differ between packets.
+        deltas = interfered - csi
+        assert not np.allclose(deltas[0], deltas[1])
+
+    def test_structured_not_white(self, array, layout, rng):
+        """Interference is rank-1 across antennas — unlike AWGN."""
+        csi = victim_csi(array, layout)
+        interfered = add_interference(
+            csi, [Interferer(interferer_profile(), power_db=10.0)], array, layout, rng
+        )
+        delta = interfered - csi
+        singular_values = np.linalg.svd(delta, compute_uv=False)
+        assert singular_values[0] > 100 * singular_values[1]
+
+    def test_no_interferers_is_identity(self, array, layout, rng):
+        csi = victim_csi(array, layout)
+        np.testing.assert_array_equal(add_interference(csi, [], array, layout, rng), csi)
+
+    def test_rejects_zero_victim(self, array, layout, rng):
+        with pytest.raises(ConfigurationError):
+            add_interference(
+                np.zeros((3, 16), dtype=complex),
+                [Interferer(interferer_profile())],
+                array,
+                layout,
+                rng,
+            )
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ConfigurationError):
+            Interferer(interferer_profile(), delay_s=-1e-9)
+
+
+class TestInrSummary:
+    def test_single_interferer(self):
+        assert interference_to_noise_equivalent_db(
+            [Interferer(interferer_profile(), power_db=-3.0)]
+        ) == pytest.approx(-3.0)
+
+    def test_two_equal_interferers_add_3db(self):
+        two = [Interferer(interferer_profile(), power_db=0.0)] * 2
+        assert interference_to_noise_equivalent_db(two) == pytest.approx(3.0, abs=0.1)
+
+    def test_empty_is_minus_inf(self):
+        assert interference_to_noise_equivalent_db([]) == float("-inf")
+
+
+class TestEndToEnd:
+    def test_roarray_survives_delayed_interferer(self, rng):
+        """An asynchronous (delayed) interferer appears at a later ToA, so
+        the smallest-ToA rule still finds the victim's direct path."""
+        from repro.channel.csi import CsiSynthesizer
+        from repro.channel.impairments import ImpairmentModel
+        from repro.channel.ofdm import intel5300_layout
+        from repro.channel.trace import CsiTrace
+        from repro.core.pipeline import RoArrayEstimator
+
+        array = UniformLinearArray()
+        layout = intel5300_layout()
+        profile = MultipathProfile(
+            paths=[
+                PropagationPath(60.0, 30e-9, 1.0, is_direct=True),
+                PropagationPath(100.0, 120e-9, 0.4),
+            ]
+        )
+        synthesizer = CsiSynthesizer(
+            array, layout, ImpairmentModel(detection_delay_range_s=0.0, sfo_std_s=0.0), seed=0
+        )
+        trace = synthesizer.packets(profile, n_packets=5, snr_db=15.0, rng=rng)
+        interfered = add_interference(
+            trace.csi,
+            [Interferer(interferer_profile(aoa=170.0), power_db=-3.0, delay_s=300e-9)],
+            array,
+            layout,
+            rng,
+        )
+        estimate = RoArrayEstimator().estimate_direct_path(
+            CsiTrace(csi=interfered, snr_db=trace.snr_db)
+        )
+        assert estimate.aoa_deg == pytest.approx(60.0, abs=8.0)

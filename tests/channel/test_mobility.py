@@ -1,0 +1,96 @@
+"""Tests for the client mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import Room
+from repro.channel.mobility import RandomWaypointModel, waypoint_walk
+from repro.exceptions import ConfigurationError
+
+
+class TestWaypointWalk:
+    def test_starts_at_first_waypoint(self):
+        samples = waypoint_walk([(0.0, 0.0), (4.0, 0.0)], speed_mps=1.0)
+        assert samples[0].position == (0.0, 0.0)
+        assert samples[0].time_s == 0.0
+
+    def test_constant_speed_spacing(self):
+        samples = waypoint_walk(
+            [(0.0, 0.0), (10.0, 0.0)], speed_mps=2.0, sample_interval_s=0.5
+        )
+        positions = np.array([s.position for s in samples])
+        steps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        np.testing.assert_allclose(steps[:-1], 1.0, atol=1e-9)  # 2 m/s × 0.5 s
+
+    def test_reaches_final_waypoint(self):
+        samples = waypoint_walk([(0.0, 0.0), (3.0, 4.0)], speed_mps=1.0, sample_interval_s=0.5)
+        end = np.array(samples[-1].position)
+        assert np.linalg.norm(end - [3.0, 4.0]) < 0.51
+
+    def test_corner_turning(self):
+        samples = waypoint_walk(
+            [(0.0, 0.0), (2.0, 0.0), (2.0, 2.0)], speed_mps=1.0, sample_interval_s=1.0
+        )
+        positions = [s.position for s in samples]
+        assert (2.0, 0.0) in positions
+        assert any(p[1] > 0 for p in positions)
+
+    def test_rejects_single_waypoint(self):
+        with pytest.raises(ConfigurationError):
+            waypoint_walk([(0.0, 0.0)])
+
+    def test_rejects_duplicate_waypoints(self):
+        with pytest.raises(ConfigurationError):
+            waypoint_walk([(0.0, 0.0), (0.0, 0.0)])
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ConfigurationError):
+            waypoint_walk([(0.0, 0.0), (1.0, 0.0)], speed_mps=0.0)
+
+
+class TestRandomWaypoint:
+    def make_model(self):
+        return RandomWaypointModel(room=Room(width=10.0, depth=8.0))
+
+    def test_stays_inside_room(self, rng):
+        model = self.make_model()
+        samples = model.generate(rng, duration_s=60.0)
+        for sample in samples:
+            assert 0.0 <= sample.position[0] <= 10.0
+            assert 0.0 <= sample.position[1] <= 8.0
+
+    def test_moves(self, rng):
+        model = self.make_model()
+        samples = model.generate(rng, duration_s=30.0)
+        positions = {s.position for s in samples}
+        assert len(positions) > 5
+
+    def test_speed_bounded(self, rng):
+        model = RandomWaypointModel(room=Room(), speed_range_mps=(0.5, 1.5))
+        samples = model.generate(rng, duration_s=30.0, sample_interval_s=0.5)
+        positions = np.array([s.position for s in samples])
+        steps = np.linalg.norm(np.diff(positions, axis=0), axis=1)
+        assert steps.max() <= 1.5 * 0.5 + 1e-9
+
+    def test_explicit_start(self, rng):
+        model = self.make_model()
+        samples = model.generate(rng, duration_s=5.0, start=(5.0, 4.0))
+        assert samples[0].position == (5.0, 4.0)
+
+    def test_deterministic(self):
+        model = self.make_model()
+        a = model.generate(np.random.default_rng(3), duration_s=10.0)
+        b = model.generate(np.random.default_rng(3), duration_s=10.0)
+        assert [s.position for s in a] == [s.position for s in b]
+
+    def test_rejects_bad_speed_range(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypointModel(room=Room(), speed_range_mps=(2.0, 1.0))
+
+    def test_rejects_start_outside(self, rng):
+        with pytest.raises(ConfigurationError):
+            self.make_model().generate(rng, duration_s=5.0, start=(99.0, 0.0))
+
+    def test_rejects_bad_duration(self, rng):
+        with pytest.raises(ConfigurationError):
+            self.make_model().generate(rng, duration_s=0.0)

@@ -1,0 +1,58 @@
+"""Tests for AWGN injection and SNR measurement."""
+
+import numpy as np
+import pytest
+
+from repro.channel.noise import awgn, measured_snr_db, noise_std_for_snr
+from repro.exceptions import ConfigurationError
+
+
+class TestAwgn:
+    def test_achieves_requested_snr(self, rng):
+        signal = np.exp(1j * rng.uniform(0, 2 * np.pi, size=20000))
+        for target in (-3.0, 2.0, 10.0, 20.0):
+            noisy = awgn(signal, target, rng)
+            assert measured_snr_db(signal, noisy) == pytest.approx(target, abs=0.3)
+
+    def test_preserves_shape(self, rng):
+        signal = np.ones((3, 30), dtype=complex)
+        assert awgn(signal, 10.0, rng).shape == (3, 30)
+
+    def test_noise_is_complex(self, rng):
+        signal = np.ones(100, dtype=complex)
+        noisy = awgn(signal, 0.0, rng)
+        assert np.any(np.abs(noisy.imag) > 0)
+
+    def test_rejects_zero_signal(self, rng):
+        with pytest.raises(ConfigurationError):
+            awgn(np.zeros(10), 10.0, rng)
+
+    def test_higher_snr_means_less_perturbation(self, rng):
+        signal = np.ones(5000, dtype=complex)
+        low = awgn(signal, 0.0, np.random.default_rng(1))
+        high = awgn(signal, 20.0, np.random.default_rng(1))
+        assert np.linalg.norm(high - signal) < np.linalg.norm(low - signal)
+
+
+class TestNoiseStd:
+    def test_matches_snr_definition(self, rng):
+        signal = 2.0 * np.ones(1000, dtype=complex)
+        sigma = noise_std_for_snr(signal, 10.0)
+        # SNR = P_sig / σ² → σ² = 4 / 10.
+        assert sigma**2 == pytest.approx(0.4)
+
+    def test_rejects_zero_signal(self):
+        with pytest.raises(ConfigurationError):
+            noise_std_for_snr(np.zeros(4), 10.0)
+
+
+class TestMeasuredSnr:
+    def test_identical_signals_infinite_snr(self):
+        signal = np.ones(10, dtype=complex)
+        assert measured_snr_db(signal, signal) == float("inf")
+
+    def test_known_ratio(self):
+        clean = np.ones(4, dtype=complex)
+        noisy = clean + np.array([1.0, -1.0, 1.0, -1.0]) * 0.1
+        # Noise power 0.01, signal power 1 → 20 dB.
+        assert measured_snr_db(clean, noisy) == pytest.approx(20.0)

@@ -1,0 +1,74 @@
+"""Tests for OFDM subcarrier layouts (paper Eq. 12, footnote 7)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.constants import SPEED_OF_LIGHT
+from repro.channel.ofdm import SubcarrierLayout, intel5300_layout
+from repro.exceptions import ConfigurationError
+
+
+class TestIntel5300Layout:
+    def test_paper_parameters(self):
+        layout = intel5300_layout()
+        assert layout.n_subcarriers == 30
+        assert layout.spacing == pytest.approx(1.25e6)
+        # Paper: "if Intel 5300 cards work with a 40 MHz band ... τmax = 800 ns".
+        assert layout.max_unambiguous_delay == pytest.approx(800e-9)
+
+    def test_20mhz_halves_spacing(self):
+        layout = intel5300_layout(bandwidth_40mhz=False)
+        assert layout.spacing == pytest.approx(0.625e6)
+        assert layout.max_unambiguous_delay == pytest.approx(1600e-9)
+
+    def test_wavelength_is_5ghz_band(self):
+        layout = intel5300_layout()
+        assert layout.wavelength == pytest.approx(SPEED_OF_LIGHT / layout.center_frequency)
+        assert 0.05 < layout.wavelength < 0.06  # ~5.6 cm
+
+
+class TestDelayResponse:
+    def test_zero_delay_is_all_ones(self, layout):
+        np.testing.assert_allclose(layout.delay_response(0.0), np.ones(layout.n_subcarriers))
+
+    def test_phase_ramp_slope(self, layout):
+        """Eq. 12: adjacent-subcarrier phase shift is −2π·fδ·τ."""
+        tau = 50e-9
+        response = layout.delay_response(tau)
+        step = np.angle(response[1] / response[0])
+        assert step == pytest.approx(-2 * np.pi * layout.spacing * tau)
+
+    def test_unit_magnitude(self, layout):
+        np.testing.assert_allclose(np.abs(layout.delay_response(123e-9)), 1.0)
+
+    def test_delay_aliases_at_tau_max(self, layout):
+        """τ and τ + 1/fδ are indistinguishable — the aliasing the grids respect."""
+        tau = 100e-9
+        aliased = tau + layout.max_unambiguous_delay
+        np.testing.assert_allclose(
+            layout.delay_response(tau), layout.delay_response(aliased), atol=1e-9
+        )
+
+    def test_paper_phase_shift_example(self):
+        """§III-B: a 5 ns ToA over 20 MHz gives 0.628 rad — vs 0.0054 from AoA."""
+        shift = 2 * np.pi * 20e6 * 5e-9
+        assert shift == pytest.approx(0.628, abs=0.001)
+
+
+class TestValidation:
+    def test_rejects_zero_subcarriers(self):
+        with pytest.raises(ConfigurationError):
+            SubcarrierLayout(n_subcarriers=0)
+
+    def test_rejects_negative_spacing(self):
+        with pytest.raises(ConfigurationError):
+            SubcarrierLayout(spacing=-1.0)
+
+    def test_rejects_zero_center_frequency(self):
+        with pytest.raises(ConfigurationError):
+            SubcarrierLayout(center_frequency=0.0)
+
+    def test_frequency_offsets_shape_and_spacing(self, layout):
+        offsets = layout.frequency_offsets()
+        assert offsets.shape == (layout.n_subcarriers,)
+        np.testing.assert_allclose(np.diff(offsets), layout.spacing)

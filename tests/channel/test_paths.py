@@ -1,0 +1,127 @@
+"""Tests for propagation-path containers and the synthetic profile generator."""
+
+import numpy as np
+import pytest
+
+from repro.channel.paths import MultipathProfile, PropagationPath, random_profile
+from repro.exceptions import ConfigurationError
+
+
+class TestPropagationPath:
+    def test_rejects_out_of_range_aoa(self):
+        for aoa in (-1.0, 181.0):
+            with pytest.raises(ConfigurationError):
+                PropagationPath(aoa_deg=aoa, toa_s=1e-9, gain=1.0)
+
+    def test_rejects_negative_toa(self):
+        with pytest.raises(ConfigurationError):
+            PropagationPath(aoa_deg=90.0, toa_s=-1e-9, gain=1.0)
+
+
+class TestMultipathProfile:
+    def test_requires_at_least_one_path(self):
+        with pytest.raises(ConfigurationError):
+            MultipathProfile(paths=[])
+
+    def test_rejects_two_direct_paths(self):
+        paths = [
+            PropagationPath(10.0, 1e-9, 1.0, is_direct=True),
+            PropagationPath(20.0, 2e-9, 1.0, is_direct=True),
+        ]
+        with pytest.raises(ConfigurationError):
+            MultipathProfile(paths=paths)
+
+    def test_direct_path_falls_back_to_earliest(self):
+        paths = [
+            PropagationPath(10.0, 5e-9, 1.0),
+            PropagationPath(20.0, 2e-9, 0.5),
+        ]
+        profile = MultipathProfile(paths=paths)
+        assert profile.direct_path.aoa_deg == 20.0
+
+    def test_arrays_match_paths(self, two_path_profile):
+        np.testing.assert_allclose(two_path_profile.aoas_deg, [60.0, 120.0])
+        np.testing.assert_allclose(two_path_profile.toas_s, [40e-9, 200e-9])
+        assert two_path_profile.gains.dtype == complex
+
+    def test_normalized_has_unit_power(self, two_path_profile):
+        normalized = two_path_profile.normalized()
+        assert normalized.total_power == pytest.approx(1.0)
+        # Relative gains preserved.
+        ratio = abs(normalized.gains[1]) / abs(normalized.gains[0])
+        original = abs(two_path_profile.gains[1]) / abs(two_path_profile.gains[0])
+        assert ratio == pytest.approx(original)
+
+    def test_normalize_zero_power_rejected(self):
+        profile = MultipathProfile(paths=[PropagationPath(10.0, 1e-9, 0.0)])
+        with pytest.raises(ConfigurationError):
+            profile.normalized()
+
+    def test_sorted_by_toa(self):
+        paths = [
+            PropagationPath(10.0, 9e-9, 1.0),
+            PropagationPath(20.0, 2e-9, 1.0, is_direct=True),
+        ]
+        ordered = MultipathProfile(paths=paths).sorted_by_toa()
+        assert ordered.paths[0].is_direct
+
+
+class TestDirectAttenuation:
+    def test_attenuates_only_direct(self, two_path_profile):
+        blocked = two_path_profile.with_direct_attenuation(20.0)
+        assert abs(blocked.direct_path.gain) == pytest.approx(
+            abs(two_path_profile.direct_path.gain) / 10.0
+        )
+        assert abs(blocked.paths[1].gain) == pytest.approx(abs(two_path_profile.paths[1].gain))
+
+    def test_zero_attenuation_is_identity(self, two_path_profile):
+        same = two_path_profile.with_direct_attenuation(0.0)
+        np.testing.assert_allclose(same.gains, two_path_profile.gains)
+
+    def test_rejects_negative(self, two_path_profile):
+        with pytest.raises(ConfigurationError):
+            two_path_profile.with_direct_attenuation(-3.0)
+
+
+class TestRandomProfile:
+    def test_path_count(self, rng):
+        profile = random_profile(rng, n_paths=5)
+        assert len(profile) == 5
+
+    def test_direct_path_properties(self, rng):
+        profile = random_profile(rng, n_paths=4, direct_aoa_deg=150.0, direct_toa_s=30e-9)
+        direct = profile.direct_path
+        assert direct.is_direct
+        assert direct.aoa_deg == 150.0
+        assert direct.toa_s == 30e-9
+
+    def test_direct_is_earliest(self, rng):
+        for seed in range(5):
+            profile = random_profile(np.random.default_rng(seed), n_paths=5)
+            assert profile.direct_path.toa_s == min(profile.toas_s)
+
+    def test_direct_is_strongest_on_average(self, rng):
+        profile = random_profile(rng, n_paths=5)
+        direct_gain = abs(profile.direct_path.gain)
+        others = [abs(p.gain) for p in profile.paths if not p.is_direct]
+        assert direct_gain > np.mean(others)
+
+    def test_aoa_separation_enforced(self, rng):
+        profile = random_profile(rng, n_paths=5, min_aoa_separation_deg=10.0)
+        aoas = np.sort(profile.aoas_deg)
+        assert np.all(np.diff(aoas) >= 10.0 - 1e-9)
+
+    def test_single_path_profile(self, rng):
+        profile = random_profile(rng, n_paths=1)
+        assert len(profile) == 1
+        assert profile.paths[0].is_direct
+
+    def test_rejects_zero_paths(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_profile(rng, n_paths=0)
+
+    def test_deterministic_given_generator_state(self):
+        a = random_profile(np.random.default_rng(9), n_paths=4)
+        b = random_profile(np.random.default_rng(9), n_paths=4)
+        np.testing.assert_allclose(a.aoas_deg, b.aoas_deg)
+        np.testing.assert_allclose(a.gains, b.gains)

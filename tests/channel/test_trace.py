@@ -1,0 +1,73 @@
+"""Tests for the CSI trace container and its on-disk format."""
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import ConfigurationError
+
+
+def make_trace(rng, n_packets=4):
+    return CsiTrace(
+        csi=rng.standard_normal((n_packets, 3, 30)) + 1j * rng.standard_normal((n_packets, 3, 30)),
+        snr_db=7.5,
+        detection_delays_s=rng.uniform(0, 100e-9, n_packets),
+        antenna_phase_offsets=np.array([0.0, 0.3, -0.2]),
+        true_aoas_deg=np.array([60.0, 120.0]),
+        true_toas_s=np.array([40e-9, 200e-9]),
+        direct_aoa_deg=60.0,
+        direct_toa_s=40e-9,
+        rssi_dbm=-48.0,
+    )
+
+
+class TestContainer:
+    def test_dimension_properties(self, rng):
+        trace = make_trace(rng)
+        assert trace.n_packets == 4
+        assert trace.n_antennas == 3
+        assert trace.n_subcarriers == 30
+
+    def test_packet_accessor(self, rng):
+        trace = make_trace(rng)
+        np.testing.assert_array_equal(trace.packet(2), trace.csi[2])
+
+    def test_rejects_2d_csi(self, rng):
+        with pytest.raises(ConfigurationError):
+            CsiTrace(csi=rng.standard_normal((3, 30)), snr_db=0.0)
+
+    def test_subset(self, rng):
+        trace = make_trace(rng)
+        subset = trace.subset(2)
+        assert subset.n_packets == 2
+        np.testing.assert_array_equal(subset.csi, trace.csi[:2])
+        assert subset.direct_aoa_deg == trace.direct_aoa_deg
+        assert subset.rssi_dbm == trace.rssi_dbm
+
+    def test_subset_bounds(self, rng):
+        trace = make_trace(rng)
+        with pytest.raises(ConfigurationError):
+            trace.subset(0)
+        with pytest.raises(ConfigurationError):
+            trace.subset(5)
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, rng, tmp_path):
+        trace = make_trace(rng)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = CsiTrace.load(path)
+        np.testing.assert_array_equal(loaded.csi, trace.csi)
+        np.testing.assert_array_equal(loaded.detection_delays_s, trace.detection_delays_s)
+        np.testing.assert_array_equal(loaded.true_aoas_deg, trace.true_aoas_deg)
+        assert loaded.snr_db == trace.snr_db
+        assert loaded.direct_aoa_deg == trace.direct_aoa_deg
+        assert loaded.rssi_dbm == trace.rssi_dbm
+
+    def test_loaded_trace_is_usable(self, rng, tmp_path):
+        trace = make_trace(rng)
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = CsiTrace.load(path)
+        assert loaded.subset(1).n_packets == 1

@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite.
+
+The fixtures deliberately use *small* grids and subcarrier counts so the
+suite stays fast; correctness of the algorithms does not depend on grid
+size, and the full-size working point is exercised by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.ofdm import SubcarrierLayout
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.config import RoArrayConfig
+from repro.core.grids import AngleGrid, DelayGrid
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def array() -> UniformLinearArray:
+    """The paper's 3-antenna half-wavelength ULA."""
+    return UniformLinearArray()
+
+
+@pytest.fixture
+def layout() -> SubcarrierLayout:
+    """A reduced 16-subcarrier layout (same spacing as the Intel 5300)."""
+    return SubcarrierLayout(n_subcarriers=16, spacing=1.25e6)
+
+
+@pytest.fixture
+def small_config() -> RoArrayConfig:
+    """A coarse but fully functional ROArray configuration for fast tests."""
+    return RoArrayConfig(
+        angle_grid=AngleGrid(n_points=61),
+        delay_grid=DelayGrid(n_points=21, stop_s=800e-9),
+        max_iterations=150,
+    )
+
+
+@pytest.fixture
+def two_path_profile() -> MultipathProfile:
+    """A clean, well-separated two-path channel with a strong LoS."""
+    return MultipathProfile(
+        paths=[
+            PropagationPath(aoa_deg=60.0, toa_s=40e-9, gain=1.0 + 0.0j, is_direct=True),
+            PropagationPath(aoa_deg=120.0, toa_s=200e-9, gain=0.4 * np.exp(1j)),
+        ]
+    )
+
+
+@pytest.fixture
+def clean_impairments() -> ImpairmentModel:
+    """No detection delay, CFO, offsets, or tilt — for exactness tests."""
+    return ImpairmentModel(detection_delay_range_s=0.0, sfo_std_s=0.0, cfo_residual_rad=0.0)
+
+
+@pytest.fixture
+def synthesizer(array, layout, clean_impairments) -> CsiSynthesizer:
+    return CsiSynthesizer(array, layout, clean_impairments, seed=0)

@@ -1,0 +1,92 @@
+"""Tests for sparse AoA estimation (paper §III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.noise import awgn
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.aoa import estimate_aoa_spectrum
+from repro.core.grids import AngleGrid
+from repro.exceptions import SolverError
+
+GRID = AngleGrid(n_points=181)
+
+
+def snapshot_for(array, aoas, gains):
+    profile = MultipathProfile(
+        paths=[
+            PropagationPath(aoa, 0.0, gain, is_direct=(i == 0))
+            for i, (aoa, gain) in enumerate(zip(aoas, gains))
+        ]
+    )
+    return profile
+
+
+class TestSingleSnapshot:
+    def test_recovers_single_angle(self, array, layout):
+        y = array.steering_vector(150.0)
+        spectrum, result = estimate_aoa_spectrum(y, array, GRID)
+        assert spectrum.strongest_aoa() == pytest.approx(150.0, abs=1.0)
+        assert result.converged or result.iterations > 0
+
+    def test_two_snapshots_vs_multipath(self, array, layout, rng):
+        """Multiple subcarrier snapshots sharpen a multipath estimate."""
+        profile = snapshot_for(array, [60.0, 140.0], [1.0, 0.7])
+        csi = synthesize_csi_matrix(profile, array, layout)
+        noisy = awgn(csi, 15.0, rng)
+        spectrum, _ = estimate_aoa_spectrum(noisy, array, GRID)
+        assert spectrum.closest_peak_error(60.0, min_relative_height=0.2) < 8.0
+        assert spectrum.closest_peak_error(140.0, min_relative_height=0.2) < 8.0
+
+    def test_spectrum_is_sparse(self, array):
+        """Most grid cells must be exactly zero — the ℓ1 sharpness claim."""
+        y = array.steering_vector(90.0)
+        spectrum, _ = estimate_aoa_spectrum(y, array, GRID, kappa_fraction=0.1)
+        occupied = np.count_nonzero(spectrum.power > 1e-6 * spectrum.power.max())
+        assert occupied < 30  # ≪ 181 grid points
+
+    def test_iteration_budget_controls_refinement(self, array):
+        """Fewer iterations → blunter spectrum (paper Fig. 3)."""
+        y = array.steering_vector(150.0)
+        coarse, _ = estimate_aoa_spectrum(y, array, GRID, max_iterations=3)
+        fine, _ = estimate_aoa_spectrum(y, array, GRID, max_iterations=200)
+        assert fine.normalized().sharpness() >= coarse.normalized().sharpness()
+
+    def test_explicit_kappa_respected(self, array):
+        y = array.steering_vector(90.0)
+        huge = 10 * float(np.abs(2 * array.steering_matrix(GRID.angles_deg).conj().T @ y).max())
+        spectrum, _ = estimate_aoa_spectrum(y, array, GRID, kappa=huge)
+        assert np.all(spectrum.power == 0)
+
+    def test_insensitive_to_model_order(self, array, layout, rng):
+        """No K parameter exists at all — the §III-A robustness claim.
+
+        The same call recovers 1-path and 4-path scenes without being
+        told the path count.
+        """
+        for n_paths, aoas in [(1, [90.0]), (4, [20.0, 70.0, 120.0, 165.0])]:
+            profile = snapshot_for(array, aoas, [1.0] * n_paths)
+            csi = synthesize_csi_matrix(profile, array, layout)
+            spectrum, _ = estimate_aoa_spectrum(awgn(csi, 15.0, rng), array, GRID)
+            peaks = spectrum.peaks(max_peaks=n_paths, min_relative_height=0.2)
+            assert len(peaks) >= 1
+
+
+class TestValidation:
+    def test_rejects_3d_snapshots(self, array):
+        with pytest.raises(SolverError):
+            estimate_aoa_spectrum(np.zeros((3, 2, 2)), array)
+
+    def test_rejects_sensor_mismatch(self, array):
+        with pytest.raises(SolverError, match="sensors"):
+            estimate_aoa_spectrum(np.zeros(5, dtype=complex), array, GRID)
+
+    def test_rejects_zero_snapshots_matrix(self, array):
+        with pytest.raises(SolverError):
+            estimate_aoa_spectrum(np.zeros((3, 2), dtype=complex), array, GRID)
+
+    def test_default_grid_used_when_omitted(self, array):
+        y = array.steering_vector(45.0)
+        spectrum, _ = estimate_aoa_spectrum(y, array)
+        assert spectrum.angles_deg.size == 181

@@ -1,0 +1,77 @@
+"""Tests for 2-D (azimuth, elevation) sparse AoA estimation."""
+
+import numpy as np
+import pytest
+
+from repro.channel.array2d import PlanarArray
+from repro.core.aoa2d import (
+    AzimuthElevationGrid,
+    PlanarSpectrum,
+    estimate_aoa2d_spectrum,
+)
+from repro.exceptions import ConfigurationError, SolverError
+
+GRID = AzimuthElevationGrid(n_azimuths=36, n_elevations=7, max_elevation_deg=60.0)
+
+
+@pytest.fixture
+def planar():
+    return PlanarArray(n_x=3, n_y=3)
+
+
+def on_grid_direction(index_az=9, index_el=3):
+    return float(GRID.azimuths_deg[index_az]), float(GRID.elevations_deg[index_el])
+
+
+class TestRecovery:
+    def test_recovers_single_direction(self, planar):
+        azimuth, elevation = on_grid_direction()
+        y = planar.steering_vector(azimuth, elevation)
+        spectrum, result = estimate_aoa2d_spectrum(y, planar, GRID)
+        found_az, found_el = spectrum.strongest_direction()
+        assert found_az == pytest.approx(azimuth, abs=10.0)
+        assert found_el == pytest.approx(elevation, abs=10.0)
+
+    def test_recovers_two_directions(self, planar, rng):
+        az1, el1 = on_grid_direction(4, 2)
+        az2, el2 = on_grid_direction(22, 5)
+        y = planar.steering_vector(az1, el1) + 0.8 * planar.steering_vector(az2, el2)
+        y = y + 0.02 * (rng.standard_normal(9) + 1j * rng.standard_normal(9))
+        spectrum, _ = estimate_aoa2d_spectrum(y, planar, GRID)
+        assert spectrum.closest_azimuth_error(az1) <= 10.0
+        assert spectrum.closest_azimuth_error(az2) <= 10.0
+
+    def test_multi_snapshot_input(self, planar, rng):
+        azimuth, elevation = on_grid_direction()
+        base = planar.steering_vector(azimuth, elevation)
+        snapshots = np.stack([base * np.exp(1j * rng.uniform()) for _ in range(4)], axis=1)
+        spectrum, _ = estimate_aoa2d_spectrum(snapshots, planar, GRID)
+        assert spectrum.closest_azimuth_error(azimuth) <= 10.0
+
+    def test_azimuth_error_wraps(self):
+        spectrum = PlanarSpectrum(
+            azimuths_deg=np.array([0.0, 350.0]),
+            elevations_deg=np.array([0.0, 30.0]),
+            power=np.array([[0.0, 0.0], [1.0, 0.0]]),
+        )
+        assert spectrum.closest_azimuth_error(5.0) == pytest.approx(15.0)
+
+
+class TestValidation:
+    def test_rejects_sensor_mismatch(self, planar):
+        with pytest.raises(SolverError, match="sensors"):
+            estimate_aoa2d_spectrum(np.zeros(5, dtype=complex), planar, GRID)
+
+    def test_rejects_3d_input(self, planar):
+        with pytest.raises(SolverError):
+            estimate_aoa2d_spectrum(np.zeros((9, 2, 2), dtype=complex), planar, GRID)
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            AzimuthElevationGrid(n_azimuths=1)
+        with pytest.raises(ConfigurationError):
+            AzimuthElevationGrid(max_elevation_deg=0.0)
+
+    def test_spectrum_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            PlanarSpectrum(np.zeros(3), np.zeros(2), np.zeros((2, 3)))

@@ -1,0 +1,50 @@
+"""Elevation-axis tests for 2-D sparse AoA (complements test_aoa2d)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.array2d import PlanarArray
+from repro.core.aoa2d import AzimuthElevationGrid, estimate_aoa2d_spectrum
+
+
+@pytest.fixture
+def planar():
+    return PlanarArray(n_x=4, n_y=4)
+
+
+GRID = AzimuthElevationGrid(n_azimuths=24, n_elevations=10, max_elevation_deg=81.0)
+
+
+class TestElevationRecovery:
+    def test_recovers_elevation(self, planar):
+        azimuth = float(GRID.azimuths_deg[5])
+        elevation = float(GRID.elevations_deg[4])
+        y = planar.steering_vector(azimuth, elevation)
+        spectrum, _ = estimate_aoa2d_spectrum(y, planar, GRID)
+        _, found_el = spectrum.strongest_direction()
+        assert found_el == pytest.approx(elevation, abs=GRID.elevations_deg[1])
+
+    def test_low_vs_high_elevation_distinguished(self, planar):
+        azimuth = float(GRID.azimuths_deg[8])
+        low = planar.steering_vector(azimuth, float(GRID.elevations_deg[1]))
+        high = planar.steering_vector(azimuth, float(GRID.elevations_deg[7]))
+        spec_low, _ = estimate_aoa2d_spectrum(low, planar, GRID)
+        spec_high, _ = estimate_aoa2d_spectrum(high, planar, GRID)
+        assert spec_low.strongest_direction()[1] < spec_high.strongest_direction()[1]
+
+    def test_near_boresight_azimuth_ambiguity_is_physical(self, planar):
+        """At 90° elevation all azimuths coincide — the spectrum may pick
+        any azimuth but the elevation must be ~boresight."""
+        y = planar.steering_vector(123.0, 89.0)
+        grid = AzimuthElevationGrid(n_azimuths=24, n_elevations=10, max_elevation_deg=90.0)
+        spectrum, _ = estimate_aoa2d_spectrum(y, planar, grid)
+        _, found_el = spectrum.strongest_direction()
+        assert found_el >= 70.0
+
+    def test_noise_robustness(self, planar, rng):
+        azimuth = float(GRID.azimuths_deg[10])
+        elevation = float(GRID.elevations_deg[3])
+        y = planar.steering_vector(azimuth, elevation)
+        y = y + 0.1 * (rng.standard_normal(16) + 1j * rng.standard_normal(16))
+        spectrum, _ = estimate_aoa2d_spectrum(y, planar, GRID)
+        assert spectrum.closest_azimuth_error(azimuth) <= 2 * 360.0 / GRID.n_azimuths

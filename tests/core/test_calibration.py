@@ -1,0 +1,124 @@
+"""Tests for phase autocalibration (paper §III-D / Fig. 8b)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.calibration import apply_phase_calibration, calibrate_phase_offsets
+from repro.exceptions import CalibrationError
+
+
+def los_profile(aoa=70.0):
+    return MultipathProfile(
+        paths=[
+            PropagationPath(aoa, 30e-9, 1.0, is_direct=True),
+            PropagationPath(140.0, 180e-9, 0.3),
+        ]
+    )
+
+
+def offset_trace(array, layout, rng, seed=11, snr_db=25.0, aoa=70.0):
+    impairments = ImpairmentModel(
+        detection_delay_range_s=0.0, sfo_std_s=0.0, phase_offset_std_rad=1.0
+    )
+    synthesizer = CsiSynthesizer(array, layout, impairments, seed=seed)
+    trace = synthesizer.packets(los_profile(aoa), n_packets=4, snr_db=snr_db, rng=rng)
+    return trace, synthesizer.phase_offsets
+
+
+class TestApply:
+    def test_apply_inverts_injected_offsets(self, array, layout, rng):
+        trace, true_offsets = offset_trace(array, layout, rng)
+        corrected = apply_phase_calibration(trace.csi, true_offsets)
+        # After exact correction, inter-antenna ratios match the clean model.
+        from repro.channel.csi import synthesize_csi_matrix
+
+        clean = synthesize_csi_matrix(los_profile().normalized(), array, layout)
+        ratio_corrected = np.angle(corrected[0, 1, 0] / corrected[0, 0, 0])
+        ratio_clean = np.angle(clean[1, 0] / clean[0, 0])
+        assert abs(ratio_corrected - ratio_clean) < 0.3  # noise-limited
+
+    def test_2d_and_3d_inputs(self, rng):
+        offsets = np.array([0.0, 0.5, 1.0])
+        matrix = rng.standard_normal((3, 8)) + 0j
+        batch = rng.standard_normal((2, 3, 8)) + 0j
+        assert apply_phase_calibration(matrix, offsets).shape == (3, 8)
+        assert apply_phase_calibration(batch, offsets).shape == (2, 3, 8)
+
+    def test_rejects_1d(self):
+        with pytest.raises(CalibrationError):
+            apply_phase_calibration(np.zeros(5), np.zeros(3))
+
+    def test_zero_offsets_identity(self, rng):
+        batch = rng.standard_normal((2, 3, 8)) + 1j * rng.standard_normal((2, 3, 8))
+        np.testing.assert_allclose(apply_phase_calibration(batch, np.zeros(3)), batch)
+
+
+class TestCalibrate:
+    @pytest.mark.parametrize(
+        ("estimator", "tolerance_rad"),
+        [("roarray", 0.6), ("music", 1.3)],  # sharper ℓ1 objective → tighter recovery
+    )
+    def test_recovers_offsets_up_to_wrap(self, array, layout, rng, estimator, tolerance_rad):
+        trace, true_offsets = offset_trace(array, layout, rng)
+        estimated = calibrate_phase_offsets(
+            trace.csi, array, estimator=estimator, known_aoa_deg=70.0
+        )
+        residual = np.angle(np.exp(1j * (estimated - true_offsets)))
+        # Antenna 0 is the reference; others recovered within a tolerance.
+        assert abs(residual[0]) == 0.0
+        assert np.max(np.abs(residual[1:])) < tolerance_rad
+
+    def test_correction_restores_aoa_estimate(self, array, layout, rng):
+        from repro.core.aoa import estimate_aoa_spectrum
+        from repro.core.grids import AngleGrid
+
+        trace, _ = offset_trace(array, layout, rng, seed=13)
+        offsets = calibrate_phase_offsets(
+            trace.csi, array, estimator="roarray", known_aoa_deg=70.0
+        )
+        corrected = apply_phase_calibration(trace.csi, offsets)
+
+        def direct_error(csi_batch):
+            snapshots = np.moveaxis(csi_batch, 1, 0).reshape(3, -1)
+            spectrum, _ = estimate_aoa_spectrum(snapshots, array, AngleGrid(n_points=91))
+            return spectrum.closest_peak_error(70.0, max_peaks=3, min_relative_height=0.2)
+
+        assert direct_error(corrected) <= direct_error(trace.csi)
+        assert direct_error(corrected) < 10.0
+
+    def test_no_offsets_yields_near_zero_correction_error(self, array, layout, rng):
+        impairments = ImpairmentModel(detection_delay_range_s=0.0, sfo_std_s=0.0)
+        synthesizer = CsiSynthesizer(array, layout, impairments, seed=0)
+        trace = synthesizer.packets(los_profile(), n_packets=3, snr_db=25.0, rng=rng)
+        estimated = calibrate_phase_offsets(
+            trace.csi, array, estimator="roarray", known_aoa_deg=70.0, coarse_steps=8,
+            refinement_rounds=1,
+        )
+        corrected = apply_phase_calibration(trace.csi, estimated)
+        # Whatever offsets the search picked, the corrected spectrum must
+        # still peak at the true angle.
+        from repro.core.aoa import estimate_aoa_spectrum
+        from repro.core.grids import AngleGrid
+
+        snapshots = np.moveaxis(corrected, 1, 0).reshape(3, -1)
+        spectrum, _ = estimate_aoa_spectrum(snapshots, array, AngleGrid(n_points=91))
+        assert spectrum.closest_peak_error(70.0, max_peaks=3, min_relative_height=0.2) < 8.0
+
+
+class TestValidation:
+    def test_rejects_wrong_antenna_count(self, array, rng):
+        with pytest.raises(CalibrationError):
+            calibrate_phase_offsets(rng.standard_normal((2, 5, 8)) + 0j, array)
+
+    def test_rejects_1d_csi(self, array):
+        with pytest.raises(CalibrationError):
+            calibrate_phase_offsets(np.zeros(8), array)
+
+    def test_rejects_tiny_coarse_steps(self, array, rng):
+        with pytest.raises(CalibrationError):
+            calibrate_phase_offsets(
+                rng.standard_normal((1, 3, 8)) + 0j, array, coarse_steps=2
+            )

@@ -1,0 +1,74 @@
+"""Tests for smallest-ToA direct-path identification."""
+
+import numpy as np
+import pytest
+
+from repro.core.direct_path import ApAnalysis, DirectPathEstimate, identify_direct_path
+from repro.spectral.spectrum import JointSpectrum
+
+
+def spectrum_with(cells):
+    """cells: list of (angle_index, toa_index, power) on a 19×11 grid."""
+    angles = np.linspace(0, 180, 19)
+    toas = np.linspace(0, 800e-9, 11)
+    power = np.zeros((19, 11))
+    for i, j, p in cells:
+        power[i, j] = p
+    return JointSpectrum(angles, toas, power)
+
+
+class TestIdentifyDirectPath:
+    def test_picks_earliest_not_strongest(self):
+        spectrum = spectrum_with([(15, 8, 1.0), (5, 2, 0.5)])
+        estimate = identify_direct_path(spectrum)
+        assert estimate.toa_s == pytest.approx(2 * 80e-9)
+        assert estimate.aoa_deg == pytest.approx(50.0)
+        assert estimate.n_paths == 2
+
+    def test_subthreshold_early_blip_ignored(self):
+        spectrum = spectrum_with([(15, 8, 1.0), (2, 0, 0.05)])
+        estimate = identify_direct_path(spectrum, peak_floor=0.3)
+        assert estimate.toa_s == pytest.approx(8 * 80e-9)
+
+    def test_max_paths_caps_candidates(self):
+        cells = [(i, 10 - i, 1.0 - 0.1 * i) for i in range(8)]
+        spectrum = spectrum_with(cells)
+        generous = identify_direct_path(spectrum, max_paths=8, peak_floor=0.05)
+        strict = identify_direct_path(spectrum, max_paths=2, peak_floor=0.05)
+        # With only the 2 strongest peaks considered, the earliest of those wins.
+        assert strict.toa_s >= generous.toa_s
+
+    def test_flat_spectrum_fallback(self):
+        spectrum = spectrum_with([])
+        estimate = identify_direct_path(spectrum)
+        assert estimate.n_paths == 1
+        assert 0 <= estimate.aoa_deg <= 180
+
+    def test_single_peak(self):
+        spectrum = spectrum_with([(9, 5, 1.0)])
+        estimate = identify_direct_path(spectrum)
+        assert estimate.aoa_deg == pytest.approx(90.0)
+        assert estimate.power == 1.0
+
+
+class TestDirectPathEstimate:
+    def test_rejects_nan_aoa(self):
+        with pytest.raises(ValueError):
+            DirectPathEstimate(aoa_deg=float("nan"), toa_s=0.0, power=1.0, n_paths=1)
+
+    def test_nan_toa_allowed(self):
+        """ArrayTrack reports no ToA; the estimate must still be valid."""
+        estimate = DirectPathEstimate(aoa_deg=90.0, toa_s=float("nan"), power=1.0, n_paths=1)
+        assert np.isnan(estimate.toa_s)
+
+
+class TestApAnalysis:
+    def test_closest_aoa_error_uses_candidates(self):
+        direct = DirectPathEstimate(aoa_deg=60.0, toa_s=1e-9, power=1.0, n_paths=3)
+        analysis = ApAnalysis(direct=direct, candidate_aoas_deg=(60.0, 118.0, 150.0))
+        assert analysis.closest_aoa_error(120.0) == pytest.approx(2.0)
+
+    def test_falls_back_to_direct_when_no_candidates(self):
+        direct = DirectPathEstimate(aoa_deg=60.0, toa_s=1e-9, power=1.0, n_paths=1)
+        analysis = ApAnalysis(direct=direct, candidate_aoas_deg=())
+        assert analysis.closest_aoa_error(70.0) == pytest.approx(10.0)

@@ -1,0 +1,118 @@
+"""Failure-injection tests: broken hardware and hostile inputs.
+
+A deployed localization system sees dead RF chains, dropped
+subcarriers and corrupt CSI reports.  These tests pin down how the
+pipeline behaves in each case: either a clean, early, typed error or a
+graceful accuracy degradation — never NaNs propagating into a fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.paths import random_profile
+from repro.channel.trace import CsiTrace
+from repro.core.pipeline import RoArrayEstimator
+from repro.exceptions import SolverError
+
+
+@pytest.fixture
+def estimator(small_config):
+    return RoArrayEstimator(config=small_config)
+
+
+def healthy_trace(estimator, rng, n_packets=4, snr_db=15.0):
+    profile = random_profile(rng, n_paths=3, direct_aoa_deg=120.0, direct_toa_s=30e-9)
+    synthesizer = CsiSynthesizer(estimator.array, estimator.layout, ImpairmentModel(), seed=1)
+    return synthesizer.packets(profile, n_packets=n_packets, snr_db=snr_db, rng=rng)
+
+
+def replace_csi(trace, csi):
+    return CsiTrace(csi=csi, snr_db=trace.snr_db, rssi_dbm=trace.rssi_dbm)
+
+
+class TestNanCorruption:
+    def test_nan_csi_raises_typed_error(self, estimator, rng):
+        trace = healthy_trace(estimator, rng)
+        corrupt = trace.csi.copy()
+        corrupt[0, 1, 5] = np.nan
+        with pytest.raises(SolverError, match="non-finite"):
+            estimator.estimate_direct_path(replace_csi(trace, corrupt))
+
+    def test_inf_csi_raises_typed_error(self, estimator, rng):
+        trace = healthy_trace(estimator, rng)
+        corrupt = trace.csi.copy()
+        corrupt[0, 0, 0] = np.inf
+        with pytest.raises(SolverError, match="non-finite"):
+            estimator.estimate_direct_path(replace_csi(trace, corrupt))
+
+
+class TestDeadAntenna:
+    def test_dead_antenna_degrades_gracefully(self, estimator, rng):
+        """A zeroed RF chain loses aperture but must not crash or NaN."""
+        trace = healthy_trace(estimator, rng, n_packets=6)
+        dead = trace.csi.copy()
+        dead[:, 2, :] = 0.0
+        estimate = estimator.estimate_direct_path(replace_csi(trace, dead))
+        assert np.isfinite(estimate.aoa_deg)
+        assert 0.0 <= estimate.aoa_deg <= 180.0
+
+    def test_dead_antenna_worse_than_healthy(self, estimator, rng):
+        healthy_errors, dead_errors = [], []
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            trace = healthy_trace(estimator, local, n_packets=4, snr_db=5.0)
+            healthy_errors.append(
+                abs(estimator.estimate_direct_path(trace).aoa_deg - 120.0)
+            )
+            dead = trace.csi.copy()
+            dead[:, 2, :] = 0.0
+            dead_errors.append(
+                abs(estimator.estimate_direct_path(replace_csi(trace, dead)).aoa_deg - 120.0)
+            )
+        assert np.mean(dead_errors) >= np.mean(healthy_errors) - 1.0
+
+
+class TestDroppedSubcarriers:
+    def test_zeroed_subcarriers_still_produce_estimate(self, estimator, rng):
+        """Some NICs blank guard subcarriers; zero columns must be survivable."""
+        trace = healthy_trace(estimator, rng)
+        sparse_csi = trace.csi.copy()
+        sparse_csi[:, :, ::4] = 0.0
+        estimate = estimator.estimate_direct_path(replace_csi(trace, sparse_csi))
+        assert np.isfinite(estimate.aoa_deg)
+
+
+class TestExtremeConditions:
+    def test_pure_noise_trace_yields_valid_if_meaningless_estimate(self, estimator, rng):
+        shape = (3, estimator.array.n_antennas, estimator.layout.n_subcarriers)
+        noise = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+        trace = CsiTrace(csi=noise, snr_db=-100.0)
+        estimate = estimator.estimate_direct_path(trace)
+        assert 0.0 <= estimate.aoa_deg <= 180.0
+        assert np.isfinite(estimate.toa_s)
+
+    def test_wrong_subcarrier_count_raises_typed_error(self, estimator, rng):
+        noise = rng.standard_normal((3, 3, 16)) + 1j * rng.standard_normal((3, 3, 16))
+        with pytest.raises(SolverError, match="expected"):
+            estimator.estimate_direct_path(CsiTrace(csi=noise, snr_db=0.0))
+
+    def test_very_high_snr_is_exact(self, estimator, rng):
+        trace = healthy_trace(estimator, rng, snr_db=60.0)
+        estimate = estimator.estimate_direct_path(trace)
+        assert estimate.aoa_deg == pytest.approx(120.0, abs=estimator.config.angle_grid.spacing_deg)
+
+    def test_single_antenna_pair(self, rng, small_config):
+        """M = 2, the minimum array: the pipeline must still run."""
+        from repro.channel.array import UniformLinearArray
+        from repro.channel.ofdm import SubcarrierLayout
+
+        array = UniformLinearArray(n_antennas=2)
+        layout = SubcarrierLayout(n_subcarriers=16, spacing=1.25e6)
+        estimator = RoArrayEstimator(array=array, layout=layout, config=small_config)
+        profile = random_profile(rng, n_paths=2, direct_aoa_deg=60.0)
+        synthesizer = CsiSynthesizer(array, layout, ImpairmentModel(), seed=0)
+        trace = synthesizer.packets(profile, n_packets=3, snr_db=20.0, rng=rng)
+        estimate = estimator.estimate_direct_path(trace)
+        assert estimate.aoa_deg == pytest.approx(60.0, abs=12.0)

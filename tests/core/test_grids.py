@@ -1,0 +1,60 @@
+"""Tests for the sampling grids."""
+
+import numpy as np
+import pytest
+
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.exceptions import ConfigurationError
+
+
+class TestAngleGrid:
+    def test_default_spans_paper_range(self):
+        grid = AngleGrid()
+        assert grid.angles_deg[0] == 0.0
+        assert grid.angles_deg[-1] == 180.0
+        assert grid.n_points == 181
+        assert grid.spacing_deg == pytest.approx(1.0)
+
+    def test_fine_grid(self):
+        grid = AngleGrid(n_points=361)
+        assert grid.spacing_deg == pytest.approx(0.5)
+
+    def test_partial_span(self):
+        grid = AngleGrid(start_deg=30.0, stop_deg=150.0, n_points=121)
+        assert grid.angles_deg[0] == 30.0
+        assert grid.angles_deg[-1] == 150.0
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(ConfigurationError):
+            AngleGrid(start_deg=100.0, stop_deg=50.0)
+
+    def test_rejects_out_of_physical_range(self):
+        with pytest.raises(ConfigurationError):
+            AngleGrid(stop_deg=200.0)
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            AngleGrid(n_points=1)
+
+    def test_equally_spaced(self):
+        grid = AngleGrid(n_points=91)
+        np.testing.assert_allclose(np.diff(grid.angles_deg), grid.spacing_deg)
+
+
+class TestDelayGrid:
+    def test_default_covers_intel5300_range(self):
+        grid = DelayGrid()
+        assert grid.toas_s[0] == 0.0
+        assert grid.toas_s[-1] == pytest.approx(800e-9)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError):
+            DelayGrid(start_s=-1e-9)
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ConfigurationError):
+            DelayGrid(start_s=100e-9, stop_s=100e-9)
+
+    def test_spacing(self):
+        grid = DelayGrid(stop_s=100e-9, n_points=11)
+        assert grid.spacing_s == pytest.approx(10e-9)

@@ -1,0 +1,107 @@
+"""Tests for joint ToA&AoA sparse recovery (paper §III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.noise import awgn
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.core.joint import coefficients_to_joint_power, estimate_joint_spectrum
+from repro.core.steering import SteeringCache
+from repro.exceptions import SolverError
+
+
+@pytest.fixture
+def cache(array, layout):
+    return SteeringCache(
+        array, layout, AngleGrid(n_points=61), DelayGrid(n_points=21, stop_s=800e-9)
+    )
+
+
+def joint_profile(aoas_toas_gains):
+    return MultipathProfile(
+        paths=[
+            PropagationPath(aoa, toa, gain, is_direct=(i == 0))
+            for i, (aoa, toa, gain) in enumerate(aoas_toas_gains)
+        ]
+    )
+
+
+class TestReshape:
+    def test_delay_major_ordering(self):
+        coefficients = np.arange(6, dtype=complex)  # 3 angles × 2 delays
+        power = coefficients_to_joint_power(coefficients, n_angles=3, n_toas=2)
+        assert power.shape == (3, 2)
+        # Column j·Nθ + i ↔ (angle i, delay j).
+        assert power[0, 0] == 0 and power[1, 0] == 1 and power[0, 1] == 3
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(SolverError):
+            coefficients_to_joint_power(np.zeros(5), n_angles=2, n_toas=2)
+
+    def test_mmv_coefficients_use_row_norms(self):
+        coefficients = np.ones((6, 2), dtype=complex)
+        power = coefficients_to_joint_power(coefficients, n_angles=3, n_toas=2)
+        np.testing.assert_allclose(power, np.sqrt(2.0))
+
+
+class TestJointEstimation:
+    def test_recovers_on_grid_path(self, array, layout, cache):
+        theta = cache.angle_grid.angles_deg[40]
+        tau = cache.delay_grid.toas_s[7]
+        profile = joint_profile([(theta, tau, 1.0)])
+        csi = synthesize_csi_matrix(profile, array, layout)
+        spectrum, result = estimate_joint_spectrum(csi, cache)
+        peak = spectrum.peaks(max_peaks=1)[0]
+        assert peak.aoa_deg == pytest.approx(theta, abs=cache.angle_grid.spacing_deg)
+        assert peak.toa_s == pytest.approx(tau, abs=cache.delay_grid.spacing_s)
+
+    def test_resolves_more_paths_than_antennas(self, array, layout, cache, rng):
+        """The aperture argument of §III-B: 4 paths on a 3-antenna array."""
+        grid_a, grid_t = cache.angle_grid.angles_deg, cache.delay_grid.toas_s
+        spec = [
+            (grid_a[10], grid_t[2], 1.0),
+            (grid_a[25], grid_t[6], 0.8),
+            (grid_a[40], grid_t[10], 0.7),
+            (grid_a[55], grid_t[14], 0.6),
+        ]
+        csi = synthesize_csi_matrix(joint_profile(spec), array, layout)
+        spectrum, _ = estimate_joint_spectrum(awgn(csi, 25.0, rng), cache)
+        peaks = spectrum.peaks(max_peaks=6, min_relative_height=0.2)
+        assert len(peaks) >= 4
+        recovered = {(round(p.aoa_deg), round(p.toa_s * 1e9)) for p in peaks}
+        expected = {(round(a), round(t * 1e9)) for a, t, _ in spec}
+        matched = sum(
+            1
+            for (ea, et) in expected
+            if any(abs(ea - ra) <= 4 and abs(et - rt) <= 45 for ra, rt in recovered)
+        )
+        assert matched >= 3
+
+    def test_separates_same_angle_different_delay(self, array, layout, cache, rng):
+        """Two paths at one AoA but distinct ToAs — spatial-only methods
+        cannot tell them apart; the joint estimator must."""
+        grid_a, grid_t = cache.angle_grid.angles_deg, cache.delay_grid.toas_s
+        csi = synthesize_csi_matrix(
+            joint_profile([(grid_a[30], grid_t[2], 1.0), (grid_a[30], grid_t[12], 0.9)]),
+            array,
+            layout,
+        )
+        spectrum, _ = estimate_joint_spectrum(awgn(csi, 25.0, rng), cache)
+        peaks = spectrum.peaks(max_peaks=4, min_relative_height=0.3)
+        toas = sorted(p.toa_s for p in peaks)
+        assert len(toas) >= 2
+        assert toas[-1] - toas[0] > 5 * cache.delay_grid.spacing_s
+
+    def test_noisy_recovery(self, array, layout, cache, rng):
+        theta = cache.angle_grid.angles_deg[20]
+        tau = cache.delay_grid.toas_s[5]
+        csi = synthesize_csi_matrix(joint_profile([(theta, tau, 1.0)]), array, layout)
+        spectrum, _ = estimate_joint_spectrum(awgn(csi, 0.0, rng), cache)
+        peak = spectrum.peaks(max_peaks=1)[0]
+        assert peak.aoa_deg == pytest.approx(theta, abs=3 * cache.angle_grid.spacing_deg)
+
+    def test_rejects_wrong_shape(self, cache):
+        with pytest.raises(SolverError, match="shape"):
+            estimate_joint_spectrum(np.zeros((3, 5), dtype=complex), cache)

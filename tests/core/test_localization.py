@@ -1,0 +1,124 @@
+"""Tests for RSSI-weighted multi-AP localization (paper Eq. 19)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.geometry import AccessPoint, Room
+from repro.core.localization import (
+    ApObservation,
+    localize_weighted_aoa,
+    predicted_aoa_grid,
+    rssi_weights,
+)
+from repro.exceptions import ConfigurationError
+
+
+ROOM = Room(width=10.0, depth=8.0)
+AP_WEST = AccessPoint(position=(0.0, 4.0), axis_direction_deg=90.0, name="west")
+AP_SOUTH = AccessPoint(position=(5.0, 0.0), axis_direction_deg=0.0, name="south")
+
+
+def truth_observation(ap, client, rssi=-50.0):
+    return ApObservation(ap, ap.bearing_to_aoa(np.array(client)), rssi)
+
+
+class TestRssiWeights:
+    def test_normalized(self):
+        weights = rssi_weights(np.array([-40.0, -50.0, -60.0]))
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_stronger_link_gets_more_weight(self):
+        weights = rssi_weights(np.array([-40.0, -60.0]))
+        assert weights[0] > weights[1]
+
+    def test_dynamic_range_clipped(self):
+        weights = rssi_weights(np.array([-30.0, -100.0]))
+        assert weights[1] > 0.0
+        assert weights[0] / weights[1] <= 10.0 ** 3 + 1e-9  # 30 dB cap
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            rssi_weights(np.array([]))
+
+
+class TestPredictedAoaGrid:
+    def test_matches_pointwise_bearing(self):
+        xs = np.linspace(0.5, 9.5, 7)
+        ys = np.linspace(0.5, 7.5, 5)
+        grid = predicted_aoa_grid(AP_WEST, xs, ys)
+        for i, x in enumerate(xs):
+            for j, y in enumerate(ys):
+                expected = AP_WEST.bearing_to_aoa(np.array([x, y]))
+                assert grid[i, j] == pytest.approx(expected, abs=1e-9)
+
+    def test_ap_cell_is_finite(self):
+        grid = predicted_aoa_grid(AP_WEST, np.array([0.0]), np.array([4.0]))
+        assert np.isfinite(grid).all()
+
+
+class TestLocalization:
+    def test_exact_recovery_with_true_aoas(self):
+        client = (6.0, 5.0)
+        observations = [
+            truth_observation(AP_WEST, client),
+            truth_observation(AP_SOUTH, client),
+        ]
+        result = localize_weighted_aoa(observations, ROOM, resolution_m=0.1)
+        assert result.error_to(client) < 0.15
+
+    def test_third_ap_improves_noisy_fix(self):
+        client = (6.0, 5.0)
+        ap_east = AccessPoint(position=(10.0, 4.0), axis_direction_deg=90.0, name="east")
+        noisy = [
+            ApObservation(AP_WEST, AP_WEST.bearing_to_aoa(np.array(client)) + 8.0, -50.0),
+            ApObservation(AP_SOUTH, AP_SOUTH.bearing_to_aoa(np.array(client)) - 8.0, -50.0),
+        ]
+        two = localize_weighted_aoa(noisy, ROOM, resolution_m=0.1)
+        three = localize_weighted_aoa(
+            noisy + [truth_observation(ap_east, client)], ROOM, resolution_m=0.1
+        )
+        assert three.error_to(client) <= two.error_to(client)
+
+    def test_rssi_weight_pulls_toward_trusted_ap(self):
+        client = (6.0, 5.0)
+        # West AP reports a wrong angle but with weak RSSI: the fix must
+        # stay close to what the trusted (strong) APs indicate.
+        ap_east = AccessPoint(position=(10.0, 4.0), axis_direction_deg=90.0, name="east")
+        bad_weak = [
+            ApObservation(AP_WEST, AP_WEST.bearing_to_aoa(np.array(client)) + 40.0, -80.0),
+            truth_observation(AP_SOUTH, client, rssi=-40.0),
+            truth_observation(ap_east, client, rssi=-40.0),
+        ]
+        bad_strong = [
+            ApObservation(AP_WEST, AP_WEST.bearing_to_aoa(np.array(client)) + 40.0, -30.0),
+            truth_observation(AP_SOUTH, client, rssi=-70.0),
+            truth_observation(ap_east, client, rssi=-70.0),
+        ]
+        weak_error = localize_weighted_aoa(bad_weak, ROOM, resolution_m=0.1).error_to(client)
+        strong_error = localize_weighted_aoa(bad_strong, ROOM, resolution_m=0.1).error_to(client)
+        assert weak_error < strong_error
+
+    def test_requires_two_aps(self):
+        with pytest.raises(ConfigurationError):
+            localize_weighted_aoa([truth_observation(AP_WEST, (5.0, 5.0))], ROOM)
+
+    def test_rejects_bad_resolution(self):
+        observations = [
+            truth_observation(AP_WEST, (5.0, 5.0)),
+            truth_observation(AP_SOUTH, (5.0, 5.0)),
+        ]
+        with pytest.raises(ConfigurationError):
+            localize_weighted_aoa(observations, ROOM, resolution_m=0.0)
+
+    def test_result_within_room(self):
+        observations = [
+            ApObservation(AP_WEST, 5.0, -50.0),
+            ApObservation(AP_SOUTH, 175.0, -50.0),
+        ]
+        result = localize_weighted_aoa(observations, ROOM, resolution_m=0.25)
+        assert 0 <= result.position[0] <= ROOM.width
+        assert 0 <= result.position[1] <= ROOM.depth
+
+    def test_observation_validates_aoa(self):
+        with pytest.raises(ConfigurationError):
+            ApObservation(AP_WEST, aoa_deg=200.0)

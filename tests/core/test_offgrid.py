@@ -1,0 +1,83 @@
+"""Off-grid (basis mismatch) behaviour.
+
+The paper's formulation discretizes the continuous (θ, τ) space onto a
+grid; real paths fall *between* grid points.  Chi et al. [19] (cited in
+the paper) show sparse recovery degrades gracefully under such basis
+mismatch.  These tests pin the expected behaviour: the error of an
+off-grid path is bounded by about one grid cell, and refining the grid
+shrinks it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.core.joint import estimate_joint_spectrum
+from repro.core.steering import SteeringCache
+
+
+def solve_at(array, layout, aoa_deg, toa_s, n_angles):
+    cache = SteeringCache(
+        array, layout, AngleGrid(n_points=n_angles), DelayGrid(n_points=21, stop_s=800e-9)
+    )
+    profile = MultipathProfile(
+        paths=[PropagationPath(aoa_deg, toa_s, 1.0, is_direct=True)]
+    )
+    csi = synthesize_csi_matrix(profile, array, layout)
+    spectrum, _ = estimate_joint_spectrum(csi, cache)
+    peak = spectrum.peaks(max_peaks=1)[0]
+    return peak, cache
+
+
+class TestOffGridAngle:
+    def test_error_bounded_by_grid_cell(self, array, layout):
+        """A path exactly between two grid angles lands on one of them."""
+        grid = AngleGrid(n_points=61)  # 3° spacing
+        off_grid_aoa = grid.angles_deg[30] + grid.spacing_deg / 2
+        peak, cache = solve_at(array, layout, off_grid_aoa, 160e-9, 61)
+        assert abs(peak.aoa_deg - off_grid_aoa) <= cache.angle_grid.spacing_deg
+
+    def test_finer_grid_reduces_error(self, array, layout):
+        off_grid_aoa = 101.3
+        errors = {}
+        for n_angles in (31, 121):
+            peak, _ = solve_at(array, layout, off_grid_aoa, 160e-9, n_angles)
+            errors[n_angles] = abs(peak.aoa_deg - off_grid_aoa)
+        assert errors[121] <= errors[31]
+
+    def test_off_grid_delay_bounded(self, array, layout):
+        cache = SteeringCache(
+            array, layout, AngleGrid(n_points=61), DelayGrid(n_points=21, stop_s=800e-9)
+        )
+        off_grid_toa = cache.delay_grid.toas_s[7] + cache.delay_grid.spacing_s * 0.4
+        profile = MultipathProfile(
+            paths=[PropagationPath(90.0, off_grid_toa, 1.0, is_direct=True)]
+        )
+        csi = synthesize_csi_matrix(profile, array, layout)
+        spectrum, _ = estimate_joint_spectrum(csi, cache)
+        peak = spectrum.peaks(max_peaks=1)[0]
+        assert abs(peak.toa_s - off_grid_toa) <= cache.delay_grid.spacing_s
+
+    def test_off_grid_energy_spread_is_local(self, array, layout):
+        """Basis mismatch spreads energy onto *neighboring* cells, not
+        across the whole grid (the graceful-degradation claim)."""
+        grid = AngleGrid(n_points=61)
+        off_grid_aoa = grid.angles_deg[30] + grid.spacing_deg / 2
+        peak, cache = solve_at(array, layout, off_grid_aoa, 160e-9, 61)
+        spectrum, _ = estimate_joint_spectrum(
+            synthesize_csi_matrix(
+                MultipathProfile(
+                    paths=[PropagationPath(off_grid_aoa, 160e-9, 1.0, is_direct=True)]
+                ),
+                array,
+                layout,
+            ),
+            cache,
+        )
+        marginal = spectrum.angle_marginal().normalized()
+        significant = np.flatnonzero(marginal.power > 0.1)
+        # All significant energy within ±3 cells of the true angle.
+        true_index = np.argmin(np.abs(marginal.angles_deg - off_grid_aoa))
+        assert np.all(np.abs(significant - true_index) <= 3)

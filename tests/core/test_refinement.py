@@ -1,0 +1,129 @@
+"""Tests for off-grid continuous (θ, τ) refinement."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.noise import awgn
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.core.joint import estimate_joint_spectrum
+from repro.core.refinement import (
+    continuous_steering_vector,
+    refine_paths,
+    refine_spectrum_peaks,
+)
+from repro.core.steering import SteeringCache, vectorize_csi_matrix
+from repro.exceptions import SolverError
+
+
+def make_offgrid_measurement(array, layout, aoa=101.3, toa=137.5e-9, rng=None, snr=None):
+    profile = MultipathProfile(paths=[PropagationPath(aoa, toa, 1.0, is_direct=True)])
+    csi = synthesize_csi_matrix(profile, array, layout)
+    if snr is not None:
+        csi = awgn(csi, snr, rng)
+    return vectorize_csi_matrix(csi)
+
+
+class TestContinuousSteering:
+    def test_matches_grid_dictionary_on_grid(self, array, layout):
+        cache = SteeringCache(array, layout, AngleGrid(n_points=13), DelayGrid(n_points=7))
+        theta = cache.angle_grid.angles_deg[5]
+        tau = cache.delay_grid.toas_s[3]
+        vector = continuous_steering_vector(array, layout, theta, tau)
+        column = cache.joint_dictionary[:, 3 * 13 + 5]
+        np.testing.assert_allclose(vector, column, atol=1e-12)
+
+
+class TestRefinePaths:
+    def test_beats_grid_quantization_noiseless(self, array, layout):
+        true_aoa, true_toa = 101.3, 137.5e-9
+        y = make_offgrid_measurement(array, layout, true_aoa, true_toa)
+        # Start from the nearest 3°/40 ns grid cell.
+        refined = refine_paths(
+            y,
+            [(102.0, 120e-9)],
+            array,
+            layout,
+            angle_halfwidth_deg=3.0,
+            delay_halfwidth_s=40e-9,
+        )
+        assert len(refined) == 1
+        assert refined[0].aoa_deg == pytest.approx(true_aoa, abs=0.4)
+        assert refined[0].toa_s == pytest.approx(true_toa, abs=3e-9)
+
+    def test_gain_recovered(self, array, layout):
+        y = make_offgrid_measurement(array, layout)
+        refined = refine_paths(
+            y, [(102.0, 130e-9)], array, layout, angle_halfwidth_deg=3.0,
+            delay_halfwidth_s=30e-9,
+        )
+        assert abs(refined[0].gain) == pytest.approx(1.0, abs=0.05)
+
+    def test_two_paths_jointly_refined(self, array, layout, rng):
+        profile = MultipathProfile(
+            paths=[
+                PropagationPath(61.7, 42.5e-9, 1.0, is_direct=True),
+                PropagationPath(128.4, 211.0e-9, 0.6),
+            ]
+        )
+        y = vectorize_csi_matrix(
+            awgn(synthesize_csi_matrix(profile, array, layout), 30.0, rng)
+        )
+        refined = refine_paths(
+            y,
+            [(60.0, 40e-9), (130.0, 220e-9)],
+            array,
+            layout,
+            angle_halfwidth_deg=3.0,
+            delay_halfwidth_s=20e-9,
+        )
+        aoas = sorted(p.aoa_deg for p in refined)
+        assert aoas[0] == pytest.approx(61.7, abs=1.0)
+        assert aoas[1] == pytest.approx(128.4, abs=1.0)
+
+    def test_never_worse_than_initial(self, array, layout, rng):
+        y = make_offgrid_measurement(array, layout, rng=rng, snr=5.0)
+        initial = (102.0, 130e-9)
+
+        def residual(aoa, toa):
+            basis = continuous_steering_vector(array, layout, aoa, toa)[:, None]
+            gains, *_ = np.linalg.lstsq(basis, y, rcond=None)
+            return np.linalg.norm(y - basis @ gains)
+
+        refined = refine_paths(
+            y, [initial], array, layout, angle_halfwidth_deg=3.0, delay_halfwidth_s=30e-9
+        )
+        assert residual(refined[0].aoa_deg, refined[0].toa_s) <= residual(*initial) + 1e-12
+
+    def test_rejects_bad_input(self, array, layout):
+        y = make_offgrid_measurement(array, layout)
+        with pytest.raises(SolverError):
+            refine_paths(y[:-1], [(90.0, 0.0)], array, layout)
+        with pytest.raises(SolverError):
+            refine_paths(y, [], array, layout)
+        with pytest.raises(SolverError):
+            refine_paths(y, [(90.0, 0.0)], array, layout, probes=2)
+
+
+class TestRefineSpectrumPeaks:
+    def test_end_to_end_beats_grid(self, array, layout, rng):
+        """Sparse recovery → peaks → refinement lands within a fraction
+        of a grid cell of the true off-grid parameters."""
+        cache = SteeringCache(
+            array, layout, AngleGrid(n_points=61), DelayGrid(n_points=21, stop_s=800e-9)
+        )
+        true_aoa, true_toa = 101.3, 137.5e-9
+        profile = MultipathProfile(
+            paths=[PropagationPath(true_aoa, true_toa, 1.0, is_direct=True)]
+        )
+        csi = awgn(synthesize_csi_matrix(profile, array, layout), 25.0, rng)
+        spectrum, _ = estimate_joint_spectrum(csi, cache)
+        grid_error = abs(spectrum.peaks(max_peaks=1)[0].aoa_deg - true_aoa)
+
+        refined = refine_spectrum_peaks(
+            vectorize_csi_matrix(csi), spectrum, array, layout, max_paths=2
+        )
+        best = min(refined, key=lambda p: abs(p.aoa_deg - true_aoa))
+        assert abs(best.aoa_deg - true_aoa) <= grid_error
+        assert abs(best.aoa_deg - true_aoa) < 1.0

@@ -1,0 +1,127 @@
+"""Tests for the steering dictionaries (paper Eq. 6 / 13 / 15 / 16).
+
+The load-bearing invariant: a clean CSI matrix vectorized per Eq. 15
+must equal the joint dictionary column at its ground-truth (θ, τ) grid
+cell.  If that holds, sparse recovery *must* be able to explain clean
+measurements exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.core.steering import (
+    SteeringCache,
+    angle_steering_dictionary,
+    delay_ramp_dictionary,
+    joint_steering_dictionary,
+    vectorize_csi_matrix,
+)
+
+
+class TestAngleDictionary:
+    def test_shape(self, array):
+        grid = AngleGrid(n_points=37)
+        assert angle_steering_dictionary(array, grid).shape == (3, 37)
+
+    def test_columns_are_steering_vectors(self, array):
+        grid = AngleGrid(n_points=19)
+        dictionary = angle_steering_dictionary(array, grid)
+        for j, angle in enumerate(grid.angles_deg):
+            np.testing.assert_allclose(dictionary[:, j], array.steering_vector(angle))
+
+    def test_unit_magnitude_entries(self, array):
+        dictionary = angle_steering_dictionary(array, AngleGrid(n_points=13))
+        np.testing.assert_allclose(np.abs(dictionary), 1.0)
+
+
+class TestDelayDictionary:
+    def test_shape(self, layout):
+        grid = DelayGrid(n_points=9)
+        assert delay_ramp_dictionary(layout, grid).shape == (16, 9)
+
+    def test_columns_are_delay_responses(self, layout):
+        grid = DelayGrid(n_points=5)
+        dictionary = delay_ramp_dictionary(layout, grid)
+        for j, tau in enumerate(grid.toas_s):
+            np.testing.assert_allclose(dictionary[:, j], layout.delay_response(tau))
+
+
+class TestVectorize:
+    def test_eq15_ordering(self):
+        """y[l·M + m] = csi[m, l] — antenna fastest (Eq. 15)."""
+        csi = np.arange(6).reshape(2, 3)  # 2 antennas, 3 subcarriers
+        y = vectorize_csi_matrix(csi)
+        np.testing.assert_array_equal(y, [0, 3, 1, 4, 2, 5])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            vectorize_csi_matrix(np.zeros(6))
+
+
+class TestJointDictionary:
+    def test_shape(self, array, layout):
+        angle_grid = AngleGrid(n_points=13)
+        delay_grid = DelayGrid(n_points=7)
+        dictionary = joint_steering_dictionary(array, layout, angle_grid, delay_grid)
+        assert dictionary.shape == (3 * 16, 13 * 7)
+
+    def test_column_matches_clean_measurement(self, array, layout):
+        """THE invariant: dictionary column == vectorized clean CSI."""
+        angle_grid = AngleGrid(n_points=13)
+        delay_grid = DelayGrid(n_points=9, stop_s=800e-9)
+        dictionary = joint_steering_dictionary(array, layout, angle_grid, delay_grid)
+
+        angle_index, delay_index = 4, 6
+        theta = angle_grid.angles_deg[angle_index]
+        tau = delay_grid.toas_s[delay_index]
+        profile = MultipathProfile(paths=[PropagationPath(theta, tau, 1.0, is_direct=True)])
+        y = vectorize_csi_matrix(synthesize_csi_matrix(profile, array, layout))
+
+        column = dictionary[:, delay_index * angle_grid.n_points + angle_index]
+        np.testing.assert_allclose(y, column, atol=1e-12)
+
+    def test_superposition_of_two_grid_paths(self, array, layout):
+        angle_grid = AngleGrid(n_points=13)
+        delay_grid = DelayGrid(n_points=9, stop_s=800e-9)
+        dictionary = joint_steering_dictionary(array, layout, angle_grid, delay_grid)
+        profile = MultipathProfile(
+            paths=[
+                PropagationPath(angle_grid.angles_deg[2], delay_grid.toas_s[1], 1.0, is_direct=True),
+                PropagationPath(angle_grid.angles_deg[9], delay_grid.toas_s[5], 0.4j),
+            ]
+        )
+        y = vectorize_csi_matrix(synthesize_csi_matrix(profile, array, layout))
+        expected = (
+            dictionary[:, 1 * 13 + 2] * 1.0 + dictionary[:, 5 * 13 + 9] * 0.4j
+        )
+        np.testing.assert_allclose(y, expected, atol=1e-12)
+
+    def test_unit_magnitude(self, array, layout):
+        dictionary = joint_steering_dictionary(
+            array, layout, AngleGrid(n_points=5), DelayGrid(n_points=4)
+        )
+        np.testing.assert_allclose(np.abs(dictionary), 1.0)
+
+
+class TestSteeringCache:
+    def test_lazy_construction_and_identity(self, array, layout):
+        cache = SteeringCache(array, layout, AngleGrid(n_points=9), DelayGrid(n_points=5))
+        assert cache._joint_dictionary is None
+        first = cache.joint_dictionary
+        second = cache.joint_dictionary
+        assert first is second  # built once
+
+    def test_lipschitz_upper_bounds_spectral_norm(self, array, layout):
+        cache = SteeringCache(array, layout, AngleGrid(n_points=9), DelayGrid(n_points=5))
+        exact = float(np.linalg.norm(cache.joint_dictionary, 2) ** 2)
+        assert exact <= cache.joint_lipschitz <= 1.05 * exact
+
+    def test_angle_dictionary_consistent(self, array, layout):
+        grid = AngleGrid(n_points=9)
+        cache = SteeringCache(array, layout, grid, DelayGrid(n_points=5))
+        np.testing.assert_array_equal(
+            cache.angle_dictionary, angle_steering_dictionary(array, grid)
+        )

@@ -1,0 +1,60 @@
+"""Tests for error statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.metrics import ErrorCdf, summarize_systems
+
+
+class TestErrorCdf:
+    def test_median_and_percentile(self):
+        cdf = ErrorCdf(np.arange(1, 101, dtype=float))
+        assert cdf.median == pytest.approx(50.5)
+        assert cdf.percentile(90) == pytest.approx(90.1)
+        assert cdf.mean == pytest.approx(50.5)
+
+    def test_cdf_points_monotone(self):
+        cdf = ErrorCdf(np.array([3.0, 1.0, 2.0]))
+        errors, fractions = cdf.cdf_points()
+        np.testing.assert_array_equal(errors, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+    def test_fraction_below(self):
+        cdf = ErrorCdf(np.array([0.5, 1.5, 2.5, 3.5]))
+        assert cdf.fraction_below(2.0) == pytest.approx(0.5)
+        assert cdf.fraction_below(10.0) == 1.0
+        assert cdf.fraction_below(0.0) == 0.0
+
+    def test_flattens_nested_samples(self):
+        cdf = ErrorCdf(np.array([[1.0, 2.0], [3.0, 4.0]]))
+        assert len(cdf) == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ErrorCdf(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            ErrorCdf(np.array([1.0, -0.1]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            ErrorCdf(np.array([1.0, np.nan]))
+
+    def test_percentile_bounds(self):
+        cdf = ErrorCdf(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            cdf.percentile(101)
+
+
+class TestSummary:
+    def test_contains_all_systems(self):
+        table = summarize_systems(
+            {
+                "ROArray": ErrorCdf(np.array([0.5, 1.0])),
+                "SpotFi": ErrorCdf(np.array([2.0, 3.0])),
+            }
+        )
+        assert "ROArray" in table and "SpotFi" in table
+        assert "median" in table

@@ -1,0 +1,45 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import ReportScale, generate_report
+
+
+class TestReportScale:
+    def test_from_factor_scales_locations(self):
+        scale = ReportScale.from_factor(3)
+        assert scale.locations_per_band == 18
+        assert scale.ap_density_locations == 15
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ReportScale.from_factor(0)
+
+
+class TestGenerateReport:
+    def test_light_sections_render(self):
+        markdown = generate_report(sections=("fig2", "fig3"))
+        assert markdown.startswith("# ROArray evaluation report")
+        assert "## Fig. 2" in markdown
+        assert "## Fig. 3" in markdown
+        assert "## Figs. 6" not in markdown  # not requested
+
+    def test_fig4_section(self):
+        markdown = generate_report(sections=("fig4",))
+        assert "fused: AoA error" in markdown
+        assert "packet A" in markdown
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            generate_report(sections=("fig99",))
+
+    def test_deterministic(self):
+        a = generate_report(sections=("fig3",), seed=5)
+        b = generate_report(sections=("fig3",), seed=5)
+        assert a == b
+
+    def test_tables_are_wellformed_markdown(self):
+        markdown = generate_report(sections=("fig2",))
+        table_lines = [l for l in markdown.splitlines() if l.startswith("|")]
+        widths = {l.count("|") for l in table_lines}
+        assert widths == {4}  # header, separator and rows all 3-column

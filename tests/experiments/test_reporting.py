@@ -1,0 +1,70 @@
+"""Tests for the plain-text reporting helpers."""
+
+import numpy as np
+
+from repro.experiments.metrics import ErrorCdf
+from repro.experiments.reporting import (
+    format_cdf_series,
+    format_comparison,
+    format_spectrum_ascii,
+)
+from repro.spectral.spectrum import AngleSpectrum
+
+
+class TestFormatCdfSeries:
+    def test_rows_match_thresholds(self):
+        cdf = ErrorCdf(np.array([0.5, 1.5, 2.5, 3.5]))
+        text = format_cdf_series(cdf, thresholds=(1.0, 2.0, 4.0))
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "P(err <= 1 m) = 0.25" in lines[0]
+        assert "P(err <= 4 m) = 1.00" in lines[2]
+
+    def test_custom_unit(self):
+        cdf = ErrorCdf(np.array([5.0]))
+        assert "deg" in format_cdf_series(cdf, thresholds=(10.0,), unit="deg")
+
+
+class TestFormatComparison:
+    def test_contains_all_systems_and_stats(self):
+        cdfs = {
+            "ROArray": ErrorCdf(np.array([0.5, 1.0, 1.5])),
+            "SpotFi": ErrorCdf(np.array([2.0, 3.0, 4.0])),
+        }
+        text = format_comparison(cdfs)
+        assert "ROArray" in text and "SpotFi" in text
+        assert "median=1.00 m" in text
+        assert "n=3" in text
+
+    def test_thresholds_append_cdf_rows(self):
+        cdfs = {"X": ErrorCdf(np.array([1.0, 2.0]))}
+        text = format_comparison(cdfs, thresholds=(1.5,))
+        assert "P(err <= 1.5 m)" in text
+
+
+class TestFormatSpectrumAscii:
+    def make_spectrum(self):
+        power = np.zeros(181)
+        power[90] = 1.0
+        return AngleSpectrum(np.linspace(0, 180, 181), power)
+
+    def test_dimensions(self):
+        text = format_spectrum_ascii(self.make_spectrum(), width=40, height=6)
+        lines = text.splitlines()
+        assert len(lines) == 7  # height rows + axis
+        assert all(len(line) <= 40 for line in lines[:-1])
+
+    def test_peak_column_filled_to_top(self):
+        text = format_spectrum_ascii(self.make_spectrum(), width=40, height=6)
+        top_row = text.splitlines()[0]
+        assert "#" in top_row
+
+    def test_axis_labels(self):
+        text = format_spectrum_ascii(self.make_spectrum())
+        assert text.splitlines()[-1].startswith("0°")
+        assert "180°" in text.splitlines()[-1]
+
+    def test_flat_spectrum_renders(self):
+        spectrum = AngleSpectrum(np.linspace(0, 180, 10), np.zeros(10))
+        text = format_spectrum_ascii(spectrum)
+        assert "#" not in text.splitlines()[0]

@@ -1,0 +1,106 @@
+"""Tests for testbed scenario generation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.scenarios import (
+    SNR_BANDS,
+    SnrBand,
+    build_random_scene,
+    classroom_access_points,
+    classroom_room,
+    sample_client_position,
+    sample_scatterers,
+)
+
+
+class TestClassroom:
+    def test_room_dimensions_match_paper(self):
+        room = classroom_room()
+        assert (room.width, room.depth) == (18.0, 12.0)
+
+    def test_six_aps_on_walls(self):
+        room = classroom_room()
+        aps = classroom_access_points(6, room)
+        assert len(aps) == 6
+        for ap in aps:
+            x, y = ap.position
+            on_wall = x in (0.0, room.width) or y in (0.0, room.depth)
+            assert on_wall, f"{ap.name} not wall-mounted"
+
+    def test_names_unique(self):
+        names = [ap.name for ap in classroom_access_points(6)]
+        assert len(set(names)) == 6
+
+    def test_prefix_subsets(self):
+        all_aps = classroom_access_points(6)
+        subset = classroom_access_points(4)
+        assert [a.name for a in subset] == [a.name for a in all_aps[:4]]
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ConfigurationError):
+            classroom_access_points(0)
+        with pytest.raises(ConfigurationError):
+            classroom_access_points(7)
+
+
+class TestSampling:
+    def test_client_inside_margin(self, rng):
+        room = classroom_room()
+        for _ in range(50):
+            x, y = sample_client_position(rng, room, margin=1.0)
+            assert 1.0 <= x <= room.width - 1.0
+            assert 1.0 <= y <= room.depth - 1.0
+
+    def test_margin_too_large_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            sample_client_position(rng, classroom_room(), margin=7.0)
+
+    def test_scatterers_inside_room(self, rng):
+        room = classroom_room()
+        scatterers = sample_scatterers(rng, room, n_scatterers=10)
+        assert len(scatterers) == 10
+        for x, y in scatterers:
+            assert room.contains(np.array([x, y]))
+
+    def test_scene_is_valid_and_varied(self, rng):
+        scenes = [build_random_scene(rng, n_aps=4) for _ in range(3)]
+        clients = {s.client for s in scenes}
+        assert len(clients) == 3
+        for scene in scenes:
+            assert len(scene.access_points) == 4
+            # Every AP yields a usable multipath profile.
+            profile = scene.multipath_profile(0, 0.056)
+            assert len(profile) >= 1
+
+
+class TestSnrBands:
+    def test_paper_band_edges(self):
+        assert SNR_BANDS["high"].low_db == 15.0
+        assert SNR_BANDS["medium"].low_db == 2.0
+        assert SNR_BANDS["medium"].high_db == 15.0
+        assert SNR_BANDS["low"].high_db == 2.0
+
+    def test_draw_within_band(self, rng):
+        for band in SNR_BANDS.values():
+            for _ in range(20):
+                assert band.contains(band.draw(rng))
+
+    def test_blockage_grows_with_band_severity(self, rng):
+        assert SNR_BANDS["low"].blockage_low_db > SNR_BANDS["high"].blockage_low_db
+        low = [SNR_BANDS["low"].draw_blockage(rng) for _ in range(20)]
+        high = [SNR_BANDS["high"].draw_blockage(rng) for _ in range(20)]
+        assert np.mean(low) > np.mean(high)
+
+    def test_degenerate_blockage_range(self, rng):
+        band = SnrBand("x", 0.0, 1.0, 3.0, 3.0)
+        assert band.draw_blockage(rng) == 3.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ConfigurationError):
+            SnrBand("bad", 5.0, 5.0)
+
+    def test_rejects_bad_blockage(self):
+        with pytest.raises(ConfigurationError):
+            SnrBand("bad", 0.0, 1.0, 5.0, 2.0)

@@ -1,0 +1,55 @@
+"""Tests for iteratively reweighted ℓ1."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.optim.fista import solve_lasso_fista
+from repro.optim.reweighted import solve_reweighted_lasso
+
+from tests.optim.test_fista import make_sparse_system
+
+
+class TestReweighted:
+    def test_recovers_support(self, rng):
+        a, y, _, support = make_sparse_system(rng, noise=0.05)
+        result = solve_reweighted_lasso(a, y, kappa=0.1)
+        top = set(np.argsort(np.abs(result.x))[-len(support):].tolist())
+        assert top == support
+
+    def test_sharper_than_plain_lasso(self, rng):
+        """Reweighting debiases: the solution is at least as sparse and
+        the true coefficients less shrunk."""
+        a, y, x_true, support = make_sparse_system(rng, noise=0.05)
+        plain = solve_lasso_fista(a, y, kappa=0.3, max_iterations=500)
+        reweighted = solve_reweighted_lasso(a, y, kappa=0.3)
+        assert reweighted.sparsity(rtol=0.05) <= plain.sparsity(rtol=0.05)
+        true_mass_plain = sum(abs(plain.x[i]) for i in support)
+        true_mass_rw = sum(abs(reweighted.x[i]) for i in support)
+        assert true_mass_rw >= true_mass_plain - 1e-9
+
+    def test_zero_reweight_iterations_equals_lasso(self, rng):
+        a, y, *_ = make_sparse_system(rng)
+        plain = solve_lasso_fista(a, y, kappa=0.1, max_iterations=200)
+        zero_pass = solve_reweighted_lasso(a, y, kappa=0.1, reweight_iterations=0)
+        np.testing.assert_allclose(zero_pass.x, plain.x, atol=1e-9)
+
+    def test_all_zero_first_pass_short_circuits(self, rng):
+        a, y, *_ = make_sparse_system(rng)
+        huge = 10 * float(np.abs(2 * a.conj().T @ y).max())
+        result = solve_reweighted_lasso(a, y, kappa=huge)
+        assert np.all(result.x == 0)
+
+    def test_history_one_entry_per_pass(self, rng):
+        a, y, *_ = make_sparse_system(rng)
+        result = solve_reweighted_lasso(a, y, kappa=0.1, reweight_iterations=2)
+        assert len(result.history) == 3  # initial + 2 reweights
+
+    def test_rejects_bad_arguments(self, rng):
+        a, y, *_ = make_sparse_system(rng)
+        with pytest.raises(SolverError):
+            solve_reweighted_lasso(a, y, kappa=0.1, reweight_iterations=-1)
+        with pytest.raises(SolverError):
+            solve_reweighted_lasso(a, y, kappa=0.1, epsilon=0.0)
+        with pytest.raises(SolverError):
+            solve_reweighted_lasso(a, np.stack([y, y], axis=1), kappa=0.1)

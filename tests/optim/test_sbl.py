@@ -1,0 +1,76 @@
+"""Tests for the sparse Bayesian learning solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.optim.sbl import solve_sbl
+
+from tests.optim.test_fista import make_sparse_system
+from tests.optim.test_mmv import make_mmv_system
+
+
+class TestSingleSnapshot:
+    def test_recovers_support(self, rng):
+        a, y, _, support = make_sparse_system(rng, noise=0.05)
+        result = solve_sbl(a, y)
+        top = set(np.argsort(np.abs(result.x))[-len(support):].tolist())
+        assert top == support
+
+    def test_no_regularization_parameter_needed(self, rng):
+        """ARD prunes automatically — the tuning-free selling point.
+
+        A residual haze of near-zero atoms is expected when the noise
+        variance is co-estimated; the *significant* atoms must stay few.
+        """
+        a, y, _, support = make_sparse_system(rng, noise=0.1)
+        result = solve_sbl(a, y)
+        assert result.sparsity(rtol=0.1) <= 2 * len(support)
+
+    def test_known_noise_variance_accepted(self, rng):
+        a, y, _, support = make_sparse_system(rng, noise=0.1)
+        result = solve_sbl(a, y, noise_variance=0.01)
+        top = set(np.argsort(np.abs(result.x))[-len(support):].tolist())
+        assert top == support
+
+    def test_zero_measurement_gives_zero(self, rng):
+        a, *_ = make_sparse_system(rng)
+        result = solve_sbl(a, np.zeros(a.shape[0], dtype=complex))
+        assert np.all(result.x == 0)
+        assert result.converged
+
+    def test_posterior_mean_fits_data(self, rng):
+        a, y, *_ = make_sparse_system(rng, noise=0.02)
+        result = solve_sbl(a, y, max_iterations=100)
+        assert np.linalg.norm(a @ result.x - y) < 0.2 * np.linalg.norm(y)
+
+
+class TestMultiSnapshot:
+    def test_recovers_joint_support(self, rng):
+        a, y, _, support = make_mmv_system(rng, noise=0.05)
+        result = solve_sbl(a, y)
+        row_norms = np.linalg.norm(result.x, axis=1)
+        top = set(np.argsort(row_norms)[-len(support):].tolist())
+        assert top == support
+
+    def test_output_shape_matches_input(self, rng):
+        a, y, *_ = make_mmv_system(rng, p=4)
+        result = solve_sbl(a, y)
+        assert result.x.shape == (a.shape[1], 4)
+
+
+class TestValidation:
+    def test_rejects_shape_mismatch(self, rng):
+        a, *_ = make_sparse_system(rng)
+        with pytest.raises(SolverError):
+            solve_sbl(a, np.zeros(a.shape[0] + 1))
+
+    def test_rejects_bad_noise_variance(self, rng):
+        a, y, *_ = make_sparse_system(rng)
+        with pytest.raises(SolverError):
+            solve_sbl(a, y, noise_variance=-1.0)
+
+    def test_rejects_empty_snapshots(self, rng):
+        a, *_ = make_sparse_system(rng)
+        with pytest.raises(SolverError):
+            solve_sbl(a, np.zeros((a.shape[0], 0)))

@@ -1,0 +1,96 @@
+"""Tests for power-delay-profile analysis."""
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import synthesize_csi_matrix
+from repro.channel.ofdm import intel5300_layout
+from repro.channel.paths import MultipathProfile, PropagationPath
+from repro.exceptions import ConfigurationError
+from repro.spectral.pdp import PowerDelayProfile, delay_resolution, power_delay_profile
+
+
+def single_path_csi(array, layout, toa_s):
+    profile = MultipathProfile(
+        paths=[PropagationPath(90.0, toa_s, 1.0, is_direct=True)]
+    )
+    return synthesize_csi_matrix(profile, array, layout)
+
+
+class TestPowerDelayProfile:
+    def test_single_path_peak_at_its_delay(self, array):
+        layout = intel5300_layout()
+        tau = 160e-9
+        pdp = power_delay_profile(single_path_csi(array, layout, tau), layout)
+        assert pdp.strongest_delay() == pytest.approx(tau, abs=delay_resolution(layout))
+
+    def test_two_paths_resolved_when_far_apart(self, array):
+        layout = intel5300_layout()
+        profile = MultipathProfile(
+            paths=[
+                PropagationPath(60.0, 50e-9, 1.0, is_direct=True),
+                PropagationPath(120.0, 400e-9, 0.8),
+            ]
+        )
+        pdp = power_delay_profile(synthesize_csi_matrix(profile, array, layout), layout)
+        normalized = pdp.normalized()
+        near_first = normalized.power[np.abs(pdp.delays_s - 50e-9) < 30e-9].max()
+        near_second = normalized.power[np.abs(pdp.delays_s - 400e-9) < 30e-9].max()
+        assert near_first > 0.5
+        assert near_second > 0.3
+
+    def test_resolution_limit_vs_sparse_recovery(self, array):
+        """Two paths 15 ns apart blur in the PDP — below 1/(L·fδ) ≈ 27 ns —
+        which is the paper's case for model-based estimation."""
+        layout = intel5300_layout()
+        profile = MultipathProfile(
+            paths=[
+                PropagationPath(60.0, 100e-9, 1.0, is_direct=True),
+                PropagationPath(120.0, 115e-9, 1.0),
+            ]
+        )
+        pdp = power_delay_profile(synthesize_csi_matrix(profile, array, layout), layout)
+        window = pdp.power[(pdp.delays_s > 60e-9) & (pdp.delays_s < 160e-9)]
+        # One merged lobe: count local maxima above half the window peak.
+        from repro.spectral.peaks import find_peaks_1d
+
+        peaks = find_peaks_1d(window, min_relative_height=0.5)
+        assert len(peaks) == 1
+
+    def test_mean_delay_and_spread(self):
+        delays = np.array([0.0, 100e-9, 200e-9])
+        pdp = PowerDelayProfile(delays, np.array([1.0, 0.0, 1.0]))
+        assert pdp.mean_delay() == pytest.approx(100e-9)
+        assert pdp.rms_delay_spread() == pytest.approx(100e-9)
+
+    def test_zero_power_statistics(self):
+        pdp = PowerDelayProfile(np.array([0.0, 1e-9]), np.zeros(2))
+        assert pdp.mean_delay() == 0.0
+        assert pdp.rms_delay_spread() == 0.0
+
+    def test_delay_spread_grows_with_multipath(self, array):
+        layout = intel5300_layout()
+        short = MultipathProfile(
+            paths=[PropagationPath(60.0, 50e-9, 1.0, is_direct=True)]
+        )
+        rich = MultipathProfile(
+            paths=[
+                PropagationPath(60.0, 50e-9, 1.0, is_direct=True),
+                PropagationPath(100.0, 350e-9, 0.9),
+                PropagationPath(140.0, 600e-9, 0.8),
+            ]
+        )
+        pdp_short = power_delay_profile(synthesize_csi_matrix(short, array, layout), layout)
+        pdp_rich = power_delay_profile(synthesize_csi_matrix(rich, array, layout), layout)
+        assert pdp_rich.rms_delay_spread() > pdp_short.rms_delay_spread()
+
+    def test_validation(self, array):
+        layout = intel5300_layout()
+        with pytest.raises(ConfigurationError):
+            power_delay_profile(np.zeros(30), layout)
+        with pytest.raises(ConfigurationError):
+            power_delay_profile(np.zeros((3, 16)), layout)
+        with pytest.raises(ConfigurationError):
+            power_delay_profile(np.zeros((3, 30)), layout, oversample=0)
+        with pytest.raises(ConfigurationError):
+            PowerDelayProfile(np.zeros(3), np.array([1.0, -1.0, 0.0]))

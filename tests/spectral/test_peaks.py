@@ -1,0 +1,107 @@
+"""Tests for 1-D/2-D peak detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.spectral.peaks import find_peaks_1d, find_peaks_2d
+
+
+class TestPeaks1d:
+    def test_single_interior_peak(self):
+        assert find_peaks_1d(np.array([0.0, 1.0, 0.0])) == [1]
+
+    def test_edge_peaks_detected(self):
+        assert 0 in find_peaks_1d(np.array([2.0, 1.0, 0.0]))
+        assert 2 in find_peaks_1d(np.array([0.0, 1.0, 2.0]))
+
+    def test_sorted_by_height(self):
+        values = np.array([0.0, 0.5, 0.0, 1.0, 0.0, 0.8, 0.0])
+        assert find_peaks_1d(values) == [3, 5, 1]
+
+    def test_max_peaks_cap(self):
+        values = np.array([0.0, 0.5, 0.0, 1.0, 0.0, 0.8, 0.0])
+        assert find_peaks_1d(values, max_peaks=2) == [3, 5]
+
+    def test_relative_height_floor(self):
+        values = np.array([0.0, 0.02, 0.0, 1.0, 0.0])
+        assert find_peaks_1d(values, min_relative_height=0.1) == [3]
+
+    def test_plateau_counts_once(self):
+        values = np.array([0.0, 1.0, 1.0, 0.0])
+        peaks = find_peaks_1d(values)
+        assert len(peaks) == 1
+
+    def test_all_zero_returns_empty(self):
+        assert find_peaks_1d(np.zeros(5)) == []
+
+    def test_empty_and_singleton(self):
+        assert find_peaks_1d(np.array([])) == []
+        assert find_peaks_1d(np.array([1.0])) == [0]
+        assert find_peaks_1d(np.array([0.0])) == []
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ConfigurationError):
+            find_peaks_1d(np.zeros((2, 2)))
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=3, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_global_max_is_always_found(self, values):
+        values = np.array(values)
+        if values.max() <= 0:
+            return
+        peaks = find_peaks_1d(values, min_relative_height=0.0)
+        assert any(values[i] == values.max() for i in peaks)
+
+
+class TestPeaks2d:
+    def test_single_peak(self):
+        grid = np.zeros((5, 5))
+        grid[2, 3] = 1.0
+        assert find_peaks_2d(grid) == [(2, 3)]
+
+    def test_corner_peak(self):
+        grid = np.zeros((4, 4))
+        grid[0, 0] = 1.0
+        assert (0, 0) in find_peaks_2d(grid)
+
+    def test_two_peaks_sorted(self):
+        grid = np.zeros((6, 6))
+        grid[1, 1] = 0.5
+        grid[4, 4] = 1.0
+        assert find_peaks_2d(grid) == [(4, 4), (1, 1)]
+
+    def test_saddle_not_a_peak(self):
+        grid = np.array([
+            [0.0, 1.0, 0.0],
+            [0.5, 0.8, 0.5],
+            [0.0, 1.0, 0.0],
+        ])
+        peaks = find_peaks_2d(grid, min_relative_height=0.0)
+        assert (1, 1) not in peaks
+
+    def test_relative_floor(self):
+        grid = np.zeros((5, 5))
+        grid[1, 1] = 1.0
+        grid[3, 3] = 0.01
+        assert find_peaks_2d(grid, min_relative_height=0.1) == [(1, 1)]
+
+    def test_max_peaks_cap(self):
+        grid = np.zeros((8, 8))
+        for i, v in [(1, 1.0), (3, 0.9), (5, 0.8)]:
+            grid[i, i] = v
+        assert len(find_peaks_2d(grid, max_peaks=2)) == 2
+
+    def test_plateau_deduplicated(self):
+        grid = np.zeros((4, 4))
+        grid[1, 1] = grid[1, 2] = 1.0
+        assert len(find_peaks_2d(grid)) == 1
+
+    def test_all_zero(self):
+        assert find_peaks_2d(np.zeros((3, 3))) == []
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            find_peaks_2d(np.zeros(5))

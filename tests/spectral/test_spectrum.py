@@ -1,0 +1,109 @@
+"""Tests for the spectrum containers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.spectral.spectrum import AngleSpectrum, JointSpectrum
+
+
+def make_angle_spectrum(power):
+    power = np.asarray(power, dtype=float)
+    return AngleSpectrum(np.linspace(0, 180, power.size), power)
+
+
+class TestAngleSpectrum:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AngleSpectrum(np.zeros(5), np.zeros(4))
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_angle_spectrum([-1.0, 0.0, 1.0])
+
+    def test_normalized_peak_is_one(self):
+        spectrum = make_angle_spectrum([0.0, 2.0, 4.0, 1.0])
+        assert spectrum.normalized().power.max() == 1.0
+
+    def test_normalized_zero_spectrum_stays_zero(self):
+        spectrum = make_angle_spectrum([0.0, 0.0])
+        assert np.all(spectrum.normalized().power == 0)
+
+    def test_strongest_aoa(self):
+        spectrum = make_angle_spectrum([0.0, 0.0, 1.0, 0.0, 0.0])
+        assert spectrum.strongest_aoa() == pytest.approx(90.0)
+
+    def test_peaks_return_angles(self):
+        power = np.zeros(181)
+        power[30] = 1.0
+        power[150] = 0.5
+        spectrum = AngleSpectrum(np.linspace(0, 180, 181), power)
+        peaks = spectrum.peaks()
+        assert peaks[0].aoa_deg == pytest.approx(30.0)
+        assert peaks[1].aoa_deg == pytest.approx(150.0)
+
+    def test_closest_peak_error_uses_nearest_peak(self):
+        power = np.zeros(181)
+        power[30] = 1.0
+        power[150] = 0.5
+        spectrum = AngleSpectrum(np.linspace(0, 180, 181), power)
+        assert spectrum.closest_peak_error(148.0) == pytest.approx(2.0)
+        assert spectrum.closest_peak_error(30.0) == pytest.approx(0.0)
+
+    def test_closest_peak_error_falls_back_to_maximum(self):
+        spectrum = make_angle_spectrum([0.0, 0.0])
+        assert spectrum.closest_peak_error(90.0) == pytest.approx(90.0)
+
+    def test_sharpness_spike_vs_flat(self):
+        flat = make_angle_spectrum(np.ones(100))
+        spike = make_angle_spectrum(np.eye(100)[0])
+        assert spike.sharpness() == pytest.approx(1.0)
+        assert flat.sharpness() == pytest.approx(0.01)
+        assert spike.sharpness() > flat.sharpness()
+
+
+class TestJointSpectrum:
+    def make_joint(self):
+        angles = np.linspace(0, 180, 19)
+        toas = np.linspace(0, 800e-9, 11)
+        power = np.zeros((19, 11))
+        power[15, 2] = 1.0   # (150°, 160 ns) — strong, later
+        power[6, 1] = 0.6    # (60°, 80 ns) — weaker, earlier
+        return JointSpectrum(angles, toas, power)
+
+    def test_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            JointSpectrum(np.zeros(3), np.zeros(4), np.zeros((4, 3)))
+
+    def test_peaks_carry_both_coordinates(self):
+        peaks = self.make_joint().peaks()
+        assert peaks[0].aoa_deg == pytest.approx(150.0)
+        assert peaks[0].toa_s == pytest.approx(160e-9)
+        assert peaks[0].has_toa
+
+    def test_direct_path_is_smallest_toa_not_strongest(self):
+        """The core ROArray rule (paper §III-B)."""
+        direct = self.make_joint().direct_path_peak()
+        assert direct.aoa_deg == pytest.approx(60.0)
+        assert direct.toa_s == pytest.approx(80e-9)
+
+    def test_direct_path_ignores_subthreshold_ripple(self):
+        spectrum = self.make_joint()
+        spectrum.power[2, 0] = 0.01  # tiny earlier blip, below the 10% floor
+        direct = spectrum.direct_path_peak(min_relative_height=0.1)
+        assert direct.toa_s == pytest.approx(80e-9)
+
+    def test_direct_path_fallback_on_flat_spectrum(self):
+        angles = np.linspace(0, 180, 5)
+        toas = np.linspace(0, 800e-9, 4)
+        spectrum = JointSpectrum(angles, toas, np.zeros((5, 4)))
+        direct = spectrum.direct_path_peak()
+        assert 0 <= direct.aoa_deg <= 180
+
+    def test_angle_marginal(self):
+        marginal = self.make_joint().angle_marginal()
+        assert marginal.power.shape == (19,)
+        assert marginal.strongest_aoa() == pytest.approx(150.0)
+
+    def test_normalized(self):
+        assert self.make_joint().normalized().power.max() == 1.0

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import CsiTrace
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "out.npz"])
+        assert args.snr == 10.0
+        assert args.packets == 10
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "x.npz", "--system", "bogus"])
+
+
+class TestSimulate:
+    def test_writes_loadable_trace(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        code = main(["simulate", str(out), "--packets", "3", "--snr", "12"])
+        assert code == 0
+        trace = CsiTrace.load(out)
+        assert trace.n_packets == 3
+        assert trace.snr_db == 12.0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_blockage_flag_attenuates(self, tmp_path):
+        plain = tmp_path / "a.npz"
+        blocked = tmp_path / "b.npz"
+        main(["simulate", str(plain), "--packets", "1"])
+        main(["simulate", str(blocked), "--packets", "1", "--blockage-db", "12"])
+        # Both valid traces with the same ground truth AoA.
+        a, b = CsiTrace.load(plain), CsiTrace.load(blocked)
+        assert a.direct_aoa_deg == b.direct_aoa_deg
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("system", ["roarray", "spotfi", "arraytrack"])
+    def test_analyze_reports_direct_path(self, tmp_path, capsys, system):
+        out = tmp_path / "trace.npz"
+        main(["simulate", str(out), "--packets", "3", "--snr", "18", "--seed", "4"])
+        code = main(["analyze", str(out), "--system", system])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "direct path" in output
+        assert "ground truth" in output
+
+
+class TestLocalize:
+    def test_end_to_end_fix(self, capsys):
+        code = main(
+            [
+                "localize",
+                "--system",
+                "roarray",
+                "--aps",
+                "3",
+                "--packets",
+                "2",
+                "--band",
+                "high",
+                "--resolution",
+                "0.25",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fix (" in output
+        assert "error" in output
+
+
+class TestReport:
+    def test_writes_markdown_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", str(out), "--sections", "fig3"])
+        assert code == 0
+        content = out.read_text()
+        assert content.startswith("# ROArray evaluation report")
+        assert "Fig. 3" in content
+
+    def test_stdout_mode(self, capsys):
+        assert main(["report", "-", "--sections", "fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_lists_every_paper_figure(self, capsys):
+        assert main(["figures"]) == 0
+        output = capsys.readouterr().out
+        for key in FIGURES:
+            assert key in output
+        assert "fig6" in output

@@ -1,0 +1,41 @@
+"""Package-level contract tests."""
+
+import repro
+from repro import (
+    CalibrationError,
+    ConfigurationError,
+    GeometryError,
+    ReproError,
+    SolverError,
+)
+
+
+class TestPackage:
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_exception_hierarchy(self):
+        for exc in (ConfigurationError, SolverError, GeometryError, CalibrationError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(ReproError, Exception)
+
+    def test_subpackages_import(self):
+        import repro.baselines
+        import repro.channel
+        import repro.core
+        import repro.experiments
+        import repro.optim
+        import repro.spectral
+
+        assert repro.core.RoArrayEstimator.name == "ROArray"
+
+    def test_public_api_exports(self):
+        from repro.baselines import ArrayTrackEstimator, SpotFiEstimator
+        from repro.core import RoArrayEstimator
+
+        for cls in (RoArrayEstimator, SpotFiEstimator, ArrayTrackEstimator):
+            assert hasattr(cls, "analyze")
+            assert hasattr(cls, "estimate_direct_path")
+            assert isinstance(cls.name, str)
