@@ -1,0 +1,128 @@
+"""Runtime scaling: sequential vs parallel batch evaluation.
+
+Measures ``BatchEvaluator`` throughput on a Fig. 6-style workload
+(random classroom scenes × APs, the paper's evaluation shape) for a
+ladder of worker counts, asserts batch/sequential parity on every rung,
+and — on hardware with enough cores — asserts the ≥1.5× speedup target
+at 4 workers.
+
+Scale knobs:
+
+``REPRO_SMOKE=1``
+    Tiny workload, parity assertions only — what CI runs.
+``REPRO_BENCH_SCALE``
+    Location multiplier, as for the figure benchmarks.
+
+The speedup assertion self-gates on ``os.sched_getaffinity``: on a
+1-core container 4 workers cannot beat sequential and the benchmark
+reports throughput without failing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.channel.impairments import ImpairmentModel
+from repro.core.pipeline import RoArrayEstimator
+from repro.experiments.runner import _scene_traces, evaluation_roarray_config
+from repro.experiments.scenarios import SNR_BANDS, build_random_scene
+from repro.runtime import BatchEvaluator
+
+SPEEDUP_TARGET = 1.5
+SPEEDUP_WORKERS = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "") == "1"
+
+
+def _fig6_workload(n_locations: int, n_aps: int, n_packets: int, seed: int = 2017):
+    """The paper's evaluation shape: spots × APs, one trace per link."""
+    band = SNR_BANDS["medium"]
+    rng = np.random.default_rng(seed)
+    traces = []
+    for location in range(n_locations):
+        scene = build_random_scene(rng, n_aps=n_aps)
+        traces.extend(
+            _scene_traces(
+                scene,
+                snr_db_per_ap=[band.draw(rng) for _ in range(n_aps)],
+                n_packets=n_packets,
+                impairments=ImpairmentModel(),
+                rng=rng,
+                boot_seed=seed + location * 100,
+                blockage_db_per_ap=[band.draw_blockage(rng) for _ in range(n_aps)],
+            )
+        )
+    return traces
+
+
+def _fingerprint(result):
+    return [
+        (o.index, o.ok, repr(o.analysis), repr(o.failure)) for o in result.outcomes
+    ]
+
+
+@pytest.mark.benchmark(group="runtime")
+@pytest.mark.slow
+def test_runtime_scaling():
+    if _smoke():
+        n_locations, n_aps, n_packets = 1, 4, 4
+        worker_ladder = (2,)
+    else:
+        n_locations, n_aps, n_packets = 2 * bench_scale(), 6, 10
+        worker_ladder = (1, 2, SPEEDUP_WORKERS)
+
+    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    traces = _fig6_workload(n_locations, n_aps, n_packets)
+
+    sequential = BatchEvaluator(estimator, workers=0).evaluate(traces)
+    print(f"\n-- runtime scaling: {len(traces)} traces "
+          f"({n_locations} spots x {n_aps} APs, {n_packets} packets) --")
+    print(f"workers=0 (sequential): {sequential.report.throughput_jobs_per_s:6.2f} jobs/s")
+
+    speedups = {}
+    for workers in worker_ladder:
+        parallel = BatchEvaluator(estimator, workers=workers).evaluate(traces)
+        assert _fingerprint(parallel) == _fingerprint(sequential), (
+            f"parity violated at workers={workers}"
+        )
+        speedups[workers] = parallel.report.speedup_over(sequential.report)
+        print(
+            f"workers={workers}: {parallel.report.throughput_jobs_per_s:6.2f} jobs/s "
+            f"(speedup {speedups[workers]:4.2f}x)"
+        )
+
+    assert sequential.report.n_failures == 0
+    cores = _usable_cores()
+    if _smoke():
+        return
+    if cores >= SPEEDUP_WORKERS:
+        assert speedups[SPEEDUP_WORKERS] >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x at {SPEEDUP_WORKERS} workers on "
+            f"{cores} cores, got {speedups[SPEEDUP_WORKERS]:.2f}x"
+        )
+    else:
+        print(f"({cores} usable core(s): skipping the {SPEEDUP_TARGET}x assertion)")
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_runtime_scaling_smoke_parity():
+    """The always-on, CI-sized slice: parity plus failure isolation."""
+    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    traces = _fig6_workload(1, 3, 3)
+    sequential = BatchEvaluator(estimator, workers=0).evaluate(traces)
+    parallel = BatchEvaluator(estimator, workers=2).evaluate(traces)
+    assert _fingerprint(parallel) == _fingerprint(sequential)
+    assert parallel.report.n_failures == 0

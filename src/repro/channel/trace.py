@@ -17,9 +17,15 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 
 
-@dataclass
+@dataclass(eq=False)
 class CsiTrace:
     """A batch of CSI packets from one AP/client link.
+
+    Traces are plain dataclasses over numpy arrays, so they pickle
+    cleanly — the batch runtime ships them to worker processes as-is.
+    Equality is identity (``eq=False``): the generated ``__eq__`` would
+    try to truth-test arrays; use :meth:`equals` for exact value
+    comparison (parity tests rely on it being bitwise, not tolerant).
 
     Attributes
     ----------
@@ -68,6 +74,32 @@ class CsiTrace:
     @property
     def n_subcarriers(self) -> int:
         return self.csi.shape[2]
+
+    def equals(self, other: "CsiTrace") -> bool:
+        """Exact (bitwise, NaN-aware) value equality with ``other``.
+
+        Used by the batch-runtime parity tests: a trace that survives a
+        pickle round trip to a worker process must compare equal.
+        """
+        if not isinstance(other, CsiTrace):
+            return False
+        scalars_self = (self.snr_db, self.direct_aoa_deg, self.direct_toa_s, self.rssi_dbm)
+        scalars_other = (other.snr_db, other.direct_aoa_deg, other.direct_toa_s, other.rssi_dbm)
+        if not all(
+            a == b or (np.isnan(a) and np.isnan(b))
+            for a, b in zip(scalars_self, scalars_other)
+        ):
+            return False
+        return all(
+            np.array_equal(getattr(self, name), getattr(other, name), equal_nan=True)
+            for name in (
+                "csi",
+                "detection_delays_s",
+                "antenna_phase_offsets",
+                "true_aoas_deg",
+                "true_toas_s",
+            )
+        )
 
     def packet(self, index: int) -> np.ndarray:
         """One CSI matrix (paper Eq. 4), shape ``(antennas, subcarriers)``."""

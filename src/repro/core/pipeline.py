@@ -130,7 +130,16 @@ class RoArrayEstimator:
         polished on the continuous (θ, τ) manifold before the
         smallest-ToA selection, removing the grid-quantization floor.
         """
-        spectrum = self.joint_spectrum(trace)
+        return self.analysis_from_spectrum(self.joint_spectrum(trace), trace)
+
+    def analysis_from_spectrum(self, spectrum: JointSpectrum, trace: CsiTrace) -> ApAnalysis:
+        """The peak-picking half of :meth:`analyze`.
+
+        Split out so callers that already hold the fused spectrum (the
+        batch runtime, which times the solve and peak stages separately)
+        can finish the analysis without re-solving; ``analyze(trace)``
+        is exactly ``analysis_from_spectrum(joint_spectrum(trace), trace)``.
+        """
         peaks = spectrum.peaks(
             max_peaks=self.config.max_paths, min_relative_height=self.config.peak_floor
         )

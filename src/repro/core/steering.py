@@ -20,6 +20,8 @@ dictionary thousands of times.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.channel.array import UniformLinearArray
@@ -93,29 +95,68 @@ class SteeringCache:
         self._angle_lipschitz: float | None = None
         self._joint_dictionary: np.ndarray | None = None
         self._joint_lipschitz: float | None = None
+        #: Seconds spent building each artifact, keyed by artifact name.
+        #: Empty until the corresponding property is first accessed; the
+        #: batch runtime reads this to report per-worker warmup cost.
+        self.build_seconds: dict[str, float] = {}
+
+    def _timed(self, name: str, build):
+        start = time.perf_counter()
+        artifact = build()
+        self.build_seconds[name] = time.perf_counter() - start
+        return artifact
 
     @property
     def angle_dictionary(self) -> np.ndarray:
         if self._angle_dictionary is None:
-            self._angle_dictionary = angle_steering_dictionary(self.array, self.angle_grid)
+            self._angle_dictionary = self._timed(
+                "angle_dictionary",
+                lambda: angle_steering_dictionary(self.array, self.angle_grid),
+            )
         return self._angle_dictionary
 
     @property
     def angle_lipschitz(self) -> float:
         if self._angle_lipschitz is None:
-            self._angle_lipschitz = estimate_lipschitz(self.angle_dictionary)
+            self._angle_lipschitz = self._timed(
+                "angle_lipschitz", lambda: estimate_lipschitz(self.angle_dictionary)
+            )
         return self._angle_lipschitz
 
     @property
     def joint_dictionary(self) -> np.ndarray:
         if self._joint_dictionary is None:
-            self._joint_dictionary = joint_steering_dictionary(
-                self.array, self.layout, self.angle_grid, self.delay_grid
+            self._joint_dictionary = self._timed(
+                "joint_dictionary",
+                lambda: joint_steering_dictionary(
+                    self.array, self.layout, self.angle_grid, self.delay_grid
+                ),
             )
         return self._joint_dictionary
 
     @property
     def joint_lipschitz(self) -> float:
         if self._joint_lipschitz is None:
-            self._joint_lipschitz = estimate_lipschitz(self.joint_dictionary)
+            self._joint_lipschitz = self._timed(
+                "joint_lipschitz", lambda: estimate_lipschitz(self.joint_dictionary)
+            )
         return self._joint_lipschitz
+
+    def warmup(self) -> "SteeringCache":
+        """Build every artifact now (one-time per-process warmup).
+
+        The batch runtime calls this from its worker initializer so the
+        joint dictionary and its Lipschitz constant are built once per
+        worker process rather than lazily inside the first job.
+        Returns ``self`` for chaining.
+        """
+        _ = self.angle_dictionary
+        _ = self.angle_lipschitz
+        _ = self.joint_dictionary
+        _ = self.joint_lipschitz
+        return self
+
+    @property
+    def warmup_seconds(self) -> float:
+        """Total seconds spent building artifacts so far."""
+        return float(sum(self.build_seconds.values()))

@@ -15,6 +15,13 @@ paper Fig. 8c         :func:`run_polarization_experiment`
 All drivers are deterministic given their ``seed`` and share the same
 synthetic classroom substrate; the three systems always see the *same*
 traces ("All three methods share the same data", §IV-B).
+
+The spot-sweep drivers (Figs. 6/7, 8a, 8c) accept a ``workers``
+argument and fan their per-trace ``analyze`` calls out through
+:class:`~repro.runtime.batch.BatchEvaluator`.  Trace synthesis stays on
+the driver's single RNG stream (so the data is identical for any worker
+count), and the analyses are pure functions of the traces, so every
+result is byte-identical to the ``workers=0`` sequential path.
 """
 
 from __future__ import annotations
@@ -137,6 +144,21 @@ def _scene_traces(
     return traces
 
 
+def _batch_analyses(
+    system: ApSystem, traces: list[CsiTrace], *, workers: int, base_seed: int = 0
+) -> list[ApAnalysis]:
+    """Analyze a flat trace list through the batch runtime.
+
+    ``workers=0`` is in-process sequential; any failure is re-raised
+    (matching the old inline-loop semantics, where a solver error
+    propagated out of the driver).
+    """
+    from repro.runtime.batch import BatchEvaluator
+
+    evaluator = BatchEvaluator(system, workers=workers, base_seed=base_seed)
+    return evaluator.evaluate(traces).strict_analyses()
+
+
 def _localize_from_analyses(
     scene: Scene, traces: list[CsiTrace], analyses: list[ApAnalysis], resolution_m: float
 ) -> LocalizationOutcome:
@@ -167,11 +189,14 @@ def run_snr_band_experiment(
     systems: list[ApSystem] | None = None,
     impairments: ImpairmentModel | None = None,
     resolution_m: float = 0.1,
+    workers: int = 0,
 ) -> SnrBandResult:
     """Paper Figs. 6 & 7: the three-system comparison in one SNR band.
 
     Every location gets a fresh random scene; all systems analyze the
-    *same* traces (15 packets per AP by default, as in §IV-B).
+    *same* traces (15 packets per AP by default, as in §IV-B).  With
+    ``workers > 0`` the per-trace analyses fan out over that many
+    processes; the result is identical for any worker count.
     """
     if isinstance(band, str):
         band = SNR_BANDS[band]
@@ -181,24 +206,38 @@ def run_snr_band_experiment(
     impairments = impairments or ImpairmentModel()
     rng = np.random.default_rng(seed)
 
-    result = SnrBandResult(band=band.name, outcomes={s.name: [] for s in systems})
+    # Synthesis first, on the single driver RNG stream (order unchanged
+    # from the fused loop this replaces), so batching cannot change the
+    # data any system sees.
+    scenes: list[Scene] = []
+    traces_per_location: list[list[CsiTrace]] = []
     for location in range(n_locations):
         scene = build_random_scene(rng, n_aps=n_aps)
         snrs = [band.draw(rng) for _ in range(n_aps)]
         blockages = [band.draw_blockage(rng) for _ in range(n_aps)]
-        traces = _scene_traces(
-            scene,
-            snr_db_per_ap=snrs,
-            n_packets=n_packets,
-            impairments=impairments,
-            rng=rng,
-            boot_seed=seed * 10_000 + location * 100,
-            blockage_db_per_ap=blockages,
+        scenes.append(scene)
+        traces_per_location.append(
+            _scene_traces(
+                scene,
+                snr_db_per_ap=snrs,
+                n_packets=n_packets,
+                impairments=impairments,
+                rng=rng,
+                boot_seed=seed * 10_000 + location * 100,
+                blockage_db_per_ap=blockages,
+            )
         )
-        for system in systems:
-            analyses = [system.analyze(trace) for trace in traces]
+
+    flat_traces = [trace for traces in traces_per_location for trace in traces]
+    result = SnrBandResult(band=band.name, outcomes={s.name: [] for s in systems})
+    for system in systems:
+        flat_analyses = _batch_analyses(system, flat_traces, workers=workers, base_seed=seed)
+        for location in range(n_locations):
+            analyses = flat_analyses[location * n_aps : (location + 1) * n_aps]
             result.outcomes[system.name].append(
-                _localize_from_analyses(scene, traces, analyses, resolution_m)
+                _localize_from_analyses(
+                    scenes[location], traces_per_location[location], analyses, resolution_m
+                )
             )
     return result
 
@@ -412,6 +451,7 @@ def run_ap_density_experiment(
     seed: int = 0,
     band: SnrBand | str = "medium",
     resolution_m: float = 0.1,
+    workers: int = 0,
 ) -> dict[int, ErrorCdf]:
     """Paper Fig. 8a: ROArray localization error vs number of APs.
 
@@ -426,21 +466,36 @@ def run_ap_density_experiment(
     estimator = RoArrayEstimator(config=evaluation_roarray_config())
     rng = np.random.default_rng(seed)
 
-    errors: dict[int, list[float]] = {count: [] for count in ap_counts}
+    scenes: list[Scene] = []
+    traces_per_location: list[list[CsiTrace]] = []
     for location in range(n_locations):
-        scene = build_random_scene(rng, n_aps=max_aps)
+        scenes.append(build_random_scene(rng, n_aps=max_aps))
         snrs = [band.draw(rng) for _ in range(max_aps)]
         blockages = [band.draw_blockage(rng) for _ in range(max_aps)]
-        traces = _scene_traces(
-            scene,
-            snr_db_per_ap=snrs,
-            n_packets=n_packets,
-            impairments=ImpairmentModel(),
-            rng=rng,
-            boot_seed=seed * 3000 + location * 10,
-            blockage_db_per_ap=blockages,
+        traces_per_location.append(
+            _scene_traces(
+                scenes[-1],
+                snr_db_per_ap=snrs,
+                n_packets=n_packets,
+                impairments=ImpairmentModel(),
+                rng=rng,
+                boot_seed=seed * 3000 + location * 10,
+                blockage_db_per_ap=blockages,
+            )
         )
-        analyses = [estimator.analyze(trace) for trace in traces]
+
+    flat_analyses = _batch_analyses(
+        estimator,
+        [trace for traces in traces_per_location for trace in traces],
+        workers=workers,
+        base_seed=seed,
+    )
+
+    errors: dict[int, list[float]] = {count: [] for count in ap_counts}
+    for location in range(n_locations):
+        scene = scenes[location]
+        traces = traces_per_location[location]
+        analyses = flat_analyses[location * max_aps : (location + 1) * max_aps]
         for count in ap_counts:
             subset_scene = Scene(
                 room=scene.room,
@@ -561,6 +616,7 @@ def run_polarization_experiment(
     seed: int = 0,
     band: SnrBand | str = "medium",
     resolution_m: float = 0.1,
+    workers: int = 0,
 ) -> dict[tuple[float, float], ErrorCdf]:
     """Paper Fig. 8c: ROArray accuracy vs client antenna polarization tilt.
 
@@ -569,34 +625,47 @@ def run_polarization_experiment(
     the per-antenna gains (manifold mismatch) — see
     :mod:`repro.channel.impairments`.
     """
+    from repro.channel.impairments import polarization_loss
+
     if isinstance(band, str):
         band = SNR_BANDS[band]
     results: dict[tuple[float, float], ErrorCdf] = {}
     estimator = RoArrayEstimator(config=evaluation_roarray_config())
     for deviation_range in deviation_ranges_deg:
         rng = np.random.default_rng(seed)
-        errors = []
+        scenes: list[Scene] = []
+        traces_per_location: list[list[CsiTrace]] = []
         for location in range(n_locations):
             deviation = float(rng.uniform(*deviation_range))
             impairments = ImpairmentModel(polarization_deviation_deg=deviation)
-            scene = build_random_scene(rng, n_aps=n_aps)
+            scenes.append(build_random_scene(rng, n_aps=n_aps))
             base_snrs = [band.draw(rng) for _ in range(n_aps)]
             # Tilt reduces received power: shift the link SNR by the
             # polarization power loss (20·log10 of the amplitude factor).
-            from repro.channel.impairments import polarization_loss
-
             loss_db = -20.0 * np.log10(polarization_loss(deviation))
             snrs = [snr - loss_db for snr in base_snrs]
-            traces = _scene_traces(
-                scene,
-                snr_db_per_ap=snrs,
-                n_packets=n_packets,
-                impairments=impairments,
-                rng=rng,
-                boot_seed=seed * 7000 + location * 10,
+            traces_per_location.append(
+                _scene_traces(
+                    scenes[-1],
+                    snr_db_per_ap=snrs,
+                    n_packets=n_packets,
+                    impairments=impairments,
+                    rng=rng,
+                    boot_seed=seed * 7000 + location * 10,
+                )
             )
-            analyses = [estimator.analyze(trace) for trace in traces]
-            outcome = _localize_from_analyses(scene, traces, analyses, resolution_m)
+        flat_analyses = _batch_analyses(
+            estimator,
+            [trace for traces in traces_per_location for trace in traces],
+            workers=workers,
+            base_seed=seed,
+        )
+        errors = []
+        for location in range(n_locations):
+            analyses = flat_analyses[location * n_aps : (location + 1) * n_aps]
+            outcome = _localize_from_analyses(
+                scenes[location], traces_per_location[location], analyses, resolution_m
+            )
             errors.append(outcome.location_error_m)
         results[deviation_range] = ErrorCdf(np.array(errors))
     return results

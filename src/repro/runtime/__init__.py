@@ -1,0 +1,24 @@
+"""Batch-evaluation runtime: parallel fan-out with sequential parity.
+
+The paper's evaluation is embarrassingly parallel — hundreds of client
+spots × several APs, each an independent ``analyze(trace)`` call — and
+this package is the layer that exploits it without changing a single
+result.  See :class:`~repro.runtime.batch.BatchEvaluator` for the
+determinism, warmup, and failure-isolation contracts.
+"""
+
+from repro.runtime.batch import BatchEvaluator, BatchResult, evaluate_traces
+from repro.runtime.jobs import EstimatorSpec, EvalJob, JobFailure, JobOutcome
+from repro.runtime.report import RuntimeReport, StageTotals
+
+__all__ = [
+    "BatchEvaluator",
+    "BatchResult",
+    "EstimatorSpec",
+    "EvalJob",
+    "JobFailure",
+    "JobOutcome",
+    "RuntimeReport",
+    "StageTotals",
+    "evaluate_traces",
+]

@@ -1,0 +1,276 @@
+"""Parallel batch evaluation with a sequential-parity guarantee.
+
+:class:`BatchEvaluator` fans a list of :class:`~repro.channel.trace.CsiTrace`
+jobs out over a ``concurrent.futures.ProcessPoolExecutor``:
+
+* **Per-worker warmup** — the pool initializer builds the estimator from
+  a compact :class:`~repro.runtime.jobs.EstimatorSpec` and warms its
+  :class:`~repro.core.steering.SteeringCache` once per process, so the
+  joint dictionary (the expensive shared artifact) is built per worker,
+  never per trace, and never pickled.
+* **Determinism** — every job's result is a pure function of the job
+  itself (trace + per-job seed ``base_seed + index``), jobs are chunked
+  by contiguous index ranges, and outcomes are re-ordered by job index
+  before returning.  The output is therefore byte-identical for any
+  worker count, including the ``workers=0`` in-process sequential path.
+* **Graceful degradation** — a job that raises
+  :class:`~repro.exceptions.SolverError` comes back as a tagged
+  :class:`~repro.runtime.jobs.JobFailure` record instead of killing the
+  pool; the remaining jobs are unaffected.
+* **Instrumentation** — workers time the dictionary / solve / peak
+  stages per job; the totals come back in a
+  :class:`~repro.runtime.report.RuntimeReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.channel.trace import CsiTrace
+from repro.core.direct_path import ApAnalysis
+from repro.exceptions import ConfigurationError, SolverError
+from repro.runtime.jobs import EstimatorSpec, EvalJob, JobFailure, JobOutcome
+from repro.runtime.report import RuntimeReport
+
+# Per-process estimator slot, populated by the pool initializer.  A
+# module-level global is the standard ProcessPoolExecutor idiom for
+# one-time per-worker state; in the parent process it stays None.
+_WORKER_SYSTEM = None
+# Set once the worker's one-time warmup cost has been shipped back with
+# a chunk result, so N workers report N warmups total, each exactly once.
+_WORKER_WARMUP_PENDING_S = 0.0
+
+
+def _initialize_worker(spec: EstimatorSpec) -> None:
+    """Build the estimator once per worker process and warm its cache."""
+    global _WORKER_SYSTEM, _WORKER_WARMUP_PENDING_S
+    _WORKER_SYSTEM = _build_warm_system(spec)
+    _WORKER_WARMUP_PENDING_S = _system_warmup_seconds(_WORKER_SYSTEM)
+
+
+def _system_warmup_seconds(system) -> float:
+    cache = getattr(system, "cache", None)
+    return float(getattr(cache, "warmup_seconds", 0.0))
+
+
+def _build_warm_system(spec: EstimatorSpec):
+    system = spec.build()
+    cache = getattr(system, "cache", None)
+    if cache is not None and hasattr(cache, "warmup"):
+        cache.warmup()
+    return system
+
+
+def _evaluate_job(system, job: EvalJob) -> JobOutcome:
+    """Run one job; convert SolverError into a tagged failure record."""
+    stage_seconds: dict[str, float] = {}
+    start = time.perf_counter()
+    try:
+        analysis = _timed_analysis(system, job.trace, stage_seconds)
+    except SolverError as error:
+        return JobOutcome(
+            index=job.index,
+            failure=JobFailure(error_type=type(error).__name__, message=str(error)),
+            elapsed_s=time.perf_counter() - start,
+            stage_seconds=stage_seconds,
+        )
+    return JobOutcome(
+        index=job.index,
+        analysis=analysis,
+        elapsed_s=time.perf_counter() - start,
+        stage_seconds=stage_seconds,
+    )
+
+
+def _timed_analysis(system, trace: CsiTrace, stage_seconds: dict[str, float]) -> ApAnalysis:
+    """``system.analyze(trace)`` with per-stage timing.
+
+    ROArray estimators expose the stage boundaries (cache warmup → joint
+    solve → peak pick); for opaque systems everything lands in ``solve``.
+    The staged path calls exactly the methods ``analyze`` chains, so the
+    result is identical to a plain ``analyze(trace)``.
+    """
+    from repro.core.pipeline import RoArrayEstimator
+
+    if isinstance(system, RoArrayEstimator):
+        tick = time.perf_counter()
+        system.cache.warmup()
+        stage_seconds["dictionary"] = time.perf_counter() - tick
+        tick = time.perf_counter()
+        spectrum = system.joint_spectrum(trace)
+        stage_seconds["solve"] = time.perf_counter() - tick
+        tick = time.perf_counter()
+        analysis = system.analysis_from_spectrum(spectrum, trace)
+        stage_seconds["peaks"] = time.perf_counter() - tick
+        return analysis
+    tick = time.perf_counter()
+    analysis = system.analyze(trace)
+    stage_seconds["solve"] = time.perf_counter() - tick
+    return analysis
+
+
+def _run_chunk(jobs: list[EvalJob]) -> tuple[list[JobOutcome], float]:
+    """Worker entry point: evaluate one contiguous chunk of jobs.
+
+    Returns the outcomes plus this worker's one-time cache-warmup cost
+    (nonzero only on the first chunk a worker returns, so the parent can
+    sum it into the report's ``dictionary`` stage without double counting).
+    """
+    global _WORKER_WARMUP_PENDING_S
+    if _WORKER_SYSTEM is None:  # pragma: no cover - initializer contract
+        raise RuntimeError("worker used before initialization")
+    warmup_s, _WORKER_WARMUP_PENDING_S = _WORKER_WARMUP_PENDING_S, 0.0
+    return [_evaluate_job(_WORKER_SYSTEM, job) for job in jobs], warmup_s
+
+
+@dataclass
+class BatchResult:
+    """Ordered outcomes of one batch plus the runtime report."""
+
+    outcomes: list[JobOutcome]
+    report: RuntimeReport
+
+    @property
+    def analyses(self) -> list[ApAnalysis | None]:
+        """Per-job analyses in submission order (``None`` where failed)."""
+        return [outcome.analysis for outcome in self.outcomes]
+
+    @property
+    def failures(self) -> list[JobOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def strict_analyses(self) -> list[ApAnalysis]:
+        """All analyses, raising :class:`SolverError` if any job failed.
+
+        This restores sequential-loop semantics for callers (like the
+        experiment drivers) that treat a solver failure as fatal.
+        """
+        failed = self.failures
+        if failed:
+            first = failed[0]
+            raise SolverError(
+                f"{len(failed)} of {len(self.outcomes)} batch jobs failed; "
+                f"first: job {first.index}: {first.failure.error_type}: "
+                f"{first.failure.message}"
+            )
+        return [outcome.analysis for outcome in self.outcomes]
+
+
+@dataclass
+class BatchEvaluator:
+    """Evaluate many traces through one system, optionally in parallel.
+
+    Parameters
+    ----------
+    system:
+        An :class:`~repro.runtime.jobs.EstimatorSpec` or a built system
+        (``RoArrayEstimator``, ``SpotFiEstimator``, ``ArrayTrackEstimator``,
+        or anything implementing ``analyze(trace)``).
+    workers:
+        ``0`` (default) runs sequentially in-process — no subprocesses,
+        no pickling.  ``N >= 1`` uses a pool of N worker processes.
+        Results are byte-identical across all settings.
+    chunk_size:
+        Jobs per scheduling unit; ``None`` picks roughly two chunks per
+        worker.  Chunking affects scheduling granularity only, never
+        results.
+    base_seed:
+        Per-job seeds are ``base_seed + index`` (see
+        :class:`~repro.runtime.jobs.EvalJob`).
+
+    Examples
+    --------
+    >>> from repro.runtime import BatchEvaluator          # doctest: +SKIP
+    >>> result = BatchEvaluator(estimator, workers=4).evaluate(traces)  # doctest: +SKIP
+    >>> aoas = [a.direct.aoa_deg for a in result.strict_analyses()]     # doctest: +SKIP
+    """
+
+    system: object
+    workers: int = 0
+    chunk_size: int | None = None
+    base_seed: int = 0
+    _local_system: object = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        self.spec = EstimatorSpec.for_system(self.system)
+
+    def evaluate(self, traces: Sequence[CsiTrace]) -> BatchResult:
+        """Evaluate every trace; outcomes come back in submission order."""
+        jobs = [
+            EvalJob(index=index, trace=trace, seed=self.base_seed + index)
+            for index, trace in enumerate(traces)
+        ]
+        start = time.perf_counter()
+        if self.workers == 0 or len(jobs) == 0:
+            outcomes, warmup_s = self._evaluate_sequential(jobs)
+            chunk_size = len(jobs) or 1
+        else:
+            chunk_size = self._effective_chunk_size(len(jobs))
+            outcomes, warmup_s = self._evaluate_parallel(jobs, chunk_size)
+        wall_s = time.perf_counter() - start
+        outcomes.sort(key=lambda outcome: outcome.index)
+        report = RuntimeReport.from_outcomes(
+            outcomes,
+            workers=self.workers,
+            chunk_size=chunk_size,
+            wall_s=wall_s,
+            warmup_s=warmup_s,
+        )
+        return BatchResult(outcomes=outcomes, report=report)
+
+    # -- internals ---------------------------------------------------------
+
+    def _evaluate_sequential(self, jobs: list[EvalJob]) -> tuple[list[JobOutcome], float]:
+        warmup_s = 0.0
+        if self._local_system is None:
+            self._local_system = _build_warm_system(self.spec)
+            warmup_s = _system_warmup_seconds(self._local_system)
+        return [_evaluate_job(self._local_system, job) for job in jobs], warmup_s
+
+    def _evaluate_parallel(
+        self, jobs: list[EvalJob], chunk_size: int
+    ) -> tuple[list[JobOutcome], float]:
+        chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
+        workers = min(self.workers, len(chunks))
+        outcomes: list[JobOutcome] = []
+        warmup_s = 0.0
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_initialize_worker,
+            initargs=(self.spec,),
+        ) as pool:
+            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+            for future in futures:
+                chunk_outcomes, chunk_warmup_s = future.result()
+                outcomes.extend(chunk_outcomes)
+                warmup_s += chunk_warmup_s
+        return outcomes, warmup_s
+
+    def _effective_chunk_size(self, n_jobs: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # Aim for ~2 chunks per worker: large enough to amortize IPC,
+        # small enough to keep the pool busy at the tail.
+        return max(1, -(-n_jobs // (2 * self.workers)))
+
+
+def evaluate_traces(
+    system,
+    traces: Sequence[CsiTrace],
+    *,
+    workers: int = 0,
+    chunk_size: int | None = None,
+    base_seed: int = 0,
+) -> BatchResult:
+    """One-shot convenience wrapper around :class:`BatchEvaluator`."""
+    evaluator = BatchEvaluator(
+        system, workers=workers, chunk_size=chunk_size, base_seed=base_seed
+    )
+    return evaluator.evaluate(traces)

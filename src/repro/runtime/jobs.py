@@ -1,0 +1,146 @@
+"""Job and estimator specifications for the batch runtime.
+
+The worker-pool protocol is pickle-based, so everything that crosses a
+process boundary lives here and is deliberately small:
+
+* :class:`EstimatorSpec` — a compact, picklable *recipe* for a system.
+  Shipping the recipe instead of a built estimator is what makes the
+  per-worker one-time warmup possible: the worker initializer builds the
+  estimator (and its :class:`~repro.core.steering.SteeringCache`) once
+  per process, so the joint dictionary is never pickled and never built
+  per trace.
+* :class:`EvalJob` — one unit of work: a trace plus a stable identity.
+* :class:`JobFailure` / :class:`JobOutcome` — what comes back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.ofdm import SubcarrierLayout
+from repro.channel.trace import CsiTrace
+from repro.core.config import RoArrayConfig
+from repro.core.direct_path import ApAnalysis
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """A picklable recipe that builds an AP estimation system.
+
+    For ROArray the spec carries only the configuration (grids, solver
+    tunables, hardware model) — each worker rebuilds the estimator and
+    warms its steering cache locally.  For other systems (SpotFi,
+    ArrayTrack, or any object implementing ``analyze(trace)``) the
+    built instance itself is carried; those systems hold no large
+    precomputed state, so pickling them whole is cheap.
+    """
+
+    kind: str = "roarray"
+    config: RoArrayConfig | None = None
+    array: UniformLinearArray | None = None
+    layout: SubcarrierLayout | None = None
+    system: object | None = None
+
+    def build(self):
+        """Construct the system this spec describes."""
+        if self.kind == "roarray":
+            from repro.core.pipeline import RoArrayEstimator
+
+            return RoArrayEstimator(array=self.array, layout=self.layout, config=self.config)
+        if self.kind == "instance":
+            if self.system is None:
+                raise ConfigurationError("EstimatorSpec(kind='instance') requires a system")
+            return self.system
+        raise ConfigurationError(f"unknown estimator spec kind {self.kind!r}")
+
+    @classmethod
+    def roarray(
+        cls,
+        config: RoArrayConfig | None = None,
+        *,
+        array: UniformLinearArray | None = None,
+        layout: SubcarrierLayout | None = None,
+    ) -> "EstimatorSpec":
+        return cls(kind="roarray", config=config, array=array, layout=layout)
+
+    @classmethod
+    def for_system(cls, system) -> "EstimatorSpec":
+        """Derive a spec from an already-built system.
+
+        A :class:`~repro.core.pipeline.RoArrayEstimator` collapses to
+        its configuration (workers rebuild the cache rather than
+        unpickling megabytes of dictionary); anything else is wrapped
+        as-is.
+        """
+        from repro.core.pipeline import RoArrayEstimator
+
+        if isinstance(system, EstimatorSpec):
+            return system
+        if isinstance(system, RoArrayEstimator):
+            return cls(
+                kind="roarray", config=system.config, array=system.array, layout=system.layout
+            )
+        if not hasattr(system, "analyze"):
+            raise ConfigurationError(
+                f"system {system!r} does not implement analyze(trace)"
+            )
+        return cls(kind="instance", system=system)
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One trace to evaluate, with a stable identity.
+
+    Attributes
+    ----------
+    index:
+        Position in the submitted batch; results are re-ordered by it,
+        so output order never depends on scheduling.
+    trace:
+        The CSI trace to analyze.
+    seed:
+        A per-job seed derived as ``base_seed + index`` — a function of
+        the job, never of the worker or chunk it lands on.  The three
+        shipped systems are deterministic and ignore it, but any future
+        stochastic stage must draw randomness from this seed (and only
+        this seed) to preserve the runtime's determinism guarantee.
+    """
+
+    index: int
+    trace: CsiTrace
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A tagged record of a job that raised :class:`~repro.exceptions.SolverError`.
+
+    Workers convert solver failures into data instead of exceptions so
+    one degenerate trace cannot poison the pool; the error type name and
+    message survive the trip back for diagnostics.
+    """
+
+    error_type: str
+    message: str
+
+
+@dataclass
+class JobOutcome:
+    """The per-job result crossing back from a worker.
+
+    Exactly one of ``analysis`` / ``failure`` is set.  ``stage_seconds``
+    holds the per-stage wall times (``dictionary`` / ``solve`` /
+    ``peaks``) the worker measured.
+    """
+
+    index: int
+    analysis: ApAnalysis | None = None
+    failure: JobFailure | None = None
+    elapsed_s: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None

@@ -1,0 +1,130 @@
+"""Runtime instrumentation for batch evaluation.
+
+A :class:`RuntimeReport` aggregates what the workers measured: per-stage
+wall time (dictionary build / sparse solve / peak pick), per-job
+latencies, failure counts, and end-to-end throughput.  The report is the
+contract the scaling benchmark asserts against, and what
+``roarray batch`` prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.jobs import JobOutcome
+
+#: Stage keys in reporting order.
+STAGES = ("dictionary", "solve", "peaks")
+
+
+@dataclass
+class StageTotals:
+    """Accumulated per-stage worker seconds across a batch.
+
+    ``dictionary`` is the steering-cache build (paid once per process
+    thanks to the warmup initializer, so it amortizes toward zero as the
+    batch grows), ``solve`` the sparse-recovery solve, and ``peaks`` the
+    spectrum peak pick / direct-path selection.
+    """
+
+    dictionary_s: float = 0.0
+    solve_s: float = 0.0
+    peaks_s: float = 0.0
+
+    def add(self, stage_seconds: dict[str, float]) -> None:
+        self.dictionary_s += stage_seconds.get("dictionary", 0.0)
+        self.solve_s += stage_seconds.get("solve", 0.0)
+        self.peaks_s += stage_seconds.get("peaks", 0.0)
+
+    @property
+    def total_s(self) -> float:
+        return self.dictionary_s + self.solve_s + self.peaks_s
+
+
+@dataclass
+class RuntimeReport:
+    """Everything measured while evaluating one batch.
+
+    Attributes
+    ----------
+    workers:
+        Worker-process count (0 = pure sequential, in-process).
+    chunk_size:
+        Jobs per scheduling unit.
+    n_jobs / n_failures:
+        Batch size and how many jobs returned a tagged failure record.
+    wall_s:
+        End-to-end wall time of the batch (including pool startup).
+    stages:
+        Summed per-stage worker seconds (see :class:`StageTotals`).
+    job_seconds:
+        Per-job wall seconds, in job order.
+    """
+
+    workers: int
+    chunk_size: int
+    n_jobs: int = 0
+    n_failures: int = 0
+    wall_s: float = 0.0
+    stages: StageTotals = field(default_factory=StageTotals)
+    job_seconds: list[float] = field(default_factory=list)
+
+    @classmethod
+    def from_outcomes(
+        cls,
+        outcomes: Iterable["JobOutcome"],
+        *,
+        workers: int,
+        chunk_size: int,
+        wall_s: float,
+        warmup_s: float = 0.0,
+    ) -> "RuntimeReport":
+        report = cls(workers=workers, chunk_size=chunk_size, wall_s=wall_s)
+        report.stages.dictionary_s += warmup_s
+        for outcome in outcomes:
+            report.n_jobs += 1
+            if not outcome.ok:
+                report.n_failures += 1
+            report.stages.add(outcome.stage_seconds)
+            report.job_seconds.append(outcome.elapsed_s)
+        return report
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        """Completed jobs per wall-clock second (0 for an empty batch)."""
+        if self.wall_s <= 0.0 or self.n_jobs == 0:
+            return 0.0
+        return self.n_jobs / self.wall_s
+
+    @property
+    def busy_s(self) -> float:
+        """Summed per-job worker seconds (compute, excluding pool overhead)."""
+        return float(sum(self.job_seconds))
+
+    def speedup_over(self, sequential: "RuntimeReport") -> float:
+        """Throughput ratio of this run over a sequential reference."""
+        if self.throughput_jobs_per_s == 0.0 or sequential.throughput_jobs_per_s == 0.0:
+            return 0.0
+        return self.throughput_jobs_per_s / sequential.throughput_jobs_per_s
+
+    def summary(self) -> str:
+        """A compact human-readable block (used by ``roarray batch``)."""
+        mode = "sequential" if self.workers == 0 else f"{self.workers} worker(s)"
+        lines = [
+            f"jobs: {self.n_jobs} ({self.n_failures} failed) | {mode}, chunk {self.chunk_size}",
+            f"wall: {self.wall_s:.2f} s | throughput: {self.throughput_jobs_per_s:.2f} jobs/s",
+            (
+                "stages (worker s): "
+                f"dictionary {self.stages.dictionary_s:.3f} | "
+                f"solve {self.stages.solve_s:.3f} | "
+                f"peaks {self.stages.peaks_s:.3f}"
+            ),
+        ]
+        if self.job_seconds:
+            lines.append(
+                f"per-job: mean {self.busy_s / len(self.job_seconds):.3f} s, "
+                f"max {max(self.job_seconds):.3f} s"
+            )
+        return "\n".join(lines)

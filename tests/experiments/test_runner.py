@@ -128,6 +128,7 @@ class TestFusionExperiment:
 
 
 class TestApDensity:
+    @pytest.mark.slow
     def test_returns_cdf_per_count(self):
         results = run_ap_density_experiment(
             ap_counts=(3, 4), n_locations=2, n_packets=3, resolution_m=0.25
@@ -138,6 +139,7 @@ class TestApDensity:
 
 
 class TestCalibrationExperiment:
+    @pytest.mark.slow
     def test_modes_present(self):
         results = run_calibration_experiment(
             modes=("roarray", "none"), n_locations=2, n_packets=3, n_aps=3,
@@ -149,6 +151,7 @@ class TestCalibrationExperiment:
 
 
 class TestPolarizationExperiment:
+    @pytest.mark.slow
     def test_ranges_reported(self):
         results = run_polarization_experiment(
             deviation_ranges_deg=((0.0, 0.0), (20.0, 45.0)),

@@ -1,0 +1,98 @@
+"""Regenerate the golden-spectrum regression fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+
+Produces, next to this script:
+
+``golden_trace.npz``
+    A seeded 6-packet CSI trace (full Intel-5300 layout, default
+    impairments) — the input every pinned output derives from.
+``golden_outputs.npz``
+    The outputs of all three systems on that trace at the paper's
+    evaluation working point: ROArray's fused joint (AoA, ToA) spectrum
+    and direct-path estimate, and SpotFi's / ArrayTrack's AoA spectra
+    and direct-path AoAs.
+
+Regenerating is a *deliberate* act: it re-baselines the accuracy of the
+whole evaluation.  Only do it when an intentional algorithm change is
+understood and reviewed — the regression test exists to catch the
+unintentional drift.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines.arraytrack import ArrayTrackEstimator
+from repro.baselines.spotfi import SpotFiEstimator
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.ofdm import intel5300_layout
+from repro.channel.paths import random_profile
+from repro.channel.trace import CsiTrace
+from repro.core.pipeline import RoArrayEstimator
+from repro.experiments.runner import evaluation_roarray_config
+
+FIXTURE_DIR = Path(__file__).resolve().parent
+SEED = 2017
+TRUE_AOA_DEG = 150.0
+
+
+def golden_trace() -> CsiTrace:
+    rng = np.random.default_rng(SEED)
+    profile = random_profile(rng, n_paths=4, direct_aoa_deg=TRUE_AOA_DEG)
+    synthesizer = CsiSynthesizer(
+        UniformLinearArray(), intel5300_layout(), ImpairmentModel(), seed=SEED
+    )
+    return synthesizer.packets(profile, n_packets=6, snr_db=12.0, rng=rng)
+
+
+def main() -> None:
+    trace = golden_trace()
+    trace.save(FIXTURE_DIR / "golden_trace.npz")
+
+    roarray = RoArrayEstimator(config=evaluation_roarray_config())
+    spotfi = SpotFiEstimator()
+    arraytrack = ArrayTrackEstimator()
+
+    joint = roarray.joint_spectrum(trace).normalized()
+    roarray_analysis = roarray.analyze(trace)
+    spotfi_spectrum = spotfi.aoa_spectrum(trace).normalized()
+    spotfi_analysis = spotfi.analyze(trace)
+    arraytrack_spectrum = arraytrack.aoa_spectrum(trace).normalized()
+    arraytrack_analysis = arraytrack.analyze(trace)
+
+    np.savez_compressed(
+        FIXTURE_DIR / "golden_outputs.npz",
+        seed=SEED,
+        true_aoa_deg=TRUE_AOA_DEG,
+        joint_angles_deg=joint.angles_deg,
+        joint_toas_s=joint.toas_s,
+        joint_power=joint.power,
+        roarray_direct_aoa_deg=roarray_analysis.direct.aoa_deg,
+        roarray_direct_toa_s=roarray_analysis.direct.toa_s,
+        roarray_candidate_aoas_deg=np.array(roarray_analysis.candidate_aoas_deg),
+        spotfi_angles_deg=spotfi_spectrum.angles_deg,
+        spotfi_power=spotfi_spectrum.power,
+        spotfi_direct_aoa_deg=spotfi_analysis.direct.aoa_deg,
+        arraytrack_angles_deg=arraytrack_spectrum.angles_deg,
+        arraytrack_power=arraytrack_spectrum.power,
+        arraytrack_direct_aoa_deg=arraytrack_analysis.direct.aoa_deg,
+    )
+    print(f"wrote {FIXTURE_DIR / 'golden_trace.npz'}")
+    print(f"wrote {FIXTURE_DIR / 'golden_outputs.npz'}")
+    print(
+        f"ROArray direct AoA {roarray_analysis.direct.aoa_deg:.1f}° | "
+        f"SpotFi {spotfi_analysis.direct.aoa_deg:.1f}° | "
+        f"ArrayTrack {arraytrack_analysis.direct.aoa_deg:.1f}° "
+        f"(truth {TRUE_AOA_DEG:.1f}°)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Fixtures for the batch-runtime suite: a small, fast workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.paths import random_profile
+from repro.channel.trace import CsiTrace
+from repro.core.pipeline import RoArrayEstimator
+
+
+@pytest.fixture
+def small_estimator(array, layout, small_config) -> RoArrayEstimator:
+    """ROArray on the reduced layout/grids — one analyze ≈ tens of ms."""
+    return RoArrayEstimator(array=array, layout=layout, config=small_config)
+
+
+def make_traces(estimator: RoArrayEstimator, n_traces: int, *, seed: int = 3) -> list[CsiTrace]:
+    """A deterministic workload of well-separated two/three-path links."""
+    rng = np.random.default_rng(seed)
+    synthesizer = CsiSynthesizer(estimator.array, estimator.layout, seed=seed)
+    traces = []
+    for index in range(n_traces):
+        profile = random_profile(rng, n_paths=3, direct_aoa_deg=30.0 + 12.0 * index)
+        traces.append(synthesizer.packets(profile, n_packets=4, snr_db=12.0, rng=rng))
+    return traces
+
+
+def poison_trace(trace: CsiTrace) -> CsiTrace:
+    """A copy whose CSI contains a NaN — trips SolverError in fusion."""
+    csi = trace.csi.copy()
+    csi[0, 0, 0] = np.nan
+    return CsiTrace(csi=csi, snr_db=trace.snr_db, rssi_dbm=trace.rssi_dbm)
+
+
+@pytest.fixture
+def workload(small_estimator) -> list[CsiTrace]:
+    return make_traces(small_estimator, 6)

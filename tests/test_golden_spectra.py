@@ -1,0 +1,123 @@
+"""Golden-spectrum regression tests.
+
+The whole evaluation rests on the spectra these fixtures pin: ROArray's
+fused joint (AoA, ToA) spectrum and the baselines' AoA outputs on one
+seeded trace at the paper's evaluation working point.  If a solver,
+fusion, or runtime change shifts any of them beyond tight numerical
+tolerance, these tests fail — silently "slightly different" accuracy is
+the failure mode they exist to catch.
+
+To re-baseline after a *deliberate* algorithm change::
+
+    PYTHONPATH=src python tests/fixtures/generate_golden.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines.arraytrack import ArrayTrackEstimator
+from repro.baselines.spotfi import SpotFiEstimator
+from repro.channel.trace import CsiTrace
+from repro.core.pipeline import RoArrayEstimator
+from repro.experiments.runner import evaluation_roarray_config
+from tests.fixtures.generate_golden import golden_trace
+
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures"
+
+# Tight enough that any algorithmic change trips the test; loose enough
+# to absorb BLAS/LAPACK rounding differences across platforms.
+RTOL = 1e-5
+ATOL = 1e-8
+
+
+@pytest.fixture(scope="module")
+def trace() -> CsiTrace:
+    return CsiTrace.load(FIXTURE_DIR / "golden_trace.npz")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with np.load(FIXTURE_DIR / "golden_outputs.npz") as data:
+        return {key: data[key] for key in data.files}
+
+
+class TestFixtureIntegrity:
+    def test_trace_fixture_matches_its_recipe(self, trace):
+        """The committed trace is exactly what the generator produces —
+        guards against fixture/generator drift (e.g. a channel-model
+        change that silently invalidates the pinned outputs)."""
+        regenerated = golden_trace()
+        np.testing.assert_allclose(trace.csi, regenerated.csi, rtol=1e-12, atol=1e-15)
+        assert trace.snr_db == regenerated.snr_db
+        assert trace.direct_aoa_deg == regenerated.direct_aoa_deg
+
+
+class TestRoArrayGoldenSpectrum:
+    def test_joint_spectrum_matches(self, trace, golden):
+        spectrum = RoArrayEstimator(config=evaluation_roarray_config()).joint_spectrum(
+            trace
+        ).normalized()
+        np.testing.assert_allclose(spectrum.angles_deg, golden["joint_angles_deg"])
+        np.testing.assert_allclose(spectrum.toas_s, golden["joint_toas_s"])
+        np.testing.assert_allclose(
+            spectrum.power, golden["joint_power"], rtol=RTOL, atol=ATOL
+        )
+
+    def test_direct_path_matches(self, trace, golden):
+        analysis = RoArrayEstimator(config=evaluation_roarray_config()).analyze(trace)
+        assert analysis.direct.aoa_deg == pytest.approx(
+            float(golden["roarray_direct_aoa_deg"]), abs=1e-9
+        )
+        assert analysis.direct.toa_s == pytest.approx(
+            float(golden["roarray_direct_toa_s"]), abs=1e-15
+        )
+        np.testing.assert_allclose(
+            np.array(analysis.candidate_aoas_deg),
+            golden["roarray_candidate_aoas_deg"],
+            atol=1e-9,
+        )
+
+    def test_direct_path_is_accurate(self, golden):
+        """Sanity anchor: the pinned output itself is a good estimate —
+        a re-baseline that regresses accuracy cannot slip through."""
+        error = abs(float(golden["roarray_direct_aoa_deg"]) - float(golden["true_aoa_deg"]))
+        assert error <= 2.0
+
+
+class TestBaselineGoldenOutputs:
+    def test_spotfi_spectrum_and_estimate(self, trace, golden):
+        spectrum = SpotFiEstimator().aoa_spectrum(trace).normalized()
+        np.testing.assert_allclose(spectrum.angles_deg, golden["spotfi_angles_deg"])
+        np.testing.assert_allclose(
+            spectrum.power, golden["spotfi_power"], rtol=RTOL, atol=ATOL
+        )
+        estimate = SpotFiEstimator().analyze(trace).direct.aoa_deg
+        assert estimate == pytest.approx(float(golden["spotfi_direct_aoa_deg"]), abs=1e-6)
+
+    def test_arraytrack_spectrum_and_estimate(self, trace, golden):
+        spectrum = ArrayTrackEstimator().aoa_spectrum(trace).normalized()
+        np.testing.assert_allclose(spectrum.angles_deg, golden["arraytrack_angles_deg"])
+        np.testing.assert_allclose(
+            spectrum.power, golden["arraytrack_power"], rtol=RTOL, atol=ATOL
+        )
+        estimate = ArrayTrackEstimator().analyze(trace).direct.aoa_deg
+        assert estimate == pytest.approx(
+            float(golden["arraytrack_direct_aoa_deg"]), abs=1e-6
+        )
+
+
+class TestGoldenThroughBatchRuntime:
+    def test_batch_runtime_reproduces_golden_direct_path(self, trace, golden):
+        """The runtime layer must not perturb pinned outputs either."""
+        from repro.runtime import BatchEvaluator
+
+        estimator = RoArrayEstimator(config=evaluation_roarray_config())
+        result = BatchEvaluator(estimator, workers=0).evaluate([trace])
+        direct = result.strict_analyses()[0].direct
+        assert direct.aoa_deg == pytest.approx(
+            float(golden["roarray_direct_aoa_deg"]), abs=1e-9
+        )
