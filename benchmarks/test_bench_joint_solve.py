@@ -1,0 +1,68 @@
+"""Joint-solve microbenchmark: dense GEMM vs Kronecker operator (ISSUE 2).
+
+Runs :func:`repro.runtime.bench.joint_solve_benchmark` — the same
+measurement ``roarray bench`` prints — asserts the structured path's
+speedup and dense-parity acceptance criteria, and writes the numbers to
+``BENCH_joint_solve.json`` (repo root, or ``REPRO_BENCH_OUTPUT_DIR``)
+so CI can upload the perf trajectory as an artifact.
+
+Scale knobs:
+
+``REPRO_SMOKE=1``
+    Fewer timing repeats and a reduced iteration pin — what CI runs.
+    The speedup assertion stays on: the two paths run identical
+    iteration counts on the same problem, so the ratio is robust even
+    on a noisy shared runner.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.bench import joint_solve_benchmark
+
+SPEEDUP_TARGET = 3.0  # acceptance floor; measured ~8x on a laptop core
+PARITY_LIMIT = 1e-8
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "") == "1"
+
+
+def _output_path() -> Path:
+    root = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    base = Path(root) if root else Path(__file__).resolve().parent.parent
+    return base / "BENCH_joint_solve.json"
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_joint_solve_operator_speedup():
+    if _smoke():
+        repeats, iterations = 2, 120
+    else:
+        repeats, iterations = 5, None  # None = the evaluation config's 250
+
+    result = joint_solve_benchmark(repeats=repeats, max_iterations=iterations)
+
+    path = _output_path()
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(
+        f"\n-- joint solve ({result['grid']['rows']}x{result['grid']['columns']}, "
+        f"{result['iterations']} iterations) --"
+    )
+    print(f"dense:    {result['dense_seconds'] * 1e3:8.2f} ms")
+    print(f"operator: {result['operator_seconds'] * 1e3:8.2f} ms")
+    print(f"speedup:  {result['speedup']:8.2f}x  -> {path.name}")
+
+    assert result["max_relative_spectrum_error"] <= PARITY_LIMIT, (
+        "operator and dense spectra disagree beyond acceptance: "
+        f"{result['max_relative_spectrum_error']:.2e}"
+    )
+    assert result["speedup"] >= SPEEDUP_TARGET, (
+        f"expected the Kronecker path >= {SPEEDUP_TARGET}x faster than dense, "
+        f"got {result['speedup']:.2f}x"
+    )

@@ -206,6 +206,21 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.bench import joint_solve_benchmark
+
+    result = joint_solve_benchmark(
+        snr_db=args.snr, seed=args.seed, repeats=args.repeats, max_iterations=args.iterations
+    )
+    print(json.dumps(result, indent=2))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result, handle, indent=2)
+    return 0
+
+
 def cmd_figures(_args: argparse.Namespace) -> int:
     print("paper figure → benchmark (run with: pytest <file> --benchmark-only -s)")
     for key, (description, path) in FIGURES.items():
@@ -268,6 +283,20 @@ def build_parser() -> argparse.ArgumentParser:
     localize.add_argument("--resolution", type=float, default=0.1)
     localize.add_argument("--seed", type=int, default=0)
     localize.set_defaults(handler=cmd_localize)
+
+    bench = subparsers.add_parser(
+        "bench", help="joint-solve microbenchmark (dense vs Kronecker operator), prints JSON"
+    )
+    bench.add_argument("--snr", type=float, default=12.0, help="measurement SNR in dB")
+    bench.add_argument("--seed", type=int, default=2017)
+    bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
+    bench.add_argument(
+        "--iterations", type=int, default=None, help="pinned FISTA iterations (default: config)"
+    )
+    bench.add_argument(
+        "--output", default=None, metavar="PATH", help="also write the JSON to PATH"
+    )
+    bench.set_defaults(handler=cmd_bench)
 
     figures = subparsers.add_parser("figures", help="map paper figures to benchmarks")
     figures.set_defaults(handler=cmd_figures)

@@ -19,7 +19,7 @@ from repro.exceptions import SolverError
 from repro.optim import solve_lasso_fista, solve_mmv_fista
 from repro.optim.linalg import estimate_lipschitz
 from repro.optim.result import SolverResult
-from repro.optim.tuning import residual_kappa
+from repro.optim.tuning import mmv_residual_kappa, residual_kappa
 from repro.spectral.spectrum import AngleSpectrum
 
 
@@ -31,8 +31,9 @@ def estimate_aoa_spectrum(
     kappa: float | None = None,
     kappa_fraction: float = 0.05,
     max_iterations: int = 300,
-    dictionary: np.ndarray | None = None,
+    dictionary=None,
     lipschitz: float | None = None,
+    x0: np.ndarray | None = None,
 ) -> tuple[AngleSpectrum, SolverResult]:
     """Sparse-recovery AoA spectrum from one or more array snapshots.
 
@@ -48,8 +49,12 @@ def estimate_aoa_spectrum(
         zero-solution gradient when omitted (robust without an SNR
         estimate).
     dictionary / lipschitz:
-        Optional precomputed Eq. 6 dictionary and its ‖S̃ᴴS̃‖₂ — pass
-        both when solving repeatedly on the same grid.
+        Optional precomputed Eq. 6 dictionary (dense ndarray or
+        :class:`~repro.optim.operators.DictionaryOperator`) and its
+        ‖S̃ᴴS̃‖₂ — pass both when solving repeatedly on the same grid.
+    x0:
+        Optional warm start forwarded to the FISTA solve (shape
+        matching the coefficient vector/matrix).
 
     Returns
     -------
@@ -77,19 +82,17 @@ def estimate_aoa_spectrum(
         if kappa is None:
             kappa = residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
         result = solve_lasso_fista(
-            dictionary, snapshots, kappa, max_iterations=max_iterations, lipschitz=lipschitz
+            dictionary, snapshots, kappa, max_iterations=max_iterations, lipschitz=lipschitz, x0=x0
         )
         power = np.abs(result.x)
     else:
         if kappa is None:
-            # Use the strongest single column-response across snapshots as scale.
-            gradient = 2.0 * np.linalg.norm(dictionary.conj().T @ snapshots, axis=1)
-            peak = float(gradient.max(initial=0.0))
-            if peak == 0.0:
-                raise SolverError("snapshots are orthogonal to every steering vector")
-            kappa = kappa_fraction * peak
+            try:
+                kappa = mmv_residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
+            except SolverError:
+                raise SolverError("snapshots are orthogonal to every steering vector") from None
         result = solve_mmv_fista(
-            dictionary, snapshots, kappa, max_iterations=max_iterations, lipschitz=lipschitz
+            dictionary, snapshots, kappa, max_iterations=max_iterations, lipschitz=lipschitz, x0=x0
         )
         power = np.linalg.norm(result.x, axis=1)
 

@@ -41,6 +41,13 @@ class RoArrayConfig:
         (:mod:`repro.core.refinement`) before direct-path selection —
         removes the grid-quantization floor at the cost of extra
         least-squares solves per fix.
+    warm_start:
+        Seed each solve with the estimator's previous solution on the
+        same grids (see :class:`~repro.core.pipeline.RoArrayEstimator`).
+        Off by default: warm chaining makes results depend on call
+        order, so the batch runtime resets it per job to preserve
+        worker-count-independent determinism; sequential sweeps opt in
+        for the iteration savings.
     """
 
     angle_grid: AngleGrid = field(default_factory=lambda: AngleGrid(n_points=91))
@@ -51,6 +58,7 @@ class RoArrayConfig:
     max_paths: int = 6
     peak_floor: float = 0.3
     refine_off_grid: bool = False
+    warm_start: bool = False
 
     def __post_init__(self) -> None:
         if not 0 < self.kappa_fraction < 1:

@@ -29,6 +29,7 @@ from repro.core.steering import SteeringCache, vectorize_csi_matrix
 from repro.exceptions import SolverError
 from repro.optim import solve_mmv_fista
 from repro.optim.result import SolverResult
+from repro.optim.tuning import mmv_residual_kappa
 from repro.spectral.spectrum import JointSpectrum
 
 
@@ -122,8 +123,12 @@ def fuse_packets(
     max_iterations: int = 300,
     svd_rank: int = 6,
     align_delays: bool = True,
+    x0: np.ndarray | None = None,
 ) -> tuple[JointSpectrum, SolverResult]:
     """Coherent multi-packet joint (AoA, ToA) spectrum (paper Fig. 4c).
+
+    The ℓ2,1 solve runs on the cache's structured
+    :attr:`~repro.core.steering.SteeringCache.joint_operator`.
 
     Parameters
     ----------
@@ -132,6 +137,10 @@ def fuse_packets(
     align_delays:
         Compensate per-packet detection delay first (on by default; the
         ablation benchmark turns it off to show why it matters).
+    x0:
+        Optional ``(Nθ·Nτ, r)`` warm start — a previous fusion's
+        coefficient matrix on the same grids with the same retained
+        rank; ignored if the snapshot width differs.
 
     Returns
     -------
@@ -156,19 +165,21 @@ def fuse_packets(
     snapshots = np.stack([vectorize_csi_matrix(packet) for packet in csi], axis=1)
     snapshots = svd_reduce_snapshots(snapshots, svd_rank)
 
-    dictionary = cache.joint_dictionary
+    dictionary = cache.joint_operator
     if kappa is None:
-        gradient = 2.0 * np.linalg.norm(dictionary.conj().T @ snapshots, axis=1)
-        peak = float(gradient.max(initial=0.0))
-        if peak == 0.0:
-            raise SolverError("packets are orthogonal to every steering vector")
-        kappa = kappa_fraction * peak
+        try:
+            kappa = mmv_residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
+        except SolverError:
+            raise SolverError("packets are orthogonal to every steering vector") from None
+    if x0 is not None and x0.shape != (dictionary.shape[1], snapshots.shape[1]):
+        x0 = None
     result = solve_mmv_fista(
         dictionary,
         snapshots,
         kappa,
         max_iterations=max_iterations,
         lipschitz=cache.joint_lipschitz,
+        x0=x0,
     )
 
     power = coefficients_to_joint_power(

@@ -48,8 +48,14 @@ def estimate_joint_spectrum(
     kappa: float | None = None,
     kappa_fraction: float = 0.05,
     max_iterations: int = 300,
+    x0: np.ndarray | None = None,
 ) -> tuple[JointSpectrum, SolverResult]:
     """Single-packet joint (AoA, ToA) spectrum (paper Eq. 18).
+
+    The solve runs on the cache's structured
+    :attr:`~repro.core.steering.SteeringCache.joint_operator` — the
+    Kronecker form of the Eq. 16 dictionary — so the dense ``(M·L) ×
+    (Nθ·Nτ)`` matrix is never materialized.
 
     Parameters
     ----------
@@ -58,6 +64,9 @@ def estimate_joint_spectrum(
     cache:
         The steering cache providing the Eq. 16 dictionary; its grids
         define the spectrum axes.
+    x0:
+        Optional warm start (a previous packet's coefficient vector on
+        the same grids).
 
     Returns
     -------
@@ -69,11 +78,11 @@ def estimate_joint_spectrum(
         raise SolverError(f"csi matrix has shape {csi_matrix.shape}, expected {expected}")
 
     y = vectorize_csi_matrix(csi_matrix)
-    dictionary = cache.joint_dictionary
+    dictionary = cache.joint_operator
     if kappa is None:
         kappa = residual_kappa(dictionary, y, fraction=kappa_fraction)
     result = solve_lasso_fista(
-        dictionary, y, kappa, max_iterations=max_iterations, lipschitz=cache.joint_lipschitz
+        dictionary, y, kappa, max_iterations=max_iterations, lipschitz=cache.joint_lipschitz, x0=x0
     )
 
     power = coefficients_to_joint_power(

@@ -62,6 +62,22 @@ class RoArrayEstimator:
         self.cache = SteeringCache(
             self.array, self.layout, self.config.angle_grid, self.config.delay_grid
         )
+        #: Chain solutions across consecutive calls (see RoArrayConfig).
+        self.warm_start = self.config.warm_start
+        # Single-packet (Nθ·Nτ,) and fused (Nθ·Nτ, r) solutions are
+        # shaped differently, so they warm independent slots.
+        self._warm_single: np.ndarray | None = None
+        self._warm_fused: np.ndarray | None = None
+
+    def reset_warm_state(self) -> None:
+        """Drop any carried-over solutions.
+
+        The batch runtime calls this before every job so warm chaining
+        can never leak state across jobs — results stay byte-identical
+        for any worker count regardless of ``warm_start``.
+        """
+        self._warm_single = None
+        self._warm_fused = None
 
     # -- spectra -----------------------------------------------------------
 
@@ -105,20 +121,26 @@ class RoArrayEstimator:
         ℓ2,1 recovery, §III-D).
         """
         if packet is not None:
-            spectrum, _ = estimate_joint_spectrum(
+            spectrum, result = estimate_joint_spectrum(
                 trace.packet(packet),
                 self.cache,
                 kappa_fraction=self.config.kappa_fraction,
                 max_iterations=self.config.max_iterations,
+                x0=self._warm_single if self.warm_start else None,
             )
+            if self.warm_start:
+                self._warm_single = result.x
             return spectrum
-        spectrum, _ = fuse_packets(
+        spectrum, result = fuse_packets(
             trace.csi,
             self.cache,
             kappa_fraction=self.config.kappa_fraction,
             max_iterations=self.config.max_iterations,
             svd_rank=self.config.svd_rank,
+            x0=self._warm_fused if self.warm_start else None,
         )
+        if self.warm_start:
+            self._warm_fused = result.x
         return spectrum
 
     # -- direct path -------------------------------------------------------

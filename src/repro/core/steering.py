@@ -28,6 +28,7 @@ from repro.channel.array import UniformLinearArray
 from repro.channel.ofdm import SubcarrierLayout
 from repro.core.grids import AngleGrid, DelayGrid
 from repro.optim.linalg import estimate_lipschitz
+from repro.optim.operators import KroneckerJointOperator
 
 
 def angle_steering_dictionary(array: UniformLinearArray, grid: AngleGrid) -> np.ndarray:
@@ -94,6 +95,7 @@ class SteeringCache:
         self._angle_dictionary: np.ndarray | None = None
         self._angle_lipschitz: float | None = None
         self._joint_dictionary: np.ndarray | None = None
+        self._joint_operator: KroneckerJointOperator | None = None
         self._joint_lipschitz: float | None = None
         #: Seconds spent building each artifact, keyed by artifact name.
         #: Empty until the corresponding property is first accessed; the
@@ -135,10 +137,31 @@ class SteeringCache:
         return self._joint_dictionary
 
     @property
+    def joint_operator(self) -> KroneckerJointOperator:
+        """The Eq. 16 dictionary as an unmaterialized Kronecker operator.
+
+        Numerically interchangeable with :attr:`joint_dictionary` (it
+        represents the same matrix) but applies in two small matmuls —
+        the form the hot solve paths use.
+        """
+        if self._joint_operator is None:
+            self._joint_operator = self._timed(
+                "joint_operator",
+                lambda: KroneckerJointOperator(
+                    delay_ramp_dictionary(self.layout, self.delay_grid),
+                    self.angle_dictionary,
+                ),
+            )
+        return self._joint_operator
+
+    @property
     def joint_lipschitz(self) -> float:
         if self._joint_lipschitz is None:
+            # Power iteration through the operator: identical math to the
+            # dense estimate (same seed, same iterates up to rounding),
+            # without materializing the Kronecker product.
             self._joint_lipschitz = self._timed(
-                "joint_lipschitz", lambda: estimate_lipschitz(self.joint_dictionary)
+                "joint_lipschitz", lambda: estimate_lipschitz(self.joint_operator)
             )
         return self._joint_lipschitz
 
@@ -146,13 +169,15 @@ class SteeringCache:
         """Build every artifact now (one-time per-process warmup).
 
         The batch runtime calls this from its worker initializer so the
-        joint dictionary and its Lipschitz constant are built once per
-        worker process rather than lazily inside the first job.
-        Returns ``self`` for chaining.
+        dictionaries and Lipschitz constants are built once per worker
+        process rather than lazily inside the first job.  The dense
+        joint dictionary is *not* built — the solve paths run on
+        :attr:`joint_operator`, and the dense form stays lazy for
+        callers that still want it.  Returns ``self`` for chaining.
         """
         _ = self.angle_dictionary
         _ = self.angle_lipschitz
-        _ = self.joint_dictionary
+        _ = self.joint_operator
         _ = self.joint_lipschitz
         return self
 

@@ -5,7 +5,19 @@ The paper solves the ℓ1-regularized least-squares program
     min_a  ‖y − S a‖₂² + κ‖a‖₁                         (paper Eq. 11 / 18)
 
 with CVX's second-order cone solvers.  This package provides
-self-contained numpy implementations of the same program:
+self-contained numpy implementations of the same program behind one
+front door:
+
+* :func:`solve` — the unified entry point:
+  ``solve(A, y, method="fista", ...)`` dispatches by name and derives κ
+  when omitted.
+
+Dictionaries may be dense ndarrays or structured
+:class:`DictionaryOperator` instances — in particular
+:class:`KroneckerJointOperator`, which applies the paper's Eq. 16 joint
+dictionary as two small matmuls instead of one dense GEMM.
+
+The per-solver functions remain the stable low-level surface:
 
 * :func:`solve_lasso_fista` — accelerated proximal gradient (FISTA) with
   backtracking; the workhorse used by :mod:`repro.core`.
@@ -28,7 +40,8 @@ real/complex "SoC vs QP" distinction the paper draws (§III-A footnote)
 unnecessary here.
 """
 
-from repro.optim.admm import solve_lasso_admm
+from repro.optim.admm import CachedAdmmFactors, solve_lasso_admm
+from repro.optim.facade import solve
 from repro.optim.fista import solve_lasso_fista
 from repro.optim.linalg import (
     estimate_lipschitz,
@@ -37,18 +50,31 @@ from repro.optim.linalg import (
 )
 from repro.optim.mmv import solve_mmv_fista
 from repro.optim.omp import solve_omp
+from repro.optim.operators import (
+    DenseOperator,
+    DictionaryOperator,
+    KroneckerJointOperator,
+    as_operator,
+)
 from repro.optim.result import SolverResult
 from repro.optim.reweighted import solve_reweighted_lasso
 from repro.optim.sbl import solve_sbl
-from repro.optim.tuning import noise_scaled_kappa, residual_kappa
+from repro.optim.tuning import mmv_residual_kappa, noise_scaled_kappa, residual_kappa
 
 __all__ = [
+    "CachedAdmmFactors",
+    "DenseOperator",
+    "DictionaryOperator",
+    "KroneckerJointOperator",
     "SolverResult",
+    "as_operator",
     "estimate_lipschitz",
+    "mmv_residual_kappa",
     "noise_scaled_kappa",
     "residual_kappa",
     "row_soft_threshold",
     "soft_threshold",
+    "solve",
     "solve_lasso_admm",
     "solve_lasso_fista",
     "solve_mmv_fista",

@@ -9,6 +9,11 @@ the paper's bibliography).  ADMM trades a one-time factorization of
 ``AᴴA + ρI`` for very cheap iterations, which wins when the same
 dictionary is solved against many right-hand sides — exactly the
 multi-AP, multi-location sweeps of the evaluation harness.
+
+The solver normalizes the problem by κ internally (solve ``A, y/κ`` with
+unit sparsity weight, then un-scale the minimizer), so the cached
+factorization depends on ``(A, ρ)`` only and one
+:class:`CachedAdmmFactors` serves every κ.
 """
 
 from __future__ import annotations
@@ -19,11 +24,16 @@ import scipy.linalg
 from repro.exceptions import SolverError
 from repro.optim.fista import lasso_objective
 from repro.optim.linalg import soft_threshold, validate_system
+from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
 class CachedAdmmFactors:
     """Pre-factorized normal equations for repeated ADMM solves.
+
+    The factorization depends on the dictionary and ρ only — *not* on
+    the right-hand side or on κ — so one instance serves a whole sweep
+    of measurements and sparsity weights.
 
     For an ``(m, n)`` dictionary with ``m < n`` (always the case for the
     paper's overcomplete grids) we factor the *small* ``m × m`` system
@@ -32,18 +42,22 @@ class CachedAdmmFactors:
         (AᴴA + ρI)⁻¹ = (I − Aᴴ(ρI + AAᴴ)⁻¹A) / ρ
     """
 
-    def __init__(self, matrix: np.ndarray, rho: float) -> None:
+    def __init__(self, matrix, rho: float) -> None:
         if rho <= 0:
             raise SolverError(f"rho must be positive, got {rho}")
-        self.matrix = matrix
+        # Keep the caller's handle for identity checks; structured
+        # operators are materialized once here (ADMM's x-update needs
+        # the factored Gram either way).
+        self.source = matrix
+        self.matrix = as_operator(matrix).to_dense()
         self.rho = rho
-        m, n = matrix.shape
+        m, n = self.matrix.shape
         self.wide = m < n
         if self.wide:
-            gram_small = matrix @ matrix.conj().T
+            gram_small = self.matrix @ self.matrix.conj().T
             self._factor = scipy.linalg.cho_factor(gram_small + rho * np.eye(m))
         else:
-            gram = matrix.conj().T @ matrix
+            gram = self.matrix.conj().T @ self.matrix
             self._factor = scipy.linalg.cho_factor(gram + rho * np.eye(n))
 
     def solve(self, q: np.ndarray) -> np.ndarray:
@@ -53,9 +67,13 @@ class CachedAdmmFactors:
             return (q - self.matrix.conj().T @ inner) / self.rho
         return scipy.linalg.cho_solve(self._factor, q)
 
+    def matches(self, matrix) -> bool:
+        """Whether these factors were built from ``matrix`` (by identity)."""
+        return matrix is self.source or matrix is self.matrix
+
 
 def solve_lasso_admm(
-    matrix: np.ndarray,
+    matrix,
     rhs: np.ndarray,
     kappa: float,
     *,
@@ -69,21 +87,29 @@ def solve_lasso_admm(
 
     Parameters
     ----------
+    matrix:
+        Dictionary ``A`` — a dense ndarray or any
+        :class:`~repro.optim.operators.DictionaryOperator` (materialized
+        once for the factorization).
     rho:
-        ADMM penalty parameter.  The default (``None``) auto-scales to
-        ``max(κ, 1)``, which keeps the z-update threshold ``κ/(2ρ)``
-        near unity — a ρ far below κ makes the shrinkage step so
-        aggressive that the iterates crawl away from zero.
+        ADMM penalty parameter, defaulting to 1.  Because the iterations
+        run on the κ-normalized problem (see below), the effective
+        shrinkage threshold is ``1/(2ρ)`` regardless of κ and the
+        default needs no κ coupling.
     factors:
         Optional pre-built :class:`CachedAdmmFactors` for ``(matrix,
-        rho)``; build once and reuse across right-hand sides.
+        rho)``; build once and reuse across right-hand sides *and*
+        sparsity weights κ.
 
     Notes
     -----
-    The split is ``min ‖Ax − y‖² + κ‖z‖₁  s.t. x = z``.  With the
-    data term written as ``‖Ax − y‖²`` (no ½ factor, matching the
-    paper's Eq. 11) the x-update solves ``(2AᴴA + ρI)x = 2Aᴴy + ρ(z −
-    u)``; we fold the factor 2 into the cached factorization by scaling.
+    The split is ``min ‖Ax − y‖² + κ‖z‖₁  s.t. x = z``.  Internally the
+    problem is normalized by κ: substituting ``x = κ x̃`` and
+    ``ỹ = y/κ`` turns Eq. 11 into ``κ²(‖Ax̃ − ỹ‖² + ‖x̃‖₁)``, so we run
+    the textbook updates with unit sparsity weight on ``(A, ỹ)`` and
+    scale the minimizer back by κ.  For a fixed ρ the two trajectories
+    are *exactly* equivalent (soft-thresholding commutes with positive
+    scaling), and the factorization of ``AᴴA + ρI`` is untouched by κ.
     """
     validate_system(matrix, rhs)
     if rhs.ndim != 1:
@@ -91,19 +117,23 @@ def solve_lasso_admm(
     if kappa < 0:
         raise SolverError(f"kappa must be non-negative, got {kappa}")
 
-    n = matrix.shape[1]
-    # Work with the equivalent 1/2-scaled objective: min ½‖Ax−y‖² + (κ/2)‖x‖₁
-    # which has the same minimizer as Eq. 11 and the textbook ADMM updates.
-    half_kappa = kappa / 2.0
-
     if rho is None:
-        rho = factors.rho if factors is not None else max(kappa, 1.0)
+        rho = factors.rho if factors is not None else 1.0
     if factors is None:
         factors = CachedAdmmFactors(matrix, rho)
-    elif factors.matrix is not matrix or factors.rho != rho:
+    elif not factors.matches(matrix) or factors.rho != rho:
         raise SolverError("provided CachedAdmmFactors were built for a different (matrix, rho)")
 
-    atb = matrix.conj().T @ rhs
+    dense = factors.matrix
+    n = dense.shape[1]
+
+    # κ-normalized problem: min ‖Ax̃ − ỹ‖² + ‖x̃‖₁ with ỹ = y/κ; the
+    # 1/2-scaled textbook updates then threshold at (1/2)/ρ.
+    scale_factor = kappa if kappa > 0 else 1.0
+    scaled_rhs = rhs / scale_factor
+    threshold = 0.5 / rho if kappa > 0 else 0.0
+
+    atb = dense.conj().T @ scaled_rhs
     x = np.zeros(n, dtype=complex)
     z = np.zeros(n, dtype=complex)
     u = np.zeros(n, dtype=complex)
@@ -114,21 +144,22 @@ def solve_lasso_admm(
     for iterations in range(1, max_iterations + 1):
         x = factors.solve(atb + rho * (z - u))
         z_prev = z
-        z = soft_threshold(x + u, half_kappa / rho)
+        z = soft_threshold(x + u, threshold)
         u = u + x - z
 
         primal_residual = np.linalg.norm(x - z)
         dual_residual = rho * np.linalg.norm(z - z_prev)
         if track_history:
-            history.append(lasso_objective(matrix, rhs, z, kappa))
+            history.append(lasso_objective(dense, rhs, scale_factor * z, kappa))
         scale = max(1.0, float(np.linalg.norm(z)))
         if primal_residual <= tolerance * scale and dual_residual <= tolerance * scale:
             converged = True
             break
 
+    x_final = scale_factor * z
     return SolverResult(
-        x=z,
-        objective=lasso_objective(matrix, rhs, z, kappa),
+        x=x_final,
+        objective=lasso_objective(dense, rhs, x_final, kappa),
         iterations=iterations,
         converged=converged,
         history=history,

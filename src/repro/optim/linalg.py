@@ -45,23 +45,34 @@ def row_soft_threshold(x: np.ndarray, threshold: float) -> np.ndarray:
     return x * factors
 
 
-def estimate_lipschitz(matrix: np.ndarray, iterations: int = 50, seed: int = 0) -> float:
+def estimate_lipschitz(matrix, iterations: int = 50, seed: int = 0) -> float:
     """Estimate ``‖AᴴA‖₂`` (the gradient Lipschitz constant) by power iteration.
 
     A tight upper bound keeps the FISTA step size ``1/L`` as large as
     possible.  Power iteration on ``AᴴA`` converges fast for the
     steering dictionaries used here (their spectrum is heavily
     top-weighted), and we inflate the estimate by 1% for safety.
+
+    Accepts either a 2-D ndarray or a
+    :class:`~repro.optim.operators.DictionaryOperator` (duck-typed on
+    ``matvec``/``rmatvec`` to keep this module import-free of the
+    operator layer); both run the identical iteration, so a structured
+    operator yields the same constant as its dense form up to rounding.
     """
-    if matrix.ndim != 2:
-        raise SolverError(f"estimate_lipschitz expects a 2-D matrix, got ndim={matrix.ndim}")
+    if hasattr(matrix, "matvec"):
+        forward, adjoint = matrix.matvec, matrix.rmatvec
+    else:
+        if matrix.ndim != 2:
+            raise SolverError(f"estimate_lipschitz expects a 2-D matrix, got ndim={matrix.ndim}")
+        forward = matrix.__matmul__
+        adjoint = matrix.conj().T.__matmul__
     rng = np.random.default_rng(seed)
     n = matrix.shape[1]
     v = rng.standard_normal(n) + 1j * rng.standard_normal(n)
     v /= np.linalg.norm(v)
     eigenvalue = 0.0
     for _ in range(iterations):
-        w = matrix.conj().T @ (matrix @ v)
+        w = adjoint(forward(v))
         norm = np.linalg.norm(w)
         if norm == 0.0:
             return 0.0
@@ -70,9 +81,10 @@ def estimate_lipschitz(matrix: np.ndarray, iterations: int = 50, seed: int = 0) 
     return 1.01 * eigenvalue
 
 
-def validate_system(matrix: np.ndarray, rhs: np.ndarray) -> None:
-    """Check that ``matrix`` and ``rhs`` form a consistent linear system."""
-    if matrix.ndim != 2:
+def validate_system(matrix, rhs: np.ndarray) -> None:
+    """Check that ``matrix`` (ndarray or operator) and ``rhs`` are consistent."""
+    is_operator = hasattr(matrix, "matvec")
+    if not is_operator and matrix.ndim != 2:
         raise SolverError(f"dictionary must be 2-D, got ndim={matrix.ndim}")
     if rhs.ndim not in (1, 2):
         raise SolverError(f"measurement must be 1-D or 2-D, got ndim={rhs.ndim}")
@@ -81,7 +93,9 @@ def validate_system(matrix: np.ndarray, rhs: np.ndarray) -> None:
             "dictionary and measurement are incompatible: "
             f"A is {matrix.shape}, y has leading dimension {rhs.shape[0]}"
         )
-    if not np.all(np.isfinite(matrix)):
+    # Structured operators validate their factors at construction; the
+    # dense entry check only applies to materialized dictionaries.
+    if not is_operator and not np.all(np.isfinite(matrix)):
         raise SolverError("dictionary contains non-finite entries")
     if not np.all(np.isfinite(rhs)):
         raise SolverError("measurement contains non-finite entries")

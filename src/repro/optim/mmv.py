@@ -18,24 +18,26 @@ from __future__ import annotations
 import numpy as np
 
 from repro.exceptions import SolverError
-from repro.optim.linalg import estimate_lipschitz, row_soft_threshold, validate_system
+from repro.optim.linalg import row_soft_threshold, validate_system
+from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
-def mmv_objective(matrix: np.ndarray, rhs: np.ndarray, x: np.ndarray, kappa: float) -> float:
+def mmv_objective(matrix, rhs: np.ndarray, x: np.ndarray, kappa: float) -> float:
     """``‖AX − Y‖_F² + κ·Σᵢ‖Xᵢ,:‖₂``."""
-    residual = matrix @ x - rhs
+    residual = as_operator(matrix).matvec(x) - rhs
     data_term = float(np.vdot(residual, residual).real)
     return data_term + kappa * float(np.linalg.norm(x, axis=1).sum())
 
 
 def solve_mmv_fista(
-    matrix: np.ndarray,
+    matrix,
     rhs: np.ndarray,
     kappa: float,
     *,
     max_iterations: int = 200,
     tolerance: float = 1e-6,
+    x0: np.ndarray | None = None,
     lipschitz: float | None = None,
     track_history: bool = False,
 ) -> SolverResult:
@@ -44,12 +46,19 @@ def solve_mmv_fista(
     Parameters
     ----------
     matrix:
-        Dictionary ``A`` of shape ``(m, n)``.
+        Dictionary ``A`` of shape ``(m, n)`` — a dense ndarray or any
+        :class:`~repro.optim.operators.DictionaryOperator`.
     rhs:
         Snapshot matrix ``Y`` of shape ``(m, p)`` — one column per packet
         (or per retained singular vector after SVD reduction).
     kappa:
         Row-sparsity weight.
+    x0:
+        Optional ``(n, p)`` warm start; a previous solution of a nearby
+        problem reaches the shared minimizer in fewer iterations.
+    lipschitz:
+        Optional precomputed ``‖AᴴA‖₂``; operator dictionaries default
+        to ``matrix.lipschitz()``.
 
     Returns
     -------
@@ -63,23 +72,26 @@ def solve_mmv_fista(
     if kappa < 0:
         raise SolverError(f"kappa must be non-negative, got {kappa}")
 
-    n = matrix.shape[1]
+    operator = as_operator(matrix)
+    n = operator.shape[1]
     p = rhs.shape[1]
     if p == 0:
         raise SolverError("snapshot matrix has zero columns")
 
     if lipschitz is None:
-        lipschitz = 2.0 * estimate_lipschitz(matrix)
+        lipschitz = 2.0 * operator.lipschitz()
     else:
         lipschitz = 2.0 * float(lipschitz)
     if lipschitz <= 0:
         x = np.zeros((n, p), dtype=complex)
-        return SolverResult(x=x, objective=mmv_objective(matrix, rhs, x, kappa), iterations=0, converged=True)
+        return SolverResult(x=x, objective=mmv_objective(operator, rhs, x, kappa), iterations=0, converged=True)
 
     step = 1.0 / lipschitz
     threshold = kappa * step
 
-    x = np.zeros((n, p), dtype=complex)
+    x = np.zeros((n, p), dtype=complex) if x0 is None else np.asarray(x0, dtype=complex).copy()
+    if x.shape != (n, p):
+        raise SolverError(f"x0 has shape {x.shape}, expected ({n}, {p})")
     momentum_point = x.copy()
     t = 1.0
 
@@ -87,7 +99,7 @@ def solve_mmv_fista(
     converged = False
     iterations = 0
     for iterations in range(1, max_iterations + 1):
-        gradient = 2.0 * (matrix.conj().T @ (matrix @ momentum_point - rhs))
+        gradient = 2.0 * operator.rmatvec(operator.matvec(momentum_point) - rhs)
         x_next = row_soft_threshold(momentum_point - step * gradient, threshold)
 
         t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
@@ -98,14 +110,14 @@ def solve_mmv_fista(
         x, t = x_next, t_next
 
         if track_history:
-            history.append(mmv_objective(matrix, rhs, x, kappa))
+            history.append(mmv_objective(operator, rhs, x, kappa))
         if delta <= tolerance * scale:
             converged = True
             break
 
     return SolverResult(
         x=x,
-        objective=mmv_objective(matrix, rhs, x, kappa),
+        objective=mmv_objective(operator, rhs, x, kappa),
         iterations=iterations,
         converged=converged,
         history=history,

@@ -8,19 +8,23 @@ trade-off on identical scenes.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.exceptions import SolverError
 from repro.optim.linalg import validate_system
+from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
 def solve_omp(
-    matrix: np.ndarray,
+    matrix,
     rhs: np.ndarray,
     *,
     sparsity: int,
-    residual_tolerance: float = 0.0,
+    tolerance: float = 0.0,
+    residual_tolerance: float | None = None,
 ) -> SolverResult:
     """Greedy recovery of at most ``sparsity`` atoms.
 
@@ -30,23 +34,39 @@ def solve_omp(
 
     Parameters
     ----------
+    matrix:
+        Dictionary ``A`` — a dense ndarray or any
+        :class:`~repro.optim.operators.DictionaryOperator`.  Only the
+        selected columns are ever materialized, so a structured operator
+        never pays for the full dense dictionary.
     sparsity:
         Maximum number of atoms to select (the model order ``K``).  OMP —
         unlike the paper's ℓ1 program — *needs* this parameter, which is
         exactly the sensitivity to model order that §III-A credits
         ROArray with avoiding.
+    tolerance:
+        Stop early once ``‖residual‖₂ ≤ tolerance``.
     residual_tolerance:
-        Stop early once ``‖residual‖₂ ≤ residual_tolerance``.
+        Deprecated spelling of ``tolerance``; emits ``DeprecationWarning``.
     """
+    if residual_tolerance is not None:
+        warnings.warn(
+            "solve_omp(residual_tolerance=...) is deprecated; use tolerance=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        tolerance = residual_tolerance
+
     validate_system(matrix, rhs)
     if rhs.ndim != 1:
         raise SolverError("solve_omp expects a 1-D measurement vector")
     if sparsity < 1:
         raise SolverError(f"sparsity must be >= 1, got {sparsity}")
 
-    m, n = matrix.shape
+    operator = as_operator(matrix)
+    m, n = operator.shape
     sparsity = min(sparsity, m, n)
-    column_norms = np.linalg.norm(matrix, axis=0)
+    column_norms = operator.column_norms()
     usable = column_norms > 0
 
     residual = rhs.astype(complex).copy()
@@ -55,7 +75,7 @@ def solve_omp(
 
     iterations = 0
     for iterations in range(1, sparsity + 1):
-        correlations = np.abs(matrix.conj().T @ residual)
+        correlations = np.abs(operator.rmatvec(residual))
         with np.errstate(invalid="ignore", divide="ignore"):
             correlations = np.where(usable, correlations / np.where(usable, column_norms, 1.0), -1.0)
         correlations[support] = -1.0
@@ -64,10 +84,10 @@ def solve_omp(
             break
         support.append(best)
 
-        submatrix = matrix[:, support]
+        submatrix = operator.columns(support)
         coefficients, *_ = np.linalg.lstsq(submatrix, rhs, rcond=None)
         residual = rhs - submatrix @ coefficients
-        if np.linalg.norm(residual) <= residual_tolerance:
+        if np.linalg.norm(residual) <= tolerance:
             break
 
     x = np.zeros(n, dtype=complex)

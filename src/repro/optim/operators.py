@@ -1,0 +1,203 @@
+"""Structured dictionary operators for the sparse solvers.
+
+Every solver in :mod:`repro.optim` needs only four things from a
+dictionary ``A``: forward products ``A @ x``, adjoint products
+``Aᴴ @ r``, the shape, and the gradient Lipschitz constant ``‖AᴴA‖₂``.
+:class:`DictionaryOperator` abstracts exactly that quadruple so a
+dictionary with exploitable structure never has to be materialized.
+
+The payoff case is the paper's Eq. 16 joint dictionary: it is by
+construction a Kronecker product ``kron(G, S̃)`` of the delay phase
+ramps ``G ∈ ℂ^{L×Nτ}`` and the angle steering matrix ``S̃ ∈ ℂ^{M×Nθ}``
+(see :mod:`repro.core.steering`).  :class:`KroneckerJointOperator`
+applies it as two small matmuls over the ``Nθ × Nτ`` grid instead of one
+dense ``(M·L) × (Nθ·Nτ)`` GEMM — the separable-dictionary trick of
+multidimensional OMP (Palacios et al.) applied to the ℓ1/ℓ2,1 path —
+and its Lipschitz constant factorizes exactly as
+``λmax(S̃ᴴS̃)·λmax(GᴴG)``.
+
+:func:`as_operator` adapts plain arrays, so solver internals are written
+once against the operator interface and accept either form.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.optim.linalg import estimate_lipschitz
+
+
+class DictionaryOperator(ABC):
+    """Abstract dictionary: matvec / rmatvec / shape / Lipschitz / dense.
+
+    Subclasses must set ``shape = (m, n)`` and implement the abstract
+    methods below; ``matvec`` and ``rmatvec`` must accept both a vector
+    (1-D) and a snapshot matrix (2-D, one column per snapshot) and
+    return the matching shape.  ``A @ x`` is sugar for ``matvec``.
+    """
+
+    shape: tuple[int, int]
+
+    @abstractmethod
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``A @ x`` for ``x`` of shape ``(n,)`` or ``(n, p)``."""
+
+    @abstractmethod
+    def rmatvec(self, r: np.ndarray) -> np.ndarray:
+        """``Aᴴ @ r`` for ``r`` of shape ``(m,)`` or ``(m, p)``."""
+
+    @abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """The materialized ``(m, n)`` dictionary (for tests / fallbacks)."""
+
+    @abstractmethod
+    def lipschitz(self) -> float:
+        """``‖AᴴA‖₂``, the Lipschitz constant of ``x ↦ Aᴴ(Ax)``."""
+
+    def column_norms(self) -> np.ndarray:
+        """Per-column ℓ2 norms (used by OMP and the κ heuristics)."""
+        return np.linalg.norm(self.to_dense(), axis=0)
+
+    def columns(self, indices: Sequence[int]) -> np.ndarray:
+        """Materialize the selected columns as a dense ``(m, k)`` block."""
+        return self.to_dense()[:, list(indices)]
+
+    def __matmul__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)
+
+
+class DenseOperator(DictionaryOperator):
+    """Adapter giving a plain ndarray the operator interface."""
+
+    def __init__(self, matrix: np.ndarray, *, lipschitz: float | None = None) -> None:
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise SolverError(f"dictionary must be 2-D, got ndim={matrix.ndim}")
+        self.matrix = matrix
+        self.shape = matrix.shape
+        self._lipschitz = lipschitz
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self.matrix @ x
+
+    def rmatvec(self, r: np.ndarray) -> np.ndarray:
+        return self.matrix.conj().T @ r
+
+    def to_dense(self) -> np.ndarray:
+        return self.matrix
+
+    def lipschitz(self) -> float:
+        if self._lipschitz is None:
+            self._lipschitz = estimate_lipschitz(self.matrix)
+        return self._lipschitz
+
+    def column_norms(self) -> np.ndarray:
+        return np.linalg.norm(self.matrix, axis=0)
+
+    def columns(self, indices: Sequence[int]) -> np.ndarray:
+        return self.matrix[:, list(indices)]
+
+
+class KroneckerJointOperator(DictionaryOperator):
+    """The Eq. 16 joint dictionary ``kron(temporal, spatial)``, unmaterialized.
+
+    Parameters
+    ----------
+    temporal:
+        Delay phase ramps ``G`` of shape ``(L, Nτ)``
+        (:func:`repro.core.steering.delay_ramp_dictionary`).
+    spatial:
+        Angle steering matrix ``S̃`` of shape ``(M, Nθ)``
+        (:func:`repro.core.steering.angle_steering_dictionary`).
+
+    The represented dictionary is ``kron(G, S̃)`` of shape
+    ``(M·L, Nθ·Nτ)`` with rows ordered antenna-fastest (Eq. 15) and
+    columns delay-major (column ``j·Nθ + i`` ↔ angle ``i``, delay ``j``)
+    — identical to :func:`repro.core.steering.joint_steering_dictionary`.
+    A matvec costs two small matmuls, ``O(Nθ·Nτ·(M + L))`` instead of
+    the dense ``O(M·L·Nθ·Nτ)``.
+    """
+
+    def __init__(self, temporal: np.ndarray, spatial: np.ndarray) -> None:
+        temporal = np.asarray(temporal)
+        spatial = np.asarray(spatial)
+        if temporal.ndim != 2 or spatial.ndim != 2:
+            raise SolverError("KroneckerJointOperator factors must be 2-D")
+        if not (np.all(np.isfinite(temporal)) and np.all(np.isfinite(spatial))):
+            raise SolverError("KroneckerJointOperator factors contain non-finite entries")
+        self.temporal = temporal
+        self.spatial = spatial
+        self.n_subcarriers, self.n_delays = temporal.shape
+        self.n_antennas, self.n_angles = spatial.shape
+        self.shape = (
+            self.n_antennas * self.n_subcarriers,
+            self.n_angles * self.n_delays,
+        )
+        self._lipschitz: float | None = None
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.ndim == 1:
+            # Delay-major coefficients → (Nτ, Nθ) grid; the product
+            # S̃ Xᵀ Gᵀ is the (M, L) CSI matrix, re-vectorized
+            # antenna-fastest exactly like vectorize_csi_matrix.
+            grid = x.reshape(self.n_delays, self.n_angles)
+            csi = self.spatial @ grid.T @ self.temporal.T
+            return csi.T.reshape(-1)
+        if x.ndim == 2:
+            grid = x.reshape(self.n_delays, self.n_angles, x.shape[1])
+            partial = np.tensordot(self.spatial, grid, axes=([1], [1]))  # (M, Nτ, p)
+            full = np.tensordot(self.temporal, partial, axes=([1], [1]))  # (L, M, p)
+            return full.reshape(self.shape[0], x.shape[1])
+        raise SolverError(f"matvec operand must be 1-D or 2-D, got ndim={x.ndim}")
+
+    def rmatvec(self, r: np.ndarray) -> np.ndarray:
+        r = np.asarray(r)
+        if r.ndim == 1:
+            csi = r.reshape(self.n_subcarriers, self.n_antennas).T  # (M, L)
+            grid = self.spatial.conj().T @ csi @ self.temporal.conj()  # (Nθ, Nτ)
+            return grid.T.reshape(-1)
+        if r.ndim == 2:
+            stacked = r.reshape(self.n_subcarriers, self.n_antennas, r.shape[1])
+            partial = np.tensordot(self.spatial.conj(), stacked, axes=([0], [1]))  # (Nθ, L, p)
+            grid = np.tensordot(self.temporal.conj(), partial, axes=([0], [1]))  # (Nτ, Nθ, p)
+            return grid.reshape(self.shape[1], r.shape[1])
+        raise SolverError(f"rmatvec operand must be 1-D or 2-D, got ndim={r.ndim}")
+
+    def to_dense(self) -> np.ndarray:
+        return np.kron(self.temporal, self.spatial)
+
+    def lipschitz(self) -> float:
+        """Exact: ``‖AᴴA‖₂ = λmax(S̃ᴴS̃)·λmax(GᴴG)`` for Kronecker products."""
+        if self._lipschitz is None:
+            spatial_top = float(
+                np.linalg.eigvalsh(self.spatial.conj().T @ self.spatial)[-1]
+            )
+            temporal_top = float(
+                np.linalg.eigvalsh(self.temporal.conj().T @ self.temporal)[-1]
+            )
+            self._lipschitz = spatial_top * temporal_top
+        return self._lipschitz
+
+    def column_norms(self) -> np.ndarray:
+        spatial_norms = np.linalg.norm(self.spatial, axis=0)
+        temporal_norms = np.linalg.norm(self.temporal, axis=0)
+        return np.outer(temporal_norms, spatial_norms).reshape(-1)
+
+    def columns(self, indices: Sequence[int]) -> np.ndarray:
+        block = np.empty((self.shape[0], len(list(indices))), dtype=complex)
+        for k, index in enumerate(indices):
+            delay, angle = divmod(int(index), self.n_angles)
+            block[:, k] = np.outer(self.temporal[:, delay], self.spatial[:, angle]).reshape(-1)
+        return block
+
+
+def as_operator(matrix) -> DictionaryOperator:
+    """Adapt ``matrix`` (ndarray or operator) to the operator interface."""
+    if isinstance(matrix, DictionaryOperator):
+        return matrix
+    return DenseOperator(matrix)

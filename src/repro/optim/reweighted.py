@@ -15,23 +15,27 @@ plain LASSO in the variables ``z = Wx`` with columns of ``A`` scaled by
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.exceptions import SolverError
 from repro.optim.fista import lasso_objective, solve_lasso_fista
 from repro.optim.linalg import validate_system
+from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
 def solve_reweighted_lasso(
-    matrix: np.ndarray,
+    matrix,
     rhs: np.ndarray,
     kappa: float,
     *,
     reweight_iterations: int = 3,
     epsilon: float | None = None,
-    inner_iterations: int = 200,
+    max_iterations: int = 200,
     tolerance: float = 1e-6,
+    inner_iterations: int | None = None,
 ) -> SolverResult:
     """Reweighted-ℓ1 sparse recovery.
 
@@ -39,7 +43,9 @@ def solve_reweighted_lasso(
     ----------
     matrix / rhs / kappa:
         As in :func:`repro.optim.fista.solve_lasso_fista`; κ applies to
-        the *first* (unweighted) pass.
+        the *first* (unweighted) pass.  Operator dictionaries are
+        materialized once — the reweighting scales individual columns,
+        which destroys any separable structure anyway.
     reweight_iterations:
         Number of reweighting passes after the initial solve.  2–4 is
         the standard range; returns diminish quickly.
@@ -48,8 +54,11 @@ def solve_reweighted_lasso(
         of the first pass's peak magnitude — large enough that zero
         coefficients get a finite (not crushing) weight, small enough
         that strong atoms become nearly free.
-    inner_iterations / tolerance:
-        Passed to the inner FISTA solves.
+    max_iterations / tolerance:
+        Passed to the inner FISTA solves (per pass).
+    inner_iterations:
+        Deprecated spelling of ``max_iterations``; emits
+        ``DeprecationWarning``.
 
     Returns
     -------
@@ -58,6 +67,14 @@ def solve_reweighted_lasso(
         all passes; ``history`` holds the objective after each outer
         pass (measured with the *unweighted* κ‖x‖₁ for comparability).
     """
+    if inner_iterations is not None:
+        warnings.warn(
+            "solve_reweighted_lasso(inner_iterations=...) is deprecated; use max_iterations=...",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        max_iterations = inner_iterations
+
     validate_system(matrix, rhs)
     if rhs.ndim != 1:
         raise SolverError("solve_reweighted_lasso expects a 1-D measurement vector")
@@ -66,8 +83,9 @@ def solve_reweighted_lasso(
     if epsilon is not None and epsilon <= 0:
         raise SolverError(f"epsilon must be positive, got {epsilon}")
 
+    matrix = as_operator(matrix).to_dense()
     first = solve_lasso_fista(
-        matrix, rhs, kappa, max_iterations=inner_iterations, tolerance=tolerance
+        matrix, rhs, kappa, max_iterations=max_iterations, tolerance=tolerance
     )
     x = first.x
     total_inner = first.iterations
@@ -88,7 +106,7 @@ def solve_reweighted_lasso(
         weights /= weights.max()
         scaled_matrix = matrix / weights[None, :]
         inner = solve_lasso_fista(
-            scaled_matrix, rhs, kappa, max_iterations=inner_iterations, tolerance=tolerance
+            scaled_matrix, rhs, kappa, max_iterations=max_iterations, tolerance=tolerance
         )
         x = inner.x / weights
         total_inner += inner.iterations

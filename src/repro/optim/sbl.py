@@ -23,11 +23,12 @@ import numpy as np
 
 from repro.exceptions import SolverError
 from repro.optim.linalg import validate_system
+from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
 def solve_sbl(
-    matrix: np.ndarray,
+    matrix,
     rhs: np.ndarray,
     *,
     noise_variance: float | None = None,
@@ -62,6 +63,9 @@ def solve_sbl(
         ``history`` records ‖γ‖₁ per iteration.
     """
     validate_system(matrix, rhs)
+    # EM needs per-column posterior variances of the full dictionary, so
+    # structured operators are materialized once here.
+    matrix = as_operator(matrix).to_dense()
     rhs_matrix = rhs[:, None] if rhs.ndim == 1 else rhs
     m, n = matrix.shape
     p = rhs_matrix.shape[1]

@@ -8,6 +8,7 @@ determinism, warmup, and failure-isolation contracts.
 """
 
 from repro.runtime.batch import BatchEvaluator, BatchResult, evaluate_traces
+from repro.runtime.bench import joint_solve_benchmark
 from repro.runtime.jobs import EstimatorSpec, EvalJob, JobFailure, JobOutcome
 from repro.runtime.report import RuntimeReport, StageTotals
 
@@ -21,4 +22,5 @@ __all__ = [
     "RuntimeReport",
     "StageTotals",
     "evaluate_traces",
+    "joint_solve_benchmark",
 ]

@@ -66,6 +66,14 @@ def _build_warm_system(spec: EstimatorSpec):
 
 def _evaluate_job(system, job: EvalJob) -> JobOutcome:
     """Run one job; convert SolverError into a tagged failure record."""
+    # Warm-started estimators chain solutions across calls, which would
+    # make a job's result depend on which jobs its worker ran before it.
+    # Dropping the carried state here keeps every job a pure function of
+    # (trace, seed) — the batch parity guarantee — at the cost of the
+    # warm-start benefit, which only sequential sweeps opt into.
+    reset = getattr(system, "reset_warm_state", None)
+    if reset is not None:
+        reset()
     stage_seconds: dict[str, float] = {}
     start = time.perf_counter()
     try:

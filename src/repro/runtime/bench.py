@@ -1,0 +1,105 @@
+"""The joint-solve microbenchmark: dense GEMM vs Kronecker operator.
+
+One self-contained measurement shared by the ``roarray bench`` CLI
+subcommand and the CI benchmark smoke job (which writes the result to
+``BENCH_joint_solve.json`` so the perf trajectory accumulates per
+commit): time the default-config Eq. 18 FISTA solve with the dense
+Eq. 16 dictionary against the structured
+:class:`~repro.optim.operators.KroneckerJointOperator` path, on the
+same measurement, with the same step size and a pinned iteration count
+so the two paths do identical algorithmic work.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+
+def joint_solve_benchmark(
+    *,
+    snr_db: float = 12.0,
+    seed: int = 2017,
+    repeats: int = 3,
+    max_iterations: int | None = None,
+) -> dict:
+    """Measure the dense vs operator joint solve at the evaluation config.
+
+    Returns a JSON-ready dict with the grid size, pinned iteration
+    count, best-of-``repeats`` wall times for both paths, their speedup,
+    and the relative spectrum disagreement (which must be at rounding
+    level — the operator is the *same* matrix, applied factored).
+    """
+    from repro.channel.csi import CsiSynthesizer
+    from repro.channel.impairments import ImpairmentModel
+    from repro.channel.paths import random_profile
+    from repro.core.joint import coefficients_to_joint_power
+    from repro.core.pipeline import RoArrayEstimator
+    from repro.core.steering import vectorize_csi_matrix
+    from repro.experiments.runner import evaluation_roarray_config
+    from repro.optim import solve_lasso_fista
+    from repro.optim.tuning import residual_kappa
+
+    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    cache = estimator.cache
+    config = estimator.config
+    if max_iterations is None:
+        max_iterations = config.max_iterations
+
+    rng = np.random.default_rng(seed)
+    profile = random_profile(rng, direct_aoa_deg=150.0)
+    synthesizer = CsiSynthesizer(
+        estimator.array, estimator.layout, ImpairmentModel(), seed=seed
+    )
+    trace = synthesizer.packets(profile, n_packets=1, snr_db=snr_db, rng=rng)
+    y = vectorize_csi_matrix(trace.packet(0))
+
+    operator = cache.joint_operator
+    dense = cache.joint_dictionary
+    lipschitz = cache.joint_lipschitz
+    kappa = residual_kappa(operator, y, fraction=config.kappa_fraction)
+
+    def run(matrix):
+        # tolerance=0 pins the iteration count: both paths run exactly
+        # max_iterations FISTA steps, so wall time compares pure matvec
+        # cost, not convergence luck.
+        return solve_lasso_fista(
+            matrix, y, kappa,
+            max_iterations=max_iterations, tolerance=0.0, lipschitz=lipschitz,
+        )
+
+    def best_time(matrix):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run(matrix)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    dense_seconds, dense_result = best_time(dense)
+    operator_seconds, operator_result = best_time(operator)
+
+    n_angles, n_delays = config.angle_grid.n_points, config.delay_grid.n_points
+    dense_power = coefficients_to_joint_power(dense_result.x, n_angles, n_delays)
+    operator_power = coefficients_to_joint_power(operator_result.x, n_angles, n_delays)
+    scale = float(dense_power.max(initial=0.0)) or 1.0
+    max_relative_error = float(np.abs(dense_power - operator_power).max() / scale)
+
+    return {
+        "benchmark": "joint_solve",
+        "grid": {
+            "n_angles": n_angles,
+            "n_delays": n_delays,
+            "rows": operator.shape[0],
+            "columns": operator.shape[1],
+        },
+        "iterations": int(max_iterations),
+        "repeats": int(repeats),
+        "snr_db": float(snr_db),
+        "seed": int(seed),
+        "dense_seconds": dense_seconds,
+        "operator_seconds": operator_seconds,
+        "speedup": dense_seconds / operator_seconds,
+        "max_relative_spectrum_error": max_relative_error,
+    }

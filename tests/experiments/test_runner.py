@@ -84,6 +84,42 @@ class TestSnrBandExperiment:
                 "high", n_locations=0, systems=small_systems(small_config)
             )
 
+    def test_warm_start_matches_cold_within_tolerance(self, small_config):
+        """ISSUE 2 acceptance: warm chaining lands on the cold-start answer.
+
+        The warm-started sweep seeds every solve with the previous
+        trace's solution; the program is convex, so the minimizer is
+        unchanged and all derived quantities must agree to within the
+        solver tolerance's effect on peak positions.
+        """
+        kwargs = dict(
+            n_locations=2, n_packets=2, n_aps=3, seed=7, resolution_m=0.25,
+        )
+        cold = run_snr_band_experiment(
+            "high", systems=small_systems(small_config), **kwargs
+        )
+        warm = run_snr_band_experiment(
+            "high", systems=small_systems(small_config), warm_start=True, **kwargs
+        )
+        for cold_outcome, warm_outcome in zip(
+            cold.outcomes["ROArray"], warm.outcomes["ROArray"]
+        ):
+            assert warm_outcome.location_error_m == pytest.approx(
+                cold_outcome.location_error_m, abs=1e-6
+            )
+            np.testing.assert_allclose(
+                warm_outcome.direct_aoa_errors_deg,
+                cold_outcome.direct_aoa_errors_deg,
+                atol=1e-6,
+            )
+
+    def test_warm_start_requires_sequential(self, small_config):
+        with pytest.raises(ConfigurationError, match="workers=0"):
+            run_snr_band_experiment(
+                "high", n_locations=1, n_packets=2, n_aps=3,
+                systems=small_systems(small_config), warm_start=True, workers=2,
+            )
+
 
 class TestMusicSnrExperiment:
     def test_degradation_trend(self):

@@ -62,6 +62,30 @@ class TestCachedFactors:
         with pytest.raises(SolverError):
             CachedAdmmFactors(a, rho=0.0)
 
+    def test_reuse_across_kappa(self, rng):
+        """Regression (ISSUE 2): one factorization serves every κ.
+
+        The factorization depends on (A, ρ) only; changing κ must not
+        require (or silently trigger) a refactor.  A two-orders-of-
+        magnitude κ spread through the *same* factors object must still
+        land on each κ's own minimizer (cross-checked against FISTA).
+        """
+        a, y, *_ = make_sparse_system(rng)
+        factors = CachedAdmmFactors(a, rho=1.0)
+        for kappa in (0.05, 5.0):
+            admm = solve_lasso_admm(
+                a, y, kappa=kappa, factors=factors, max_iterations=3000, tolerance=1e-9
+            )
+            fista = solve_lasso_fista(a, y, kappa=kappa, max_iterations=3000, tolerance=1e-9)
+            assert admm.objective == pytest.approx(fista.objective, rel=1e-3)
+
+    def test_factors_accept_default_rho_solve(self, rng):
+        """Factors built at the default ρ=1 work with an unspecified rho."""
+        a, y, *_ = make_sparse_system(rng)
+        factors = CachedAdmmFactors(a, rho=1.0)
+        result = solve_lasso_admm(a, y, kappa=0.1, factors=factors)
+        assert result.iterations >= 1
+
 
 class TestValidation:
     def test_rejects_negative_kappa(self, rng):

@@ -23,7 +23,13 @@ class TestExactRecovery:
 
     def test_residual_tolerance_stops_early(self, rng):
         a, y, *_ = make_sparse_system(rng, k=2)
-        result = solve_omp(a, y, sparsity=10, residual_tolerance=1e-8)
+        result = solve_omp(a, y, sparsity=10, tolerance=1e-8)
+        assert result.sparsity() <= 3
+
+    def test_deprecated_residual_tolerance_spelling(self, rng):
+        a, y, *_ = make_sparse_system(rng, k=2)
+        with pytest.warns(DeprecationWarning, match="residual_tolerance"):
+            result = solve_omp(a, y, sparsity=10, residual_tolerance=1e-8)
         assert result.sparsity() <= 3
 
     def test_zero_measurement_selects_nothing(self, rng):

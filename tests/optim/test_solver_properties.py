@@ -135,5 +135,5 @@ class TestOmpExactRecovery:
         rhs = matrix @ x_true
         # Allow up to 5 atoms, but a single atom already zeroes the
         # residual — OMP must stop there, not pad the support.
-        result = solve_omp(matrix, rhs, sparsity=5, residual_tolerance=1e-9)
+        result = solve_omp(matrix, rhs, sparsity=5, tolerance=1e-9)
         assert result.sparsity() == 1
