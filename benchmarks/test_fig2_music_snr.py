@@ -10,7 +10,7 @@ same data for contrast.
 import pytest
 
 from repro.core.pipeline import RoArrayEstimator
-from repro.experiments.reporting import format_spectrum_ascii
+from repro.experiments.reporting.text import format_spectrum_ascii
 from repro.experiments.runner import evaluation_roarray_config, run_music_snr_experiment
 
 SNRS_DB = (18.0, 7.0, 2.0, -2.0)

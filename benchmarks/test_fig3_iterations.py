@@ -10,7 +10,7 @@ many first-order steps, so the iteration axis is scaled accordingly
 
 import pytest
 
-from repro.experiments.reporting import format_spectrum_ascii
+from repro.experiments.reporting.text import format_spectrum_ascii
 from repro.experiments.runner import run_iteration_progress_experiment
 
 ITERATIONS = (3, 10, 30, 100)

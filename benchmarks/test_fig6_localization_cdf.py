@@ -18,7 +18,7 @@ high SNR; ROArray ≪ SpotFi < ArrayTrack at low SNR.
 import pytest
 
 from benchmarks._shared import SYSTEMS, band_result
-from repro.experiments.reporting import format_comparison
+from repro.experiments.reporting.text import format_comparison
 
 THRESHOLDS_M = (0.5, 1.0, 2.0, 4.0, 8.0)
 
@@ -33,7 +33,7 @@ def test_fig6_localization_error_cdfs(benchmark):
 
     cdfs = {}
     for band, result in results.items():
-        cdfs[band] = {name: result.localization_cdf(name) for name in SYSTEMS}
+        cdfs[band] = {name: result.cdf(name) for name in SYSTEMS}
         print(f"\n=== Fig. 6 ({band} SNR): localization error ===")
         print(format_comparison(cdfs[band], unit="m", thresholds=THRESHOLDS_M))
 

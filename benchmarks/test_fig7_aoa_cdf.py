@@ -19,7 +19,7 @@ ROArray degrades only mildly while MUSIC-based systems fall off.
 import pytest
 
 from benchmarks._shared import SYSTEMS, band_result
-from repro.experiments.reporting import format_comparison
+from repro.experiments.reporting.text import format_comparison
 
 THRESHOLDS_DEG = (2.0, 5.0, 10.0, 20.0, 40.0)
 
@@ -34,8 +34,8 @@ def test_fig7_aoa_error_cdfs(benchmark):
 
     closest, direct = {}, {}
     for band, result in results.items():
-        closest[band] = {name: result.aoa_cdf(name) for name in SYSTEMS}
-        direct[band] = {name: result.direct_aoa_cdf(name) for name in SYSTEMS}
+        closest[band] = {name: result.cdf(name, kind="aoa") for name in SYSTEMS}
+        direct[band] = {name: result.cdf(name, kind="direct_aoa") for name in SYSTEMS}
         print(f"\n=== Fig. 7 ({band} SNR): closest-peak AoA error ===")
         print(format_comparison(closest[band], unit="deg", thresholds=THRESHOLDS_DEG))
         print(f"--- ({band} SNR) chosen-direct-path AoA error (stricter) ---")

@@ -1,0 +1,66 @@
+"""Observability overhead budget: disabled telemetry must be ~free.
+
+The acceptance bound is <= 2% added cost on the joint-solve working
+point when telemetry is off.  Two guards:
+
+* a structural one — the null tracer allocates nothing per span, so the
+  disabled path cannot scale with span count; and
+* a measured one — the per-span cost of the null tracer, multiplied by
+  a generous per-solve span budget, against the measured joint-solve
+  wall time.
+
+Scale knobs: ``REPRO_SMOKE=1`` shortens the solve pin (CI).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.obs import NULL_TRACER
+from repro.runtime.bench import joint_solve_benchmark
+
+OVERHEAD_LIMIT = 0.02
+#: Upper bound on spans the pipeline opens around ONE joint solve
+#: (steering_warmup, fusion, delay_alignment, svd_reduction, solver,
+#: direct_path, job, batch_evaluate) — counted generously.
+SPANS_PER_SOLVE = 16
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "") == "1"
+
+
+def test_null_span_is_allocation_free():
+    """The disabled path reuses one context object for every span."""
+    contexts = {id(NULL_TRACER.span(f"name_{i}", attr=i)) for i in range(100)}
+    assert len(contexts) == 1
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.spans == []
+
+
+@pytest.mark.benchmark(group="obs")
+def test_disabled_tracing_overhead_within_two_percent():
+    iterations = 120 if _smoke() else None
+    result = joint_solve_benchmark(repeats=2, max_iterations=iterations)
+    solve_s = result["operator_seconds"]
+
+    n = 200_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with NULL_TRACER.span("solver"):
+            pass
+    per_span_s = (time.perf_counter() - start) / n
+
+    overhead = SPANS_PER_SOLVE * per_span_s / solve_s
+    print(
+        f"\n-- obs overhead -- null span {per_span_s * 1e9:.0f} ns, "
+        f"solve {solve_s * 1e3:.2f} ms, "
+        f"budgeted overhead {overhead * 100:.3f}% (limit {OVERHEAD_LIMIT * 100:.0f}%)"
+    )
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"disabled-telemetry overhead {overhead * 100:.2f}% exceeds "
+        f"{OVERHEAD_LIMIT * 100:.0f}% of the joint solve"
+    )

@@ -32,17 +32,17 @@ def main() -> None:
     )
 
     print("Localization error:")
-    print(summarize_systems({s.name: result.localization_cdf(s.name) for s in systems}))
+    print(summarize_systems({s.name: result.cdf(s.name) for s in systems}))
 
     print("\nDirect-path AoA error (degrees):")
     print(
         summarize_systems(
-            {s.name: result.direct_aoa_cdf(s.name) for s in systems}, unit="deg"
+            {s.name: result.cdf(s.name, kind="direct_aoa") for s in systems}, unit="deg"
         )
     )
 
-    ro = result.localization_cdf("ROArray").median
-    sf = result.localization_cdf("SpotFi").median
+    ro = result.cdf("ROArray").median
+    sf = result.cdf("SpotFi").median
     print(
         f"\nROArray vs SpotFi at low SNR: {ro:.2f} m vs {sf:.2f} m "
         f"({sf / max(ro, 1e-9):.1f}× better) — the robustness sparse recovery buys."

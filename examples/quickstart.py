@@ -22,7 +22,7 @@ from repro.channel import (
     random_profile,
 )
 from repro.core import RoArrayEstimator
-from repro.experiments.reporting import format_spectrum_ascii
+from repro.experiments.reporting.text import format_spectrum_ascii
 
 
 def main() -> None:

@@ -18,6 +18,13 @@ The subcommands cover the workflows a user has before writing code:
     fix against ground truth.
 ``roarray figures``
     List the paper's figures and the benchmark that regenerates each.
+``roarray trace <command> ...``
+    Run any other subcommand with tracing enabled and write the span
+    tree to ``--trace-out`` (default ``trace.json``).
+
+``analyze``, ``batch``, ``bench`` and ``report`` accept ``--json`` to
+emit machine-readable output instead of the human-readable blocks.
+All output goes through :mod:`repro.experiments.reporting.console`.
 
 Also runnable as ``python -m repro.cli``.
 """
@@ -35,15 +42,23 @@ from repro.channel.impairments import ImpairmentModel
 from repro.channel.ofdm import intel5300_layout
 from repro.channel.paths import random_profile
 from repro.channel.trace import CsiTrace
+from repro.obs import NULL_TRACER
 
 
-def _build_system(name: str):
+def _tracer_of(args: argparse.Namespace):
+    """The tracer installed by ``roarray trace`` (null tracer otherwise)."""
+    tracer = getattr(args, "tracer", None)
+    return NULL_TRACER if tracer is None else tracer
+
+
+def _build_system(name: str, tracer=NULL_TRACER):
     from repro.baselines.arraytrack import ArrayTrackEstimator
     from repro.baselines.spotfi import SpotFiEstimator
     from repro.core.pipeline import RoArrayEstimator
 
+    if name == "roarray":
+        return RoArrayEstimator(tracer=tracer)
     systems = {
-        "roarray": RoArrayEstimator,
         "spotfi": SpotFiEstimator,
         "arraytrack": ArrayTrackEstimator,
     }
@@ -51,6 +66,8 @@ def _build_system(name: str):
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting.console import emit
+
     rng = np.random.default_rng(args.seed)
     profile = random_profile(
         rng,
@@ -65,7 +82,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     )
     trace = synthesizer.packets(profile, n_packets=args.packets, snr_db=args.snr, rng=rng)
     trace.save(args.output)
-    print(
+    emit(
         f"wrote {args.output}: {trace.n_packets} packets, "
         f"{trace.n_antennas}×{trace.n_subcarriers} CSI, SNR {trace.snr_db:g} dB, "
         f"direct AoA {trace.direct_aoa_deg:g}°"
@@ -74,31 +91,50 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    from repro.experiments.reporting import format_spectrum_ascii
+    from repro.experiments.reporting.text import format_spectrum_ascii
+    from repro.experiments.reporting.console import emit, emit_json
 
+    tracer = _tracer_of(args)
     trace = CsiTrace.load(args.trace)
-    system = _build_system(args.system)
-    analysis = system.analyze(trace)
-    print(f"system: {system.name}")
-    print(
+    system = _build_system(args.system, tracer)
+    with tracer.span("analyze", system=system.name):
+        analysis = system.analyze(trace)
+    truth = None if np.isnan(trace.direct_aoa_deg) else float(trace.direct_aoa_deg)
+    error = None if truth is None else abs(float(analysis.direct.aoa_deg) - truth)
+    if args.json:
+        emit_json(
+            {
+                "system": system.name,
+                "trace": args.trace,
+                "direct": {
+                    "aoa_deg": float(analysis.direct.aoa_deg),
+                    "toa_s": None if np.isnan(analysis.direct.toa_s) else float(analysis.direct.toa_s),
+                    "n_paths": int(analysis.direct.n_paths),
+                },
+                "truth_aoa_deg": truth,
+                "aoa_error_deg": error,
+            }
+        )
+        return 0
+    emit(f"system: {system.name}")
+    emit(
         f"direct path: AoA {analysis.direct.aoa_deg:.1f}°"
         + ("" if np.isnan(analysis.direct.toa_s) else f", ToA {analysis.direct.toa_s * 1e9:.0f} ns")
         + f", {analysis.direct.n_paths} path(s) resolved"
     )
-    if not np.isnan(trace.direct_aoa_deg):
-        print(
-            f"ground truth: AoA {trace.direct_aoa_deg:.1f}° "
-            f"(error {abs(analysis.direct.aoa_deg - trace.direct_aoa_deg):.1f}°)"
-        )
+    if truth is not None:
+        emit(f"ground truth: AoA {truth:.1f}° (error {error:.1f}°)")
     if hasattr(system, "aoa_spectrum"):
-        print("AoA spectrum:")
-        print(format_spectrum_ascii(system.aoa_spectrum(trace)))
+        emit("AoA spectrum:")
+        emit(format_spectrum_ascii(system.aoa_spectrum(trace)))
     return 0
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting.console import emit, emit_json
     from repro.runtime import BatchEvaluator
 
+    tracer = _tracer_of(args)
     if args.traces:
         traces = [CsiTrace.load(path) for path in args.traces]
         labels = list(args.traces)
@@ -115,14 +151,34 @@ def cmd_batch(args: argparse.Namespace) -> int:
             )
         labels = [f"synthetic[{index}]" for index in range(args.synthetic)]
     else:
-        print("nothing to do: pass trace files or --synthetic N", file=sys.stderr)
+        emit("nothing to do: pass trace files or --synthetic N", stream=sys.stderr)
         return 2
 
-    system = _build_system(args.system)
+    system = _build_system(args.system, tracer)
     evaluator = BatchEvaluator(
-        system, workers=args.workers, chunk_size=args.chunk_size, base_seed=args.seed
+        system, workers=args.workers, chunk_size=args.chunk_size, base_seed=args.seed,
+        tracer=tracer,
     )
     result = evaluator.evaluate(traces)
+    if args.json:
+        rows = []
+        for label, trace, outcome in zip(labels, traces, result.outcomes):
+            row: dict = {"label": label, "ok": outcome.ok}
+            if outcome.ok:
+                row["aoa_deg"] = float(outcome.analysis.direct.aoa_deg)
+                row["n_paths"] = int(outcome.analysis.direct.n_paths)
+                if not np.isnan(trace.direct_aoa_deg):
+                    row["aoa_error_deg"] = abs(
+                        float(outcome.analysis.direct.aoa_deg) - float(trace.direct_aoa_deg)
+                    )
+            else:
+                row["failure"] = {
+                    "error_type": outcome.failure.error_type,
+                    "message": outcome.failure.message,
+                }
+            rows.append(row)
+        emit_json({"outcomes": rows, "report": result.report.to_dict()})
+        return 1 if result.failures else 0
     for label, trace, outcome in zip(labels, traces, result.outcomes):
         if outcome.ok:
             line = (
@@ -133,17 +189,19 @@ def cmd_batch(args: argparse.Namespace) -> int:
                 line += f" | error {abs(outcome.analysis.direct.aoa_deg - trace.direct_aoa_deg):.1f}°"
         else:
             line = f"FAILED ({outcome.failure.error_type}: {outcome.failure.message})"
-        print(f"  {label:<24} {line}")
-    print()
-    print(result.report.summary())
+        emit(f"  {label:<24} {line}")
+    emit("")
+    emit(result.report.summary())
     return 1 if result.failures else 0
 
 
 def cmd_localize(args: argparse.Namespace) -> int:
     from repro.core.localization import ApObservation, localize_weighted_aoa
+    from repro.experiments.reporting.console import emit
     from repro.experiments.runner import _scene_traces
     from repro.experiments.scenarios import SNR_BANDS, build_random_scene
 
+    tracer = _tracer_of(args)
     rng = np.random.default_rng(args.seed)
     band = SNR_BANDS[args.band]
     scene = build_random_scene(rng, n_aps=args.aps)
@@ -158,21 +216,25 @@ def cmd_localize(args: argparse.Namespace) -> int:
         boot_seed=args.seed,
         blockage_db_per_ap=blockages,
     )
-    system = _build_system(args.system)
+    system = _build_system(args.system, tracer)
     observations = []
-    for i, trace in enumerate(traces):
-        analysis = system.analyze(trace)
-        truth = scene.ground_truth_aoa(i)
-        print(
-            f"AP {scene.access_points[i].name:<12} SNR {snrs[i]:5.1f} dB | "
-            f"AoA {analysis.direct.aoa_deg:6.1f}° (truth {truth:6.1f}°)"
-        )
-        observations.append(
-            ApObservation(scene.access_points[i], analysis.direct.aoa_deg, trace.rssi_dbm)
-        )
-    fix = localize_weighted_aoa(observations, scene.room, resolution_m=args.resolution)
-    error = fix.error_to(scene.client)
-    print(
+    with tracer.span("localize", system=system.name, n_aps=args.aps) as round_span:
+        for i, trace in enumerate(traces):
+            with tracer.span("ap_analysis", ap=scene.access_points[i].name):
+                analysis = system.analyze(trace)
+            truth = scene.ground_truth_aoa(i)
+            emit(
+                f"AP {scene.access_points[i].name:<12} SNR {snrs[i]:5.1f} dB | "
+                f"AoA {analysis.direct.aoa_deg:6.1f}° (truth {truth:6.1f}°)"
+            )
+            observations.append(
+                ApObservation(scene.access_points[i], analysis.direct.aoa_deg, trace.rssi_dbm)
+            )
+        with tracer.span("localization", n_aps=len(observations)):
+            fix = localize_weighted_aoa(observations, scene.room, resolution_m=args.resolution)
+        error = fix.error_to(scene.client)
+        round_span.annotate(location_error_m=float(error))
+    emit(
         f"\nfix ({fix.position[0]:.2f}, {fix.position[1]:.2f}) m | "
         f"truth ({scene.client[0]:.2f}, {scene.client[1]:.2f}) m | error {error:.2f} m"
     )
@@ -193,28 +255,67 @@ FIGURES = {
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.experiments.report import generate_report
+    from repro.experiments.reporting import generate_report
+    from repro.experiments.reporting.console import emit, emit_json
 
+    tracer = _tracer_of(args)
     sections = tuple(args.sections) if args.sections else None
-    markdown = generate_report(scale=args.scale, seed=args.seed, sections=sections)
+    markdown = generate_report(
+        scale=args.scale,
+        seed=args.seed,
+        sections=sections,
+        tracer=tracer,
+        telemetry=args.telemetry,
+    )
+    if args.json:
+        payload = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "sections": list(sections) if sections else None,
+            "markdown": markdown,
+        }
+        if args.output == "-":
+            emit_json(payload)
+        else:
+            with open(args.output, "w") as handle:
+                emit_json(payload, stream=handle)
+            emit(f"wrote {args.output}")
+        return 0
     if args.output == "-":
-        print(markdown)
+        emit(markdown)
     else:
         with open(args.output, "w") as handle:
             handle.write(markdown)
-        print(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
+        emit(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     import json
 
+    from repro.experiments.reporting.console import emit, emit_json
     from repro.runtime.bench import joint_solve_benchmark
 
-    result = joint_solve_benchmark(
-        snr_db=args.snr, seed=args.seed, repeats=args.repeats, max_iterations=args.iterations
-    )
-    print(json.dumps(result, indent=2))
+    tracer = _tracer_of(args)
+    with tracer.span("bench", benchmark="joint_solve") as span:
+        result = joint_solve_benchmark(
+            snr_db=args.snr, seed=args.seed, repeats=args.repeats, max_iterations=args.iterations
+        )
+        span.annotate(speedup=result["speedup"])
+    if args.json:
+        emit_json(result)
+    else:
+        grid = result["grid"]
+        emit(
+            f"joint solve ({grid['rows']}×{grid['columns']} dictionary, "
+            f"{result['iterations']} iterations, best of {result['repeats']}):"
+        )
+        emit(
+            f"  dense {result['dense_seconds']:.3f} s | "
+            f"operator {result['operator_seconds']:.3f} s | "
+            f"speedup {result['speedup']:.2f}×"
+        )
+        emit(f"  max relative spectrum error {result['max_relative_spectrum_error']:.2e}")
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(result, handle, indent=2)
@@ -222,10 +323,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_figures(_args: argparse.Namespace) -> int:
-    print("paper figure → benchmark (run with: pytest <file> --benchmark-only -s)")
+    from repro.experiments.reporting.console import emit
+
+    emit("paper figure → benchmark (run with: pytest <file> --benchmark-only -s)")
     for key, (description, path) in FIGURES.items():
-        print(f"  {key:<6} {description:<45} {path}")
+        emit(f"  {key:<6} {description:<45} {path}")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Re-dispatch ``args.rest`` with a recording tracer installed."""
+    from repro.experiments.reporting.console import emit
+    from repro.obs import Tracer
+
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        emit("usage: roarray trace [--trace-out PATH] <command> [args...]", stream=sys.stderr)
+        return 2
+    if rest[0] == "trace":
+        emit("trace cannot be nested", stream=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(rest)
+    tracer = Tracer()
+    inner.tracer = tracer
+    code = inner.handler(inner)
+    tracer.export_json(args.trace_out)
+    emit(f"wrote {args.trace_out} ({len(tracer.spans)} spans)", stream=sys.stderr)
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -250,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--system", choices=("roarray", "spotfi", "arraytrack"), default="roarray"
     )
+    analyze.add_argument("--json", action="store_true", help="machine-readable output")
     analyze.set_defaults(handler=cmd_analyze)
 
     batch = subparsers.add_parser(
@@ -271,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--packets", type=int, default=10, help="packets per synthetic trace")
     batch.add_argument("--snr", type=float, default=10.0, help="synthetic trace SNR in dB")
     batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument("--json", action="store_true", help="machine-readable output")
     batch.set_defaults(handler=cmd_batch)
 
     localize = subparsers.add_parser("localize", help="one end-to-end localization round")
@@ -285,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     localize.set_defaults(handler=cmd_localize)
 
     bench = subparsers.add_parser(
-        "bench", help="joint-solve microbenchmark (dense vs Kronecker operator), prints JSON"
+        "bench", help="joint-solve microbenchmark (dense vs Kronecker operator)"
     )
     bench.add_argument("--snr", type=float, default=12.0, help="measurement SNR in dB")
     bench.add_argument("--seed", type=int, default=2017)
@@ -296,6 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", default=None, metavar="PATH", help="also write the JSON to PATH"
     )
+    bench.add_argument("--json", action="store_true", help="print the full JSON result")
     bench.set_defaults(handler=cmd_bench)
 
     figures = subparsers.add_parser("figures", help="map paper figures to benchmarks")
@@ -314,7 +443,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="subset of sections (default: all)",
     )
+    report.add_argument(
+        "--telemetry", action="store_true", help="append a per-span cost table"
+    )
+    report.add_argument("--json", action="store_true", help="machine-readable output")
     report.set_defaults(handler=cmd_report)
+
+    trace = subparsers.add_parser(
+        "trace", help="run another subcommand with tracing, write spans to JSON"
+    )
+    trace.add_argument(
+        "--trace-out", default="trace.json", metavar="PATH", help="span-tree JSON path"
+    )
+    trace.add_argument("rest", nargs=argparse.REMAINDER, help="subcommand to trace")
+    trace.set_defaults(handler=cmd_trace)
 
     return parser
 

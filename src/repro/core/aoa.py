@@ -16,6 +16,7 @@ from repro.channel.array import UniformLinearArray
 from repro.core.grids import AngleGrid
 from repro.core.steering import angle_steering_dictionary
 from repro.exceptions import SolverError
+from repro.obs import NULL_TRACER, ConvergenceTrace
 from repro.optim import solve_lasso_fista, solve_mmv_fista
 from repro.optim.linalg import estimate_lipschitz
 from repro.optim.result import SolverResult
@@ -34,6 +35,8 @@ def estimate_aoa_spectrum(
     dictionary=None,
     lipschitz: float | None = None,
     x0: np.ndarray | None = None,
+    tracer=NULL_TRACER,
+    telemetry: ConvergenceTrace | None = None,
 ) -> tuple[AngleSpectrum, SolverResult]:
     """Sparse-recovery AoA spectrum from one or more array snapshots.
 
@@ -55,6 +58,11 @@ def estimate_aoa_spectrum(
     x0:
         Optional warm start forwarded to the FISTA solve (shape
         matching the coefficient vector/matrix).
+    tracer / telemetry:
+        As in :func:`~repro.core.joint.estimate_joint_spectrum` — the
+        solve runs inside a ``"solver"`` span and records a
+        per-iteration :class:`~repro.obs.ConvergenceTrace` when tracing
+        is enabled.
 
     Returns
     -------
@@ -78,22 +86,41 @@ def estimate_aoa_spectrum(
     if lipschitz is None:
         lipschitz = estimate_lipschitz(dictionary)
 
-    if snapshots.ndim == 1:
-        if kappa is None:
-            kappa = residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
-        result = solve_lasso_fista(
-            dictionary, snapshots, kappa, max_iterations=max_iterations, lipschitz=lipschitz, x0=x0
-        )
-        power = np.abs(result.x)
-    else:
-        if kappa is None:
-            try:
-                kappa = mmv_residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
-            except SolverError:
-                raise SolverError("snapshots are orthogonal to every steering vector") from None
-        result = solve_mmv_fista(
-            dictionary, snapshots, kappa, max_iterations=max_iterations, lipschitz=lipschitz, x0=x0
-        )
-        power = np.linalg.norm(result.x, axis=1)
+    solver_name = "fista" if snapshots.ndim == 1 else "mmv_fista"
+    if telemetry is None and tracer.enabled:
+        telemetry = ConvergenceTrace(solver=solver_name)
+    with tracer.span("solver", solver=solver_name, stage="aoa_spectrum") as span:
+        if snapshots.ndim == 1:
+            if kappa is None:
+                kappa = residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
+            result = solve_lasso_fista(
+                dictionary,
+                snapshots,
+                kappa,
+                max_iterations=max_iterations,
+                lipschitz=lipschitz,
+                x0=x0,
+                telemetry=telemetry,
+            )
+            power = np.abs(result.x)
+        else:
+            if kappa is None:
+                try:
+                    kappa = mmv_residual_kappa(dictionary, snapshots, fraction=kappa_fraction)
+                except SolverError:
+                    raise SolverError("snapshots are orthogonal to every steering vector") from None
+            result = solve_mmv_fista(
+                dictionary,
+                snapshots,
+                kappa,
+                max_iterations=max_iterations,
+                lipschitz=lipschitz,
+                x0=x0,
+                telemetry=telemetry,
+            )
+            power = np.linalg.norm(result.x, axis=1)
+        span.annotate(iterations=result.iterations, converged=result.converged)
+        if telemetry is not None:
+            span.annotate(convergence=telemetry.to_dict())
 
     return AngleSpectrum(grid.angles_deg, power), result

@@ -27,6 +27,7 @@ from repro.channel.ofdm import SubcarrierLayout
 from repro.core.joint import coefficients_to_joint_power
 from repro.core.steering import SteeringCache, vectorize_csi_matrix
 from repro.exceptions import SolverError
+from repro.obs import NULL_TRACER, ConvergenceTrace
 from repro.optim import solve_mmv_fista
 from repro.optim.result import SolverResult
 from repro.optim.tuning import mmv_residual_kappa
@@ -124,6 +125,8 @@ def fuse_packets(
     svd_rank: int = 6,
     align_delays: bool = True,
     x0: np.ndarray | None = None,
+    tracer=NULL_TRACER,
+    telemetry: ConvergenceTrace | None = None,
 ) -> tuple[JointSpectrum, SolverResult]:
     """Coherent multi-packet joint (AoA, ToA) spectrum (paper Fig. 4c).
 
@@ -141,6 +144,11 @@ def fuse_packets(
         Optional ``(Nθ·Nτ, r)`` warm start — a previous fusion's
         coefficient matrix on the same grids with the same retained
         rank; ignored if the snapshot width differs.
+    tracer / telemetry:
+        As in :func:`~repro.core.joint.estimate_joint_spectrum` — the
+        delay alignment, SVD reduction and ℓ2,1 solve each get a span,
+        and the solve records a per-iteration
+        :class:`~repro.obs.ConvergenceTrace` when tracing is enabled.
 
     Returns
     -------
@@ -160,10 +168,12 @@ def fuse_packets(
     if not np.all(np.isfinite(csi)):
         raise SolverError("csi batch contains non-finite entries")
     if align_delays and csi.shape[0] > 1:
-        csi, _ = align_packet_delays(csi, cache.layout)
+        with tracer.span("delay_alignment", n_packets=int(csi.shape[0])):
+            csi, _ = align_packet_delays(csi, cache.layout)
 
-    snapshots = np.stack([vectorize_csi_matrix(packet) for packet in csi], axis=1)
-    snapshots = svd_reduce_snapshots(snapshots, svd_rank)
+    with tracer.span("svd_reduction", rank=svd_rank):
+        snapshots = np.stack([vectorize_csi_matrix(packet) for packet in csi], axis=1)
+        snapshots = svd_reduce_snapshots(snapshots, svd_rank)
 
     dictionary = cache.joint_operator
     if kappa is None:
@@ -173,14 +183,21 @@ def fuse_packets(
             raise SolverError("packets are orthogonal to every steering vector") from None
     if x0 is not None and x0.shape != (dictionary.shape[1], snapshots.shape[1]):
         x0 = None
-    result = solve_mmv_fista(
-        dictionary,
-        snapshots,
-        kappa,
-        max_iterations=max_iterations,
-        lipschitz=cache.joint_lipschitz,
-        x0=x0,
-    )
+    if telemetry is None and tracer.enabled:
+        telemetry = ConvergenceTrace(solver="mmv_fista")
+    with tracer.span("solver", solver="mmv_fista", stage="fusion") as span:
+        result = solve_mmv_fista(
+            dictionary,
+            snapshots,
+            kappa,
+            max_iterations=max_iterations,
+            lipschitz=cache.joint_lipschitz,
+            x0=x0,
+            telemetry=telemetry,
+        )
+        span.annotate(iterations=result.iterations, converged=result.converged)
+        if telemetry is not None:
+            span.annotate(convergence=telemetry.to_dict())
 
     power = coefficients_to_joint_power(
         result.x, cache.angle_grid.n_points, cache.delay_grid.n_points

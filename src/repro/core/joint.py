@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core.steering import SteeringCache, vectorize_csi_matrix
 from repro.exceptions import SolverError
+from repro.obs import NULL_TRACER, ConvergenceTrace
 from repro.optim import solve_lasso_fista
 from repro.optim.result import SolverResult
 from repro.optim.tuning import residual_kappa
@@ -49,6 +50,8 @@ def estimate_joint_spectrum(
     kappa_fraction: float = 0.05,
     max_iterations: int = 300,
     x0: np.ndarray | None = None,
+    tracer=NULL_TRACER,
+    telemetry: ConvergenceTrace | None = None,
 ) -> tuple[JointSpectrum, SolverResult]:
     """Single-packet joint (AoA, ToA) spectrum (paper Eq. 18).
 
@@ -67,6 +70,16 @@ def estimate_joint_spectrum(
     x0:
         Optional warm start (a previous packet's coefficient vector on
         the same grids).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; when enabled the solve runs
+        inside a ``"solver"`` span carrying iteration counts and (unless
+        a ``telemetry`` trace was passed explicitly) a freshly recorded
+        per-iteration :class:`~repro.obs.ConvergenceTrace`.  The default
+        no-op tracer adds no work.
+    telemetry:
+        Optional :class:`~repro.obs.ConvergenceTrace` forwarded to the
+        solver and attached to the returned
+        :class:`~repro.optim.result.SolverResult`.
 
     Returns
     -------
@@ -81,9 +94,21 @@ def estimate_joint_spectrum(
     dictionary = cache.joint_operator
     if kappa is None:
         kappa = residual_kappa(dictionary, y, fraction=kappa_fraction)
-    result = solve_lasso_fista(
-        dictionary, y, kappa, max_iterations=max_iterations, lipschitz=cache.joint_lipschitz, x0=x0
-    )
+    if telemetry is None and tracer.enabled:
+        telemetry = ConvergenceTrace(solver="fista")
+    with tracer.span("solver", solver="fista", stage="joint_spectrum") as span:
+        result = solve_lasso_fista(
+            dictionary,
+            y,
+            kappa,
+            max_iterations=max_iterations,
+            lipschitz=cache.joint_lipschitz,
+            x0=x0,
+            telemetry=telemetry,
+        )
+        span.annotate(iterations=result.iterations, converged=result.converged)
+        if telemetry is not None:
+            span.annotate(convergence=telemetry.to_dict())
 
     power = coefficients_to_joint_power(
         result.x, cache.angle_grid.n_points, cache.delay_grid.n_points

@@ -20,6 +20,7 @@ from repro.core.direct_path import ApAnalysis, DirectPathEstimate, identify_dire
 from repro.core.fusion import fuse_packets
 from repro.core.joint import estimate_joint_spectrum
 from repro.core.steering import SteeringCache
+from repro.obs import NULL_TRACER
 from repro.spectral.spectrum import AngleSpectrum, JointSpectrum
 
 
@@ -33,6 +34,13 @@ class RoArrayEstimator:
         half-wavelength ULA on the Intel 5300 subcarrier layout.
     config:
         Grids and solver tunables (:class:`~repro.core.config.RoArrayConfig`).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When enabled, every stage
+        (steering warmup, joint/fused spectrum, direct-path selection)
+        runs inside a named span and the sparse solves record
+        per-iteration :class:`~repro.obs.ConvergenceTrace` telemetry.
+        The default is the shared no-op tracer, which adds no work and
+        leaves every numerical output byte-identical.
 
     Examples
     --------
@@ -55,10 +63,12 @@ class RoArrayEstimator:
         array: UniformLinearArray | None = None,
         layout: SubcarrierLayout | None = None,
         config: RoArrayConfig | None = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.array = array or UniformLinearArray()
         self.layout = layout or intel5300_layout()
         self.config = config or RoArrayConfig()
+        self.tracer = tracer
         self.cache = SteeringCache(
             self.array, self.layout, self.config.angle_grid, self.config.delay_grid
         )
@@ -78,6 +88,18 @@ class RoArrayEstimator:
         """
         self._warm_single = None
         self._warm_fused = None
+
+    def warm_cache(self) -> None:
+        """Build the steering-cache artifacts inside a traced span.
+
+        Memoized — the second call is free — so callers (the batch
+        runtime's workers, the experiment drivers) can invoke it
+        unconditionally; the ``steering_warmup`` span records the
+        amortized (near-zero) cost on every call after the first.
+        """
+        with self.tracer.span("steering_warmup") as span:
+            self.cache.warmup()
+            span.annotate(warmup_s=self.cache.warmup_seconds)
 
     # -- spectra -----------------------------------------------------------
 
@@ -101,16 +123,18 @@ class RoArrayEstimator:
             return self.joint_spectrum(trace).angle_marginal()
         if method != "spatial":
             raise ValueError(f"method must be 'joint' or 'spatial', got {method!r}")
-        snapshots = np.moveaxis(trace.csi, 1, 0).reshape(trace.n_antennas, -1)
-        spectrum, _ = estimate_aoa_spectrum(
-            snapshots,
-            self.array,
-            self.config.angle_grid,
-            kappa_fraction=self.config.kappa_fraction,
-            max_iterations=max_iterations or self.config.max_iterations,
-            dictionary=self.cache.angle_dictionary,
-            lipschitz=self.cache.angle_lipschitz,
-        )
+        with self.tracer.span("aoa_spectrum", method=method):
+            snapshots = np.moveaxis(trace.csi, 1, 0).reshape(trace.n_antennas, -1)
+            spectrum, _ = estimate_aoa_spectrum(
+                snapshots,
+                self.array,
+                self.config.angle_grid,
+                kappa_fraction=self.config.kappa_fraction,
+                max_iterations=max_iterations or self.config.max_iterations,
+                dictionary=self.cache.angle_dictionary,
+                lipschitz=self.cache.angle_lipschitz,
+                tracer=self.tracer,
+            )
         return spectrum
 
     def joint_spectrum(self, trace: CsiTrace, *, packet: int | None = None) -> JointSpectrum:
@@ -121,24 +145,28 @@ class RoArrayEstimator:
         ℓ2,1 recovery, §III-D).
         """
         if packet is not None:
-            spectrum, result = estimate_joint_spectrum(
-                trace.packet(packet),
-                self.cache,
-                kappa_fraction=self.config.kappa_fraction,
-                max_iterations=self.config.max_iterations,
-                x0=self._warm_single if self.warm_start else None,
-            )
+            with self.tracer.span("joint_spectrum", packet=packet):
+                spectrum, result = estimate_joint_spectrum(
+                    trace.packet(packet),
+                    self.cache,
+                    kappa_fraction=self.config.kappa_fraction,
+                    max_iterations=self.config.max_iterations,
+                    x0=self._warm_single if self.warm_start else None,
+                    tracer=self.tracer,
+                )
             if self.warm_start:
                 self._warm_single = result.x
             return spectrum
-        spectrum, result = fuse_packets(
-            trace.csi,
-            self.cache,
-            kappa_fraction=self.config.kappa_fraction,
-            max_iterations=self.config.max_iterations,
-            svd_rank=self.config.svd_rank,
-            x0=self._warm_fused if self.warm_start else None,
-        )
+        with self.tracer.span("fusion", n_packets=trace.n_packets):
+            spectrum, result = fuse_packets(
+                trace.csi,
+                self.cache,
+                kappa_fraction=self.config.kappa_fraction,
+                max_iterations=self.config.max_iterations,
+                svd_rank=self.config.svd_rank,
+                x0=self._warm_fused if self.warm_start else None,
+                tracer=self.tracer,
+            )
         if self.warm_start:
             self._warm_fused = result.x
         return spectrum
@@ -162,35 +190,37 @@ class RoArrayEstimator:
         can finish the analysis without re-solving; ``analyze(trace)``
         is exactly ``analysis_from_spectrum(joint_spectrum(trace), trace)``.
         """
-        peaks = spectrum.peaks(
-            max_peaks=self.config.max_paths, min_relative_height=self.config.peak_floor
-        )
-        direct = identify_direct_path(
-            spectrum, max_paths=self.config.max_paths, peak_floor=self.config.peak_floor
-        )
-        candidate_aoas = tuple(peak.aoa_deg for peak in peaks)
-
-        if self.config.refine_off_grid and peaks:
-            from repro.core.refinement import refine_spectrum_peaks
-            from repro.core.steering import vectorize_csi_matrix
-
-            y = vectorize_csi_matrix(trace.packet(0))
-            refined = refine_spectrum_peaks(
-                y,
-                spectrum,
-                self.array,
-                self.layout,
-                max_paths=self.config.max_paths,
-                peak_floor=self.config.peak_floor,
+        with self.tracer.span("direct_path") as span:
+            peaks = spectrum.peaks(
+                max_peaks=self.config.max_paths, min_relative_height=self.config.peak_floor
             )
-            earliest = min(refined, key=lambda p: p.toa_s)
-            direct = DirectPathEstimate(
-                aoa_deg=earliest.aoa_deg,
-                toa_s=earliest.toa_s,
-                power=abs(earliest.gain),
-                n_paths=len(refined),
+            direct = identify_direct_path(
+                spectrum, max_paths=self.config.max_paths, peak_floor=self.config.peak_floor
             )
-            candidate_aoas = tuple(p.aoa_deg for p in refined)
+            candidate_aoas = tuple(peak.aoa_deg for peak in peaks)
+
+            if self.config.refine_off_grid and peaks:
+                from repro.core.refinement import refine_spectrum_peaks
+                from repro.core.steering import vectorize_csi_matrix
+
+                y = vectorize_csi_matrix(trace.packet(0))
+                refined = refine_spectrum_peaks(
+                    y,
+                    spectrum,
+                    self.array,
+                    self.layout,
+                    max_paths=self.config.max_paths,
+                    peak_floor=self.config.peak_floor,
+                )
+                earliest = min(refined, key=lambda p: p.toa_s)
+                direct = DirectPathEstimate(
+                    aoa_deg=earliest.aoa_deg,
+                    toa_s=earliest.toa_s,
+                    power=abs(earliest.gain),
+                    n_paths=len(refined),
+                )
+                candidate_aoas = tuple(p.aoa_deg for p in refined)
+            span.annotate(n_paths=direct.n_paths, aoa_deg=direct.aoa_deg)
 
         return ApAnalysis(direct=direct, candidate_aoas_deg=candidate_aoas)
 

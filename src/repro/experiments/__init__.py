@@ -7,12 +7,13 @@
 * :mod:`~repro.experiments.runner` — per-figure experiment drivers;
   every benchmark in ``benchmarks/`` is a thin wrapper around one of
   these.
-* :mod:`~repro.experiments.reporting` — plain-text tables/series
-  mirroring what the paper's figures plot.
+* :mod:`~repro.experiments.reporting` — rendering: the markdown
+  evaluation report, plain-text tables/series mirroring what the
+  paper's figures plot, and CLI output helpers.
 """
 
 from repro.experiments.metrics import ErrorCdf, summarize_systems
-from repro.experiments.report import generate_report
+from repro.experiments.reporting import generate_report
 from repro.experiments.runner import (
     LocalizationOutcome,
     SnrBandResult,

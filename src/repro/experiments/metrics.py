@@ -54,6 +54,14 @@ class ErrorCdf:
         """P(error ≤ threshold)."""
         return float(np.mean(self.samples <= threshold))
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {"samples": self.samples.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ErrorCdf":
+        return cls(samples=np.asarray(payload["samples"], dtype=float))
+
 
 def summarize_systems(errors_by_system: dict[str, ErrorCdf], *, unit: str = "m") -> str:
     """A plain-text table of median / 90th percentile per system."""

@@ -1,0 +1,52 @@
+"""Rendering of experiment results, in one place.
+
+* :mod:`~repro.experiments.reporting.markdown` — the one-command
+  evaluation report (``roarray report``).
+* :mod:`~repro.experiments.reporting.text` — plain-text tables / CDF
+  series / ASCII spectra for benchmark logs.
+* :mod:`~repro.experiments.reporting.console` — CLI output helpers
+  (``emit`` / ``emit_json`` and the telemetry cost table).
+
+This package replaces the former flat modules
+``repro.experiments.report`` (markdown) and
+``repro.experiments.reporting`` (text).  The old surfaces still work
+but emit :class:`DeprecationWarning`: importing
+``repro.experiments.report``, and accessing the text helpers
+(``format_cdf_series`` / ``format_comparison`` /
+``format_spectrum_ascii``) at this package's top level instead of via
+:mod:`~repro.experiments.reporting.text`.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from repro.experiments.reporting.console import emit, emit_json, format_cost_table
+from repro.experiments.reporting.markdown import SYSTEMS, ReportScale, generate_report
+
+#: Names the flat pre-package module exported, now homed in ``.text``.
+_MOVED_TO_TEXT = ("format_cdf_series", "format_comparison", "format_spectrum_ascii")
+
+__all__ = [
+    "SYSTEMS",
+    "ReportScale",
+    "emit",
+    "emit_json",
+    "format_cost_table",
+    "generate_report",
+    *_MOVED_TO_TEXT,
+]
+
+
+def __getattr__(name: str):
+    if name in _MOVED_TO_TEXT:
+        warnings.warn(
+            f"repro.experiments.reporting.{name} is deprecated; import it "
+            f"from repro.experiments.reporting.text",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.experiments.reporting import text
+
+        return getattr(text, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

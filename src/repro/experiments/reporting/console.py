@@ -1,0 +1,39 @@
+"""Console output for the ``roarray`` CLI.
+
+Every CLI handler routes its output through :func:`emit` /
+:func:`emit_json` instead of bare ``print`` calls, so the rendering
+(and the ``--json`` escape hatch) lives in one place.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, TextIO
+
+
+def emit(text: str, *, stream: TextIO | None = None) -> None:
+    """Write one human-readable block (newline-terminated)."""
+    out = sys.stdout if stream is None else stream
+    out.write(text if text.endswith("\n") else text + "\n")
+
+
+def emit_json(payload: Any, *, stream: TextIO | None = None) -> None:
+    """Write ``payload`` as indented JSON (``--json`` mode)."""
+    out = sys.stdout if stream is None else stream
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def format_cost_table(rollup: dict[str, dict[str, float]]) -> str:
+    """Plain-text per-span cost table from :meth:`Tracer.aggregate`."""
+    if not rollup:
+        return "no spans recorded"
+    lines = [f"{'span':<18} {'count':>6} {'wall (s)':>10} {'cpu (s)':>10}"]
+    for name in sorted(rollup, key=lambda n: rollup[n]["wall_s"], reverse=True):
+        entry = rollup[name]
+        lines.append(
+            f"{name:<18} {int(entry['count']):>6} {entry['wall_s']:>10.3f} "
+            f"{entry['cpu_s']:>10.3f}"
+        )
+    return "\n".join(lines)

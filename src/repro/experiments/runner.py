@@ -26,6 +26,7 @@ result is byte-identical to the ``workers=0`` sequential path.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -48,6 +49,7 @@ from repro.core.pipeline import RoArrayEstimator
 from repro.exceptions import ConfigurationError
 from repro.experiments.metrics import ErrorCdf
 from repro.experiments.scenarios import SNR_BANDS, SnrBand, build_random_scene
+from repro.obs import NULL_TRACER
 from repro.spectral.spectrum import AngleSpectrum, JointSpectrum
 
 
@@ -94,6 +96,27 @@ class LocalizationOutcome:
     direct_aoa_errors_deg: list[float]
     closest_aoa_errors_deg: list[float]
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {
+            "location_error_m": self.location_error_m,
+            "direct_aoa_errors_deg": list(self.direct_aoa_errors_deg),
+            "closest_aoa_errors_deg": list(self.closest_aoa_errors_deg),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LocalizationOutcome":
+        return cls(
+            location_error_m=float(payload["location_error_m"]),
+            direct_aoa_errors_deg=[float(e) for e in payload["direct_aoa_errors_deg"]],
+            closest_aoa_errors_deg=[float(e) for e in payload["closest_aoa_errors_deg"]],
+        )
+
+
+#: The error distributions one band result can produce, keyed by the
+#: ``kind`` argument of :meth:`SnrBandResult.cdf`.
+CDF_KINDS = ("localization", "aoa", "direct_aoa")
+
 
 @dataclass
 class SnrBandResult:
@@ -102,19 +125,73 @@ class SnrBandResult:
     band: str
     outcomes: dict[str, list[LocalizationOutcome]] = field(default_factory=dict)
 
+    def cdf(self, system: str, kind: str = "localization") -> ErrorCdf:
+        """One system's error distribution.
+
+        ``kind`` selects what the paper's figures plot:
+
+        * ``"localization"`` — Fig. 6, location error (meters).
+        * ``"aoa"`` — Fig. 7, closest-peak AoA error per AP (degrees).
+        * ``"direct_aoa"`` — AoA error of the *chosen* direct path
+          (stricter than Fig. 7).
+        """
+        outcomes = self.outcomes[system]
+        if kind == "localization":
+            return ErrorCdf(np.array([o.location_error_m for o in outcomes]))
+        if kind == "aoa":
+            return ErrorCdf(np.array([e for o in outcomes for e in o.closest_aoa_errors_deg]))
+        if kind == "direct_aoa":
+            return ErrorCdf(np.array([e for o in outcomes for e in o.direct_aoa_errors_deg]))
+        raise ConfigurationError(f"kind must be one of {CDF_KINDS}, got {kind!r}")
+
     def localization_cdf(self, system: str) -> ErrorCdf:
-        """Paper Fig. 6: localization error distribution."""
-        return ErrorCdf(np.array([o.location_error_m for o in self.outcomes[system]]))
+        """Deprecated — use ``cdf(system, kind="localization")``."""
+        warnings.warn(
+            'SnrBandResult.localization_cdf(system) is deprecated; '
+            'use cdf(system, kind="localization")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cdf(system, kind="localization")
 
     def aoa_cdf(self, system: str) -> ErrorCdf:
-        """Paper Fig. 7: closest-peak AoA error distribution (per AP)."""
-        samples = [e for o in self.outcomes[system] for e in o.closest_aoa_errors_deg]
-        return ErrorCdf(np.array(samples))
+        """Deprecated — use ``cdf(system, kind="aoa")``."""
+        warnings.warn(
+            'SnrBandResult.aoa_cdf(system) is deprecated; use cdf(system, kind="aoa")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cdf(system, kind="aoa")
 
     def direct_aoa_cdf(self, system: str) -> ErrorCdf:
-        """AoA error of the *chosen* direct path (stricter than Fig. 7)."""
-        samples = [e for o in self.outcomes[system] for e in o.direct_aoa_errors_deg]
-        return ErrorCdf(np.array(samples))
+        """Deprecated — use ``cdf(system, kind="direct_aoa")``."""
+        warnings.warn(
+            'SnrBandResult.direct_aoa_cdf(system) is deprecated; '
+            'use cdf(system, kind="direct_aoa")',
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.cdf(system, kind="direct_aoa")
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {
+            "band": self.band,
+            "outcomes": {
+                system: [o.to_dict() for o in outcomes]
+                for system, outcomes in self.outcomes.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SnrBandResult":
+        return cls(
+            band=payload["band"],
+            outcomes={
+                system: [LocalizationOutcome.from_dict(o) for o in outcomes]
+                for system, outcomes in payload["outcomes"].items()
+            },
+        )
 
 
 def _scene_traces(
@@ -145,7 +222,12 @@ def _scene_traces(
 
 
 def _batch_analyses(
-    system: ApSystem, traces: list[CsiTrace], *, workers: int, base_seed: int = 0
+    system: ApSystem,
+    traces: list[CsiTrace],
+    *,
+    workers: int,
+    base_seed: int = 0,
+    tracer=NULL_TRACER,
 ) -> list[ApAnalysis]:
     """Analyze a flat trace list through the batch runtime.
 
@@ -168,28 +250,35 @@ def _batch_analyses(
         if reset is not None:
             reset()
         return [system.analyze(trace) for trace in traces]
-    evaluator = BatchEvaluator(system, workers=workers, base_seed=base_seed)
+    evaluator = BatchEvaluator(system, workers=workers, base_seed=base_seed, tracer=tracer)
     return evaluator.evaluate(traces).strict_analyses()
 
 
 def _localize_from_analyses(
-    scene: Scene, traces: list[CsiTrace], analyses: list[ApAnalysis], resolution_m: float
+    scene: Scene,
+    traces: list[CsiTrace],
+    analyses: list[ApAnalysis],
+    resolution_m: float,
+    tracer=NULL_TRACER,
 ) -> LocalizationOutcome:
-    observations = [
-        ApObservation(
-            access_point=scene.access_points[i],
-            aoa_deg=analyses[i].direct.aoa_deg,
-            rssi_dbm=traces[i].rssi_dbm,
+    with tracer.span("localization", n_aps=len(traces)) as span:
+        observations = [
+            ApObservation(
+                access_point=scene.access_points[i],
+                aoa_deg=analyses[i].direct.aoa_deg,
+                rssi_dbm=traces[i].rssi_dbm,
+            )
+            for i in range(len(traces))
+        ]
+        located = localize_weighted_aoa(observations, scene.room, resolution_m=resolution_m)
+        truths = [scene.ground_truth_aoa(i) for i in range(len(traces))]
+        outcome = LocalizationOutcome(
+            location_error_m=located.error_to(scene.client),
+            direct_aoa_errors_deg=[abs(a.direct.aoa_deg - t) for a, t in zip(analyses, truths)],
+            closest_aoa_errors_deg=[a.closest_aoa_error(t) for a, t in zip(analyses, truths)],
         )
-        for i in range(len(traces))
-    ]
-    located = localize_weighted_aoa(observations, scene.room, resolution_m=resolution_m)
-    truths = [scene.ground_truth_aoa(i) for i in range(len(traces))]
-    return LocalizationOutcome(
-        location_error_m=located.error_to(scene.client),
-        direct_aoa_errors_deg=[abs(a.direct.aoa_deg - t) for a, t in zip(analyses, truths)],
-        closest_aoa_errors_deg=[a.closest_aoa_error(t) for a, t in zip(analyses, truths)],
-    )
+        span.annotate(location_error_m=outcome.location_error_m)
+    return outcome
 
 
 def run_snr_band_experiment(
@@ -204,6 +293,7 @@ def run_snr_band_experiment(
     resolution_m: float = 0.1,
     workers: int = 0,
     warm_start: bool = False,
+    tracer=NULL_TRACER,
 ) -> SnrBandResult:
     """Paper Figs. 6 & 7: the three-system comparison in one SNR band.
 
@@ -235,36 +325,47 @@ def run_snr_band_experiment(
     # Synthesis first, on the single driver RNG stream (order unchanged
     # from the fused loop this replaces), so batching cannot change the
     # data any system sees.
-    scenes: list[Scene] = []
-    traces_per_location: list[list[CsiTrace]] = []
-    for location in range(n_locations):
-        scene = build_random_scene(rng, n_aps=n_aps)
-        snrs = [band.draw(rng) for _ in range(n_aps)]
-        blockages = [band.draw_blockage(rng) for _ in range(n_aps)]
-        scenes.append(scene)
-        traces_per_location.append(
-            _scene_traces(
-                scene,
-                snr_db_per_ap=snrs,
-                n_packets=n_packets,
-                impairments=impairments,
-                rng=rng,
-                boot_seed=seed * 10_000 + location * 100,
-                blockage_db_per_ap=blockages,
-            )
-        )
-
-    flat_traces = [trace for traces in traces_per_location for trace in traces]
-    result = SnrBandResult(band=band.name, outcomes={s.name: [] for s in systems})
-    for system in systems:
-        flat_analyses = _batch_analyses(system, flat_traces, workers=workers, base_seed=seed)
-        for location in range(n_locations):
-            analyses = flat_analyses[location * n_aps : (location + 1) * n_aps]
-            result.outcomes[system.name].append(
-                _localize_from_analyses(
-                    scenes[location], traces_per_location[location], analyses, resolution_m
+    with tracer.span(
+        "experiment", name="snr_band", band=band.name, n_locations=n_locations
+    ):
+        scenes: list[Scene] = []
+        traces_per_location: list[list[CsiTrace]] = []
+        with tracer.span("synthesis", n_locations=n_locations, n_aps=n_aps):
+            for location in range(n_locations):
+                scene = build_random_scene(rng, n_aps=n_aps)
+                snrs = [band.draw(rng) for _ in range(n_aps)]
+                blockages = [band.draw_blockage(rng) for _ in range(n_aps)]
+                scenes.append(scene)
+                traces_per_location.append(
+                    _scene_traces(
+                        scene,
+                        snr_db_per_ap=snrs,
+                        n_packets=n_packets,
+                        impairments=impairments,
+                        rng=rng,
+                        boot_seed=seed * 10_000 + location * 100,
+                        blockage_db_per_ap=blockages,
+                    )
                 )
-            )
+
+        flat_traces = [trace for traces in traces_per_location for trace in traces]
+        result = SnrBandResult(band=band.name, outcomes={s.name: [] for s in systems})
+        for system in systems:
+            with tracer.span("system", name=system.name):
+                flat_analyses = _batch_analyses(
+                    system, flat_traces, workers=workers, base_seed=seed, tracer=tracer
+                )
+                for location in range(n_locations):
+                    analyses = flat_analyses[location * n_aps : (location + 1) * n_aps]
+                    result.outcomes[system.name].append(
+                        _localize_from_analyses(
+                            scenes[location],
+                            traces_per_location[location],
+                            analyses,
+                            resolution_m,
+                            tracer=tracer,
+                        )
+                    )
     return result
 
 
@@ -281,6 +382,24 @@ class SpectrumSnrPoint:
     spectrum: AngleSpectrum
     closest_peak_error_deg: float
     sharpness: float
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {
+            "snr_db": self.snr_db,
+            "spectrum": self.spectrum.to_dict(),
+            "closest_peak_error_deg": self.closest_peak_error_deg,
+            "sharpness": self.sharpness,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SpectrumSnrPoint":
+        return cls(
+            snr_db=float(payload["snr_db"]),
+            spectrum=AngleSpectrum.from_dict(payload["spectrum"]),
+            closest_peak_error_deg=float(payload["closest_peak_error_deg"]),
+            sharpness=float(payload["sharpness"]),
+        )
 
 
 def snr_coupled_blockage_db(snr_db: float) -> float:
@@ -302,6 +421,7 @@ def run_music_snr_experiment(
     n_packets: int = 15,
     seed: int = 0,
     system: ApSystem | None = None,
+    tracer=NULL_TRACER,
 ) -> list[SpectrumSnrPoint]:
     """Paper Fig. 2: SpotFi's AoA spectrum degrading as SNR drops.
 
@@ -323,20 +443,22 @@ def run_music_snr_experiment(
     synthesizer = CsiSynthesizer(array, layout, seed=seed)
 
     points = []
-    for snr_db in snrs_db:
-        blocked = profile.with_direct_attenuation(snr_coupled_blockage_db(snr_db))
-        trace = synthesizer.packets(blocked, n_packets=n_packets, snr_db=snr_db, rng=rng)
-        spectrum = estimator.aoa_spectrum(trace).normalized()
-        points.append(
-            SpectrumSnrPoint(
-                snr_db=snr_db,
-                spectrum=spectrum,
-                closest_peak_error_deg=spectrum.closest_peak_error(
-                    true_aoa_deg, max_peaks=5, min_relative_height=0.2
-                ),
-                sharpness=spectrum.sharpness(),
+    with tracer.span("experiment", name="music_snr", system=estimator.name):
+        for snr_db in snrs_db:
+            with tracer.span("aoa_spectrum", snr_db=snr_db):
+                blocked = profile.with_direct_attenuation(snr_coupled_blockage_db(snr_db))
+                trace = synthesizer.packets(blocked, n_packets=n_packets, snr_db=snr_db, rng=rng)
+                spectrum = estimator.aoa_spectrum(trace).normalized()
+            points.append(
+                SpectrumSnrPoint(
+                    snr_db=snr_db,
+                    spectrum=spectrum,
+                    closest_peak_error_deg=spectrum.closest_peak_error(
+                        true_aoa_deg, max_peaks=5, min_relative_height=0.2
+                    ),
+                    sharpness=spectrum.sharpness(),
+                )
             )
-        )
     return points
 
 
@@ -354,6 +476,24 @@ class IterationProgressPoint:
     closest_peak_error_deg: float
     sharpness: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {
+            "iterations": self.iterations,
+            "spectrum": self.spectrum.to_dict(),
+            "closest_peak_error_deg": self.closest_peak_error_deg,
+            "sharpness": self.sharpness,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IterationProgressPoint":
+        return cls(
+            iterations=int(payload["iterations"]),
+            spectrum=AngleSpectrum.from_dict(payload["spectrum"]),
+            closest_peak_error_deg=float(payload["closest_peak_error_deg"]),
+            sharpness=float(payload["sharpness"]),
+        )
+
 
 def run_iteration_progress_experiment(
     *,
@@ -361,6 +501,7 @@ def run_iteration_progress_experiment(
     true_aoa_deg: float = 150.0,
     snr_db: float = 10.0,
     seed: int = 0,
+    tracer=NULL_TRACER,
 ) -> list[IterationProgressPoint]:
     """Paper Fig. 3: the AoA spectrum sharpening as the solver iterates.
 
@@ -386,7 +527,9 @@ def run_iteration_progress_experiment(
 
     points = []
     for count in iteration_counts:
-        raw, _ = estimate_aoa_spectrum(snapshot, array, grid, max_iterations=count)
+        raw, _ = estimate_aoa_spectrum(
+            snapshot, array, grid, max_iterations=count, tracer=tracer
+        )
         spectrum = raw.normalized()
         points.append(
             IterationProgressPoint(
@@ -418,6 +561,32 @@ class FusionExperimentResult:
     single_sharpness: list[float]
     fused_sharpness: float
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {
+            "single_spectra": [s.to_dict() for s in self.single_spectra],
+            "single_direct_toas_s": list(self.single_direct_toas_s),
+            "single_direct_aoa_errors_deg": list(self.single_direct_aoa_errors_deg),
+            "fused_spectrum": self.fused_spectrum.to_dict(),
+            "fused_direct_aoa_error_deg": self.fused_direct_aoa_error_deg,
+            "single_sharpness": list(self.single_sharpness),
+            "fused_sharpness": self.fused_sharpness,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FusionExperimentResult":
+        return cls(
+            single_spectra=[JointSpectrum.from_dict(s) for s in payload["single_spectra"]],
+            single_direct_toas_s=[float(t) for t in payload["single_direct_toas_s"]],
+            single_direct_aoa_errors_deg=[
+                float(e) for e in payload["single_direct_aoa_errors_deg"]
+            ],
+            fused_spectrum=JointSpectrum.from_dict(payload["fused_spectrum"]),
+            fused_direct_aoa_error_deg=float(payload["fused_direct_aoa_error_deg"]),
+            single_sharpness=[float(s) for s in payload["single_sharpness"]],
+            fused_sharpness=float(payload["fused_sharpness"]),
+        )
+
 
 def run_fusion_experiment(
     *,
@@ -426,6 +595,7 @@ def run_fusion_experiment(
     true_aoa_deg: float = 150.0,
     snr_db: float = 8.0,
     seed: int = 0,
+    tracer=NULL_TRACER,
 ) -> FusionExperimentResult:
     """Paper Fig. 4: detection delay scatters single-packet ToA spectra;
     delay-aligned fusion over all packets sharpens the estimate.
@@ -433,7 +603,7 @@ def run_fusion_experiment(
     from repro.channel.paths import random_profile
     from repro.core.direct_path import identify_direct_path
 
-    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    estimator = RoArrayEstimator(config=evaluation_roarray_config(), tracer=tracer)
     rng = np.random.default_rng(seed)
     profile = random_profile(rng, n_paths=4, direct_aoa_deg=true_aoa_deg)
     # A generous detection-delay range so the per-packet ToA scatter of
@@ -478,6 +648,7 @@ def run_ap_density_experiment(
     band: SnrBand | str = "medium",
     resolution_m: float = 0.1,
     workers: int = 0,
+    tracer=NULL_TRACER,
 ) -> dict[int, ErrorCdf]:
     """Paper Fig. 8a: ROArray localization error vs number of APs.
 
@@ -515,6 +686,7 @@ def run_ap_density_experiment(
         [trace for traces in traces_per_location for trace in traces],
         workers=workers,
         base_seed=seed,
+        tracer=tracer,
     )
 
     errors: dict[int, list[float]] = {count: [] for count in ap_counts}
@@ -530,7 +702,7 @@ def run_ap_density_experiment(
                 scatterers=scene.scatterers,
             )
             outcome = _localize_from_analyses(
-                subset_scene, traces[:count], analyses[:count], resolution_m
+                subset_scene, traces[:count], analyses[:count], resolution_m, tracer=tracer
             )
             errors[count].append(outcome.location_error_m)
 
@@ -552,6 +724,7 @@ def run_calibration_experiment(
     calibration_snr_db: float = 18.0,
     band: SnrBand | str = "medium",
     resolution_m: float = 0.1,
+    tracer=NULL_TRACER,
 ) -> dict[str, ErrorCdf]:
     """Paper Fig. 8b: localization with ROArray-driven calibration,
     MUSIC (Phaser) calibration, and no calibration.
@@ -565,7 +738,7 @@ def run_calibration_experiment(
     impairments = ImpairmentModel(phase_offset_std_rad=1.0)
     array = UniformLinearArray()
     layout = intel5300_layout()
-    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    estimator = RoArrayEstimator(config=evaluation_roarray_config(), tracer=tracer)
     rng = np.random.default_rng(seed)
 
     room_scene = build_random_scene(rng, n_aps=n_aps)  # Reference geometry / AP layout.
@@ -622,7 +795,7 @@ def run_calibration_experiment(
                     rssi_dbm=trace.rssi_dbm,
                 )
                 analyses.append(estimator.analyze(corrected))
-            outcome = _localize_from_analyses(scene, traces, analyses, resolution_m)
+            outcome = _localize_from_analyses(scene, traces, analyses, resolution_m, tracer=tracer)
             errors[mode].append(outcome.location_error_m)
 
     return {mode: ErrorCdf(np.array(errors[mode])) for mode in modes}
@@ -643,6 +816,7 @@ def run_polarization_experiment(
     band: SnrBand | str = "medium",
     resolution_m: float = 0.1,
     workers: int = 0,
+    tracer=NULL_TRACER,
 ) -> dict[tuple[float, float], ErrorCdf]:
     """Paper Fig. 8c: ROArray accuracy vs client antenna polarization tilt.
 
@@ -685,12 +859,14 @@ def run_polarization_experiment(
             [trace for traces in traces_per_location for trace in traces],
             workers=workers,
             base_seed=seed,
+            tracer=tracer,
         )
         errors = []
         for location in range(n_locations):
             analyses = flat_analyses[location * n_aps : (location + 1) * n_aps]
             outcome = _localize_from_analyses(
-                scenes[location], traces_per_location[location], analyses, resolution_m
+                scenes[location], traces_per_location[location], analyses, resolution_m,
+                tracer=tracer,
             )
             errors.append(outcome.location_error_m)
         results[deviation_range] = ErrorCdf(np.array(errors))

@@ -1,0 +1,35 @@
+"""Observability: tracing, metrics and solver telemetry (``repro.obs``).
+
+Three building blocks, all opt-in and all zero-cost when unused:
+
+* :class:`Tracer` / :data:`NULL_TRACER` — nested wall/CPU-time spans
+  with attributes, serializable across process boundaries (the batch
+  runtime merges worker-side spans back into the parent trace).
+* :class:`MetricsRegistry` — counters, gauges and histograms with JSON
+  export.
+* :class:`ConvergenceTrace` — per-iteration objective / residual /
+  support telemetry recorded by the :mod:`repro.optim` solvers when a
+  trace is passed via their ``telemetry=`` hook.
+
+Entry points: pass ``tracer=Tracer()`` to
+:class:`~repro.core.pipeline.RoArrayEstimator`,
+:class:`~repro.runtime.batch.BatchEvaluator` or the experiment drivers;
+or run any CLI workflow under ``roarray trace <cmd>``.
+"""
+
+from repro.obs.convergence import ConvergenceTrace, support_size
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "ConvergenceTrace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "support_size",
+]

@@ -1,0 +1,126 @@
+"""A small metrics registry: counters, gauges, histograms, JSON export.
+
+The registry is the accumulation side of the observability layer — where
+spans answer "where did the time go in *this* run", metrics answer "how
+many, how large, how spread" across a whole batch or sweep.  Instruments
+are created on first use (``registry.counter("jobs_total")``) and export
+as one JSON-ready dict, which the ``roarray trace`` CLI writes next to
+the span tree.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """A sample distribution, summarized on export.
+
+    Stores raw observations (batches here are thousands of jobs, not
+    millions of requests) and exports count/sum/min/max/mean plus the
+    p50/p90/p99 quantiles the runtime reports quote.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    def to_dict(self) -> dict[str, Any]:
+        if not self.values:
+            return {"type": "histogram", "count": 0}
+        data = np.asarray(self.values)
+        return {
+            "type": "histogram",
+            "count": int(data.size),
+            "sum": float(data.sum()),
+            "min": float(data.min()),
+            "max": float(data.max()),
+            "mean": float(data.mean()),
+            "p50": float(np.percentile(data, 50)),
+            "p90": float(np.percentile(data, 90)),
+            "p99": float(np.percentile(data, 99)),
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments.
+
+    A name belongs to exactly one instrument kind; asking for the same
+    name as a different kind is a configuration error (it would silently
+    fork the metric).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = kind(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, kind):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {type(instrument).__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            name: instrument.to_dict()
+            for name, instrument in sorted(self._instruments.items())
+        }
+
+    def export_json(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)

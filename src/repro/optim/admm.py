@@ -18,10 +18,13 @@ factorization depends on ``(A, ρ)`` only and one
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 import scipy.linalg
 
 from repro.exceptions import SolverError
+from repro.obs.convergence import ConvergenceTrace, support_size
 from repro.optim.fista import lasso_objective
 from repro.optim.linalg import soft_threshold, validate_system
 from repro.optim.operators import as_operator
@@ -82,6 +85,8 @@ def solve_lasso_admm(
     tolerance: float = 1e-6,
     factors: CachedAdmmFactors | None = None,
     track_history: bool = False,
+    telemetry: ConvergenceTrace | None = None,
+    callback: Callable[[int, np.ndarray, float], None] | None = None,
 ) -> SolverResult:
     """Solve ``min ‖Ax − y‖₂² + κ‖x‖₁`` by ADMM.
 
@@ -100,6 +105,12 @@ def solve_lasso_admm(
         Optional pre-built :class:`CachedAdmmFactors` for ``(matrix,
         rho)``; build once and reuse across right-hand sides *and*
         sparsity weights κ.
+    telemetry / callback:
+        Per-iteration hooks as in
+        :func:`~repro.optim.fista.solve_lasso_fista`, measured on the
+        un-normalized iterate ``κ·z`` so traces are comparable across
+        solvers.  One extra dictionary multiply per iteration when
+        enabled, nothing otherwise.
 
     Notes
     -----
@@ -151,6 +162,18 @@ def solve_lasso_admm(
         dual_residual = rho * np.linalg.norm(z - z_prev)
         if track_history:
             history.append(lasso_objective(dense, rhs, scale_factor * z, kappa))
+        if telemetry is not None or callback is not None:
+            iterate = scale_factor * z
+            residual_norm = float(np.linalg.norm(dense @ iterate - rhs))
+            current = float(residual_norm**2 + kappa * np.abs(iterate).sum())
+            if telemetry is not None:
+                telemetry.record(
+                    objective=current,
+                    residual_norm=residual_norm,
+                    support_size=support_size(iterate),
+                )
+            if callback is not None:
+                callback(iterations, iterate, current)
         scale = max(1.0, float(np.linalg.norm(z)))
         if primal_residual <= tolerance * scale and dual_residual <= tolerance * scale:
             converged = True
@@ -163,4 +186,5 @@ def solve_lasso_admm(
         iterations=iterations,
         converged=converged,
         history=history,
+        convergence=telemetry,
     )

@@ -14,9 +14,12 @@ joint dictionaries of §III-B.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.obs.convergence import ConvergenceTrace, support_size
 from repro.optim.linalg import soft_threshold, validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
@@ -39,6 +42,8 @@ def solve_lasso_fista(
     lipschitz: float | None = None,
     track_history: bool = False,
     monotone: bool = False,
+    telemetry: ConvergenceTrace | None = None,
+    callback: Callable[[int, np.ndarray, float], None] | None = None,
 ) -> SolverResult:
     """Solve ``min ‖Ax − y‖₂² + κ‖x‖₁`` by FISTA.
 
@@ -83,6 +88,17 @@ def solve_lasso_fista(
         through the candidate.  Guarantees a non-increasing objective at
         the cost of one extra objective evaluation per iteration; plain
         FISTA (the default) can overshoot transiently.
+    telemetry:
+        Optional :class:`~repro.obs.convergence.ConvergenceTrace` that
+        receives per-iteration objective, residual norm and support
+        size, and is attached to the result as
+        :attr:`~repro.optim.result.SolverResult.convergence`.  Costs one
+        extra dictionary multiply per iteration; the default (``None``)
+        does no telemetry work at all.
+    callback:
+        Optional per-iteration hook ``callback(iteration, x, objective)``
+        invoked after each accepted iterate (same cost note as
+        ``telemetry``).
 
     Notes
     -----
@@ -107,7 +123,13 @@ def solve_lasso_fista(
     if lipschitz <= 0:
         # A zero dictionary: the minimizer is x = 0.
         x = np.zeros(n, dtype=complex)
-        return SolverResult(x=x, objective=lasso_objective(operator, rhs, x, kappa), iterations=0, converged=True)
+        return SolverResult(
+            x=x,
+            objective=lasso_objective(operator, rhs, x, kappa),
+            iterations=0,
+            converged=True,
+            convergence=telemetry,
+        )
 
     step = 1.0 / lipschitz
     threshold = kappa * step
@@ -156,6 +178,21 @@ def solve_lasso_fista(
             history.append(
                 objective if monotone else lasso_objective(operator, rhs, x, kappa)
             )
+        if telemetry is not None or callback is not None:
+            residual_norm = float(np.linalg.norm(operator.matvec(x) - rhs))
+            current = (
+                objective
+                if monotone
+                else float(residual_norm**2 + kappa * np.abs(x).sum())
+            )
+            if telemetry is not None:
+                telemetry.record(
+                    objective=current,
+                    residual_norm=residual_norm,
+                    support_size=support_size(x),
+                )
+            if callback is not None:
+                callback(iterations, x, current)
         if delta <= tolerance * scale:
             converged = True
             break
@@ -166,4 +203,5 @@ def solve_lasso_fista(
         iterations=iterations,
         converged=converged,
         history=history,
+        convergence=telemetry,
     )

@@ -15,9 +15,12 @@ reduction that keeps the snapshot dimension small lives in
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.obs.convergence import ConvergenceTrace, support_size
 from repro.optim.linalg import row_soft_threshold, validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
@@ -40,6 +43,8 @@ def solve_mmv_fista(
     x0: np.ndarray | None = None,
     lipschitz: float | None = None,
     track_history: bool = False,
+    telemetry: ConvergenceTrace | None = None,
+    callback: Callable[[int, np.ndarray, float], None] | None = None,
 ) -> SolverResult:
     """Solve the ℓ2,1 joint-sparse program by FISTA.
 
@@ -59,6 +64,12 @@ def solve_mmv_fista(
     lipschitz:
         Optional precomputed ``‖AᴴA‖₂``; operator dictionaries default
         to ``matrix.lipschitz()``.
+    telemetry / callback:
+        Per-iteration hooks as in
+        :func:`~repro.optim.fista.solve_lasso_fista` — objective,
+        Frobenius residual norm and active-row count per iteration,
+        recorded only when requested (one extra dictionary multiply per
+        iteration when enabled, nothing otherwise).
 
     Returns
     -------
@@ -84,7 +95,13 @@ def solve_mmv_fista(
         lipschitz = 2.0 * float(lipschitz)
     if lipschitz <= 0:
         x = np.zeros((n, p), dtype=complex)
-        return SolverResult(x=x, objective=mmv_objective(operator, rhs, x, kappa), iterations=0, converged=True)
+        return SolverResult(
+            x=x,
+            objective=mmv_objective(operator, rhs, x, kappa),
+            iterations=0,
+            converged=True,
+            convergence=telemetry,
+        )
 
     step = 1.0 / lipschitz
     threshold = kappa * step
@@ -111,6 +128,20 @@ def solve_mmv_fista(
 
         if track_history:
             history.append(mmv_objective(operator, rhs, x, kappa))
+        if telemetry is not None or callback is not None:
+            residual = operator.matvec(x) - rhs
+            residual_norm = float(np.linalg.norm(residual))
+            current = float(
+                residual_norm**2 + kappa * np.linalg.norm(x, axis=1).sum()
+            )
+            if telemetry is not None:
+                telemetry.record(
+                    objective=current,
+                    residual_norm=residual_norm,
+                    support_size=support_size(x),
+                )
+            if callback is not None:
+                callback(iterations, x, current)
         if delta <= tolerance * scale:
             converged = True
             break
@@ -121,4 +152,5 @@ def solve_mmv_fista(
         iterations=iterations,
         converged=converged,
         history=history,
+        convergence=telemetry,
     )

@@ -9,10 +9,12 @@ trade-off on identical scenes.
 from __future__ import annotations
 
 import warnings
+from typing import Callable
 
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.obs.convergence import ConvergenceTrace
 from repro.optim.linalg import validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
@@ -25,6 +27,8 @@ def solve_omp(
     sparsity: int,
     tolerance: float = 0.0,
     residual_tolerance: float | None = None,
+    telemetry: ConvergenceTrace | None = None,
+    callback: Callable[[int, np.ndarray, float], None] | None = None,
 ) -> SolverResult:
     """Greedy recovery of at most ``sparsity`` atoms.
 
@@ -48,6 +52,10 @@ def solve_omp(
         Stop early once ``‖residual‖₂ ≤ tolerance``.
     residual_tolerance:
         Deprecated spelling of ``tolerance``; emits ``DeprecationWarning``.
+    telemetry / callback:
+        Per-greedy-step hooks as in
+        :func:`~repro.optim.fista.solve_lasso_fista`: objective is the
+        squared residual norm, support size the atoms selected so far.
     """
     if residual_tolerance is not None:
         warnings.warn(
@@ -87,6 +95,18 @@ def solve_omp(
         submatrix = operator.columns(support)
         coefficients, *_ = np.linalg.lstsq(submatrix, rhs, rcond=None)
         residual = rhs - submatrix @ coefficients
+        if telemetry is not None or callback is not None:
+            residual_norm = float(np.linalg.norm(residual))
+            if telemetry is not None:
+                telemetry.record(
+                    objective=residual_norm**2,
+                    residual_norm=residual_norm,
+                    support_size=len(support),
+                )
+            if callback is not None:
+                snapshot = np.zeros(n, dtype=complex)
+                snapshot[support] = coefficients
+                callback(iterations, snapshot, residual_norm**2)
         if np.linalg.norm(residual) <= tolerance:
             break
 
@@ -97,4 +117,5 @@ def solve_omp(
         objective=float(np.linalg.norm(residual) ** 2),
         iterations=iterations,
         converged=True,
+        convergence=telemetry,
     )

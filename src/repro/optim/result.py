@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.convergence import ConvergenceTrace
 
 
 @dataclass
@@ -29,6 +33,11 @@ class SolverResult:
         it shows spectra after 3/6/9/14 iterations.
     history:
         Per-iteration objective values (empty if tracking was disabled).
+    convergence:
+        The :class:`~repro.obs.convergence.ConvergenceTrace` the caller
+        passed via the solver's ``telemetry=`` hook, filled with
+        per-iteration objective / residual / support telemetry; ``None``
+        when telemetry was not requested.
     """
 
     x: np.ndarray
@@ -36,6 +45,7 @@ class SolverResult:
     iterations: int
     converged: bool
     history: list[float] = field(default_factory=list)
+    convergence: "ConvergenceTrace | None" = None
 
     @property
     def support(self) -> np.ndarray:

@@ -16,10 +16,12 @@ plain LASSO in the variables ``z = Wx`` with columns of ``A`` scaled by
 from __future__ import annotations
 
 import warnings
+from typing import Callable
 
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.obs.convergence import ConvergenceTrace, support_size
 from repro.optim.fista import lasso_objective, solve_lasso_fista
 from repro.optim.linalg import validate_system
 from repro.optim.operators import as_operator
@@ -36,6 +38,8 @@ def solve_reweighted_lasso(
     max_iterations: int = 200,
     tolerance: float = 1e-6,
     inner_iterations: int | None = None,
+    telemetry: ConvergenceTrace | None = None,
+    callback: Callable[[int, np.ndarray, float], None] | None = None,
 ) -> SolverResult:
     """Reweighted-ℓ1 sparse recovery.
 
@@ -59,6 +63,11 @@ def solve_reweighted_lasso(
     inner_iterations:
         Deprecated spelling of ``max_iterations``; emits
         ``DeprecationWarning``.
+    telemetry / callback:
+        Per-*outer-pass* hooks as in
+        :func:`~repro.optim.fista.solve_lasso_fista` (the unweighted
+        objective after the initial solve and after each reweighting
+        pass) — one entry per pass, not per inner FISTA iteration.
 
     Returns
     -------
@@ -91,15 +100,30 @@ def solve_reweighted_lasso(
     total_inner = first.iterations
     history = [lasso_objective(matrix, rhs, x, kappa)]
 
+    def _observe(pass_index: int) -> None:
+        if telemetry is None and callback is None:
+            return
+        residual_norm = float(np.linalg.norm(matrix @ x - rhs))
+        if telemetry is not None:
+            telemetry.record(
+                objective=history[-1],
+                residual_norm=residual_norm,
+                support_size=support_size(x),
+            )
+        if callback is not None:
+            callback(pass_index, x, history[-1])
+
+    _observe(0)
     peak = float(np.abs(x).max(initial=0.0))
     if peak == 0.0:
         # Everything thresholded away on the first pass; reweighting
         # cannot resurrect it.
         return SolverResult(x=x, objective=history[0], iterations=total_inner,
-                            converged=first.converged, history=history)
+                            converged=first.converged, history=history,
+                            convergence=telemetry)
     floor = epsilon if epsilon is not None else 0.1 * peak
 
-    for _ in range(reweight_iterations):
+    for outer in range(reweight_iterations):
         weights = 1.0 / (np.abs(x) + floor)
         # Normalize so atoms currently at zero keep the original κ while
         # strong atoms become nearly penalty-free (the debiasing effect).
@@ -111,6 +135,7 @@ def solve_reweighted_lasso(
         x = inner.x / weights
         total_inner += inner.iterations
         history.append(lasso_objective(matrix, rhs, x, kappa))
+        _observe(outer + 1)
 
     return SolverResult(
         x=x,
@@ -118,4 +143,5 @@ def solve_reweighted_lasso(
         iterations=total_inner,
         converged=True,
         history=history,
+        convergence=telemetry,
     )

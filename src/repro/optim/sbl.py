@@ -19,9 +19,12 @@ single-vector case is just one column.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.exceptions import SolverError
+from repro.obs.convergence import ConvergenceTrace
 from repro.optim.linalg import validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
@@ -35,6 +38,8 @@ def solve_sbl(
     max_iterations: int = 60,
     tolerance: float = 1e-4,
     prune_threshold: float = 1e-6,
+    telemetry: ConvergenceTrace | None = None,
+    callback: Callable[[int, np.ndarray, float], None] | None = None,
 ) -> SolverResult:
     """Sparse Bayesian learning via EM evidence maximization.
 
@@ -55,6 +60,11 @@ def solve_sbl(
     prune_threshold:
         Atoms whose γ falls below ``prune_threshold × max(γ)`` are
         zeroed in the returned posterior mean.
+    telemetry / callback:
+        Per-EM-iteration hooks as in
+        :func:`~repro.optim.fista.solve_lasso_fista`: objective is the
+        squared residual norm of the current posterior mean, support
+        size the number of atoms above the prune threshold.
 
     Returns
     -------
@@ -78,7 +88,8 @@ def solve_sbl(
     if signal_power == 0.0:
         x = np.zeros((n, p), dtype=complex)
         result_x = x[:, 0] if rhs.ndim == 1 else x
-        return SolverResult(x=result_x, objective=0.0, iterations=0, converged=True)
+        return SolverResult(x=result_x, objective=0.0, iterations=0, converged=True,
+                            convergence=telemetry)
 
     sigma2 = noise_variance if noise_variance is not None else 0.1 * signal_power
     estimate_noise = noise_variance is None
@@ -115,6 +126,20 @@ def solve_sbl(
         change = np.linalg.norm(gamma_next - gamma) / max(np.linalg.norm(gamma), 1e-18)
         gamma = gamma_next
         history.append(float(np.sum(gamma)))
+        if telemetry is not None or callback is not None:
+            em_residual = rhs_matrix - matrix @ mean
+            residual_norm = float(np.linalg.norm(em_residual))
+            current = residual_norm**2
+            active = int(np.count_nonzero(gamma > prune_threshold * gamma.max(initial=0.0)))
+            if telemetry is not None:
+                telemetry.record(
+                    objective=current,
+                    residual_norm=residual_norm,
+                    support_size=active,
+                )
+            if callback is not None:
+                snapshot = mean[:, 0] if rhs.ndim == 1 else mean
+                callback(iterations, snapshot, current)
         if change < tolerance:
             converged = True
             break
@@ -131,4 +156,5 @@ def solve_sbl(
         iterations=iterations,
         converged=converged,
         history=history,
+        convergence=telemetry,
     )

@@ -32,6 +32,7 @@ from typing import Sequence
 from repro.channel.trace import CsiTrace
 from repro.core.direct_path import ApAnalysis
 from repro.exceptions import ConfigurationError, SolverError
+from repro.obs import NULL_TRACER, Tracer
 from repro.runtime.jobs import EstimatorSpec, EvalJob, JobFailure, JobOutcome
 from repro.runtime.report import RuntimeReport
 
@@ -42,13 +43,17 @@ _WORKER_SYSTEM = None
 # Set once the worker's one-time warmup cost has been shipped back with
 # a chunk result, so N workers report N warmups total, each exactly once.
 _WORKER_WARMUP_PENDING_S = 0.0
+# Whether workers should record per-job trace spans (set from the
+# parent's tracer state at pool startup).
+_WORKER_CAPTURE_SPANS = False
 
 
-def _initialize_worker(spec: EstimatorSpec) -> None:
+def _initialize_worker(spec: EstimatorSpec, capture_spans: bool = False) -> None:
     """Build the estimator once per worker process and warm its cache."""
-    global _WORKER_SYSTEM, _WORKER_WARMUP_PENDING_S
+    global _WORKER_SYSTEM, _WORKER_WARMUP_PENDING_S, _WORKER_CAPTURE_SPANS
     _WORKER_SYSTEM = _build_warm_system(spec)
     _WORKER_WARMUP_PENDING_S = _system_warmup_seconds(_WORKER_SYSTEM)
+    _WORKER_CAPTURE_SPANS = capture_spans
 
 
 def _system_warmup_seconds(system) -> float:
@@ -64,8 +69,16 @@ def _build_warm_system(spec: EstimatorSpec):
     return system
 
 
-def _evaluate_job(system, job: EvalJob) -> JobOutcome:
-    """Run one job; convert SolverError into a tagged failure record."""
+def _evaluate_job(system, job: EvalJob, *, capture_spans: bool = False) -> JobOutcome:
+    """Run one job; convert SolverError into a tagged failure record.
+
+    With ``capture_spans`` the job runs under a fresh per-job
+    :class:`~repro.obs.Tracer` (installed on the system for the duration
+    of the call), and the recorded spans come back serialized on the
+    outcome.  Both the sequential and the worker-pool paths go through
+    here with the same flag, so the two span trees are structurally
+    identical job for job.
+    """
     # Warm-started estimators chain solutions across calls, which would
     # make a job's result depend on which jobs its worker ran before it.
     # Dropping the carried state here keeps every job a pure function of
@@ -74,23 +87,43 @@ def _evaluate_job(system, job: EvalJob) -> JobOutcome:
     reset = getattr(system, "reset_warm_state", None)
     if reset is not None:
         reset()
+    job_tracer = Tracer() if capture_spans else NULL_TRACER
+    previous_tracer = getattr(system, "tracer", None)
+    if capture_spans and previous_tracer is not None:
+        system.tracer = job_tracer
     stage_seconds: dict[str, float] = {}
     start = time.perf_counter()
     try:
-        analysis = _timed_analysis(system, job.trace, stage_seconds)
+        with job_tracer.span("job", index=job.index):
+            analysis = _timed_analysis(system, job.trace, stage_seconds)
     except SolverError as error:
         return JobOutcome(
             index=job.index,
             failure=JobFailure(error_type=type(error).__name__, message=str(error)),
             elapsed_s=time.perf_counter() - start,
             stage_seconds=stage_seconds,
+            spans=_drain_spans(job_tracer, stage_seconds, capture_spans),
         )
+    finally:
+        if capture_spans and previous_tracer is not None:
+            system.tracer = previous_tracer
     return JobOutcome(
         index=job.index,
         analysis=analysis,
         elapsed_s=time.perf_counter() - start,
         stage_seconds=stage_seconds,
+        spans=_drain_spans(job_tracer, stage_seconds, capture_spans),
     )
+
+
+def _drain_spans(job_tracer, stage_seconds: dict[str, float], capture_spans: bool) -> list[dict]:
+    """Serialize a job tracer's spans and derive the solver-time subtotal."""
+    if not capture_spans:
+        return []
+    solver_s = job_tracer.total_wall_s("solver")
+    if solver_s > 0.0:
+        stage_seconds["solver"] = solver_s
+    return [span.to_dict() for span in job_tracer.spans]
 
 
 def _timed_analysis(system, trace: CsiTrace, stage_seconds: dict[str, float]) -> ApAnalysis:
@@ -105,7 +138,7 @@ def _timed_analysis(system, trace: CsiTrace, stage_seconds: dict[str, float]) ->
 
     if isinstance(system, RoArrayEstimator):
         tick = time.perf_counter()
-        system.cache.warmup()
+        system.warm_cache()
         stage_seconds["dictionary"] = time.perf_counter() - tick
         tick = time.perf_counter()
         spectrum = system.joint_spectrum(trace)
@@ -131,7 +164,10 @@ def _run_chunk(jobs: list[EvalJob]) -> tuple[list[JobOutcome], float]:
     if _WORKER_SYSTEM is None:  # pragma: no cover - initializer contract
         raise RuntimeError("worker used before initialization")
     warmup_s, _WORKER_WARMUP_PENDING_S = _WORKER_WARMUP_PENDING_S, 0.0
-    return [_evaluate_job(_WORKER_SYSTEM, job) for job in jobs], warmup_s
+    outcomes = [
+        _evaluate_job(_WORKER_SYSTEM, job, capture_spans=_WORKER_CAPTURE_SPANS) for job in jobs
+    ]
+    return outcomes, warmup_s
 
 
 @dataclass
@@ -188,6 +224,13 @@ class BatchEvaluator:
     base_seed:
         Per-job seeds are ``base_seed + index`` (see
         :class:`~repro.runtime.jobs.EvalJob`).
+    tracer:
+        Optional :class:`~repro.obs.Tracer`.  When enabled, every job
+        runs under its own worker-side tracer (sequential and parallel
+        alike), the serialized spans come back on each
+        :class:`~repro.runtime.jobs.JobOutcome`, and the whole batch is
+        merged into this tracer under one ``batch_evaluate`` span.  The
+        default no-op tracer records nothing and costs nothing.
 
     Examples
     --------
@@ -200,6 +243,7 @@ class BatchEvaluator:
     workers: int = 0
     chunk_size: int | None = None
     base_seed: int = 0
+    tracer: object = NULL_TRACER
     _local_system: object = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -216,14 +260,22 @@ class BatchEvaluator:
             for index, trace in enumerate(traces)
         ]
         start = time.perf_counter()
-        if self.workers == 0 or len(jobs) == 0:
-            outcomes, warmup_s = self._evaluate_sequential(jobs)
-            chunk_size = len(jobs) or 1
-        else:
-            chunk_size = self._effective_chunk_size(len(jobs))
-            outcomes, warmup_s = self._evaluate_parallel(jobs, chunk_size)
+        with self.tracer.span(
+            "batch_evaluate", workers=self.workers, n_jobs=len(jobs)
+        ):
+            if self.workers == 0 or len(jobs) == 0:
+                outcomes, warmup_s = self._evaluate_sequential(jobs)
+                chunk_size = len(jobs) or 1
+            else:
+                chunk_size = self._effective_chunk_size(len(jobs))
+                outcomes, warmup_s = self._evaluate_parallel(jobs, chunk_size)
+            outcomes.sort(key=lambda outcome: outcome.index)
+            # Graft worker-side spans in job order (inside the
+            # batch_evaluate span so each job tree hangs under it).
+            for outcome in outcomes:
+                if outcome.spans:
+                    self.tracer.adopt(outcome.spans)
         wall_s = time.perf_counter() - start
-        outcomes.sort(key=lambda outcome: outcome.index)
         report = RuntimeReport.from_outcomes(
             outcomes,
             workers=self.workers,
@@ -240,7 +292,10 @@ class BatchEvaluator:
         if self._local_system is None:
             self._local_system = _build_warm_system(self.spec)
             warmup_s = _system_warmup_seconds(self._local_system)
-        return [_evaluate_job(self._local_system, job) for job in jobs], warmup_s
+        capture = bool(getattr(self.tracer, "enabled", False))
+        return [
+            _evaluate_job(self._local_system, job, capture_spans=capture) for job in jobs
+        ], warmup_s
 
     def _evaluate_parallel(
         self, jobs: list[EvalJob], chunk_size: int
@@ -252,7 +307,7 @@ class BatchEvaluator:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_initialize_worker,
-            initargs=(self.spec,),
+            initargs=(self.spec, bool(getattr(self.tracer, "enabled", False))),
         ) as pool:
             futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
             for future in futures:
@@ -276,9 +331,10 @@ def evaluate_traces(
     workers: int = 0,
     chunk_size: int | None = None,
     base_seed: int = 0,
+    tracer=NULL_TRACER,
 ) -> BatchResult:
     """One-shot convenience wrapper around :class:`BatchEvaluator`."""
     evaluator = BatchEvaluator(
-        system, workers=workers, chunk_size=chunk_size, base_seed=base_seed
+        system, workers=workers, chunk_size=chunk_size, base_seed=base_seed, tracer=tracer
     )
     return evaluator.evaluate(traces)

@@ -132,7 +132,12 @@ class JobOutcome:
 
     Exactly one of ``analysis`` / ``failure`` is set.  ``stage_seconds``
     holds the per-stage wall times (``dictionary`` / ``solve`` /
-    ``peaks``) the worker measured.
+    ``peaks``, plus the span-derived ``solver`` subtotal when tracing)
+    the worker measured.  ``spans`` carries the job's serialized trace
+    spans (plain dicts, see :meth:`repro.obs.Span.to_dict`) when the
+    batch ran with tracing enabled — serialized rather than live so they
+    survive the pickle trip back from worker processes; the parent
+    re-homes them via :meth:`repro.obs.Tracer.adopt`.
     """
 
     index: int
@@ -140,6 +145,7 @@ class JobOutcome:
     failure: JobFailure | None = None
     elapsed_s: float = 0.0
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    spans: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

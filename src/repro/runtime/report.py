@@ -27,20 +27,38 @@ class StageTotals:
     thanks to the warmup initializer, so it amortizes toward zero as the
     batch grows), ``solve`` the sparse-recovery solve, and ``peaks`` the
     spectrum peak pick / direct-path selection.
+
+    ``solver`` is the span-derived subtotal of time spent inside the
+    sparse solver itself (the ``"solver"`` spans recorded per job when
+    the batch runs with tracing enabled).  It is a *breakdown of*
+    ``solve`` — the solve stage minus κ tuning, vectorization and
+    alignment — so it is excluded from :attr:`total_s`; it stays 0.0
+    when tracing is off.
     """
 
     dictionary_s: float = 0.0
     solve_s: float = 0.0
     peaks_s: float = 0.0
+    solver_s: float = 0.0
 
     def add(self, stage_seconds: dict[str, float]) -> None:
         self.dictionary_s += stage_seconds.get("dictionary", 0.0)
         self.solve_s += stage_seconds.get("solve", 0.0)
         self.peaks_s += stage_seconds.get("peaks", 0.0)
+        self.solver_s += stage_seconds.get("solver", 0.0)
 
     @property
     def total_s(self) -> float:
         return self.dictionary_s + self.solve_s + self.peaks_s
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "dictionary_s": self.dictionary_s,
+            "solve_s": self.solve_s,
+            "peaks_s": self.peaks_s,
+            "solver_s": self.solver_s,
+            "total_s": self.total_s,
+        }
 
 
 @dataclass
@@ -112,13 +130,16 @@ class RuntimeReport:
     def summary(self) -> str:
         """A compact human-readable block (used by ``roarray batch``)."""
         mode = "sequential" if self.workers == 0 else f"{self.workers} worker(s)"
+        solve = f"solve {self.stages.solve_s:.3f}"
+        if self.stages.solver_s > 0.0:
+            solve += f" (solver {self.stages.solver_s:.3f})"
         lines = [
             f"jobs: {self.n_jobs} ({self.n_failures} failed) | {mode}, chunk {self.chunk_size}",
             f"wall: {self.wall_s:.2f} s | throughput: {self.throughput_jobs_per_s:.2f} jobs/s",
             (
                 "stages (worker s): "
                 f"dictionary {self.stages.dictionary_s:.3f} | "
-                f"solve {self.stages.solve_s:.3f} | "
+                f"{solve} | "
                 f"peaks {self.stages.peaks_s:.3f}"
             ),
         ]
@@ -128,3 +149,17 @@ class RuntimeReport:
                 f"max {max(self.job_seconds):.3f} s"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the report (``roarray batch --json``)."""
+        return {
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "n_jobs": self.n_jobs,
+            "n_failures": self.n_failures,
+            "wall_s": self.wall_s,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "busy_s": self.busy_s,
+            "stages": self.stages.to_dict(),
+            "job_seconds": list(self.job_seconds),
+        }

@@ -89,6 +89,17 @@ class AngleSpectrum:
         p = self.power / total
         return float(np.sum(p**2))
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {"angles_deg": self.angles_deg.tolist(), "power": self.power.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "AngleSpectrum":
+        return cls(
+            angles_deg=np.asarray(payload["angles_deg"], dtype=float),
+            power=np.asarray(payload["power"], dtype=float),
+        )
+
 
 @dataclass
 class JointSpectrum:
@@ -149,3 +160,19 @@ class JointSpectrum:
                 power=float(self.power[r, c]),
             )
         return min(peaks, key=lambda p: p.toa_s)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {
+            "angles_deg": self.angles_deg.tolist(),
+            "toas_s": self.toas_s.tolist(),
+            "power": self.power.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JointSpectrum":
+        return cls(
+            angles_deg=np.asarray(payload["angles_deg"], dtype=float),
+            toas_s=np.asarray(payload["toas_s"], dtype=float),
+            power=np.asarray(payload["power"], dtype=float),
+        )

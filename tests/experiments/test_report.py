@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.report import ReportScale, generate_report
+from repro.experiments.reporting import ReportScale, generate_report
 
 
 class TestReportScale:

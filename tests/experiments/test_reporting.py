@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.experiments.metrics import ErrorCdf
-from repro.experiments.reporting import (
+from repro.experiments.reporting.text import (
     format_cdf_series,
     format_comparison,
     format_spectrum_ascii,

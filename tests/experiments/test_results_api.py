@@ -1,0 +1,126 @@
+"""The unified results API: ``.cdf()``, JSON round-trips, deprecation shims."""
+
+from __future__ import annotations
+
+import importlib
+import json
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.metrics import ErrorCdf
+from repro.experiments.runner import CDF_KINDS, LocalizationOutcome, SnrBandResult
+from repro.spectral.spectrum import AngleSpectrum, JointSpectrum
+
+
+def _band_result() -> SnrBandResult:
+    outcomes = [
+        LocalizationOutcome(
+            location_error_m=0.5 * (i + 1),
+            direct_aoa_errors_deg=[1.0 + i, 2.0 + i],
+            closest_aoa_errors_deg=[0.5 + i, 1.5 + i],
+        )
+        for i in range(3)
+    ]
+    return SnrBandResult(band="medium", outcomes={"ROArray": outcomes})
+
+
+class TestUnifiedCdf:
+    def test_kinds_cover_the_three_distributions(self):
+        result = _band_result()
+        assert result.cdf("ROArray").samples.tolist() == [0.5, 1.0, 1.5]
+        assert len(result.cdf("ROArray", kind="aoa")) == 6
+        assert len(result.cdf("ROArray", kind="direct_aoa")) == 6
+        assert result.cdf("ROArray", kind="localization").median == 1.0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            _band_result().cdf("ROArray", kind="bogus")
+        assert set(CDF_KINDS) == {"localization", "aoa", "direct_aoa"}
+
+    @pytest.mark.parametrize(
+        ("old_method", "kind"),
+        [
+            ("localization_cdf", "localization"),
+            ("aoa_cdf", "aoa"),
+            ("direct_aoa_cdf", "direct_aoa"),
+        ],
+    )
+    def test_deprecated_methods_warn_and_match(self, old_method, kind):
+        result = _band_result()
+        with pytest.warns(DeprecationWarning, match=old_method):
+            old = getattr(result, old_method)("ROArray")
+        new = result.cdf("ROArray", kind=kind)
+        np.testing.assert_array_equal(old.samples, new.samples)
+
+
+class TestJsonRoundTrips:
+    def test_snr_band_result(self):
+        result = _band_result()
+        payload = json.loads(json.dumps(result.to_dict()))
+        clone = SnrBandResult.from_dict(payload)
+        assert clone.band == result.band
+        np.testing.assert_array_equal(
+            clone.cdf("ROArray").samples, result.cdf("ROArray").samples
+        )
+        np.testing.assert_array_equal(
+            clone.cdf("ROArray", kind="aoa").samples,
+            result.cdf("ROArray", kind="aoa").samples,
+        )
+
+    def test_error_cdf(self):
+        cdf = ErrorCdf(np.array([0.2, 1.0, 3.5]))
+        clone = ErrorCdf.from_dict(json.loads(json.dumps(cdf.to_dict())))
+        np.testing.assert_array_equal(clone.samples, cdf.samples)
+
+    def test_angle_spectrum(self):
+        spectrum = AngleSpectrum(np.linspace(0, 180, 5), np.array([0.0, 1.0, 0.5, 0.2, 0.0]))
+        clone = AngleSpectrum.from_dict(json.loads(json.dumps(spectrum.to_dict())))
+        np.testing.assert_array_equal(clone.angles_deg, spectrum.angles_deg)
+        np.testing.assert_array_equal(clone.power, spectrum.power)
+
+    def test_joint_spectrum(self):
+        spectrum = JointSpectrum(
+            np.linspace(0, 180, 3), np.linspace(0, 1e-7, 4), np.arange(12.0).reshape(3, 4)
+        )
+        clone = JointSpectrum.from_dict(json.loads(json.dumps(spectrum.to_dict())))
+        np.testing.assert_array_equal(clone.power, spectrum.power)
+        np.testing.assert_array_equal(clone.toas_s, spectrum.toas_s)
+
+
+class TestImportShims:
+    def test_old_report_module_warns_but_works(self):
+        sys.modules.pop("repro.experiments.report", None)
+        with pytest.warns(DeprecationWarning, match="repro.experiments.report"):
+            legacy = importlib.import_module("repro.experiments.report")
+        from repro.experiments.reporting import ReportScale, generate_report
+
+        assert legacy.generate_report is generate_report
+        assert legacy.ReportScale is ReportScale
+
+    def test_new_package_imports_silently(self):
+        for name in list(sys.modules):
+            if name.startswith("repro.experiments.reporting"):
+                sys.modules.pop(name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            module = importlib.import_module("repro.experiments.reporting")
+            assert callable(module.generate_report)
+            assert callable(module.emit_json)
+            from repro.experiments.reporting.text import format_comparison
+
+            assert callable(format_comparison)
+
+    def test_flat_text_names_warn_but_delegate(self):
+        import repro.experiments.reporting as reporting
+        from repro.experiments.reporting import text
+
+        with pytest.warns(DeprecationWarning, match="format_comparison"):
+            assert reporting.format_comparison is text.format_comparison
+        with pytest.warns(DeprecationWarning, match="format_spectrum_ascii"):
+            assert reporting.format_spectrum_ascii is text.format_spectrum_ascii
+        with pytest.raises(AttributeError):
+            reporting.no_such_helper

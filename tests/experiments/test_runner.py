@@ -51,11 +51,11 @@ class TestSnrBandExperiment:
             systems=small_systems(small_config), resolution_m=0.25,
         )
         assert result.band == "high"
-        cdf = result.localization_cdf("ROArray")
+        cdf = result.cdf("ROArray")
         assert len(cdf) == 2
         # AoA errors: one per AP per location.
-        assert len(result.aoa_cdf("ROArray")) == 6
-        assert len(result.direct_aoa_cdf("ROArray")) == 6
+        assert len(result.cdf("ROArray", kind="aoa")) == 6
+        assert len(result.cdf("ROArray", kind="direct_aoa")) == 6
 
     def test_deterministic_given_seed(self, small_config):
         kwargs = dict(

@@ -1,0 +1,69 @@
+"""Tests for the metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4.0
+        assert counter.to_dict() == {"type": "counter", "value": 4.0}
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("jobs_total")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("queue_depth")
+        gauge.set(5)
+        gauge.set(2)
+        assert gauge.to_dict() == {"type": "gauge", "value": 2.0}
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("job_seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.to_dict()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+        assert summary["p50"] == 2.5
+
+    def test_empty_histogram(self):
+        assert MetricsRegistry().histogram("x").to_dict() == {"type": "histogram", "count": 0}
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a")
+
+    def test_export_json(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("jobs_total").inc(2)
+        registry.histogram("job_seconds").observe(0.5)
+        path = tmp_path / "metrics.json"
+        registry.export_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["jobs_total"] == {"type": "counter", "value": 2.0}
+        assert payload["job_seconds"]["count"] == 1

@@ -1,0 +1,169 @@
+"""Tests for the span tracer: nesting, adoption, the no-op default."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, Span, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_by_lexical_scope(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+            with tracer.span("sibling") as sibling:
+                pass
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+        assert sibling.parent_id == outer.span_id
+        assert [s.name for s in tracer.spans] == ["outer", "inner", "sibling"]
+
+    def test_span_ids_unique(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("c"):
+            pass
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_timing_recorded(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            sum(range(1000))
+        span = tracer.spans[0]
+        assert span.wall_s >= 0.0
+        assert span.cpu_s >= 0.0
+
+    def test_finalized_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        assert tracer.current_span is None
+        assert tracer.spans[0].wall_s >= 0.0
+        # The stack unwound: a new span is a root again.
+        with tracer.span("after") as after:
+            pass
+        assert after.parent_id is None
+
+    def test_name_may_also_be_an_attribute(self):
+        tracer = Tracer()
+        with tracer.span("experiment", name="snr_band") as span:
+            pass
+        assert span.name == "experiment"
+        assert span.attributes["name"] == "snr_band"
+
+
+class TestAttributes:
+    def test_open_attributes_and_annotate(self):
+        tracer = Tracer()
+        with tracer.span("solve", solver="fista") as span:
+            span.annotate(iterations=42)
+            tracer.annotate(converged=True)
+        assert span.attributes == {"solver": "fista", "iterations": 42, "converged": True}
+
+    def test_annotate_outside_any_span_is_noop(self):
+        tracer = Tracer()
+        tracer.annotate(orphan=True)
+        assert tracer.spans == []
+
+
+class TestNullTracer:
+    def test_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_span_returns_one_shared_context(self):
+        # Zero-overhead contract: no allocation per span.
+        first = NULL_TRACER.span("a", k=1)
+        second = NULL_TRACER.span("b")
+        assert first is second
+        with first as span:
+            span.annotate(anything=1)  # swallowed
+
+    def test_records_nothing(self):
+        with NULL_TRACER.span("x"):
+            pass
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.to_dict() == {"spans": []}
+
+
+class TestAdopt:
+    def test_remaps_ids_and_reparents_roots(self):
+        worker = Tracer()
+        with worker.span("job", index=3):
+            with worker.span("solver"):
+                pass
+        payloads = [span.to_dict() for span in worker.spans]
+
+        parent = Tracer()
+        with parent.span("batch") as batch:
+            adopted = parent.adopt(payloads)
+        job, solver = adopted
+        assert job.name == "job"
+        assert job.parent_id == batch.span_id
+        assert solver.parent_id == job.span_id
+        assert job.attributes == {"index": 3}
+        ids = [s.span_id for s in parent.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_outside_open_span_adopted_as_roots(self):
+        worker = Tracer()
+        with worker.span("job"):
+            pass
+        parent = Tracer()
+        (job,) = parent.adopt([s.to_dict() for s in worker.spans])
+        assert job.parent_id is None
+
+    def test_preserves_timing(self):
+        worker = Tracer()
+        with worker.span("job"):
+            sum(range(10000))
+        parent = Tracer()
+        (job,) = parent.adopt([s.to_dict() for s in worker.spans])
+        assert job.wall_s == worker.spans[0].wall_s
+        assert job.cpu_s == worker.spans[0].cpu_s
+
+
+class TestQueriesAndExport:
+    def _traced(self) -> Tracer:
+        tracer = Tracer()
+        with tracer.span("job"):
+            with tracer.span("solver", solver="fista"):
+                pass
+            with tracer.span("solver", solver="admm"):
+                pass
+        return tracer
+
+    def test_find_and_total(self):
+        tracer = self._traced()
+        assert [s.attributes["solver"] for s in tracer.find("solver")] == ["fista", "admm"]
+        assert tracer.total_wall_s("solver") == pytest.approx(
+            sum(s.wall_s for s in tracer.find("solver"))
+        )
+        assert tracer.total_wall_s("missing") == 0.0
+
+    def test_aggregate_rolls_up_by_name(self):
+        rollup = self._traced().aggregate()
+        assert rollup["solver"]["count"] == 2
+        assert rollup["job"]["count"] == 1
+        assert rollup["solver"]["wall_s"] >= 0.0
+
+    def test_span_dict_round_trip(self):
+        tracer = self._traced()
+        for span in tracer.spans:
+            clone = Span.from_dict(span.to_dict())
+            assert clone == span
+
+    def test_export_json(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        tracer.export_json(str(path))
+        payload = json.loads(path.read_text())
+        assert [s["name"] for s in payload["spans"]] == ["job", "solver", "solver"]

@@ -1,0 +1,92 @@
+"""Span-merge parity: worker-side spans survive serialization intact.
+
+The batch runtime gives each job its own tracer (in-process for the
+sequential path, per worker process for the parallel path) and grafts
+the serialized spans back under the parent's ``batch_evaluate`` span.
+Parallel and sequential runs must therefore produce the *same* span
+structure — same names, same per-job counts, one root — and tracing
+must not perturb the analyses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import Tracer
+from repro.runtime import BatchEvaluator
+from tests.runtime.conftest import make_traces
+from tests.runtime.test_parity import _fingerprint
+
+
+def _span_shape(tracer: Tracer):
+    """Multiset of span names plus the parent name of each span."""
+    by_id = {span.span_id: span for span in tracer.spans}
+    return sorted(
+        (
+            span.name,
+            None if span.parent_id is None else by_id[span.parent_id].name,
+        )
+        for span in tracer.spans
+    )
+
+
+class TestSpanMergeParity:
+    @pytest.fixture
+    def traced_pair(self, small_estimator):
+        traces = make_traces(small_estimator, 4)
+        sequential_tracer = Tracer()
+        sequential = BatchEvaluator(
+            small_estimator, workers=0, tracer=sequential_tracer
+        ).evaluate(traces)
+        parallel_tracer = Tracer()
+        parallel = BatchEvaluator(
+            small_estimator, workers=2, tracer=parallel_tracer
+        ).evaluate(traces)
+        return sequential, sequential_tracer, parallel, parallel_tracer
+
+    def test_same_span_structure(self, traced_pair):
+        _, sequential_tracer, _, parallel_tracer = traced_pair
+        assert _span_shape(sequential_tracer) == _span_shape(parallel_tracer)
+
+    def test_single_batch_root(self, traced_pair):
+        for tracer in (traced_pair[1], traced_pair[3]):
+            roots = [span for span in tracer.spans if span.parent_id is None]
+            assert [root.name for root in roots] == ["batch_evaluate"]
+
+    def test_one_job_span_per_trace(self, traced_pair):
+        _, sequential_tracer, _, parallel_tracer = traced_pair
+        assert len(sequential_tracer.find("job")) == 4
+        assert len(parallel_tracer.find("job")) == 4
+        # Adopted in job order under the batch root.
+        indices = [span.attributes["index"] for span in parallel_tracer.find("job")]
+        assert indices == [0, 1, 2, 3]
+
+    def test_solver_spans_carry_convergence(self, traced_pair):
+        _, _, _, parallel_tracer = traced_pair
+        solver_spans = parallel_tracer.find("solver")
+        assert solver_spans
+        for span in solver_spans:
+            assert span.attributes["convergence"]["solver"] == "mmv_fista"
+            assert len(span.attributes["convergence"]["objectives"]) >= 1
+
+    def test_results_identical_to_untraced(self, traced_pair, small_estimator):
+        sequential, _, parallel, _ = traced_pair
+        traces = make_traces(small_estimator, 4)
+        plain = BatchEvaluator(small_estimator, workers=0).evaluate(traces)
+        assert _fingerprint(sequential) == _fingerprint(plain)
+        assert _fingerprint(parallel) == _fingerprint(plain)
+
+    def test_solver_stage_derived_from_spans(self, traced_pair):
+        sequential, sequential_tracer, parallel, _ = traced_pair
+        for result in (sequential, parallel):
+            assert result.report.stages.solver_s > 0.0
+            assert result.report.stages.solver_s <= result.report.stages.solve_s + 1e-6
+        assert sequential.report.stages.solver_s == pytest.approx(
+            sequential_tracer.total_wall_s("solver")
+        )
+
+    def test_untraced_batch_records_no_solver_stage(self, small_estimator):
+        traces = make_traces(small_estimator, 2)
+        result = BatchEvaluator(small_estimator, workers=0).evaluate(traces)
+        assert result.report.stages.solver_s == 0.0
+        assert "solver" not in result.report.summary()

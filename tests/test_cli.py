@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -91,6 +93,77 @@ class TestReport:
     def test_stdout_mode(self, capsys):
         assert main(["report", "-", "--sections", "fig3"]) == 0
         assert "Fig. 3" in capsys.readouterr().out
+
+
+class TestJsonMode:
+    def test_analyze_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        main(["simulate", str(out), "--packets", "3", "--snr", "18", "--seed", "4"])
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "ROArray"
+        assert set(payload["direct"]) == {"aoa_deg", "toa_s", "n_paths"}
+        assert payload["aoa_error_deg"] is not None
+
+    def test_batch_json(self, capsys):
+        code = main(["batch", "--synthetic", "2", "--packets", "3", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["outcomes"]) == 2
+        assert all(row["ok"] for row in payload["outcomes"])
+        report = payload["report"]
+        assert report["n_jobs"] == 2
+        assert "solver_s" in report["stages"]
+
+    def test_report_json_stdout(self, capsys):
+        assert main(["report", "-", "--sections", "fig3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sections"] == ["fig3"]
+        assert "Fig. 3" in payload["markdown"]
+
+
+class TestTrace:
+    def test_trace_batch_writes_span_tree(self, tmp_path, capsys):
+        trace_out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                "--trace-out",
+                str(trace_out),
+                "batch",
+                "--synthetic",
+                "2",
+                "--packets",
+                "3",
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().err
+        payload = json.loads(trace_out.read_text())
+        spans = payload["spans"]
+        names = {span["name"] for span in spans}
+        assert {"batch_evaluate", "job", "fusion", "solver"} <= names
+        roots = [span for span in spans if span["parent_id"] is None]
+        assert [root["name"] for root in roots] == ["batch_evaluate"]
+        solver_spans = [span for span in spans if span["name"] == "solver"]
+        assert all("convergence" in span["attributes"] for span in solver_spans)
+
+    def test_trace_without_command_fails(self, tmp_path, capsys):
+        assert main(["trace", "--trace-out", str(tmp_path / "t.json")]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_trace_cannot_nest(self, capsys):
+        assert main(["trace", "trace", "figures"]) == 2
+        assert "nested" in capsys.readouterr().err
+
+
+class TestTelemetryReport:
+    def test_report_telemetry_appends_cost_table(self, capsys):
+        assert main(["report", "-", "--sections", "fig3", "--telemetry"]) == 0
+        output = capsys.readouterr().out
+        assert "## Telemetry — where the time went" in output
+        assert "| solver |" in output
 
 
 class TestFigures:

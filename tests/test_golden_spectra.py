@@ -110,6 +110,48 @@ class TestBaselineGoldenOutputs:
         )
 
 
+class TestGoldenUnderTracing:
+    """Telemetry observes — spectra must be byte-identical either way."""
+
+    def test_traced_joint_spectrum_is_byte_identical(self, trace, golden):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        traced = RoArrayEstimator(
+            config=evaluation_roarray_config(), tracer=tracer
+        ).joint_spectrum(trace).normalized()
+        plain = RoArrayEstimator(config=evaluation_roarray_config()).joint_spectrum(
+            trace
+        ).normalized()
+        np.testing.assert_array_equal(traced.power, plain.power)
+        np.testing.assert_allclose(traced.power, golden["joint_power"], rtol=RTOL, atol=ATOL)
+        # The run actually recorded: a fusion span with solver telemetry.
+        (fusion,) = tracer.find("fusion")
+        (solver,) = tracer.find("solver")
+        assert solver.attributes["convergence"]["solver"] == "mmv_fista"
+        assert fusion.wall_s > 0.0
+
+    def test_traced_batch_is_byte_identical(self, trace, golden):
+        from repro.obs import Tracer
+        from repro.runtime import BatchEvaluator
+
+        plain = BatchEvaluator(
+            RoArrayEstimator(config=evaluation_roarray_config()), workers=0
+        ).evaluate([trace])
+        traced = BatchEvaluator(
+            RoArrayEstimator(config=evaluation_roarray_config()),
+            workers=0,
+            tracer=Tracer(),
+        ).evaluate([trace])
+        assert (
+            traced.strict_analyses()[0].direct.aoa_deg
+            == plain.strict_analyses()[0].direct.aoa_deg
+        )
+        assert traced.strict_analyses()[0].direct.aoa_deg == pytest.approx(
+            float(golden["roarray_direct_aoa_deg"]), abs=1e-9
+        )
+
+
 class TestGoldenThroughBatchRuntime:
     def test_batch_runtime_reproduces_golden_direct_path(self, trace, golden):
         """The runtime layer must not perturb pinned outputs either."""
