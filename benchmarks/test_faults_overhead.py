@@ -1,0 +1,84 @@
+"""Validation-gate overhead budget: the clean path must be ~free.
+
+The acceptance bound is <= 2% added cost on the joint-solve working
+point when the gate runs on defect-free traces.  Two guards:
+
+* a structural one — on a clean trace :func:`sanitize_trace` returns
+  the *same object* (identity, no copy), so the gate cannot silently
+  perturb or reallocate clean data; and
+* a measured one — the per-trace cost of classify-and-pass, on a trace
+  at the evaluation working point, against the measured joint-solve
+  wall time (the gate runs once per job, the solve at least once).
+
+Scale knobs: ``REPRO_SMOKE=1`` shortens the solve pin (CI).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.paths import random_profile
+from repro.core.pipeline import RoArrayEstimator
+from repro.experiments.runner import evaluation_roarray_config
+from repro.faults.validate import sanitize_trace
+from repro.runtime.bench import joint_solve_benchmark
+
+OVERHEAD_LIMIT = 0.02
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "") == "1"
+
+
+def _working_point_trace(n_packets: int = 10):
+    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    rng = np.random.default_rng(2017)
+    profile = random_profile(rng, direct_aoa_deg=150.0)
+    synthesizer = CsiSynthesizer(
+        estimator.array, estimator.layout, ImpairmentModel(), seed=2017
+    )
+    trace = synthesizer.packets(profile, n_packets=n_packets, snr_db=12.0, rng=rng)
+    expected = (estimator.array.n_antennas, estimator.layout.n_subcarriers)
+    return trace, expected
+
+
+def test_clean_gate_is_identity():
+    """No copy, no normalization: the input object itself comes back."""
+    trace, expected = _working_point_trace()
+    cleaned, report = sanitize_trace(trace, expected_shape=expected)
+    assert cleaned is trace
+    assert report.clean
+    assert report.n_quarantined == 0
+
+
+@pytest.mark.benchmark(group="faults")
+def test_clean_gate_overhead_within_two_percent():
+    iterations = 120 if _smoke() else None
+    result = joint_solve_benchmark(repeats=2, max_iterations=iterations)
+    solve_s = result["operator_seconds"]
+
+    trace, expected = _working_point_trace()
+    n = 50 if _smoke() else 200
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(n):
+            sanitize_trace(trace, expected_shape=expected)
+        best = min(best, (time.perf_counter() - start) / n)
+
+    overhead = best / solve_s
+    print(
+        f"\n-- faults overhead -- gate {best * 1e6:.1f} us/trace, "
+        f"solve {solve_s * 1e3:.2f} ms, "
+        f"overhead {overhead * 100:.3f}% (limit {OVERHEAD_LIMIT * 100:.0f}%)"
+    )
+    assert overhead <= OVERHEAD_LIMIT, (
+        f"clean-path validation overhead {overhead * 100:.2f}% exceeds "
+        f"{OVERHEAD_LIMIT * 100:.0f}% of the joint solve"
+    )

@@ -36,16 +36,28 @@ from repro.version import __version__
 from repro.exceptions import (
     CalibrationError,
     ConfigurationError,
+    FaultInjectionError,
     GeometryError,
+    JobTimeoutError,
+    PoolCrashError,
+    QuorumError,
     ReproError,
+    SolverDivergenceError,
     SolverError,
+    ValidationError,
 )
 
 __all__ = [
     "__version__",
     "CalibrationError",
     "ConfigurationError",
+    "FaultInjectionError",
     "GeometryError",
+    "JobTimeoutError",
+    "PoolCrashError",
+    "QuorumError",
     "ReproError",
+    "SolverDivergenceError",
     "SolverError",
+    "ValidationError",
 ]

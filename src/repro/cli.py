@@ -16,6 +16,10 @@ The subcommands cover the workflows a user has before writing code:
 ``roarray localize``
     Run one full multi-AP localization round end to end and print the
     fix against ground truth.
+``roarray chaos``
+    Inject a fault scenario (AP outages, antenna dropout, NaN-corrupted
+    packets) into a multi-AP world and run it through the hardened
+    runtime; prints the clean-vs-degraded localization table.
 ``roarray figures``
     List the paper's figures and the benchmark that regenerates each.
 ``roarray trace <command> ...``
@@ -322,6 +326,74 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting.console import emit, emit_json
+    from repro.experiments.reporting.markdown import format_degradation_table
+    from repro.faults import (
+        AntennaDropout,
+        ApFault,
+        ApOutage,
+        ChaosScenario,
+        ValueCorruption,
+        run_chaos_experiment,
+    )
+    from repro.runtime import ExecutionPolicy
+
+    tracer = _tracer_of(args)
+    if args.kill_aps + (1 if args.drop_antennas > 0 else 0) >= args.aps:
+        emit(
+            f"scenario kills or cripples every AP ({args.aps} APs, "
+            f"{args.kill_aps} killed): nothing left to localize with",
+            stream=sys.stderr,
+        )
+        return 2
+    faults = [
+        ApFault(ap=args.aps - 1 - k, injector=ApOutage()) for k in range(args.kill_aps)
+    ]
+    if args.drop_antennas > 0:
+        faults.append(
+            ApFault(
+                ap=args.aps - 1 - args.kill_aps,
+                injector=AntennaDropout(n_antennas=args.drop_antennas),
+            )
+        )
+    if args.corrupt > 0:
+        faults.extend(
+            ApFault(ap=ap, injector=ValueCorruption(fraction=args.corrupt))
+            for ap in range(args.aps - args.kill_aps)
+        )
+    scenario = ChaosScenario(name="cli", faults=tuple(faults), seed=args.seed)
+    policy = ExecutionPolicy(
+        validate=True, timeout_s=args.timeout, max_retries=args.retries
+    )
+    result = run_chaos_experiment(
+        scenario,
+        n_aps=args.aps,
+        n_locations=args.locations,
+        n_packets=args.packets,
+        band=args.band,
+        seed=args.seed,
+        workers=args.workers,
+        resolution_m=args.resolution,
+        min_quorum=args.min_quorum,
+        policy=policy,
+        tracer=tracer,
+    )
+    if args.json:
+        emit_json(result.to_dict())
+        return 0 if result.n_located == len(result.locations) else 1
+    emit(
+        f"chaos scenario {scenario.name!r}: {args.kill_aps} AP(s) killed, "
+        f"{args.drop_antennas} antenna(s) dropped, "
+        f"{args.corrupt:.0%} of packets corrupted"
+    )
+    emit("")
+    emit(format_degradation_table(result.degradation_rows()).rstrip())
+    emit("")
+    emit(result.report.summary())
+    return 0 if result.n_located == len(result.locations) else 1
+
+
 def cmd_figures(_args: argparse.Namespace) -> int:
     from repro.experiments.reporting.console import emit
 
@@ -426,6 +498,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--json", action="store_true", help="print the full JSON result")
     bench.set_defaults(handler=cmd_bench)
+
+    chaos = subparsers.add_parser(
+        "chaos", help="inject faults and demonstrate graceful degradation"
+    )
+    chaos.add_argument("--aps", type=int, default=6, help="APs per scene (default 6)")
+    chaos.add_argument("--locations", type=int, default=3, help="test locations (default 3)")
+    chaos.add_argument("--packets", type=int, default=10, help="packets per AP trace")
+    chaos.add_argument("--band", choices=("high", "medium", "low"), default="medium")
+    chaos.add_argument("--kill-aps", type=int, default=2, help="APs to black out entirely")
+    chaos.add_argument(
+        "--drop-antennas", type=int, default=1, help="antennas to kill on one surviving AP"
+    )
+    chaos.add_argument(
+        "--corrupt", type=float, default=0.2, metavar="FRACTION",
+        help="fraction of packets NaN-poisoned on surviving APs (default 0.2)",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=None, metavar="S", help="per-job wall-clock budget"
+    )
+    chaos.add_argument(
+        "--retries", type=int, default=0, help="retry budget for transient failures"
+    )
+    chaos.add_argument("--min-quorum", type=int, default=2, help="min surviving APs per fix")
+    chaos.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0 = sequential, default)"
+    )
+    chaos.add_argument("--resolution", type=float, default=0.1)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--json", action="store_true", help="machine-readable output")
+    chaos.set_defaults(handler=cmd_chaos)
 
     figures = subparsers.add_parser("figures", help="map paper figures to benchmarks")
     figures.set_defaults(handler=cmd_figures)

@@ -27,7 +27,12 @@ from repro.core.direct_path import DirectPathEstimate, identify_direct_path
 from repro.core.fusion import fuse_packets, svd_reduce_snapshots
 from repro.core.grids import AngleGrid, DelayGrid
 from repro.core.joint import estimate_joint_spectrum
-from repro.core.localization import localize_weighted_aoa
+from repro.core.localization import (
+    DegradedResult,
+    DroppedAp,
+    localize_robust,
+    localize_weighted_aoa,
+)
 from repro.core.pipeline import RoArrayEstimator
 from repro.core.steering import SteeringCache, joint_steering_dictionary
 from repro.core.tracking import KalmanTracker, TrackState, track_fixes
@@ -35,7 +40,9 @@ from repro.core.tracking import KalmanTracker, TrackState, track_fixes
 __all__ = [
     "AngleGrid",
     "AzimuthElevationGrid",
+    "DegradedResult",
     "DelayGrid",
+    "DroppedAp",
     "PlanarSpectrum",
     "estimate_aoa2d_spectrum",
     "DirectPathEstimate",
@@ -51,5 +58,6 @@ __all__ = [
     "fuse_packets",
     "identify_direct_path",
     "joint_steering_dictionary",
+    "localize_robust",
     "localize_weighted_aoa",
 ]

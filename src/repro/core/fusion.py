@@ -29,6 +29,7 @@ from repro.core.steering import SteeringCache, vectorize_csi_matrix
 from repro.exceptions import SolverError
 from repro.obs import NULL_TRACER, ConvergenceTrace
 from repro.optim import solve_mmv_fista
+from repro.optim.guard import GuardrailPolicy, solve_guarded
 from repro.optim.result import SolverResult
 from repro.optim.tuning import mmv_residual_kappa
 from repro.spectral.spectrum import JointSpectrum
@@ -127,6 +128,7 @@ def fuse_packets(
     x0: np.ndarray | None = None,
     tracer=NULL_TRACER,
     telemetry: ConvergenceTrace | None = None,
+    guard: GuardrailPolicy | None = None,
 ) -> tuple[JointSpectrum, SolverResult]:
     """Coherent multi-packet joint (AoA, ToA) spectrum (paper Fig. 4c).
 
@@ -149,6 +151,13 @@ def fuse_packets(
         delay alignment, SVD reduction and ℓ2,1 solve each get a span,
         and the solve records a per-iteration
         :class:`~repro.obs.ConvergenceTrace` when tracing is enabled.
+    guard:
+        Optional :class:`~repro.optim.guard.GuardrailPolicy`; the ℓ2,1
+        solve then runs through
+        :func:`~repro.optim.guard.solve_guarded` with the policy's MMV
+        chain (single-measurement fallbacks see the principal singular
+        column).  A healthy solve is byte-identical to the unguarded
+        path.
 
     Returns
     -------
@@ -186,15 +195,30 @@ def fuse_packets(
     if telemetry is None and tracer.enabled:
         telemetry = ConvergenceTrace(solver="mmv_fista")
     with tracer.span("solver", solver="mmv_fista", stage="fusion") as span:
-        result = solve_mmv_fista(
-            dictionary,
-            snapshots,
-            kappa,
-            max_iterations=max_iterations,
-            lipschitz=cache.joint_lipschitz,
-            x0=x0,
-            telemetry=telemetry,
-        )
+        if guard is not None:
+            result = solve_guarded(
+                dictionary,
+                snapshots,
+                kappa=kappa,
+                kappa_fraction=kappa_fraction,
+                policy=guard,
+                max_iterations=max_iterations,
+                lipschitz=cache.joint_lipschitz,
+                x0=x0,
+                telemetry=telemetry,
+            )
+            if result.solver != guard.mmv_chain[0] or result.fallbacks:
+                span.annotate(solver=result.solver, fallbacks=list(result.fallbacks))
+        else:
+            result = solve_mmv_fista(
+                dictionary,
+                snapshots,
+                kappa,
+                max_iterations=max_iterations,
+                lipschitz=cache.joint_lipschitz,
+                x0=x0,
+                telemetry=telemetry,
+            )
         span.annotate(iterations=result.iterations, converged=result.converged)
         if telemetry is not None:
             span.annotate(convergence=telemetry.to_dict())

@@ -19,6 +19,7 @@ from repro.core.steering import SteeringCache, vectorize_csi_matrix
 from repro.exceptions import SolverError
 from repro.obs import NULL_TRACER, ConvergenceTrace
 from repro.optim import solve_lasso_fista
+from repro.optim.guard import GuardrailPolicy, solve_guarded
 from repro.optim.result import SolverResult
 from repro.optim.tuning import residual_kappa
 from repro.spectral.spectrum import JointSpectrum
@@ -52,6 +53,7 @@ def estimate_joint_spectrum(
     x0: np.ndarray | None = None,
     tracer=NULL_TRACER,
     telemetry: ConvergenceTrace | None = None,
+    guard: GuardrailPolicy | None = None,
 ) -> tuple[JointSpectrum, SolverResult]:
     """Single-packet joint (AoA, ToA) spectrum (paper Eq. 18).
 
@@ -80,6 +82,12 @@ def estimate_joint_spectrum(
         Optional :class:`~repro.obs.ConvergenceTrace` forwarded to the
         solver and attached to the returned
         :class:`~repro.optim.result.SolverResult`.
+    guard:
+        Optional :class:`~repro.optim.guard.GuardrailPolicy`.  When set
+        the solve runs through
+        :func:`~repro.optim.guard.solve_guarded` (divergence detection
+        + fallback chain); a healthy solve is byte-identical to the
+        unguarded path.
 
     Returns
     -------
@@ -97,15 +105,30 @@ def estimate_joint_spectrum(
     if telemetry is None and tracer.enabled:
         telemetry = ConvergenceTrace(solver="fista")
     with tracer.span("solver", solver="fista", stage="joint_spectrum") as span:
-        result = solve_lasso_fista(
-            dictionary,
-            y,
-            kappa,
-            max_iterations=max_iterations,
-            lipschitz=cache.joint_lipschitz,
-            x0=x0,
-            telemetry=telemetry,
-        )
+        if guard is not None:
+            result = solve_guarded(
+                dictionary,
+                y,
+                kappa=kappa,
+                kappa_fraction=kappa_fraction,
+                policy=guard,
+                max_iterations=max_iterations,
+                lipschitz=cache.joint_lipschitz,
+                x0=x0,
+                telemetry=telemetry,
+            )
+            if result.solver != guard.fallback_chain[0] or result.fallbacks:
+                span.annotate(solver=result.solver, fallbacks=list(result.fallbacks))
+        else:
+            result = solve_lasso_fista(
+                dictionary,
+                y,
+                kappa,
+                max_iterations=max_iterations,
+                lipschitz=cache.joint_lipschitz,
+                x0=x0,
+                telemetry=telemetry,
+            )
         span.annotate(iterations=result.iterations, converged=result.converged)
         if telemetry is not None:
             span.annotate(convergence=telemetry.to_dict())

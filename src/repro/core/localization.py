@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.channel.geometry import AccessPoint, Room
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, QuorumError
 
 
 @dataclass(frozen=True)
@@ -114,3 +114,123 @@ def localize_weighted_aoa(
     best = int(np.argmin(cost))
     i, j = np.unravel_index(best, cost.shape)
     return LocalizationResult(position=(float(xs[i]), float(ys[j])), cost=float(cost[i, j]))
+
+
+# ---------------------------------------------------------------------------
+# Degraded-mode localization
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DroppedAp:
+    """One AP excluded from a fix, with the reason it was dropped."""
+
+    name: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "reason": self.reason}
+
+
+#: Angular-consistency scale (degrees) for the confidence score: a fix
+#: whose RSSI-weighted RMS AoA deviation reaches this is trusted half
+#: as much as a perfectly consistent one.
+_CONFIDENCE_ANGLE_SCALE_DEG = 10.0
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """A localization fix that survived AP loss — data, not an exception.
+
+    Attributes
+    ----------
+    position / cost:
+        As in :class:`LocalizationResult` (Eq. 19 on the survivors,
+        with the RSSI weights renormalized over them).
+    confidence:
+        A score in (0, 1]: the surviving-AP fraction times an
+        angular-consistency factor (how well the survivors' AoAs agree
+        at the optimum).  A full-quorum, self-consistent fix scores
+        near 1; losing APs or disagreeing survivors pull it down.
+    used_aps / dropped_aps:
+        Which APs contributed and which were excluded (with reasons).
+    quorum:
+        The minimum surviving-AP count this fix was required to meet.
+    degraded:
+        ``True`` when any AP was dropped.
+    """
+
+    position: tuple[float, float]
+    cost: float
+    confidence: float
+    used_aps: tuple[str, ...]
+    dropped_aps: tuple[DroppedAp, ...]
+    quorum: int
+    degraded: bool
+
+    def error_to(self, true_position: tuple[float, float]) -> float:
+        """Euclidean localization error in meters."""
+        dx = self.position[0] - true_position[0]
+        dy = self.position[1] - true_position[1]
+        return float(np.hypot(dx, dy))
+
+    def to_dict(self) -> dict:
+        return {
+            "position": [self.position[0], self.position[1]],
+            "cost": self.cost,
+            "confidence": self.confidence,
+            "used_aps": list(self.used_aps),
+            "dropped_aps": [ap.to_dict() for ap in self.dropped_aps],
+            "quorum": self.quorum,
+            "degraded": self.degraded,
+        }
+
+
+def localize_robust(
+    observations: list[ApObservation],
+    room: Room,
+    *,
+    dropped: list[DroppedAp] | tuple[DroppedAp, ...] = (),
+    min_quorum: int = 2,
+    resolution_m: float = 0.1,
+) -> DegradedResult:
+    """Eq. 19 over the surviving APs, returning a scored fix.
+
+    ``observations`` holds the APs that survived (outages, validation
+    rejections and solver failures already removed — ``dropped``
+    documents those).  RSSI weights renormalize over the survivors
+    automatically, so the strongest remaining links dominate exactly as
+    in the full-quorum fix.
+
+    Raises
+    ------
+    QuorumError
+        When fewer than ``min_quorum`` observations remain (and never
+        otherwise — below-quorum is the *only* condition degraded-mode
+        localization treats as fatal).
+    """
+    if min_quorum < 2:
+        raise ConfigurationError(f"min_quorum must be >= 2, got {min_quorum}")
+    dropped = tuple(dropped)
+    n_total = len(observations) + len(dropped)
+    if len(observations) < min_quorum:
+        reasons = ", ".join(f"{ap.name}: {ap.reason}" for ap in dropped) or "none dropped"
+        raise QuorumError(
+            f"{len(observations)} of {n_total} APs survived, below quorum "
+            f"{min_quorum} ({reasons})"
+        )
+    located = localize_weighted_aoa(observations, room, resolution_m=resolution_m)
+    survival = len(observations) / n_total if n_total else 1.0
+    # located.cost is the RSSI-weighted mean squared AoA deviation
+    # (weights sum to 1), so its square root is an RMS angle in degrees.
+    consistency = 1.0 / (1.0 + np.sqrt(max(located.cost, 0.0)) / _CONFIDENCE_ANGLE_SCALE_DEG)
+    confidence = float(np.clip(survival * consistency, 0.0, 1.0))
+    return DegradedResult(
+        position=located.position,
+        cost=located.cost,
+        confidence=confidence,
+        used_aps=tuple(obs.access_point.name for obs in observations),
+        dropped_aps=dropped,
+        quorum=min_quorum,
+        degraded=bool(dropped),
+    )

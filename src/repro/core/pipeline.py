@@ -78,6 +78,10 @@ class RoArrayEstimator:
         # shaped differently, so they warm independent slots.
         self._warm_single: np.ndarray | None = None
         self._warm_fused: np.ndarray | None = None
+        # Guardrail fallback usage since the last drain (see
+        # drain_fallback_events); empty unless config.guardrails is set
+        # and a solve actually fell back.
+        self._fallback_events: list[dict] = []
 
     def reset_warm_state(self) -> None:
         """Drop any carried-over solutions.
@@ -88,6 +92,28 @@ class RoArrayEstimator:
         """
         self._warm_single = None
         self._warm_fused = None
+
+    def drain_fallback_events(self) -> list[dict]:
+        """Return and clear the guardrail fallback events recorded so far.
+
+        Each event is ``{"stage", "solver", "fallbacks"}`` — which solve
+        fell back, which solver finally produced the answer, and which
+        were rejected first.  The batch runtime drains this per job so
+        fallback usage lands on the job's
+        :class:`~repro.runtime.jobs.JobOutcome`.
+        """
+        events, self._fallback_events = self._fallback_events, []
+        return events
+
+    def _record_fallbacks(self, stage: str, result) -> None:
+        if getattr(result, "fallbacks", ()):
+            self._fallback_events.append(
+                {
+                    "stage": stage,
+                    "solver": result.solver,
+                    "fallbacks": list(result.fallbacks),
+                }
+            )
 
     def warm_cache(self) -> None:
         """Build the steering-cache artifacts inside a traced span.
@@ -153,7 +179,9 @@ class RoArrayEstimator:
                     max_iterations=self.config.max_iterations,
                     x0=self._warm_single if self.warm_start else None,
                     tracer=self.tracer,
+                    guard=self.config.guardrails,
                 )
+            self._record_fallbacks("joint_spectrum", result)
             if self.warm_start:
                 self._warm_single = result.x
             return spectrum
@@ -166,7 +194,9 @@ class RoArrayEstimator:
                 svd_rank=self.config.svd_rank,
                 x0=self._warm_fused if self.warm_start else None,
                 tracer=self.tracer,
+                guard=self.config.guardrails,
             )
+        self._record_fallbacks("fusion", result)
         if self.warm_start:
             self._warm_fused = result.x
         return spectrum

@@ -24,3 +24,37 @@ class GeometryError(ReproError):
 
 class CalibrationError(ReproError):
     """Phase calibration could not be performed with the given measurements."""
+
+
+class ValidationError(ReproError):
+    """CSI input failed the validation gate beyond repair.
+
+    Raised by :func:`repro.faults.validate.sanitize_trace` when a trace
+    is structurally unusable — wrong shape, empty, or with every packet
+    quarantined.  Recoverable defects (a few non-finite packets) are
+    quarantined instead and never raise.
+    """
+
+
+class FaultInjectionError(ConfigurationError):
+    """A fault injector or chaos scenario is misconfigured."""
+
+
+class JobTimeoutError(ReproError):
+    """A batch job exceeded its per-job wall-clock budget."""
+
+
+class PoolCrashError(ReproError):
+    """A worker process died and its jobs could not be completed.
+
+    Raised (as a tagged :class:`~repro.runtime.jobs.JobFailure`, not an
+    exception) once the batch runtime exhausts its pool-respawn budget.
+    """
+
+
+class QuorumError(ReproError):
+    """Too few surviving APs to attempt a localization fix."""
+
+
+class SolverDivergenceError(SolverError):
+    """Every solver in a guardrail fallback chain diverged or failed."""

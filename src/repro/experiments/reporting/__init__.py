@@ -22,7 +22,12 @@ from __future__ import annotations
 import warnings
 
 from repro.experiments.reporting.console import emit, emit_json, format_cost_table
-from repro.experiments.reporting.markdown import SYSTEMS, ReportScale, generate_report
+from repro.experiments.reporting.markdown import (
+    SYSTEMS,
+    ReportScale,
+    format_degradation_table,
+    generate_report,
+)
 
 #: Names the flat pre-package module exported, now homed in ``.text``.
 _MOVED_TO_TEXT = ("format_cdf_series", "format_comparison", "format_spectrum_ascii")
@@ -33,6 +38,7 @@ __all__ = [
     "emit",
     "emit_json",
     "format_cost_table",
+    "format_degradation_table",
     "generate_report",
     *_MOVED_TO_TEXT,
 ]

@@ -142,6 +142,35 @@ def _write_fig8_sections(out: io.StringIO, scale: ReportScale, seed: int, tracer
     out.write("\n")
 
 
+def format_degradation_table(rows: list[dict]) -> str:
+    """Render chaos degradation rows as a markdown table.
+
+    ``rows`` are the plain dicts of
+    ``repro.faults.ChaosResult.degradation_rows()`` (duck-typed here so
+    the reporting layer needs no ``repro.faults`` import): ``location``,
+    ``clean_error_m``, ``degraded_error_m`` (``None`` when the location
+    fell below quorum), ``confidence``, ``used_aps``, ``dropped_aps``.
+    """
+    out = io.StringIO()
+    out.write(
+        "| location | clean error (m) | degraded error (m) | confidence "
+        "| used APs | dropped APs |\n"
+    )
+    out.write("|---|---|---|---|---|---|\n")
+    for row in rows:
+        degraded = row.get("degraded_error_m")
+        confidence = row.get("confidence")
+        out.write(
+            f"| {row['location']} "
+            f"| {row['clean_error_m']:.2f} "
+            f"| {'no fix' if degraded is None else f'{degraded:.2f}'} "
+            f"| {'—' if confidence is None else f'{confidence:.2f}'} "
+            f"| {', '.join(row.get('used_aps', [])) or '—'} "
+            f"| {', '.join(row.get('dropped_aps', [])) or '—'} |\n"
+        )
+    return out.getvalue()
+
+
 def _write_telemetry_section(out: io.StringIO, tracer) -> None:
     """Per-span cost rollup (appendix of ``roarray report --telemetry``)."""
     out.write("## Telemetry — where the time went\n\n")

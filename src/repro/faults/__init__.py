@@ -1,0 +1,76 @@
+"""Fault injection, CSI validation, and chaos experiments (``repro.faults``).
+
+The robustness substrate, in three layers:
+
+* :mod:`~repro.faults.injectors` — deterministic, seeded fault
+  injectors at the CSI-trace level (antenna dropout, subcarrier
+  nulling, packet loss/duplication, phase glitches, NaN/Inf corruption,
+  SNR collapse, AP outage).
+* :mod:`~repro.faults.validate` — the validation gate: classify CSI
+  defects and quarantine unusable packets before they reach the
+  estimator (a byte-identical no-op on clean traces).
+* :mod:`~repro.faults.scenario` / :mod:`~repro.faults.chaos` — compose
+  injectors into seeded chaos scenarios and run them end-to-end through
+  the hardened batch runtime and degraded-mode localization
+  (``roarray chaos``).
+"""
+
+from repro.faults.chaos import (
+    ChaosResult,
+    LocationOutcome,
+    hardened_roarray_config,
+    run_chaos_experiment,
+)
+from repro.faults.injectors import (
+    INJECTORS,
+    AntennaDropout,
+    ApOutage,
+    InjectedFault,
+    PacketDuplication,
+    PacketLoss,
+    PhaseGlitch,
+    SnrCollapse,
+    SubcarrierNulling,
+    ValueCorruption,
+)
+from repro.faults.scenario import (
+    ApFault,
+    ChaosScenario,
+    InjectionRecord,
+    InjectionResult,
+    demo_scenario,
+)
+from repro.faults.validate import (
+    DEFECT_KINDS,
+    CsiDefect,
+    ValidationReport,
+    classify_defects,
+    sanitize_trace,
+)
+
+__all__ = [
+    "DEFECT_KINDS",
+    "INJECTORS",
+    "AntennaDropout",
+    "ApFault",
+    "ApOutage",
+    "ChaosResult",
+    "ChaosScenario",
+    "CsiDefect",
+    "InjectedFault",
+    "InjectionRecord",
+    "InjectionResult",
+    "LocationOutcome",
+    "PacketDuplication",
+    "PacketLoss",
+    "PhaseGlitch",
+    "SnrCollapse",
+    "SubcarrierNulling",
+    "ValidationReport",
+    "ValueCorruption",
+    "classify_defects",
+    "demo_scenario",
+    "hardened_roarray_config",
+    "run_chaos_experiment",
+    "sanitize_trace",
+]

@@ -1,0 +1,309 @@
+"""Deterministic, seeded CSI fault injectors.
+
+Each injector is a small frozen dataclass with one method,
+
+    apply(trace, rng) -> (faulted_trace, [InjectedFault, ...])
+
+that returns a *new* :class:`~repro.channel.trace.CsiTrace` (inputs are
+never mutated) plus a structured record of what was injected.  All
+randomness is drawn from the ``rng`` argument and nothing else, so a
+scenario that hands each injector a seeded generator reproduces the
+same corrupted world byte-for-byte — and every estimator sees identical
+faults because injection happens at the trace level, before any
+analysis.
+
+The catalogue mirrors the failure modes of a real deployment:
+
+* :class:`AntennaDropout` — dead RF chains; turns the ULA into a sparse
+  array geometry (cf. Fischer et al., arXiv:2406.09001).
+* :class:`SubcarrierNulling` — OFDM bins lost to interference.
+* :class:`PacketLoss` / :class:`PacketDuplication` — transport faults.
+* :class:`PhaseGlitch` — per-packet PLL slips (random constant phase
+  jumps per antenna).
+* :class:`ValueCorruption` — NaN/Inf entries from a buggy extractor.
+* :class:`SnrCollapse` — sudden interference bursts.
+* :class:`ApOutage` — the whole AP goes dark (handled by scenarios:
+  ``apply`` returns ``None`` in place of a trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One injected fault, as ground truth for the failure taxonomy."""
+
+    kind: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+def _with_csi(trace: CsiTrace, csi: np.ndarray, detection_delays_s: np.ndarray | None = None) -> CsiTrace:
+    """A copy of ``trace`` with new CSI (and optionally new delays)."""
+    return replace(
+        trace,
+        csi=csi,
+        detection_delays_s=(
+            trace.detection_delays_s if detection_delays_s is None else detection_delays_s
+        ),
+    )
+
+
+def _check_fraction(name: str, value: float, *, closed_top: bool = True) -> None:
+    top_ok = value <= 1.0 if closed_top else value < 1.0
+    if not (0.0 <= value and top_ok):
+        raise FaultInjectionError(f"{name} must be a fraction in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class AntennaDropout:
+    """Zero out whole RF chains across every packet.
+
+    ``antennas`` pins the victims; otherwise ``n_antennas`` of them are
+    drawn from ``rng``.  At least one antenna always survives.
+    """
+
+    n_antennas: int = 1
+    antennas: tuple[int, ...] | None = None
+
+    kind = "antenna_dropout"
+
+    def __post_init__(self) -> None:
+        if self.n_antennas < 1:
+            raise FaultInjectionError(f"n_antennas must be >= 1, got {self.n_antennas}")
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        if self.antennas is not None:
+            victims = sorted(set(self.antennas))
+        else:
+            n = min(self.n_antennas, trace.n_antennas - 1)
+            victims = sorted(rng.choice(trace.n_antennas, size=n, replace=False).tolist())
+        if any(not 0 <= a < trace.n_antennas for a in victims):
+            raise FaultInjectionError(
+                f"antenna index out of range for {trace.n_antennas}-antenna trace: {victims}"
+            )
+        if len(victims) >= trace.n_antennas:
+            raise FaultInjectionError("antenna dropout must leave at least one antenna alive")
+        csi = trace.csi.copy()
+        csi[:, victims, :] = 0.0
+        faults = [InjectedFault(self.kind, f"antennas {victims}")]
+        return _with_csi(trace, csi), faults
+
+
+@dataclass(frozen=True)
+class SubcarrierNulling:
+    """Zero a random fraction of OFDM subcarriers on every packet."""
+
+    fraction: float = 0.1
+
+    kind = "subcarrier_null"
+
+    def __post_init__(self) -> None:
+        _check_fraction("fraction", self.fraction, closed_top=False)
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        n = int(round(self.fraction * trace.n_subcarriers))
+        if n == 0:
+            return trace, []
+        n = min(n, trace.n_subcarriers - 1)
+        victims = sorted(rng.choice(trace.n_subcarriers, size=n, replace=False).tolist())
+        csi = trace.csi.copy()
+        csi[:, :, victims] = 0.0
+        return _with_csi(trace, csi), [InjectedFault(self.kind, f"subcarriers {victims}")]
+
+
+@dataclass(frozen=True)
+class PacketLoss:
+    """Drop each packet independently with the given probability.
+
+    At least one packet always survives (a link with zero delivered
+    packets is an :class:`ApOutage`, not packet loss).
+    """
+
+    probability: float = 0.2
+
+    kind = "packet_loss"
+
+    def __post_init__(self) -> None:
+        _check_fraction("probability", self.probability)
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        dropped = rng.random(trace.n_packets) < self.probability
+        if dropped.all():
+            dropped[int(rng.integers(trace.n_packets))] = False
+        if not dropped.any():
+            return trace, []
+        keep = ~dropped
+        delays = trace.detection_delays_s
+        if delays.shape[0] == trace.n_packets:
+            delays = delays[keep]
+        faults = [InjectedFault(self.kind, f"dropped packets {np.flatnonzero(dropped).tolist()}")]
+        return _with_csi(trace, trace.csi[keep].copy(), delays), faults
+
+
+@dataclass(frozen=True)
+class PacketDuplication:
+    """Duplicate each packet independently with the given probability.
+
+    The copy lands immediately after the original, the way a retransmit
+    shows up in a capture.
+    """
+
+    probability: float = 0.2
+
+    kind = "packet_duplication"
+
+    def __post_init__(self) -> None:
+        _check_fraction("probability", self.probability)
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        duplicated = rng.random(trace.n_packets) < self.probability
+        if not duplicated.any():
+            return trace, []
+        order = []
+        for index in range(trace.n_packets):
+            order.append(index)
+            if duplicated[index]:
+                order.append(index)
+        delays = trace.detection_delays_s
+        if delays.shape[0] == trace.n_packets:
+            delays = delays[order]
+        faults = [
+            InjectedFault(self.kind, f"duplicated packets {np.flatnonzero(duplicated).tolist()}")
+        ]
+        return _with_csi(trace, trace.csi[order].copy(), delays), faults
+
+
+@dataclass(frozen=True)
+class PhaseGlitch:
+    """Per-packet PLL slip: a random constant phase jump per antenna."""
+
+    probability: float = 0.2
+    max_jump_rad: float = float(np.pi)
+
+    kind = "phase_glitch"
+
+    def __post_init__(self) -> None:
+        _check_fraction("probability", self.probability)
+        if self.max_jump_rad <= 0:
+            raise FaultInjectionError(f"max_jump_rad must be positive, got {self.max_jump_rad}")
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        glitched = rng.random(trace.n_packets) < self.probability
+        jumps = rng.uniform(-self.max_jump_rad, self.max_jump_rad, size=(trace.n_packets, trace.n_antennas))
+        if not glitched.any():
+            return trace, []
+        csi = trace.csi.copy()
+        for index in np.flatnonzero(glitched):
+            csi[index] *= np.exp(1j * jumps[index])[:, None]
+        faults = [InjectedFault(self.kind, f"glitched packets {np.flatnonzero(glitched).tolist()}")]
+        return _with_csi(trace, csi), faults
+
+
+@dataclass(frozen=True)
+class ValueCorruption:
+    """Poison a fraction of packets with non-finite CSI entries.
+
+    Each selected packet gets ``entries_per_packet`` random elements
+    overwritten with NaN (``mode="nan"``) or +Inf (``mode="inf"``) —
+    the classic symptom of a buggy CSI extractor.  The validation gate
+    is expected to quarantine exactly these packets.
+    """
+
+    fraction: float = 0.2
+    entries_per_packet: int = 1
+    mode: str = "nan"
+
+    kind = "value_corruption"
+
+    def __post_init__(self) -> None:
+        _check_fraction("fraction", self.fraction)
+        if self.entries_per_packet < 1:
+            raise FaultInjectionError(
+                f"entries_per_packet must be >= 1, got {self.entries_per_packet}"
+            )
+        if self.mode not in ("nan", "inf"):
+            raise FaultInjectionError(f"mode must be 'nan' or 'inf', got {self.mode!r}")
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        n_poisoned = int(round(self.fraction * trace.n_packets))
+        if n_poisoned == 0:
+            return trace, []
+        n_poisoned = min(n_poisoned, trace.n_packets)
+        victims = sorted(rng.choice(trace.n_packets, size=n_poisoned, replace=False).tolist())
+        poison = complex("nan") if self.mode == "nan" else complex("inf")
+        per_packet = trace.n_antennas * trace.n_subcarriers
+        csi = trace.csi.copy()
+        for packet in victims:
+            flat = csi[packet].reshape(-1)
+            entries = rng.choice(per_packet, size=min(self.entries_per_packet, per_packet), replace=False)
+            flat[entries] = poison
+        faults = [InjectedFault(self.kind, f"{self.mode} in packets {victims}")]
+        return _with_csi(trace, csi), faults
+
+
+@dataclass(frozen=True)
+class SnrCollapse:
+    """Interference burst: add noise to cut the link SNR by ``drop_db``."""
+
+    drop_db: float = 10.0
+
+    kind = "snr_collapse"
+
+    def __post_init__(self) -> None:
+        if self.drop_db <= 0:
+            raise FaultInjectionError(f"drop_db must be positive, got {self.drop_db}")
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        signal_power = float(np.mean(np.abs(trace.csi) ** 2))
+        if signal_power == 0.0:
+            return trace, []
+        # Noise power chosen so signal/noise lands drop_db below the
+        # trace's recorded SNR (the added burst dominates the original
+        # noise floor for any meaningful drop).
+        target_snr_db = trace.snr_db - self.drop_db
+        noise_power = signal_power / (10.0 ** (target_snr_db / 10.0))
+        scale = np.sqrt(noise_power / 2.0)
+        noise = scale * (
+            rng.standard_normal(trace.csi.shape) + 1j * rng.standard_normal(trace.csi.shape)
+        )
+        faulted = _with_csi(trace, trace.csi + noise)
+        faulted = replace(faulted, snr_db=float(target_snr_db))
+        return faulted, [InjectedFault(self.kind, f"-{self.drop_db:g} dB")]
+
+
+@dataclass(frozen=True)
+class ApOutage:
+    """The AP goes dark: no trace is delivered at all.
+
+    Scenarios interpret the ``None`` trace as a missing AP; the
+    degraded-mode localizer then re-weights over the survivors.
+    """
+
+    kind = "ap_outage"
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[None, list[InjectedFault]]:
+        return None, [InjectedFault(self.kind, "no trace delivered")]
+
+
+#: Everything a scenario can compose, in catalogue order.
+INJECTORS: tuple[type, ...] = (
+    AntennaDropout,
+    SubcarrierNulling,
+    PacketLoss,
+    PacketDuplication,
+    PhaseGlitch,
+    ValueCorruption,
+    SnrCollapse,
+    ApOutage,
+)

@@ -1,0 +1,141 @@
+"""Chaos scenarios: seeded compositions of fault injectors over APs.
+
+A :class:`ChaosScenario` assigns injectors to APs (by index into the
+per-location trace list) and applies them deterministically: each
+``(scenario seed, salt, AP, fault position)`` tuple derives its own
+:class:`numpy.random.Generator`, so
+
+* the same scenario + seed reproduces the identical corrupted world
+  byte-for-byte,
+* faults on one AP never perturb the random stream of another, and
+* per-location ``salt`` values decorrelate faults across locations
+  while staying reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import FaultInjectionError
+from repro.faults.injectors import (
+    AntennaDropout,
+    ApOutage,
+    InjectedFault,
+    ValueCorruption,
+)
+
+
+@dataclass(frozen=True)
+class ApFault:
+    """One injector aimed at one AP (index into the trace list)."""
+
+    ap: int
+    injector: object
+
+    def __post_init__(self) -> None:
+        if self.ap < 0:
+            raise FaultInjectionError(f"ap index must be >= 0, got {self.ap}")
+        if not hasattr(self.injector, "apply"):
+            raise FaultInjectionError(f"injector {self.injector!r} has no apply(trace, rng)")
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One applied fault, tagged with the AP it hit."""
+
+    ap: int
+    fault: InjectedFault
+
+    def to_dict(self) -> dict:
+        return {"ap": self.ap, **self.fault.to_dict()}
+
+
+@dataclass(frozen=True)
+class InjectionResult:
+    """The corrupted world one scenario application produced.
+
+    ``traces[i]`` is ``None`` where AP *i* suffered an outage; the
+    ``injected`` log is the ground truth the failure taxonomy compares
+    detected defects against.
+    """
+
+    traces: tuple[CsiTrace | None, ...]
+    injected: tuple[InjectionRecord, ...]
+
+    @property
+    def surviving(self) -> tuple[int, ...]:
+        return tuple(i for i, trace in enumerate(self.traces) if trace is not None)
+
+    @property
+    def dead(self) -> tuple[int, ...]:
+        return tuple(i for i, trace in enumerate(self.traces) if trace is None)
+
+    def to_dict(self) -> dict:
+        return {
+            "surviving_aps": list(self.surviving),
+            "dead_aps": list(self.dead),
+            "injected": [record.to_dict() for record in self.injected],
+        }
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, seeded set of per-AP faults."""
+
+    name: str = "chaos"
+    faults: tuple[ApFault, ...] = ()
+    seed: int = 0
+
+    def apply(self, traces: list[CsiTrace], *, salt: int = 0) -> InjectionResult:
+        """Inject every fault into its AP's trace; inputs are untouched."""
+        current: list[CsiTrace | None] = list(traces)
+        injected: list[InjectionRecord] = []
+        for position, fault in enumerate(self.faults):
+            if fault.ap >= len(current):
+                raise FaultInjectionError(
+                    f"fault targets AP {fault.ap} but only {len(current)} traces were given"
+                )
+            trace = current[fault.ap]
+            if trace is None:
+                continue  # already dark — nothing left to corrupt
+            rng = np.random.default_rng([max(self.seed, 0), salt, fault.ap, position])
+            faulted, faults = fault.injector.apply(trace, rng)
+            current[fault.ap] = faulted
+            injected.extend(InjectionRecord(ap=fault.ap, fault=f) for f in faults)
+        return InjectionResult(traces=tuple(current), injected=tuple(injected))
+
+    def describe(self) -> dict:
+        """JSON-ready summary (what ``roarray chaos --json`` embeds)."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [
+                {"ap": fault.ap, "injector": type(fault.injector).__name__}
+                for fault in self.faults
+            ],
+        }
+
+
+def demo_scenario(n_aps: int = 6, *, seed: int = 0, corrupt_fraction: float = 0.2) -> ChaosScenario:
+    """The paper-style degradation demo: 2 dead APs, 1 crippled, dirty CSI.
+
+    With ``n_aps`` APs, the scenario kills the last two, drops one
+    antenna on the third-from-last, and poisons ``corrupt_fraction`` of
+    every surviving AP's packets with NaNs — the acceptance scenario
+    for graceful degradation.
+    """
+    if n_aps < 4:
+        raise FaultInjectionError(f"demo scenario needs >= 4 APs, got {n_aps}")
+    faults: list[ApFault] = [
+        ApFault(ap=n_aps - 1, injector=ApOutage()),
+        ApFault(ap=n_aps - 2, injector=ApOutage()),
+        ApFault(ap=n_aps - 3, injector=AntennaDropout(n_antennas=1)),
+    ]
+    faults.extend(
+        ApFault(ap=ap, injector=ValueCorruption(fraction=corrupt_fraction))
+        for ap in range(n_aps - 2)
+    )
+    return ChaosScenario(name="demo", faults=tuple(faults), seed=seed)

@@ -1,0 +1,172 @@
+"""The CSI validation gate: classify defects, quarantine bad packets.
+
+Real CSI extractors emit garbage — NaN bursts, zeroed RF chains, short
+reads — and a single non-finite packet poisons the whole MMV fusion
+solve (:func:`repro.core.fusion.fuse_packets` rejects the entire
+batch).  :func:`sanitize_trace` sits in front of the estimator:
+
+* **classify** every defect it finds (:class:`CsiDefect`, one of
+  :data:`DEFECT_KINDS`),
+* **quarantine** packets that are individually unusable (non-finite or
+  zero-power) so the surviving packets still fuse,
+* **raise** :class:`~repro.exceptions.ValidationError` only when the
+  trace is unusable as a whole (wrong shape, empty, nothing left after
+  quarantine).
+
+The gate is a byte-identical no-op on clean input: when nothing needs
+quarantining, the *same trace object* is returned — no copy, no
+normalization — so enabling validation cannot change a clean result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import ValidationError
+
+#: Defect taxonomy, in classification order.
+DEFECT_KINDS = (
+    "empty",
+    "shape_mismatch",
+    "non_finite",
+    "zero_power_packet",
+    "zero_power_antenna",
+)
+
+
+@dataclass(frozen=True)
+class CsiDefect:
+    """One classified defect.
+
+    ``packet`` / ``antenna`` locate the defect when it is packet- or
+    antenna-scoped; both are ``None`` for trace-level defects.
+    """
+
+    kind: str
+    packet: int | None = None
+    antenna: int | None = None
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "packet": self.packet,
+            "antenna": self.antenna,
+            "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """What the gate found and did for one trace."""
+
+    defects: tuple[CsiDefect, ...] = ()
+    quarantined_packets: tuple[int, ...] = ()
+    dead_antennas: tuple[int, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.defects
+
+    @property
+    def n_quarantined(self) -> int:
+        return len(self.quarantined_packets)
+
+    def to_dict(self) -> dict:
+        return {
+            "defects": [d.to_dict() for d in self.defects],
+            "quarantined_packets": list(self.quarantined_packets),
+            "dead_antennas": list(self.dead_antennas),
+        }
+
+
+def classify_defects(
+    trace: CsiTrace, *, expected_shape: tuple[int, int] | None = None
+) -> list[CsiDefect]:
+    """Classify every defect in ``trace`` without modifying anything.
+
+    ``expected_shape`` is the estimator's ``(n_antennas,
+    n_subcarriers)`` hardware model; when given, a mismatch is reported
+    as the (unrecoverable) ``shape_mismatch`` defect.
+    """
+    defects: list[CsiDefect] = []
+    if trace.n_packets == 0:
+        defects.append(CsiDefect("empty", detail="trace has no packets"))
+        return defects
+    if expected_shape is not None and trace.csi.shape[1:] != tuple(expected_shape):
+        defects.append(
+            CsiDefect(
+                "shape_mismatch",
+                detail=f"per-packet shape {trace.csi.shape[1:]} != expected {tuple(expected_shape)}",
+            )
+        )
+        return defects
+
+    finite = np.isfinite(trace.csi.real) & np.isfinite(trace.csi.imag)
+    packet_power = np.sum(np.abs(np.where(finite, trace.csi, 0.0)) ** 2, axis=(1, 2))
+    for packet in range(trace.n_packets):
+        if not finite[packet].all():
+            n_bad = int(np.count_nonzero(~finite[packet]))
+            defects.append(
+                CsiDefect("non_finite", packet=packet, detail=f"{n_bad} non-finite entries")
+            )
+        elif packet_power[packet] == 0.0:
+            defects.append(CsiDefect("zero_power_packet", packet=packet, detail="all-zero CSI"))
+
+    usable = finite.all(axis=(1, 2)) & (packet_power > 0.0)
+    if usable.any():
+        antenna_power = np.sum(np.abs(trace.csi[usable]) ** 2, axis=(0, 2))
+        for antenna in np.flatnonzero(antenna_power == 0.0):
+            defects.append(
+                CsiDefect(
+                    "zero_power_antenna",
+                    antenna=int(antenna),
+                    detail="zero power on every usable packet",
+                )
+            )
+    return defects
+
+
+def sanitize_trace(
+    trace: CsiTrace, *, expected_shape: tuple[int, int] | None = None
+) -> tuple[CsiTrace, ValidationReport]:
+    """Quarantine unusable packets; raise only when nothing survives.
+
+    Returns ``(clean_trace, report)``.  On a defect-free trace the input
+    object itself comes back (identity, not a copy) so the gate is a
+    guaranteed no-op on clean data.
+
+    Raises
+    ------
+    ValidationError
+        For trace-level defects: empty trace, shape mismatch, or every
+        packet quarantined.
+    """
+    defects = classify_defects(trace, expected_shape=expected_shape)
+    fatal = [d for d in defects if d.kind in ("empty", "shape_mismatch")]
+    if fatal:
+        raise ValidationError(f"trace rejected: {fatal[0].kind} ({fatal[0].detail})")
+
+    quarantined = tuple(sorted({d.packet for d in defects if d.packet is not None}))
+    dead_antennas = tuple(d.antenna for d in defects if d.kind == "zero_power_antenna")
+    report = ValidationReport(
+        defects=tuple(defects), quarantined_packets=quarantined, dead_antennas=dead_antennas
+    )
+    if not quarantined:
+        return trace, report
+    if len(quarantined) == trace.n_packets:
+        raise ValidationError(
+            f"trace rejected: all {trace.n_packets} packets quarantined "
+            f"({len(defects)} defects)"
+        )
+
+    keep = np.ones(trace.n_packets, dtype=bool)
+    keep[list(quarantined)] = False
+    delays = trace.detection_delays_s
+    if delays.shape[0] == trace.n_packets:
+        delays = delays[keep]
+    cleaned = replace(trace, csi=trace.csi[keep].copy(), detection_delays_s=delays)
+    return cleaned, report

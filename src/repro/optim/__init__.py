@@ -56,6 +56,7 @@ from repro.optim.operators import (
     KroneckerJointOperator,
     as_operator,
 )
+from repro.optim.guard import GuardrailPolicy, solve_guarded
 from repro.optim.result import SolverResult
 from repro.optim.reweighted import solve_reweighted_lasso
 from repro.optim.sbl import solve_sbl
@@ -65,6 +66,7 @@ __all__ = [
     "CachedAdmmFactors",
     "DenseOperator",
     "DictionaryOperator",
+    "GuardrailPolicy",
     "KroneckerJointOperator",
     "SolverResult",
     "as_operator",
@@ -75,6 +77,7 @@ __all__ = [
     "row_soft_threshold",
     "soft_threshold",
     "solve",
+    "solve_guarded",
     "solve_lasso_admm",
     "solve_lasso_fista",
     "solve_mmv_fista",

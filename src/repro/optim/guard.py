@@ -1,0 +1,215 @@
+"""Solver guardrails: divergence detection, budgets, and a fallback chain.
+
+:func:`solve_guarded` wraps :func:`repro.optim.facade.solve` with three
+protections a long-running service needs:
+
+* **Divergence detection** — the accepted objective must beat (a
+  multiple of) the zero-solution baseline ``‖y‖²`` and be finite.  The
+  check is O(1) on the final result, so the clean path pays nothing
+  per iteration and the accepted :class:`~repro.optim.result.SolverResult`
+  is byte-identical to an unguarded solve.
+* **Iteration / time budgets** — a per-policy ``max_iterations``
+  override, plus an optional wall-clock budget enforced through the
+  solvers' per-iteration ``callback`` hook (only wired when a budget is
+  set, so it costs nothing otherwise).
+* **Fallback chain** — FISTA → ADMM → OMP by default: when a solver
+  diverges, raises, or runs out of budget, the next one gets the same
+  system.  Which solver finally produced the answer — and which were
+  rejected on the way — is surfaced on ``SolverResult.solver`` /
+  ``SolverResult.fallbacks`` so degraded solves are visible, never
+  silent.
+
+For MMV (2-D) measurements the primary method sees the full snapshot
+matrix; single-measurement fallbacks get the principal singular column
+(the rank-1 signal subspace), preserving the joint-sparse structure
+while staying solvable by the 1-D chain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.exceptions import SolverDivergenceError, SolverError
+from repro.optim.facade import _METHODS, solve
+from repro.optim.result import SolverResult
+
+#: Options meaningful per solver; anything else is dropped when falling
+#: back so e.g. a FISTA ``lipschitz`` hint never reaches OMP.
+_METHOD_OPTION_KEYS = {
+    "fista": ("max_iterations", "tolerance", "x0", "lipschitz", "telemetry", "callback"),
+    "mmv": ("max_iterations", "tolerance", "x0", "lipschitz", "telemetry", "callback"),
+    "admm": ("max_iterations", "tolerance", "rho", "factors", "telemetry", "callback"),
+    "omp": ("sparsity", "tolerance", "telemetry", "callback"),
+    "reweighted": ("max_iterations", "tolerance", "telemetry", "callback"),
+    "sbl": ("max_iterations", "tolerance", "telemetry", "callback"),
+}
+
+
+class _TimeBudgetExceeded(SolverError):
+    """Internal: raised from the per-iteration deadline callback."""
+
+
+@dataclass(frozen=True)
+class GuardrailPolicy:
+    """Knobs of :func:`solve_guarded`.
+
+    Attributes
+    ----------
+    fallback_chain:
+        Solver names tried in order for 1-D measurements.
+    mmv_chain:
+        Solver names tried in order for 2-D snapshot matrices; non-MMV
+        entries run on the principal singular column.
+    divergence_factor:
+        A result is accepted only if ``objective <= factor · ‖y‖²``
+        (and finite).  The default 1.0 means "must beat the zero
+        solution" — every healthy solve does, so clean inputs are
+        unaffected.
+    time_budget_s:
+        Optional wall-clock budget across the whole chain.  Solvers
+        with a ``callback`` hook are aborted mid-iteration once the
+        budget expires; the chain stops either way.
+    max_iterations:
+        Optional per-solve iteration cap overriding the caller's.
+    omp_sparsity:
+        Model order handed to OMP when the caller did not pass one (the
+        greedy fallback needs it; the ℓ1 solvers do not).
+    """
+
+    fallback_chain: tuple[str, ...] = ("fista", "admm", "omp")
+    mmv_chain: tuple[str, ...] = ("mmv", "fista", "admm", "omp")
+    divergence_factor: float = 1.0
+    time_budget_s: float | None = None
+    max_iterations: int | None = None
+    omp_sparsity: int = 8
+
+    def __post_init__(self) -> None:
+        for chain_name, chain in (("fallback_chain", self.fallback_chain), ("mmv_chain", self.mmv_chain)):
+            if not chain:
+                raise SolverError(f"{chain_name} must name at least one solver")
+            unknown = [method for method in chain if method not in _METHODS]
+            if unknown:
+                raise SolverError(f"{chain_name} names unknown solvers {unknown}")
+        if self.divergence_factor <= 0:
+            raise SolverError(f"divergence_factor must be positive, got {self.divergence_factor}")
+        if self.time_budget_s is not None and self.time_budget_s <= 0:
+            raise SolverError(f"time_budget_s must be positive, got {self.time_budget_s}")
+        if self.omp_sparsity < 1:
+            raise SolverError(f"omp_sparsity must be >= 1, got {self.omp_sparsity}")
+
+
+def _principal_column(snapshots: np.ndarray) -> np.ndarray:
+    """Rank-1 signal-subspace reduction of an ``(m, p)`` snapshot matrix."""
+    if snapshots.shape[1] == 1:
+        return snapshots[:, 0]
+    _, _, vh = np.linalg.svd(snapshots, full_matrices=False)
+    return snapshots @ vh[0].conj()
+
+
+def _method_options(method: str, options: dict, policy: GuardrailPolicy, deadline: float | None) -> dict:
+    allowed = _METHOD_OPTION_KEYS[method]
+    kwargs = {key: value for key, value in options.items() if key in allowed and value is not None}
+    if policy.max_iterations is not None and "max_iterations" in allowed:
+        kwargs["max_iterations"] = policy.max_iterations
+    if method == "omp":
+        kwargs.setdefault("sparsity", policy.omp_sparsity)
+    if deadline is not None and "callback" in allowed:
+        caller_callback = kwargs.get("callback")
+
+        def _deadline_callback(iteration, x, objective):
+            if caller_callback is not None:
+                caller_callback(iteration, x, objective)
+            if time.monotonic() > deadline:
+                raise _TimeBudgetExceeded(
+                    f"{method} exceeded the {policy.time_budget_s:g} s solve budget "
+                    f"at iteration {iteration}"
+                )
+
+        kwargs["callback"] = _deadline_callback
+    return kwargs
+
+
+def solve_guarded(
+    matrix,
+    rhs: np.ndarray,
+    *,
+    kappa: float | None = None,
+    kappa_fraction: float = 0.05,
+    policy: GuardrailPolicy | None = None,
+    **options,
+) -> SolverResult:
+    """Sparse recovery with divergence detection and solver fallback.
+
+    Runs the policy's chain in order; the first solver whose result is
+    finite and beats the divergence bound wins, and the returned
+    :class:`~repro.optim.result.SolverResult` records it in ``.solver``
+    with the rejected attempts in ``.fallbacks``.  An explicit
+    ``kappa`` is forwarded to the primary method only — fallbacks
+    re-derive their own from ``kappa_fraction``, because a κ tuned for
+    a healthy solve can be meaningless on the degenerate input that
+    triggered the fallback.
+
+    Raises
+    ------
+    SolverDivergenceError
+        When every solver in the chain diverged or failed.
+    SolverError
+        When the time budget expires before any solver finished.
+    """
+    policy = policy or GuardrailPolicy()
+    rhs_array = np.asarray(rhs)
+    is_mmv = rhs_array.ndim == 2
+    chain = policy.mmv_chain if is_mmv else policy.fallback_chain
+    baseline = float(np.sum(np.abs(rhs_array) ** 2))
+    bound = policy.divergence_factor * baseline + 1e-12 * max(baseline, 1.0)
+    deadline = None
+    if policy.time_budget_s is not None:
+        deadline = time.monotonic() + policy.time_budget_s
+
+    rejected: list[str] = []
+    errors: list[str] = []
+    reduced: np.ndarray | None = None
+    for position, method in enumerate(chain):
+        if deadline is not None and time.monotonic() > deadline:
+            raise SolverError(
+                f"solve budget of {policy.time_budget_s:g} s exhausted after "
+                f"trying {rejected or ['nothing']}"
+            )
+        method_rhs = rhs_array
+        method_options = dict(options)
+        if is_mmv and method != "mmv":
+            if reduced is None:
+                reduced = _principal_column(rhs_array)
+            method_rhs = reduced
+            # A 2-D warm start cannot seed a 1-D fallback solve.
+            method_options.pop("x0", None)
+        method_kappa = kappa if position == 0 else None
+        if not _METHODS[method][1]:
+            method_kappa = None
+        try:
+            result = solve(
+                matrix,
+                method_rhs,
+                method=method,
+                kappa=method_kappa,
+                kappa_fraction=kappa_fraction,
+                **_method_options(method, method_options, policy, deadline),
+            )
+        except SolverError as error:
+            rejected.append(method)
+            errors.append(f"{method}: {error}")
+            continue
+        if not np.isfinite(result.objective) or result.objective > bound:
+            rejected.append(method)
+            errors.append(
+                f"{method}: diverged (objective {result.objective:.3g} > bound {bound:.3g})"
+            )
+            continue
+        return replace(result, solver=method, fallbacks=tuple(rejected))
+
+    raise SolverDivergenceError(
+        f"every solver in chain {list(chain)} failed: " + "; ".join(errors)
+    )

@@ -38,6 +38,14 @@ class SolverResult:
         passed via the solver's ``telemetry=`` hook, filled with
         per-iteration objective / residual / support telemetry; ``None``
         when telemetry was not requested.
+    solver:
+        Name of the solver that produced ``x`` when the solve ran
+        through :func:`~repro.optim.guard.solve_guarded`; empty for a
+        direct solver call.
+    fallbacks:
+        Solvers the guardrail chain tried and rejected (diverged or
+        raised) before ``solver`` succeeded; empty when the primary
+        solver's result was accepted.
     """
 
     x: np.ndarray
@@ -46,6 +54,8 @@ class SolverResult:
     converged: bool
     history: list[float] = field(default_factory=list)
     convergence: "ConvergenceTrace | None" = None
+    solver: str = ""
+    fallbacks: tuple[str, ...] = ()
 
     @property
     def support(self) -> np.ndarray:

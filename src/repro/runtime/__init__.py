@@ -9,16 +9,29 @@ determinism, warmup, and failure-isolation contracts.
 
 from repro.runtime.batch import BatchEvaluator, BatchResult, evaluate_traces
 from repro.runtime.bench import joint_solve_benchmark
-from repro.runtime.jobs import EstimatorSpec, EvalJob, JobFailure, JobOutcome
+from repro.runtime.jobs import (
+    DEFAULT_POLICY,
+    FAILURE_KINDS,
+    RETRYABLE_KINDS,
+    EstimatorSpec,
+    EvalJob,
+    ExecutionPolicy,
+    JobFailure,
+    JobOutcome,
+)
 from repro.runtime.report import RuntimeReport, StageTotals
 
 __all__ = [
     "BatchEvaluator",
     "BatchResult",
+    "DEFAULT_POLICY",
     "EstimatorSpec",
     "EvalJob",
+    "ExecutionPolicy",
+    "FAILURE_KINDS",
     "JobFailure",
     "JobOutcome",
+    "RETRYABLE_KINDS",
     "RuntimeReport",
     "StageTotals",
     "evaluate_traces",

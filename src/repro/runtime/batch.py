@@ -13,27 +13,53 @@ jobs out over a ``concurrent.futures.ProcessPoolExecutor``:
   by contiguous index ranges, and outcomes are re-ordered by job index
   before returning.  The output is therefore byte-identical for any
   worker count, including the ``workers=0`` in-process sequential path.
-* **Graceful degradation** — a job that raises
-  :class:`~repro.exceptions.SolverError` comes back as a tagged
-  :class:`~repro.runtime.jobs.JobFailure` record instead of killing the
-  pool; the remaining jobs are unaffected.
+* **Graceful degradation** — a failing job comes back as a tagged,
+  taxonomized :class:`~repro.runtime.jobs.JobFailure` record
+  (``validation`` / ``solver`` / ``timeout`` / ``runtime`` / ``crash``)
+  instead of killing the pool; the remaining jobs are unaffected.
+* **Hardened execution** — an :class:`~repro.runtime.jobs.ExecutionPolicy`
+  adds an opt-in CSI validation gate, per-job wall-clock timeouts and
+  bounded deterministic retries, all enforced *where the job runs* so
+  ``workers=0`` and ``workers=N`` stay byte-identical.  A crashed
+  worker process (``BrokenProcessPool``) is recovered by respawning the
+  pool and requeueing only the unfinished chunks — completed outcomes
+  are never lost.
 * **Instrumentation** — workers time the dictionary / solve / peak
-  stages per job; the totals come back in a
+  stages per job; the totals, plus the failure taxonomy and
+  retry/timeout/fallback counts, come back in a
   :class:`~repro.runtime.report.RuntimeReport`.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
+import traceback as traceback_module
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.channel.trace import CsiTrace
 from repro.core.direct_path import ApAnalysis
-from repro.exceptions import ConfigurationError, SolverError
+from repro.exceptions import (
+    ConfigurationError,
+    JobTimeoutError,
+    SolverError,
+    ValidationError,
+)
 from repro.obs import NULL_TRACER, Tracer
-from repro.runtime.jobs import EstimatorSpec, EvalJob, JobFailure, JobOutcome
+from repro.runtime.jobs import (
+    DEFAULT_POLICY,
+    RETRYABLE_KINDS,
+    EstimatorSpec,
+    EvalJob,
+    ExecutionPolicy,
+    JobFailure,
+    JobOutcome,
+)
 from repro.runtime.report import RuntimeReport
 
 # Per-process estimator slot, populated by the pool initializer.  A
@@ -46,14 +72,21 @@ _WORKER_WARMUP_PENDING_S = 0.0
 # Whether workers should record per-job trace spans (set from the
 # parent's tracer state at pool startup).
 _WORKER_CAPTURE_SPANS = False
+# The hardening policy every job in this process runs under.
+_WORKER_POLICY = DEFAULT_POLICY
 
 
-def _initialize_worker(spec: EstimatorSpec, capture_spans: bool = False) -> None:
+def _initialize_worker(
+    spec: EstimatorSpec,
+    capture_spans: bool = False,
+    policy: ExecutionPolicy = DEFAULT_POLICY,
+) -> None:
     """Build the estimator once per worker process and warm its cache."""
-    global _WORKER_SYSTEM, _WORKER_WARMUP_PENDING_S, _WORKER_CAPTURE_SPANS
+    global _WORKER_SYSTEM, _WORKER_WARMUP_PENDING_S, _WORKER_CAPTURE_SPANS, _WORKER_POLICY
     _WORKER_SYSTEM = _build_warm_system(spec)
     _WORKER_WARMUP_PENDING_S = _system_warmup_seconds(_WORKER_SYSTEM)
     _WORKER_CAPTURE_SPANS = capture_spans
+    _WORKER_POLICY = policy
 
 
 def _system_warmup_seconds(system) -> float:
@@ -69,8 +102,102 @@ def _build_warm_system(spec: EstimatorSpec):
     return system
 
 
-def _evaluate_job(system, job: EvalJob, *, capture_spans: bool = False) -> JobOutcome:
-    """Run one job; convert SolverError into a tagged failure record.
+@contextmanager
+def _job_deadline(timeout_s: float | None):
+    """Enforce a wall-clock budget with a POSIX interval timer.
+
+    Runs identically in the pool workers and on the in-process
+    sequential path (both execute jobs on their process's main thread),
+    which is what keeps timeouts from breaking worker-count parity.  On
+    platforms without ``SIGALRM``, or off the main thread, the deadline
+    is silently skipped — the pool-crash recovery is the backstop.
+    """
+    usable = (
+        timeout_s is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(f"job exceeded its {timeout_s:g} s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _classify_failure(error: Exception) -> str:
+    """Map an exception to its :data:`~repro.runtime.jobs.FAILURE_KINDS` bucket."""
+    if isinstance(error, ValidationError):
+        return "validation"
+    if isinstance(error, JobTimeoutError):
+        return "timeout"
+    if isinstance(error, SolverError):
+        return "solver"
+    return "runtime"
+
+
+def _expected_shape(system) -> tuple[int, int] | None:
+    """The (antennas, subcarriers) shape the system's hardware model expects."""
+    array = getattr(system, "array", None)
+    layout = getattr(system, "layout", None)
+    if array is None or layout is None:
+        return None
+    return (array.n_antennas, layout.n_subcarriers)
+
+
+def _format_fallback_event(event: dict) -> str:
+    chain = "->".join([*event.get("fallbacks", []), event.get("solver", "?")])
+    return f"{event.get('stage', '?')}:{chain}"
+
+
+def _evaluate_job(
+    system,
+    job: EvalJob,
+    *,
+    capture_spans: bool = False,
+    policy: ExecutionPolicy = DEFAULT_POLICY,
+) -> JobOutcome:
+    """Run one job under the execution policy; failures become data.
+
+    Retries happen *here* — in the same process the job runs in — so the
+    sequential and pooled paths share one retry semantic: attempt *k* of
+    job *i* is the same computation everywhere, and the deterministic
+    backoff schedule is a pure function of the attempt number.  Only
+    :data:`~repro.runtime.jobs.RETRYABLE_KINDS` (timeouts, arbitrary
+    runtime errors) are retried; solver and validation failures are pure
+    functions of the trace and would fail identically every time.
+    """
+    total_attempts = policy.max_retries + 1
+    outcome = None
+    for attempt in range(1, total_attempts + 1):
+        backoff = policy.backoff_for_attempt(attempt)
+        if backoff > 0.0:
+            time.sleep(backoff)
+        outcome = _attempt_job(system, job, capture_spans=capture_spans, policy=policy)
+        outcome.attempts = attempt
+        if outcome.ok or outcome.failure.kind not in RETRYABLE_KINDS:
+            break
+    if not outcome.ok:
+        outcome.failure = replace(outcome.failure, attempts=outcome.attempts)
+    return outcome
+
+
+def _attempt_job(
+    system,
+    job: EvalJob,
+    *,
+    capture_spans: bool,
+    policy: ExecutionPolicy,
+) -> JobOutcome:
+    """One attempt at one job: gate, analyze, classify.
 
     With ``capture_spans`` the job runs under a fresh per-job
     :class:`~repro.obs.Tracer` (installed on the system for the duration
@@ -87,32 +214,56 @@ def _evaluate_job(system, job: EvalJob, *, capture_spans: bool = False) -> JobOu
     reset = getattr(system, "reset_warm_state", None)
     if reset is not None:
         reset()
+    drain_fallbacks = getattr(system, "drain_fallback_events", None)
+    if drain_fallbacks is not None:
+        drain_fallbacks()  # discard events a previous (failed) attempt left behind
     job_tracer = Tracer() if capture_spans else NULL_TRACER
     previous_tracer = getattr(system, "tracer", None)
     if capture_spans and previous_tracer is not None:
         system.tracer = job_tracer
     stage_seconds: dict[str, float] = {}
+    quarantined = 0
     start = time.perf_counter()
     try:
         with job_tracer.span("job", index=job.index):
-            analysis = _timed_analysis(system, job.trace, stage_seconds)
-    except SolverError as error:
+            trace = job.trace
+            if policy.validate:
+                from repro.faults.validate import sanitize_trace
+
+                trace, validation = sanitize_trace(
+                    trace, expected_shape=_expected_shape(system)
+                )
+                quarantined = validation.n_quarantined
+            with _job_deadline(policy.timeout_s):
+                analysis = _timed_analysis(system, trace, stage_seconds)
+    except Exception as error:
         return JobOutcome(
             index=job.index,
-            failure=JobFailure(error_type=type(error).__name__, message=str(error)),
+            failure=JobFailure(
+                error_type=type(error).__name__,
+                message=str(error),
+                kind=_classify_failure(error),
+                traceback=traceback_module.format_exc(),
+            ),
             elapsed_s=time.perf_counter() - start,
             stage_seconds=stage_seconds,
             spans=_drain_spans(job_tracer, stage_seconds, capture_spans),
+            quarantined_packets=quarantined,
         )
     finally:
         if capture_spans and previous_tracer is not None:
             system.tracer = previous_tracer
+    fallbacks = ()
+    if drain_fallbacks is not None:
+        fallbacks = tuple(_format_fallback_event(event) for event in drain_fallbacks())
     return JobOutcome(
         index=job.index,
         analysis=analysis,
         elapsed_s=time.perf_counter() - start,
         stage_seconds=stage_seconds,
         spans=_drain_spans(job_tracer, stage_seconds, capture_spans),
+        quarantined_packets=quarantined,
+        fallbacks=fallbacks,
     )
 
 
@@ -165,7 +316,10 @@ def _run_chunk(jobs: list[EvalJob]) -> tuple[list[JobOutcome], float]:
         raise RuntimeError("worker used before initialization")
     warmup_s, _WORKER_WARMUP_PENDING_S = _WORKER_WARMUP_PENDING_S, 0.0
     outcomes = [
-        _evaluate_job(_WORKER_SYSTEM, job, capture_spans=_WORKER_CAPTURE_SPANS) for job in jobs
+        _evaluate_job(
+            _WORKER_SYSTEM, job, capture_spans=_WORKER_CAPTURE_SPANS, policy=_WORKER_POLICY
+        )
+        for job in jobs
     ]
     return outcomes, warmup_s
 
@@ -186,20 +340,37 @@ class BatchResult:
     def failures(self) -> list[JobOutcome]:
         return [outcome for outcome in self.outcomes if not outcome.ok]
 
+    def raise_on_failure(self) -> None:
+        """Raise :class:`SolverError` summarizing *all* distinct failures.
+
+        The message counts every distinct error type in the batch (not
+        just the first failure) and quotes the first failed job for
+        context; per-failure detail — including the worker-side
+        traceback — stays on the :class:`~repro.runtime.jobs.JobFailure`
+        records in :attr:`failures`.
+        """
+        failed = self.failures
+        if not failed:
+            return
+        counts: dict[str, int] = {}
+        for outcome in failed:
+            counts[outcome.failure.error_type] = counts.get(outcome.failure.error_type, 0) + 1
+        summary = ", ".join(f"{name} x{count}" for name, count in sorted(counts.items()))
+        first = failed[0]
+        raise SolverError(
+            f"{len(failed)} of {len(self.outcomes)} batch jobs failed ({summary}); "
+            f"first: job {first.index}: {first.failure.error_type}: "
+            f"{first.failure.message}"
+        )
+
     def strict_analyses(self) -> list[ApAnalysis]:
         """All analyses, raising :class:`SolverError` if any job failed.
 
         This restores sequential-loop semantics for callers (like the
-        experiment drivers) that treat a solver failure as fatal.
+        experiment drivers) that treat a solver failure as fatal; see
+        :meth:`raise_on_failure` for the error's shape.
         """
-        failed = self.failures
-        if failed:
-            first = failed[0]
-            raise SolverError(
-                f"{len(failed)} of {len(self.outcomes)} batch jobs failed; "
-                f"first: job {first.index}: {first.failure.error_type}: "
-                f"{first.failure.message}"
-            )
+        self.raise_on_failure()
         return [outcome.analysis for outcome in self.outcomes]
 
 
@@ -224,6 +395,11 @@ class BatchEvaluator:
     base_seed:
         Per-job seeds are ``base_seed + index`` (see
         :class:`~repro.runtime.jobs.EvalJob`).
+    policy:
+        The :class:`~repro.runtime.jobs.ExecutionPolicy` hardening knobs
+        (validation gate, per-job timeout, bounded retries, pool-respawn
+        budget).  The default policy disables all of them, preserving
+        the original failure semantics.
     tracer:
         Optional :class:`~repro.obs.Tracer`.  When enabled, every job
         runs under its own worker-side tracer (sequential and parallel
@@ -243,6 +419,7 @@ class BatchEvaluator:
     workers: int = 0
     chunk_size: int | None = None
     base_seed: int = 0
+    policy: ExecutionPolicy = DEFAULT_POLICY
     tracer: object = NULL_TRACER
     _local_system: object = field(default=None, repr=False, compare=False)
 
@@ -263,12 +440,13 @@ class BatchEvaluator:
         with self.tracer.span(
             "batch_evaluate", workers=self.workers, n_jobs=len(jobs)
         ):
+            pool_respawns = 0
             if self.workers == 0 or len(jobs) == 0:
                 outcomes, warmup_s = self._evaluate_sequential(jobs)
                 chunk_size = len(jobs) or 1
             else:
                 chunk_size = self._effective_chunk_size(len(jobs))
-                outcomes, warmup_s = self._evaluate_parallel(jobs, chunk_size)
+                outcomes, warmup_s, pool_respawns = self._evaluate_parallel(jobs, chunk_size)
             outcomes.sort(key=lambda outcome: outcome.index)
             # Graft worker-side spans in job order (inside the
             # batch_evaluate span so each job tree hangs under it).
@@ -282,6 +460,7 @@ class BatchEvaluator:
             chunk_size=chunk_size,
             wall_s=wall_s,
             warmup_s=warmup_s,
+            pool_respawns=pool_respawns,
         )
         return BatchResult(outcomes=outcomes, report=report)
 
@@ -294,27 +473,82 @@ class BatchEvaluator:
             warmup_s = _system_warmup_seconds(self._local_system)
         capture = bool(getattr(self.tracer, "enabled", False))
         return [
-            _evaluate_job(self._local_system, job, capture_spans=capture) for job in jobs
+            _evaluate_job(self._local_system, job, capture_spans=capture, policy=self.policy)
+            for job in jobs
         ], warmup_s
 
     def _evaluate_parallel(
         self, jobs: list[EvalJob], chunk_size: int
-    ) -> tuple[list[JobOutcome], float]:
+    ) -> tuple[list[JobOutcome], float, int]:
+        """Pooled evaluation with crash recovery.
+
+        A worker process dying (OOM kill, segfault, ``os.kill``) breaks
+        the whole ``ProcessPoolExecutor``; every unfinished future then
+        raises :class:`BrokenProcessPool`.  Chunk results that already
+        crossed back are kept, the pool is rebuilt, and only the
+        unfinished chunks are resubmitted — up to
+        ``policy.max_pool_respawns`` times, after which the remaining
+        jobs come back as taxonomized ``crash`` failures instead of an
+        exception.  Results stay deterministic throughout: chunk
+        contents never change, so a requeued chunk recomputes exactly
+        what the dead worker would have.
+        """
         chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
-        workers = min(self.workers, len(chunks))
+        capture = bool(getattr(self.tracer, "enabled", False))
+        completed: dict[int, tuple[list[JobOutcome], float]] = {}
+        pending = list(range(len(chunks)))
+        respawns = 0
+        while pending:
+            workers = min(self.workers, len(pending))
+            pool_broke = False
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_initialize_worker,
+                initargs=(self.spec, capture, self.policy),
+            ) as pool:
+                futures = {index: pool.submit(_run_chunk, chunks[index]) for index in pending}
+                for index, future in futures.items():
+                    try:
+                        completed[index] = future.result()
+                    except BrokenProcessPool:
+                        pool_broke = True
+            pending = [index for index in pending if index not in completed]
+            if not pending:
+                break
+            if not pool_broke:  # pragma: no cover - defensive: avoid spinning
+                raise ConfigurationError(
+                    f"{len(pending)} chunks unfinished without a pool crash"
+                )
+            if respawns >= self.policy.max_pool_respawns:
+                break
+            respawns += 1
+
         outcomes: list[JobOutcome] = []
         warmup_s = 0.0
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_initialize_worker,
-            initargs=(self.spec, bool(getattr(self.tracer, "enabled", False))),
-        ) as pool:
-            futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-            for future in futures:
-                chunk_outcomes, chunk_warmup_s = future.result()
-                outcomes.extend(chunk_outcomes)
-                warmup_s += chunk_warmup_s
-        return outcomes, warmup_s
+        for index in sorted(completed):
+            chunk_outcomes, chunk_warmup_s = completed[index]
+            outcomes.extend(chunk_outcomes)
+            warmup_s += chunk_warmup_s
+        # Respawn budget exhausted: the still-unfinished jobs become
+        # tagged crash failures so the batch completes with data.
+        for index in pending:
+            for job in chunks[index]:
+                outcomes.append(
+                    JobOutcome(
+                        index=job.index,
+                        failure=JobFailure(
+                            error_type="PoolCrashError",
+                            message=(
+                                "worker process died and the pool-respawn budget "
+                                f"({self.policy.max_pool_respawns}) is exhausted"
+                            ),
+                            kind="crash",
+                            attempts=respawns + 1,
+                        ),
+                        attempts=respawns + 1,
+                    )
+                )
+        return outcomes, warmup_s, respawns
 
     def _effective_chunk_size(self, n_jobs: int) -> int:
         if self.chunk_size is not None:
@@ -331,10 +565,16 @@ def evaluate_traces(
     workers: int = 0,
     chunk_size: int | None = None,
     base_seed: int = 0,
+    policy: ExecutionPolicy = DEFAULT_POLICY,
     tracer=NULL_TRACER,
 ) -> BatchResult:
     """One-shot convenience wrapper around :class:`BatchEvaluator`."""
     evaluator = BatchEvaluator(
-        system, workers=workers, chunk_size=chunk_size, base_seed=base_seed, tracer=tracer
+        system,
+        workers=workers,
+        chunk_size=chunk_size,
+        base_seed=base_seed,
+        policy=policy,
+        tracer=tracer,
     )
     return evaluator.evaluate(traces)

@@ -10,6 +10,9 @@ process boundary lives here and is deliberately small:
   per process, so the joint dictionary is never pickled and never built
   per trace.
 * :class:`EvalJob` — one unit of work: a trace plus a stable identity.
+* :class:`ExecutionPolicy` — the hardening knobs (validation gate,
+  per-job timeout, bounded retries) every worker enforces locally, so
+  the sequential and pooled paths behave identically.
 * :class:`JobFailure` / :class:`JobOutcome` — what comes back.
 """
 
@@ -113,17 +116,102 @@ class EvalJob:
     seed: int = 0
 
 
+#: Failure taxonomy: how a job failed, independent of the exception type.
+#: ``validation`` — the input gate rejected the trace; ``solver`` — the
+#: sparse solve failed; ``timeout`` — the per-job deadline fired;
+#: ``runtime`` — any other worker-side exception; ``crash`` — the worker
+#: process died and the pool-respawn budget ran out.
+FAILURE_KINDS = ("validation", "solver", "timeout", "runtime", "crash")
+
+#: Kinds worth retrying: a timeout or an arbitrary runtime error may be
+#: transient (contention, a flaky dependency), but a solver or
+#: validation failure is a pure function of the trace and would fail
+#: identically on every attempt.
+RETRYABLE_KINDS = ("timeout", "runtime")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Hardening knobs enforced where the job runs.
+
+    The policy ships to every worker through the pool initializer and
+    applies identically on the in-process sequential path, so enabling
+    it never breaks the worker-count parity guarantee.
+
+    Attributes
+    ----------
+    timeout_s:
+        Per-job (per-attempt) wall-clock budget, enforced with a POSIX
+        interval timer inside the worker.  ``None`` disables it.  Code
+        stuck inside a C extension that never returns to the
+        interpreter cannot be interrupted this way — the pool-crash
+        recovery is the backstop for that.
+    max_retries:
+        Extra attempts for retryable failures (:data:`RETRYABLE_KINDS`).
+        Deterministic: attempt *k* of a job is the same computation on
+        every worker count, and the backoff schedule is a pure function
+        of the attempt number.
+    backoff_s:
+        Sleep before retry *k* is ``backoff_s · 2^(k-1)``.
+    validate:
+        Run the CSI validation gate
+        (:func:`repro.faults.validate.sanitize_trace`) before analysis:
+        quarantine bad packets, fail the job with a ``validation``
+        failure when nothing survives.  Off by default — the gate is a
+        byte-identical no-op on clean traces, but leaving it opt-in
+        keeps the default path's failure semantics unchanged.
+    max_pool_respawns:
+        Parent-side: how many times a crashed process pool is rebuilt
+        before the still-unfinished jobs are tagged as ``crash``
+        failures.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 0
+    backoff_s: float = 0.0
+    validate: bool = False
+    max_pool_respawns: int = 2
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ConfigurationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ConfigurationError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.max_pool_respawns < 0:
+            raise ConfigurationError(
+                f"max_pool_respawns must be >= 0, got {self.max_pool_respawns}"
+            )
+
+    def backoff_for_attempt(self, attempt: int) -> float:
+        """Deterministic exponential backoff before retry ``attempt`` (2-based)."""
+        if self.backoff_s <= 0.0 or attempt <= 1:
+            return 0.0
+        return self.backoff_s * (2.0 ** (attempt - 2))
+
+
+#: The default, fully permissive policy (no gate, no timeout, no retries).
+DEFAULT_POLICY = ExecutionPolicy()
+
+
 @dataclass(frozen=True)
 class JobFailure:
-    """A tagged record of a job that raised :class:`~repro.exceptions.SolverError`.
+    """A tagged record of a failed job.
 
-    Workers convert solver failures into data instead of exceptions so
-    one degenerate trace cannot poison the pool; the error type name and
-    message survive the trip back for diagnostics.
+    Workers convert failures into data instead of exceptions so one
+    degenerate trace cannot poison the pool.  Besides the error type
+    name and message, the failure carries its taxonomy ``kind`` (one of
+    :data:`FAILURE_KINDS`), the worker-side ``traceback`` string (the
+    exception object itself cannot cross the process boundary intact),
+    and how many ``attempts`` were spent before giving up.
     """
 
     error_type: str
     message: str
+    kind: str = "solver"
+    traceback: str = ""
+    attempts: int = 1
 
 
 @dataclass
@@ -138,6 +226,12 @@ class JobOutcome:
     batch ran with tracing enabled — serialized rather than live so they
     survive the pickle trip back from worker processes; the parent
     re-homes them via :meth:`repro.obs.Tracer.adopt`.
+
+    The hardening fields: ``attempts`` counts executions of this job
+    (1 = first try succeeded), ``quarantined_packets`` how many packets
+    the validation gate removed before analysis, and ``fallbacks`` any
+    guardrail fallback events the estimator recorded during the job
+    (see :meth:`repro.core.pipeline.RoArrayEstimator.drain_fallback_events`).
     """
 
     index: int
@@ -146,6 +240,9 @@ class JobOutcome:
     elapsed_s: float = 0.0
     stage_seconds: dict[str, float] = field(default_factory=dict)
     spans: list[dict] = field(default_factory=list)
+    attempts: int = 1
+    quarantined_packets: int = 0
+    fallbacks: tuple[str, ...] = ()
 
     @property
     def ok(self) -> bool:

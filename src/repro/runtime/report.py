@@ -79,6 +79,20 @@ class RuntimeReport:
         Summed per-stage worker seconds (see :class:`StageTotals`).
     job_seconds:
         Per-job wall seconds, in job order.
+    failure_kinds:
+        Failure taxonomy: count per
+        :data:`~repro.runtime.jobs.FAILURE_KINDS` bucket (only nonzero
+        buckets appear).
+    n_timeouts / n_retries:
+        How many jobs timed out (every attempt), and how many extra
+        attempts the whole batch spent on retries.
+    n_quarantined_packets:
+        Packets the validation gate removed before analysis.
+    n_fallbacks:
+        Guardrail fallback events recorded across all jobs (a solve
+        that needed its fallback chain).
+    pool_respawns:
+        How many times a crashed worker pool was rebuilt.
     """
 
     workers: int
@@ -88,6 +102,12 @@ class RuntimeReport:
     wall_s: float = 0.0
     stages: StageTotals = field(default_factory=StageTotals)
     job_seconds: list[float] = field(default_factory=list)
+    failure_kinds: dict[str, int] = field(default_factory=dict)
+    n_timeouts: int = 0
+    n_retries: int = 0
+    n_quarantined_packets: int = 0
+    n_fallbacks: int = 0
+    pool_respawns: int = 0
 
     @classmethod
     def from_outcomes(
@@ -98,13 +118,23 @@ class RuntimeReport:
         chunk_size: int,
         wall_s: float,
         warmup_s: float = 0.0,
+        pool_respawns: int = 0,
     ) -> "RuntimeReport":
-        report = cls(workers=workers, chunk_size=chunk_size, wall_s=wall_s)
+        report = cls(
+            workers=workers, chunk_size=chunk_size, wall_s=wall_s, pool_respawns=pool_respawns
+        )
         report.stages.dictionary_s += warmup_s
         for outcome in outcomes:
             report.n_jobs += 1
             if not outcome.ok:
                 report.n_failures += 1
+                kind = outcome.failure.kind
+                report.failure_kinds[kind] = report.failure_kinds.get(kind, 0) + 1
+                if kind == "timeout":
+                    report.n_timeouts += 1
+            report.n_retries += max(0, outcome.attempts - 1)
+            report.n_quarantined_packets += outcome.quarantined_packets
+            report.n_fallbacks += len(outcome.fallbacks)
             report.stages.add(outcome.stage_seconds)
             report.job_seconds.append(outcome.elapsed_s)
         return report
@@ -148,6 +178,28 @@ class RuntimeReport:
                 f"per-job: mean {self.busy_s / len(self.job_seconds):.3f} s, "
                 f"max {max(self.job_seconds):.3f} s"
             )
+        if (
+            self.n_retries
+            or self.n_timeouts
+            or self.n_fallbacks
+            or self.n_quarantined_packets
+            or self.pool_respawns
+            or self.failure_kinds
+        ):
+            parts = [
+                f"retries {self.n_retries}",
+                f"timeouts {self.n_timeouts}",
+                f"fallbacks {self.n_fallbacks}",
+                f"quarantined packets {self.n_quarantined_packets}",
+                f"pool respawns {self.pool_respawns}",
+            ]
+            line = "hardening: " + " | ".join(parts)
+            if self.failure_kinds:
+                kinds = ", ".join(
+                    f"{kind} x{self.failure_kinds[kind]}" for kind in sorted(self.failure_kinds)
+                )
+                line += f" | failures: {kinds}"
+            lines.append(line)
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -162,4 +214,10 @@ class RuntimeReport:
             "busy_s": self.busy_s,
             "stages": self.stages.to_dict(),
             "job_seconds": list(self.job_seconds),
+            "failure_kinds": dict(self.failure_kinds),
+            "n_timeouts": self.n_timeouts,
+            "n_retries": self.n_retries,
+            "n_quarantined_packets": self.n_quarantined_packets,
+            "n_fallbacks": self.n_fallbacks,
+            "pool_respawns": self.pool_respawns,
         }

@@ -6,11 +6,13 @@ import pytest
 from repro.channel.geometry import AccessPoint, Room
 from repro.core.localization import (
     ApObservation,
+    DroppedAp,
+    localize_robust,
     localize_weighted_aoa,
     predicted_aoa_grid,
     rssi_weights,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, QuorumError
 
 
 ROOM = Room(width=10.0, depth=8.0)
@@ -122,3 +124,85 @@ class TestLocalization:
     def test_observation_validates_aoa(self):
         with pytest.raises(ConfigurationError):
             ApObservation(AP_WEST, aoa_deg=200.0)
+
+
+AP_EAST = AccessPoint(position=(10.0, 4.0), axis_direction_deg=90.0, name="east")
+AP_NORTH = AccessPoint(position=(5.0, 8.0), axis_direction_deg=0.0, name="north")
+
+
+class TestDegradedLocalization:
+    def _observations(self, client, aps=(AP_WEST, AP_SOUTH, AP_EAST, AP_NORTH)):
+        return [truth_observation(ap, client) for ap in aps]
+
+    def test_full_survivor_fix_matches_plain_localization(self):
+        client = (4.0, 3.0)
+        observations = self._observations(client)
+        plain = localize_weighted_aoa(observations, ROOM, resolution_m=0.1)
+        robust = localize_robust(observations, ROOM, resolution_m=0.1)
+        assert robust.position == plain.position
+        assert robust.cost == plain.cost
+        assert not robust.degraded
+        assert robust.dropped_aps == ()
+        assert robust.used_aps == ("west", "south", "east", "north")
+
+    def test_consistent_full_quorum_fix_has_high_confidence(self):
+        robust = localize_robust(self._observations((4.0, 3.0)), ROOM)
+        assert 0.9 < robust.confidence <= 1.0
+
+    def test_dropping_aps_lowers_confidence_and_flags_degraded(self):
+        client = (4.0, 3.0)
+        full = localize_robust(self._observations(client), ROOM)
+        degraded = localize_robust(
+            self._observations(client, aps=(AP_WEST, AP_SOUTH)),
+            ROOM,
+            dropped=[DroppedAp("east", "outage"), DroppedAp("north", "outage")],
+        )
+        assert degraded.degraded
+        assert degraded.confidence < full.confidence
+        assert degraded.dropped_aps == (
+            DroppedAp("east", "outage"),
+            DroppedAp("north", "outage"),
+        )
+
+    def test_disagreeing_survivors_lower_confidence(self):
+        client = (4.0, 3.0)
+        consistent = localize_robust(self._observations(client), ROOM)
+        skewed = [
+            truth_observation(AP_WEST, client),
+            truth_observation(AP_SOUTH, client),
+            ApObservation(AP_EAST, 30.0, -50.0),  # way off the truth
+            truth_observation(AP_NORTH, client),
+        ]
+        assert localize_robust(skewed, ROOM).confidence < consistent.confidence
+
+    def test_below_quorum_raises_with_reasons(self):
+        with pytest.raises(QuorumError, match="below quorum") as excinfo:
+            localize_robust(
+                [truth_observation(AP_WEST, (4.0, 3.0))],
+                ROOM,
+                dropped=[DroppedAp("south", "solver: diverged")],
+            )
+        assert "south: solver: diverged" in str(excinfo.value)
+
+    def test_min_quorum_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            localize_robust(self._observations((4.0, 3.0)), ROOM, min_quorum=1)
+
+    def test_raised_quorum_is_enforced(self):
+        observations = self._observations((4.0, 3.0), aps=(AP_WEST, AP_SOUTH))
+        localize_robust(observations, ROOM, min_quorum=2)  # passes
+        with pytest.raises(QuorumError):
+            localize_robust(observations, ROOM, min_quorum=3)
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        robust = localize_robust(
+            self._observations((4.0, 3.0), aps=(AP_WEST, AP_SOUTH)),
+            ROOM,
+            dropped=[DroppedAp("east", "outage")],
+        )
+        payload = json.loads(json.dumps(robust.to_dict()))
+        assert payload["degraded"] is True
+        assert payload["quorum"] == 2
+        assert payload["dropped_aps"] == [{"name": "east", "reason": "outage"}]

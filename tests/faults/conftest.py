@@ -1,0 +1,17 @@
+"""Fixtures for the fault-injection suite: one clean synthetic trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.paths import random_profile
+from repro.channel.trace import CsiTrace
+
+
+@pytest.fixture
+def clean_trace(array, layout, clean_impairments, rng) -> CsiTrace:
+    """A 10-packet, defect-free trace on the reduced test layout."""
+    synthesizer = CsiSynthesizer(array, layout, clean_impairments, seed=7)
+    profile = random_profile(rng, n_paths=3, direct_aoa_deg=70.0)
+    return synthesizer.packets(profile, n_packets=10, snr_db=15.0, rng=rng)

@@ -1,0 +1,112 @@
+"""End-to-end chaos acceptance tests.
+
+The scenario from the robustness acceptance criteria: a 6-AP world
+where 2 APs are killed, a third loses an antenna, and 20% of every
+surviving AP's packets are NaN-corrupted — and the pipeline still
+produces a :class:`~repro.core.localization.DegradedResult` per
+location, deterministically, at any worker count.
+
+These run the full estimator per AP per location, so they carry the
+``chaos`` marker alongside the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.faults import demo_scenario, run_chaos_experiment
+
+pytestmark = pytest.mark.chaos
+
+#: One small world, analyzed once per module (the experiment is pure).
+_KWARGS = dict(n_aps=6, n_locations=2, n_packets=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def chaos_result():
+    return run_chaos_experiment(**_KWARGS)
+
+
+class TestGracefulDegradation:
+    def test_every_location_gets_a_fix_not_an_exception(self, chaos_result):
+        assert chaos_result.n_located == len(chaos_result.locations)
+        for outcome in chaos_result.locations:
+            assert outcome.fix is not None
+            assert outcome.quorum_failure is None
+
+    def test_fixes_are_degraded_and_scored(self, chaos_result):
+        for outcome in chaos_result.locations:
+            fix = outcome.fix
+            assert fix.degraded
+            assert 0.0 < fix.confidence <= 1.0
+            assert len(fix.used_aps) == 4  # 6 APs minus the 2 outages
+            assert len(fix.dropped_aps) == 2
+            assert all("outage" in ap.reason for ap in fix.dropped_aps)
+
+    def test_validation_gate_quarantined_the_corruption(self, chaos_result):
+        # 20% of 8 packets ≈ 2 per surviving AP; 4 survivors × 2 locations.
+        assert chaos_result.report.n_quarantined_packets == 16
+        assert chaos_result.report.n_failures == 0
+
+    def test_injection_log_matches_the_scenario(self, chaos_result):
+        for outcome in chaos_result.locations:
+            kinds = [record.fault.kind for record in outcome.injection.injected]
+            assert kinds.count("ap_outage") == 2
+            assert kinds.count("antenna_dropout") == 1
+            assert kinds.count("value_corruption") == 4
+            assert outcome.injection.dead == (4, 5)
+
+    def test_degradation_rows_render(self, chaos_result):
+        from repro.experiments.reporting.markdown import format_degradation_table
+
+        table = format_degradation_table(chaos_result.degradation_rows())
+        assert "| location |" in table
+        assert "AP outage" in table
+        assert table.count("\n") == 2 + len(chaos_result.locations)
+
+    def test_result_is_json_serializable(self, chaos_result):
+        payload = json.loads(json.dumps(chaos_result.to_dict()))
+        assert payload["n_located"] == 2
+        assert payload["report"]["n_quarantined_packets"] == 16
+        assert payload["metrics"]["chaos.aps_killed"]["value"] == 4.0
+
+
+class TestChaosDeterminism:
+    def test_rerun_is_byte_identical(self, chaos_result):
+        rerun = run_chaos_experiment(**_KWARGS)
+        assert json.dumps(rerun.to_dict()["locations"], sort_keys=True) == json.dumps(
+            chaos_result.to_dict()["locations"], sort_keys=True
+        )
+
+    def test_worker_count_does_not_change_results(self, chaos_result):
+        parallel = run_chaos_experiment(**_KWARGS, workers=2)
+        assert json.dumps(parallel.to_dict()["locations"], sort_keys=True) == json.dumps(
+            chaos_result.to_dict()["locations"], sort_keys=True
+        )
+
+    def test_different_seed_changes_the_world(self, chaos_result):
+        other = run_chaos_experiment(n_aps=6, n_locations=2, n_packets=8, seed=4)
+        assert json.dumps(other.to_dict()["locations"]) != json.dumps(
+            chaos_result.to_dict()["locations"]
+        )
+
+
+class TestChaosValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            run_chaos_experiment(n_locations=0)
+        with pytest.raises(ConfigurationError):
+            run_chaos_experiment(band="nope")
+
+    def test_scenario_killing_too_many_aps_hits_quorum(self):
+        scenario = demo_scenario(4, seed=0)
+        result = run_chaos_experiment(
+            scenario, n_aps=4, n_locations=1, n_packets=6, seed=0, min_quorum=3
+        )
+        outcome = result.locations[0]
+        assert outcome.fix is None
+        assert "below quorum" in outcome.quorum_failure
+        assert result.n_located == 0

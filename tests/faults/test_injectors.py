@@ -1,0 +1,172 @@
+"""Unit tests for the CSI fault injectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FaultInjectionError
+from repro.faults import (
+    INJECTORS,
+    AntennaDropout,
+    ApOutage,
+    PacketDuplication,
+    PacketLoss,
+    PhaseGlitch,
+    SnrCollapse,
+    SubcarrierNulling,
+    ValueCorruption,
+)
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestDeterminismAndPurity:
+    @pytest.mark.parametrize(
+        "injector",
+        [
+            AntennaDropout(n_antennas=1),
+            SubcarrierNulling(fraction=0.25),
+            PacketLoss(probability=0.4),
+            PacketDuplication(probability=0.4),
+            PhaseGlitch(probability=0.5),
+            ValueCorruption(fraction=0.3),
+            SnrCollapse(drop_db=8.0),
+        ],
+        ids=lambda injector: type(injector).__name__,
+    )
+    def test_same_seed_reproduces_identical_fault(self, clean_trace, injector):
+        first, faults_a = injector.apply(clean_trace, _rng(42))
+        second, faults_b = injector.apply(clean_trace, _rng(42))
+        assert first.equals(second)
+        assert faults_a == faults_b
+
+    def test_input_trace_is_never_mutated(self, clean_trace):
+        original = clean_trace.csi.copy()
+        for injector in (
+            AntennaDropout(),
+            SubcarrierNulling(fraction=0.25),
+            PacketLoss(probability=0.5),
+            PhaseGlitch(probability=0.9),
+            ValueCorruption(fraction=0.5),
+            SnrCollapse(),
+        ):
+            injector.apply(clean_trace, _rng(1))
+            np.testing.assert_array_equal(clean_trace.csi, original)
+
+    def test_different_seeds_differ(self, clean_trace):
+        injector = ValueCorruption(fraction=0.3)
+        first, _ = injector.apply(clean_trace, _rng(0))
+        second, _ = injector.apply(clean_trace, _rng(1))
+        assert not first.equals(second)
+
+
+class TestInjectorInvariants:
+    def test_antenna_dropout_keeps_one_alive(self, clean_trace):
+        injector = AntennaDropout(n_antennas=99)  # way more than exist
+        faulted, faults = injector.apply(clean_trace, _rng(0))
+        power = np.sum(np.abs(faulted.csi) ** 2, axis=(0, 2))
+        assert np.count_nonzero(power) >= 1
+        assert faults[0].kind == "antenna_dropout"
+
+    def test_antenna_dropout_pinned_victims(self, clean_trace):
+        faulted, _ = AntennaDropout(antennas=(1,)).apply(clean_trace, _rng(0))
+        assert np.all(faulted.csi[:, 1, :] == 0)
+        assert np.any(faulted.csi[:, 0, :] != 0)
+
+    def test_antenna_dropout_rejects_killing_all(self, clean_trace):
+        victims = tuple(range(clean_trace.n_antennas))
+        with pytest.raises(FaultInjectionError):
+            AntennaDropout(antennas=victims).apply(clean_trace, _rng(0))
+
+    def test_subcarrier_nulling_zeroes_selected_bins(self, clean_trace):
+        faulted, faults = SubcarrierNulling(fraction=0.25).apply(clean_trace, _rng(0))
+        power = np.sum(np.abs(faulted.csi) ** 2, axis=(0, 1))
+        n_nulled = int(round(0.25 * clean_trace.n_subcarriers))
+        assert np.count_nonzero(power == 0) == n_nulled
+        assert faults[0].kind == "subcarrier_null"
+
+    def test_packet_loss_keeps_one_packet(self, clean_trace):
+        faulted, _ = PacketLoss(probability=1.0).apply(clean_trace, _rng(0))
+        assert faulted.n_packets == 1
+
+    def test_packet_loss_slices_detection_delays(self, clean_trace):
+        faulted, faults = PacketLoss(probability=0.5).apply(clean_trace, _rng(3))
+        assert faulted.n_packets < clean_trace.n_packets
+        assert faulted.detection_delays_s.shape[0] == faulted.n_packets
+        assert faults[0].kind == "packet_loss"
+
+    def test_packet_duplication_grows_the_trace(self, clean_trace):
+        faulted, faults = PacketDuplication(probability=1.0).apply(clean_trace, _rng(0))
+        assert faulted.n_packets == 2 * clean_trace.n_packets
+        np.testing.assert_array_equal(faulted.csi[0], faulted.csi[1])
+        assert faulted.detection_delays_s.shape[0] == faulted.n_packets
+        assert faults[0].kind == "packet_duplication"
+
+    def test_phase_glitch_preserves_magnitude(self, clean_trace):
+        faulted, _ = PhaseGlitch(probability=1.0).apply(clean_trace, _rng(0))
+        np.testing.assert_allclose(np.abs(faulted.csi), np.abs(clean_trace.csi))
+        assert not np.allclose(faulted.csi, clean_trace.csi)
+
+    def test_value_corruption_poisons_expected_packets(self, clean_trace):
+        faulted, faults = ValueCorruption(fraction=0.3).apply(clean_trace, _rng(0))
+        bad = ~np.isfinite(faulted.csi).all(axis=(1, 2))
+        assert np.count_nonzero(bad) == int(round(0.3 * clean_trace.n_packets))
+        assert faults[0].kind == "value_corruption"
+
+    def test_value_corruption_inf_mode(self, clean_trace):
+        faulted, _ = ValueCorruption(fraction=0.2, mode="inf").apply(clean_trace, _rng(0))
+        assert np.isinf(faulted.csi.real).any() or np.isinf(faulted.csi.imag).any()
+        assert not np.isnan(faulted.csi.real).any()
+
+    def test_snr_collapse_updates_snr_and_adds_noise(self, clean_trace):
+        faulted, faults = SnrCollapse(drop_db=10.0).apply(clean_trace, _rng(0))
+        assert faulted.snr_db == pytest.approx(clean_trace.snr_db - 10.0)
+        assert not np.allclose(faulted.csi, clean_trace.csi)
+        assert faults[0].kind == "snr_collapse"
+
+    def test_ap_outage_returns_none(self, clean_trace):
+        faulted, faults = ApOutage().apply(clean_trace, _rng(0))
+        assert faulted is None
+        assert faults[0].kind == "ap_outage"
+
+    def test_zero_rate_faults_are_noops(self, clean_trace):
+        for injector in (
+            SubcarrierNulling(fraction=0.0),
+            PacketLoss(probability=0.0),
+            PacketDuplication(probability=0.0),
+            PhaseGlitch(probability=0.0),
+            ValueCorruption(fraction=0.0),
+        ):
+            faulted, faults = injector.apply(clean_trace, _rng(0))
+            assert faulted is clean_trace
+            assert faults == []
+
+
+class TestParameterValidation:
+    def test_fractions_must_be_fractions(self):
+        with pytest.raises(FaultInjectionError):
+            SubcarrierNulling(fraction=1.5)
+        with pytest.raises(FaultInjectionError):
+            PacketLoss(probability=-0.1)
+        with pytest.raises(FaultInjectionError):
+            ValueCorruption(fraction=2.0)
+
+    def test_other_knobs_validated(self):
+        with pytest.raises(FaultInjectionError):
+            AntennaDropout(n_antennas=0)
+        with pytest.raises(FaultInjectionError):
+            PhaseGlitch(max_jump_rad=0.0)
+        with pytest.raises(FaultInjectionError):
+            ValueCorruption(entries_per_packet=0)
+        with pytest.raises(FaultInjectionError):
+            ValueCorruption(mode="zero")
+        with pytest.raises(FaultInjectionError):
+            SnrCollapse(drop_db=-1.0)
+
+    def test_catalogue_lists_every_injector(self):
+        assert len(INJECTORS) == 8
+        kinds = {injector.kind for injector in INJECTORS}
+        assert len(kinds) == 8

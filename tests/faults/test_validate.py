@@ -1,0 +1,118 @@
+"""Unit tests for the CSI validation gate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import ValidationError
+from repro.faults import (
+    AntennaDropout,
+    ValueCorruption,
+    classify_defects,
+    sanitize_trace,
+)
+
+
+class TestCleanPath:
+    def test_clean_trace_returns_same_object(self, clean_trace):
+        sanitized, report = sanitize_trace(clean_trace)
+        assert sanitized is clean_trace  # identity: the gate is a true no-op
+        assert report.clean
+        assert report.n_quarantined == 0
+
+    def test_clean_trace_with_expected_shape(self, clean_trace):
+        shape = (clean_trace.n_antennas, clean_trace.n_subcarriers)
+        sanitized, report = sanitize_trace(clean_trace, expected_shape=shape)
+        assert sanitized is clean_trace
+        assert report.clean
+
+
+class TestDefectClassification:
+    def test_non_finite_packets_detected(self, clean_trace):
+        faulted, _ = ValueCorruption(fraction=0.3).apply(
+            clean_trace, np.random.default_rng(0)
+        )
+        defects = classify_defects(faulted)
+        assert {d.kind for d in defects} == {"non_finite"}
+        assert len(defects) == int(round(0.3 * clean_trace.n_packets))
+
+    def test_zero_power_packet_detected(self, clean_trace):
+        csi = clean_trace.csi.copy()
+        csi[2] = 0.0
+        defects = classify_defects(CsiTrace(csi=csi, snr_db=clean_trace.snr_db))
+        assert [d.kind for d in defects] == ["zero_power_packet"]
+        assert defects[0].packet == 2
+
+    def test_dead_antenna_detected_structurally(self, clean_trace):
+        faulted, _ = AntennaDropout(antennas=(1,)).apply(
+            clean_trace, np.random.default_rng(0)
+        )
+        defects = classify_defects(faulted)
+        assert [d.kind for d in defects] == ["zero_power_antenna"]
+        assert defects[0].antenna == 1
+
+    def test_empty_trace_detected(self):
+        empty = CsiTrace(csi=np.zeros((0, 3, 16), dtype=complex), snr_db=10.0)
+        defects = classify_defects(empty)
+        assert [d.kind for d in defects] == ["empty"]
+
+    def test_shape_mismatch_detected(self, clean_trace):
+        defects = classify_defects(clean_trace, expected_shape=(4, 30))
+        assert [d.kind for d in defects] == ["shape_mismatch"]
+
+
+class TestSanitization:
+    def test_quarantines_poisoned_packets(self, clean_trace):
+        faulted, _ = ValueCorruption(fraction=0.3).apply(
+            clean_trace, np.random.default_rng(0)
+        )
+        sanitized, report = sanitize_trace(faulted)
+        n_bad = int(round(0.3 * clean_trace.n_packets))
+        assert report.n_quarantined == n_bad
+        assert sanitized.n_packets == clean_trace.n_packets - n_bad
+        assert np.isfinite(sanitized.csi).all()
+        assert sanitized.detection_delays_s.shape[0] in (0, sanitized.n_packets)
+
+    def test_surviving_packets_are_bitwise_originals(self, clean_trace):
+        faulted, _ = ValueCorruption(fraction=0.2).apply(
+            clean_trace, np.random.default_rng(0)
+        )
+        sanitized, report = sanitize_trace(faulted)
+        keep = [p for p in range(clean_trace.n_packets) if p not in report.quarantined_packets]
+        np.testing.assert_array_equal(sanitized.csi, clean_trace.csi[keep])
+
+    def test_all_packets_bad_raises(self, clean_trace):
+        csi = clean_trace.csi.copy()
+        csi[:, 0, 0] = np.nan
+        with pytest.raises(ValidationError, match="all .* packets quarantined"):
+            sanitize_trace(CsiTrace(csi=csi, snr_db=clean_trace.snr_db))
+
+    def test_empty_trace_raises(self):
+        empty = CsiTrace(csi=np.zeros((0, 3, 16), dtype=complex), snr_db=10.0)
+        with pytest.raises(ValidationError, match="empty"):
+            sanitize_trace(empty)
+
+    def test_shape_mismatch_raises(self, clean_trace):
+        with pytest.raises(ValidationError, match="shape_mismatch"):
+            sanitize_trace(clean_trace, expected_shape=(4, 30))
+
+    def test_dead_antenna_survives_but_is_reported(self, clean_trace):
+        faulted, _ = AntennaDropout(antennas=(0,)).apply(
+            clean_trace, np.random.default_rng(0)
+        )
+        sanitized, report = sanitize_trace(faulted)
+        # A dead antenna is degradation, not grounds for rejection.
+        assert sanitized is faulted
+        assert report.dead_antennas == (0,)
+
+    def test_report_round_trips_to_json(self, clean_trace):
+        import json
+
+        faulted, _ = ValueCorruption(fraction=0.3).apply(
+            clean_trace, np.random.default_rng(0)
+        )
+        _, report = sanitize_trace(faulted)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["quarantined_packets"] == list(report.quarantined_packets)

@@ -1,0 +1,319 @@
+"""Tests for the hardened batch runtime.
+
+Covers the execution policy (validation gate, per-job timeouts, bounded
+retries), the failure taxonomy, worker-crash recovery, and the parity
+guarantee under all of them.  The chaos-monkey systems live at module
+level so they pickle into worker processes.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import ConfigurationError, SolverError
+from repro.runtime import BatchEvaluator, ExecutionPolicy
+from tests.runtime.conftest import make_traces, poison_trace
+
+#: Sentinel SNRs the chaos-monkey systems key off (normal traces use >0).
+HANG_SNR = -101.0
+KILL_SNR = -102.0
+FAIL_SNR = -103.0
+TYPE_FAIL_SNR = -104.0
+
+
+def sentinel_trace(snr_db: float, *, n_packets: int = 2) -> CsiTrace:
+    """A tiny valid trace whose SNR tells the chaos system what to do."""
+    return CsiTrace(csi=np.ones((n_packets, 3, 8), dtype=complex), snr_db=snr_db)
+
+
+@dataclass(frozen=True)
+class DummyAnalysis:
+    """A deterministic, picklable stand-in for an ApAnalysis."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class ChaosMonkeySystem:
+    """Misbehaves on sentinel traces, succeeds deterministically otherwise.
+
+    * ``HANG_SNR`` — sleeps far longer than any test timeout budget.
+    * ``KILL_SNR`` — SIGKILLs its own process, the way an OOM kill
+      lands.  With a ``marker`` file the kill happens once (the marker
+      arbitrates); without one it happens every time.
+    * ``FAIL_SNR`` — raises ``ValueError`` until ``marker`` exists, so a
+      retry succeeds; without a marker it always raises.
+    * ``TYPE_FAIL_SNR`` — always raises ``TypeError``.
+    """
+
+    name: str = "chaos-monkey"
+    marker: str = ""
+
+    def analyze(self, trace: CsiTrace) -> DummyAnalysis:
+        if trace.snr_db == HANG_SNR:
+            time.sleep(30.0)
+        if trace.snr_db == KILL_SNR:
+            if not self.marker:
+                os.kill(os.getpid(), signal.SIGKILL)
+            if not os.path.exists(self.marker):
+                with open(self.marker, "w") as handle:
+                    handle.write("killed")
+                os.kill(os.getpid(), signal.SIGKILL)
+        if trace.snr_db == FAIL_SNR:
+            if not self.marker or not os.path.exists(self.marker):
+                if self.marker:
+                    with open(self.marker, "w") as handle:
+                        handle.write("failed once")
+                raise ValueError("transient extractor glitch")
+        if trace.snr_db == TYPE_FAIL_SNR:
+            raise TypeError("incompatible trace format")
+        return DummyAnalysis(value=float(trace.snr_db) * 2.0)
+
+
+class TestExecutionPolicy:
+    def test_validates_knobs(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(backoff_s=-0.5)
+        with pytest.raises(ConfigurationError):
+            ExecutionPolicy(max_pool_respawns=-1)
+
+    def test_backoff_schedule_is_exponential(self):
+        policy = ExecutionPolicy(max_retries=3, backoff_s=0.5)
+        assert policy.backoff_for_attempt(1) == 0.0
+        assert policy.backoff_for_attempt(2) == 0.5
+        assert policy.backoff_for_attempt(3) == 1.0
+        assert policy.backoff_for_attempt(4) == 2.0
+
+
+class TestTimeouts:
+    def test_hung_job_is_taxonomized_not_fatal(self):
+        system = ChaosMonkeySystem()
+        traces = [sentinel_trace(10.0), sentinel_trace(HANG_SNR), sentinel_trace(12.0)]
+        policy = ExecutionPolicy(timeout_s=0.3)
+        start = time.perf_counter()
+        result = BatchEvaluator(system, policy=policy).evaluate(traces)
+        assert time.perf_counter() - start < 10.0  # nowhere near the 30 s sleep
+        assert [o.ok for o in result.outcomes] == [True, False, True]
+        failure = result.outcomes[1].failure
+        assert failure.kind == "timeout"
+        assert failure.error_type == "JobTimeoutError"
+        assert result.report.n_timeouts == 1
+        assert result.report.failure_kinds == {"timeout": 1}
+
+    def test_timeout_applies_in_worker_processes(self):
+        system = ChaosMonkeySystem()
+        traces = [sentinel_trace(10.0), sentinel_trace(HANG_SNR)]
+        policy = ExecutionPolicy(timeout_s=0.3)
+        result = BatchEvaluator(system, workers=2, policy=policy).evaluate(traces)
+        assert result.outcomes[1].failure.kind == "timeout"
+
+
+class TestRetries:
+    def test_transient_failure_retried_to_success(self, tmp_path):
+        system = ChaosMonkeySystem(marker=str(tmp_path / "flaky"))
+        traces = [sentinel_trace(10.0), sentinel_trace(FAIL_SNR)]
+        policy = ExecutionPolicy(max_retries=1)
+        result = BatchEvaluator(system, policy=policy).evaluate(traces)
+        assert all(o.ok for o in result.outcomes)
+        assert result.outcomes[0].attempts == 1
+        assert result.outcomes[1].attempts == 2
+        assert result.report.n_retries == 1
+
+    def test_exhausted_retries_report_attempts(self):
+        system = ChaosMonkeySystem()  # no marker: FAIL_SNR always raises
+        policy = ExecutionPolicy(max_retries=2)
+        result = BatchEvaluator(system, policy=policy).evaluate([sentinel_trace(FAIL_SNR)])
+        failure = result.outcomes[0].failure
+        assert not result.outcomes[0].ok
+        assert failure.kind == "runtime"
+        assert failure.attempts == 3
+        assert result.report.n_retries == 2
+
+    def test_non_retryable_kinds_fail_fast(self, small_estimator, workload):
+        # A solver failure is a pure function of the trace — retrying
+        # would recompute the identical failure.
+        policy = ExecutionPolicy(max_retries=3)
+        result = BatchEvaluator(small_estimator, policy=policy).evaluate(
+            [poison_trace(workload[0])]
+        )
+        assert result.outcomes[0].attempts == 1
+        assert result.outcomes[0].failure.kind == "solver"
+
+
+class TestFailureRecords:
+    def test_failure_carries_worker_side_traceback(self):
+        result = BatchEvaluator(ChaosMonkeySystem(), workers=1).evaluate(
+            [sentinel_trace(TYPE_FAIL_SNR)]
+        )
+        failure = result.outcomes[0].failure
+        assert failure.error_type == "TypeError"
+        assert failure.kind == "runtime"
+        assert "Traceback" in failure.traceback
+        assert "TypeError: incompatible trace format" in failure.traceback
+
+    def test_raise_on_failure_summarizes_all_error_types(self):
+        traces = [
+            sentinel_trace(10.0),
+            sentinel_trace(FAIL_SNR),
+            sentinel_trace(TYPE_FAIL_SNR),
+            sentinel_trace(FAIL_SNR),
+        ]
+        result = BatchEvaluator(ChaosMonkeySystem()).evaluate(traces)
+        with pytest.raises(SolverError, match=r"3 of 4 batch jobs failed") as excinfo:
+            result.raise_on_failure()
+        assert "TypeError x1" in str(excinfo.value)
+        assert "ValueError x2" in str(excinfo.value)
+
+
+class TestValidationGate:
+    def test_gate_quarantines_and_analysis_succeeds(self, small_estimator, workload):
+        policy = ExecutionPolicy(validate=True)
+        dirty = poison_trace(workload[0])  # one NaN entry in packet 0
+        result = BatchEvaluator(small_estimator, policy=policy).evaluate([dirty])
+        outcome = result.outcomes[0]
+        assert outcome.ok
+        assert outcome.quarantined_packets == 1
+        assert result.report.n_quarantined_packets == 1
+        # The surviving packets are the clean trace minus packet 0.
+        expected = small_estimator.analyze(
+            CsiTrace(csi=workload[0].csi[1:], snr_db=workload[0].snr_db,
+                     rssi_dbm=workload[0].rssi_dbm)
+        )
+        assert outcome.analysis == expected
+
+    def test_unsalvageable_trace_is_a_validation_failure(self, small_estimator, workload):
+        csi = workload[0].csi.copy()
+        csi[:, 0, 0] = np.nan  # every packet poisoned
+        dirty = CsiTrace(csi=csi, snr_db=workload[0].snr_db)
+        policy = ExecutionPolicy(validate=True)
+        result = BatchEvaluator(small_estimator, policy=policy).evaluate([dirty])
+        failure = result.outcomes[0].failure
+        assert failure.kind == "validation"
+        assert failure.error_type == "ValidationError"
+        assert result.report.failure_kinds == {"validation": 1}
+
+    def test_shape_mismatch_is_rejected_at_the_gate(self, small_estimator):
+        wrong = CsiTrace(csi=np.ones((2, 5, 9), dtype=complex), snr_db=10.0)
+        policy = ExecutionPolicy(validate=True)
+        result = BatchEvaluator(small_estimator, policy=policy).evaluate([wrong])
+        assert result.outcomes[0].failure.kind == "validation"
+        assert "shape_mismatch" in result.outcomes[0].failure.message
+
+    def test_gate_is_a_noop_on_clean_traces(self, small_estimator, workload):
+        plain = BatchEvaluator(small_estimator).evaluate(workload[:3])
+        gated = BatchEvaluator(
+            small_estimator, policy=ExecutionPolicy(validate=True)
+        ).evaluate(workload[:3])
+        assert gated.strict_analyses() == plain.strict_analyses()
+        assert all(o.quarantined_packets == 0 for o in gated.outcomes)
+
+
+class TestPoolCrashRecovery:
+    def test_killed_worker_is_respawned_and_batch_completes(self, tmp_path):
+        system = ChaosMonkeySystem(marker=str(tmp_path / "kill-once"))
+        traces = [sentinel_trace(float(snr)) for snr in (10.0, 11.0, KILL_SNR, 12.0)]
+        result = BatchEvaluator(system, workers=2, chunk_size=1).evaluate(traces)
+        assert all(o.ok for o in result.outcomes)
+        assert [o.analysis.value for o in result.outcomes] == [
+            20.0, 22.0, KILL_SNR * 2.0, 24.0,
+        ]
+        assert result.report.pool_respawns >= 1
+        assert result.report.n_failures == 0
+
+    def test_respawn_budget_exhaustion_yields_crash_failures(self):
+        # No marker file: the kill trace murders every worker that picks
+        # it up, so each respawn dies again until the budget runs out.
+        system = ChaosMonkeySystem()
+        traces = [sentinel_trace(10.0), sentinel_trace(KILL_SNR)]
+        policy = ExecutionPolicy(max_pool_respawns=1)
+        result = BatchEvaluator(
+            system, workers=1, chunk_size=1, policy=policy
+        ).evaluate(traces)
+        by_index = {o.index: o for o in result.outcomes}
+        assert by_index[0].ok
+        crash = by_index[1].failure
+        assert crash.kind == "crash"
+        assert crash.error_type == "PoolCrashError"
+        assert "respawn budget" in crash.message
+        assert result.report.pool_respawns == 1
+        assert result.report.failure_kinds == {"crash": 1}
+
+
+class TestHardenedParity:
+    def test_worker_counts_agree_under_faults_and_retries(self, tmp_path):
+        traces = [
+            sentinel_trace(10.0),
+            sentinel_trace(TYPE_FAIL_SNR),
+            sentinel_trace(11.0),
+            sentinel_trace(FAIL_SNR),
+            sentinel_trace(12.0),
+        ]
+        policy = ExecutionPolicy(max_retries=1)
+
+        def run(workers: int, tag: str):
+            # A fresh marker per run: the FAIL_SNR job fails its first
+            # attempt and succeeds on the retry in both runs.
+            system = ChaosMonkeySystem(marker=str(tmp_path / f"flaky-{tag}"))
+            return BatchEvaluator(system, workers=workers, policy=policy).evaluate(traces)
+
+        sequential = run(0, "seq")
+        pooled = run(2, "pool")
+        assert [o.ok for o in sequential.outcomes] == [o.ok for o in pooled.outcomes]
+        assert [o.analysis for o in sequential.outcomes] == [
+            o.analysis for o in pooled.outcomes
+        ]
+        assert [o.attempts for o in sequential.outcomes] == [
+            o.attempts for o in pooled.outcomes
+        ]
+        assert sequential.report.failure_kinds == pooled.report.failure_kinds
+
+    def test_roarray_parity_with_gate_and_dirty_traces(self, small_estimator, workload):
+        dirty = [workload[0], poison_trace(workload[1]), workload[2]]
+        policy = ExecutionPolicy(validate=True)
+        sequential = BatchEvaluator(small_estimator, policy=policy).evaluate(dirty)
+        pooled = BatchEvaluator(small_estimator, workers=2, policy=policy).evaluate(dirty)
+        assert sequential.strict_analyses() == pooled.strict_analyses()
+        assert [o.quarantined_packets for o in sequential.outcomes] == [
+            o.quarantined_packets for o in pooled.outcomes
+        ]
+
+
+class TestReportTaxonomy:
+    def test_summary_shows_hardening_line_only_when_active(self, small_estimator, workload):
+        clean = BatchEvaluator(small_estimator).evaluate(workload[:2]).report
+        assert "hardening:" not in clean.summary()
+        dirty = BatchEvaluator(
+            small_estimator, policy=ExecutionPolicy(validate=True)
+        ).evaluate([poison_trace(workload[0])]).report
+        summary = dirty.summary()
+        assert "hardening:" in summary
+        assert "quarantined packets 1" in summary
+
+    def test_summary_counts_failures_by_kind(self, small_estimator, workload):
+        csi = workload[0].csi.copy()
+        csi[:, 0, 0] = np.nan  # unsalvageable: every packet poisoned
+        result = BatchEvaluator(
+            small_estimator, policy=ExecutionPolicy(validate=True)
+        ).evaluate([CsiTrace(csi=csi, snr_db=workload[0].snr_db)])
+        assert "failures: validation x1" in result.report.summary()
+
+    def test_to_dict_carries_the_taxonomy(self, small_estimator, workload):
+        report = BatchEvaluator(
+            small_estimator, policy=ExecutionPolicy(validate=True)
+        ).evaluate([poison_trace(workload[0]), workload[1]]).report
+        payload = report.to_dict()
+        assert payload["n_quarantined_packets"] == 1
+        assert payload["failure_kinds"] == {}
+        assert payload["n_failures"] == 0
+        assert payload["pool_respawns"] == 0
