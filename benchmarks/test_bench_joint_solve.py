@@ -17,13 +17,13 @@ Scale knobs:
 
 from __future__ import annotations
 
-import json
 import os
 from pathlib import Path
 
 import pytest
 
 from repro.runtime.bench import joint_solve_benchmark
+from repro.runtime.checkpoint import atomic_write
 
 SPEEDUP_TARGET = 3.0  # acceptance floor; measured ~8x on a laptop core
 PARITY_LIMIT = 1e-8
@@ -49,7 +49,7 @@ def test_joint_solve_operator_speedup():
     result = joint_solve_benchmark(repeats=repeats, max_iterations=iterations)
 
     path = _output_path()
-    path.write_text(json.dumps(result, indent=2) + "\n")
+    atomic_write(path, result)
     print(
         f"\n-- joint solve ({result['grid']['rows']}x{result['grid']['columns']}, "
         f"{result['iterations']} iterations) --"

@@ -35,6 +35,7 @@ It contains four layers, from bottom to top:
 from repro.version import __version__
 from repro.exceptions import (
     CalibrationError,
+    CheckpointError,
     ConfigurationError,
     FaultInjectionError,
     GeometryError,
@@ -42,6 +43,7 @@ from repro.exceptions import (
     PoolCrashError,
     QuorumError,
     ReproError,
+    ResumableInterrupt,
     SolverDivergenceError,
     SolverError,
     ValidationError,
@@ -50,6 +52,7 @@ from repro.exceptions import (
 __all__ = [
     "__version__",
     "CalibrationError",
+    "CheckpointError",
     "ConfigurationError",
     "FaultInjectionError",
     "GeometryError",
@@ -57,6 +60,7 @@ __all__ = [
     "PoolCrashError",
     "QuorumError",
     "ReproError",
+    "ResumableInterrupt",
     "SolverDivergenceError",
     "SolverError",
     "ValidationError",

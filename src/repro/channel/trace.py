@@ -124,18 +124,33 @@ class CsiTrace:
         )
 
     def save(self, path: str | Path) -> None:
-        """Persist to a ``.npz`` file."""
-        np.savez_compressed(
-            Path(path),
-            csi=self.csi,
-            snr_db=self.snr_db,
-            detection_delays_s=self.detection_delays_s,
-            antenna_phase_offsets=self.antenna_phase_offsets,
-            true_aoas_deg=self.true_aoas_deg,
-            true_toas_s=self.true_toas_s,
-            direct_aoa_deg=self.direct_aoa_deg,
-            direct_toa_s=self.direct_toa_s,
-            rssi_dbm=self.rssi_dbm,
+        """Persist to a ``.npz`` file (written atomically).
+
+        The write goes through
+        :func:`repro.runtime.checkpoint.atomic_write` — tmp file +
+        rename — so a crash mid-save leaves the previous file intact
+        instead of a truncated archive.  Matching ``np.savez``, a
+        ``.npz`` suffix is appended when the path lacks one.
+        """
+        from repro.runtime.checkpoint import atomic_write
+
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        atomic_write(
+            path,
+            lambda handle: np.savez_compressed(
+                handle,
+                csi=self.csi,
+                snr_db=self.snr_db,
+                detection_delays_s=self.detection_delays_s,
+                antenna_phase_offsets=self.antenna_phase_offsets,
+                true_aoas_deg=self.true_aoas_deg,
+                true_toas_s=self.true_toas_s,
+                direct_aoa_deg=self.direct_aoa_deg,
+                direct_toa_s=self.direct_toa_s,
+                rssi_dbm=self.rssi_dbm,
+            ),
         )
 
     @classmethod

@@ -20,6 +20,10 @@ The subcommands cover the workflows a user has before writing code:
     Inject a fault scenario (AP outages, antenna dropout, NaN-corrupted
     packets) into a multi-AP world and run it through the hardened
     runtime; prints the clean-vs-degraded localization table.
+``roarray resume <dir>``
+    Finish an interrupted ``--checkpoint`` run: reads the directory's
+    manifest, reports percent-complete per journal, and re-dispatches
+    the original command — journaled jobs replay, missing ones compute.
 ``roarray figures``
     List the paper's figures and the benchmark that regenerates each.
 ``roarray trace <command> ...``
@@ -163,7 +167,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
         system, workers=args.workers, chunk_size=args.chunk_size, base_seed=args.seed,
         tracer=tracer,
     )
-    result = evaluator.evaluate(traces)
+    checkpoint = None
+    if args.checkpoint:
+        from pathlib import Path
+
+        from repro.runtime import CheckpointPolicy, write_manifest
+
+        write_manifest(args.checkpoint, getattr(args, "argv", []))
+        checkpoint = CheckpointPolicy(
+            path=Path(args.checkpoint) / "batch.jsonl", experiment="batch"
+        )
+    result = evaluator.evaluate(traces, checkpoint=checkpoint)
     if args.json:
         rows = []
         for label, trace, outcome in zip(labels, traces, result.outcomes):
@@ -281,22 +295,24 @@ def cmd_report(args: argparse.Namespace) -> int:
         if args.output == "-":
             emit_json(payload)
         else:
-            with open(args.output, "w") as handle:
-                emit_json(payload, stream=handle)
+            import json
+
+            from repro.runtime.checkpoint import atomic_write
+
+            atomic_write(args.output, json.dumps(payload, indent=2, sort_keys=True) + "\n")
             emit(f"wrote {args.output}")
         return 0
     if args.output == "-":
         emit(markdown)
     else:
-        with open(args.output, "w") as handle:
-            handle.write(markdown)
+        from repro.runtime.checkpoint import atomic_write
+
+        atomic_write(args.output, markdown)
         emit(f"wrote {args.output} ({len(markdown.splitlines())} lines)")
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    import json
-
     from repro.experiments.reporting.console import emit, emit_json
     from repro.runtime.bench import joint_solve_benchmark
 
@@ -321,8 +337,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         )
         emit(f"  max relative spectrum error {result['max_relative_spectrum_error']:.2e}")
     if args.output:
-        with open(args.output, "w") as handle:
-            json.dump(result, handle, indent=2)
+        from repro.runtime.checkpoint import atomic_write
+
+        atomic_write(args.output, result)
     return 0
 
 
@@ -366,6 +383,10 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     policy = ExecutionPolicy(
         validate=True, timeout_s=args.timeout, max_retries=args.retries
     )
+    if args.checkpoint:
+        from repro.runtime import write_manifest
+
+        write_manifest(args.checkpoint, getattr(args, "argv", []))
     result = run_chaos_experiment(
         scenario,
         n_aps=args.aps,
@@ -378,6 +399,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         min_quorum=args.min_quorum,
         policy=policy,
         tracer=tracer,
+        checkpoint_dir=args.checkpoint,
     )
     if args.json:
         emit_json(result.to_dict())
@@ -392,6 +414,28 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     emit("")
     emit(result.report.summary())
     return 0 if result.n_located == len(result.locations) else 1
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Re-dispatch the command recorded in a checkpoint directory.
+
+    The original ``--checkpoint`` run wrote a manifest with its argv;
+    this replays it verbatim, so the resumed run replays journaled jobs
+    and computes only what is missing.  Progress goes to stderr (the
+    re-dispatched command may be emitting ``--json`` on stdout).
+    """
+    from repro.experiments.reporting.console import emit
+    from repro.experiments.reporting.text import format_checkpoint_status
+    from repro.runtime.checkpoint import checkpoint_status, read_manifest
+
+    command = read_manifest(args.checkpoint)
+    statuses = checkpoint_status(args.checkpoint)
+    if statuses:
+        emit(format_checkpoint_status(statuses), stream=sys.stderr)
+    emit(f"resuming: roarray {' '.join(command)}", stream=sys.stderr)
+    inner = build_parser().parse_args(command)
+    inner.argv = list(command)
+    return inner.handler(inner)
 
 
 def cmd_figures(_args: argparse.Namespace) -> int:
@@ -418,6 +462,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         emit("trace cannot be nested", stream=sys.stderr)
         return 2
     inner = build_parser().parse_args(rest)
+    inner.argv = rest
     tracer = Tracer()
     inner.tracer = tracer
     code = inner.handler(inner)
@@ -470,6 +515,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--packets", type=int, default=10, help="packets per synthetic trace")
     batch.add_argument("--snr", type=float, default=10.0, help="synthetic trace SNR in dB")
     batch.add_argument("--seed", type=int, default=0)
+    batch.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal completed jobs to DIR/batch.jsonl; an interrupted run "
+        "exits with status 75 and `roarray resume DIR` finishes it",
+    )
     batch.add_argument("--json", action="store_true", help="machine-readable output")
     batch.set_defaults(handler=cmd_batch)
 
@@ -526,8 +576,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--resolution", type=float, default=0.1)
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal both chaos batches to DIR; an interrupted run exits "
+        "with status 75 and `roarray resume DIR` finishes it",
+    )
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
     chaos.set_defaults(handler=cmd_chaos)
+
+    resume = subparsers.add_parser(
+        "resume", help="finish an interrupted --checkpoint run from its journals"
+    )
+    resume.add_argument("checkpoint", metavar="DIR", help="checkpoint directory")
+    resume.set_defaults(handler=cmd_resume)
 
     figures = subparsers.add_parser("figures", help="map paper figures to benchmarks")
     figures.set_defaults(handler=cmd_figures)
@@ -564,9 +625,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.exceptions import CheckpointError, ResumableInterrupt
+    from repro.runtime.checkpoint import EXIT_RESUMABLE
+
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    # The verbatim argv, recorded in checkpoint manifests so `roarray
+    # resume` can re-dispatch the original command.
+    args.argv = list(argv) if argv is not None else sys.argv[1:]
+    try:
+        return args.handler(args)
+    except ResumableInterrupt as interrupt:
+        percent = (
+            100.0 * interrupt.completed / interrupt.total if interrupt.total else 0.0
+        )
+        print(f"interrupted: {interrupt}", file=sys.stderr)
+        print(
+            f"progress: {interrupt.completed} of {interrupt.total} jobs "
+            f"journaled ({percent:.1f}% complete)",
+            file=sys.stderr,
+        )
+        return EXIT_RESUMABLE
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

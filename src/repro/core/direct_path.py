@@ -43,6 +43,24 @@ class DirectPathEstimate:
         if np.isnan(self.aoa_deg):
             raise ValueError("direct-path AoA is NaN")
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips exactly through :meth:`from_dict`)."""
+        return {
+            "aoa_deg": float(self.aoa_deg),
+            "toa_s": float(self.toa_s),
+            "power": float(self.power),
+            "n_paths": int(self.n_paths),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DirectPathEstimate":
+        return cls(
+            aoa_deg=float(payload["aoa_deg"]),
+            toa_s=float(payload["toa_s"]),
+            power=float(payload["power"]),
+            n_paths=int(payload["n_paths"]),
+        )
+
 
 @dataclass(frozen=True)
 class ApAnalysis:
@@ -61,6 +79,26 @@ class ApAnalysis:
         if not self.candidate_aoas_deg:
             return abs(self.direct.aoa_deg - true_aoa_deg)
         return min(abs(aoa - true_aoa_deg) for aoa in self.candidate_aoas_deg)
+
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips exactly through :meth:`from_dict`).
+
+        Floats survive byte-exactly: ``json`` serializes Python floats
+        with ``repr``, which round-trips every IEEE-754 double — the
+        property the checkpoint journal's replayed-equals-recomputed
+        guarantee rests on.
+        """
+        return {
+            "direct": self.direct.to_dict(),
+            "candidate_aoas_deg": [float(a) for a in self.candidate_aoas_deg],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ApAnalysis":
+        return cls(
+            direct=DirectPathEstimate.from_dict(payload["direct"]),
+            candidate_aoas_deg=tuple(float(a) for a in payload["candidate_aoas_deg"]),
+        )
 
 
 def identify_direct_path(

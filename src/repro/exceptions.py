@@ -56,5 +56,35 @@ class QuorumError(ReproError):
     """Too few surviving APs to attempt a localization fix."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint journal cannot be used for the requested run.
+
+    Raised when the journal's config digest does not match the run being
+    resumed (resuming would silently mix results from two different
+    experiments), when its format version is unsupported, or when the
+    header itself is unreadable.  A torn *tail* record is **not** an
+    error — the loader skips it and the job is recomputed.
+    """
+
+
+class ResumableInterrupt(ReproError):
+    """A checkpointed batch was interrupted but can be resumed.
+
+    Raised by :meth:`repro.runtime.BatchEvaluator.evaluate` after a
+    graceful SIGINT/SIGTERM drain: completed jobs are journaled and
+    flushed, in-flight futures cancelled, and rerunning the same
+    evaluation with the same checkpoint finishes the run.  Carries the
+    drain state so callers (the ``roarray`` CLI exits with the distinct
+    resumable status :data:`repro.runtime.checkpoint.EXIT_RESUMABLE`)
+    can report progress.
+    """
+
+    def __init__(self, message: str, *, completed: int = 0, total: int = 0, path=None):
+        super().__init__(message)
+        self.completed = completed
+        self.total = total
+        self.path = path
+
+
 class SolverDivergenceError(SolverError):
     """Every solver in a guardrail fallback chain diverged or failed."""

@@ -45,3 +45,20 @@ def format_spectrum_ascii(spectrum: AngleSpectrum, *, width: int = 60, height: i
         rows.append("".join("#" if c >= threshold else " " for c in columns))
     axis = f"{spectrum.angles_deg[0]:.0f}°{' ' * (width - 10)}{spectrum.angles_deg[-1]:.0f}°"
     return "\n".join(rows + [axis])
+
+
+def format_checkpoint_status(statuses) -> str:
+    """Per-journal progress lines for ``roarray resume``.
+
+    ``statuses`` is what :func:`repro.runtime.checkpoint_status`
+    returns; each journal becomes one ``experiment: done/total (pp%)``
+    row, with complete journals marked so the user can tell at a glance
+    what is left.
+    """
+    lines = []
+    for status in statuses:
+        marker = "done" if status.complete else f"{status.percent_complete:.1f}%"
+        lines.append(
+            f"{status.experiment:<28} {status.n_recorded}/{status.n_jobs} jobs ({marker})"
+        )
+    return "\n".join(lines)

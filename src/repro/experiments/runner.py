@@ -228,6 +228,8 @@ def _batch_analyses(
     workers: int,
     base_seed: int = 0,
     tracer=NULL_TRACER,
+    checkpoint=None,
+    report_sink: list | None = None,
 ) -> list[ApAnalysis]:
     """Analyze a flat trace list through the batch runtime.
 
@@ -239,19 +241,49 @@ def _batch_analyses(
     with the batch runtime's per-job state reset, so it runs a plain
     sequential loop instead: consecutive traces then chain solutions,
     which is the point of warming.  Requires ``workers=0`` — warm
-    chaining is inherently order-dependent.
+    chaining is inherently order-dependent (and, for the same reason,
+    cannot be checkpointed).
+
+    ``checkpoint`` is a :class:`repro.runtime.CheckpointPolicy`; with
+    it, completed analyses are journaled as they finish and a rerun of
+    the same driver resumes instead of recomputing (see
+    :meth:`repro.runtime.BatchEvaluator.evaluate`).  ``report_sink``,
+    when given, receives the batch's
+    :class:`~repro.runtime.report.RuntimeReport` (replay counts
+    included) so drivers can surface resume progress.
     """
     from repro.runtime.batch import BatchEvaluator
 
     if getattr(system, "warm_start", False):
         if workers != 0:
             raise ConfigurationError("warm-started estimators require workers=0 (sequential)")
+        if checkpoint is not None:
+            raise ConfigurationError(
+                "warm-started estimators cannot be checkpointed: warm chaining "
+                "makes each result depend on the jobs before it"
+            )
         reset = getattr(system, "reset_warm_state", None)
         if reset is not None:
             reset()
         return [system.analyze(trace) for trace in traces]
     evaluator = BatchEvaluator(system, workers=workers, base_seed=base_seed, tracer=tracer)
-    return evaluator.evaluate(traces).strict_analyses()
+    result = evaluator.evaluate(traces, checkpoint=checkpoint)
+    if report_sink is not None:
+        report_sink.append(result.report)
+    return result.strict_analyses()
+
+
+def _journal_policy(checkpoint_dir, name: str, experiment: str, metrics=None):
+    """A per-sweep :class:`~repro.runtime.CheckpointPolicy`, or ``None``."""
+    if checkpoint_dir is None:
+        return None
+    from pathlib import Path
+
+    from repro.runtime.checkpoint import CheckpointPolicy
+
+    return CheckpointPolicy(
+        path=Path(checkpoint_dir) / f"{name}.jsonl", experiment=experiment, metrics=metrics
+    )
 
 
 def _localize_from_analyses(
@@ -294,6 +326,7 @@ def run_snr_band_experiment(
     workers: int = 0,
     warm_start: bool = False,
     tracer=NULL_TRACER,
+    checkpoint_dir=None,
 ) -> SnrBandResult:
     """Paper Figs. 6 & 7: the three-system comparison in one SNR band.
 
@@ -307,6 +340,13 @@ def run_snr_band_experiment(
     solution — consecutive traces share grids and statistics, so the
     solver converges in fewer iterations while landing on the same
     minimizer (results match cold-start within solver tolerance).
+
+    ``checkpoint_dir`` makes the sweep durable: each system's batch
+    journals its per-trace analyses to
+    ``<checkpoint_dir>/snr_band_<band>_<system>.jsonl``, so a killed
+    run resumes where it stopped and produces byte-identical results
+    (trace synthesis is cheap and deterministic; only the analyses are
+    journaled).
     """
     if isinstance(band, str):
         band = SNR_BANDS[band]
@@ -314,6 +354,8 @@ def run_snr_band_experiment(
         raise ConfigurationError(f"n_locations must be >= 1, got {n_locations}")
     if warm_start and workers != 0:
         raise ConfigurationError("warm_start requires workers=0 (sequential sweep)")
+    if warm_start and checkpoint_dir is not None:
+        raise ConfigurationError("warm_start sweeps cannot be checkpointed")
     systems = systems if systems is not None else default_systems()
     if warm_start:
         for system in systems:
@@ -353,7 +395,16 @@ def run_snr_band_experiment(
         for system in systems:
             with tracer.span("system", name=system.name):
                 flat_analyses = _batch_analyses(
-                    system, flat_traces, workers=workers, base_seed=seed, tracer=tracer
+                    system,
+                    flat_traces,
+                    workers=workers,
+                    base_seed=seed,
+                    tracer=tracer,
+                    checkpoint=_journal_policy(
+                        checkpoint_dir,
+                        f"snr_band_{band.name}_{system.name}",
+                        f"snr_band:{band.name}:{system.name}",
+                    ),
                 )
                 for location in range(n_locations):
                     analyses = flat_analyses[location * n_aps : (location + 1) * n_aps]
@@ -596,9 +647,17 @@ def run_fusion_experiment(
     snr_db: float = 8.0,
     seed: int = 0,
     tracer=NULL_TRACER,
+    checkpoint_dir=None,
 ) -> FusionExperimentResult:
     """Paper Fig. 4: detection delay scatters single-packet ToA spectra;
     delay-aligned fusion over all packets sharpens the estimate.
+
+    With ``checkpoint_dir`` every computed spectrum (each single-packet
+    solve plus the fused solve) is journaled to
+    ``<checkpoint_dir>/fusion.jsonl`` as it completes; a rerun replays
+    the journaled spectra and recomputes only the missing ones.  The
+    derived metrics are pure functions of the (exactly round-tripping)
+    spectra, so a resumed result is byte-identical.
     """
     from repro.channel.paths import random_profile
     from repro.core.direct_path import identify_direct_path
@@ -612,16 +671,60 @@ def run_fusion_experiment(
     synthesizer = CsiSynthesizer(estimator.array, estimator.layout, impairments, seed=seed)
     trace = synthesizer.packets(profile, n_packets=n_packets, snr_db=snr_db, rng=rng)
 
-    single_spectra, single_toas, single_errors, single_sharpness = [], [], [], []
-    for p in range(min(n_single_examples, n_packets)):
-        spectrum = estimator.joint_spectrum(trace, packet=p).normalized()
-        direct = identify_direct_path(spectrum)
-        single_spectra.append(spectrum)
-        single_toas.append(direct.toa_s)
-        single_errors.append(abs(direct.aoa_deg - true_aoa_deg))
-        single_sharpness.append(spectrum.angle_marginal().sharpness())
+    n_singles = min(n_single_examples, n_packets)
+    journal = None
+    payloads: dict[str, dict] = {}
+    keys: list[str] = []
+    if checkpoint_dir is not None:
+        from repro.runtime.checkpoint import (
+            CheckpointJournal,
+            config_digest,
+            job_key,
+            trace_fingerprint,
+        )
 
-    fused = estimator.joint_spectrum(trace).normalized()
+        digest = config_digest(
+            estimator.config, seed, n_packets, n_single_examples, true_aoa_deg, snr_db
+        )
+        fingerprint = trace_fingerprint(trace)
+        # Job indices: 0..n_singles-1 are the single-packet solves,
+        # index n_singles is the fused solve over all packets.
+        keys = [job_key(digest, p, seed, fingerprint) for p in range(n_singles + 1)]
+        journal = CheckpointJournal(
+            _journal_policy(checkpoint_dir, "fusion", "fusion")
+        )
+        payloads = journal.open(
+            experiment="fusion", config_digest=digest, n_jobs=n_singles + 1
+        ).payloads
+
+    def _spectrum(index: int, packet: int | None) -> JointSpectrum:
+        if journal is not None:
+            record = payloads.get(keys[index])
+            if record is not None:
+                return JointSpectrum.from_dict(record["payload"]["spectrum"])
+        spectrum = estimator.joint_spectrum(trace, packet=packet).normalized()
+        if journal is not None:
+            journal.append(
+                keys[index], {"spectrum": spectrum.to_dict()}, index=index
+            )
+        return spectrum
+
+    try:
+        single_spectra, single_toas, single_errors, single_sharpness = [], [], [], []
+        for p in range(n_singles):
+            spectrum = _spectrum(p, p)
+            direct = identify_direct_path(spectrum)
+            single_spectra.append(spectrum)
+            single_toas.append(direct.toa_s)
+            single_errors.append(abs(direct.aoa_deg - true_aoa_deg))
+            single_sharpness.append(spectrum.angle_marginal().sharpness())
+
+        fused = _spectrum(n_singles, None)
+        if journal is not None:
+            journal.finalize()
+    finally:
+        if journal is not None:
+            journal.close()
     fused_direct = identify_direct_path(fused)
     return FusionExperimentResult(
         single_spectra=single_spectra,
@@ -649,6 +752,7 @@ def run_ap_density_experiment(
     resolution_m: float = 0.1,
     workers: int = 0,
     tracer=NULL_TRACER,
+    checkpoint_dir=None,
 ) -> dict[int, ErrorCdf]:
     """Paper Fig. 8a: ROArray localization error vs number of APs.
 
@@ -656,6 +760,10 @@ def run_ap_density_experiment(
     hear the client"): each location's full AP set is analyzed once and
     the localizer then uses nested subsets, so the AP-count comparison
     is free of scene-to-scene variance.
+
+    With ``checkpoint_dir`` the per-trace analyses are journaled to
+    ``<checkpoint_dir>/ap_density.jsonl`` and a rerun resumes instead
+    of recomputing (see :ref:`run_snr_band_experiment`).
     """
     if isinstance(band, str):
         band = SNR_BANDS[band]
@@ -687,6 +795,7 @@ def run_ap_density_experiment(
         workers=workers,
         base_seed=seed,
         tracer=tracer,
+        checkpoint=_journal_policy(checkpoint_dir, "ap_density", "ap_density"),
     )
 
     errors: dict[int, list[float]] = {count: [] for count in ap_counts}

@@ -146,6 +146,7 @@ def run_chaos_experiment(
     config: RoArrayConfig | None = None,
     tracer=NULL_TRACER,
     metrics: MetricsRegistry | None = None,
+    checkpoint_dir=None,
 ) -> ChaosResult:
     """Run one chaos scenario end-to-end and score the degradation.
 
@@ -176,9 +177,16 @@ def run_chaos_experiment(
         Optional :class:`~repro.obs.MetricsRegistry`; chaos counters
         (injected / detected / dropped / located) are recorded there and
         the export embedded in the result.
+    checkpoint_dir:
+        Directory for durable journals: the clean batch checkpoints to
+        ``chaos_clean.jsonl`` and the faulted batch to
+        ``chaos_faulted.jsonl``.  A killed chaos run rerun with the same
+        arguments resumes both batches and produces a byte-identical
+        :class:`ChaosResult` (injection and localization are cheap,
+        deterministic recomputations).
     """
     from repro.core.pipeline import RoArrayEstimator
-    from repro.experiments.runner import _batch_analyses, _scene_traces
+    from repro.experiments.runner import _batch_analyses, _journal_policy, _scene_traces
     from repro.experiments.scenarios import SNR_BANDS, build_random_scene
 
     if n_locations < 1:
@@ -229,7 +237,14 @@ def run_chaos_experiment(
         with tracer.span("clean_batch"):
             clean_flat = [t for traces in clean_per_location for t in traces]
             clean_analyses = _batch_analyses(
-                estimator, clean_flat, workers=workers, base_seed=seed, tracer=tracer
+                estimator,
+                clean_flat,
+                workers=workers,
+                base_seed=seed,
+                tracer=tracer,
+                checkpoint=_journal_policy(
+                    checkpoint_dir, "chaos_clean", "chaos:clean", metrics
+                ),
             )
 
         # --- Faulted batch through the hardened runtime. ---------------------
@@ -245,7 +260,12 @@ def run_chaos_experiment(
             estimator, workers=workers, base_seed=seed, policy=policy, tracer=tracer
         )
         with tracer.span("faulted_batch", n_jobs=len(faulted_flat)):
-            batch = evaluator.evaluate(faulted_flat)
+            batch = evaluator.evaluate(
+                faulted_flat,
+                checkpoint=_journal_policy(
+                    checkpoint_dir, "chaos_faulted", "chaos:faulted", metrics
+                ),
+            )
 
         metrics.counter("chaos.jobs_total").inc(len(batch.outcomes))
         metrics.counter("chaos.jobs_failed").inc(batch.report.n_failures)

@@ -122,5 +122,7 @@ class MetricsRegistry:
         }
 
     def export_json(self, path: str) -> None:
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Write the registry snapshot to ``path`` (atomic tmp + rename)."""
+        from repro.runtime.checkpoint import atomic_write
+
+        atomic_write(path, self.to_dict())

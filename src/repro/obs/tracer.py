@@ -265,6 +265,7 @@ class Tracer:
         return {"spans": [span.to_dict() for span in self.spans]}
 
     def export_json(self, path: str) -> None:
-        """Write the span tree to ``path`` as a JSON document."""
-        with open(path, "w") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        """Write the span tree to ``path`` as a JSON document (atomically)."""
+        from repro.runtime.checkpoint import atomic_write
+
+        atomic_write(path, self.to_dict())

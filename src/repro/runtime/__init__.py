@@ -9,6 +9,18 @@ determinism, warmup, and failure-isolation contracts.
 
 from repro.runtime.batch import BatchEvaluator, BatchResult, evaluate_traces
 from repro.runtime.bench import joint_solve_benchmark
+from repro.runtime.checkpoint import (
+    EXIT_RESUMABLE,
+    CheckpointJournal,
+    CheckpointPolicy,
+    atomic_write,
+    checkpoint_status,
+    config_digest,
+    job_key,
+    read_manifest,
+    trace_fingerprint,
+    write_manifest,
+)
 from repro.runtime.jobs import (
     DEFAULT_POLICY,
     FAILURE_KINDS,
@@ -24,7 +36,10 @@ from repro.runtime.report import RuntimeReport, StageTotals
 __all__ = [
     "BatchEvaluator",
     "BatchResult",
+    "CheckpointJournal",
+    "CheckpointPolicy",
     "DEFAULT_POLICY",
+    "EXIT_RESUMABLE",
     "EstimatorSpec",
     "EvalJob",
     "ExecutionPolicy",
@@ -34,6 +49,13 @@ __all__ = [
     "RETRYABLE_KINDS",
     "RuntimeReport",
     "StageTotals",
+    "atomic_write",
+    "checkpoint_status",
+    "config_digest",
     "evaluate_traces",
+    "job_key",
     "joint_solve_benchmark",
+    "read_manifest",
+    "trace_fingerprint",
+    "write_manifest",
 ]

@@ -36,7 +36,8 @@ import signal
 import threading
 import time
 import traceback as traceback_module
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -47,10 +48,18 @@ from repro.core.direct_path import ApAnalysis
 from repro.exceptions import (
     ConfigurationError,
     JobTimeoutError,
+    ResumableInterrupt,
     SolverError,
     ValidationError,
 )
 from repro.obs import NULL_TRACER, Tracer
+from repro.runtime.checkpoint import (
+    CheckpointJournal,
+    CheckpointPolicy,
+    config_digest,
+    job_key,
+    trace_fingerprint,
+)
 from repro.runtime.jobs import (
     DEFAULT_POLICY,
     RETRYABLE_KINDS,
@@ -61,6 +70,10 @@ from repro.runtime.jobs import (
     JobOutcome,
 )
 from repro.runtime.report import RuntimeReport
+
+#: How often the parallel drain loop wakes to check for completed chunks
+#: and shutdown requests (seconds).
+_DRAIN_POLL_S = 0.2
 
 # Per-process estimator slot, populated by the pool initializer.  A
 # module-level global is the standard ProcessPoolExecutor idiom for
@@ -83,10 +96,60 @@ def _initialize_worker(
 ) -> None:
     """Build the estimator once per worker process and warm its cache."""
     global _WORKER_SYSTEM, _WORKER_WARMUP_PENDING_S, _WORKER_CAPTURE_SPANS, _WORKER_POLICY
+    # A terminal Ctrl-C delivers SIGINT to the whole process group.  The
+    # *parent* owns the shutdown (drain, journal, cancel); workers must
+    # not die mid-chunk from the same keystroke, or their in-flight
+    # results are lost and the pool reads as crashed.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     _WORKER_SYSTEM = _build_warm_system(spec)
     _WORKER_WARMUP_PENDING_S = _system_warmup_seconds(_WORKER_SYSTEM)
     _WORKER_CAPTURE_SPANS = capture_spans
     _WORKER_POLICY = policy
+
+
+class _GracefulShutdown:
+    """Turn the first SIGINT/SIGTERM into a drain request, not a crash.
+
+    While active, the first signal sets :attr:`triggered` — the
+    evaluation loops notice it between jobs (sequential) or between
+    drain polls (parallel), stop submitting, journal what finished and
+    exit cleanly.  A *second* signal escalates to an immediate
+    ``KeyboardInterrupt`` for users who really mean it.  The previous
+    handlers are always restored on exit, and installation is skipped
+    off the main thread (where Python forbids ``signal.signal``), so the
+    evaluator stays usable from worker threads — just without graceful
+    draining.
+    """
+
+    _SIGNALS = ("SIGINT", "SIGTERM")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self._previous: dict[int, object] = {}
+
+    def _on_signal(self, signum, frame) -> None:
+        if self.triggered:
+            raise KeyboardInterrupt
+        self.triggered = True
+
+    def __enter__(self) -> "_GracefulShutdown":
+        for name in self._SIGNALS:
+            signum = getattr(signal, name, None)
+            if signum is None:
+                continue
+            try:
+                self._previous[signum] = signal.signal(signum, self._on_signal)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover - non-main thread
+                pass
+        self._previous.clear()
 
 
 def _system_warmup_seconds(system) -> float:
@@ -430,29 +493,92 @@ class BatchEvaluator:
             raise ConfigurationError(f"chunk_size must be >= 1, got {self.chunk_size}")
         self.spec = EstimatorSpec.for_system(self.system)
 
-    def evaluate(self, traces: Sequence[CsiTrace]) -> BatchResult:
-        """Evaluate every trace; outcomes come back in submission order."""
+    def evaluate(
+        self,
+        traces: Sequence[CsiTrace],
+        *,
+        checkpoint: CheckpointPolicy | None = None,
+    ) -> BatchResult:
+        """Evaluate every trace; outcomes come back in submission order.
+
+        With ``checkpoint``, every completed job is appended to the
+        journal as it finishes; jobs already journaled by a previous run
+        are *replayed* instead of recomputed, so a killed sweep resumes
+        where it stopped and the final result is byte-identical to an
+        uninterrupted run at any worker count.  While a checkpointed
+        batch runs, the first SIGINT/SIGTERM drains gracefully — the
+        journal is flushed and :class:`~repro.exceptions.ResumableInterrupt`
+        is raised; without a checkpoint the interrupt propagates as
+        usual (``KeyboardInterrupt``).
+        """
         jobs = [
             EvalJob(index=index, trace=trace, seed=self.base_seed + index)
             for index, trace in enumerate(traces)
         ]
+        journal = None
+        keys: dict[int, str] = {}
+        replayed: list[JobOutcome] = []
+        pending_jobs = jobs
+        if checkpoint is not None:
+            # The digest deliberately excludes workers/chunk_size: results
+            # are byte-identical across worker counts, so a journal written
+            # at --workers 4 must resume cleanly at --workers 0 (and vice
+            # versa).  The per-job key additionally pins the trace bytes,
+            # so a changed input is recomputed, never wrongly replayed.
+            digest = config_digest(self.spec, self.policy, self.base_seed, len(jobs))
+            keys = {
+                job.index: job_key(digest, job.index, job.seed, trace_fingerprint(job.trace))
+                for job in jobs
+            }
+            journal = CheckpointJournal(checkpoint)
+            state = journal.open(
+                experiment=checkpoint.experiment,
+                config_digest=digest,
+                n_jobs=len(jobs),
+            )
+            for job in jobs:
+                record = state.payloads.get(keys[job.index])
+                if record is not None:
+                    replayed.append(JobOutcome.from_dict(record["payload"]))
+            replayed_indices = {outcome.index for outcome in replayed}
+            pending_jobs = [job for job in jobs if job.index not in replayed_indices]
+
         start = time.perf_counter()
-        with self.tracer.span(
-            "batch_evaluate", workers=self.workers, n_jobs=len(jobs)
-        ):
-            pool_respawns = 0
-            if self.workers == 0 or len(jobs) == 0:
-                outcomes, warmup_s = self._evaluate_sequential(jobs)
-                chunk_size = len(jobs) or 1
-            else:
-                chunk_size = self._effective_chunk_size(len(jobs))
-                outcomes, warmup_s, pool_respawns = self._evaluate_parallel(jobs, chunk_size)
-            outcomes.sort(key=lambda outcome: outcome.index)
-            # Graft worker-side spans in job order (inside the
-            # batch_evaluate span so each job tree hangs under it).
-            for outcome in outcomes:
-                if outcome.spans:
-                    self.tracer.adopt(outcome.spans)
+        try:
+            with _GracefulShutdown() as shutdown, self.tracer.span(
+                "batch_evaluate", workers=self.workers, n_jobs=len(jobs)
+            ):
+                pool_respawns = 0
+                if self.workers == 0 or len(pending_jobs) == 0:
+                    outcomes, warmup_s = self._evaluate_sequential(
+                        pending_jobs, journal=journal, keys=keys, shutdown=shutdown
+                    )
+                    chunk_size = len(jobs) or 1
+                else:
+                    chunk_size = self._effective_chunk_size(len(pending_jobs))
+                    outcomes, warmup_s, pool_respawns = self._evaluate_parallel(
+                        pending_jobs,
+                        chunk_size,
+                        journal=journal,
+                        keys=keys,
+                        shutdown=shutdown,
+                    )
+                outcomes = replayed + outcomes
+                outcomes.sort(key=lambda outcome: outcome.index)
+                if shutdown.triggered and len(outcomes) < len(jobs):
+                    self._raise_interrupted(journal, completed=len(outcomes), total=len(jobs))
+                # Graft worker-side spans in job order (inside the
+                # batch_evaluate span so each job tree hangs under it).
+                # Replayed outcomes carry their original run's spans, so
+                # the resumed trace tree covers the whole batch.
+                for outcome in outcomes:
+                    if outcome.spans:
+                        self.tracer.adopt(outcome.spans)
+            if journal is not None:
+                journal.finalize()
+        finally:
+            if journal is not None:
+                journal.close()
         wall_s = time.perf_counter() - start
         report = RuntimeReport.from_outcomes(
             outcomes,
@@ -461,24 +587,60 @@ class BatchEvaluator:
             wall_s=wall_s,
             warmup_s=warmup_s,
             pool_respawns=pool_respawns,
+            n_replayed=len(replayed),
         )
         return BatchResult(outcomes=outcomes, report=report)
 
+    def _raise_interrupted(self, journal, *, completed: int, total: int) -> None:
+        """Drain finished: surface the interrupt with resume guidance."""
+        if journal is None:
+            # No checkpoint — nothing was saved, so behave like a plain
+            # interrupt and let the caller's cleanup run.
+            raise KeyboardInterrupt
+        journal.flush()
+        raise ResumableInterrupt(
+            f"interrupted after {completed} of {total} jobs; completed work "
+            f"is journaled in {journal.path} — rerun the same command to resume",
+            completed=completed,
+            total=total,
+            path=str(journal.path),
+        )
+
     # -- internals ---------------------------------------------------------
 
-    def _evaluate_sequential(self, jobs: list[EvalJob]) -> tuple[list[JobOutcome], float]:
+    def _evaluate_sequential(
+        self,
+        jobs: list[EvalJob],
+        *,
+        journal: CheckpointJournal | None = None,
+        keys: dict[int, str] | None = None,
+        shutdown: _GracefulShutdown | None = None,
+    ) -> tuple[list[JobOutcome], float]:
         warmup_s = 0.0
-        if self._local_system is None:
+        if self._local_system is None and jobs:
             self._local_system = _build_warm_system(self.spec)
             warmup_s = _system_warmup_seconds(self._local_system)
         capture = bool(getattr(self.tracer, "enabled", False))
-        return [
-            _evaluate_job(self._local_system, job, capture_spans=capture, policy=self.policy)
-            for job in jobs
-        ], warmup_s
+        outcomes: list[JobOutcome] = []
+        for job in jobs:
+            if shutdown is not None and shutdown.triggered:
+                break
+            outcome = _evaluate_job(
+                self._local_system, job, capture_spans=capture, policy=self.policy
+            )
+            outcomes.append(outcome)
+            if journal is not None:
+                journal.append(keys[job.index], outcome.to_dict(), index=job.index)
+        return outcomes, warmup_s
 
     def _evaluate_parallel(
-        self, jobs: list[EvalJob], chunk_size: int
+        self,
+        jobs: list[EvalJob],
+        chunk_size: int,
+        *,
+        journal: CheckpointJournal | None = None,
+        keys: dict[int, str] | None = None,
+        shutdown: _GracefulShutdown | None = None,
     ) -> tuple[list[JobOutcome], float, int]:
         """Pooled evaluation with crash recovery.
 
@@ -492,12 +654,18 @@ class BatchEvaluator:
         exception.  Results stay deterministic throughout: chunk
         contents never change, so a requeued chunk recomputes exactly
         what the dead worker would have.
+
+        Chunk results are journaled in the parent the moment their
+        future resolves (workers never touch the journal file), and a
+        graceful-shutdown request cancels the still-queued futures while
+        letting the in-flight chunks finish and be journaled.
         """
         chunks = [jobs[i : i + chunk_size] for i in range(0, len(jobs), chunk_size)]
         capture = bool(getattr(self.tracer, "enabled", False))
         completed: dict[int, tuple[list[JobOutcome], float]] = {}
         pending = list(range(len(chunks)))
         respawns = 0
+        interrupted = False
         while pending:
             workers = min(self.workers, len(pending))
             pool_broke = False
@@ -506,14 +674,39 @@ class BatchEvaluator:
                 initializer=_initialize_worker,
                 initargs=(self.spec, capture, self.policy),
             ) as pool:
-                futures = {index: pool.submit(_run_chunk, chunks[index]) for index in pending}
-                for index, future in futures.items():
-                    try:
-                        completed[index] = future.result()
-                    except BrokenProcessPool:
-                        pool_broke = True
+                futures = {
+                    pool.submit(_run_chunk, chunks[index]): index for index in pending
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = futures_wait(not_done, timeout=_DRAIN_POLL_S)
+                    for future in done:
+                        index = futures[future]
+                        try:
+                            completed[index] = future.result()
+                        except CancelledError:
+                            continue
+                        except BrokenProcessPool:
+                            pool_broke = True
+                            continue
+                        if journal is not None:
+                            for outcome in completed[index][0]:
+                                journal.append(
+                                    keys[outcome.index],
+                                    outcome.to_dict(),
+                                    index=outcome.index,
+                                )
+                    if pool_broke:
+                        break
+                    if shutdown is not None and shutdown.triggered and not interrupted:
+                        # Drain: drop everything still queued; chunks a
+                        # worker is already computing run to completion
+                        # (and get journaled) before the pool exits.
+                        interrupted = True
+                        for future in not_done:
+                            future.cancel()
             pending = [index for index in pending if index not in completed]
-            if not pending:
+            if interrupted or not pending:
                 break
             if not pool_broke:  # pragma: no cover - defensive: avoid spinning
                 raise ConfigurationError(
@@ -530,8 +723,10 @@ class BatchEvaluator:
             outcomes.extend(chunk_outcomes)
             warmup_s += chunk_warmup_s
         # Respawn budget exhausted: the still-unfinished jobs become
-        # tagged crash failures so the batch completes with data.
-        for index in pending:
+        # tagged crash failures so the batch completes with data.  After
+        # a graceful interrupt the unfinished jobs are simply *pending*
+        # (they resume from the journal), not failed.
+        for index in pending if not interrupted else []:
             for job in chunks[index]:
                 outcomes.append(
                     JobOutcome(
@@ -567,6 +762,7 @@ def evaluate_traces(
     base_seed: int = 0,
     policy: ExecutionPolicy = DEFAULT_POLICY,
     tracer=NULL_TRACER,
+    checkpoint: CheckpointPolicy | None = None,
 ) -> BatchResult:
     """One-shot convenience wrapper around :class:`BatchEvaluator`."""
     evaluator = BatchEvaluator(
@@ -577,4 +773,4 @@ def evaluate_traces(
         policy=policy,
         tracer=tracer,
     )
-    return evaluator.evaluate(traces)
+    return evaluator.evaluate(traces, checkpoint=checkpoint)

@@ -1,0 +1,532 @@
+"""Durable checkpoint/resume: a crash-safe experiment store.
+
+Long sweeps (the Fig. 6–8 drivers run hundreds of joint solves) must
+survive SIGKILL, OOM and host preemption without losing completed work.
+This module provides the storage layer:
+
+* :func:`atomic_write` — the one way any artifact (JSON report, NPZ
+  trace, benchmark result) reaches disk: tmp file in the destination
+  directory, ``fsync``, then ``os.replace``.  A crash leaves either the
+  old file or the new file, never a torn hybrid.
+* :class:`CheckpointJournal` — an append-only, fsync'd JSONL journal of
+  per-job outcomes.  The first record is a versioned header carrying the
+  experiment id, the config digest and the expected job count; every
+  subsequent record is one job outcome keyed by a content hash of
+  (config digest, job index, per-job seed, trace fingerprint).
+  Compaction rewrites the journal atomically (tmp-write + rename),
+  deduplicating records and dropping any torn tail.
+* :class:`CheckpointPolicy` — what callers hand to
+  :meth:`repro.runtime.BatchEvaluator.evaluate`: the journal path plus
+  the ``flush_every`` / ``compact_every`` durability knobs.
+* :func:`config_digest` / :func:`job_key` — stable content hashes.  The
+  digest pins *what experiment this journal belongs to* (estimator
+  spec, execution policy, base seed, job count); resuming against a
+  journal with a different digest raises
+  :class:`~repro.exceptions.CheckpointError` instead of silently mixing
+  results.  The per-job key additionally pins the trace bytes, so a
+  changed input reruns rather than wrongly replaying.
+* :func:`checkpoint_status` / manifest helpers — what ``roarray
+  resume`` uses to report percent-complete and re-dispatch the original
+  command.
+
+Torn-write recovery: a crash can leave a partial last line in the
+journal.  The loader skips any record that does not parse or lacks its
+required fields, counts it on the ``checkpoint.validation_warnings``
+metric (and emits a Python warning), and compacts the file so the next
+append starts on a clean boundary.  The skipped job is simply
+recomputed — never half-trusted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.exceptions import CheckpointError, ConfigurationError
+
+#: Journal format version; bumped on incompatible record-layout changes.
+JOURNAL_VERSION = 1
+
+#: Process exit status for "interrupted but resumable" (BSD EX_TEMPFAIL).
+#: Distinct from both success (0) and failure (1/2) so wrappers can
+#: requeue the run instead of reporting it broken.
+EXIT_RESUMABLE = 75
+
+#: Name of the run manifest ``roarray resume`` re-dispatches from.
+MANIFEST_NAME = "manifest.json"
+
+
+# ---------------------------------------------------------------------------
+# Atomic artifact writes
+# ---------------------------------------------------------------------------
+
+
+def atomic_write(
+    path: str | Path,
+    data: dict | list | str | bytes | Callable[[Any], None],
+    *,
+    indent: int | None = 2,
+) -> Path:
+    """Write an artifact atomically: tmp file + ``fsync`` + ``os.replace``.
+
+    ``data`` may be a JSON-ready dict/list (serialized with ``indent``
+    and a trailing newline), a ``str`` (UTF-8 text), raw ``bytes``, or a
+    callable taking a binary file object (for writers like
+    ``np.savez_compressed`` that stream their own format).
+
+    The temporary file is created in the destination directory so the
+    final ``os.replace`` stays on one filesystem (rename atomicity);
+    readers observe either the complete old content or the complete new
+    content, never a partially written file.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, tmp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            if callable(data):
+                data(handle)
+            elif isinstance(data, bytes):
+                handle.write(data)
+            elif isinstance(data, str):
+                handle.write(data.encode("utf-8"))
+            else:
+                handle.write(json.dumps(data, indent=indent).encode("utf-8"))
+                handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+    return path
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - not supported on all filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
+# ---------------------------------------------------------------------------
+# Content hashing
+# ---------------------------------------------------------------------------
+
+
+def describe_for_digest(value) -> Any:
+    """A canonical, JSON-able description of a configuration value.
+
+    Dataclasses recurse field by field, numpy arrays collapse to a hash
+    of their bytes, containers recurse, scalars pass through.  Opaque
+    objects contribute their class identity plus a ``name`` attribute if
+    they expose one — enough to distinguish estimator systems without
+    depending on unstable ``repr`` addresses.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, complex):
+        return {"__complex__": [value.real, value.imag]}
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+            "shape": list(value.shape),
+            "dtype": str(value.dtype),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        described = {
+            f.name: describe_for_digest(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        described["__class__"] = type(value).__qualname__
+        return described
+    if isinstance(value, dict):
+        return {str(k): describe_for_digest(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [describe_for_digest(item) for item in value]
+    label = f"{type(value).__module__}.{type(value).__qualname__}"
+    name = getattr(value, "name", None)
+    return {"__object__": label, "name": name if isinstance(name, str) else None}
+
+
+def config_digest(*parts) -> str:
+    """A stable hex digest over arbitrary configuration values."""
+    canonical = json.dumps(
+        [describe_for_digest(part) for part in parts], sort_keys=True, allow_nan=True
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+
+
+def trace_fingerprint(trace) -> str:
+    """Content hash of a CSI trace's measurement bytes."""
+    csi = np.ascontiguousarray(trace.csi)
+    digest = hashlib.sha256(csi.tobytes())
+    digest.update(np.float64(trace.snr_db).tobytes())
+    return digest.hexdigest()[:32]
+
+
+def job_key(config_digest_hex: str, index: int, seed: int, content_hash: str = "") -> str:
+    """Content hash identifying one job inside one experiment."""
+    raw = f"{config_digest_hex}:{index}:{seed}:{content_hash}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:32]
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CheckpointPolicy:
+    """Where and how eagerly a batch journals its outcomes.
+
+    Attributes
+    ----------
+    path:
+        Journal file (JSONL).  Parent directories are created on demand.
+    flush_every:
+        ``fsync`` after this many appended records.  ``1`` (default)
+        makes every completed job durable immediately; larger values
+        amortize the fsync cost on fast jobs at the price of losing up
+        to ``flush_every - 1`` outcomes to a hard kill.
+    compact_every:
+        Rewrite the journal atomically after this many appends (``0``
+        disables periodic compaction; the journal is always compacted
+        once the batch completes).
+    experiment:
+        Human-readable label stored in the journal header (shown by
+        ``roarray resume``); defaults to ``"batch"``.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; replay/append/
+        torn-record counters land there.
+    """
+
+    path: str | Path
+    flush_every: int = 1
+    compact_every: int = 0
+    experiment: str = "batch"
+    metrics: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.flush_every < 1:
+            raise ConfigurationError(f"flush_every must be >= 1, got {self.flush_every}")
+        if self.compact_every < 0:
+            raise ConfigurationError(
+                f"compact_every must be >= 0, got {self.compact_every}"
+            )
+
+
+@dataclass
+class JournalState:
+    """What a journal load recovered: the header plus replayable payloads."""
+
+    header: dict
+    payloads: dict[str, dict] = field(default_factory=dict)
+    n_torn: int = 0
+
+    @property
+    def n_recorded(self) -> int:
+        return len(self.payloads)
+
+
+class CheckpointJournal:
+    """An append-only, fsync'd JSONL journal of per-job outcomes.
+
+    Record layout (one JSON object per line)::
+
+        {"record": "header", "version": 1, "experiment": ..,
+         "config_digest": .., "n_jobs": ..}
+        {"record": "job", "key": "<hex>", "index": 3, "payload": {...}}
+
+    The header is written and fsync'd at creation, before any job
+    record, so a journal either identifies its experiment or is treated
+    as empty.  Appends go through :meth:`append`; durability follows the
+    policy's ``flush_every``.  :meth:`compact` (and :meth:`finalize`)
+    rewrite the journal atomically, deduplicating by key (last record
+    wins) and dropping torn bytes.
+    """
+
+    def __init__(self, policy: CheckpointPolicy):
+        self.policy = policy
+        self.path = Path(policy.path)
+        self._handle = None
+        self._since_flush = 0
+        self._since_compact = 0
+        self._records: dict[str, dict] = {}
+        self._header: dict | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self, *, experiment: str, config_digest: str, n_jobs: int) -> JournalState:
+        """Create the journal or load it for resumption.
+
+        Returns the recovered :class:`JournalState` (empty for a fresh
+        journal).  Raises :class:`~repro.exceptions.CheckpointError`
+        when the existing header belongs to a different experiment
+        configuration — a resumed run must never mix results.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh_header = {
+            "record": "header",
+            "version": JOURNAL_VERSION,
+            "experiment": experiment,
+            "config_digest": config_digest,
+            "n_jobs": int(n_jobs),
+        }
+        loaded = None
+        if self.path.exists() and self.path.stat().st_size > 0:
+            loaded = _load_journal(self.path, metrics=self.policy.metrics)
+        if loaded is not None:
+            header = loaded.header
+            if header.get("version") != JOURNAL_VERSION:
+                raise CheckpointError(
+                    f"{self.path}: journal version {header.get('version')!r} "
+                    f"is not supported (expected {JOURNAL_VERSION})"
+                )
+            if header.get("config_digest") != config_digest:
+                raise CheckpointError(
+                    f"{self.path}: journal belongs to a different experiment "
+                    f"configuration (digest {header.get('config_digest')!r} != "
+                    f"{config_digest!r} for {experiment!r}); refusing to mix "
+                    "results — point the run at a fresh checkpoint or delete "
+                    "the stale journal"
+                )
+            state = loaded
+        else:
+            state = JournalState(header=fresh_header)
+        self._header = state.header
+        self._records = dict(state.payloads)
+        # Rewrite when the journal is new/headerless or has torn bytes,
+        # so the next append starts on a clean record boundary (a torn
+        # tail would otherwise corrupt the record appended after it).
+        if loaded is None or state.n_torn > 0:
+            self._rewrite()
+        self._ensure_handle()
+        counter = self._counter("checkpoint.records_replayed")
+        if counter is not None:
+            counter.inc(state.n_recorded)
+        return state
+
+    def _ensure_handle(self) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- appends -----------------------------------------------------------
+
+    def append(self, key: str, payload: dict, *, index: int | None = None) -> None:
+        """Journal one outcome; durability follows ``policy.flush_every``."""
+        self._ensure_handle()
+        record = {"record": "job", "key": key, "index": index, "payload": payload}
+        self._handle.write(json.dumps(record) + "\n")
+        self._records[key] = record
+        self._since_flush += 1
+        self._since_compact += 1
+        counter = self._counter("checkpoint.records_appended")
+        if counter is not None:
+            counter.inc()
+        if self._since_flush >= self.policy.flush_every:
+            self.flush()
+        if self.policy.compact_every and self._since_compact >= self.policy.compact_every:
+            self.compact()
+
+    def flush(self) -> None:
+        """Push appended records to durable storage (``fsync``)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._since_flush = 0
+
+    def compact(self) -> None:
+        """Atomically rewrite the journal: header + one record per key."""
+        self._rewrite()
+        counter = self._counter("checkpoint.compactions")
+        if counter is not None:
+            counter.inc()
+
+    def finalize(self) -> None:
+        """Flush, compact and close — the batch completed."""
+        self.flush()
+        self._rewrite()
+        self.close()
+
+    def _rewrite(self) -> None:
+        was_open = self._handle is not None
+        self.close()
+        lines = [json.dumps(self._header)]
+        for record in sorted(
+            self._records.values(),
+            key=lambda r: (r.get("index") is None, r.get("index"), r.get("key")),
+        ):
+            lines.append(json.dumps(record))
+        atomic_write(self.path, "\n".join(lines) + "\n")
+        self._since_compact = 0
+        if was_open:
+            self._ensure_handle()
+
+    def _counter(self, name: str):
+        metrics = self.policy.metrics
+        if metrics is None:
+            return None
+        return metrics.counter(name)
+
+
+def _load_journal(path: Path, *, metrics=None) -> JournalState | None:
+    """Parse a journal, skipping torn or malformed records.
+
+    Returns ``None`` when the file has no usable header (a crash before
+    the header fsync) — the caller recreates the journal from scratch.
+    Every skipped record increments ``checkpoint.validation_warnings``
+    and emits a Python warning; the affected jobs are recomputed.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        return None
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        header = None
+    if not isinstance(header, dict) or header.get("record") != "header":
+        _warn_torn(path, "unreadable header — recreating the journal", metrics)
+        return None
+    state = JournalState(header=header)
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            state.n_torn += 1
+            _warn_torn(path, f"torn record at line {lineno} skipped", metrics)
+            continue
+        if (
+            not isinstance(record, dict)
+            or record.get("record") != "job"
+            or not isinstance(record.get("key"), str)
+            or not isinstance(record.get("payload"), dict)
+        ):
+            state.n_torn += 1
+            _warn_torn(path, f"malformed record at line {lineno} skipped", metrics)
+            continue
+        state.payloads[record["key"]] = record
+    return state
+
+
+def _warn_torn(path: Path, message: str, metrics) -> None:
+    if metrics is not None:
+        metrics.counter("checkpoint.validation_warnings").inc()
+    warnings.warn(f"checkpoint {path}: {message}", RuntimeWarning, stacklevel=3)
+
+
+# ---------------------------------------------------------------------------
+# Resume status + manifest
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JournalStatus:
+    """Progress of one journal inside a checkpoint directory."""
+
+    path: str
+    experiment: str
+    n_jobs: int
+    n_recorded: int
+
+    @property
+    def percent_complete(self) -> float:
+        if self.n_jobs <= 0:
+            return 0.0
+        return 100.0 * min(self.n_recorded, self.n_jobs) / self.n_jobs
+
+    @property
+    def complete(self) -> bool:
+        return self.n_jobs > 0 and self.n_recorded >= self.n_jobs
+
+
+def checkpoint_status(directory: str | Path) -> list[JournalStatus]:
+    """Scan a checkpoint directory's journals and report their progress."""
+    directory = Path(directory)
+    statuses = []
+    for path in sorted(directory.glob("*.jsonl")):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            state = _load_journal(path)
+        if state is None:
+            continue
+        statuses.append(
+            JournalStatus(
+                path=str(path),
+                experiment=str(state.header.get("experiment", "?")),
+                n_jobs=int(state.header.get("n_jobs", 0)),
+                n_recorded=state.n_recorded,
+            )
+        )
+    return statuses
+
+
+def write_manifest(directory: str | Path, argv: Iterable[str]) -> Path:
+    """Record the CLI command a checkpoint directory belongs to."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    return atomic_write(
+        directory / MANIFEST_NAME,
+        {"version": JOURNAL_VERSION, "command": list(argv)},
+    )
+
+
+def read_manifest(directory: str | Path) -> list[str]:
+    """The argv recorded by :func:`write_manifest`; raises if unusable."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        raise CheckpointError(
+            f"{path} not found — was this checkpoint created with "
+            "`roarray batch --checkpoint` / `roarray chaos --checkpoint`?"
+        )
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"{path}: unreadable manifest ({error})") from error
+    command = manifest.get("command")
+    if not isinstance(command, list) or not all(isinstance(a, str) for a in command):
+        raise CheckpointError(f"{path}: manifest carries no command to resume")
+    return command

@@ -213,6 +213,26 @@ class JobFailure:
     traceback: str = ""
     attempts: int = 1
 
+    def to_dict(self) -> dict:
+        """JSON-ready view (round-trips through :meth:`from_dict`)."""
+        return {
+            "error_type": self.error_type,
+            "message": self.message,
+            "kind": self.kind,
+            "traceback": self.traceback,
+            "attempts": int(self.attempts),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobFailure":
+        return cls(
+            error_type=str(payload["error_type"]),
+            message=str(payload["message"]),
+            kind=str(payload.get("kind", "solver")),
+            traceback=str(payload.get("traceback", "")),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
 
 @dataclass
 class JobOutcome:
@@ -247,3 +267,48 @@ class JobOutcome:
     @property
     def ok(self) -> bool:
         return self.failure is None
+
+    def to_dict(self) -> dict:
+        """JSON-ready view — what the checkpoint journal stores per job.
+
+        The analysis round-trips byte-exactly (floats via ``repr``), so
+        a replayed outcome is indistinguishable from the recomputed one;
+        the timing fields carry the *original* run's measurements, which
+        is what lets a resumed :class:`~repro.runtime.report.RuntimeReport`
+        merge observability totals across the kill/resume boundary.
+        """
+        analysis = self.analysis
+        if analysis is not None and not hasattr(analysis, "to_dict"):
+            raise ConfigurationError(
+                f"analysis {type(analysis).__name__} is not checkpointable "
+                "(no to_dict): run this system without a checkpoint"
+            )
+        return {
+            "index": int(self.index),
+            "analysis": None if analysis is None else analysis.to_dict(),
+            "failure": None if self.failure is None else self.failure.to_dict(),
+            "elapsed_s": float(self.elapsed_s),
+            "stage_seconds": {k: float(v) for k, v in self.stage_seconds.items()},
+            "spans": list(self.spans),
+            "attempts": int(self.attempts),
+            "quarantined_packets": int(self.quarantined_packets),
+            "fallbacks": list(self.fallbacks),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "JobOutcome":
+        from repro.core.direct_path import ApAnalysis
+
+        analysis = payload.get("analysis")
+        failure = payload.get("failure")
+        return cls(
+            index=int(payload["index"]),
+            analysis=None if analysis is None else ApAnalysis.from_dict(analysis),
+            failure=None if failure is None else JobFailure.from_dict(failure),
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            stage_seconds=dict(payload.get("stage_seconds", {})),
+            spans=list(payload.get("spans", [])),
+            attempts=int(payload.get("attempts", 1)),
+            quarantined_packets=int(payload.get("quarantined_packets", 0)),
+            fallbacks=tuple(payload.get("fallbacks", ())),
+        )

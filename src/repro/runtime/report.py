@@ -93,6 +93,11 @@ class RuntimeReport:
         that needed its fallback chain).
     pool_respawns:
         How many times a crashed worker pool was rebuilt.
+    n_replayed:
+        Jobs replayed from a checkpoint journal instead of recomputed
+        (0 on a clean, non-resumed run).  Replayed outcomes carry their
+        original stage timings and taxonomy, so every other field in
+        this report merges identically across a kill/resume boundary.
     """
 
     workers: int
@@ -108,6 +113,7 @@ class RuntimeReport:
     n_quarantined_packets: int = 0
     n_fallbacks: int = 0
     pool_respawns: int = 0
+    n_replayed: int = 0
 
     @classmethod
     def from_outcomes(
@@ -119,9 +125,14 @@ class RuntimeReport:
         wall_s: float,
         warmup_s: float = 0.0,
         pool_respawns: int = 0,
+        n_replayed: int = 0,
     ) -> "RuntimeReport":
         report = cls(
-            workers=workers, chunk_size=chunk_size, wall_s=wall_s, pool_respawns=pool_respawns
+            workers=workers,
+            chunk_size=chunk_size,
+            wall_s=wall_s,
+            pool_respawns=pool_respawns,
+            n_replayed=n_replayed,
         )
         report.stages.dictionary_s += warmup_s
         for outcome in outcomes:
@@ -178,6 +189,11 @@ class RuntimeReport:
                 f"per-job: mean {self.busy_s / len(self.job_seconds):.3f} s, "
                 f"max {max(self.job_seconds):.3f} s"
             )
+        if self.n_replayed:
+            lines.append(
+                f"checkpoint: {self.n_replayed} of {self.n_jobs} jobs replayed "
+                "from the journal"
+            )
         if (
             self.n_retries
             or self.n_timeouts
@@ -220,4 +236,5 @@ class RuntimeReport:
             "n_quarantined_packets": self.n_quarantined_packets,
             "n_fallbacks": self.n_fallbacks,
             "pool_respawns": self.pool_respawns,
+            "n_replayed": self.n_replayed,
         }

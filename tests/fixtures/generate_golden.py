@@ -37,6 +37,7 @@ from repro.channel.paths import random_profile
 from repro.channel.trace import CsiTrace
 from repro.core.pipeline import RoArrayEstimator
 from repro.experiments.runner import evaluation_roarray_config
+from repro.runtime.checkpoint import atomic_write
 
 FIXTURE_DIR = Path(__file__).resolve().parent
 SEED = 2017
@@ -67,22 +68,25 @@ def main() -> None:
     arraytrack_spectrum = arraytrack.aoa_spectrum(trace).normalized()
     arraytrack_analysis = arraytrack.analyze(trace)
 
-    np.savez_compressed(
+    atomic_write(
         FIXTURE_DIR / "golden_outputs.npz",
-        seed=SEED,
-        true_aoa_deg=TRUE_AOA_DEG,
-        joint_angles_deg=joint.angles_deg,
-        joint_toas_s=joint.toas_s,
-        joint_power=joint.power,
-        roarray_direct_aoa_deg=roarray_analysis.direct.aoa_deg,
-        roarray_direct_toa_s=roarray_analysis.direct.toa_s,
-        roarray_candidate_aoas_deg=np.array(roarray_analysis.candidate_aoas_deg),
-        spotfi_angles_deg=spotfi_spectrum.angles_deg,
-        spotfi_power=spotfi_spectrum.power,
-        spotfi_direct_aoa_deg=spotfi_analysis.direct.aoa_deg,
-        arraytrack_angles_deg=arraytrack_spectrum.angles_deg,
-        arraytrack_power=arraytrack_spectrum.power,
-        arraytrack_direct_aoa_deg=arraytrack_analysis.direct.aoa_deg,
+        lambda handle: np.savez_compressed(
+            handle,
+            seed=SEED,
+            true_aoa_deg=TRUE_AOA_DEG,
+            joint_angles_deg=joint.angles_deg,
+            joint_toas_s=joint.toas_s,
+            joint_power=joint.power,
+            roarray_direct_aoa_deg=roarray_analysis.direct.aoa_deg,
+            roarray_direct_toa_s=roarray_analysis.direct.toa_s,
+            roarray_candidate_aoas_deg=np.array(roarray_analysis.candidate_aoas_deg),
+            spotfi_angles_deg=spotfi_spectrum.angles_deg,
+            spotfi_power=spotfi_spectrum.power,
+            spotfi_direct_aoa_deg=spotfi_analysis.direct.aoa_deg,
+            arraytrack_angles_deg=arraytrack_spectrum.angles_deg,
+            arraytrack_power=arraytrack_spectrum.power,
+            arraytrack_direct_aoa_deg=arraytrack_analysis.direct.aoa_deg,
+        ),
     )
     print(f"wrote {FIXTURE_DIR / 'golden_trace.npz'}")
     print(f"wrote {FIXTURE_DIR / 'golden_outputs.npz'}")
