@@ -314,9 +314,45 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.experiments.reporting.console import emit, emit_json
-    from repro.runtime.bench import joint_solve_benchmark
+    from repro.runtime.bench import batched_solve_benchmark, joint_solve_benchmark
 
     tracer = _tracer_of(args)
+    if args.batched:
+        with tracer.span("bench", benchmark="batched_solve") as span:
+            result = batched_solve_benchmark(
+                backend=args.backend,
+                device=args.device,
+                dtype=args.dtype,
+                batch_sizes=tuple(args.batch_sizes),
+                snr_db=args.snr,
+                seed=args.seed,
+                repeats=args.repeats,
+                max_iterations=args.iterations,
+            )
+            span.annotate(speedup=result["max_batch_speedup"])
+        output = args.output or "BENCH_batched_solve.json"
+        if args.json:
+            emit_json(result)
+        else:
+            grid = result["grid"]
+            emit(
+                f"batched solve ({grid['rows']}×{grid['columns']} dictionary, "
+                f"{result['iterations']} iterations, backend {result['backend']}"
+                f"[{result['dtype']}], best of {result['repeats']}):"
+            )
+            for row in result["batches"]:
+                emit(
+                    f"  batch {row['batch_size']:>4}: loop {row['loop_seconds']:.3f} s | "
+                    f"batched {row['batched_seconds']:.3f} s | "
+                    f"speedup {row['speedup']:.2f}× | "
+                    f"deviation {row['max_relative_deviation']:.2e}"
+                )
+        from repro.runtime.checkpoint import atomic_write
+
+        atomic_write(output, result)
+        if not args.json:
+            emit(f"wrote {output}")
+        return 0
     with tracer.span("bench", benchmark="joint_solve") as span:
         result = joint_solve_benchmark(
             snr_db=args.snr, seed=args.seed, repeats=args.repeats, max_iterations=args.iterations
@@ -535,13 +571,36 @@ def build_parser() -> argparse.ArgumentParser:
     localize.set_defaults(handler=cmd_localize)
 
     bench = subparsers.add_parser(
-        "bench", help="joint-solve microbenchmark (dense vs Kronecker operator)"
+        "bench",
+        help="solver microbenchmarks: dense vs Kronecker operator, or "
+        "--batched for solve_batch vs the sequential loop",
     )
     bench.add_argument("--snr", type=float, default=12.0, help="measurement SNR in dB")
     bench.add_argument("--seed", type=int, default=2017)
     bench.add_argument("--repeats", type=int, default=3, help="timing repeats (best-of)")
     bench.add_argument(
         "--iterations", type=int, default=None, help="pinned FISTA iterations (default: config)"
+    )
+    bench.add_argument(
+        "--batched", action="store_true",
+        help="benchmark solve_batch against the per-problem loop "
+        "(writes BENCH_batched_solve.json unless --output is given)",
+    )
+    bench.add_argument(
+        "--backend", choices=("numpy", "torch", "cupy"), default="numpy",
+        help="array backend for the batched path (default numpy)",
+    )
+    bench.add_argument(
+        "--device", default=None, metavar="DEV",
+        help="device for the batched backend (e.g. cuda:0)",
+    )
+    bench.add_argument(
+        "--dtype", choices=("complex64", "complex128"), default=None,
+        help="precision for the batched path (default complex128)",
+    )
+    bench.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 8, 64], metavar="N",
+        help="batch sizes to sweep with --batched (default 1 8 64)",
     )
     bench.add_argument(
         "--output", default=None, metavar="PATH", help="also write the JSON to PATH"

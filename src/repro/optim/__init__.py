@@ -11,6 +11,12 @@ front door:
 * :func:`solve` — the unified entry point:
   ``solve(A, y, method="fista", ...)`` dispatches by name and derives κ
   when omitted.
+* :func:`solve_batch` — the batched entry point:
+  ``solve_batch(A, ys, method=...)`` stacks many measurements against
+  one dictionary into lockstep batched iterations on any registered
+  array backend (numpy always; torch/cupy when installed — see
+  :mod:`repro.optim.backend`), with a float64 parity gate against the
+  sequential numpy reference.
 
 Dictionaries may be dense ndarrays or structured
 :class:`DictionaryOperator` instances — in particular
@@ -41,6 +47,16 @@ unnecessary here.
 """
 
 from repro.optim.admm import CachedAdmmFactors, solve_lasso_admm
+from repro.optim.backend import (
+    FLOAT32_TOLERANCES,
+    FLOAT64_PARITY_TOLERANCE,
+    ArrayBackend,
+    available_backends,
+    backend_names,
+    get_backend,
+    resolve_backend,
+)
+from repro.optim.batch import BatchSolverResult, solve_batch
 from repro.optim.facade import solve
 from repro.optim.fista import solve_lasso_fista
 from repro.optim.linalg import (
@@ -63,20 +79,29 @@ from repro.optim.sbl import solve_sbl
 from repro.optim.tuning import mmv_residual_kappa, noise_scaled_kappa, residual_kappa
 
 __all__ = [
+    "ArrayBackend",
+    "BatchSolverResult",
     "CachedAdmmFactors",
     "DenseOperator",
     "DictionaryOperator",
+    "FLOAT32_TOLERANCES",
+    "FLOAT64_PARITY_TOLERANCE",
     "GuardrailPolicy",
     "KroneckerJointOperator",
     "SolverResult",
     "as_operator",
+    "available_backends",
+    "backend_names",
     "estimate_lipschitz",
+    "get_backend",
+    "resolve_backend",
     "mmv_residual_kappa",
     "noise_scaled_kappa",
     "residual_kappa",
     "row_soft_threshold",
     "soft_threshold",
     "solve",
+    "solve_batch",
     "solve_guarded",
     "solve_lasso_admm",
     "solve_lasso_fista",

@@ -1,0 +1,815 @@
+"""Array backends for the sparse solvers (numpy / torch / cupy).
+
+The solvers in :mod:`repro.optim` are written against a deliberately
+small array surface — products, norms, elementwise shrinkage, a couple
+of factorizations.  :class:`ArrayBackend` abstracts exactly that
+surface so the same FISTA/MMV/ADMM/OMP loops run unchanged on numpy,
+PyTorch, or CuPy arrays, on whatever device the backend was opened on.
+
+Design rules:
+
+* :class:`NumpyBackend` delegates to **exactly** the numpy expressions
+  the solvers used before this layer existed.  The numpy path is the
+  reference: golden fixtures and byte-identity tests pin it, so the
+  backend indirection must be invisible at the bit level.
+* ``torch`` and ``cupy`` are *lazily* registered: their classes are
+  always listed, but the libraries are only imported when a backend
+  instance is actually requested.  Environments without them lose
+  nothing — :func:`available_backends` simply omits them.
+* Scalars cross the boundary as plain Python ``float``/``int``/``bool``
+  so solver control flow (convergence checks, momentum coefficients)
+  is backend-independent.
+
+Precision is tracked as ``"double"`` (complex128/float64, the
+reference) or ``"single"`` (complex64/float32, the mixed-precision
+option for GPU throughput).  The documented float32 tolerance ladder
+used by the parity tests and the :func:`repro.optim.solve_batch` parity
+gate lives in :data:`FLOAT32_TOLERANCES`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import BackendError
+from repro.optim import linalg as _linalg
+
+#: Reference parity budget for double precision: batched float64 results
+#: must match the sequential numpy path to this relative tolerance.
+FLOAT64_PARITY_TOLERANCE = 1e-12
+
+#: Documented float32 tolerance ladder, relative to the float64 numpy
+#: reference on the same problem.  Single precision carries ~1e-7 of
+#: rounding per operation through hundreds of iterations; these bounds
+#: are what the parity test matrix asserts and what callers should
+#: expect from ``dtype="complex64"`` solves.
+FLOAT32_TOLERANCES = {
+    "solution": 1e-2,   # per-problem relative ℓ∞ deviation of the minimizer
+    "objective": 1e-3,  # relative objective gap
+    "parity_gate": 1e-2,  # default solve_batch parity-gate tolerance
+}
+
+_PRECISIONS = ("double", "single")
+
+_COMPLEX_BY_PRECISION = {"double": "complex128", "single": "complex64"}
+_REAL_BY_PRECISION = {"double": "float64", "single": "float32"}
+
+_SINGLE_TOKENS = {"single", "complex64", "float32"}
+_DOUBLE_TOKENS = {"double", "complex128", "float64"}
+
+
+def normalize_precision(dtype) -> str | None:
+    """Map a dtype spec (name, numpy dtype, precision token) to a precision.
+
+    Returns ``"single"``, ``"double"``, or ``None`` when ``dtype`` is
+    ``None`` (meaning: keep the source precision).
+    """
+    if dtype is None:
+        return None
+    token = str(dtype).lower()
+    # numpy dtypes stringify as e.g. "complex64"; torch as "torch.complex64".
+    token = token.rsplit(".", 1)[-1]
+    if token in _SINGLE_TOKENS:
+        return "single"
+    if token in _DOUBLE_TOKENS:
+        return "double"
+    raise BackendError(
+        f"unsupported dtype {dtype!r}; expected one of "
+        f"{sorted(_SINGLE_TOKENS | _DOUBLE_TOKENS)}"
+    )
+
+
+class ArrayBackend(ABC):
+    """The array surface the solvers need, bound to one library + device."""
+
+    #: Registry name ("numpy", "torch", "cupy").
+    name: str = ""
+    #: Device string ("cpu", "cuda", "cuda:0", ...).
+    device: str = "cpu"
+
+    @classmethod
+    @abstractmethod
+    def is_available(cls) -> bool:
+        """Whether the backing library is importable (cheap; no import)."""
+
+    # -- construction / conversion ------------------------------------
+    @abstractmethod
+    def asarray(self, x, dtype: str | None = None):
+        """Native array from ``x`` (host data or native array)."""
+
+    @abstractmethod
+    def ensure(self, x, like=None):
+        """Native array from ``x``, dtype-promoted to mix with ``like``.
+
+        The numpy implementation is a plain ``np.asarray`` — numpy's own
+        promotion rules apply, keeping the reference path bitwise
+        unchanged.  Torch promotes real→complex explicitly because its
+        ``matmul`` refuses mixed real/complex operands.
+        """
+
+    @abstractmethod
+    def to_numpy(self, x) -> np.ndarray:
+        """Host numpy array (copy-free where the library allows)."""
+
+    @abstractmethod
+    def copy(self, x):
+        ...
+
+    @abstractmethod
+    def zeros(self, shape, dtype: str):
+        ...
+
+    @abstractmethod
+    def eye(self, n: int):
+        ...
+
+    @abstractmethod
+    def stack(self, arrays: Sequence, axis: int = 0):
+        ...
+
+    @abstractmethod
+    def concat(self, arrays: Sequence, axis: int = 0):
+        ...
+
+    @abstractmethod
+    def moveaxis(self, x, source: int, destination: int):
+        ...
+
+    @abstractmethod
+    def kron(self, a, b):
+        ...
+
+    # -- dtype / device plumbing --------------------------------------
+    def complex_dtype(self, precision: str = "double") -> str:
+        return _COMPLEX_BY_PRECISION[precision]
+
+    def real_dtype(self, precision: str = "double") -> str:
+        return _REAL_BY_PRECISION[precision]
+
+    @abstractmethod
+    def dtype_name(self, x) -> str:
+        """Canonical dtype name of an array, e.g. ``"complex128"``."""
+
+    def precision_of(self, x) -> str:
+        return "single" if self.dtype_name(x) in _SINGLE_TOKENS else "double"
+
+    @abstractmethod
+    def is_native(self, x) -> bool:
+        """Whether ``x`` is already this backend's array type."""
+
+    # -- elementwise / reductions -------------------------------------
+    @abstractmethod
+    def abs(self, x):
+        ...
+
+    @abstractmethod
+    def conj(self, x):
+        ...
+
+    @abstractmethod
+    def conj_transpose(self, x):
+        """``xᴴ`` for a 2-D array."""
+
+    @abstractmethod
+    def where(self, condition, a, b):
+        ...
+
+    @abstractmethod
+    def maximum(self, x, floor):
+        """Elementwise ``max(x, floor)`` with ``floor`` a scalar or array."""
+
+    @abstractmethod
+    def norm(self, x) -> float:
+        """Flattened ℓ2 norm as a Python float."""
+
+    @abstractmethod
+    def norms(self, x, axis, keepdims: bool = False):
+        """Vector ℓ2 norms along ``axis`` (int or tuple), as an array."""
+
+    @abstractmethod
+    def sum(self, x, axis=None):
+        ...
+
+    def sum_float(self, x) -> float:
+        return float(self.sum(x))
+
+    @abstractmethod
+    def abs_sum(self, x) -> float:
+        """``Σ|xᵢ|`` as a Python float."""
+
+    @abstractmethod
+    def vdot_real(self, a, b) -> float:
+        """``Re⟨a, b⟩`` over flattened arrays, as a Python float."""
+
+    @abstractmethod
+    def max(self, x, initial: float | None = None) -> float:
+        ...
+
+    @abstractmethod
+    def argmax(self, x) -> int:
+        ...
+
+    @abstractmethod
+    def isfinite_all(self, x) -> bool:
+        ...
+
+    @abstractmethod
+    def tensordot(self, a, b, axes):
+        ...
+
+    # -- fused lockstep kernels ---------------------------------------
+    # The batched engine's hot inner steps.  The generic forms below are
+    # correct on every backend; NumpyBackend overrides them with
+    # in-place implementations because the lockstep iterate (n × B) no
+    # longer fits in cache and every avoided pass is a measurable win.
+    def prox_gradient_step(self, momentum, gradient, step2, thresholds):
+        """``soft_threshold(momentum − step2·gradient, thresholds)``.
+
+        ``gradient`` is ``Aᴴ(Ax − y)`` *without* the factor 2 —
+        ``step2`` carries it (``2·step``; exact, a power-of-two scale).
+        Implementations may clobber ``gradient`` (the caller owns and
+        discards it); ``momentum`` must be left untouched.
+        """
+        return self.soft_threshold(momentum - step2 * gradient, thresholds)
+
+    def momentum_combine(self, candidate, previous, coefficient):
+        """``candidate + coefficient·(candidate − previous)``.
+
+        Implementations may clobber ``previous`` — the engine only calls
+        this once the previous iterate is dead.
+        """
+        return candidate + coefficient * (candidate - previous)
+
+    # -- solver building blocks ---------------------------------------
+    @abstractmethod
+    def soft_threshold(self, x, threshold):
+        """Complex soft-threshold; ``threshold`` scalar or broadcastable."""
+
+    @abstractmethod
+    def row_soft_threshold(self, x, threshold: float):
+        ...
+
+    @abstractmethod
+    def cholesky(self, a):
+        """Opaque factorization handle for :meth:`cholesky_solve`."""
+
+    @abstractmethod
+    def cholesky_solve(self, factor, b):
+        ...
+
+    @abstractmethod
+    def lstsq(self, a, b):
+        """Least-squares solution of ``a x ≈ b`` (tall or square ``a``)."""
+
+    @abstractmethod
+    def eigvalsh_max(self, a) -> float:
+        """Largest eigenvalue of a Hermitian matrix, as a Python float."""
+
+    def errstate(self):
+        """Context manager suppressing 0/0 warnings in shrinkage ops."""
+        return contextlib.nullcontext()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} device={self.device!r}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend: every op is the pre-existing numpy expression."""
+
+    name = "numpy"
+    device = "cpu"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return True
+
+    def asarray(self, x, dtype: str | None = None):
+        return np.asarray(x, dtype=dtype)
+
+    def ensure(self, x, like=None):
+        # No dtype coercion: numpy promotes inside the operation itself,
+        # which is exactly what the solvers did before this layer.
+        return np.asarray(x)
+
+    def to_numpy(self, x) -> np.ndarray:
+        return np.asarray(x)
+
+    def copy(self, x):
+        return np.asarray(x).copy()
+
+    def zeros(self, shape, dtype: str):
+        return np.zeros(shape, dtype=dtype)
+
+    def eye(self, n: int):
+        return np.eye(n)
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return np.stack(arrays, axis=axis)
+
+    def concat(self, arrays: Sequence, axis: int = 0):
+        return np.concatenate(list(arrays), axis=axis)
+
+    def moveaxis(self, x, source: int, destination: int):
+        return np.moveaxis(x, source, destination)
+
+    def kron(self, a, b):
+        return np.kron(a, b)
+
+    def dtype_name(self, x) -> str:
+        return np.asarray(x).dtype.name
+
+    def is_native(self, x) -> bool:
+        return isinstance(x, np.ndarray)
+
+    def abs(self, x):
+        return np.abs(x)
+
+    def conj(self, x):
+        return np.conj(x)
+
+    def conj_transpose(self, x):
+        return x.conj().T
+
+    def where(self, condition, a, b):
+        return np.where(condition, a, b)
+
+    def maximum(self, x, floor):
+        return np.maximum(x, floor)
+
+    def norm(self, x) -> float:
+        return float(np.linalg.norm(x))
+
+    def norms(self, x, axis, keepdims: bool = False):
+        return np.linalg.norm(x, axis=axis, keepdims=keepdims)
+
+    def sum(self, x, axis=None):
+        return np.asarray(x).sum(axis=axis)
+
+    def abs_sum(self, x) -> float:
+        return float(np.abs(x).sum())
+
+    def vdot_real(self, a, b) -> float:
+        return float(np.vdot(a, b).real)
+
+    def max(self, x, initial: float | None = None) -> float:
+        if initial is not None:
+            return float(np.asarray(x).max(initial=initial))
+        return float(np.asarray(x).max())
+
+    def argmax(self, x) -> int:
+        return int(np.argmax(x))
+
+    def isfinite_all(self, x) -> bool:
+        return bool(np.all(np.isfinite(x)))
+
+    def tensordot(self, a, b, axes):
+        return np.tensordot(a, b, axes=axes)
+
+    def prox_gradient_step(self, momentum, gradient, step2, thresholds):
+        point = np.multiply(gradient, -step2, out=gradient)
+        point += momentum
+        magnitude = np.abs(point)
+        thresholds = np.asarray(thresholds)
+        if np.all(thresholds > 0):
+            # max(1 − t/|z|, 0)·z: same shrinkage as the reference
+            # formula to rounding, one fewer real-array pass and no
+            # boolean mask; |z| = 0 gives −inf → clamped to 0.
+            with np.errstate(invalid="ignore", divide="ignore"):
+                scale = thresholds / magnitude
+                np.subtract(1.0, scale, out=scale)
+                np.maximum(scale, 0.0, out=scale)
+        else:
+            with np.errstate(invalid="ignore", divide="ignore"):
+                shrunk = np.maximum(magnitude - thresholds, 0.0)
+                scale = np.where(
+                    magnitude > 0, shrunk / np.where(magnitude > 0, magnitude, 1.0), 0.0
+                )
+        point *= scale
+        return point
+
+    def momentum_combine(self, candidate, previous, coefficient):
+        combined = np.subtract(candidate, previous, out=previous)
+        combined *= coefficient
+        combined += candidate
+        return combined
+
+    def soft_threshold(self, x, threshold):
+        return _linalg.soft_threshold(x, threshold)
+
+    def row_soft_threshold(self, x, threshold: float):
+        return _linalg.row_soft_threshold(x, threshold)
+
+    def cholesky(self, a):
+        return scipy.linalg.cho_factor(a)
+
+    def cholesky_solve(self, factor, b):
+        return scipy.linalg.cho_solve(factor, b)
+
+    def lstsq(self, a, b):
+        solution, *_ = np.linalg.lstsq(a, b, rcond=None)
+        return solution
+
+    def eigvalsh_max(self, a) -> float:
+        return float(np.linalg.eigvalsh(a)[-1])
+
+    def errstate(self):
+        return np.errstate(invalid="ignore", divide="ignore")
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch backend (CPU by default; pass ``device="cuda"`` for GPU)."""
+
+    name = "torch"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("torch") is not None
+
+    def __init__(self, device: str | None = None) -> None:
+        if not self.is_available():  # pragma: no cover - depends on env
+            raise BackendError("torch backend requested but torch is not installed")
+        import torch
+
+        self._torch = torch
+        self.device = device or "cpu"
+        if self.device.startswith("cuda") and not torch.cuda.is_available():
+            raise BackendError(
+                f"torch backend requested device {self.device!r} but CUDA is unavailable"
+            )
+
+    _DTYPES = {
+        "complex128": "complex128",
+        "complex64": "complex64",
+        "float64": "float64",
+        "float32": "float32",
+    }
+
+    def _dtype(self, name: str | None):
+        if name is None:
+            return None
+        return getattr(self._torch, self._DTYPES[str(name)])
+
+    def asarray(self, x, dtype: str | None = None):
+        torch = self._torch
+        if torch.is_tensor(x):
+            return x.to(device=self.device, dtype=self._dtype(dtype)) if dtype else x.to(self.device)
+        array = np.asarray(x)
+        tensor = torch.as_tensor(array, device=self.device)
+        if dtype is not None:
+            tensor = tensor.to(self._dtype(dtype))
+        return tensor
+
+    def ensure(self, x, like=None):
+        torch = self._torch
+        tensor = x if torch.is_tensor(x) else torch.as_tensor(np.asarray(x), device=self.device)
+        if str(tensor.device) != str(self._torch.device(self.device)):
+            tensor = tensor.to(self.device)
+        if like is not None and tensor.dtype != like.dtype:
+            # Promote real → complex (and match precision) so torch's
+            # strict matmul dtype rules never bite; never demote a
+            # complex array to real.
+            if like.dtype.is_complex or not tensor.dtype.is_complex:
+                tensor = tensor.to(like.dtype)
+        return tensor
+
+    def to_numpy(self, x) -> np.ndarray:
+        if self._torch.is_tensor(x):
+            return x.detach().cpu().numpy()
+        return np.asarray(x)
+
+    def copy(self, x):
+        return self.ensure(x).clone()
+
+    def zeros(self, shape, dtype: str):
+        return self._torch.zeros(shape, dtype=self._dtype(dtype), device=self.device)
+
+    def eye(self, n: int):
+        return self._torch.eye(n, dtype=self._torch.float64, device=self.device)
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return self._torch.stack(list(arrays), dim=axis)
+
+    def concat(self, arrays: Sequence, axis: int = 0):
+        return self._torch.cat(list(arrays), dim=axis)
+
+    def moveaxis(self, x, source: int, destination: int):
+        return self._torch.movedim(x, source, destination)
+
+    def kron(self, a, b):
+        return self._torch.kron(a, b)
+
+    def dtype_name(self, x) -> str:
+        if self._torch.is_tensor(x):
+            return str(x.dtype).rsplit(".", 1)[-1]
+        return np.asarray(x).dtype.name
+
+    def is_native(self, x) -> bool:
+        return self._torch.is_tensor(x)
+
+    def abs(self, x):
+        return self._torch.abs(x)
+
+    def conj(self, x):
+        return self._torch.conj(x).resolve_conj()
+
+    def conj_transpose(self, x):
+        return x.mH
+
+    def where(self, condition, a, b):
+        torch = self._torch
+        if not torch.is_tensor(a) or not torch.is_tensor(b):
+            dtype = a.dtype if torch.is_tensor(a) else (b.dtype if torch.is_tensor(b) else None)
+            if not torch.is_tensor(a):
+                a = torch.as_tensor(a, dtype=dtype, device=condition.device)
+            if not torch.is_tensor(b):
+                b = torch.as_tensor(b, dtype=dtype, device=condition.device)
+        return torch.where(condition, a, b)
+
+    def maximum(self, x, floor):
+        torch = self._torch
+        if torch.is_tensor(floor):
+            return torch.maximum(x, floor)
+        return torch.clamp(x, min=floor)
+
+    def norm(self, x) -> float:
+        return float(self._torch.linalg.vector_norm(x))
+
+    def norms(self, x, axis, keepdims: bool = False):
+        return self._torch.linalg.vector_norm(x, dim=axis, keepdim=keepdims)
+
+    def sum(self, x, axis=None):
+        if axis is None:
+            return self._torch.sum(x)
+        return self._torch.sum(x, dim=axis)
+
+    def abs_sum(self, x) -> float:
+        return float(self._torch.sum(self._torch.abs(x)))
+
+    def vdot_real(self, a, b) -> float:
+        return float(self._torch.vdot(a.reshape(-1), b.reshape(-1)).real)
+
+    def max(self, x, initial: float | None = None) -> float:
+        if x.numel() == 0:
+            if initial is None:  # pragma: no cover - mirrors numpy's error
+                raise BackendError("max of an empty tensor with no initial value")
+            return float(initial)
+        peak = float(self._torch.max(x))
+        return peak if initial is None else builtins_max(peak, float(initial))
+
+    def argmax(self, x) -> int:
+        return int(self._torch.argmax(x))
+
+    def isfinite_all(self, x) -> bool:
+        return bool(self._torch.all(self._torch.isfinite(x)))
+
+    def tensordot(self, a, b, axes):
+        return self._torch.tensordot(a, b, dims=axes)
+
+    def soft_threshold(self, x, threshold):
+        torch = self._torch
+        magnitude = torch.abs(x)
+        if torch.is_tensor(threshold):
+            shrunk = torch.clamp(magnitude - threshold, min=0.0)
+        else:
+            shrunk = torch.clamp(magnitude - float(threshold), min=0.0)
+        safe = torch.where(magnitude > 0, magnitude, torch.ones_like(magnitude))
+        factors = (shrunk / safe).to(x.dtype)
+        return torch.where(magnitude > 0, x * factors, torch.zeros_like(x))
+
+    def row_soft_threshold(self, x, threshold: float):
+        torch = self._torch
+        norms = torch.linalg.vector_norm(x, dim=1, keepdim=True)
+        shrunk = torch.clamp(norms - float(threshold), min=0.0)
+        safe = torch.where(norms > 0, norms, torch.ones_like(norms))
+        factors = torch.where(norms > 0, shrunk / safe, torch.zeros_like(norms))
+        return x * factors.to(x.dtype)
+
+    def cholesky(self, a):
+        return self._torch.linalg.cholesky(a)
+
+    def cholesky_solve(self, factor, b):
+        torch = self._torch
+        rhs = b if b.ndim == 2 else b.reshape(-1, 1)
+        solution = torch.cholesky_solve(rhs, factor)
+        return solution if b.ndim == 2 else solution.reshape(-1)
+
+    def lstsq(self, a, b):
+        rhs = b if b.ndim == 2 else b.reshape(-1, 1)
+        solution = self._torch.linalg.lstsq(a, rhs).solution
+        return solution if b.ndim == 2 else solution.reshape(-1)
+
+    def eigvalsh_max(self, a) -> float:
+        return float(self._torch.linalg.eigvalsh(a)[-1])
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy backend — numpy-compatible arrays resident on a CUDA device."""
+
+    name = "cupy"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return importlib.util.find_spec("cupy") is not None
+
+    def __init__(self, device: str | None = None) -> None:
+        if not self.is_available():  # pragma: no cover - depends on env
+            raise BackendError("cupy backend requested but cupy is not installed")
+        import cupy
+
+        self._cupy = cupy
+        self.device = device or "cuda"
+
+    def asarray(self, x, dtype: str | None = None):
+        return self._cupy.asarray(x, dtype=dtype)
+
+    def ensure(self, x, like=None):
+        return self._cupy.asarray(x)
+
+    def to_numpy(self, x) -> np.ndarray:
+        return self._cupy.asnumpy(x)
+
+    def copy(self, x):
+        return self._cupy.asarray(x).copy()
+
+    def zeros(self, shape, dtype: str):
+        return self._cupy.zeros(shape, dtype=dtype)
+
+    def eye(self, n: int):
+        return self._cupy.eye(n)
+
+    def stack(self, arrays: Sequence, axis: int = 0):
+        return self._cupy.stack(list(arrays), axis=axis)
+
+    def concat(self, arrays: Sequence, axis: int = 0):
+        return self._cupy.concatenate(list(arrays), axis=axis)
+
+    def moveaxis(self, x, source: int, destination: int):
+        return self._cupy.moveaxis(x, source, destination)
+
+    def kron(self, a, b):
+        return self._cupy.kron(a, b)
+
+    def dtype_name(self, x) -> str:
+        return x.dtype.name if hasattr(x, "dtype") else np.asarray(x).dtype.name
+
+    def is_native(self, x) -> bool:
+        return isinstance(x, self._cupy.ndarray)
+
+    def abs(self, x):
+        return self._cupy.abs(x)
+
+    def conj(self, x):
+        return self._cupy.conj(x)
+
+    def conj_transpose(self, x):
+        return x.conj().T
+
+    def where(self, condition, a, b):
+        return self._cupy.where(condition, a, b)
+
+    def maximum(self, x, floor):
+        return self._cupy.maximum(x, floor)
+
+    def norm(self, x) -> float:
+        return float(self._cupy.linalg.norm(x))
+
+    def norms(self, x, axis, keepdims: bool = False):
+        return self._cupy.linalg.norm(x, axis=axis, keepdims=keepdims)
+
+    def sum(self, x, axis=None):
+        return x.sum(axis=axis)
+
+    def abs_sum(self, x) -> float:
+        return float(self._cupy.abs(x).sum())
+
+    def vdot_real(self, a, b) -> float:
+        return float(self._cupy.vdot(a, b).real)
+
+    def max(self, x, initial: float | None = None) -> float:
+        if x.size == 0:
+            if initial is None:  # pragma: no cover - mirrors numpy's error
+                raise BackendError("max of an empty array with no initial value")
+            return float(initial)
+        peak = float(x.max())
+        return peak if initial is None else builtins_max(peak, float(initial))
+
+    def argmax(self, x) -> int:
+        return int(self._cupy.argmax(x))
+
+    def isfinite_all(self, x) -> bool:
+        return bool(self._cupy.all(self._cupy.isfinite(x)))
+
+    def tensordot(self, a, b, axes):
+        return self._cupy.tensordot(a, b, axes=axes)
+
+    def soft_threshold(self, x, threshold):
+        cp = self._cupy
+        magnitude = cp.abs(x)
+        shrunk = cp.maximum(magnitude - threshold, 0.0)
+        factors = cp.where(magnitude > 0, shrunk / cp.where(magnitude > 0, magnitude, 1.0), 0.0)
+        return x * factors
+
+    def row_soft_threshold(self, x, threshold: float):
+        cp = self._cupy
+        norms = cp.linalg.norm(x, axis=1, keepdims=True)
+        shrunk = cp.maximum(norms - threshold, 0.0)
+        factors = cp.where(norms > 0, shrunk / cp.where(norms > 0, norms, 1.0), 0.0)
+        return x * factors
+
+    def cholesky(self, a):
+        return self._cupy.linalg.cholesky(a)
+
+    def cholesky_solve(self, factor, b):
+        from cupyx.scipy.linalg import solve_triangular
+
+        intermediate = solve_triangular(factor, b, lower=True)
+        return solve_triangular(factor.conj().T, intermediate, lower=False)
+
+    def lstsq(self, a, b):
+        solution, *_ = self._cupy.linalg.lstsq(a, b, rcond=None)
+        return solution
+
+    def eigvalsh_max(self, a) -> float:
+        return float(self._cupy.linalg.eigvalsh(a)[-1])
+
+
+builtins_max = max  # the ArrayBackend.max methods shadow the builtin
+
+
+_BACKEND_CLASSES: dict[str, type[ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "torch": TorchBackend,
+    "cupy": CupyBackend,
+}
+
+_INSTANCES: dict[tuple[str, str | None], ArrayBackend] = {}
+
+
+def backend_names() -> tuple[str, ...]:
+    """All registered backend names (installed or not)."""
+    return tuple(_BACKEND_CLASSES)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of backends whose library is importable right now."""
+    return tuple(
+        name for name, cls in _BACKEND_CLASSES.items() if cls.is_available()
+    )
+
+
+def get_backend(name: str = "numpy", *, device: str | None = None) -> ArrayBackend:
+    """Backend instance by name, memoized per ``(name, device)``.
+
+    Raises :class:`~repro.exceptions.BackendError` for unknown names and
+    for backends whose library is not installed.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    try:
+        cls = _BACKEND_CLASSES[name]
+    except KeyError:
+        raise BackendError(
+            f"unknown backend {name!r}; registered backends: {sorted(_BACKEND_CLASSES)}"
+        ) from None
+    if not cls.is_available():
+        raise BackendError(
+            f"backend {name!r} is registered but its library is not installed "
+            f"(available: {list(available_backends())})"
+        )
+    key = (name, device)
+    if key not in _INSTANCES:
+        _INSTANCES[key] = cls() if name == "numpy" else cls(device=device)
+    return _INSTANCES[key]
+
+
+def backend_of(array) -> ArrayBackend:
+    """Infer the backend owning ``array`` without importing anything new."""
+    module = type(array).__module__
+    if module.startswith("torch"):
+        device = str(array.device)
+        return get_backend("torch", device=None if device == "cpu" else device)
+    if module.startswith("cupy"):
+        return get_backend("cupy")
+    return get_backend("numpy")
+
+
+def resolve_backend(spec=None, *, device: str | None = None, array=None) -> ArrayBackend:
+    """Resolve ``spec`` (None / name / instance) to a backend instance.
+
+    With ``spec=None`` the backend is inferred from ``array`` (numpy
+    when no array is given) — inference never imports torch/cupy, it
+    only recognizes arrays from libraries that are already loaded.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is not None:
+        return get_backend(spec, device=device)
+    if array is not None:
+        return backend_of(array)
+    return get_backend("numpy")

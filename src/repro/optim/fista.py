@@ -14,21 +14,25 @@ joint dictionaries of §III-B.
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
 
 from repro.exceptions import SolverError
 from repro.obs.convergence import ConvergenceTrace, support_size
-from repro.optim.linalg import soft_threshold, validate_system
+from repro.optim.linalg import validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
 def lasso_objective(matrix, rhs: np.ndarray, x: np.ndarray, kappa: float) -> float:
     """The LASSO objective ``‖Ax − y‖₂² + κ‖x‖₁`` (paper Eq. 11)."""
-    residual = as_operator(matrix).matvec(x) - rhs
-    return float(np.vdot(residual, residual).real + kappa * np.abs(x).sum())
+    operator = as_operator(matrix)
+    bk = operator.backend
+    product = operator.matvec(x)
+    residual = product - bk.ensure(rhs, like=product)
+    return bk.vdot_real(residual, residual) + kappa * bk.abs_sum(x)
 
 
 def solve_lasso_fista(
@@ -115,6 +119,11 @@ def solve_lasso_fista(
         raise SolverError(f"max_iterations must be >= 1, got {max_iterations}")
 
     operator = as_operator(matrix)
+    bk = operator.backend
+    cdtype = bk.complex_dtype(operator.precision)
+    # Cast to the operator's precision so a complex64 dictionary keeps
+    # the whole iteration in complex64 (no-op for the default path).
+    rhs = bk.asarray(rhs, dtype=cdtype)
     n = operator.shape[1]
     if lipschitz is None:
         lipschitz = 2.0 * operator.lipschitz()
@@ -122,7 +131,7 @@ def solve_lasso_fista(
         lipschitz = 2.0 * float(lipschitz)
     if lipschitz <= 0:
         # A zero dictionary: the minimizer is x = 0.
-        x = np.zeros(n, dtype=complex)
+        x = bk.zeros(n, cdtype)
         return SolverResult(
             x=x,
             objective=lasso_objective(operator, rhs, x, kappa),
@@ -134,10 +143,10 @@ def solve_lasso_fista(
     step = 1.0 / lipschitz
     threshold = kappa * step
 
-    x = np.zeros(n, dtype=complex) if x0 is None else np.asarray(x0, dtype=complex).copy()
-    if x.shape != (n,):
-        raise SolverError(f"x0 has shape {x.shape}, expected ({n},)")
-    momentum_point = x.copy()
+    x = bk.zeros(n, cdtype) if x0 is None else bk.copy(bk.asarray(x0, dtype=cdtype))
+    if tuple(x.shape) != (n,):
+        raise SolverError(f"x0 has shape {tuple(x.shape)}, expected ({n},)")
+    momentum_point = bk.copy(x)
     t = 1.0
     objective = lasso_objective(operator, rhs, x, kappa) if monotone else None
 
@@ -146,9 +155,11 @@ def solve_lasso_fista(
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         gradient = 2.0 * operator.rmatvec(operator.matvec(momentum_point) - rhs)
-        candidate = soft_threshold(momentum_point - step * gradient, threshold)
+        candidate = bk.soft_threshold(momentum_point - step * gradient, threshold)
 
-        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        # math.sqrt keeps t a python float — a np.float64 scalar would
+        # promote complex64 iterates to complex128 under NEP 50.
+        t_next = 0.5 * (1.0 + math.sqrt(1.0 + 4.0 * t * t))
         if monotone:
             # MFISTA: accept the candidate only if it does not increase
             # the objective; the momentum point always moves through the
@@ -170,8 +181,8 @@ def solve_lasso_fista(
         # Convergence is judged on the proximal candidate: in monotone
         # mode a rejected candidate leaves x unchanged, which must not
         # read as a zero-length (converged) step.
-        delta = np.linalg.norm(candidate - x)
-        scale = max(1.0, float(np.linalg.norm(x)))
+        delta = bk.norm(candidate - x)
+        scale = max(1.0, bk.norm(x))
         x, t = x_next, t_next
 
         if track_history:
@@ -179,11 +190,11 @@ def solve_lasso_fista(
                 objective if monotone else lasso_objective(operator, rhs, x, kappa)
             )
         if telemetry is not None or callback is not None:
-            residual_norm = float(np.linalg.norm(operator.matvec(x) - rhs))
+            residual_norm = bk.norm(operator.matvec(x) - rhs)
             current = (
                 objective
                 if monotone
-                else float(residual_norm**2 + kappa * np.abs(x).sum())
+                else residual_norm**2 + kappa * bk.abs_sum(x)
             )
             if telemetry is not None:
                 telemetry.record(

@@ -7,15 +7,17 @@ import numpy as np
 from repro.exceptions import SolverError
 
 
-def soft_threshold(x: np.ndarray, threshold: float) -> np.ndarray:
+def soft_threshold(x: np.ndarray, threshold) -> np.ndarray:
     """Complex soft-thresholding (proximal operator of ``threshold·‖·‖₁``).
 
     Shrinks each entry's magnitude by ``threshold`` while preserving its
     phase; entries whose magnitude falls below ``threshold`` become
     exactly zero.  For real input this reduces to the familiar
-    ``sign(x)·max(|x|−t, 0)``.
+    ``sign(x)·max(|x|−t, 0)``.  ``threshold`` may be a scalar or an
+    array broadcastable against ``x`` (the batched solver passes one
+    threshold per problem column).
     """
-    if threshold < 0:
+    if np.any(np.asarray(threshold) < 0):
         raise SolverError(f"soft_threshold requires threshold >= 0, got {threshold}")
     magnitude = np.abs(x)
     scale = np.maximum(magnitude - threshold, 0.0)
@@ -70,6 +72,21 @@ def estimate_lipschitz(matrix, iterations: int = 50, seed: int = 0) -> float:
     n = matrix.shape[1]
     v = rng.standard_normal(n) + 1j * rng.standard_normal(n)
     v /= np.linalg.norm(v)
+    backend = getattr(matrix, "backend", None)
+    if backend is not None and backend.name != "numpy":
+        # Same iteration, same seeded start vector, run natively on the
+        # operator's backend (a torch/cupy operator cannot multiply a
+        # numpy vector).
+        v = backend.asarray(v)
+        eigenvalue = 0.0
+        for _ in range(iterations):
+            w = adjoint(forward(v))
+            norm = backend.norm(w)
+            if norm == 0.0:
+                return 0.0
+            eigenvalue = norm
+            v = w / norm
+        return 1.01 * eigenvalue
     eigenvalue = 0.0
     for _ in range(iterations):
         w = adjoint(forward(v))
@@ -97,5 +114,9 @@ def validate_system(matrix, rhs: np.ndarray) -> None:
     # dense entry check only applies to materialized dictionaries.
     if not is_operator and not np.all(np.isfinite(matrix)):
         raise SolverError("dictionary contains non-finite entries")
-    if not np.all(np.isfinite(rhs)):
+    backend = getattr(matrix, "backend", None)
+    if backend is not None:
+        if not backend.isfinite_all(backend.ensure(rhs)):
+            raise SolverError("measurement contains non-finite entries")
+    elif not np.all(np.isfinite(rhs)):
         raise SolverError("measurement contains non-finite entries")

@@ -15,22 +15,26 @@ reduction that keeps the snapshot dimension small lives in
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
 
 from repro.exceptions import SolverError
 from repro.obs.convergence import ConvergenceTrace, support_size
-from repro.optim.linalg import row_soft_threshold, validate_system
+from repro.optim.linalg import validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
 def mmv_objective(matrix, rhs: np.ndarray, x: np.ndarray, kappa: float) -> float:
     """``‖AX − Y‖_F² + κ·Σᵢ‖Xᵢ,:‖₂``."""
-    residual = as_operator(matrix).matvec(x) - rhs
-    data_term = float(np.vdot(residual, residual).real)
-    return data_term + kappa * float(np.linalg.norm(x, axis=1).sum())
+    operator = as_operator(matrix)
+    bk = operator.backend
+    product = operator.matvec(x)
+    residual = product - bk.ensure(rhs, like=product)
+    data_term = bk.vdot_real(residual, residual)
+    return data_term + kappa * bk.sum_float(bk.norms(x, axis=1))
 
 
 def solve_mmv_fista(
@@ -84,6 +88,11 @@ def solve_mmv_fista(
         raise SolverError(f"kappa must be non-negative, got {kappa}")
 
     operator = as_operator(matrix)
+    bk = operator.backend
+    cdtype = bk.complex_dtype(operator.precision)
+    # Cast to the operator's precision so a complex64 dictionary keeps
+    # the whole iteration in complex64 (no-op for the default path).
+    rhs = bk.asarray(rhs, dtype=cdtype)
     n = operator.shape[1]
     p = rhs.shape[1]
     if p == 0:
@@ -94,7 +103,7 @@ def solve_mmv_fista(
     else:
         lipschitz = 2.0 * float(lipschitz)
     if lipschitz <= 0:
-        x = np.zeros((n, p), dtype=complex)
+        x = bk.zeros((n, p), cdtype)
         return SolverResult(
             x=x,
             objective=mmv_objective(operator, rhs, x, kappa),
@@ -106,10 +115,10 @@ def solve_mmv_fista(
     step = 1.0 / lipschitz
     threshold = kappa * step
 
-    x = np.zeros((n, p), dtype=complex) if x0 is None else np.asarray(x0, dtype=complex).copy()
-    if x.shape != (n, p):
-        raise SolverError(f"x0 has shape {x.shape}, expected ({n}, {p})")
-    momentum_point = x.copy()
+    x = bk.zeros((n, p), cdtype) if x0 is None else bk.copy(bk.asarray(x0, dtype=cdtype))
+    if tuple(x.shape) != (n, p):
+        raise SolverError(f"x0 has shape {tuple(x.shape)}, expected ({n}, {p})")
+    momentum_point = bk.copy(x)
     t = 1.0
 
     history: list[float] = []
@@ -117,23 +126,23 @@ def solve_mmv_fista(
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         gradient = 2.0 * operator.rmatvec(operator.matvec(momentum_point) - rhs)
-        x_next = row_soft_threshold(momentum_point - step * gradient, threshold)
+        x_next = bk.row_soft_threshold(momentum_point - step * gradient, threshold)
 
-        t_next = 0.5 * (1.0 + np.sqrt(1.0 + 4.0 * t * t))
+        # math.sqrt keeps t a python float — a np.float64 scalar would
+        # promote complex64 iterates to complex128 under NEP 50.
+        t_next = 0.5 * (1.0 + math.sqrt(1.0 + 4.0 * t * t))
         momentum_point = x_next + ((t - 1.0) / t_next) * (x_next - x)
 
-        delta = np.linalg.norm(x_next - x)
-        scale = max(1.0, float(np.linalg.norm(x)))
+        delta = bk.norm(x_next - x)
+        scale = max(1.0, bk.norm(x))
         x, t = x_next, t_next
 
         if track_history:
             history.append(mmv_objective(operator, rhs, x, kappa))
         if telemetry is not None or callback is not None:
             residual = operator.matvec(x) - rhs
-            residual_norm = float(np.linalg.norm(residual))
-            current = float(
-                residual_norm**2 + kappa * np.linalg.norm(x, axis=1).sum()
-            )
+            residual_norm = bk.norm(residual)
+            current = residual_norm**2 + kappa * bk.sum_float(bk.norms(x, axis=1))
             if telemetry is not None:
                 telemetry.record(
                     objective=current,

@@ -72,31 +72,36 @@ def solve_omp(
         raise SolverError(f"sparsity must be >= 1, got {sparsity}")
 
     operator = as_operator(matrix)
+    bk = operator.backend
+    cdtype = bk.complex_dtype(operator.precision)
     m, n = operator.shape
     sparsity = min(sparsity, m, n)
     column_norms = operator.column_norms()
     usable = column_norms > 0
 
-    residual = rhs.astype(complex).copy()
+    rhs = bk.asarray(rhs, dtype=cdtype)
+    residual = bk.copy(rhs)
     support: list[int] = []
-    coefficients = np.zeros(0, dtype=complex)
+    coefficients = bk.zeros(0, cdtype)
 
     iterations = 0
     for iterations in range(1, sparsity + 1):
-        correlations = np.abs(operator.rmatvec(residual))
-        with np.errstate(invalid="ignore", divide="ignore"):
-            correlations = np.where(usable, correlations / np.where(usable, column_norms, 1.0), -1.0)
+        correlations = bk.abs(operator.rmatvec(residual))
+        with bk.errstate():
+            correlations = bk.where(
+                usable, correlations / bk.where(usable, column_norms, 1.0), -1.0
+            )
         correlations[support] = -1.0
-        best = int(np.argmax(correlations))
-        if correlations[best] <= 0:
+        best = bk.argmax(correlations)
+        if float(correlations[best]) <= 0:
             break
         support.append(best)
 
         submatrix = operator.columns(support)
-        coefficients, *_ = np.linalg.lstsq(submatrix, rhs, rcond=None)
+        coefficients = bk.lstsq(submatrix, rhs)
         residual = rhs - submatrix @ coefficients
         if telemetry is not None or callback is not None:
-            residual_norm = float(np.linalg.norm(residual))
+            residual_norm = bk.norm(residual)
             if telemetry is not None:
                 telemetry.record(
                     objective=residual_norm**2,
@@ -104,17 +109,17 @@ def solve_omp(
                     support_size=len(support),
                 )
             if callback is not None:
-                snapshot = np.zeros(n, dtype=complex)
+                snapshot = bk.zeros(n, cdtype)
                 snapshot[support] = coefficients
                 callback(iterations, snapshot, residual_norm**2)
-        if np.linalg.norm(residual) <= tolerance:
+        if bk.norm(residual) <= tolerance:
             break
 
-    x = np.zeros(n, dtype=complex)
+    x = bk.zeros(n, cdtype)
     x[support] = coefficients
     return SolverResult(
         x=x,
-        objective=float(np.linalg.norm(residual) ** 2),
+        objective=bk.norm(residual) ** 2,
         iterations=iterations,
         converged=True,
         convergence=telemetry,

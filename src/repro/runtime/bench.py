@@ -1,13 +1,18 @@
-"""The joint-solve microbenchmark: dense GEMM vs Kronecker operator.
+"""Solver microbenchmarks shared by the CLI and the CI smoke jobs.
 
-One self-contained measurement shared by the ``roarray bench`` CLI
-subcommand and the CI benchmark smoke job (which writes the result to
-``BENCH_joint_solve.json`` so the perf trajectory accumulates per
-commit): time the default-config Eq. 18 FISTA solve with the dense
-Eq. 16 dictionary against the structured
-:class:`~repro.optim.operators.KroneckerJointOperator` path, on the
-same measurement, with the same step size and a pinned iteration count
-so the two paths do identical algorithmic work.
+Two self-contained measurements:
+
+* :func:`joint_solve_benchmark` — dense GEMM vs the structured
+  :class:`~repro.optim.operators.KroneckerJointOperator` path on one
+  Eq. 18 FISTA solve (``BENCH_joint_solve.json``).
+* :func:`batched_solve_benchmark` — the per-problem sequential loop vs
+  :func:`repro.optim.solve_batch` stacking many measurements into
+  lockstep batched iterations, on a selectable array backend
+  (``BENCH_batched_solve.json``).
+
+Both pin the iteration count (``tolerance=0``) so the compared paths do
+identical algorithmic work and the wall-time ratio measures pure linear
+algebra throughput, not convergence luck.
 """
 
 from __future__ import annotations
@@ -102,4 +107,141 @@ def joint_solve_benchmark(
         "operator_seconds": operator_seconds,
         "speedup": dense_seconds / operator_seconds,
         "max_relative_spectrum_error": max_relative_error,
+    }
+
+
+def batched_solve_benchmark(
+    *,
+    backend: str = "numpy",
+    device: str | None = None,
+    dtype: str | None = None,
+    batch_sizes: tuple[int, ...] = (1, 8, 64),
+    snr_db: float = 12.0,
+    seed: int = 2017,
+    repeats: int = 3,
+    max_iterations: int | None = None,
+) -> dict:
+    """Measure ``solve_batch`` against the per-problem sequential loop.
+
+    Synthesizes ``max(batch_sizes)`` noisy packets of one evaluation
+    scene, then for each batch size times (a) the sequential numpy
+    reference — one pinned-iteration FISTA solve per packet — and (b)
+    one :func:`repro.optim.solve_batch` call on the requested
+    backend/dtype, with identical per-problem κ and iteration counts.
+    Every row also records the max relative ℓ∞ deviation of the batched
+    solutions from the sequential reference.
+
+    Returns a JSON-ready dict with one row per batch size; ``speedup``
+    on each row is ``loop_seconds / batched_seconds``.
+    """
+    from repro.channel.csi import CsiSynthesizer
+    from repro.channel.impairments import ImpairmentModel
+    from repro.channel.paths import random_profile
+    from repro.core.pipeline import RoArrayEstimator
+    from repro.core.steering import vectorize_csi_matrix
+    from repro.experiments.runner import evaluation_roarray_config
+    from repro.optim import solve_batch, solve_lasso_fista
+    from repro.optim.backend import (
+        FLOAT32_TOLERANCES,
+        FLOAT64_PARITY_TOLERANCE,
+        normalize_precision,
+    )
+    from repro.optim.tuning import residual_kappa
+
+    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    cache = estimator.cache
+    config = estimator.config
+    if max_iterations is None:
+        max_iterations = config.max_iterations
+    batch_sizes = tuple(sorted(int(b) for b in batch_sizes))
+    if not batch_sizes or batch_sizes[0] < 1:
+        raise ValueError(f"batch_sizes must be positive, got {batch_sizes}")
+
+    rng = np.random.default_rng(seed)
+    profile = random_profile(rng, direct_aoa_deg=150.0)
+    synthesizer = CsiSynthesizer(
+        estimator.array, estimator.layout, ImpairmentModel(), seed=seed
+    )
+    trace = synthesizer.packets(
+        profile, n_packets=batch_sizes[-1], snr_db=snr_db, rng=rng
+    )
+    ys = [vectorize_csi_matrix(trace.packet(i)) for i in range(trace.n_packets)]
+
+    reference = cache.joint_operator
+    lipschitz = cache.joint_lipschitz
+    target = cache.joint_operator_on(backend, device=device, dtype=dtype)
+    kappas = [
+        residual_kappa(reference, y, fraction=config.kappa_fraction) for y in ys
+    ]
+    precision = normalize_precision(dtype) if dtype is not None else "double"
+    parity_tolerance = (
+        FLOAT64_PARITY_TOLERANCE
+        if precision == "double" and target.backend.name == "numpy"
+        else FLOAT32_TOLERANCES["parity_gate"]
+    )
+
+    def best_time(run):
+        best, outcome = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outcome = run()
+            best = min(best, time.perf_counter() - start)
+        return best, outcome
+
+    rows = []
+    for batch_size in batch_sizes:
+        batch_ys = ys[:batch_size]
+        batch_kappas = kappas[:batch_size]
+
+        loop_seconds, loop_results = best_time(
+            lambda: [
+                solve_lasso_fista(
+                    reference, y, k,
+                    max_iterations=max_iterations, tolerance=0.0, lipschitz=lipschitz,
+                )
+                for y, k in zip(batch_ys, batch_kappas)
+            ]
+        )
+        batched_seconds, batched = best_time(
+            lambda: solve_batch(
+                target, batch_ys, method="fista", kappa=batch_kappas,
+                max_iterations=max_iterations, tolerance=0.0, lipschitz=lipschitz,
+            )
+        )
+
+        solutions = batched.to_numpy()
+        deviation = 0.0
+        for index, result in enumerate(loop_results):
+            scale = max(1.0, float(np.abs(result.x).max()))
+            deviation = max(
+                deviation, float(np.abs(solutions[index] - result.x).max()) / scale
+            )
+        rows.append(
+            {
+                "batch_size": int(batch_size),
+                "loop_seconds": loop_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": loop_seconds / batched_seconds,
+                "max_relative_deviation": deviation,
+            }
+        )
+
+    return {
+        "benchmark": "batched_solve",
+        "backend": target.backend.name,
+        "device": target.backend.device,
+        "dtype": target.dtype_name,
+        "grid": {
+            "n_angles": config.angle_grid.n_points,
+            "n_delays": config.delay_grid.n_points,
+            "rows": reference.shape[0],
+            "columns": reference.shape[1],
+        },
+        "iterations": int(max_iterations),
+        "repeats": int(repeats),
+        "snr_db": float(snr_db),
+        "seed": int(seed),
+        "parity_tolerance": float(parity_tolerance),
+        "batches": rows,
+        "max_batch_speedup": rows[-1]["speedup"],
     }

@@ -1,0 +1,34 @@
+"""Shared backend parameterization for the cross-backend parity suites.
+
+``BACKEND_PARAMS`` covers every *registered* backend: numpy always runs;
+torch and cupy skip cleanly when their library is not installed (the
+repo's hard rule — no backend import may be required to run the suite).
+cupy additionally carries the ``gpu`` marker so CPU-only CI deselects it
+with ``-m "not gpu"``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optim.backend import available_backends, backend_names, get_backend
+
+
+def backend_param(name: str):
+    marks = []
+    if name == "cupy":
+        marks.append(pytest.mark.gpu)
+    if name not in available_backends():
+        marks.append(
+            pytest.mark.skip(reason=f"{name} backend library is not installed")
+        )
+    return pytest.param(name, id=name, marks=marks)
+
+
+BACKEND_PARAMS = [backend_param(name) for name in backend_names()]
+
+
+@pytest.fixture(params=BACKEND_PARAMS)
+def backend(request):
+    """One ArrayBackend instance per registered-and-installed backend."""
+    return get_backend(request.param)

@@ -1,0 +1,252 @@
+"""The array-backend layer: registry semantics and op-for-op parity.
+
+Every backend promises the exact array surface the solvers consume; the
+numpy implementation *is* the reference expression, so each op here is
+checked against plain numpy on host data.  torch/cupy run the same
+assertions through the shared ``backend`` fixture and skip cleanly when
+not installed (see ``tests/optim/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BackendError
+from repro.optim.backend import (
+    FLOAT32_TOLERANCES,
+    FLOAT64_PARITY_TOLERANCE,
+    ArrayBackend,
+    NumpyBackend,
+    available_backends,
+    backend_names,
+    backend_of,
+    get_backend,
+    normalize_precision,
+    resolve_backend,
+)
+
+
+class TestRegistry:
+    def test_all_three_backends_are_registered(self):
+        assert backend_names() == ("numpy", "torch", "cupy")
+
+    def test_numpy_is_always_available(self):
+        assert "numpy" in available_backends()
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_unknown_backend_is_rejected(self):
+        with pytest.raises(BackendError, match="unknown backend"):
+            get_backend("tensorflow")
+
+    def test_uninstalled_backend_is_rejected_with_available_list(self):
+        missing = [n for n in backend_names() if n not in available_backends()]
+        if not missing:
+            pytest.skip("every registered backend is installed here")
+        with pytest.raises(BackendError, match="not installed"):
+            get_backend(missing[0])
+
+    def test_instances_are_memoized_per_name_and_device(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_get_backend_passes_instances_through(self):
+        instance = get_backend("numpy")
+        assert get_backend(instance) is instance
+
+    def test_backend_of_infers_numpy_for_ndarray_and_scalars(self):
+        assert backend_of(np.zeros(3)).name == "numpy"
+        assert backend_of([1.0, 2.0]).name == "numpy"
+
+    def test_resolve_backend_precedence(self):
+        instance = get_backend("numpy")
+        assert resolve_backend(instance) is instance
+        assert resolve_backend("numpy").name == "numpy"
+        assert resolve_backend(None, array=np.zeros(2)).name == "numpy"
+        assert resolve_backend(None).name == "numpy"
+
+    def test_tolerance_ladder_constants(self):
+        assert FLOAT64_PARITY_TOLERANCE == 1e-12
+        assert set(FLOAT32_TOLERANCES) == {"solution", "objective", "parity_gate"}
+
+
+class TestNormalizePrecision:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            (None, None),
+            ("single", "single"),
+            ("double", "double"),
+            ("complex64", "single"),
+            ("complex128", "double"),
+            ("float32", "single"),
+            ("float64", "double"),
+            (np.dtype(np.complex64), "single"),
+            (np.dtype(np.complex128), "double"),
+        ],
+    )
+    def test_accepted_specs(self, spec, expected):
+        assert normalize_precision(spec) == expected
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(BackendError, match="unsupported dtype"):
+            normalize_precision("int32")
+
+
+def _complex(rng, *shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestOpParity:
+    """Each backend op against the plain-numpy reference expression."""
+
+    def test_roundtrip_and_dtype_plumbing(self, backend, rng):
+        x = _complex(rng, 4, 3)
+        native = backend.asarray(x)
+        assert backend.is_native(native)
+        np.testing.assert_allclose(backend.to_numpy(native), x, atol=1e-14)
+        assert backend.dtype_name(native) == "complex128"
+        assert backend.precision_of(native) == "double"
+        single = backend.asarray(x, dtype=backend.complex_dtype("single"))
+        assert backend.dtype_name(single) == "complex64"
+        assert backend.precision_of(single) == "single"
+        assert backend.real_dtype("single") == "float32"
+
+    def test_copy_is_independent(self, backend):
+        original = backend.zeros((2, 2), "complex128")
+        duplicate = backend.copy(original)
+        duplicate += 1.0
+        np.testing.assert_array_equal(backend.to_numpy(original), np.zeros((2, 2)))
+
+    def test_stack_concat_moveaxis(self, backend, rng):
+        parts = [_complex(rng, 3) for _ in range(4)]
+        native = [backend.asarray(p) for p in parts]
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.stack(native, axis=1)),
+            np.stack(parts, axis=1),
+            atol=1e-14,
+        )
+        blocks = [backend.asarray(_complex(rng, 2, 3)) for _ in range(3)]
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.concat(blocks, axis=0)),
+            np.concatenate([backend.to_numpy(b) for b in blocks], axis=0),
+            atol=1e-14,
+        )
+        cube = backend.asarray(_complex(rng, 2, 3, 4))
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.moveaxis(cube, 0, 1)),
+            np.moveaxis(backend.to_numpy(cube), 0, 1),
+            atol=1e-14,
+        )
+
+    def test_kron_and_conj_transpose(self, backend, rng):
+        a, b = _complex(rng, 2, 3), _complex(rng, 3, 2)
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.kron(backend.asarray(a), backend.asarray(b))),
+            np.kron(a, b),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.conj_transpose(backend.asarray(a))),
+            a.conj().T,
+            atol=1e-14,
+        )
+
+    def test_reductions(self, backend, rng):
+        x = _complex(rng, 5, 3)
+        native = backend.asarray(x)
+        assert backend.norm(native) == pytest.approx(np.linalg.norm(x), rel=1e-12)
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.norms(native, axis=0)),
+            np.linalg.norm(x, axis=0),
+            atol=1e-12,
+        )
+        assert backend.abs_sum(native) == pytest.approx(np.abs(x).sum(), rel=1e-12)
+        other = _complex(rng, 5, 3)
+        assert backend.vdot_real(native, backend.asarray(other)) == pytest.approx(
+            float(np.real(np.vdot(x, other))), rel=1e-12
+        )
+        magnitudes = np.abs(x).ravel()
+        assert backend.argmax(backend.asarray(magnitudes)) == int(np.argmax(magnitudes))
+        assert backend.isfinite_all(native)
+        assert not backend.isfinite_all(backend.asarray(np.array([1.0, np.nan])))
+
+    def test_soft_threshold_matches_reference(self, backend, rng):
+        x = _complex(rng, 6, 4)
+        thresholds = np.abs(rng.standard_normal((1, 4)))
+        magnitude = np.abs(x)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            expected = np.where(
+                magnitude > 0,
+                x * np.maximum(magnitude - thresholds, 0.0)
+                / np.where(magnitude > 0, magnitude, 1.0),
+                0.0,
+            )
+        produced = backend.soft_threshold(
+            backend.asarray(x), backend.asarray(thresholds)
+        )
+        np.testing.assert_allclose(backend.to_numpy(produced), expected, atol=1e-13)
+
+    def test_fused_kernels_match_their_generic_definitions(self, backend, rng):
+        """The in-place overrides must equal the generic compositions —
+        and must honor the clobber contract (momentum untouched)."""
+        momentum = _complex(rng, 6, 4)
+        gradient = _complex(rng, 6, 4)
+        thresholds = np.abs(rng.standard_normal((1, 4))) * 0.3
+        step2 = 0.125
+        expected = ArrayBackend.prox_gradient_step(
+            get_backend("numpy"), momentum, gradient.copy(), step2, thresholds
+        )
+        # The kernel may clobber the gradient buffer — hand it a copy so
+        # the reference operands stay pristine for the momentum check.
+        native_momentum = backend.asarray(momentum.copy())
+        produced = backend.prox_gradient_step(
+            native_momentum, backend.asarray(gradient.copy()), step2,
+            backend.asarray(thresholds),
+        )
+        np.testing.assert_allclose(backend.to_numpy(produced), expected, atol=1e-13)
+        np.testing.assert_allclose(
+            backend.to_numpy(native_momentum), momentum, atol=0
+        )
+
+        candidate = _complex(rng, 6, 4)
+        previous = _complex(rng, 6, 4)
+        expected_momentum = candidate + 0.75 * (candidate - previous)
+        combined = backend.momentum_combine(
+            backend.asarray(candidate), backend.asarray(previous.copy()), 0.75
+        )
+        np.testing.assert_allclose(
+            backend.to_numpy(combined), expected_momentum, atol=1e-13
+        )
+
+    def test_prox_gradient_step_with_zero_thresholds(self, backend, rng):
+        """κ = 0 columns take the non-shrinking path; result is the bare
+        gradient step (the numpy fast path must not divide by |z|)."""
+        momentum = _complex(rng, 5, 3)
+        gradient = _complex(rng, 5, 3)
+        thresholds = np.zeros((1, 3))
+        expected = momentum - 0.25 * gradient
+        produced = backend.prox_gradient_step(
+            backend.asarray(momentum), backend.asarray(gradient.copy()), 0.25,
+            backend.asarray(thresholds),
+        )
+        np.testing.assert_allclose(backend.to_numpy(produced), expected, atol=1e-13)
+
+    def test_linear_algebra(self, backend, rng):
+        a = _complex(rng, 8, 4)
+        gram = a.conj().T @ a + 2.0 * np.eye(4)
+        b = _complex(rng, 4)
+        factor = backend.cholesky(backend.asarray(gram))
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.cholesky_solve(factor, backend.asarray(b))),
+            np.linalg.solve(gram, b),
+            atol=1e-10,
+        )
+        y = _complex(rng, 8)
+        np.testing.assert_allclose(
+            backend.to_numpy(backend.lstsq(backend.asarray(a), backend.asarray(y))),
+            np.linalg.lstsq(a, y, rcond=None)[0],
+            atol=1e-10,
+        )
+        assert backend.eigvalsh_max(backend.asarray(gram)) == pytest.approx(
+            float(np.linalg.eigvalsh(gram).max()), rel=1e-10
+        )

@@ -21,10 +21,19 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.optim import solve_lasso_admm, solve_lasso_fista, solve_omp
+from repro.optim import solve, solve_lasso_admm, solve_lasso_fista, solve_omp
 from repro.optim.fista import lasso_objective
 
+from repro.optim.backend import backend_of
+
+from tests.optim.conftest import BACKEND_PARAMS
+
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def to_host(x) -> np.ndarray:
+    """Solver results stay backend-native; compare on the host."""
+    return backend_of(x).to_numpy(x)
 
 
 def well_conditioned_system(seed: int, m: int = 24, n: int = 10, k: int = 3):
@@ -137,3 +146,57 @@ class TestOmpExactRecovery:
         # residual — OMP must stop there, not pad the support.
         result = solve_omp(matrix, rhs, sparsity=5, tolerance=1e-9)
         assert result.sparsity() == 1
+
+
+class TestCrossBackendSolverParity:
+    """The parity matrix (ISSUE 6 satellite): the same drawn instance
+    solved through the facade on every installed backend must land
+    within 1e-10 of the numpy float64 reference — the backends change
+    the BLAS, never the algorithm.  torch/cupy skip cleanly when not
+    installed; cupy additionally carries the ``gpu`` marker.
+    """
+
+    @pytest.mark.parametrize("backend_name", BACKEND_PARAMS)
+    @given(seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_fista_matches_numpy_reference(self, backend_name, seed):
+        matrix, rhs = well_conditioned_system(seed)
+        kappa = 0.1 * float(np.abs(2.0 * matrix.conj().T @ rhs).max())
+        reference = solve_lasso_fista(matrix, rhs, kappa, max_iterations=1500)
+        produced = solve(
+            matrix, rhs, kappa=kappa, method="fista", backend=backend_name,
+            max_iterations=1500,
+        )
+        scale = max(1.0, float(np.abs(reference.x).max()))
+        assert float(np.abs(to_host(produced.x) - reference.x).max()) <= 1e-10 * scale
+        assert produced.objective == pytest.approx(reference.objective, rel=1e-9)
+
+    @pytest.mark.parametrize("backend_name", BACKEND_PARAMS)
+    @given(seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_admm_matches_numpy_reference(self, backend_name, seed):
+        matrix, rhs = well_conditioned_system(seed)
+        kappa = 0.1 * float(np.abs(2.0 * matrix.conj().T @ rhs).max())
+        reference = solve_lasso_admm(matrix, rhs, kappa, max_iterations=1500)
+        produced = solve(
+            matrix, rhs, kappa=kappa, method="admm", backend=backend_name,
+            max_iterations=1500,
+        )
+        scale = max(1.0, float(np.abs(reference.x).max()))
+        assert float(np.abs(to_host(produced.x) - reference.x).max()) <= 1e-10 * scale
+
+    @pytest.mark.parametrize("backend_name", BACKEND_PARAMS)
+    @given(seeds, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=5, deadline=None)
+    def test_omp_exact_recovery_on_every_backend(self, backend_name, seed, k):
+        rng = np.random.default_rng(seed)
+        m, n = 24, 12
+        matrix, _ = np.linalg.qr(rng.normal(size=(m, n)) + 1j * rng.normal(size=(m, n)))
+        x_true = np.zeros(n, dtype=complex)
+        support = rng.choice(n, size=k, replace=False)
+        x_true[support] = rng.uniform(0.5, 2.0, size=k) * np.exp(
+            1j * rng.uniform(0, 2 * np.pi, size=k)
+        )
+        rhs = matrix @ x_true
+        result = solve(matrix, rhs, method="omp", backend=backend_name, sparsity=k)
+        np.testing.assert_allclose(to_host(result.x), x_true, atol=1e-9)

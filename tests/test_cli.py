@@ -166,6 +166,44 @@ class TestTelemetryReport:
         assert "| solver |" in output
 
 
+class TestBenchBatched:
+    def test_writes_batched_benchmark_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench", "--batched", "--batch-sizes", "1", "3",
+                "--iterations", "3", "--repeats", "1", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batched solve" in output
+        assert "speedup" in output
+        payload = json.loads(out.read_text())
+        assert payload["benchmark"] == "batched_solve"
+        assert payload["backend"] == "numpy"
+        assert payload["dtype"] == "complex128"
+        assert [row["batch_size"] for row in payload["batches"]] == [1, 3]
+        assert all(row["max_relative_deviation"] <= 1e-12 for row in payload["batches"])
+
+    def test_batched_json_mode(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "bench", "--batched", "--json", "--batch-sizes", "2",
+                "--iterations", "2", "--repeats", "1", "--output", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["benchmark"] == "batched_solve"
+        assert out.exists()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--batched", "--backend", "mlx"])
+
+
 class TestFigures:
     def test_lists_every_paper_figure(self, capsys):
         assert main(["figures"]) == 0

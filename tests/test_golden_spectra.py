@@ -152,6 +152,74 @@ class TestGoldenUnderTracing:
         )
 
 
+class TestGoldenThroughBatchedSolve:
+    """The batched engine against the pinned working point (ISSUE 6).
+
+    A singleton batch must be byte-identical to the sequential solver on
+    the golden packet; the full six-packet trace solved as one batch
+    must match the per-packet loop within the 1e-12 float64 parity
+    budget — per problem, iteration counts included.
+    """
+
+    @pytest.fixture(scope="class")
+    def joint_setup(self, trace):
+        from repro.core.steering import vectorize_csi_matrix
+        from repro.optim.tuning import residual_kappa
+
+        estimator = RoArrayEstimator(config=evaluation_roarray_config())
+        cache, config = estimator.cache, estimator.config
+        operator = cache.joint_operator
+        ys = [vectorize_csi_matrix(trace.packet(i)) for i in range(trace.n_packets)]
+        kappas = [
+            residual_kappa(operator, y, fraction=config.kappa_fraction) for y in ys
+        ]
+        return operator, cache.joint_lipschitz, config, ys, kappas
+
+    def test_singleton_batch_is_byte_identical(self, joint_setup):
+        from repro.optim import solve_batch, solve_lasso_fista
+
+        operator, lipschitz, config, ys, kappas = joint_setup
+        solo = solve_lasso_fista(
+            operator, ys[0], kappas[0],
+            max_iterations=config.max_iterations, lipschitz=lipschitz,
+        )
+        batch = solve_batch(
+            operator, ys[:1], method="fista", kappa=kappas[0],
+            max_iterations=config.max_iterations, lipschitz=lipschitz,
+        )
+        np.testing.assert_array_equal(batch.to_numpy()[0], solo.x)
+        assert batch.iterations[0] == solo.iterations
+
+    def test_full_trace_batch_matches_sequential_loop(self, joint_setup):
+        from repro.optim import solve_batch, solve_lasso_fista
+
+        operator, lipschitz, config, ys, kappas = joint_setup
+        batch = solve_batch(
+            operator, ys, method="fista", kappa=kappas,
+            max_iterations=config.max_iterations, lipschitz=lipschitz,
+        )
+        for index, (y, kappa) in enumerate(zip(ys, kappas)):
+            solo = solve_lasso_fista(
+                operator, y, kappa,
+                max_iterations=config.max_iterations, lipschitz=lipschitz,
+            )
+            scale = max(1.0, float(np.abs(solo.x).max()))
+            deviation = float(np.abs(batch.to_numpy()[index] - solo.x).max())
+            assert deviation <= 1e-12 * scale
+            assert batch.iterations[index] == solo.iterations
+
+    def test_derived_kappas_match_the_sequential_derivation(self, joint_setup):
+        from repro.optim import solve_batch
+
+        operator, lipschitz, config, ys, kappas = joint_setup
+        batch = solve_batch(
+            operator, ys, method="fista",
+            kappa_fraction=config.kappa_fraction,
+            max_iterations=5, tolerance=0.0, lipschitz=lipschitz,
+        )
+        assert batch.kappas == tuple(kappas)
+
+
 class TestGoldenThroughBatchRuntime:
     def test_batch_runtime_reproduces_golden_direct_path(self, trace, golden):
         """The runtime layer must not perturb pinned outputs either."""
