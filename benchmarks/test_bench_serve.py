@@ -1,0 +1,182 @@
+"""Streaming-service benchmark: sustained fixes/sec under load (ISSUE 7).
+
+Drives :class:`repro.serve.LocalizationService` with a
+:class:`~repro.serve.loadgen.LoadGenerator` population and records the
+numbers the acceptance criteria name — sustained fix throughput, fix
+latency quantiles (p50/p99), the largest micro-batch observed, warm-start
+hit rates — plus a paired accuracy comparison against the offline path
+(:func:`~repro.serve.loadgen.offline_reference`: cold, unbatched
+``batch_size=1`` solves, byte-identical to the sequential solver).
+Results go to ``BENCH_serve.json`` (repo root, or
+``REPRO_BENCH_OUTPUT_DIR``).
+
+Scale knobs:
+
+``REPRO_SMOKE=1``
+    A 40-client population — what CI runs.  All structural assertions
+    (every client fixed, batches reach the size trigger, no accuracy
+    regression) stay on; only the population shrinks.
+
+The full run streams 1000 concurrent clients (the acceptance scale);
+the accuracy pairing always runs at subsample scale so the slow
+unbatched baseline does not dominate the benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.runtime.checkpoint import atomic_write
+from repro.serve import (
+    LoadGenerator,
+    LocalizationService,
+    ServeConfig,
+    median_fix_error_m,
+    offline_reference,
+    replay,
+)
+
+#: Service medians may beat the offline baseline (warm starts, fused
+#: windows) but must never regress beyond this margin.
+ACCURACY_MARGIN_M = 0.15
+BATCH_TARGET = 16
+
+
+def _smoke() -> bool:
+    return os.environ.get("REPRO_SMOKE", "") == "1"
+
+
+def _output_path() -> Path:
+    root = os.environ.get("REPRO_BENCH_OUTPUT_DIR")
+    base = Path(root) if root else Path(__file__).resolve().parent.parent
+    return base / "BENCH_serve.json"
+
+
+def _config(**overrides) -> ServeConfig:
+    # window_packets=2: windows saturate at width 2 by the second
+    # sample, so the warm-start chain (same key, same shape) engages
+    # within the short stream instead of only in the long-run limit.
+    defaults = dict(
+        batch_size=BATCH_TARGET,
+        max_delay_s=0.05,
+        window_packets=2,
+        resolution_m=0.5,
+        angle_grid=AngleGrid(n_points=61),
+        delay_grid=DelayGrid(n_points=21),
+        max_iterations=100,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _serve(workload, config) -> tuple:
+    service = LocalizationService(
+        workload.room,
+        workload.access_points,
+        array=workload.array,
+        layout=workload.layout,
+        config=config,
+    )
+    result = asyncio.run(service.run(replay(workload)))
+    return service, result
+
+
+@pytest.mark.benchmark(group="serve")
+def test_streaming_service_throughput_and_accuracy():
+    n_clients = 40 if _smoke() else 1000
+    generator = LoadGenerator(
+        n_clients=n_clients,
+        duration_s=1.0,
+        sample_interval_s=0.5,
+        stationary_fraction=0.3,
+        n_aps=3,
+        band="high",
+        seed=2017,
+    )
+    workload = generator.generate()
+    config = _config()
+    _, result = _serve(workload, config)
+
+    # -- structural acceptance --------------------------------------------
+    missing = set(workload.clients) - set(result.fix_counts)
+    assert not missing, f"{len(missing)} client(s) never got a fix"
+    assert result.max_batch_observed >= BATCH_TARGET
+    assert result.reject_counts == {}
+
+    latency = result.metrics["serve.fix_latency_s"]
+    service_median = median_fix_error_m(result.fixes, workload)
+
+    # -- paired accuracy vs the offline path ------------------------------
+    # The offline baseline solves one problem at a time (byte-identical
+    # to the sequential solver) with warm starts off, so it is run on a
+    # subsample population; the streaming path replays the same packets.
+    accuracy_workload = (
+        workload
+        if n_clients <= 40
+        else LoadGenerator(
+            n_clients=40,
+            duration_s=1.0,
+            sample_interval_s=0.5,
+            stationary_fraction=0.3,
+            n_aps=3,
+            band="high",
+            seed=2017,
+        ).generate()
+    )
+    offline_fixes = offline_reference(accuracy_workload, config=config)
+    offline_median = median_fix_error_m(offline_fixes, accuracy_workload)
+    if accuracy_workload is workload:
+        paired_median = service_median
+    else:
+        _, paired = _serve(accuracy_workload, config)
+        paired_median = median_fix_error_m(paired.fixes, accuracy_workload)
+    assert paired_median <= offline_median + ACCURACY_MARGIN_M, (
+        f"streaming path regressed accuracy: {paired_median:.3f} m vs "
+        f"offline {offline_median:.3f} m"
+    )
+
+    payload = {
+        "scale": "smoke" if _smoke() else "full",
+        "n_clients": n_clients,
+        "n_aps": 3,
+        "n_packets": result.n_packets,
+        "wall_seconds": result.wall_seconds,
+        "fixes": result.n_fixes,
+        "fixes_per_second": result.fixes_per_second,
+        "fix_latency_s": {
+            key: latency[key] for key in ("p50", "p90", "p99", "mean", "count")
+        },
+        "max_batch_observed": result.max_batch_observed,
+        "batch_triggers": result.batch_triggers,
+        "warm": result.warm,
+        "accuracy": {
+            "paired_clients": len(accuracy_workload.clients),
+            "service_median_m": paired_median,
+            "offline_median_m": offline_median,
+            "full_run_median_m": service_median,
+        },
+        "config": {
+            "batch_size": config.batch_size,
+            "max_delay_s": config.max_delay_s,
+            "window_packets": config.window_packets,
+            "angle_points": config.angle_grid.n_points,
+            "delay_points": config.delay_grid.n_points,
+            "max_iterations": config.max_iterations,
+        },
+    }
+    path = _output_path()
+    atomic_write(path, payload)
+    print(
+        f"\n-- serve ({n_clients} clients, {result.n_packets} packets) --\n"
+        f"fixes {result.n_fixes} @ {result.fixes_per_second:.1f}/s | "
+        f"latency p50 {latency['p50'] * 1e3:.1f} ms p99 {latency['p99'] * 1e3:.1f} ms | "
+        f"max batch {result.max_batch_observed}\n"
+        f"accuracy: service {paired_median:.3f} m vs offline {offline_median:.3f} m "
+        f"(full-run median {service_median:.3f} m)\n"
+        f"-> {path.name}"
+    )

@@ -31,7 +31,12 @@ from repro.channel.csi import CsiSynthesizer, synthesize_csi_matrix
 from repro.channel.geometry import Room, Scene, reflect_point, trace_paths
 from repro.channel.impairments import ImpairmentModel, polarization_loss
 from repro.channel.interference import Interferer, add_interference
-from repro.channel.mobility import RandomWaypointModel, TrajectorySample, waypoint_walk
+from repro.channel.mobility import (
+    RandomWaypointModel,
+    TrajectorySample,
+    stationary_track,
+    waypoint_walk,
+)
 from repro.channel.noise import awgn, measured_snr_db
 from repro.channel.ofdm import SubcarrierLayout, intel5300_layout
 from repro.channel.paths import MultipathProfile, PropagationPath, random_profile
@@ -48,6 +53,7 @@ __all__ = [
     "RandomWaypointModel",
     "TrajectorySample",
     "add_interference",
+    "stationary_track",
     "waypoint_walk",
     "PropagationPath",
     "Room",

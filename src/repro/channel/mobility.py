@@ -87,6 +87,32 @@ def waypoint_walk(
     return samples
 
 
+def stationary_track(
+    position: tuple[float, float],
+    *,
+    duration_s: float,
+    sample_interval_s: float = 0.5,
+) -> list[TrajectorySample]:
+    """A client that does not move: constant position, zero speed.
+
+    Stationary clients are the degenerate trajectory the streaming load
+    generator mixes in (real deployments are mostly people sitting
+    still).  ``duration_s=0`` is allowed and yields exactly one sample
+    at ``t=0`` — the zero-duration track.
+    """
+    if duration_s < 0:
+        raise ConfigurationError(f"duration must be >= 0, got {duration_s}")
+    if sample_interval_s <= 0:
+        raise ConfigurationError("sample interval must be positive")
+    x, y = float(position[0]), float(position[1])
+    samples = []
+    t = 0.0
+    while t <= duration_s + 1e-9:
+        samples.append(TrajectorySample(time_s=t, position=(x, y), speed_mps=0.0))
+        t += sample_interval_s
+    return samples
+
+
 @dataclass
 class RandomWaypointModel:
     """The random-waypoint mobility model inside a room.

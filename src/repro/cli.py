@@ -24,6 +24,15 @@ The subcommands cover the workflows a user has before writing code:
     Finish an interrupted ``--checkpoint`` run: reads the directory's
     manifest, reports percent-complete per journal, and re-dispatches
     the original command — journaled jobs replay, missing ones compute.
+``roarray loadgen``
+    Generate a streaming workload — many mobile clients walking a
+    classroom, one CSI packet per AP per trajectory sample — and save
+    it as one replayable ``.npz``.
+``roarray serve``
+    Replay a saved workload through the streaming localization service
+    (:mod:`repro.serve`): micro-batched solves, warm starts, per-AP
+    health, Kalman tracks.  Prints fix throughput, latency quantiles
+    and the reject/drop taxonomies.
 ``roarray figures``
     List the paper's figures and the benchmark that regenerates each.
 ``roarray trace <command> ...``
@@ -474,6 +483,134 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return inner.handler(inner)
 
 
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting.console import emit
+    from repro.serve import LoadGenerator
+
+    outages = {}
+    for name, start, end in args.outage or ():
+        outages[name] = (float(start), float(end))
+    generator = LoadGenerator(
+        n_clients=args.clients,
+        duration_s=args.duration,
+        sample_interval_s=args.interval,
+        stationary_fraction=args.stationary,
+        n_aps=args.aps,
+        band=args.band,
+        seed=args.seed,
+        outages=outages,
+    )
+    workload = generator.generate()
+    workload.save(args.output)
+    emit(
+        f"wrote {args.output}: {len(workload.packets)} packets from "
+        f"{len(workload.clients)} clients over {workload.duration_s:.1f} s "
+        f"({args.aps} APs, {args.band} band"
+        + (f", outages: {', '.join(sorted(outages))}" if outages else "")
+        + ")"
+    )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.grids import AngleGrid, DelayGrid
+    from repro.experiments.reporting.console import emit, emit_json
+    from repro.serve import LocalizationService, ServeConfig, Workload, replay
+
+    tracer = _tracer_of(args)
+    workload = Workload.load(args.workload)
+    config = ServeConfig(
+        batch_size=args.batch_size,
+        max_delay_s=args.max_delay,
+        window_packets=args.window_packets,
+        observation_max_age_s=args.observation_max_age,
+        outage_after_s=args.outage_after,
+        min_quorum=args.min_quorum,
+        resolution_m=args.resolution,
+        warm_start=not args.no_warm,
+        angle_grid=AngleGrid(n_points=args.angle_points),
+        delay_grid=DelayGrid(n_points=args.delay_points),
+        max_iterations=args.iterations,
+        backend=args.backend,
+        device=args.device,
+        dtype=args.dtype,
+    )
+    service = LocalizationService(
+        workload.room,
+        workload.access_points,
+        array=workload.array,
+        layout=workload.layout,
+        config=config,
+        tracer=tracer,
+    )
+    if args.warm_in:
+        slots = service.load_warm_state(args.warm_in)
+        emit(f"loaded {slots} warm-start slot(s) from {args.warm_in}", stream=sys.stderr)
+    result = asyncio.run(service.run(replay(workload)))
+    if args.warm_out:
+        service.save_warm_state(args.warm_out)
+
+    fixed_clients = set(result.fix_counts)
+    missing = sorted(set(workload.clients) - fixed_clients)
+    errors = [
+        fix.error_to(workload.truth_position(fix.client, fix.time_s))
+        for fix in result.fixes
+    ]
+    median_error = float(np.median(errors)) if errors else None
+    latency = result.metrics.get("serve.fix_latency_s", {})
+    if args.json:
+        emit_json(
+            {
+                "workload": args.workload,
+                "summary": result.to_dict(),
+                "median_error_m": median_error,
+                "clients_total": len(workload.clients),
+                "clients_fixed": len(fixed_clients),
+                "clients_missing": missing,
+            }
+        )
+    else:
+        emit(
+            f"served {result.n_packets} packets ({result.n_accepted} accepted, "
+            f"{len(result.rejected)} rejected) in {result.wall_seconds:.2f} s"
+        )
+        emit(
+            f"fixes: {result.n_fixes} ({result.fixes_per_second:.1f}/s) for "
+            f"{len(fixed_clients)}/{len(workload.clients)} clients"
+            + (f" | median error {median_error:.2f} m" if median_error is not None else "")
+        )
+        if latency.get("count"):
+            emit(
+                f"fix latency: p50 {latency['p50'] * 1e3:.1f} ms | "
+                f"p90 {latency['p90'] * 1e3:.1f} ms | p99 {latency['p99'] * 1e3:.1f} ms"
+            )
+        emit(
+            f"batches: max {result.max_batch_observed} | triggers "
+            + ", ".join(f"{k}={v}" for k, v in sorted(result.batch_triggers.items()))
+        )
+        warm = result.warm
+        emit(
+            f"warm starts: {'on' if warm['enabled'] else 'off'} | "
+            f"{warm['hits']} hits, {warm['misses']} misses, "
+            f"{warm['slots']} slots ({warm['nbytes'] / 1024:.0f} KiB)"
+        )
+        if result.reject_counts:
+            emit(
+                "rejects: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(result.reject_counts.items()))
+            )
+        for name, health in result.health.items():
+            if health["status"] != "healthy":
+                emit(f"AP {name}: {health['status']} ({health['failures']})")
+        if missing:
+            emit(f"no fix for {len(missing)} client(s): {', '.join(missing[:5])}...")
+    if args.require_all_clients and missing:
+        return 1
+    return 0
+
+
 def cmd_figures(_args: argparse.Namespace) -> int:
     from repro.experiments.reporting.console import emit
 
@@ -648,6 +785,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("checkpoint", metavar="DIR", help="checkpoint directory")
     resume.set_defaults(handler=cmd_resume)
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="generate a streaming workload of mobile clients to .npz"
+    )
+    loadgen.add_argument("output", help="output .npz workload path")
+    loadgen.add_argument("--clients", type=int, default=50, help="client count (default 50)")
+    loadgen.add_argument(
+        "--duration", type=float, default=2.0, help="stream duration in s (default 2)"
+    )
+    loadgen.add_argument(
+        "--interval", type=float, default=0.5, help="per-client sample interval in s"
+    )
+    loadgen.add_argument(
+        "--stationary", type=float, default=0.3, metavar="FRACTION",
+        help="fraction of clients that sit still (default 0.3)",
+    )
+    loadgen.add_argument("--aps", type=int, default=4, help="access points (default 4)")
+    loadgen.add_argument("--band", choices=("high", "medium", "low"), default="high")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument(
+        "--outage", nargs=3, action="append", metavar=("AP", "START", "END"),
+        help="black out AP between START and END seconds (repeatable)",
+    )
+    loadgen.set_defaults(handler=cmd_loadgen)
+
+    serve = subparsers.add_parser(
+        "serve", help="replay a workload through the streaming localization service"
+    )
+    serve.add_argument("workload", help=".npz workload from `roarray loadgen`")
+    serve.add_argument("--batch-size", type=int, default=16, help="micro-batch size")
+    serve.add_argument(
+        "--max-delay", type=float, default=0.05, metavar="S",
+        help="micro-batch latency trigger in s (default 0.05)",
+    )
+    serve.add_argument(
+        "--window-packets", type=int, default=4, help="sliding-window packets per AP"
+    )
+    serve.add_argument(
+        "--observation-max-age", type=float, default=2.0, metavar="S",
+        help="drop per-AP estimates older than this from fixes (default 2.0)",
+    )
+    serve.add_argument(
+        "--outage-after", type=float, default=2.0, metavar="S",
+        help="mark an AP outage after this long without packets (default 2.0)",
+    )
+    serve.add_argument("--min-quorum", type=int, default=2, help="min APs per fix")
+    serve.add_argument("--resolution", type=float, default=0.25, help="fix grid pitch in m")
+    serve.add_argument(
+        "--angle-points", type=int, default=91, help="AoA grid size (default 91)"
+    )
+    serve.add_argument(
+        "--delay-points", type=int, default=50, help="ToA grid size (default 50)"
+    )
+    serve.add_argument(
+        "--iterations", type=int, default=150, help="FISTA iterations per solve"
+    )
+    serve.add_argument(
+        "--no-warm", action="store_true", help="disable cross-batch warm starts"
+    )
+    serve.add_argument(
+        "--warm-in", default=None, metavar="PATH", help="load warm-start state from PATH"
+    )
+    serve.add_argument(
+        "--warm-out", default=None, metavar="PATH", help="save warm-start state to PATH"
+    )
+    serve.add_argument(
+        "--backend", choices=("numpy", "torch", "cupy"), default="numpy",
+        help="solver backend (default numpy)",
+    )
+    serve.add_argument("--device", default=None, metavar="DEV", help="backend device")
+    serve.add_argument(
+        "--dtype", choices=("complex64", "complex128"), default=None,
+        help="solver precision (default complex128)",
+    )
+    serve.add_argument(
+        "--require-all-clients", action="store_true",
+        help="exit 1 unless every client in the workload got at least one fix",
+    )
+    serve.add_argument("--json", action="store_true", help="machine-readable output")
+    serve.set_defaults(handler=cmd_serve)
 
     figures = subparsers.add_parser("figures", help="map paper figures to benchmarks")
     figures.set_defaults(handler=cmd_figures)

@@ -21,6 +21,7 @@ from repro.core.fusion import fuse_packets
 from repro.core.joint import estimate_joint_spectrum
 from repro.core.steering import SteeringCache
 from repro.obs import NULL_TRACER
+from repro.optim.warm import WarmStartState
 from repro.spectral.spectrum import AngleSpectrum, JointSpectrum
 
 
@@ -75,23 +76,37 @@ class RoArrayEstimator:
         #: Chain solutions across consecutive calls (see RoArrayConfig).
         self.warm_start = self.config.warm_start
         # Single-packet (Nθ·Nτ,) and fused (Nθ·Nτ, r) solutions are
-        # shaped differently, so they warm independent slots.
-        self._warm_single: np.ndarray | None = None
-        self._warm_fused: np.ndarray | None = None
+        # shaped differently, so they warm independent slots of one
+        # first-class, serializable WarmStartState.
+        self.warm_state = WarmStartState()
+        #: Frozen state reset_warm_state() restores to.  The batch
+        #: runtime resets before every job, so with a seed installed
+        #: every job warms from the same state — a pure function of
+        #: (trace, seed) at any worker count.
+        self.warm_seed: WarmStartState | None = None
         # Guardrail fallback usage since the last drain (see
         # drain_fallback_events); empty unless config.guardrails is set
         # and a solve actually fell back.
         self._fallback_events: list[dict] = []
 
     def reset_warm_state(self) -> None:
-        """Drop any carried-over solutions.
+        """Restore the warm state to its seed (or drop it entirely).
 
         The batch runtime calls this before every job so warm chaining
         can never leak state across jobs — results stay byte-identical
-        for any worker count regardless of ``warm_start``.
+        for any worker count regardless of ``warm_start``.  With a
+        :attr:`warm_seed` installed the reset restores that frozen
+        state instead of clearing, which is what makes warm-started
+        sweeps parallel- and checkpoint-safe.
         """
-        self._warm_single = None
-        self._warm_fused = None
+        self.warm_state = (
+            self.warm_seed.copy() if self.warm_seed is not None else WarmStartState()
+        )
+
+    def seed_warm_state(self, seed: WarmStartState | None) -> None:
+        """Install (or remove) the frozen seed and reset to it."""
+        self.warm_seed = seed.copy() if seed is not None else None
+        self.reset_warm_state()
 
     def drain_fallback_events(self) -> list[dict]:
         """Return and clear the guardrail fallback events recorded so far.
@@ -177,13 +192,13 @@ class RoArrayEstimator:
                     self.cache,
                     kappa_fraction=self.config.kappa_fraction,
                     max_iterations=self.config.max_iterations,
-                    x0=self._warm_single if self.warm_start else None,
+                    x0=self.warm_state.get("single") if self.warm_start else None,
                     tracer=self.tracer,
                     guard=self.config.guardrails,
                 )
             self._record_fallbacks("joint_spectrum", result)
             if self.warm_start:
-                self._warm_single = result.x
+                self.warm_state.put("single", result.x)
             return spectrum
         with self.tracer.span("fusion", n_packets=trace.n_packets):
             spectrum, result = fuse_packets(
@@ -192,13 +207,13 @@ class RoArrayEstimator:
                 kappa_fraction=self.config.kappa_fraction,
                 max_iterations=self.config.max_iterations,
                 svd_rank=self.config.svd_rank,
-                x0=self._warm_fused if self.warm_start else None,
+                x0=self.warm_state.get("fused") if self.warm_start else None,
                 tracer=self.tracer,
                 guard=self.config.guardrails,
             )
         self._record_fallbacks("fusion", result)
         if self.warm_start:
-            self._warm_fused = result.x
+            self.warm_state.put("fused", result.x)
         return spectrum
 
     # -- direct path -------------------------------------------------------

@@ -98,3 +98,14 @@ class ResumableInterrupt(ReproError):
 
 class SolverDivergenceError(SolverError):
     """Every solver in a guardrail fallback chain diverged or failed."""
+
+
+class ServiceError(ReproError):
+    """The streaming localization service was misused.
+
+    Raised by :mod:`repro.serve` for lifecycle violations — running a
+    service concurrently with itself, or feeding it after shutdown
+    completed.  Per-packet problems (unknown AP, malformed CSI, a full
+    queue) are *not* errors: admission control rejects those packets
+    with a taxonomized reason and the service keeps running.
+    """

@@ -7,19 +7,15 @@
 * :mod:`~repro.experiments.reporting.console` — CLI output helpers
   (``emit`` / ``emit_json`` and the telemetry cost table).
 
-This package replaces the former flat modules
-``repro.experiments.report`` (markdown) and
-``repro.experiments.reporting`` (text).  The old surfaces still work
-but emit :class:`DeprecationWarning`: importing
-``repro.experiments.report``, and accessing the text helpers
-(``format_cdf_series`` / ``format_comparison`` /
-``format_spectrum_ascii``) at this package's top level instead of via
-:mod:`~repro.experiments.reporting.text`.
+This package is the only import surface: the former flat modules
+``repro.experiments.report`` (markdown) and the top-level re-exports of
+the text helpers (``format_cdf_series`` / ``format_comparison`` /
+``format_spectrum_ascii``) went through a deprecation cycle and are
+gone — import the text helpers from
+:mod:`repro.experiments.reporting.text` directly.
 """
 
 from __future__ import annotations
-
-import warnings
 
 from repro.experiments.reporting.console import emit, emit_json, format_cost_table
 from repro.experiments.reporting.markdown import (
@@ -29,9 +25,6 @@ from repro.experiments.reporting.markdown import (
     generate_report,
 )
 
-#: Names the flat pre-package module exported, now homed in ``.text``.
-_MOVED_TO_TEXT = ("format_cdf_series", "format_comparison", "format_spectrum_ascii")
-
 __all__ = [
     "SYSTEMS",
     "ReportScale",
@@ -40,19 +33,4 @@ __all__ = [
     "format_cost_table",
     "format_degradation_table",
     "generate_report",
-    *_MOVED_TO_TEXT,
 ]
-
-
-def __getattr__(name: str):
-    if name in _MOVED_TO_TEXT:
-        warnings.warn(
-            f"repro.experiments.reporting.{name} is deprecated; import it "
-            f"from repro.experiments.reporting.text",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.experiments.reporting import text
-
-        return getattr(text, name)
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -26,7 +26,6 @@ result is byte-identical to the ``workers=0`` sequential path.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Protocol
 
@@ -144,35 +143,6 @@ class SnrBandResult:
             return ErrorCdf(np.array([e for o in outcomes for e in o.direct_aoa_errors_deg]))
         raise ConfigurationError(f"kind must be one of {CDF_KINDS}, got {kind!r}")
 
-    def localization_cdf(self, system: str) -> ErrorCdf:
-        """Deprecated — use ``cdf(system, kind="localization")``."""
-        warnings.warn(
-            'SnrBandResult.localization_cdf(system) is deprecated; '
-            'use cdf(system, kind="localization")',
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.cdf(system, kind="localization")
-
-    def aoa_cdf(self, system: str) -> ErrorCdf:
-        """Deprecated — use ``cdf(system, kind="aoa")``."""
-        warnings.warn(
-            'SnrBandResult.aoa_cdf(system) is deprecated; use cdf(system, kind="aoa")',
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.cdf(system, kind="aoa")
-
-    def direct_aoa_cdf(self, system: str) -> ErrorCdf:
-        """Deprecated — use ``cdf(system, kind="direct_aoa")``."""
-        warnings.warn(
-            'SnrBandResult.direct_aoa_cdf(system) is deprecated; '
-            'use cdf(system, kind="direct_aoa")',
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.cdf(system, kind="direct_aoa")
-
     def to_dict(self) -> dict:
         """JSON-ready view (round-trips through :meth:`from_dict`)."""
         return {
@@ -237,12 +207,13 @@ def _batch_analyses(
     (matching the old inline-loop semantics, where a solver error
     propagated out of the driver).
 
-    A warm-started estimator (``system.warm_start``) is incompatible
-    with the batch runtime's per-job state reset, so it runs a plain
-    sequential loop instead: consecutive traces then chain solutions,
-    which is the point of warming.  Requires ``workers=0`` — warm
-    chaining is inherently order-dependent (and, for the same reason,
-    cannot be checkpointed).
+    A warm-started estimator (``system.warm_start``) is seeded first:
+    the parent cold-solves the first trace once and freezes the
+    resulting :class:`~repro.optim.warm.WarmStartState` as the sweep's
+    shared seed (:func:`_seed_warm_state`).  The batch runtime resets
+    every job to that seed, so each job is a pure function of
+    (trace, seed) — warm sweeps run at any worker count and can be
+    checkpointed, with results byte-identical across both.
 
     ``checkpoint`` is a :class:`repro.runtime.CheckpointPolicy`; with
     it, completed analyses are journaled as they finish and a rerun of
@@ -254,23 +225,30 @@ def _batch_analyses(
     """
     from repro.runtime.batch import BatchEvaluator
 
-    if getattr(system, "warm_start", False):
-        if workers != 0:
-            raise ConfigurationError("warm-started estimators require workers=0 (sequential)")
-        if checkpoint is not None:
-            raise ConfigurationError(
-                "warm-started estimators cannot be checkpointed: warm chaining "
-                "makes each result depend on the jobs before it"
-            )
-        reset = getattr(system, "reset_warm_state", None)
-        if reset is not None:
-            reset()
-        return [system.analyze(trace) for trace in traces]
+    if getattr(system, "warm_start", False) and traces:
+        _seed_warm_state(system, traces[0])
     evaluator = BatchEvaluator(system, workers=workers, base_seed=base_seed, tracer=tracer)
     result = evaluator.evaluate(traces, checkpoint=checkpoint)
     if report_sink is not None:
         report_sink.append(result.report)
     return result.strict_analyses()
+
+
+def _seed_warm_state(system, trace: CsiTrace) -> None:
+    """Freeze a deterministic warm seed onto a warm-started estimator.
+
+    The parent cold-solves ``trace`` once and installs the solution as
+    the estimator's :attr:`~repro.core.pipeline.RoArrayEstimator.warm_seed`.
+    Every subsequent job — sequential or pooled — resets to this seed
+    before solving, which keeps warm-started sweeps deterministic at
+    any worker count and sound to checkpoint (the seed rides the
+    estimator spec and participates in the journal's config digest).
+    """
+    if not hasattr(system, "warm_state") or not hasattr(system, "seed_warm_state"):
+        return
+    system.seed_warm_state(None)
+    system.analyze(trace)
+    system.seed_warm_state(system.warm_state)
 
 
 def _journal_policy(checkpoint_dir, name: str, experiment: str, metrics=None):
@@ -335,11 +313,14 @@ def run_snr_band_experiment(
     ``workers > 0`` the per-trace analyses fan out over that many
     processes; the result is identical for any worker count.
 
-    With ``warm_start`` (requires ``workers=0``), estimators that
-    support it seed each trace's solve with the previous trace's
-    solution — consecutive traces share grids and statistics, so the
-    solver converges in fewer iterations while landing on the same
-    minimizer (results match cold-start within solver tolerance).
+    With ``warm_start``, estimators that support it seed every trace's
+    solve from a shared :class:`~repro.optim.warm.WarmStartState` (the
+    first trace's cold solution, frozen by the driver) — the traces
+    share grids and statistics, so the solver converges in fewer
+    iterations while landing on the same minimizer (results match
+    cold-start within solver tolerance).  Because each job warms from
+    the same frozen seed, warm sweeps run at any worker count and
+    compose with ``checkpoint_dir``, byte-identically.
 
     ``checkpoint_dir`` makes the sweep durable: each system's batch
     journals its per-trace analyses to
@@ -352,10 +333,6 @@ def run_snr_band_experiment(
         band = SNR_BANDS[band]
     if n_locations < 1:
         raise ConfigurationError(f"n_locations must be >= 1, got {n_locations}")
-    if warm_start and workers != 0:
-        raise ConfigurationError("warm_start requires workers=0 (sequential sweep)")
-    if warm_start and checkpoint_dir is not None:
-        raise ConfigurationError("warm_start sweeps cannot be checkpointed")
     systems = systems if systems is not None else default_systems()
     if warm_start:
         for system in systems:

@@ -77,6 +77,7 @@ from repro.optim.result import SolverResult
 from repro.optim.reweighted import solve_reweighted_lasso
 from repro.optim.sbl import solve_sbl
 from repro.optim.tuning import mmv_residual_kappa, noise_scaled_kappa, residual_kappa
+from repro.optim.warm import WarmStartState
 
 __all__ = [
     "ArrayBackend",
@@ -89,6 +90,7 @@ __all__ = [
     "GuardrailPolicy",
     "KroneckerJointOperator",
     "SolverResult",
+    "WarmStartState",
     "as_operator",
     "available_backends",
     "backend_names",

@@ -117,6 +117,8 @@ def solve_batch(
     device: str | None = None,
     dtype=None,
     x0=None,
+    warm_state=None,
+    warm_keys: Sequence[str] | None = None,
     parity_gate: bool = False,
     parity_tolerance: float | None = None,
     **options,
@@ -148,6 +150,16 @@ def solve_batch(
         Warm start carried over from a previous batch: a
         :class:`BatchSolverResult` or an array of shape ``(B, n)``
         (``(B, n, p)`` for MMV).  Supported for ``fista`` and ``mmv``.
+    warm_state / warm_keys:
+        Keyed cross-batch carry-over: a
+        :class:`~repro.optim.warm.WarmStartState` plus one key per
+        problem.  Each problem warms from its key's stored solution
+        (zeros — a cold start — where the key is missing or the shape
+        changed) and writes its solution back after the solve, so
+        consecutive batches over an evolving problem population (the
+        streaming service's micro-batches) chain warm starts without
+        the caller stacking arrays.  Mutually exclusive with ``x0``;
+        same method restriction.
     parity_gate:
         Re-solve the batch sequentially on the numpy float64 reference
         and raise :class:`~repro.exceptions.SolverError` if any
@@ -202,6 +214,12 @@ def solve_batch(
         )
 
     kappas = _resolve_kappas(operator, ys, method, kappa, kappa_fraction, n_problems)
+    if warm_state is not None:
+        x0 = _warm_starts_from_state(
+            warm_state, warm_keys, x0, method, n_problems, operator.shape[1], problem_shape
+        )
+    elif warm_keys is not None:
+        raise SolverError("warm_keys requires warm_state")
     warm = _resolve_warm_start(bk, x0, method, n_problems, operator.shape[1], problem_shape)
 
     if n_problems == 1:
@@ -227,6 +245,11 @@ def solve_batch(
                 )
             )
         result = blocks[0] if len(blocks) == 1 else _merge_blocks(bk, blocks, kappas)
+
+    if warm_state is not None:
+        solutions = result.to_numpy()
+        for index, key in enumerate(warm_keys):
+            warm_state.put(key, solutions[index])
 
     if parity_gate:
         result.parity = _run_parity_gate(
@@ -269,6 +292,33 @@ def _resolve_kappas(operator, ys, method, kappa, kappa_fraction, n_problems):
             f"kappa sequence has length {len(kappas)}, expected {n_problems}"
         )
     return kappas
+
+
+def _warm_starts_from_state(warm_state, warm_keys, x0, method, n_problems, n, problem_shape):
+    """Stack per-key warm starts out of a WarmStartState into an x0 array.
+
+    Missing keys (and shape-mismatched slots — e.g. a client's snapshot
+    window grew since the last batch) contribute a zero column, which is
+    exactly the solvers' cold-start iterate, so warm and cold problems
+    mix freely inside one batch.
+    """
+    if x0 is not None:
+        raise SolverError("pass either x0 or warm_state, not both")
+    if method not in ("fista", "mmv"):
+        raise SolverError(f"method {method!r} does not accept a warm start (warm_state)")
+    if warm_keys is None or len(warm_keys) != n_problems:
+        n_keys = 0 if warm_keys is None else len(warm_keys)
+        raise SolverError(
+            f"warm_state requires one warm key per problem: got {n_keys} keys "
+            f"for {n_problems} problems"
+        )
+    shape = (n, problem_shape[1]) if method == "mmv" else (n,)
+    starts = np.zeros((n_problems, *shape), dtype=complex)
+    for index, key in enumerate(warm_keys):
+        stored = warm_state.get(str(key), shape)
+        if stored is not None:
+            starts[index] = stored
+    return starts
 
 
 def _resolve_warm_start(bk, x0, method, n_problems, n, problem_shape):

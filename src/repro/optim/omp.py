@@ -8,7 +8,6 @@ trade-off on identical scenes.
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable
 
 import numpy as np
@@ -18,6 +17,7 @@ from repro.obs.convergence import ConvergenceTrace
 from repro.optim.linalg import validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
+from repro.optim.retired import reject_retired_kwargs
 
 
 def solve_omp(
@@ -26,9 +26,9 @@ def solve_omp(
     *,
     sparsity: int,
     tolerance: float = 0.0,
-    residual_tolerance: float | None = None,
     telemetry: ConvergenceTrace | None = None,
     callback: Callable[[int, np.ndarray, float], None] | None = None,
+    **retired,
 ) -> SolverResult:
     """Greedy recovery of at most ``sparsity`` atoms.
 
@@ -49,21 +49,15 @@ def solve_omp(
         exactly the sensitivity to model order that §III-A credits
         ROArray with avoiding.
     tolerance:
-        Stop early once ``‖residual‖₂ ≤ tolerance``.
-    residual_tolerance:
-        Deprecated spelling of ``tolerance``; emits ``DeprecationWarning``.
+        Stop early once ``‖residual‖₂ ≤ tolerance``.  (The pre-1.0
+        ``residual_tolerance`` alias is retired and raises ``TypeError``.)
     telemetry / callback:
         Per-greedy-step hooks as in
         :func:`~repro.optim.fista.solve_lasso_fista`: objective is the
         squared residual norm, support size the atoms selected so far.
     """
-    if residual_tolerance is not None:
-        warnings.warn(
-            "solve_omp(residual_tolerance=...) is deprecated; use tolerance=...",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        tolerance = residual_tolerance
+    if retired:
+        reject_retired_kwargs("solve_omp", retired, {"residual_tolerance": "tolerance"})
 
     validate_system(matrix, rhs)
     if rhs.ndim != 1:

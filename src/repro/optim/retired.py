@@ -1,0 +1,32 @@
+"""Hard errors for retired keyword spellings.
+
+The PR 2 compatibility shims (``solve_omp(residual_tolerance=)``,
+``solve_reweighted_lasso(inner_iterations=)``) went through one
+deprecation cycle as warning-emitting aliases.  They are now removed;
+the solvers route unknown keywords through
+:func:`reject_retired_kwargs` so a caller still using the old spelling
+gets a ``TypeError`` that names the replacement instead of a bare
+"unexpected keyword argument".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, NoReturn
+
+
+def reject_retired_kwargs(
+    function: str, kwargs: Mapping[str, object], renames: Mapping[str, str]
+) -> NoReturn:
+    """Raise ``TypeError`` for the first unexpected keyword in ``kwargs``.
+
+    Keywords listed in ``renames`` get a pointer to the new spelling;
+    anything else fails like a normal unknown keyword.
+    """
+    for old, new in renames.items():
+        if old in kwargs:
+            raise TypeError(
+                f"{function}() no longer accepts {old!r} "
+                f"(the deprecated alias was removed); use {new!r} instead"
+            )
+    unexpected = next(iter(kwargs))
+    raise TypeError(f"{function}() got an unexpected keyword argument {unexpected!r}")

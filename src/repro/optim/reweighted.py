@@ -15,7 +15,6 @@ plain LASSO in the variables ``z = Wx`` with columns of ``A`` scaled by
 
 from __future__ import annotations
 
-import warnings
 from typing import Callable
 
 import numpy as np
@@ -26,6 +25,7 @@ from repro.optim.fista import lasso_objective, solve_lasso_fista
 from repro.optim.linalg import validate_system
 from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
+from repro.optim.retired import reject_retired_kwargs
 
 
 def solve_reweighted_lasso(
@@ -37,9 +37,9 @@ def solve_reweighted_lasso(
     epsilon: float | None = None,
     max_iterations: int = 200,
     tolerance: float = 1e-6,
-    inner_iterations: int | None = None,
     telemetry: ConvergenceTrace | None = None,
     callback: Callable[[int, np.ndarray, float], None] | None = None,
+    **retired,
 ) -> SolverResult:
     """Reweighted-ℓ1 sparse recovery.
 
@@ -59,10 +59,8 @@ def solve_reweighted_lasso(
         coefficients get a finite (not crushing) weight, small enough
         that strong atoms become nearly free.
     max_iterations / tolerance:
-        Passed to the inner FISTA solves (per pass).
-    inner_iterations:
-        Deprecated spelling of ``max_iterations``; emits
-        ``DeprecationWarning``.
+        Passed to the inner FISTA solves (per pass).  (The pre-1.0
+        ``inner_iterations`` alias is retired and raises ``TypeError``.)
     telemetry / callback:
         Per-*outer-pass* hooks as in
         :func:`~repro.optim.fista.solve_lasso_fista` (the unweighted
@@ -76,13 +74,10 @@ def solve_reweighted_lasso(
         all passes; ``history`` holds the objective after each outer
         pass (measured with the *unweighted* κ‖x‖₁ for comparability).
     """
-    if inner_iterations is not None:
-        warnings.warn(
-            "solve_reweighted_lasso(inner_iterations=...) is deprecated; use max_iterations=...",
-            DeprecationWarning,
-            stacklevel=2,
+    if retired:
+        reject_retired_kwargs(
+            "solve_reweighted_lasso", retired, {"inner_iterations": "max_iterations"}
         )
-        max_iterations = inner_iterations
 
     validate_system(matrix, rhs)
     if rhs.ndim != 1:

@@ -1,0 +1,126 @@
+"""First-class warm-start state for the sparse solvers.
+
+Warm starting — seeding a solve with a previous solution — used to live
+as private ndarray slots inside :class:`~repro.core.pipeline.RoArrayEstimator`,
+which made it a ``workers=0``-only hack: the state could not cross a
+process boundary, could not be journaled, and silently coupled each
+result to whatever the estimator solved before it.
+
+:class:`WarmStartState` promotes that state to a real object:
+
+* **Keyed slots** — each slot holds one prior solution under a caller
+  chosen key (``"single"`` / ``"fused"`` for the estimator pipeline,
+  ``"<client>:<ap>"`` for the streaming service), so independent
+  problem streams warm independently.
+* **Shape-checked reads** — :meth:`get` returns ``None`` (a cold start)
+  when the stored solution does not match the requested shape, so a
+  changed grid or snapshot width can never poison a solve.
+* **Serializable** — :meth:`to_dict` / :meth:`from_dict` round-trip the
+  state byte-exactly through JSON, which is what lets the batch runtime
+  ship a warm seed to worker processes and lets the streaming service
+  snapshot per-client state.
+* **Accounted** — ``hits`` / ``misses`` count how often a solve actually
+  warmed, feeding the service metrics.
+
+:func:`repro.optim.batch.solve_batch` accepts a state plus per-problem
+keys (``warm_state=`` / ``warm_keys=``) for cross-batch carry-over, and
+the estimator carries one as ``.warm_state`` with an optional frozen
+``.warm_seed`` it resets to (see
+:meth:`repro.core.pipeline.RoArrayEstimator.reset_warm_state`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class WarmStartState:
+    """Keyed, serializable store of prior solutions for warm starts."""
+
+    slots: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Counters are bookkeeping, not identity: they stay out of the
+        # dataclass fields so equality, pickling for the worker pool and
+        # the checkpoint config digest all see only the solutions.
+        self.hits = 0
+        self.misses = 0
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key: str, shape: tuple[int, ...] | None = None) -> np.ndarray | None:
+        """The stored solution for ``key``, or ``None`` for a cold start.
+
+        With ``shape`` given, a stored solution of any other shape is a
+        miss — warming a solve with an incompatible iterate would crash
+        it (or worse, silently corrupt it).
+        """
+        solution = self.slots.get(key)
+        if solution is None or (shape is not None and solution.shape != tuple(shape)):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return solution
+
+    def put(self, key: str, solution: np.ndarray) -> None:
+        """Store ``solution`` (copied) as the warm start for ``key``."""
+        self.slots[key] = np.array(solution, copy=True)
+
+    def drop(self, key: str) -> None:
+        """Forget one key (e.g. an evicted client session)."""
+        self.slots.pop(key, None)
+
+    def clear(self) -> None:
+        self.slots.clear()
+
+    def copy(self) -> "WarmStartState":
+        """An independent deep copy (counters reset — it is new state)."""
+        return WarmStartState(
+            slots={key: np.array(value, copy=True) for key, value in self.slots.items()}
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.slots
+
+    @property
+    def nbytes(self) -> int:
+        return sum(value.nbytes for value in self.slots.values())
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready view; floats survive byte-exactly via ``repr``."""
+        return {
+            "slots": {
+                key: {
+                    "shape": list(value.shape),
+                    "real": np.asarray(value, dtype=complex).real.ravel().tolist(),
+                    "imag": np.asarray(value, dtype=complex).imag.ravel().tolist(),
+                }
+                for key, value in self.slots.items()
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "WarmStartState":
+        slots: dict[str, np.ndarray] = {}
+        for key, record in payload.get("slots", {}).items():
+            shape = tuple(int(s) for s in record["shape"])
+            real = np.asarray(record["real"], dtype=float)
+            imag = np.asarray(record["imag"], dtype=float)
+            if real.shape != imag.shape:
+                raise ConfigurationError(
+                    f"warm slot {key!r} has mismatched real/imag lengths"
+                )
+            slots[key] = (real + 1j * imag).reshape(shape)
+        return cls(slots=slots)

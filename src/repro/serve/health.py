@@ -1,0 +1,143 @@
+"""Per-AP health tracking for the streaming service.
+
+An AP degrades in two observable ways: its *solves* start failing (the
+batch runtime's failure taxonomy — validation, solver, timeout,
+runtime, crash — extended with ``invalid_csi`` for packets that never
+reach a solve), or its *packets* stop arriving entirely.  The monitor
+folds both into a three-state health signal:
+
+``healthy``
+    Packets flowing, last solve succeeded.
+``degraded``
+    Recent failures, but fewer than ``failure_threshold`` in a row.
+``outage``
+    ``failure_threshold`` consecutive failures, or no packet for
+    ``outage_after_s`` (on packet time, so the signal is deterministic
+    under replay) — or no packet ever.
+
+Degraded-mode localization consumes the signal as
+:class:`~repro.core.localization.DroppedAp` records: an outage AP is
+excluded from fixes with its reason attached, which is what lowers the
+fix confidence instead of poisoning the position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.localization import DroppedAp
+from repro.exceptions import ConfigurationError
+from repro.runtime.jobs import FAILURE_KINDS
+
+#: Solve-failure kinds the monitor accepts: the batch runtime's
+#: taxonomy plus the service-level pre-solve rejection.
+HEALTH_FAILURE_KINDS = FAILURE_KINDS + ("invalid_csi",)
+
+
+@dataclass
+class ApHealth:
+    """One AP's running health record."""
+
+    name: str
+    last_packet_s: float | None = None
+    last_success_s: float | None = None
+    consecutive_failures: int = 0
+    failures: dict[str, int] = field(default_factory=dict)
+    n_packets: int = 0
+    n_solves: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "last_packet_s": self.last_packet_s,
+            "last_success_s": self.last_success_s,
+            "consecutive_failures": self.consecutive_failures,
+            "failures": dict(sorted(self.failures.items())),
+            "n_packets": self.n_packets,
+            "n_solves": self.n_solves,
+        }
+
+
+class ApHealthMonitor:
+    """Fold packet arrivals and solve outcomes into per-AP health states."""
+
+    def __init__(
+        self,
+        ap_names,
+        *,
+        outage_after_s: float = 2.0,
+        failure_threshold: int = 3,
+    ) -> None:
+        if outage_after_s <= 0:
+            raise ConfigurationError(f"outage_after_s must be positive, got {outage_after_s}")
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        names = list(ap_names)
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate AP names: {names}")
+        self.outage_after_s = outage_after_s
+        self.failure_threshold = failure_threshold
+        self._aps = {name: ApHealth(name=name) for name in names}
+
+    def record_packet(self, ap: str, time_s: float) -> None:
+        health = self._aps[ap]
+        health.n_packets += 1
+        if health.last_packet_s is None or time_s > health.last_packet_s:
+            health.last_packet_s = time_s
+
+    def record_success(self, ap: str, time_s: float) -> None:
+        health = self._aps[ap]
+        health.n_solves += 1
+        health.consecutive_failures = 0
+        if health.last_success_s is None or time_s > health.last_success_s:
+            health.last_success_s = time_s
+
+    def record_failure(self, ap: str, kind: str, time_s: float) -> None:
+        if kind not in HEALTH_FAILURE_KINDS:
+            raise ConfigurationError(
+                f"unknown failure kind {kind!r}; taxonomy: {HEALTH_FAILURE_KINDS}"
+            )
+        health = self._aps[ap]
+        health.n_solves += 1
+        health.consecutive_failures += 1
+        health.failures[kind] = health.failures.get(kind, 0) + 1
+
+    def status(self, ap: str, now_s: float) -> str:
+        """``"healthy"`` / ``"degraded"`` / ``"outage"`` as of ``now_s``."""
+        health = self._aps[ap]
+        if health.last_packet_s is None:
+            return "outage"
+        if now_s - health.last_packet_s > self.outage_after_s:
+            return "outage"
+        if health.consecutive_failures >= self.failure_threshold:
+            return "outage"
+        if health.consecutive_failures > 0:
+            return "degraded"
+        return "healthy"
+
+    def outage_reason(self, ap: str, now_s: float) -> str:
+        """Human-readable reason for an ``"outage"`` status."""
+        health = self._aps[ap]
+        if health.last_packet_s is None:
+            return "no packets received"
+        if now_s - health.last_packet_s > self.outage_after_s:
+            return f"no packets for {now_s - health.last_packet_s:.1f} s"
+        return (
+            f"{health.consecutive_failures} consecutive solve failures "
+            f"({', '.join(sorted(health.failures))})"
+        )
+
+    def dropped_aps(self, now_s: float) -> list[DroppedAp]:
+        """The APs a fix at ``now_s`` must exclude, with reasons."""
+        return [
+            DroppedAp(name=name, reason=f"AP outage: {self.outage_reason(name, now_s)}")
+            for name in self._aps
+            if self.status(name, now_s) == "outage"
+        ]
+
+    def to_dict(self, now_s: float) -> dict:
+        return {
+            name: {"status": self.status(name, now_s), **health.to_dict()}
+            for name, health in sorted(self._aps.items())
+        }

@@ -1,0 +1,133 @@
+"""Wire types of the streaming localization service.
+
+A deployment feeds the service one :class:`CsiPacket` per received
+frame, tagged with the client and AP it belongs to; the service answers
+with :class:`PositionFix` records.  Packets that fail admission control
+become :class:`RejectedPacket` records carrying one of the
+:data:`REJECT_REASONS` — backpressure and malformed input are data,
+not exceptions, so a misbehaving client can never take the service
+down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.localization import DroppedAp
+from repro.exceptions import ConfigurationError
+
+#: The full admission-control taxonomy.  Every rejected packet carries
+#: exactly one of these, and the service counts each under
+#: ``serve.rejected.<reason>`` so an operator can tell backpressure
+#: ("queue_full") from bad input ("invalid_csi", "unknown_ap"), late
+#: arrivals ("stale") and shutdown ("draining") at a glance.
+REJECT_REASONS = ("queue_full", "draining", "unknown_ap", "invalid_csi", "stale")
+
+
+@dataclass(frozen=True)
+class CsiPacket:
+    """One received frame's CSI, tagged with its origin.
+
+    Attributes
+    ----------
+    client / ap:
+        Who transmitted and which AP received.  The AP name must match
+        one of the service's registered access points.
+    time_s:
+        Capture timestamp on the deployment's clock (drives sliding
+        windows and the tracker; distinct from the service's own
+        micro-batching clock).
+    csi:
+        The per-packet CSI matrix, shape ``(antennas, subcarriers)``
+        (paper Eq. 4).
+    rssi_dbm:
+        Link RSSI, the localization weight of paper Eq. 19.
+    """
+
+    client: str
+    ap: str
+    time_s: float
+    csi: np.ndarray = field(repr=False)
+    rssi_dbm: float = -50.0
+
+    def __post_init__(self) -> None:
+        if not self.client or not self.ap:
+            raise ConfigurationError("packet needs non-empty client and ap names")
+        csi = np.asarray(self.csi)
+        if csi.ndim != 2:
+            raise ConfigurationError(
+                f"packet CSI must be 2-D (antennas × subcarriers), got shape {csi.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class RejectedPacket:
+    """A packet admission control turned away, with the reason."""
+
+    client: str
+    ap: str
+    time_s: float
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.reason not in REJECT_REASONS:
+            raise ConfigurationError(
+                f"unknown reject reason {self.reason!r}; taxonomy: {REJECT_REASONS}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "client": self.client,
+            "ap": self.ap,
+            "time_s": self.time_s,
+            "reason": self.reason,
+        }
+
+
+@dataclass(frozen=True)
+class PositionFix:
+    """One client's localization output, raw and tracked.
+
+    ``position`` / ``confidence`` / ``used_aps`` / ``dropped_aps`` come
+    straight from degraded-mode localization
+    (:func:`~repro.core.localization.localize_robust`);
+    ``tracked_position`` / ``velocity`` / ``accepted`` are the
+    per-client Kalman tracker's posterior (``accepted=False`` means the
+    innovation gate rejected the raw fix and the track coasted).
+    ``latency_s`` measures ingest → fix on the service clock.
+    """
+
+    client: str
+    time_s: float
+    position: tuple[float, float]
+    confidence: float
+    used_aps: tuple[str, ...]
+    dropped_aps: tuple[DroppedAp, ...]
+    degraded: bool
+    tracked_position: tuple[float, float]
+    velocity: tuple[float, float]
+    accepted: bool
+    latency_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "client": self.client,
+            "time_s": self.time_s,
+            "position": [self.position[0], self.position[1]],
+            "confidence": self.confidence,
+            "used_aps": list(self.used_aps),
+            "dropped_aps": [ap.to_dict() for ap in self.dropped_aps],
+            "degraded": self.degraded,
+            "tracked_position": [self.tracked_position[0], self.tracked_position[1]],
+            "velocity": [self.velocity[0], self.velocity[1]],
+            "accepted": self.accepted,
+            "latency_s": self.latency_s,
+        }
+
+    def error_to(self, true_position: tuple[float, float]) -> float:
+        """Euclidean error of the raw fix in meters."""
+        dx = self.position[0] - true_position[0]
+        dy = self.position[1] - true_position[1]
+        return float(np.hypot(dx, dy))

@@ -1,0 +1,102 @@
+"""Per-client state: sliding CSI windows, AoA observations, track.
+
+One :class:`ClientSession` exists per client the service has seen.  It
+holds, per AP, a sliding window of vectorized CSI packets (the MMV
+snapshot matrix the joint solve consumes — the streaming analogue of
+the offline pipeline's multi-packet fusion), the freshest direct-path
+AoA estimate each AP produced, and the client's Kalman track.
+
+Sessions are pure state — no solving happens here.  The service turns
+windows into :class:`~repro.serve.batcher.SolveRequest`s and writes
+estimates back via :meth:`ClientSession.record_estimate`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.tracking import KalmanTracker
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ApEstimate:
+    """One AP's freshest direct-path estimate for a client."""
+
+    ap: str
+    time_s: float
+    aoa_deg: float
+    rssi_dbm: float
+    enqueued_at: float
+
+
+class ClientSession:
+    """Sliding windows, per-AP estimates and the track for one client."""
+
+    def __init__(
+        self,
+        client: str,
+        *,
+        window_packets: int = 4,
+        window_s: float = 2.0,
+        tracker: KalmanTracker | None = None,
+    ) -> None:
+        if window_packets < 1:
+            raise ConfigurationError(f"window_packets must be >= 1, got {window_packets}")
+        if window_s <= 0:
+            raise ConfigurationError(f"window_s must be positive, got {window_s}")
+        self.client = client
+        self.window_packets = window_packets
+        self.window_s = window_s
+        self.tracker = tracker if tracker is not None else KalmanTracker()
+        #: Per-AP deque of (time_s, vectorized CSI) pairs, oldest first.
+        self._windows: dict[str, deque[tuple[float, np.ndarray]]] = {}
+        #: Per-AP freshest estimate, written back after each solve.
+        self.estimates: dict[str, ApEstimate] = {}
+        #: Newest packet time seen across all APs.
+        self.latest_time_s = float("-inf")
+        #: Packet time of the last emitted fix; a new fix requires the
+        #: clock to have advanced (keeps the tracker's dt positive).
+        self.last_fix_time_s = float("-inf")
+
+    def add_packet(self, ap: str, time_s: float, y: np.ndarray) -> None:
+        """Append one vectorized packet to the AP's window and evict."""
+        window = self._windows.setdefault(ap, deque())
+        window.append((float(time_s), np.asarray(y)))
+        while len(window) > self.window_packets:
+            window.popleft()
+        horizon = window[-1][0] - self.window_s
+        while window and window[0][0] < horizon:
+            window.popleft()
+        if time_s > self.latest_time_s:
+            self.latest_time_s = float(time_s)
+
+    def snapshots(self, ap: str) -> np.ndarray:
+        """The AP's current window as an ``(m, p)`` snapshot matrix."""
+        window = self._windows.get(ap)
+        if not window:
+            raise ConfigurationError(f"client {self.client!r} has no packets from {ap!r}")
+        return np.stack([y for _, y in window], axis=1)
+
+    def window_len(self, ap: str) -> int:
+        return len(self._windows.get(ap, ()))
+
+    def record_estimate(
+        self, ap: str, time_s: float, aoa_deg: float, rssi_dbm: float, enqueued_at: float
+    ) -> None:
+        self.estimates[ap] = ApEstimate(
+            ap=ap, time_s=time_s, aoa_deg=aoa_deg, rssi_dbm=rssi_dbm, enqueued_at=enqueued_at
+        )
+
+    def fresh_estimates(self, *, max_age_s: float) -> dict[str, ApEstimate]:
+        """Estimates still within ``max_age_s`` of the session clock."""
+        horizon = self.latest_time_s - max_age_s
+        return {ap: est for ap, est in self.estimates.items() if est.time_s >= horizon}
+
+    @property
+    def fix_due(self) -> bool:
+        """True when new data arrived since the last emitted fix."""
+        return self.latest_time_s > self.last_fix_time_s

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.channel.geometry import Room
-from repro.channel.mobility import RandomWaypointModel, waypoint_walk
+from repro.channel.mobility import RandomWaypointModel, stationary_track, waypoint_walk
 from repro.exceptions import ConfigurationError
 
 
@@ -94,3 +94,71 @@ class TestRandomWaypoint:
     def test_rejects_bad_duration(self, rng):
         with pytest.raises(ConfigurationError):
             self.make_model().generate(rng, duration_s=0.0)
+
+
+class TestStationaryTrack:
+    def test_constant_position_and_zero_speed(self):
+        samples = stationary_track((3.0, 4.0), duration_s=2.0, sample_interval_s=0.5)
+        assert {s.position for s in samples} == {(3.0, 4.0)}
+        assert {s.speed_mps for s in samples} == {0.0}
+
+    def test_zero_duration_yields_single_t0_sample(self):
+        samples = stationary_track((1.0, 1.0), duration_s=0.0)
+        assert len(samples) == 1
+        assert samples[0].time_s == 0.0
+        assert samples[0].position == (1.0, 1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stationary_track((1.0, 1.0), duration_s=-0.5)
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stationary_track((1.0, 1.0), duration_s=1.0, sample_interval_s=0.0)
+
+
+class TestSampleRateBoundaries:
+    """Edge cases at the sample-rate / duration boundary."""
+
+    def test_interval_longer_than_duration_gives_one_sample(self):
+        samples = stationary_track((2.0, 2.0), duration_s=0.3, sample_interval_s=0.5)
+        assert [s.time_s for s in samples] == [0.0]
+
+    def test_divisible_duration_includes_endpoint(self):
+        samples = stationary_track((2.0, 2.0), duration_s=2.0, sample_interval_s=0.5)
+        assert len(samples) == 5
+        assert samples[-1].time_s == pytest.approx(2.0)
+
+    def test_fractional_interval_survives_float_accumulation(self):
+        # 0.1 is not exactly representable; the endpoint must still be
+        # emitted despite the accumulated drift in t += interval.
+        samples = stationary_track((2.0, 2.0), duration_s=1.0, sample_interval_s=0.1)
+        assert len(samples) == 11
+        assert samples[-1].time_s == pytest.approx(1.0)
+
+    def test_waypoint_walk_divisible_travel_time_reaches_endpoint(self):
+        # 4 m at 1 m/s sampled every 0.5 s: 9 samples, last at the goal.
+        samples = waypoint_walk(
+            [(0.0, 0.0), (4.0, 0.0)], speed_mps=1.0, sample_interval_s=0.5
+        )
+        assert len(samples) == 9
+        assert samples[-1].position == (4.0, 0.0)
+
+    def test_waypoint_walk_interval_longer_than_travel_time(self):
+        samples = waypoint_walk(
+            [(0.0, 0.0), (1.0, 0.0)], speed_mps=2.0, sample_interval_s=5.0
+        )
+        assert [s.time_s for s in samples] == [0.0]
+        assert samples[0].position == (0.0, 0.0)
+
+    def test_random_waypoint_interval_longer_than_duration(self, rng):
+        model = RandomWaypointModel(room=Room())
+        samples = model.generate(rng, duration_s=0.2, sample_interval_s=0.5)
+        assert len(samples) == 1
+        assert samples[0].time_s == 0.0
+
+    def test_random_waypoint_divisible_duration_includes_endpoint(self, rng):
+        model = RandomWaypointModel(room=Room())
+        samples = model.generate(rng, duration_s=2.0, sample_interval_s=0.5)
+        assert samples[-1].time_s == pytest.approx(2.0)
+        assert len(samples) == 5

@@ -1,4 +1,4 @@
-"""The unified results API: ``.cdf()``, JSON round-trips, deprecation shims."""
+"""The unified results API: ``.cdf()``, JSON round-trips, retired shims."""
 
 from __future__ import annotations
 
@@ -42,19 +42,12 @@ class TestUnifiedCdf:
         assert set(CDF_KINDS) == {"localization", "aoa", "direct_aoa"}
 
     @pytest.mark.parametrize(
-        ("old_method", "kind"),
-        [
-            ("localization_cdf", "localization"),
-            ("aoa_cdf", "aoa"),
-            ("direct_aoa_cdf", "direct_aoa"),
-        ],
+        "old_method", ["localization_cdf", "aoa_cdf", "direct_aoa_cdf"]
     )
-    def test_deprecated_methods_warn_and_match(self, old_method, kind):
-        result = _band_result()
-        with pytest.warns(DeprecationWarning, match=old_method):
-            old = getattr(result, old_method)("ROArray")
-        new = result.cdf("ROArray", kind=kind)
-        np.testing.assert_array_equal(old.samples, new.samples)
+    def test_retired_per_kind_methods_are_gone(self, old_method):
+        """The deprecated per-kind accessors were removed outright."""
+        with pytest.raises(AttributeError):
+            getattr(_band_result(), old_method)
 
 
 class TestJsonRoundTrips:
@@ -91,15 +84,12 @@ class TestJsonRoundTrips:
         np.testing.assert_array_equal(clone.toas_s, spectrum.toas_s)
 
 
-class TestImportShims:
-    def test_old_report_module_warns_but_works(self):
+class TestRetiredImportSurfaces:
+    def test_old_report_module_is_gone(self):
+        """`repro.experiments.report` completed its deprecation cycle."""
         sys.modules.pop("repro.experiments.report", None)
-        with pytest.warns(DeprecationWarning, match="repro.experiments.report"):
-            legacy = importlib.import_module("repro.experiments.report")
-        from repro.experiments.reporting import ReportScale, generate_report
-
-        assert legacy.generate_report is generate_report
-        assert legacy.ReportScale is ReportScale
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.experiments.report")
 
     def test_new_package_imports_silently(self):
         for name in list(sys.modules):
@@ -114,13 +104,13 @@ class TestImportShims:
 
             assert callable(format_comparison)
 
-    def test_flat_text_names_warn_but_delegate(self):
+    def test_flat_text_names_are_gone(self):
+        """The `__getattr__` re-exports were removed with the shim cycle."""
         import repro.experiments.reporting as reporting
         from repro.experiments.reporting import text
 
-        with pytest.warns(DeprecationWarning, match="format_comparison"):
-            assert reporting.format_comparison is text.format_comparison
-        with pytest.warns(DeprecationWarning, match="format_spectrum_ascii"):
-            assert reporting.format_spectrum_ascii is text.format_spectrum_ascii
-        with pytest.raises(AttributeError):
-            reporting.no_such_helper
+        for name in ("format_cdf_series", "format_comparison", "format_spectrum_ascii"):
+            assert callable(getattr(text, name))
+            with pytest.raises(AttributeError):
+                getattr(reporting, name)
+            assert name not in reporting.__all__

@@ -113,12 +113,48 @@ class TestSnrBandExperiment:
                 atol=1e-6,
             )
 
-    def test_warm_start_requires_sequential(self, small_config):
-        with pytest.raises(ConfigurationError, match="workers=0"):
-            run_snr_band_experiment(
-                "high", n_locations=1, n_packets=2, n_aps=3,
-                systems=small_systems(small_config), warm_start=True, workers=2,
-            )
+    def test_warm_start_worker_parity(self, small_config):
+        """ISSUE 7: warm sweeps run at any worker count, byte-identically.
+
+        Every job warms from the same frozen WarmStartState seed (shipped
+        to workers on the estimator spec), so the sequential and pooled
+        paths compute exactly the same thing.
+        """
+        kwargs = dict(
+            n_locations=1, n_packets=2, n_aps=3, seed=3, resolution_m=0.25,
+            warm_start=True,
+        )
+        sequential = run_snr_band_experiment(
+            "high", systems=small_systems(small_config), **kwargs
+        )
+        pooled = run_snr_band_experiment(
+            "high", systems=small_systems(small_config), workers=2, **kwargs
+        )
+        for seq, par in zip(sequential.outcomes["ROArray"], pooled.outcomes["ROArray"]):
+            assert par.location_error_m == seq.location_error_m
+            assert par.direct_aoa_errors_deg == seq.direct_aoa_errors_deg
+
+    def test_warm_start_checkpoint_resume_parity(self, small_config, tmp_path):
+        """ISSUE 7: the warm_start × checkpoint refusal is gone.
+
+        A warm sweep journals per-job analyses like any other; rerunning
+        against the same checkpoint dir replays them byte-identically.
+        """
+        kwargs = dict(
+            n_locations=1, n_packets=2, n_aps=3, seed=3, resolution_m=0.25,
+            warm_start=True,
+        )
+        first = run_snr_band_experiment(
+            "high", systems=small_systems(small_config),
+            checkpoint_dir=tmp_path, **kwargs
+        )
+        assert (tmp_path / "snr_band_high_ROArray.jsonl").exists()
+        replayed = run_snr_band_experiment(
+            "high", systems=small_systems(small_config),
+            checkpoint_dir=tmp_path, **kwargs
+        )
+        for a, b in zip(first.outcomes["ROArray"], replayed.outcomes["ROArray"]):
+            assert a.location_error_m == b.location_error_m
 
 
 class TestMusicSnrExperiment:

@@ -90,10 +90,9 @@ class TestKappaHandling:
             solve(a, y, method, kappa=0.5)
 
 
-class TestDeprecatedSpellings:
-    def test_reweighted_inner_iterations_shim(self, rng):
+class TestRetiredSpellings:
+    def test_reweighted_inner_iterations_raises(self, rng):
+        """The PR 2 shim is gone: the old kwarg fails with a pointer."""
         a, y, *_ = make_sparse_system(rng)
-        with pytest.warns(DeprecationWarning, match="inner_iterations"):
-            shimmed = reweighted_direct(a, y, 0.5, inner_iterations=150)
-        canonical = reweighted_direct(a, y, 0.5, max_iterations=150)
-        np.testing.assert_array_equal(shimmed.x, canonical.x)
+        with pytest.raises(TypeError, match="use 'max_iterations' instead"):
+            reweighted_direct(a, y, 0.5, inner_iterations=150)

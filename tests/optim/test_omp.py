@@ -26,11 +26,16 @@ class TestExactRecovery:
         result = solve_omp(a, y, sparsity=10, tolerance=1e-8)
         assert result.sparsity() <= 3
 
-    def test_deprecated_residual_tolerance_spelling(self, rng):
+    def test_retired_residual_tolerance_spelling_raises(self, rng):
+        """The PR 2 shim is gone: the old kwarg fails with a pointer."""
         a, y, *_ = make_sparse_system(rng, k=2)
-        with pytest.warns(DeprecationWarning, match="residual_tolerance"):
-            result = solve_omp(a, y, sparsity=10, residual_tolerance=1e-8)
-        assert result.sparsity() <= 3
+        with pytest.raises(TypeError, match="use 'tolerance' instead"):
+            solve_omp(a, y, sparsity=10, residual_tolerance=1e-8)
+
+    def test_unknown_kwarg_still_plain_type_error(self, rng):
+        a, y, *_ = make_sparse_system(rng, k=2)
+        with pytest.raises(TypeError, match="unexpected keyword argument 'bogus'"):
+            solve_omp(a, y, sparsity=10, bogus=1)
 
     def test_zero_measurement_selects_nothing(self, rng):
         a, *_ = make_sparse_system(rng)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the streaming-service tests.
+
+The workload and solver working point are deliberately tiny (3 clients,
+3 APs, 61×21 grid) so the end-to-end tests stay in tier-1 time budgets;
+the benchmark covers realistic scale.
+"""
+
+import pytest
+
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.serve import LoadGenerator, ServeConfig
+
+
+def small_serve_config(**overrides) -> ServeConfig:
+    defaults = dict(
+        batch_size=4,
+        max_delay_s=0.01,
+        window_packets=4,
+        min_quorum=2,
+        resolution_m=0.5,
+        angle_grid=AngleGrid(n_points=61),
+        delay_grid=DelayGrid(n_points=21),
+        max_iterations=100,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return LoadGenerator(
+        n_clients=3,
+        duration_s=1.0,
+        sample_interval_s=0.5,
+        stationary_fraction=0.34,
+        n_aps=3,
+        band="high",
+        seed=7,
+    ).generate()
+
+
+@pytest.fixture
+def serve_config():
+    return small_serve_config()

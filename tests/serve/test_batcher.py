@@ -1,0 +1,112 @@
+"""Tests for the size/deadline micro-batcher (driven by a fake clock)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.batcher import MicroBatcher, SolveRequest
+
+
+def request(key: str, width: int = 2, tag: float = 0.0) -> SolveRequest:
+    client, _, ap = key.partition(":")
+    return SolveRequest(
+        key=key,
+        client=client,
+        ap=ap,
+        snapshots=np.full((6, width), tag, dtype=complex),
+        packet_time_s=tag,
+        rssi_dbm=-50.0,
+        enqueued_at=0.0,
+    )
+
+
+class TestTriggers:
+    def test_no_trigger_before_size_or_deadline(self):
+        batcher = MicroBatcher(batch_size=4, max_delay_s=1.0)
+        batcher.offer(request("c0:ap0"), now=0.0)
+        assert batcher.poll(now=0.5) is None
+
+    def test_size_trigger_fires_at_batch_size(self):
+        batcher = MicroBatcher(batch_size=3, max_delay_s=100.0)
+        for i in range(3):
+            assert batcher.offer(request(f"c{i}:ap"), now=0.0)
+        batch = batcher.poll(now=0.0)
+        assert batch is not None
+        assert batch.trigger == "size"
+        assert len(batch) == 3
+        assert batcher.pending == 0
+
+    def test_size_trigger_takes_oldest_first(self):
+        batcher = MicroBatcher(batch_size=2, max_delay_s=100.0)
+        for i in range(4):
+            batcher.offer(request(f"c{i}:ap"), now=float(i))
+        batch = batcher.poll(now=4.0)
+        assert [r.key for r in batch.requests] == ["c0:ap", "c1:ap"]
+
+    def test_poll_loop_drains_backlog_in_size_batches(self):
+        batcher = MicroBatcher(batch_size=2, max_delay_s=100.0)
+        for i in range(5):
+            batcher.offer(request(f"c{i}:ap"), now=0.0)
+        sizes = []
+        while (batch := batcher.poll(now=0.0)) is not None:
+            sizes.append(len(batch))
+        # Two full batches; the leftover waits for its deadline.
+        assert sizes == [2, 2]
+        assert batcher.pending == 1
+
+    def test_deadline_trigger_fires_on_oldest_request(self):
+        batcher = MicroBatcher(batch_size=16, max_delay_s=0.05)
+        batcher.offer(request("c0:ap"), now=1.0)
+        batcher.offer(request("c1:ap"), now=1.04)
+        assert batcher.poll(now=1.04) is None
+        batch = batcher.poll(now=1.06)
+        assert batch.trigger == "deadline"
+        assert len(batch) == 2
+
+    def test_flush_drains_everything_in_chunks(self):
+        batcher = MicroBatcher(batch_size=2, max_delay_s=100.0)
+        for i in range(5):
+            batcher.offer(request(f"c{i}:ap"), now=0.0)
+        batches = batcher.flush()
+        assert [b.trigger for b in batches] == ["flush", "flush", "flush"]
+        assert [len(b) for b in batches] == [2, 2, 1]
+        assert batcher.pending == 0
+
+
+class TestCoalescing:
+    def test_same_key_replaces_payload_without_new_slot(self):
+        batcher = MicroBatcher(batch_size=4, max_delay_s=100.0)
+        batcher.offer(request("c0:ap", width=1, tag=1.0), now=0.0)
+        batcher.offer(request("c0:ap", width=2, tag=2.0), now=0.5)
+        assert batcher.pending == 1
+        batch = batcher.flush()[0]
+        assert batch.requests[0].width == 2
+        assert batch.requests[0].packet_time_s == 2.0
+
+    def test_coalescing_keeps_original_deadline(self):
+        batcher = MicroBatcher(batch_size=16, max_delay_s=0.05)
+        batcher.offer(request("c0:ap", tag=1.0), now=0.0)
+        # A chatty client re-offers just before the deadline; the slot's
+        # age is still measured from the first offer.
+        batcher.offer(request("c0:ap", tag=2.0), now=0.04)
+        batch = batcher.poll(now=0.06)
+        assert batch is not None and batch.trigger == "deadline"
+        assert batch.requests[0].packet_time_s == 2.0
+
+    def test_offer_false_only_when_full_of_distinct_keys(self):
+        batcher = MicroBatcher(batch_size=2, max_delay_s=100.0, max_pending=2)
+        assert batcher.offer(request("c0:ap"), now=0.0)
+        assert batcher.offer(request("c1:ap"), now=0.0)
+        assert not batcher.offer(request("c2:ap"), now=0.0)
+        # Coalescing an existing key still succeeds at capacity.
+        assert batcher.offer(request("c1:ap", tag=9.0), now=0.0)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(batch_size=0)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(max_delay_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            MicroBatcher(batch_size=8, max_pending=4)

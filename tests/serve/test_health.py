@@ -1,0 +1,91 @@
+"""Tests for the per-AP health monitor."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runtime.jobs import FAILURE_KINDS
+from repro.serve.health import HEALTH_FAILURE_KINDS, ApHealthMonitor
+
+
+def monitor(**kwargs) -> ApHealthMonitor:
+    kwargs.setdefault("outage_after_s", 2.0)
+    kwargs.setdefault("failure_threshold", 3)
+    return ApHealthMonitor(["ap-a", "ap-b"], **kwargs)
+
+
+class TestStatus:
+    def test_never_seen_is_outage(self):
+        assert monitor().status("ap-a", now_s=0.0) == "outage"
+        assert "no packets received" in monitor().outage_reason("ap-a", 0.0)
+
+    def test_healthy_after_packet_and_success(self):
+        m = monitor()
+        m.record_packet("ap-a", 1.0)
+        m.record_success("ap-a", 1.0)
+        assert m.status("ap-a", now_s=1.5) == "healthy"
+
+    def test_degraded_below_threshold_outage_at_threshold(self):
+        m = monitor(failure_threshold=3)
+        m.record_packet("ap-a", 1.0)
+        m.record_failure("ap-a", "solver", 1.0)
+        assert m.status("ap-a", now_s=1.0) == "degraded"
+        m.record_failure("ap-a", "solver", 1.1)
+        m.record_failure("ap-a", "timeout", 1.2)
+        assert m.status("ap-a", now_s=1.2) == "outage"
+        assert "consecutive solve failures" in m.outage_reason("ap-a", 1.2)
+
+    def test_success_resets_consecutive_failures(self):
+        m = monitor(failure_threshold=2)
+        m.record_packet("ap-a", 1.0)
+        m.record_failure("ap-a", "solver", 1.0)
+        m.record_success("ap-a", 1.1)
+        m.record_failure("ap-a", "solver", 1.2)
+        assert m.status("ap-a", now_s=1.2) == "degraded"
+
+    def test_packet_staleness_is_outage_on_packet_time(self):
+        m = monitor(outage_after_s=2.0)
+        m.record_packet("ap-a", 1.0)
+        m.record_success("ap-a", 1.0)
+        assert m.status("ap-a", now_s=3.0) == "healthy"
+        assert m.status("ap-a", now_s=3.1) == "outage"
+        assert "no packets for" in m.outage_reason("ap-a", 3.1)
+
+
+class TestDroppedAps:
+    def test_dropped_aps_carry_reasons(self):
+        m = monitor()
+        m.record_packet("ap-a", 1.0)
+        m.record_success("ap-a", 1.0)
+        dropped = m.dropped_aps(now_s=1.0)
+        assert [d.name for d in dropped] == ["ap-b"]
+        assert dropped[0].reason.startswith("AP outage:")
+
+    def test_to_dict_reports_status_and_taxonomy(self):
+        m = monitor()
+        m.record_packet("ap-a", 1.0)
+        m.record_failure("ap-a", "invalid_csi", 1.0)
+        snapshot = m.to_dict(now_s=1.0)
+        assert snapshot["ap-a"]["status"] == "degraded"
+        assert snapshot["ap-a"]["failures"] == {"invalid_csi": 1}
+        assert snapshot["ap-b"]["status"] == "outage"
+
+
+class TestTaxonomy:
+    def test_extends_runtime_failure_kinds(self):
+        assert set(FAILURE_KINDS) < set(HEALTH_FAILURE_KINDS)
+        assert "invalid_csi" in HEALTH_FAILURE_KINDS
+
+    def test_unknown_kind_rejected(self):
+        m = monitor()
+        with pytest.raises(ConfigurationError):
+            m.record_failure("ap-a", "cosmic_ray", 1.0)
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ApHealthMonitor(["ap-a"], outage_after_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ApHealthMonitor(["ap-a"], failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            ApHealthMonitor(["ap-a", "ap-a"])

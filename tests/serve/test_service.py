@@ -1,0 +1,251 @@
+"""End-to-end tests for the streaming localization service."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError, SolverError
+from repro.optim.warm import WarmStartState
+from repro.serve import CsiPacket, LoadGenerator, LocalizationService, replay
+
+from tests.serve.conftest import small_serve_config
+
+
+def make_service(workload, config, **kwargs):
+    return LocalizationService(
+        workload.room,
+        workload.access_points,
+        array=workload.array,
+        layout=workload.layout,
+        config=config,
+        **kwargs,
+    )
+
+
+def run_sync(service, packets):
+    """Feed packets through the synchronous core and drain."""
+    fixes = []
+    for packet in packets:
+        service.submit(packet)
+        fixes.extend(service.process_due())
+    fixes.extend(service.drain())
+    return fixes
+
+
+class TestEndToEnd:
+    def test_every_client_gets_accurate_fixes(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+        fixes = run_sync(service, workload.packets)
+        fixed_clients = {fix.client for fix in fixes}
+        assert fixed_clients == set(workload.clients)
+        errors = [
+            fix.error_to(workload.truth_position(fix.client, fix.time_s))
+            for fix in fixes
+        ]
+        assert float(np.median(errors)) < 2.0
+        # Solves actually batched (not per-packet).
+        assert service.max_batch_observed >= serve_config.batch_size
+
+    def test_async_run_matches_sync_summary(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+        result = asyncio.run(service.run(replay(workload)))
+        assert result.n_packets == len(workload.packets)
+        assert result.n_accepted == len(workload.packets)
+        assert set(result.fix_counts) == set(workload.clients)
+        assert result.metrics["serve.fixes"]["value"] == result.n_fixes
+        assert result.metrics["serve.fix_latency_s"]["count"] == result.n_fixes
+        assert all(fix.latency_s >= 0.0 for fix in result.fixes)
+        assert sum(result.batch_triggers.values()) >= 1
+        for health in result.health.values():
+            assert health["status"] == "healthy"
+
+    def test_warm_starts_hit_in_steady_state(self, workload, serve_config):
+        # window_packets=1 pins every solve to width 1, so the second
+        # solve of each (client, AP) pair warms from the first.
+        config = small_serve_config(window_packets=1)
+        service = make_service(workload, config)
+        run_sync(service, workload.packets)
+        assert service.warm_state.hits > 0
+        assert len(service.warm_state) > 0
+
+    def test_warm_start_does_not_change_which_clients_fix(self, workload):
+        warm = make_service(workload, small_serve_config())
+        cold = make_service(workload, small_serve_config(warm_start=False))
+        warm_fixes = run_sync(warm, workload.packets)
+        cold_fixes = run_sync(cold, workload.packets)
+        assert {f.client for f in warm_fixes} == {f.client for f in cold_fixes}
+        assert cold.warm_state.hits == cold.warm_state.misses == 0
+
+
+class TestAdmissionControl:
+    def test_unknown_ap_rejected(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+        packet = workload.packets[0]
+        bad = CsiPacket(
+            client=packet.client, ap="ap-nowhere", time_s=packet.time_s, csi=packet.csi
+        )
+        assert service.submit(bad) == "unknown_ap"
+        assert service.metrics.to_dict()["serve.rejected.unknown_ap"]["value"] == 1
+
+    def test_invalid_csi_rejected_and_counted_against_ap(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+        packet = workload.packets[0]
+        wrong_shape = CsiPacket(
+            client="c", ap=packet.ap, time_s=0.0, csi=np.ones((2, 5), dtype=complex)
+        )
+        assert service.submit(wrong_shape) == "invalid_csi"
+        poisoned = np.array(packet.csi, copy=True)
+        poisoned[0, 0] = np.nan
+        assert (
+            service.submit(
+                CsiPacket(client="c", ap=packet.ap, time_s=0.0, csi=poisoned)
+            )
+            == "invalid_csi"
+        )
+        assert service.health.to_dict(0.0)[packet.ap]["failures"] == {"invalid_csi": 2}
+
+    def test_stale_packet_rejected(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+        packet = workload.packets[0]
+        service.submit(
+            CsiPacket(client="c", ap=packet.ap, time_s=10.0, csi=packet.csi)
+        )
+        late = CsiPacket(
+            client="c",
+            ap=packet.ap,
+            time_s=10.0 - serve_config.window_s - 0.1,
+            csi=packet.csi,
+        )
+        assert service.submit(late) == "stale"
+
+    def test_queue_full_backpressure(self, workload):
+        config = small_serve_config(batch_size=2, max_pending=2, max_delay_s=100.0)
+        service = make_service(workload, config)
+        template = workload.packets[0]
+        for index in range(2):
+            packet = CsiPacket(
+                client=f"c{index}", ap=template.ap, time_s=0.0, csi=template.csi
+            )
+            assert service.submit(packet) is None
+        overflow = CsiPacket(client="c9", ap=template.ap, time_s=0.0, csi=template.csi)
+        assert service.submit(overflow) == "queue_full"
+
+    def test_draining_rejects_new_packets(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+        service.drain()
+        assert service.submit(workload.packets[0]) == "draining"
+
+
+class TestDegradedMode:
+    @pytest.fixture(scope="class")
+    def outage_result(self):
+        generator = LoadGenerator(
+            n_clients=3,
+            duration_s=2.0,
+            sample_interval_s=0.5,
+            stationary_fraction=0.34,
+            n_aps=3,
+            band="high",
+            seed=11,
+            outages={"ap-east": (0.8, 10.0)},
+        )
+        workload = generator.generate()
+        # Tight staleness bounds so the blackout surfaces within the
+        # short stream: estimates older than 1 s leave fixes, and an AP
+        # silent for 1 s is an outage.
+        config = small_serve_config(outage_after_s=1.0, observation_max_age_s=1.0)
+        service = LocalizationService(
+            workload.room,
+            workload.access_points,
+            array=workload.array,
+            layout=workload.layout,
+            config=config,
+        )
+        fixes = []
+        for packet in workload.packets:
+            service.submit(packet)
+            fixes.extend(service.process_due())
+        fixes.extend(service.drain())
+        return workload, service, fixes
+
+    def test_mid_stream_outage_keeps_fixing_with_quorum(self, outage_result):
+        workload, _, fixes = outage_result
+        assert {fix.client for fix in fixes} == set(workload.clients)
+        degraded = [fix for fix in fixes if fix.degraded]
+        assert degraded, "outage never surfaced as a degraded fix"
+        # Fixes after the blackout exclude the dead AP with its reason.
+        late = [fix for fix in degraded if fix.time_s > 2.0]
+        assert late
+        assert any(
+            dropped.name == "ap-east" and "outage" in dropped.reason
+            for fix in late
+            for dropped in fix.dropped_aps
+        )
+
+    def test_degraded_fixes_have_lowered_confidence(self, outage_result):
+        _, _, fixes = outage_result
+        # Confidence is bounded by the surviving-AP fraction: 2 of 3.
+        for fix in fixes:
+            if fix.degraded and len(fix.used_aps) == 2:
+                assert fix.confidence <= 2.0 / 3.0 + 1e-9
+
+    def test_outage_taxonomized_in_metrics_and_health(self, outage_result):
+        workload, service, _ = outage_result
+        metrics = service.metrics.to_dict()
+        assert metrics["serve.dropped_ap.outage"]["value"] > 0
+        assert metrics["serve.degraded_fixes"]["value"] > 0
+        health = service.health.to_dict(service.latest_packet_time_s)
+        assert health["ap-east"]["status"] == "outage"
+
+
+class TestFailureHandling:
+    def test_solver_failure_degrades_instead_of_crashing(
+        self, workload, serve_config, monkeypatch
+    ):
+        service = make_service(workload, serve_config)
+
+        def explode(*args, **kwargs):
+            raise SolverError("backend fault")
+
+        monkeypatch.setattr("repro.serve.service.solve_batch", explode)
+        fixes = run_sync(service, workload.packets)
+        assert fixes == []
+        metrics = service.metrics.to_dict()
+        assert metrics["serve.solve_failures"]["value"] > 0
+        assert "serve.fixes" not in metrics
+        health = service.health.to_dict(service.latest_packet_time_s)
+        assert all(record["failures"].get("solver", 0) > 0 for record in health.values())
+        assert all(record["status"] == "outage" for record in health.values())
+
+    def test_concurrent_run_raises_service_error(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+
+        async def slow_source():
+            for packet in workload.packets[:2]:
+                yield packet
+                await asyncio.sleep(0.05)
+
+        async def scenario():
+            first = asyncio.ensure_future(service.run(slow_source()))
+            await asyncio.sleep(0.01)
+            with pytest.raises(ServiceError):
+                await service.run(replay(workload))
+            await first
+
+        asyncio.run(scenario())
+
+
+class TestWarmStatePersistence:
+    def test_save_load_round_trip(self, workload, serve_config, tmp_path):
+        service = make_service(workload, serve_config)
+        run_sync(service, workload.packets)
+        assert len(service.warm_state) > 0
+        path = tmp_path / "warm.json"
+        service.save_warm_state(path)
+
+        restored = make_service(workload, serve_config)
+        assert restored.load_warm_state(path) == len(service.warm_state)
+        assert isinstance(restored.warm_state, WarmStartState)
+        for key, value in service.warm_state.slots.items():
+            np.testing.assert_array_equal(restored.warm_state.slots[key], value)

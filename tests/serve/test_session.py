@@ -1,0 +1,79 @@
+"""Tests for per-client session state (windows, estimates, fix gating)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve.session import ClientSession
+
+
+def y(value: float, m: int = 6) -> np.ndarray:
+    return np.full(m, value, dtype=complex)
+
+
+class TestWindows:
+    def test_snapshot_matrix_is_m_by_p_oldest_first(self):
+        session = ClientSession("c", window_packets=4)
+        session.add_packet("ap", 0.0, y(1.0))
+        session.add_packet("ap", 0.5, y(2.0))
+        snapshots = session.snapshots("ap")
+        assert snapshots.shape == (6, 2)
+        assert snapshots[0, 0] == 1.0 and snapshots[0, 1] == 2.0
+
+    def test_count_eviction(self):
+        session = ClientSession("c", window_packets=2, window_s=100.0)
+        for i in range(4):
+            session.add_packet("ap", float(i), y(float(i)))
+        assert session.window_len("ap") == 2
+        assert session.snapshots("ap")[0, 0] == 2.0
+
+    def test_age_eviction(self):
+        session = ClientSession("c", window_packets=10, window_s=1.0)
+        session.add_packet("ap", 0.0, y(1.0))
+        session.add_packet("ap", 2.0, y(2.0))
+        assert session.window_len("ap") == 1
+        assert session.snapshots("ap")[0, 0] == 2.0
+
+    def test_windows_are_per_ap(self):
+        session = ClientSession("c")
+        session.add_packet("ap-a", 0.0, y(1.0))
+        session.add_packet("ap-b", 0.0, y(2.0))
+        assert session.snapshots("ap-a").shape == (6, 1)
+        assert session.snapshots("ap-b")[0, 0] == 2.0
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            ClientSession("c").snapshots("ap")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ClientSession("c", window_packets=0)
+        with pytest.raises(ConfigurationError):
+            ClientSession("c", window_s=0.0)
+
+
+class TestEstimatesAndClock:
+    def test_latest_time_advances_monotonically(self):
+        session = ClientSession("c")
+        session.add_packet("ap-a", 1.0, y(1.0))
+        session.add_packet("ap-b", 0.5, y(1.0))  # late cross-AP packet
+        assert session.latest_time_s == 1.0
+
+    def test_fresh_estimates_filters_by_age(self):
+        session = ClientSession("c")
+        session.add_packet("ap-a", 0.0, y(1.0))
+        session.record_estimate("ap-a", 0.0, aoa_deg=90.0, rssi_dbm=-50.0, enqueued_at=0.0)
+        session.record_estimate("ap-b", 0.0, aoa_deg=80.0, rssi_dbm=-50.0, enqueued_at=0.0)
+        session.add_packet("ap-a", 3.0, y(2.0))
+        session.record_estimate("ap-a", 3.0, aoa_deg=91.0, rssi_dbm=-50.0, enqueued_at=3.0)
+        fresh = session.fresh_estimates(max_age_s=2.0)
+        assert set(fresh) == {"ap-a"}
+        assert fresh["ap-a"].aoa_deg == 91.0
+
+    def test_fix_due_tracks_new_data(self):
+        session = ClientSession("c")
+        assert not session.fix_due
+        session.add_packet("ap", 1.0, y(1.0))
+        assert session.fix_due
+        session.last_fix_time_s = session.latest_time_s
+        assert not session.fix_due
