@@ -37,8 +37,10 @@ from repro.exceptions import (
     CalibrationError,
     CheckpointError,
     ConfigurationError,
+    DatasetError,
     FaultInjectionError,
     GeometryError,
+    IngestError,
     JobTimeoutError,
     PoolCrashError,
     QuorumError,
@@ -54,8 +56,10 @@ __all__ = [
     "CalibrationError",
     "CheckpointError",
     "ConfigurationError",
+    "DatasetError",
     "FaultInjectionError",
     "GeometryError",
+    "IngestError",
     "JobTimeoutError",
     "PoolCrashError",
     "QuorumError",

@@ -154,6 +154,7 @@ class CsiSynthesizer:
             direct_aoa_deg=profile.direct_path.aoa_deg,
             direct_toa_s=profile.direct_path.toa_s,
             rssi_dbm=rssi_from_power(link_power),
+            source_format="synthetic",
         )
 
 

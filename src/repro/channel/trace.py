@@ -5,6 +5,13 @@ consumes: a batch of per-packet CSI matrices from one AP for one client
 position, together with the ground truth the simulator knows (true
 AoAs/ToAs, injected detection delays and phase offsets) so experiments
 can score estimates without a site survey.
+
+Traces can come from the synthesizer (:mod:`repro.channel.csi`) or from
+real captures ingested through :mod:`repro.io` (Intel 5300 ``.dat``
+logs, SpotFi ``.mat`` captures).  Imported traces carry capture
+metadata — per-packet timestamps, the capturing AP's identifier and the
+source format — and leave the simulator-only ground-truth fields at
+their NaN/empty defaults.
 """
 
 from __future__ import annotations
@@ -44,6 +51,16 @@ class CsiTrace:
         Ground truth for the LoS path specifically.
     rssi_dbm:
         RSSI-like received strength for Eq. 19 weighting.
+    capture_times_s:
+        Per-packet capture timestamps in seconds (hardware clock for
+        imported traces, empty for synthetic batches that carry no
+        timeline).
+    ap_id:
+        Identifier of the capturing AP ("" when unknown/synthetic).
+    source_format:
+        Where the trace came from: ``"synthetic"``, ``"npz"``,
+        ``"intel-dat"``, ``"spotfi-mat"`` — or "" for traces predating
+        the metadata (old fixture files load with this default).
     """
 
     csi: np.ndarray
@@ -55,6 +72,9 @@ class CsiTrace:
     direct_aoa_deg: float = float("nan")
     direct_toa_s: float = float("nan")
     rssi_dbm: float = float("nan")
+    capture_times_s: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    ap_id: str = ""
+    source_format: str = ""
 
     def __post_init__(self) -> None:
         self.csi = np.asarray(self.csi, dtype=complex)
@@ -62,6 +82,7 @@ class CsiTrace:
             raise ConfigurationError(
                 f"csi must be (packets, antennas, subcarriers), got shape {self.csi.shape}"
             )
+        self.capture_times_s = np.asarray(self.capture_times_s, dtype=float)
 
     @property
     def n_packets(self) -> int:
@@ -83,6 +104,8 @@ class CsiTrace:
         """
         if not isinstance(other, CsiTrace):
             return False
+        if (self.ap_id, self.source_format) != (other.ap_id, other.source_format):
+            return False
         scalars_self = (self.snr_db, self.direct_aoa_deg, self.direct_toa_s, self.rssi_dbm)
         scalars_other = (other.snr_db, other.direct_aoa_deg, other.direct_toa_s, other.rssi_dbm)
         if not all(
@@ -98,6 +121,7 @@ class CsiTrace:
                 "antenna_phase_offsets",
                 "true_aoas_deg",
                 "true_toas_s",
+                "capture_times_s",
             )
         )
 
@@ -111,6 +135,9 @@ class CsiTrace:
             raise ConfigurationError(
                 f"n_packets must be in [1, {self.n_packets}], got {n_packets}"
             )
+        times = self.capture_times_s
+        if times.shape[0] == self.n_packets:
+            times = times[:n_packets]
         return CsiTrace(
             csi=self.csi[:n_packets],
             snr_db=self.snr_db,
@@ -121,6 +148,9 @@ class CsiTrace:
             direct_aoa_deg=self.direct_aoa_deg,
             direct_toa_s=self.direct_toa_s,
             rssi_dbm=self.rssi_dbm,
+            capture_times_s=times,
+            ap_id=self.ap_id,
+            source_format=self.source_format,
         )
 
     def save(self, path: str | Path) -> None:
@@ -150,21 +180,24 @@ class CsiTrace:
                 direct_aoa_deg=self.direct_aoa_deg,
                 direct_toa_s=self.direct_toa_s,
                 rssi_dbm=self.rssi_dbm,
+                capture_times_s=self.capture_times_s,
+                ap_id=np.str_(self.ap_id),
+                source_format=np.str_(self.source_format),
             ),
         )
 
     @classmethod
     def load(cls, path: str | Path) -> "CsiTrace":
-        """Load a trace written by :meth:`save`."""
-        with np.load(Path(path)) as data:
-            return cls(
-                csi=data["csi"],
-                snr_db=float(data["snr_db"]),
-                detection_delays_s=data["detection_delays_s"],
-                antenna_phase_offsets=data["antenna_phase_offsets"],
-                true_aoas_deg=data["true_aoas_deg"],
-                true_toas_s=data["true_toas_s"],
-                direct_aoa_deg=float(data["direct_aoa_deg"]),
-                direct_toa_s=float(data["direct_toa_s"]),
-                rssi_dbm=float(data["rssi_dbm"]),
-            )
+        """Load a trace from any supported source.
+
+        Delegates to :func:`repro.io.open_trace` — the single trace
+        resolution path — so ``CsiTrace.load`` accepts everything
+        ``open_trace`` does: ``.npz`` files written by :meth:`save`,
+        Intel 5300 ``.dat`` logs, SpotFi ``.mat`` captures and
+        ``dataset://`` registry references.  Metadata fields missing
+        from pre-metadata ``.npz`` archives default; unknown fields
+        warn (see :func:`repro.io.npzio.read_npz_trace`).
+        """
+        from repro.io import open_trace
+
+        return open_trace(path)

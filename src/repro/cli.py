@@ -8,11 +8,18 @@ The subcommands cover the workflows a user has before writing code:
 ``roarray analyze``
     Load a trace and run one of the three systems on it; prints the
     direct-path estimate and an ASCII AoA spectrum.
+``roarray ingest``
+    Pull real captures (Intel 5300 ``.dat``, SpotFi ``.mat``) through
+    the preprocessing + validation pipeline, fit calibration, and write
+    normalized ``.npz`` artifacts — optionally registering them as
+    named datasets.
 ``roarray batch``
-    Analyze many saved traces (or a synthetic sweep) through the
-    parallel batch runtime; prints per-trace estimates and the
+    Analyze many traces (or a synthetic sweep) through the parallel
+    batch runtime; prints per-trace estimates and the
     :class:`~repro.runtime.report.RuntimeReport` summary.  ``--workers``
     changes throughput only — results are identical for any value.
+    ``--localize`` additionally fuses dataset-backed traces into a
+    position fix using the registry's AP geometry.
 ``roarray localize``
     Run one full multi-AP localization round end to end and print the
     fix against ground truth.
@@ -39,8 +46,16 @@ The subcommands cover the workflows a user has before writing code:
     Run any other subcommand with tracing enabled and write the span
     tree to ``--trace-out`` (default ``trace.json``).
 
-``analyze``, ``batch``, ``bench`` and ``report`` accept ``--json`` to
-emit machine-readable output instead of the human-readable blocks.
+Every command that reads a trace (``analyze``, ``batch``, ``ingest``)
+accepts one unified source grammar, resolved by
+:func:`repro.io.open_trace`: a file path (``.npz`` / ``.dat`` /
+``.mat``, format sniffed), a ``dataset://name`` registry reference, or
+a ``synthetic://scenario?params`` spec (bare scenario names work too).
+Band arguments (``localize``, ``chaos``, ``loadgen``) likewise accept
+``synthetic://band/medium`` alongside the bare name.
+
+Every subcommand that reports results accepts ``--json`` for
+machine-readable output instead of the human-readable blocks.
 All output goes through :mod:`repro.experiments.reporting.console`.
 
 Also runnable as ``python -m repro.cli``.
@@ -82,6 +97,25 @@ def _build_system(name: str, tracer=NULL_TRACER):
     return systems[name]()
 
 
+def _preprocess(trace: CsiTrace) -> CsiTrace:
+    """Apply the format-appropriate default preprocessing stages."""
+    from repro.io import default_stages, run_stages
+
+    cleaned, _reports = run_stages(trace, default_stages(trace.source_format))
+    return cleaned
+
+
+def _band_arg(value: str) -> str:
+    """argparse type for band options: bare name or synthetic:// spelling."""
+    from repro.exceptions import IngestError
+    from repro.io import scenario_band
+
+    try:
+        return scenario_band(value)
+    except IngestError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.experiments.reporting.console import emit
 
@@ -111,8 +145,12 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.experiments.reporting.text import format_spectrum_ascii
     from repro.experiments.reporting.console import emit, emit_json
 
+    from repro.io import open_trace
+
     tracer = _tracer_of(args)
-    trace = CsiTrace.load(args.trace)
+    trace = open_trace(args.trace, registry=args.registry)
+    if args.preprocess:
+        trace = _preprocess(trace)
     system = _build_system(args.system, tracer)
     with tracer.span("analyze", system=system.name):
         analysis = system.analyze(trace)
@@ -147,29 +185,96 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting.console import emit, emit_json
+    from repro.io import DatasetRegistry, ingest_sources
+
+    tracer = _tracer_of(args)
+    registry = None
+    if args.register_prefix is not None:
+        registry = DatasetRegistry(args.registry)
+    if args.checkpoint:
+        from repro.runtime import write_manifest
+
+        write_manifest(args.checkpoint, getattr(args, "argv", []))
+    result = ingest_sources(
+        args.sources,
+        out_dir=args.out,
+        calibrate=not args.no_calibrate,
+        expected_shape=tuple(args.expect_shape) if args.expect_shape else None,
+        registry=registry,
+        register_prefix=args.register_prefix,
+        overwrite=args.overwrite,
+        checkpoint_dir=args.checkpoint,
+        tracer=tracer,
+    )
+    if args.json:
+        emit_json(result.to_dict())
+        return 0 if result.ok else 1
+    for record in result.records:
+        if record.ok:
+            line = (
+                f"{record.n_packets} packets, "
+                f"{record.n_antennas}×{record.n_subcarriers} [{record.source_format}]"
+            )
+            if record.snr_db is not None:
+                line += f", SNR {record.snr_db:.1f} dB"
+            if record.calibration is not None:
+                spread = record.calibration["detection_delay_range_s"] * 1e9
+                line += f", delay spread {spread:.1f} ns"
+            if record.output_path:
+                line += f" → {record.output_path}"
+            if record.dataset:
+                line += f" (dataset://{record.dataset})"
+        else:
+            line = f"FAILED ({record.error})"
+        emit(f"  {record.label:<28} {line}")
+    if result.n_replayed:
+        emit(f"{result.n_replayed} source(s) replayed from checkpoint", stream=sys.stderr)
+    emit(f"{len(result.records) - result.n_failed}/{len(result.records)} trace(s) ingested")
+    return 0 if result.ok else 1
+
+
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.experiments.reporting.console import emit, emit_json
+    from repro.io import DatasetRegistry, open_traces, resolve_source
     from repro.runtime import BatchEvaluator
 
     tracer = _tracer_of(args)
-    if args.traces:
-        traces = [CsiTrace.load(path) for path in args.traces]
-        labels = list(args.traces)
-    elif args.synthetic > 0:
-        rng = np.random.default_rng(args.seed)
-        synthesizer = CsiSynthesizer(
-            UniformLinearArray(), intel5300_layout(), ImpairmentModel(), seed=args.seed
+    sources = list(args.traces)
+    if args.synthetic > 0:
+        # Sugar for the unified spec; the generation loop inside
+        # synthesize_from_spec matches the historical --synthetic loop
+        # bit for bit.
+        sources.append(
+            f"synthetic://random?n={args.synthetic}"
+            f"&packets={args.packets}&snr={args.snr:g}&seed={args.seed}"
         )
-        traces = []
-        for index in range(args.synthetic):
-            profile = random_profile(rng, n_paths=4, direct_aoa_deg=float(rng.uniform(20, 160)))
-            traces.append(
-                synthesizer.packets(profile, n_packets=args.packets, snr_db=args.snr, rng=rng)
-            )
-        labels = [f"synthetic[{index}]" for index in range(args.synthetic)]
-    else:
-        emit("nothing to do: pass trace files or --synthetic N", stream=sys.stderr)
+    if not sources:
+        emit(
+            "nothing to do: pass trace sources (paths, dataset:// refs, "
+            "synthetic:// specs) or --synthetic N",
+            stream=sys.stderr,
+        )
         return 2
+
+    registry = None
+    labels: list[str] = []
+    traces: list[CsiTrace] = []
+    entries: list = []  # DatasetEntry | None, aligned with traces
+    for source in sources:
+        resolved = resolve_source(source)
+        entry = None
+        if resolved.kind == "dataset":
+            if registry is None:
+                registry = DatasetRegistry(args.registry)
+            entry = registry.entry(resolved.dataset)
+        for label, trace in open_traces(source, registry=registry):
+            if args.preprocess:
+                trace = _preprocess(trace)
+            labels.append(label)
+            traces.append(trace)
+            entries.append(entry)
 
     system = _build_system(args.system, tracer)
     evaluator = BatchEvaluator(
@@ -187,6 +292,16 @@ def cmd_batch(args: argparse.Namespace) -> int:
             path=Path(args.checkpoint) / "batch.jsonl", experiment="batch"
         )
     result = evaluator.evaluate(traces, checkpoint=checkpoint)
+
+    fix_payload = None
+    if args.localize:
+        fix_payload, problem = _batch_fix(
+            entries, traces, result.outcomes, resolution_m=args.resolution
+        )
+        if problem is not None:
+            emit(f"cannot localize: {problem}", stream=sys.stderr)
+            return 2
+
     if args.json:
         rows = []
         for label, trace, outcome in zip(labels, traces, result.outcomes):
@@ -204,7 +319,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
                     "message": outcome.failure.message,
                 }
             rows.append(row)
-        emit_json({"outcomes": rows, "report": result.report.to_dict()})
+        payload = {"outcomes": rows, "report": result.report.to_dict()}
+        if fix_payload is not None:
+            payload["fix"] = fix_payload
+        emit_json(payload)
         return 1 if result.failures else 0
     for label, trace, outcome in zip(labels, traces, result.outcomes):
         if outcome.ok:
@@ -217,9 +335,70 @@ def cmd_batch(args: argparse.Namespace) -> int:
         else:
             line = f"FAILED ({outcome.failure.error_type}: {outcome.failure.message})"
         emit(f"  {label:<24} {line}")
+    if fix_payload is not None:
+        line = (
+            f"fix ({fix_payload['position'][0]:.2f}, "
+            f"{fix_payload['position'][1]:.2f}) m from {fix_payload['n_aps']} AP(s)"
+        )
+        if "error_m" in fix_payload:
+            line += (
+                f" | truth ({fix_payload['truth'][0]:.2f}, "
+                f"{fix_payload['truth'][1]:.2f}) m | error {fix_payload['error_m']:.2f} m"
+            )
+        emit("")
+        emit(line)
     emit("")
     emit(result.report.summary())
     return 1 if result.failures else 0
+
+
+def _batch_fix(entries, traces, outcomes, *, resolution_m):
+    """Fuse dataset-backed batch outcomes into one position fix.
+
+    Returns ``(payload, problem)`` — exactly one is ``None``.  Requires
+    every source to be a ``dataset://`` reference whose manifest records
+    the capturing AP's geometry.
+    """
+    from repro.channel.geometry import Room
+    from repro.core.localization import ApObservation, localize_weighted_aoa
+
+    observations = []
+    room = None
+    truth = None
+    for entry, trace, outcome in zip(entries, traces, outcomes):
+        if entry is None or entry.access_point() is None:
+            return None, (
+                "--localize needs every source to be a dataset:// reference "
+                "with AP geometry in the registry"
+            )
+        if not outcome.ok:
+            continue
+        observations.append(
+            ApObservation(
+                entry.access_point(),
+                float(outcome.analysis.direct.aoa_deg),
+                float(trace.rssi_dbm),
+            )
+        )
+        dims = entry.ground_truth.get("room")
+        if dims is not None:
+            room = Room(width=float(dims[0]), depth=float(dims[1]))
+        client = entry.ground_truth.get("client")
+        if client is not None:
+            truth = (float(client[0]), float(client[1]))
+    if len(observations) < 2:
+        return None, (
+            f"need at least 2 successful AP observations, have {len(observations)}"
+        )
+    fix = localize_weighted_aoa(observations, room or Room(), resolution_m=resolution_m)
+    payload = {
+        "position": [float(fix.position[0]), float(fix.position[1])],
+        "n_aps": len(observations),
+    }
+    if truth is not None:
+        payload["truth"] = list(truth)
+        payload["error_m"] = float(fix.error_to(truth))
+    return payload, None
 
 
 def cmd_localize(args: argparse.Namespace) -> int:
@@ -469,22 +648,42 @@ def cmd_resume(args: argparse.Namespace) -> int:
     and computes only what is missing.  Progress goes to stderr (the
     re-dispatched command may be emitting ``--json`` on stdout).
     """
-    from repro.experiments.reporting.console import emit
+    from repro.experiments.reporting.console import emit, emit_json
     from repro.experiments.reporting.text import format_checkpoint_status
     from repro.runtime.checkpoint import checkpoint_status, read_manifest
 
     command = read_manifest(args.checkpoint)
     statuses = checkpoint_status(args.checkpoint)
-    if statuses:
-        emit(format_checkpoint_status(statuses), stream=sys.stderr)
-    emit(f"resuming: roarray {' '.join(command)}", stream=sys.stderr)
+    if args.json:
+        emit_json(
+            {
+                "checkpoint": args.checkpoint,
+                "command": list(command),
+                "journals": [
+                    {
+                        "path": status.path,
+                        "experiment": status.experiment,
+                        "n_jobs": status.n_jobs,
+                        "n_recorded": status.n_recorded,
+                        "percent_complete": status.percent_complete,
+                        "complete": status.complete,
+                    }
+                    for status in statuses
+                ],
+            },
+            stream=sys.stderr,
+        )
+    else:
+        if statuses:
+            emit(format_checkpoint_status(statuses), stream=sys.stderr)
+        emit(f"resuming: roarray {' '.join(command)}", stream=sys.stderr)
     inner = build_parser().parse_args(command)
     inner.argv = list(command)
     return inner.handler(inner)
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
-    from repro.experiments.reporting.console import emit
+    from repro.experiments.reporting.console import emit, emit_json
     from repro.serve import LoadGenerator
 
     outages = {}
@@ -502,6 +701,20 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     )
     workload = generator.generate()
     workload.save(args.output)
+    if args.json:
+        emit_json(
+            {
+                "output": args.output,
+                "packets": len(workload.packets),
+                "clients": len(workload.clients),
+                "duration_s": float(workload.duration_s),
+                "aps": args.aps,
+                "band": args.band,
+                "seed": args.seed,
+                "outages": {name: list(window) for name, window in sorted(outages.items())},
+            }
+        )
+        return 0
     emit(
         f"wrote {args.output}: {len(workload.packets)} packets from "
         f"{len(workload.clients)} clients over {workload.duration_s:.1f} s "
@@ -662,19 +875,100 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(handler=cmd_simulate)
 
     analyze = subparsers.add_parser("analyze", help="run a system on a saved trace")
-    analyze.add_argument("trace", help=".npz trace path")
+    analyze.add_argument(
+        "trace",
+        help="trace source: file path (.npz/.dat/.mat), dataset://name, "
+        "or synthetic:// spec",
+    )
     analyze.add_argument(
         "--system", choices=("roarray", "spotfi", "arraytrack"), default="roarray"
+    )
+    analyze.add_argument(
+        "--registry", default=None, metavar="PATH",
+        help="dataset registry root or manifest for dataset:// sources "
+        "(default: $REPRO_DATA_DIR or ./datasets)",
+    )
+    analyze.add_argument(
+        "--preprocess", action="store_true",
+        help="apply the format's default preprocessing stages (STO removal "
+        "for real captures) before analysis",
     )
     analyze.add_argument("--json", action="store_true", help="machine-readable output")
     analyze.set_defaults(handler=cmd_analyze)
 
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="parse real captures through preprocessing + validation, fit "
+        "calibration, write normalized .npz artifacts",
+    )
+    ingest.add_argument(
+        "sources", nargs="+",
+        help="capture sources: .dat/.mat/.npz paths, dataset:// refs, or "
+        "synthetic:// specs",
+    )
+    ingest.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="write normalized .npz artifacts under DIR (default: no artifacts)",
+    )
+    ingest.add_argument(
+        "--registry", default=None, metavar="PATH",
+        help="dataset registry root or manifest (default: $REPRO_DATA_DIR "
+        "or ./datasets)",
+    )
+    ingest.add_argument(
+        "--register-prefix", default=None, metavar="PREFIX",
+        help="register each written artifact as dataset PREFIX<label> "
+        "(requires --out)",
+    )
+    ingest.add_argument(
+        "--overwrite", action="store_true",
+        help="replace already-registered dataset names",
+    )
+    ingest.add_argument(
+        "--no-calibrate", action="store_true",
+        help="skip the per-trace calibration fit",
+    )
+    ingest.add_argument(
+        "--expect-shape", type=int, nargs=2, default=None, metavar=("M", "L"),
+        help="fail validation unless traces are M antennas × L subcarriers",
+    )
+    ingest.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal per-source outcomes to DIR/ingest.jsonl; a rerun "
+        "replays finished sources",
+    )
+    ingest.add_argument("--json", action="store_true", help="machine-readable output")
+    ingest.set_defaults(handler=cmd_ingest)
+
     batch = subparsers.add_parser(
         "batch", help="analyze many traces through the parallel batch runtime"
     )
-    batch.add_argument("traces", nargs="*", help=".npz trace paths (or use --synthetic)")
     batch.add_argument(
-        "--synthetic", type=int, default=0, metavar="N", help="generate N seeded random traces"
+        "traces", nargs="*",
+        help="trace sources: file paths, dataset:// refs, synthetic:// specs "
+        "(or use --synthetic)",
+    )
+    batch.add_argument(
+        "--synthetic", type=int, default=0, metavar="N",
+        help="generate N seeded random traces (sugar for "
+        "synthetic://random?n=N&packets=…&snr=…&seed=…)",
+    )
+    batch.add_argument(
+        "--registry", default=None, metavar="PATH",
+        help="dataset registry root or manifest for dataset:// sources",
+    )
+    batch.add_argument(
+        "--preprocess", action="store_true",
+        help="apply each format's default preprocessing stages before analysis",
+    )
+    batch.add_argument(
+        "--localize", action="store_true",
+        help="fuse dataset-backed outcomes into one position fix using the "
+        "registry's AP geometry",
+    )
+    batch.add_argument(
+        "--resolution", type=float, default=0.1,
+        help="fix grid pitch in m for --localize (default 0.1)",
     )
     batch.add_argument(
         "--system", choices=("roarray", "spotfi", "arraytrack"), default="roarray"
@@ -700,7 +994,10 @@ def build_parser() -> argparse.ArgumentParser:
     localize.add_argument(
         "--system", choices=("roarray", "spotfi", "arraytrack"), default="roarray"
     )
-    localize.add_argument("--band", choices=("high", "medium", "low"), default="medium")
+    localize.add_argument(
+        "--band", type=_band_arg, default="medium",
+        help="SNR regime: high/medium/low or synthetic://band/<name>",
+    )
     localize.add_argument("--aps", type=int, default=6)
     localize.add_argument("--packets", type=int, default=10)
     localize.add_argument("--resolution", type=float, default=0.1)
@@ -751,7 +1048,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--aps", type=int, default=6, help="APs per scene (default 6)")
     chaos.add_argument("--locations", type=int, default=3, help="test locations (default 3)")
     chaos.add_argument("--packets", type=int, default=10, help="packets per AP trace")
-    chaos.add_argument("--band", choices=("high", "medium", "low"), default="medium")
+    chaos.add_argument(
+        "--band", type=_band_arg, default="medium",
+        help="SNR regime: high/medium/low or synthetic://band/<name>",
+    )
     chaos.add_argument("--kill-aps", type=int, default=2, help="APs to black out entirely")
     chaos.add_argument(
         "--drop-antennas", type=int, default=1, help="antennas to kill on one surviving AP"
@@ -784,6 +1084,11 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="finish an interrupted --checkpoint run from its journals"
     )
     resume.add_argument("checkpoint", metavar="DIR", help="checkpoint directory")
+    resume.add_argument(
+        "--json", action="store_true",
+        help="machine-readable progress to stderr (stdout stays with the "
+        "re-dispatched command)",
+    )
     resume.set_defaults(handler=cmd_resume)
 
     loadgen = subparsers.add_parser(
@@ -802,12 +1107,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of clients that sit still (default 0.3)",
     )
     loadgen.add_argument("--aps", type=int, default=4, help="access points (default 4)")
-    loadgen.add_argument("--band", choices=("high", "medium", "low"), default="high")
+    loadgen.add_argument(
+        "--band", type=_band_arg, default="high",
+        help="SNR regime: high/medium/low or synthetic://band/<name>",
+    )
     loadgen.add_argument("--seed", type=int, default=0)
     loadgen.add_argument(
         "--outage", nargs=3, action="append", metavar=("AP", "START", "END"),
         help="black out AP between START and END seconds (repeatable)",
     )
+    loadgen.add_argument("--json", action="store_true", help="machine-readable output")
     loadgen.set_defaults(handler=cmd_loadgen)
 
     serve = subparsers.add_parser(

@@ -36,6 +36,28 @@ class CalibrationError(ReproError):
     """Phase calibration could not be performed with the given measurements."""
 
 
+class IngestError(ReproError):
+    """A trace source could not be read or resolved.
+
+    Raised by :mod:`repro.io` for unreadable or malformed capture files
+    (truncated Intel 5300 ``.dat`` records, a ``.mat`` file without a
+    recognizable CSI variable), unknown formats that survive sniffing,
+    and sources that simply do not exist.  Defects *inside* a parseable
+    trace (NaN packets, dead antennas) are not ingest errors — they are
+    the validation gate's job (:class:`ValidationError`).
+    """
+
+
+class DatasetError(IngestError):
+    """A dataset registry reference could not be resolved.
+
+    Raised for unknown ``dataset://`` names, a missing or unreadable
+    registry manifest, and checksum mismatches between the manifest and
+    the file on disk (a corrupted or silently replaced capture must not
+    masquerade as the registered one).
+    """
+
+
 class ValidationError(ReproError):
     """CSI input failed the validation gate beyond repair.
 

@@ -13,6 +13,11 @@
 """
 
 from repro.experiments.metrics import ErrorCdf, summarize_systems
+from repro.experiments.real import (
+    RealTraceOutcome,
+    RealTraceResult,
+    run_real_trace_experiment,
+)
 from repro.experiments.reporting import generate_report
 from repro.experiments.runner import (
     LocalizationOutcome,
@@ -37,6 +42,8 @@ __all__ = [
     "SNR_BANDS",
     "ErrorCdf",
     "LocalizationOutcome",
+    "RealTraceOutcome",
+    "RealTraceResult",
     "SnrBand",
     "SnrBandResult",
     "build_random_scene",

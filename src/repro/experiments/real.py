@@ -1,0 +1,234 @@
+"""Experiment driver for real (captured) traces.
+
+Synthetic drivers score against the scene they generated; a real
+capture carries its ground truth in the dataset registry instead (site
+survey: true client spot, LoS AoA, the capturing AP's mount).  This
+driver runs any mix of unified trace sources — ``dataset://`` refs,
+``.dat``/``.mat``/``.npz`` files, even ``synthetic://`` specs — through
+the same parallel batch runtime and scoring the paper's drivers use,
+and optionally fuses dataset-backed observations into a position fix.
+
+The result is deterministic for any worker count and composes with
+``checkpoint_dir`` exactly like the synthetic sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import ConfigurationError
+from repro.obs import NULL_TRACER
+
+
+@dataclass(frozen=True)
+class RealTraceOutcome:
+    """One trace's scored analysis."""
+
+    label: str
+    ok: bool
+    aoa_deg: float | None = None
+    toa_s: float | None = None
+    n_paths: int = 0
+    truth_aoa_deg: float | None = None
+    aoa_error_deg: float | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "ok": self.ok,
+            "aoa_deg": self.aoa_deg,
+            "toa_s": self.toa_s,
+            "n_paths": self.n_paths,
+            "truth_aoa_deg": self.truth_aoa_deg,
+            "aoa_error_deg": self.aoa_error_deg,
+            "error": self.error,
+        }
+
+
+@dataclass(frozen=True)
+class RealTraceResult:
+    """Everything one real-trace run produced."""
+
+    system: str
+    outcomes: tuple[RealTraceOutcome, ...]
+    fix: dict | None
+    report: object
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "fix": self.fix,
+            "report": self.report.to_dict() if hasattr(self.report, "to_dict") else None,
+        }
+
+
+def run_real_trace_experiment(
+    sources,
+    *,
+    system=None,
+    registry=None,
+    stages="default",
+    workers: int = 0,
+    seed: int = 0,
+    resolution_m: float = 0.1,
+    localize: bool = False,
+    tracer=NULL_TRACER,
+    checkpoint_dir=None,
+) -> RealTraceResult:
+    """Analyze captured traces and score them against registry truth.
+
+    Parameters
+    ----------
+    sources:
+        Unified trace sources (anything :func:`repro.io.open_traces`
+        accepts); each may fan out to several traces.
+    system:
+        An AP-level estimator; default
+        :class:`~repro.core.pipeline.RoArrayEstimator`.
+    registry:
+        A :class:`~repro.io.DatasetRegistry` or its root path, for
+        ``dataset://`` sources.
+    stages:
+        ``"default"`` applies each format's default preprocessing
+        (STO removal for real captures, the quarantine gate always);
+        ``None`` analyzes raw; a list of
+        :class:`~repro.io.PreprocessingStage` applies verbatim.
+    localize:
+        Fuse the per-AP estimates into a position fix.  Requires every
+        source to be a ``dataset://`` reference whose manifest records
+        AP geometry; raises :class:`ConfigurationError` otherwise.
+    """
+    from repro.experiments.runner import _journal_policy
+    from repro.io import DatasetRegistry, open_traces, resolve_source
+    from repro.io.stages import default_stages, run_stages
+    from repro.runtime.batch import BatchEvaluator
+
+    if system is None:
+        from repro.core.pipeline import RoArrayEstimator
+
+        system = RoArrayEstimator(tracer=tracer)
+
+    sources = list(sources)
+    reg = registry if isinstance(registry, DatasetRegistry) else None
+    labels: list[str] = []
+    traces: list[CsiTrace] = []
+    entries: list = []  # DatasetEntry | None, aligned with traces
+    with tracer.span("experiment", name="real_trace", n_sources=len(sources)):
+        for source in sources:
+            entry = None
+            if not isinstance(source, CsiTrace):
+                resolved = resolve_source(str(source))
+                if resolved.kind == "dataset":
+                    if reg is None:
+                        reg = DatasetRegistry(registry)
+                    entry = reg.entry(resolved.dataset)
+            for label, trace in open_traces(source, registry=reg if reg is not None else registry):
+                if stages == "default":
+                    trace = run_stages(
+                        trace, default_stages(trace.source_format), tracer=tracer
+                    )[0]
+                elif stages:
+                    trace = run_stages(trace, list(stages), tracer=tracer)[0]
+                labels.append(label)
+                traces.append(trace)
+                entries.append(entry)
+        if not traces:
+            raise ConfigurationError("run_real_trace_experiment needs at least one trace")
+
+        evaluator = BatchEvaluator(system, workers=workers, base_seed=seed, tracer=tracer)
+        batch = evaluator.evaluate(
+            traces,
+            checkpoint=_journal_policy(checkpoint_dir, "real_trace", "real_trace"),
+        )
+
+        outcomes = []
+        for label, trace, outcome in zip(labels, traces, batch.outcomes):
+            truth = None if np.isnan(trace.direct_aoa_deg) else float(trace.direct_aoa_deg)
+            if outcome.ok:
+                aoa = float(outcome.analysis.direct.aoa_deg)
+                toa = outcome.analysis.direct.toa_s
+                outcomes.append(
+                    RealTraceOutcome(
+                        label=label,
+                        ok=True,
+                        aoa_deg=aoa,
+                        toa_s=None if np.isnan(toa) else float(toa),
+                        n_paths=int(outcome.analysis.direct.n_paths),
+                        truth_aoa_deg=truth,
+                        aoa_error_deg=None if truth is None else abs(aoa - truth),
+                    )
+                )
+            else:
+                outcomes.append(
+                    RealTraceOutcome(
+                        label=label,
+                        ok=False,
+                        truth_aoa_deg=truth,
+                        error=f"{outcome.failure.error_type}: {outcome.failure.message}",
+                    )
+                )
+
+        fix = None
+        if localize:
+            fix = _fuse_fix(
+                entries, traces, batch.outcomes, resolution_m=resolution_m, tracer=tracer
+            )
+    return RealTraceResult(
+        system=system.name, outcomes=tuple(outcomes), fix=fix, report=batch.report
+    )
+
+
+def _fuse_fix(entries, traces, outcomes, *, resolution_m, tracer=NULL_TRACER):
+    """Fuse dataset-backed AP estimates into one weighted-AoA fix."""
+    from repro.channel.geometry import Room
+    from repro.core.localization import ApObservation, localize_weighted_aoa
+
+    observations = []
+    room = None
+    truth = None
+    for entry, trace, outcome in zip(entries, traces, outcomes):
+        if entry is None or entry.access_point() is None:
+            raise ConfigurationError(
+                "localize=True needs every source to be a dataset:// reference "
+                "with AP geometry in the registry"
+            )
+        if not outcome.ok:
+            continue
+        observations.append(
+            ApObservation(
+                entry.access_point(),
+                float(outcome.analysis.direct.aoa_deg),
+                float(trace.rssi_dbm),
+            )
+        )
+        dims = entry.ground_truth.get("room")
+        if dims is not None:
+            room = Room(width=float(dims[0]), depth=float(dims[1]))
+        client = entry.ground_truth.get("client")
+        if client is not None:
+            truth = (float(client[0]), float(client[1]))
+    if len(observations) < 2:
+        raise ConfigurationError(
+            f"need at least 2 successful AP observations to localize, "
+            f"have {len(observations)}"
+        )
+    with tracer.span("localization", n_aps=len(observations)) as span:
+        fix = localize_weighted_aoa(observations, room or Room(), resolution_m=resolution_m)
+        payload = {
+            "position": [float(fix.position[0]), float(fix.position[1])],
+            "n_aps": len(observations),
+        }
+        if truth is not None:
+            payload["truth"] = list(truth)
+            payload["error_m"] = float(fix.error_to(truth))
+            span.annotate(location_error_m=payload["error_m"])
+    return payload

@@ -168,5 +168,10 @@ def sanitize_trace(
     delays = trace.detection_delays_s
     if delays.shape[0] == trace.n_packets:
         delays = delays[keep]
-    cleaned = replace(trace, csi=trace.csi[keep].copy(), detection_delays_s=delays)
+    times = trace.capture_times_s
+    if times.shape[0] == trace.n_packets:
+        times = times[keep]
+    cleaned = replace(
+        trace, csi=trace.csi[keep].copy(), detection_delays_s=delays, capture_times_s=times
+    )
     return cleaned, report

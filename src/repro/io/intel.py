@@ -1,0 +1,432 @@
+"""Intel 5300 CSI ``.dat`` log parser (and encoder, for fixtures).
+
+The Linux 802.11n CSI Tool logs a stream of length-prefixed records::
+
+    [u16 big-endian field_len] [u8 code] [field_len - 1 payload bytes]
+
+Code ``0xBB`` is a beamforming-feedback ("bfee") record carrying one
+CSI measurement; every other code is metadata and skipped.  Inside a
+bfee payload (offsets relative to the byte after the code):
+
+====== ====================================================
+0:4    ``timestamp_low`` — µs since NIC power-up (u32 LE)
+4:6    ``bfee_count`` (u16 LE)
+6:8    reserved
+8, 9   ``Nrx``, ``Ntx``
+10:13  per-chain RSSI A/B/C (dB, u8)
+13     noise floor (dBm, i8; −127 ⇒ unmeasured)
+14     AGC gain (dB, u8)
+15     ``antenna_sel`` — RX permutation, 2 bits per antenna
+16:18  CSI payload length (u16 LE)
+18:20  rate/flags (u16 LE)
+20:    bit-packed CSI
+====== ====================================================
+
+The CSI itself is 30 subcarriers × ``Nrx·Ntx`` complex values, each
+component a signed 8-bit integer, packed with a 3-bit skip before every
+subcarrier group — hence the reference decoder's
+``calc_len = (30·(Nrx·Ntx·8·2 + 3) + 7) // 8``.  Within a subcarrier
+the values are transmit-stream-major: value ``j`` belongs to TX stream
+``j % Ntx`` on RX antenna ``j // Ntx``.
+
+Two hardware corrections land the raw integers in channel units
+(mirroring the reference ``get_scaled_csi`` / ``get_scaled_csi_sm``):
+
+* **Scaling** — the integers are an AGC-scaled quantization; the RSSI
+  and AGC fields recover absolute received power, and the noise floor
+  plus quantization error normalize to an SNR-like magnitude.
+* **Spatial-mapping removal** — with multiple TX streams the NIC mixes
+  streams through a unitary spatial-mapping matrix Q before the air;
+  right-multiplying by ``Q*`` recovers the physical per-antenna
+  channel.  Q is published for 2 streams (both bandwidths) and for
+  3 streams at 20 MHz; 3 streams at 40 MHz is left uncorrected with a
+  warning.
+
+:func:`write_intel_dat` is the exact inverse of the record layout and
+bit packing — it exists so the repository can commit small, *valid*
+``.dat`` fixtures generated from the synthetic channel model, and so
+the parser is tested against an independent encoder rather than only
+against itself.
+"""
+
+from __future__ import annotations
+
+import struct
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import IngestError
+
+#: Record code of a beamforming-feedback (CSI) record.
+BFEE_CODE = 0xBB
+
+#: Subcarriers reported per bfee record, fixed by the hardware.
+N_SUBCARRIERS = 30
+
+#: ``antenna_sel`` for the identity RX permutation (A→0, B→1, C→2).
+IDENTITY_ANTENNA_SEL = 0b100100
+
+_SQRT2 = float(np.sqrt(2.0))
+
+# Spatial-mapping matrices Q used by the Intel 5300 transmitter
+# (iwlwifi convention; rows index TX streams).  All are unitary — the
+# removal below right-multiplies by Q* which is then exactly Q⁻¹.
+SM_2_20 = np.array([[1.0, 1.0], [1.0, -1.0]]) / _SQRT2
+SM_2_40 = np.array([[1.0, 1.0j], [1.0j, 1.0]]) / _SQRT2
+_TWO_PI = 2.0 * np.pi
+SM_3_20 = (
+    np.exp(
+        1j
+        * np.array(
+            [
+                [-_TWO_PI / 16, -_TWO_PI / (80 / 33), _TWO_PI / (80 / 3)],
+                [_TWO_PI / (80 / 23), _TWO_PI / (48 / 13), _TWO_PI / (240 / 13)],
+                [-_TWO_PI / (80 / 13), _TWO_PI / (240 / 37), _TWO_PI / (48 / 13)],
+            ]
+        )
+    )
+    / np.sqrt(3.0)
+)
+
+
+def _dbinv(x: float | np.ndarray) -> float | np.ndarray:
+    return 10.0 ** (np.asarray(x, dtype=float) / 10.0)
+
+
+def _db(x: float) -> float:
+    return float(10.0 * np.log10(x))
+
+
+def _calc_len(n_rx: int, n_tx: int) -> int:
+    return (N_SUBCARRIERS * (n_rx * n_tx * 8 * 2 + 3) + 7) // 8
+
+
+@dataclass(frozen=True)
+class BfeeRecord:
+    """One decoded beamforming-feedback record.
+
+    ``csi`` is the *raw* integer-valued channel, shape
+    ``(n_rx, n_tx, 30)``, already RX-permuted back to physical antenna
+    order (``antenna_sel``) but not yet scaled.
+    """
+
+    timestamp_low: int
+    bfee_count: int
+    n_rx: int
+    n_tx: int
+    rssi: tuple[int, int, int]
+    noise: int
+    agc: int
+    antenna_sel: int
+    rate: int
+    csi: np.ndarray
+
+    @property
+    def rssi_dbm(self) -> float:
+        """Total received power in dBm (csitool convention: −44 − AGC)."""
+        mag = sum(_dbinv(r) for r in self.rssi if r != 0)
+        if mag <= 0:
+            return float("-inf")
+        return _db(mag) - 44.0 - self.agc
+
+    @property
+    def noise_dbm(self) -> float:
+        """Measured noise floor, with the −127 sentinel mapped to −92 dBm."""
+        return -92.0 if self.noise == -127 else float(self.noise)
+
+    def scaled_csi(self) -> np.ndarray:
+        """CSI in absolute channel units (reference ``get_scaled_csi``).
+
+        Scales the quantized integers so ``|csi|²`` measures the
+        per-subcarrier SNR: total CSI power is matched to the
+        RSSI-derived received power, then normalized by thermal noise
+        plus the quantization-error power the integer format introduces.
+        """
+        csi = self.csi.astype(complex)
+        csi_pwr = float(np.sum(np.abs(csi) ** 2))
+        if csi_pwr == 0:
+            return csi
+        rssi_pwr = _dbinv(self.rssi_dbm)
+        scale = rssi_pwr / (csi_pwr / 30.0)
+        thermal_noise_pwr = _dbinv(self.noise_dbm)
+        quant_error_pwr = scale * self.n_rx * self.n_tx
+        total_noise_pwr = thermal_noise_pwr + quant_error_pwr
+        ret = csi * np.sqrt(scale / total_noise_pwr)
+        # The NIC backs off TX power per extra stream; undo it so
+        # multi-stream magnitudes are comparable to single-stream.
+        if self.n_tx == 2:
+            ret *= _SQRT2
+        elif self.n_tx == 3:
+            ret *= np.sqrt(_dbinv(4.5))
+        return ret
+
+
+def _decode_bfee(payload: bytes) -> BfeeRecord:
+    if len(payload) < 20:
+        raise IngestError(f"bfee record too short: {len(payload)} bytes (need >= 20)")
+    timestamp_low, bfee_count = struct.unpack_from("<IH", payload, 0)
+    n_rx, n_tx = payload[8], payload[9]
+    rssi = (payload[10], payload[11], payload[12])
+    noise = struct.unpack_from("<b", payload, 13)[0]
+    agc, antenna_sel = payload[14], payload[15]
+    length, rate = struct.unpack_from("<HH", payload, 16)
+    if not 1 <= n_rx <= 3 or not 1 <= n_tx <= 3:
+        raise IngestError(f"bfee record claims {n_rx}×{n_tx} antennas (expected 1..3 each)")
+    expected = _calc_len(n_rx, n_tx)
+    if length != expected:
+        raise IngestError(
+            f"bfee CSI length {length} != expected {expected} for "
+            f"{n_rx}×{n_tx}: truncated or corrupt record"
+        )
+    if len(payload) < 20 + length:
+        raise IngestError(
+            f"bfee record truncated: {len(payload) - 20} CSI bytes, need {length}"
+        )
+    # Two bytes of slack so the sliding 16-bit window below never
+    # indexes past the end on the final value.
+    bits = payload[20 : 20 + length] + b"\x00\x00"
+
+    csi = np.empty((n_rx, n_tx, N_SUBCARRIERS), dtype=complex)
+    index = 0
+    for subcarrier in range(N_SUBCARRIERS):
+        index += 3
+        remainder = index % 8
+        for j in range(n_rx * n_tx):
+            byte = index // 8
+            if remainder:
+                real = ((bits[byte] >> remainder) | (bits[byte + 1] << (8 - remainder))) & 0xFF
+                imag = (
+                    (bits[byte + 1] >> remainder) | (bits[byte + 2] << (8 - remainder))
+                ) & 0xFF
+            else:
+                real = bits[byte]
+                imag = bits[byte + 1]
+            value = complex(real - 256 if real >= 128 else real, imag - 256 if imag >= 128 else imag)
+            csi[j // n_tx, j % n_tx, subcarrier] = value
+            index += 16
+
+    if n_rx == 3:
+        perm = [(antenna_sel >> (2 * k)) & 0x3 for k in range(n_rx)]
+        if sorted(perm) == list(range(n_rx)):
+            permuted = np.empty_like(csi)
+            permuted[perm, :, :] = csi
+            csi = permuted
+        else:
+            warnings.warn(
+                f"invalid antenna_sel permutation {perm}; leaving RX order as captured",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return BfeeRecord(
+        timestamp_low=timestamp_low,
+        bfee_count=bfee_count,
+        n_rx=n_rx,
+        n_tx=n_tx,
+        rssi=rssi,
+        noise=noise,
+        agc=agc,
+        antenna_sel=antenna_sel,
+        rate=rate,
+        csi=csi,
+    )
+
+
+def read_bfee_records(path: str | Path) -> list[BfeeRecord]:
+    """Decode every bfee record in an Intel 5300 ``.dat`` log.
+
+    Non-bfee records are skipped; a torn final record (the logger was
+    killed mid-write) is dropped with a warning rather than rejected,
+    matching how the reference MATLAB reader treats truncated logs.
+    """
+    raw = Path(path).read_bytes()
+    records: list[BfeeRecord] = []
+    offset = 0
+    while offset + 3 <= len(raw):
+        (field_len,) = struct.unpack_from(">H", raw, offset)
+        code = raw[offset + 2]
+        if field_len < 1:
+            raise IngestError(f"corrupt record header at byte {offset}: field_len 0")
+        end = offset + 2 + field_len
+        if end > len(raw):
+            warnings.warn(
+                f"dropping torn final record at byte {offset} of {path}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            break
+        if code == BFEE_CODE:
+            records.append(_decode_bfee(raw[offset + 3 : end]))
+        offset = end
+    if offset < len(raw) and offset + 3 > len(raw):
+        warnings.warn(
+            f"dropping {len(raw) - offset} trailing bytes of {path}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if not records:
+        raise IngestError(f"no bfee records in {path}: not an Intel 5300 CSI log?")
+    return records
+
+
+def remove_spatial_mapping(csi: np.ndarray, n_tx: int, *, bandwidth_mhz: int) -> np.ndarray:
+    """Undo the transmitter's spatial-mapping matrix on the TX axis.
+
+    ``csi`` has shape ``(..., n_tx)`` on its last axis (per RX antenna
+    and subcarrier).  The measured channel is ``H·Qᵀ`` for unitary Q, so
+    right-multiplying by ``conj(Q)`` recovers H.  Single-stream captures
+    pass through; 3 streams at 40 MHz is returned uncorrected with a
+    warning because that Q is not reliably documented.
+    """
+    if n_tx == 1:
+        return csi
+    if n_tx == 2:
+        q = SM_2_20 if bandwidth_mhz == 20 else SM_2_40
+    elif n_tx == 3 and bandwidth_mhz == 20:
+        q = SM_3_20
+    else:
+        warnings.warn(
+            f"no spatial-mapping matrix for {n_tx} streams at {bandwidth_mhz} MHz; "
+            "returning the mixed-stream channel",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return csi
+    return csi @ np.conj(q)
+
+
+def read_intel_dat(
+    path: str | Path,
+    *,
+    stream: int = 0,
+    bandwidth_mhz: int = 40,
+    scale: bool = True,
+    ap_id: str = "",
+) -> CsiTrace:
+    """Parse an Intel 5300 ``.dat`` log into a :class:`CsiTrace`.
+
+    Every bfee record becomes one packet: scaled (unless ``scale`` is
+    false), spatial-mapping-corrected, and reduced to TX stream
+    ``stream`` so the result is the paper's ``(antennas, subcarriers)``
+    per-packet matrix.  ``snr_db`` and ``rssi_dbm`` are measured from
+    the RSSI/AGC/noise fields (means across packets); ground-truth
+    fields stay at their unknown defaults — a registry entry or site
+    survey supplies those.
+    """
+    records = read_bfee_records(path)
+    shapes = {(r.n_rx, r.n_tx) for r in records}
+    if len(shapes) != 1:
+        raise IngestError(f"mixed antenna configurations in {path}: {sorted(shapes)}")
+    ((n_rx, n_tx),) = shapes
+    if not 0 <= stream < n_tx:
+        raise IngestError(f"stream {stream} out of range for {n_tx} TX stream(s)")
+
+    matrices = np.empty((len(records), n_rx, N_SUBCARRIERS), dtype=complex)
+    times = np.empty(len(records))
+    for p, record in enumerate(records):
+        csi = record.scaled_csi() if scale else record.csi.astype(complex)
+        # (n_rx, n_tx, 30) → (n_rx, 30, n_tx) so the TX axis is last
+        # for spatial-mapping removal, then select the requested stream.
+        csi = remove_spatial_mapping(
+            np.moveaxis(csi, 1, 2), n_tx, bandwidth_mhz=bandwidth_mhz
+        )
+        matrices[p] = csi[:, :, stream]
+        times[p] = record.timestamp_low * 1e-6
+
+    rssi = float(np.mean([r.rssi_dbm for r in records]))
+    noise = float(np.mean([r.noise_dbm for r in records]))
+    return CsiTrace(
+        csi=matrices,
+        snr_db=rssi - noise,
+        rssi_dbm=rssi,
+        capture_times_s=times,
+        ap_id=ap_id,
+        source_format="intel-dat",
+    )
+
+
+def _encode_bfee_payload(csi_int: np.ndarray) -> bytes:
+    """Bit-pack one record's integer CSI, shape ``(n_rx, n_tx, 30)``."""
+    n_rx, n_tx, _ = csi_int.shape
+    length = _calc_len(n_rx, n_tx)
+    buffer = bytearray(length)
+
+    def put(bit_offset: int, value: int) -> None:
+        raw = int(value) & 0xFF
+        byte, remainder = divmod(bit_offset, 8)
+        buffer[byte] |= (raw << remainder) & 0xFF
+        if remainder:
+            buffer[byte + 1] |= raw >> (8 - remainder)
+
+    index = 0
+    for subcarrier in range(N_SUBCARRIERS):
+        index += 3
+        for j in range(n_rx * n_tx):
+            value = csi_int[j // n_tx, j % n_tx, subcarrier]
+            put(index, int(value.real))
+            put(index + 8, int(value.imag))
+            index += 16
+    return bytes(buffer)
+
+
+def write_intel_dat(
+    path: str | Path,
+    csi_int: np.ndarray,
+    *,
+    timestamps_us: np.ndarray | None = None,
+    rssi: tuple[int, int, int] = (33, 32, 34),
+    noise: int = -92,
+    agc: int = 40,
+    antenna_sel: int = IDENTITY_ANTENNA_SEL,
+    rate: int = 0x1101,
+) -> Path:
+    """Encode integer CSI as a valid Intel 5300 ``.dat`` log.
+
+    ``csi_int`` is complex with integer-valued components in
+    ``[−128, 127]``, shape ``(packets, n_rx, 30)`` for single-stream or
+    ``(packets, n_rx, n_tx, 30)``.  The encoder writes bit-exact bfee
+    records — :func:`read_bfee_records` on the result returns the same
+    integers — which is what makes committed fixtures trustworthy: the
+    parser is exercised against an independent implementation of the
+    packing, not a copy of itself.
+    """
+    csi_int = np.asarray(csi_int)
+    if csi_int.ndim == 3:
+        csi_int = csi_int[:, :, None, :]
+    if csi_int.ndim != 4 or csi_int.shape[3] != N_SUBCARRIERS:
+        raise IngestError(
+            f"csi_int must be (packets, n_rx[, n_tx], {N_SUBCARRIERS}), got {csi_int.shape}"
+        )
+    components = np.concatenate([csi_int.real.ravel(), csi_int.imag.ravel()])
+    if not np.allclose(components, np.round(components)):
+        raise IngestError("csi_int components must be integer-valued")
+    if components.min() < -128 or components.max() > 127:
+        raise IngestError("csi_int components must fit in int8")
+    n_packets, n_rx, n_tx, _ = csi_int.shape
+    if timestamps_us is None:
+        timestamps_us = np.arange(n_packets, dtype=np.int64) * 10_000
+    timestamps_us = np.asarray(timestamps_us, dtype=np.int64)
+    if timestamps_us.shape != (n_packets,):
+        raise IngestError(
+            f"timestamps_us must have shape ({n_packets},), got {timestamps_us.shape}"
+        )
+
+    chunks: list[bytes] = []
+    for p in range(n_packets):
+        bits = _encode_bfee_payload(csi_int[p])
+        body = (
+            struct.pack("<IHH", int(timestamps_us[p]) & 0xFFFFFFFF, p + 1, 0)
+            + bytes([n_rx, n_tx, rssi[0], rssi[1], rssi[2]])
+            + struct.pack("<b", noise)
+            + bytes([agc, antenna_sel])
+            + struct.pack("<HH", len(bits), rate)
+            + bits
+        )
+        chunks.append(struct.pack(">H", len(body) + 1) + bytes([BFEE_CODE]) + body)
+
+    from repro.runtime.checkpoint import atomic_write
+
+    return atomic_write(Path(path), b"".join(chunks))

@@ -1,0 +1,148 @@
+"""SpotFi-style ``.mat`` CSI captures.
+
+The SpotFi authors distribute captures as MATLAB v5 files holding one
+complex CSI variable — canonically ``sample_csi_trace``, a flat
+``(90,)`` vector that reshapes antenna-major to ``(3, 30)`` — but
+per-packet ``(packets, antennas, subcarriers)`` stacks and transposed
+2-D layouts exist in the wild.  :func:`read_spotfi_mat` normalizes all
+of these into the :class:`CsiTrace` packet layout.
+
+Only the v5 format is supported (``scipy.io.loadmat``); v7.3 files are
+HDF5 and need ``h5py``, which this environment does not ship — they are
+rejected with a clear error instead of a backtrace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import IngestError
+
+#: Variable names probed, in order, when none is given.
+CSI_VARIABLE_CANDIDATES = ("sample_csi_trace", "csi_trace", "csi", "csi_data")
+
+#: Subcarriers per capture, fixed by the Intel 5300 hardware SpotFi uses.
+N_SUBCARRIERS = 30
+
+#: Largest plausible antenna count; disambiguates axis roles.
+MAX_ANTENNAS = 8
+
+
+def _load_mat(path: Path) -> dict:
+    try:
+        from scipy.io import loadmat
+    except ImportError as error:  # pragma: no cover - scipy is a core dep
+        raise IngestError(
+            "reading .mat captures requires scipy, which is not importable here"
+        ) from error
+    from scipy.io.matlab import MatReadError
+
+    try:
+        return loadmat(path)
+    except NotImplementedError as error:
+        raise IngestError(
+            f"{path} looks like a MATLAB v7.3 (HDF5) file; re-save it with "
+            "-v5 or convert it to .npz — h5py is not available"
+        ) from error
+    except (MatReadError, ValueError, OSError) as error:
+        raise IngestError(f"cannot parse {path} as a MATLAB file: {error}") from error
+
+
+def _pick_variable(data: dict, variable: str | None, path: Path) -> tuple[str, np.ndarray]:
+    if variable is not None:
+        if variable not in data:
+            available = sorted(k for k in data if not k.startswith("__"))
+            raise IngestError(f"{path} has no variable {variable!r} (found {available})")
+        return variable, np.asarray(data[variable])
+    for name in CSI_VARIABLE_CANDIDATES:
+        if name in data:
+            return name, np.asarray(data[name])
+    arrays = {
+        k: np.asarray(v)
+        for k, v in data.items()
+        if not k.startswith("__") and np.asarray(v).size >= N_SUBCARRIERS
+    }
+    if len(arrays) == 1:
+        return next(iter(arrays.items()))
+    raise IngestError(
+        f"{path}: cannot identify the CSI variable (candidates "
+        f"{sorted(arrays) or 'none'}); pass variable= explicitly"
+    )
+
+
+def _normalize_layout(values: np.ndarray, name: str, path: Path) -> np.ndarray:
+    """Coerce a raw ``.mat`` array to ``(packets, antennas, subcarriers)``."""
+    values = np.squeeze(values)
+    if values.ndim == 1:
+        if values.size % N_SUBCARRIERS != 0:
+            raise IngestError(
+                f"{path}:{name} has {values.size} values, not a multiple of {N_SUBCARRIERS}"
+            )
+        # SpotFi's sample_csi_trace: antenna-major flat vector.
+        return values.reshape(1, values.size // N_SUBCARRIERS, N_SUBCARRIERS)
+    if values.ndim == 2:
+        rows, cols = values.shape
+        if rows <= MAX_ANTENNAS < cols or cols == N_SUBCARRIERS:
+            return values[None, :, :]
+        if cols <= MAX_ANTENNAS < rows or rows == N_SUBCARRIERS:
+            return values.T[None, :, :]
+        raise IngestError(
+            f"{path}:{name} shape {values.shape}: cannot tell antennas from subcarriers"
+        )
+    if values.ndim == 3:
+        _, a, b = values.shape
+        if a <= MAX_ANTENNAS < b:
+            return values
+        if b <= MAX_ANTENNAS < a:
+            return np.swapaxes(values, 1, 2)
+        raise IngestError(
+            f"{path}:{name} shape {values.shape}: cannot tell antennas from subcarriers"
+        )
+    raise IngestError(f"{path}:{name} has unsupported rank {values.ndim}")
+
+
+def read_spotfi_mat(
+    path: str | Path, *, variable: str | None = None, ap_id: str = ""
+) -> CsiTrace:
+    """Load a SpotFi-style ``.mat`` capture as a :class:`CsiTrace`.
+
+    The CSI variable is found by name (``variable``, else the
+    well-known candidates, else the single plausible array).  Optional
+    ``timestamps`` / ``snr_db`` / ``rssi_dbm`` variables, when present,
+    populate the matching trace fields; everything else defaults to
+    unknown, as for any real capture.
+    """
+    path = Path(path)
+    data = _load_mat(path)
+    name, values = _pick_variable(data, variable, path)
+    csi = _normalize_layout(values.astype(complex), name, path)
+    if not np.iscomplexobj(values):
+        import warnings
+
+        warnings.warn(
+            f"{path}:{name} is real-valued; phase-based estimation will be degenerate",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    def scalar(key: str) -> float:
+        if key in data:
+            value = np.asarray(data[key], dtype=float).ravel()
+            if value.size == 1:
+                return float(value[0])
+        return float("nan")
+
+    times = np.zeros(0)
+    if "timestamps" in data:
+        times = np.asarray(data["timestamps"], dtype=float).ravel()
+    return CsiTrace(
+        csi=csi,
+        snr_db=scalar("snr_db"),
+        rssi_dbm=scalar("rssi_dbm"),
+        capture_times_s=times,
+        ap_id=ap_id,
+        source_format="spotfi-mat",
+    )

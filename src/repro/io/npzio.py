@@ -1,0 +1,96 @@
+"""The native ``.npz`` trace format.
+
+This module owns the single ``np.load``-for-traces call site in the
+package: everything that reads a saved :class:`CsiTrace` — including
+``CsiTrace.load`` itself — funnels through
+:func:`repro.io.open_trace` into :func:`read_npz_trace`.
+
+The format is append-only across releases: archives written before the
+capture-metadata fields existed load with those fields at their
+defaults, and fields written by a *newer* release than this reader are
+skipped with a warning instead of an error, so fixture files never
+bit-rot in either direction.
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import IngestError
+
+#: Every field a trace archive may carry, by CsiTrace attribute name.
+KNOWN_FIELDS = frozenset(
+    {
+        "csi",
+        "snr_db",
+        "detection_delays_s",
+        "antenna_phase_offsets",
+        "true_aoas_deg",
+        "true_toas_s",
+        "direct_aoa_deg",
+        "direct_toa_s",
+        "rssi_dbm",
+        "capture_times_s",
+        "ap_id",
+        "source_format",
+    }
+)
+
+_ARRAY_FIELDS = (
+    "detection_delays_s",
+    "antenna_phase_offsets",
+    "true_aoas_deg",
+    "true_toas_s",
+    "capture_times_s",
+)
+_SCALAR_FIELDS = ("direct_aoa_deg", "direct_toa_s", "rssi_dbm")
+
+
+def read_npz_trace(path: str | Path) -> CsiTrace:
+    """Load a ``.npz`` archive written by :meth:`CsiTrace.save`.
+
+    Missing optional fields default (old fixtures stay loadable);
+    unknown fields warn and are ignored (new fixtures degrade
+    gracefully on old readers).  Only ``csi`` and ``snr_db`` are
+    mandatory.
+    """
+    path = Path(path)
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as error:
+        raise IngestError(f"cannot read {path} as a trace archive: {error}") from error
+    with archive:
+        fields = set(archive.files)
+        unknown = sorted(fields - KNOWN_FIELDS)
+        if unknown:
+            warnings.warn(
+                f"{path} carries unknown trace fields {unknown} "
+                "(written by a newer version?); ignoring them",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        missing = {"csi", "snr_db"} - fields
+        if missing:
+            raise IngestError(f"{path} is not a trace archive: missing {sorted(missing)}")
+
+        kwargs: dict = {
+            "csi": np.asarray(archive["csi"]),
+            "snr_db": float(archive["snr_db"]),
+        }
+        for name in _ARRAY_FIELDS:
+            if name in fields:
+                kwargs[name] = np.asarray(archive[name])
+        for name in _SCALAR_FIELDS:
+            if name in fields:
+                kwargs[name] = float(archive[name])
+        for name in ("ap_id", "source_format"):
+            if name in fields:
+                kwargs[name] = str(archive[name])
+    # source_format is preserved verbatim (a synthesized-then-saved
+    # trace stays "synthetic"); archives predating the field load as ""
+    # — "origin unknown" — rather than being retroactively relabeled.
+    return CsiTrace(**kwargs)

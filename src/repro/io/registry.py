@@ -1,0 +1,294 @@
+"""Named, checksummed capture datasets.
+
+A real-capture workflow needs more than files: which AP recorded a
+trace, where that AP stood, where the client truly was — none of it is
+in the bits the NIC logs.  The registry binds those together: a JSON
+manifest (``registry.json``) mapping names to
+:class:`DatasetEntry` records — file path, format, SHA-256, optional AP
+geometry and ground truth — so ``dataset://name`` is a complete,
+integrity-checked trace source anywhere a path is accepted.
+
+Conventions (anticipating multi-AP capture campaigns à la WiCAL):
+
+* Paths inside the manifest are relative to the manifest's directory,
+  so a dataset tree can be committed, moved or mounted wholesale.
+* The checksum is verified on every open; a silently replaced or
+  corrupted capture raises :class:`~repro.exceptions.DatasetError`
+  rather than producing subtly wrong fixes.
+* Ground truth recorded by a site survey (true client position, LoS
+  AoA/ToA) is *applied* to the loaded trace's ground-truth fields, so
+  real captures score through exactly the same experiment code paths
+  as synthetic ones.
+
+The default registry location is ``$REPRO_DATA_DIR/registry.json``
+(falling back to ``./datasets/registry.json``), overridable per call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.geometry import AccessPoint
+from repro.channel.trace import CsiTrace
+from repro.exceptions import DatasetError
+
+#: Manifest file name inside a dataset root.
+MANIFEST_NAME = "registry.json"
+
+#: Manifest format version.
+REGISTRY_VERSION = 1
+
+#: Environment variable naming the default dataset root.
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+
+#: Trace formats a dataset entry may declare.
+DATASET_FORMATS = ("npz", "intel-dat", "spotfi-mat")
+
+
+def file_sha256(path: str | Path) -> str:
+    """SHA-256 of a file's bytes, streamed."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class DatasetEntry:
+    """One named capture in a registry manifest."""
+
+    name: str
+    path: str
+    format: str
+    sha256: str
+    description: str = ""
+    ap: dict | None = None
+    ground_truth: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "path": self.path,
+            "format": self.format,
+            "sha256": self.sha256,
+            "description": self.description,
+            "ground_truth": dict(self.ground_truth),
+            "meta": dict(self.meta),
+        }
+        if self.ap is not None:
+            payload["ap"] = dict(self.ap)
+        return payload
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict) -> "DatasetEntry":
+        try:
+            return cls(
+                name=name,
+                path=str(payload["path"]),
+                format=str(payload["format"]),
+                sha256=str(payload["sha256"]),
+                description=str(payload.get("description", "")),
+                ap=payload.get("ap"),
+                ground_truth=dict(payload.get("ground_truth", {})),
+                meta=dict(payload.get("meta", {})),
+            )
+        except KeyError as error:
+            raise DatasetError(f"dataset {name!r}: manifest entry missing {error}") from None
+
+    def access_point(self) -> AccessPoint | None:
+        """The capturing AP's geometry, when the manifest records it."""
+        if self.ap is None:
+            return None
+        try:
+            return AccessPoint(
+                position=tuple(float(v) for v in self.ap["position"]),
+                axis_direction_deg=float(self.ap.get("axis_direction_deg", 0.0)),
+                name=str(self.ap.get("name", self.name)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise DatasetError(f"dataset {self.name!r}: bad AP geometry: {error}") from None
+
+
+def default_data_dir() -> Path:
+    """``$REPRO_DATA_DIR``, else ``./datasets``."""
+    return Path(os.environ.get(DATA_DIR_ENV, "datasets"))
+
+
+class DatasetRegistry:
+    """A manifest of named captures rooted at one directory."""
+
+    def __init__(self, root: str | Path | None = None):
+        root = Path(root) if root is not None else default_data_dir()
+        # Accept either the dataset root directory or the manifest file.
+        if root.suffix == ".json":
+            self.manifest_path = root
+            self.root = root.parent
+        else:
+            self.root = root
+            self.manifest_path = root / MANIFEST_NAME
+        self.entries: dict[str, DatasetEntry] = {}
+        if self.manifest_path.exists():
+            self._load()
+
+    # -- manifest I/O ---------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            payload = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise DatasetError(f"unreadable registry {self.manifest_path}: {error}") from None
+        version = payload.get("version")
+        if version != REGISTRY_VERSION:
+            raise DatasetError(
+                f"registry {self.manifest_path} has version {version!r}; "
+                f"this reader supports {REGISTRY_VERSION}"
+            )
+        self.entries = {
+            name: DatasetEntry.from_dict(name, entry)
+            for name, entry in payload.get("datasets", {}).items()
+        }
+
+    def save(self) -> Path:
+        """Write the manifest atomically."""
+        from repro.runtime.checkpoint import atomic_write
+
+        self.manifest_path.parent.mkdir(parents=True, exist_ok=True)
+        return atomic_write(
+            self.manifest_path,
+            {
+                "version": REGISTRY_VERSION,
+                "datasets": {
+                    name: self.entries[name].to_dict() for name in sorted(self.entries)
+                },
+            },
+        )
+
+    # -- queries --------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def names(self) -> list[str]:
+        return sorted(self.entries)
+
+    def entry(self, name: str) -> DatasetEntry:
+        if name not in self.entries:
+            known = ", ".join(self.names()) or "none registered"
+            raise DatasetError(f"unknown dataset {name!r} (known: {known})")
+        return self.entries[name]
+
+    def resolve_path(self, entry: DatasetEntry) -> Path:
+        path = Path(entry.path)
+        if not path.is_absolute():
+            path = self.manifest_path.parent / path
+        if not path.exists():
+            raise DatasetError(f"dataset {entry.name!r}: file {path} is missing")
+        return path
+
+    def verify(self, name: str) -> Path:
+        """Resolve a dataset's file and check its checksum."""
+        entry = self.entry(name)
+        path = self.resolve_path(entry)
+        actual = file_sha256(path)
+        if actual != entry.sha256:
+            raise DatasetError(
+                f"dataset {name!r}: checksum mismatch for {path} "
+                f"(manifest {entry.sha256[:12]}…, file {actual[:12]}…): "
+                "the capture was modified or corrupted"
+            )
+        return path
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        path: str | Path,
+        *,
+        format: str,
+        description: str = "",
+        ap: dict | None = None,
+        ground_truth: dict | None = None,
+        meta: dict | None = None,
+        overwrite: bool = False,
+    ) -> DatasetEntry:
+        """Add (or replace, with ``overwrite``) one dataset entry.
+
+        The file is checksummed now; the stored path is made relative
+        to the manifest directory when possible so the tree relocates
+        cleanly.
+        """
+        if name in self.entries and not overwrite:
+            raise DatasetError(f"dataset {name!r} already registered (pass overwrite=True)")
+        if format not in DATASET_FORMATS:
+            raise DatasetError(f"unknown dataset format {format!r} (known: {DATASET_FORMATS})")
+        path = Path(path)
+        if not path.exists():
+            raise DatasetError(f"cannot register missing file {path}")
+        try:
+            stored = str(path.resolve().relative_to(self.manifest_path.parent.resolve()))
+        except ValueError:
+            stored = str(path.resolve())
+        entry = DatasetEntry(
+            name=name,
+            path=stored,
+            format=format,
+            sha256=file_sha256(path),
+            description=description,
+            ap=ap,
+            ground_truth=dict(ground_truth or {}),
+            meta=dict(meta or {}),
+        )
+        self.entries[name] = entry
+        return entry
+
+    # -- loading --------------------------------------------------------
+
+    def load_trace(self, name: str) -> CsiTrace:
+        """Open a registered capture: verify, parse, apply ground truth."""
+        entry = self.entry(name)
+        path = self.verify(name)
+        ap = entry.access_point()
+        ap_id = ap.name if ap is not None else ""
+        if entry.format == "npz":
+            from repro.io.npzio import read_npz_trace
+
+            trace = read_npz_trace(path)
+            if ap_id and not trace.ap_id:
+                trace = replace(trace, ap_id=ap_id)
+        elif entry.format == "intel-dat":
+            from repro.io.intel import read_intel_dat
+
+            trace = read_intel_dat(
+                path,
+                ap_id=ap_id,
+                bandwidth_mhz=int(entry.meta.get("bandwidth_mhz", 40)),
+                stream=int(entry.meta.get("stream", 0)),
+            )
+        elif entry.format == "spotfi-mat":
+            from repro.io.matio import read_spotfi_mat
+
+            trace = read_spotfi_mat(
+                path, variable=entry.meta.get("variable"), ap_id=ap_id
+            )
+        else:  # pragma: no cover - register() gates formats
+            raise DatasetError(f"dataset {name!r}: unknown format {entry.format!r}")
+        return self._apply_ground_truth(trace, entry)
+
+    @staticmethod
+    def _apply_ground_truth(trace: CsiTrace, entry: DatasetEntry) -> CsiTrace:
+        truth = entry.ground_truth
+        updates: dict = {}
+        for key in ("direct_aoa_deg", "direct_toa_s", "rssi_dbm", "snr_db"):
+            value = truth.get(key)
+            current = getattr(trace, key)
+            if value is not None and (current is None or np.isnan(current)):
+                updates[key] = float(value)
+        return replace(trace, **updates) if updates else trace

@@ -1,0 +1,191 @@
+"""The one front door for trace resolution.
+
+Every way the codebase obtains a :class:`CsiTrace` — a saved ``.npz``,
+an Intel 5300 ``.dat`` log, a SpotFi ``.mat`` capture, a registered
+``dataset://name``, a ``synthetic://`` scenario — resolves through
+:func:`open_trace` / :func:`open_traces`.  ``CsiTrace.load``, every CLI
+subcommand and every experiment driver delegate here; no other module
+parses trace files.
+
+Resolution rules, in order:
+
+1. A :class:`CsiTrace` instance passes through unchanged.
+2. ``dataset://name`` → the registry (checksum-verified, AP geometry
+   and ground truth applied).
+3. ``synthetic://…`` → the simulator
+   (:mod:`repro.io.synthetic`).
+4. An existing file path → format sniffing: the extension when it is
+   decisive (``.npz``/``.dat``/``.mat``), magic bytes otherwise (npz
+   archives are ZIP, v5 ``.mat`` files open with a MATLAB header, a
+   plausible bfee record header marks an Intel log).
+5. A bare synthetic scenario name (``random``, ``high``, ``medium``,
+   ``low``) — only when no such file exists, so files always win.
+
+``format=`` overrides sniffing for files with misleading names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import IngestError
+
+#: File formats open_trace understands, for the docs/CLI format matrix.
+FILE_FORMATS = ("npz", "intel-dat", "spotfi-mat")
+
+#: Spec prefixes for non-file sources.
+DATASET_PREFIX = "dataset://"
+SYNTHETIC_PREFIX = "synthetic://"
+
+
+@dataclass(frozen=True)
+class TraceSource:
+    """A resolved (but not yet loaded) trace source."""
+
+    spec: str
+    kind: str  # "file" | "dataset" | "synthetic"
+    format: str | None = None  # file kind only
+    path: Path | None = None  # file kind only
+    dataset: str | None = None  # dataset kind only
+
+
+def sniff_format(path: str | Path) -> str:
+    """Identify a trace file's format from its extension, then magic."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".npz":
+        return "npz"
+    if suffix == ".dat":
+        return "intel-dat"
+    if suffix == ".mat":
+        return "spotfi-mat"
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(128)
+    except OSError as error:
+        raise IngestError(f"cannot read {path}: {error}") from error
+    if head.startswith(b"PK\x03\x04"):
+        return "npz"
+    if head.startswith(b"MATLAB"):
+        return "spotfi-mat"
+    if len(head) >= 3:
+        field_len = int.from_bytes(head[:2], "big")
+        # A plausible first record: sane length prefix and a known code
+        # byte (0xBB bfee or 0xC1 beacon-stamp records).
+        if 1 <= field_len <= 4096 and head[2] in (0xBB, 0xC1):
+            return "intel-dat"
+    raise IngestError(
+        f"cannot determine the trace format of {path}; pass format= explicitly "
+        f"(one of {', '.join(FILE_FORMATS)})"
+    )
+
+
+def resolve_source(
+    source: str | Path,
+    *,
+    format: str = "auto",
+) -> TraceSource:
+    """Classify a source spec without loading it (resolution rules above)."""
+    spec = str(source)
+    if spec.startswith(DATASET_PREFIX):
+        name = spec[len(DATASET_PREFIX) :]
+        if not name:
+            raise IngestError("empty dataset name in 'dataset://'")
+        return TraceSource(spec=spec, kind="dataset", dataset=name)
+    if spec.startswith(SYNTHETIC_PREFIX):
+        return TraceSource(spec=spec, kind="synthetic")
+    path = Path(spec)
+    if path.exists():
+        if format == "auto":
+            detected = sniff_format(path)
+        elif format in FILE_FORMATS:
+            detected = format
+        else:
+            raise IngestError(f"unknown format {format!r} (one of {', '.join(FILE_FORMATS)})")
+        return TraceSource(spec=spec, kind="file", format=detected, path=path)
+    from repro.io.synthetic import BARE_SCENARIOS
+
+    head = spec.partition("?")[0]
+    if head in BARE_SCENARIOS:
+        return TraceSource(spec=spec, kind="synthetic")
+    raise IngestError(
+        f"trace source {spec!r} is neither an existing file, a dataset:// "
+        "reference, a synthetic:// spec, nor a known scenario name"
+    )
+
+
+def _load_file(resolved: TraceSource) -> CsiTrace:
+    if resolved.format == "npz":
+        from repro.io.npzio import read_npz_trace
+
+        return read_npz_trace(resolved.path)
+    if resolved.format == "intel-dat":
+        from repro.io.intel import read_intel_dat
+
+        return read_intel_dat(resolved.path)
+    from repro.io.matio import read_spotfi_mat
+
+    return read_spotfi_mat(resolved.path)
+
+
+def open_traces(
+    source: str | Path | CsiTrace,
+    *,
+    format: str = "auto",
+    registry=None,
+    stages=None,
+) -> list[tuple[str, CsiTrace]]:
+    """Resolve a source spec into labeled traces.
+
+    Files and datasets yield one trace (labeled by spec); a synthetic
+    spec yields as many as its ``n`` parameter asks for.  ``stages``
+    (a list of :class:`~repro.io.stages.PreprocessingStage`) is applied
+    to every trace when given.
+    """
+    if isinstance(source, CsiTrace):
+        pairs = [("<trace>", source)]
+    else:
+        resolved = resolve_source(source, format=format)
+        if resolved.kind == "file":
+            pairs = [(resolved.spec, _load_file(resolved))]
+        elif resolved.kind == "dataset":
+            from repro.io.registry import DatasetRegistry
+
+            if registry is None:
+                registry = DatasetRegistry()
+            elif not isinstance(registry, DatasetRegistry):
+                registry = DatasetRegistry(registry)
+            pairs = [(resolved.spec, registry.load_trace(resolved.dataset))]
+        else:
+            from repro.io.synthetic import synthesize_from_spec
+
+            pairs = synthesize_from_spec(resolved.spec)
+    if stages:
+        from repro.io.stages import run_stages
+
+        pairs = [(label, run_stages(trace, stages)[0]) for label, trace in pairs]
+    return pairs
+
+
+def open_trace(
+    source: str | Path | CsiTrace,
+    *,
+    format: str = "auto",
+    registry=None,
+    stages=None,
+) -> CsiTrace:
+    """Resolve a source spec into exactly one :class:`CsiTrace`.
+
+    The single-trace front door (``CsiTrace.load`` delegates here).  A
+    synthetic spec that expands to several traces is rejected — use
+    :func:`open_traces` for fan-out sources.
+    """
+    pairs = open_traces(source, format=format, registry=registry, stages=stages)
+    if len(pairs) != 1:
+        raise IngestError(
+            f"source {source!r} resolves to {len(pairs)} traces; open_trace "
+            "expects exactly one (use open_traces)"
+        )
+    return pairs[0][1]

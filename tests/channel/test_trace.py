@@ -71,3 +71,61 @@ class TestRoundTrip:
         trace.save(path)
         loaded = CsiTrace.load(path)
         assert loaded.subset(1).n_packets == 1
+
+
+class TestCaptureMetadata:
+    """The capture-provenance fields added for real-trace support."""
+
+    def test_metadata_round_trips(self, rng, tmp_path):
+        from dataclasses import replace
+
+        trace = replace(
+            make_trace(rng),
+            capture_times_s=np.array([0.0, 0.01, 0.02, 0.031]),
+            ap_id="ap-west",
+            source_format="intel-dat",
+        )
+        path = tmp_path / "meta.npz"
+        trace.save(path)
+        loaded = CsiTrace.load(path)
+        assert loaded.equals(trace)
+        assert loaded.ap_id == "ap-west"
+        assert loaded.source_format == "intel-dat"
+        np.testing.assert_array_equal(loaded.capture_times_s, trace.capture_times_s)
+
+    def test_old_archive_without_metadata_defaults(self, rng, tmp_path):
+        # An archive written before the metadata fields existed: only
+        # the original field set.  It must load with defaults.
+        path = tmp_path / "old.npz"
+        csi = rng.standard_normal((2, 3, 30)) + 1j * rng.standard_normal((2, 3, 30))
+        np.savez(path, csi=csi, snr_db=9.0)
+        loaded = CsiTrace.load(path)
+        assert loaded.ap_id == ""
+        assert loaded.source_format == ""
+        assert loaded.capture_times_s.shape == (0,)
+        assert np.isnan(loaded.direct_aoa_deg)
+
+    def test_unknown_future_field_warns_and_is_ignored(self, rng, tmp_path):
+        path = tmp_path / "future.npz"
+        csi = rng.standard_normal((2, 3, 30)) + 1j * rng.standard_normal((2, 3, 30))
+        np.savez(path, csi=csi, snr_db=9.0, polarization_map=np.eye(3))
+        with pytest.warns(RuntimeWarning, match="unknown trace fields"):
+            loaded = CsiTrace.load(path)
+        assert loaded.n_packets == 2
+
+    def test_missing_mandatory_field_rejected(self, rng, tmp_path):
+        from repro.exceptions import IngestError
+
+        path = tmp_path / "broken.npz"
+        np.savez(path, snr_db=9.0)
+        with pytest.raises(IngestError, match="missing"):
+            CsiTrace.load(path)
+
+    def test_subset_slices_capture_times(self, rng):
+        from dataclasses import replace
+
+        trace = replace(
+            make_trace(rng), capture_times_s=np.array([0.0, 0.1, 0.2, 0.3])
+        )
+        subset = trace.subset(2)
+        np.testing.assert_array_equal(subset.capture_times_s, [0.0, 0.1])

@@ -1,0 +1,183 @@
+"""Regenerate the committed real-format capture fixtures.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/fixtures/generate_real_captures.py
+
+Produces, under ``tests/fixtures/real_captures/``:
+
+* ``ap_west.dat`` / ``ap_east.dat`` / ``ap_south_1.dat`` — Intel 5300
+  logs for one static client seen by three classroom APs.  The CSI is
+  synthesized from the scene geometry (so the ground truth in the
+  registry is exact), quantized to the int8 wire format, and encoded
+  through :func:`repro.io.intel.write_intel_dat` — an independent
+  implementation of the bit packing the parser decodes.
+* ``sample_spotfi.mat`` — a SpotFi-style single-packet capture
+  (``sample_csi_trace``, flat 90-vector), MATLAB v5.
+* ``sto_golden.npz`` — the pinned output of SpotFi STO removal
+  (20 MHz raw-index grid) on the ``.mat`` capture; the golden test
+  compares against it bit-for-bit.
+* ``registry.json`` — the dataset manifest binding the captures to
+  their AP geometry and site-survey ground truth.
+
+Deterministic by construction: fixed seeds, fixed client position.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.channel.constants import SPEED_OF_LIGHT
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.geometry import Scene
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.ofdm import intel5300_layout
+from repro.experiments.scenarios import classroom_access_points, classroom_room
+from repro.io.intel import write_intel_dat
+from repro.io.registry import DatasetRegistry
+from repro.io.stages import StoRemoval
+from repro.runtime.checkpoint import atomic_write
+
+FIXTURE_DIR = Path(__file__).parent / "real_captures"
+
+#: The surveyed client position (meters) the captures were "taken" at.
+CLIENT = (5.0, 4.0)
+
+#: Deterministic scatterers (furniture) shared by every AP link.
+SCATTERERS = [(9.0, 9.5), (13.5, 3.0), (3.0, 10.0)]
+
+N_PACKETS = 8
+SNR_DB = 22.0
+SEED = 2017
+
+#: Per-chain RSSI field written into every bfee record.
+RSSI_FIELD = 33
+
+#: How far int8 quantization reaches; < 127 leaves headroom, and a
+#: large value keeps quantization noise ~40 dB below the signal.
+QUANT_FULL_SCALE = 110.0
+
+
+def quantize(csi: np.ndarray) -> np.ndarray:
+    """Scale a complex batch into int8-valued components."""
+    peak = max(np.abs(csi.real).max(), np.abs(csi.imag).max())
+    scaled = csi / peak * QUANT_FULL_SCALE
+    return np.round(scaled.real) + 1j * np.round(scaled.imag)
+
+
+def agc_for(snr_db: float, *, noise_dbm: float = -92.0) -> int:
+    """The AGC field making the parser's measured SNR equal ``snr_db``."""
+    rssi_mag_db = RSSI_FIELD + 10.0 * np.log10(3.0)
+    return int(round(rssi_mag_db - 44.0 - (noise_dbm + snr_db)))
+
+
+def main() -> None:
+    FIXTURE_DIR.mkdir(parents=True, exist_ok=True)
+    room = classroom_room()
+    aps = classroom_access_points(3, room)
+    scene = Scene(room=room, access_points=aps, client=CLIENT, scatterers=SCATTERERS)
+    array = UniformLinearArray()
+    layout = intel5300_layout()
+    # Real-capture fixtures: detection delay on (that is what STO
+    # removal is for), per-boot phase offsets off (calibrated boot),
+    # mild CFO residue.
+    impairments = ImpairmentModel(
+        detection_delay_range_s=100e-9,
+        phase_offset_std_rad=0.0,
+        sfo_std_s=1e-9,
+        cfo_residual_rad=0.2,
+    )
+    rng = np.random.default_rng(SEED)
+
+    registry = DatasetRegistry(FIXTURE_DIR)
+    registry.entries.clear()
+    for index, ap in enumerate(aps):
+        profile = scene.multipath_profile(index, layout.wavelength)
+        synthesizer = CsiSynthesizer(array, layout, impairments, seed=SEED + index)
+        trace = synthesizer.packets(
+            profile, n_packets=N_PACKETS, snr_db=SNR_DB, rng=rng
+        )
+        name = ap.name.replace("-", "_")
+        path = FIXTURE_DIR / f"{name}.dat"
+        write_intel_dat(
+            path,
+            quantize(trace.csi),
+            timestamps_us=np.arange(N_PACKETS, dtype=np.int64) * 5_000 + 120_000,
+            rssi=(RSSI_FIELD, RSSI_FIELD, RSSI_FIELD),
+            agc=agc_for(SNR_DB),
+        )
+        registry.register(
+            f"lab/{ap.name}",
+            path,
+            format="intel-dat",
+            description=f"classroom capture, client at {CLIENT}, AP {ap.name}",
+            ap={
+                "name": ap.name,
+                "position": list(ap.position),
+                "axis_direction_deg": ap.axis_direction_deg,
+            },
+            ground_truth={
+                "direct_aoa_deg": scene.ground_truth_aoa(index),
+                "direct_toa_s": scene.ground_truth_distance(index) / SPEED_OF_LIGHT,
+                "client": list(CLIENT),
+                "room": [room.width, room.depth],
+            },
+            meta={"bandwidth_mhz": 40, "n_packets": N_PACKETS},
+            overwrite=True,
+        )
+        print(f"wrote {path} ({path.stat().st_size} bytes), AoA truth "
+              f"{scene.ground_truth_aoa(index):.1f} deg")
+
+    # SpotFi-style .mat sample: one 3x30 packet from the ap-west link,
+    # stored antenna-major as the canonical flat 90-vector.
+    from scipy.io import savemat
+
+    profile = scene.multipath_profile(0, layout.wavelength)
+    synthesizer = CsiSynthesizer(array, layout, impairments, seed=SEED + 100)
+    mat_trace = synthesizer.packets(profile, n_packets=1, snr_db=SNR_DB, rng=rng)
+    sample = mat_trace.csi[0].reshape(-1)
+    mat_path = FIXTURE_DIR / "sample_spotfi.mat"
+    savemat(mat_path, {"sample_csi_trace": sample})
+    registry.register(
+        "lab/spotfi-sample",
+        mat_path,
+        format="spotfi-mat",
+        description="single-packet SpotFi-style sample capture",
+        ap={
+            "name": aps[0].name,
+            "position": list(aps[0].position),
+            "axis_direction_deg": aps[0].axis_direction_deg,
+        },
+        ground_truth={"direct_aoa_deg": scene.ground_truth_aoa(0)},
+        meta={"variable": "sample_csi_trace"},
+        overwrite=True,
+    )
+    print(f"wrote {mat_path} ({mat_path.stat().st_size} bytes)")
+
+    # Pin the STO-removal golden: the .mat capture through the 20 MHz
+    # raw-index SpotFi grid.
+    from repro.io.matio import read_spotfi_mat
+
+    loaded = read_spotfi_mat(mat_path)
+    cleaned, report = StoRemoval.for_bandwidth(20).apply(loaded)
+    golden_path = FIXTURE_DIR / "sto_golden.npz"
+    atomic_write(
+        golden_path,
+        lambda handle: np.savez_compressed(
+            handle,
+            cleaned_csi=cleaned.csi,
+            slopes_rad=np.asarray(report.details["slopes_rad"]),
+            delays_ns=np.asarray(report.details["delays_ns"]),
+        ),
+    )
+    print(f"wrote {golden_path} (slope {report.details['slopes_rad'][0]:+.6f} rad/index)")
+
+    registry.save()
+    print(f"wrote {registry.manifest_path} ({len(registry.entries)} datasets)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Shared fixtures for the repro.io tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.ofdm import intel5300_layout
+from repro.channel.paths import MultipathProfile, PropagationPath
+
+FIXTURE_DIR = Path(__file__).parent.parent / "fixtures" / "real_captures"
+
+
+@pytest.fixture
+def fixture_dir() -> Path:
+    return FIXTURE_DIR
+
+
+@pytest.fixture
+def smooth_trace(rng):
+    """A realistic multipath trace with smooth per-antenna phase.
+
+    STO-removal property tests need channels whose unwrapped phase is
+    well defined — white random-phase matrices flip unwrap branches and
+    are not representative of any physical channel.
+    """
+    profile = MultipathProfile(
+        paths=[
+            PropagationPath(aoa_deg=72.0, toa_s=35e-9, gain=1.0 + 0.0j, is_direct=True),
+            PropagationPath(aoa_deg=121.0, toa_s=150e-9, gain=0.35 * np.exp(0.7j)),
+            PropagationPath(aoa_deg=48.0, toa_s=260e-9, gain=0.2 * np.exp(-1.1j)),
+        ]
+    )
+    synthesizer = CsiSynthesizer(
+        UniformLinearArray(),
+        intel5300_layout(),
+        ImpairmentModel(
+            detection_delay_range_s=80e-9,
+            phase_offset_std_rad=0.0,
+            sfo_std_s=0.0,
+            cfo_residual_rad=0.1,
+        ),
+        seed=7,
+    )
+    return synthesizer.packets(profile, n_packets=6, snr_db=25.0, rng=rng)
+
+
+@pytest.fixture
+def int8_csi(rng):
+    """Random integer-valued complex CSI, shape (packets, 3, 30)."""
+    real = rng.integers(-128, 128, size=(5, 3, 30))
+    imag = rng.integers(-128, 128, size=(5, 3, 30))
+    return real + 1j * imag

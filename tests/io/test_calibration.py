@@ -1,0 +1,132 @@
+"""Calibration fitting: accuracy, JSON round-trip, model closure."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.channel.array import UniformLinearArray
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.ofdm import intel5300_layout
+from repro.channel.paths import random_profile
+from repro.exceptions import CalibrationError
+from repro.io.calibration import CalibrationReport, fit_calibration
+
+
+def synth_trace(model, *, n_packets=40, seed=3, snr_db=35.0):
+    synthesizer = CsiSynthesizer(
+        UniformLinearArray(), intel5300_layout(), model, seed=seed
+    )
+    rng = np.random.default_rng(seed)
+    profile = random_profile(rng, n_paths=1, direct_aoa_deg=90.0)
+    return synthesizer.packets(profile, n_packets=n_packets, snr_db=snr_db, rng=rng)
+
+
+class TestAccuracy:
+    def test_recovers_injected_delay_range(self):
+        model = ImpairmentModel(
+            detection_delay_range_s=100e-9,
+            phase_offset_std_rad=0.0,
+            sfo_std_s=0.0,
+            cfo_residual_rad=0.0,
+        )
+        report = fit_calibration(synth_trace(model))
+        # Relative delays are drawn uniformly inside the window; the
+        # observed spread must sit inside it and, with 40 packets,
+        # cover most of it.
+        assert 50e-9 < report.detection_delay_range_s <= 105e-9
+        assert report.cfo_residual_rad < 0.05
+
+    def test_recovers_injected_phase_offsets(self):
+        model = ImpairmentModel(
+            detection_delay_range_s=0.0,
+            phase_offset_std_rad=0.8,
+            sfo_std_s=0.0,
+            cfo_residual_rad=0.0,
+        )
+        trace = synth_trace(model)
+        report = fit_calibration(trace)
+        assert report.phase_offsets_rad[0] == 0.0
+        # Offsets are static per boot, so the fit should be stable.
+        assert report.phase_offset_stability_rad < 0.05
+        assert max(abs(o) for o in report.phase_offsets_rad) > 0.05
+
+    def test_recovers_injected_cfo(self):
+        model = ImpairmentModel(
+            detection_delay_range_s=0.0,
+            phase_offset_std_rad=0.0,
+            sfo_std_s=0.0,
+            cfo_residual_rad=0.2,
+        )
+        report = fit_calibration(synth_trace(model))
+        assert report.cfo_residual_rad == pytest.approx(0.2, abs=0.05)
+
+    def test_clean_trace_reports_near_zero(self):
+        model = ImpairmentModel(
+            detection_delay_range_s=0.0,
+            phase_offset_std_rad=0.0,
+            sfo_std_s=0.0,
+            cfo_residual_rad=0.0,
+        )
+        report = fit_calibration(synth_trace(model))
+        assert report.detection_delay_range_s < 5e-9
+        assert report.cfo_residual_rad < 0.05
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_exact(self):
+        report = fit_calibration(synth_trace(ImpairmentModel()))
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert CalibrationReport.from_dict(payload) == report
+
+    def test_to_impairment_model_closes_the_loop(self):
+        report = fit_calibration(synth_trace(ImpairmentModel()))
+        model = report.to_impairment_model()
+        assert model.detection_delay_range_s == report.detection_delay_range_s
+        assert model.sfo_std_s == report.sfo_std_s
+        assert model.cfo_residual_rad == report.cfo_residual_rad
+        override = report.to_impairment_model(cfo_residual_rad=0.0)
+        assert override.cfo_residual_rad == 0.0
+
+    def test_to_correction_stage_undoes_offsets(self):
+        model = ImpairmentModel(
+            detection_delay_range_s=0.0,
+            phase_offset_std_rad=0.8,
+            sfo_std_s=0.0,
+            cfo_residual_rad=0.0,
+        )
+        trace = synth_trace(model)
+        stage = fit_calibration(trace).to_correction_stage()
+        corrected, report = stage.apply(trace)
+        assert report.changed
+        residual = fit_calibration(corrected)
+        assert max(abs(o) for o in residual.phase_offsets_rad) < 0.05
+
+
+class TestErrors:
+    def test_empty_trace_rejected(self):
+        from repro.channel.trace import CsiTrace
+
+        empty = CsiTrace(csi=np.zeros((0, 3, 30), dtype=complex), snr_db=10.0)
+        with pytest.raises(CalibrationError, match="empty"):
+            fit_calibration(empty)
+
+    def test_single_antenna_rejected(self, rng):
+        from repro.channel.trace import CsiTrace
+
+        mono = CsiTrace(
+            csi=rng.standard_normal((4, 1, 30)) + 0j, snr_db=10.0
+        )
+        with pytest.raises(CalibrationError, match=">= 2 antennas"):
+            fit_calibration(mono)
+
+
+class TestSpans:
+    def test_span_emitted_with_annotations(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        fit_calibration(synth_trace(ImpairmentModel()), tracer=tracer)
+        span = next(s for s in tracer.spans if s.name == "calibration_fit")
+        assert "detection_delay_range_ns" in span.attributes

@@ -1,0 +1,91 @@
+"""SpotFi .mat capture reader tests."""
+
+import numpy as np
+import pytest
+from scipy.io import savemat
+
+from repro.exceptions import IngestError
+from repro.io.matio import read_spotfi_mat
+
+
+def complex_csi(rng, shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestLayouts:
+    def test_flat_vector_is_antenna_major(self, tmp_path, rng):
+        csi = complex_csi(rng, (3, 30))
+        path = tmp_path / "flat.mat"
+        savemat(path, {"csi": csi.reshape(-1)})
+        trace = read_spotfi_mat(path)
+        assert trace.csi.shape == (1, 3, 30)
+        np.testing.assert_allclose(trace.csi[0], csi)
+        assert trace.source_format == "spotfi-mat"
+
+    def test_2d_antennas_by_subcarriers(self, tmp_path, rng):
+        csi = complex_csi(rng, (3, 30))
+        path = tmp_path / "matrix.mat"
+        savemat(path, {"csi": csi})
+        np.testing.assert_allclose(read_spotfi_mat(path).csi[0], csi)
+
+    def test_2d_transposed_is_disambiguated(self, tmp_path, rng):
+        csi = complex_csi(rng, (3, 30))
+        path = tmp_path / "transposed.mat"
+        savemat(path, {"csi": csi.T})
+        np.testing.assert_allclose(read_spotfi_mat(path).csi[0], csi)
+
+    def test_3d_packet_batch(self, tmp_path, rng):
+        csi = complex_csi(rng, (4, 3, 30))
+        path = tmp_path / "batch.mat"
+        savemat(path, {"csi_trace": csi})
+        trace = read_spotfi_mat(path)
+        assert trace.csi.shape == (4, 3, 30)
+        np.testing.assert_allclose(trace.csi, csi)
+
+
+class TestVariables:
+    def test_candidate_names_searched_in_order(self, tmp_path, rng):
+        csi = complex_csi(rng, (3, 30))
+        path = tmp_path / "named.mat"
+        savemat(path, {"sample_csi_trace": csi, "unrelated": np.arange(4)})
+        np.testing.assert_allclose(read_spotfi_mat(path).csi[0], csi)
+
+    def test_explicit_variable_wins(self, tmp_path, rng):
+        wanted = complex_csi(rng, (3, 30))
+        decoy = complex_csi(rng, (3, 30))
+        path = tmp_path / "two.mat"
+        savemat(path, {"csi": decoy, "mine": wanted})
+        np.testing.assert_allclose(
+            read_spotfi_mat(path, variable="mine").csi[0], wanted
+        )
+
+    def test_missing_variable_rejected(self, tmp_path, rng):
+        path = tmp_path / "missing.mat"
+        savemat(path, {"csi": complex_csi(rng, (3, 30))})
+        with pytest.raises(IngestError, match="no variable 'nope'"):
+            read_spotfi_mat(path, variable="nope")
+
+    def test_no_candidate_rejected(self, tmp_path):
+        path = tmp_path / "none.mat"
+        savemat(path, {"unrelated": np.arange(4)})
+        with pytest.raises(IngestError):
+            read_spotfi_mat(path)
+
+    def test_real_valued_csi_warns(self, tmp_path, rng):
+        path = tmp_path / "real.mat"
+        savemat(path, {"csi": rng.standard_normal((3, 30))})
+        with pytest.warns(RuntimeWarning, match="real"):
+            read_spotfi_mat(path)
+
+    def test_not_a_mat_file(self, tmp_path):
+        path = tmp_path / "junk.mat"
+        path.write_bytes(b"this is not matlab")
+        with pytest.raises(IngestError):
+            read_spotfi_mat(path)
+
+
+class TestFixture:
+    def test_committed_sample_parses(self, fixture_dir):
+        trace = read_spotfi_mat(fixture_dir / "sample_spotfi.mat")
+        assert trace.csi.shape == (1, 3, 30)
+        assert np.all(np.isfinite(trace.csi))

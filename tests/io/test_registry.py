@@ -1,0 +1,129 @@
+"""Dataset registry manifest / checksum / ground-truth tests."""
+
+import numpy as np
+import pytest
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import DatasetError
+from repro.io.intel import write_intel_dat
+from repro.io.registry import DatasetRegistry, file_sha256
+
+
+@pytest.fixture
+def capture(tmp_path, int8_csi):
+    path = tmp_path / "captures" / "west.dat"
+    path.parent.mkdir()
+    write_intel_dat(path, int8_csi)
+    return path
+
+
+class TestRegistration:
+    def test_register_save_load_round_trip(self, tmp_path, capture):
+        registry = DatasetRegistry(tmp_path)
+        registry.register(
+            "lab/west",
+            capture,
+            format="intel-dat",
+            description="west wall AP",
+            ap={"position": [0.0, 6.0], "axis_direction_deg": 0.0, "name": "ap-west"},
+            ground_truth={"direct_aoa_deg": 111.8},
+        )
+        registry.save()
+
+        reloaded = DatasetRegistry(tmp_path)
+        entry = reloaded.entry("lab/west")
+        assert entry.format == "intel-dat"
+        assert entry.description == "west wall AP"
+        assert entry.sha256 == file_sha256(capture)
+        ap = entry.access_point()
+        assert ap is not None and ap.name == "ap-west"
+        assert ap.position == (0.0, 6.0)
+
+    def test_paths_stored_relative(self, tmp_path, capture):
+        registry = DatasetRegistry(tmp_path)
+        registry.register("d", capture, format="intel-dat")
+        assert registry.entries["d"].path == "captures/west.dat"
+
+    def test_duplicate_needs_overwrite(self, tmp_path, capture):
+        registry = DatasetRegistry(tmp_path)
+        registry.register("d", capture, format="intel-dat")
+        with pytest.raises(DatasetError, match="already registered"):
+            registry.register("d", capture, format="intel-dat")
+        registry.register("d", capture, format="intel-dat", overwrite=True)
+
+    def test_unknown_format_rejected(self, tmp_path, capture):
+        with pytest.raises(DatasetError, match="unknown dataset format"):
+            DatasetRegistry(tmp_path).register("d", capture, format="csv")
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DatasetError, match="missing file"):
+            DatasetRegistry(tmp_path).register(
+                "d", tmp_path / "ghost.dat", format="intel-dat"
+            )
+
+
+class TestIntegrity:
+    def test_checksum_verified_on_load(self, tmp_path, capture):
+        registry = DatasetRegistry(tmp_path)
+        registry.register("d", capture, format="intel-dat")
+        registry.save()
+        capture.write_bytes(capture.read_bytes() + b"\x00")
+        with pytest.raises(DatasetError, match="checksum mismatch"):
+            DatasetRegistry(tmp_path).load_trace("d")
+
+    def test_unknown_name_lists_known(self, tmp_path, capture):
+        registry = DatasetRegistry(tmp_path)
+        registry.register("d", capture, format="intel-dat")
+        with pytest.raises(DatasetError, match="unknown dataset 'nope'.*known: d"):
+            registry.entry("nope")
+
+    def test_bad_manifest_version_rejected(self, tmp_path):
+        (tmp_path / "registry.json").write_text('{"version": 99, "datasets": {}}')
+        with pytest.raises(DatasetError, match="version"):
+            DatasetRegistry(tmp_path)
+
+
+class TestGroundTruth:
+    def test_truth_fills_nan_fields(self, tmp_path, capture):
+        registry = DatasetRegistry(tmp_path)
+        registry.register(
+            "d",
+            capture,
+            format="intel-dat",
+            ground_truth={"direct_aoa_deg": 111.8, "direct_toa_s": 3.3e-8},
+        )
+        trace = registry.load_trace("d")
+        assert trace.direct_aoa_deg == 111.8
+        assert trace.direct_toa_s == 3.3e-8
+
+    def test_truth_does_not_override_measured(self, tmp_path, rng):
+        # snr_db is measured by the parser from npz; the survey value
+        # must not clobber it.
+        trace = CsiTrace(csi=rng.standard_normal((1, 3, 30)) + 0j, snr_db=17.0)
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        registry = DatasetRegistry(tmp_path)
+        registry.register("d", path, format="npz", ground_truth={"snr_db": 99.0})
+        assert registry.load_trace("d").snr_db == 17.0
+
+    def test_ap_id_applied(self, tmp_path, capture):
+        registry = DatasetRegistry(tmp_path)
+        registry.register(
+            "d", capture, format="intel-dat", ap={"position": [0, 0], "name": "ap-x"}
+        )
+        assert registry.load_trace("d").ap_id == "ap-x"
+
+
+class TestCommittedFixtures:
+    def test_fixture_manifest_loads_all(self, fixture_dir):
+        registry = DatasetRegistry(fixture_dir)
+        assert registry.names() == [
+            "lab/ap-east",
+            "lab/ap-south-1",
+            "lab/ap-west",
+            "lab/spotfi-sample",
+        ]
+        for name in registry.names():
+            trace = registry.load_trace(name)
+            assert trace.n_antennas == 3
+            assert np.all(np.isfinite(trace.csi))

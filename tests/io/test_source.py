@@ -1,0 +1,218 @@
+"""open_trace / resolve_source resolution-rule tests."""
+
+import numpy as np
+import pytest
+from scipy.io import savemat
+
+from repro.channel.trace import CsiTrace
+from repro.exceptions import IngestError
+from repro.io import (
+    open_trace,
+    open_traces,
+    resolve_source,
+    scenario_band,
+    sniff_format,
+    synthesize_from_spec,
+)
+from repro.io.intel import write_intel_dat
+
+
+class TestSniffing:
+    def test_extensions_are_decisive(self, tmp_path):
+        for name, expected in (
+            ("a.npz", "npz"),
+            ("b.dat", "intel-dat"),
+            ("c.mat", "spotfi-mat"),
+        ):
+            # Extension sniffing never opens the file.
+            assert sniff_format(tmp_path / name) == expected
+
+    def test_magic_npz(self, tmp_path, rng):
+        path = tmp_path / "archive.bin"
+        trace = CsiTrace(csi=rng.standard_normal((1, 3, 30)) + 0j, snr_db=5.0)
+        trace.save(tmp_path / "t.npz")
+        path.write_bytes((tmp_path / "t.npz").read_bytes())
+        assert sniff_format(path) == "npz"
+
+    def test_magic_matlab(self, tmp_path, rng):
+        path = tmp_path / "capture.bin"
+        savemat(tmp_path / "c.mat", {"csi": rng.standard_normal((3, 30)) + 0j})
+        path.write_bytes((tmp_path / "c.mat").read_bytes())
+        assert sniff_format(path) == "spotfi-mat"
+
+    def test_magic_intel(self, tmp_path, int8_csi):
+        path = tmp_path / "log.bin"
+        write_intel_dat(tmp_path / "l.dat", int8_csi)
+        path.write_bytes((tmp_path / "l.dat").read_bytes())
+        assert sniff_format(path) == "intel-dat"
+
+    def test_unrecognized_rejected(self, tmp_path):
+        path = tmp_path / "mystery.bin"
+        path.write_bytes(b"\x00\x00\x00garbage")
+        with pytest.raises(IngestError, match="cannot determine"):
+            sniff_format(path)
+
+
+class TestResolutionRules:
+    def test_dataset_prefix(self):
+        resolved = resolve_source("dataset://lab/ap-west")
+        assert resolved.kind == "dataset"
+        assert resolved.dataset == "lab/ap-west"
+
+    def test_empty_dataset_name_rejected(self):
+        with pytest.raises(IngestError, match="empty dataset name"):
+            resolve_source("dataset://")
+
+    def test_synthetic_prefix(self):
+        assert resolve_source("synthetic://random?n=2").kind == "synthetic"
+
+    def test_existing_file_wins_over_scenario_name(self, tmp_path, rng, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        trace = CsiTrace(csi=rng.standard_normal((1, 3, 30)) + 0j, snr_db=5.0)
+        trace.save(tmp_path / "t.npz")
+        (tmp_path / "medium").write_bytes((tmp_path / "t.npz").read_bytes())
+        resolved = resolve_source("medium")
+        assert resolved.kind == "file"
+        assert resolved.format == "npz"
+
+    def test_bare_scenario_name_when_no_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert resolve_source("medium").kind == "synthetic"
+        assert resolve_source("random?n=2").kind == "synthetic"
+
+    def test_unknown_source_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(IngestError, match="neither an existing file"):
+            resolve_source("no-such-thing")
+
+    def test_format_override(self, tmp_path, int8_csi):
+        path = tmp_path / "misleading.npz"
+        write_intel_dat(path, int8_csi)
+        assert resolve_source(path, format="intel-dat").format == "intel-dat"
+        with pytest.raises(IngestError, match="unknown format"):
+            resolve_source(path, format="csv")
+
+
+class TestOpenTrace:
+    def test_trace_instance_passes_through(self, rng):
+        trace = CsiTrace(csi=rng.standard_normal((1, 3, 30)) + 0j, snr_db=5.0)
+        assert open_trace(trace) is trace
+
+    def test_npz_round_trip(self, tmp_path, rng):
+        trace = CsiTrace(csi=rng.standard_normal((2, 3, 30)) + 0j, snr_db=5.0)
+        path = tmp_path / "t.npz"
+        trace.save(path)
+        assert open_trace(path).equals(trace)
+
+    def test_dat_equals_parser(self, tmp_path, int8_csi):
+        from repro.io.intel import read_intel_dat
+
+        path = tmp_path / "t.dat"
+        write_intel_dat(path, int8_csi)
+        assert open_trace(path).equals(read_intel_dat(path))
+
+    def test_dataset_source(self, fixture_dir):
+        trace = open_trace("dataset://lab/ap-west", registry=fixture_dir)
+        assert trace.source_format == "intel-dat"
+        assert trace.ap_id == "ap-west"
+        assert not np.isnan(trace.direct_aoa_deg)
+
+    def test_fan_out_rejected(self):
+        with pytest.raises(IngestError, match="resolves to 3 traces"):
+            open_trace("synthetic://random?n=3")
+
+    def test_single_synthetic_allowed(self):
+        trace = open_trace("synthetic://fixed?aoa=140&packets=4")
+        assert trace.n_packets == 4
+        assert trace.direct_aoa_deg == 140.0
+
+    def test_stages_applied(self, fixture_dir):
+        from repro.io import StoRemoval
+
+        raw = open_trace("dataset://lab/ap-west", registry=fixture_dir)
+        cleaned = open_trace(
+            "dataset://lab/ap-west",
+            registry=fixture_dir,
+            stages=[StoRemoval.for_bandwidth(40)],
+        )
+        assert not np.allclose(cleaned.csi, raw.csi)
+
+    def test_csitrace_load_delegates_here(self, tmp_path, int8_csi):
+        # The API-redesign contract: CsiTrace.load accepts every source
+        # the front door accepts, including non-npz formats.
+        path = tmp_path / "t.dat"
+        write_intel_dat(path, int8_csi)
+        assert CsiTrace.load(path).source_format == "intel-dat"
+
+
+class TestSyntheticSpecs:
+    def test_random_matches_legacy_batch_loop(self):
+        # The exact generation the old `roarray batch --synthetic N`
+        # performed, for checkpoint/golden compatibility.
+        from repro.channel.array import UniformLinearArray
+        from repro.channel.csi import CsiSynthesizer
+        from repro.channel.impairments import ImpairmentModel
+        from repro.channel.ofdm import intel5300_layout
+        from repro.channel.paths import random_profile
+
+        seed, packets, snr = 3, 6, 9.0
+        rng = np.random.default_rng(seed)
+        synthesizer = CsiSynthesizer(
+            UniformLinearArray(), intel5300_layout(), ImpairmentModel(), seed=seed
+        )
+        legacy = []
+        for _ in range(2):
+            profile = random_profile(
+                rng, n_paths=4, direct_aoa_deg=float(rng.uniform(20, 160))
+            )
+            legacy.append(
+                synthesizer.packets(profile, n_packets=packets, snr_db=snr, rng=rng)
+            )
+
+        pairs = synthesize_from_spec(f"synthetic://random?n=2&packets={packets}&snr={snr:g}&seed={seed}")
+        assert [label for label, _ in pairs] == ["synthetic[0]", "synthetic[1]"]
+        for (_, trace), want in zip(pairs, legacy):
+            assert trace.equals(want)
+
+    def test_band_scenario_labels(self):
+        pairs = synthesize_from_spec("synthetic://band/medium?n=2&seed=1")
+        assert [label for label, _ in pairs] == ["medium[0]", "medium[1]"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(IngestError, match="unknown synthetic scenario"):
+            synthesize_from_spec("synthetic://weird")
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(IngestError, match="unknown synthetic spec parameter"):
+            synthesize_from_spec("synthetic://random?bogus=1")
+
+    def test_bad_parameter_value_rejected(self):
+        with pytest.raises(IngestError, match="not an int"):
+            synthesize_from_spec("synthetic://random?n=many")
+
+    def test_deterministic(self):
+        a = synthesize_from_spec("synthetic://fixed?aoa=100&seed=5")[0][1]
+        b = synthesize_from_spec("synthetic://fixed?aoa=100&seed=5")[0][1]
+        assert a.equals(b)
+
+
+class TestScenarioBand:
+    def test_bare_and_spec_spellings(self):
+        assert scenario_band("medium") == "medium"
+        assert scenario_band("synthetic://band/medium") == "medium"
+        assert scenario_band("synthetic://low") == "low"
+
+    def test_rejects_non_band(self):
+        with pytest.raises(IngestError, match="not an SNR band"):
+            scenario_band("random")
+
+    def test_rejects_parameters(self):
+        with pytest.raises(IngestError, match="must not carry parameters"):
+            scenario_band("synthetic://band/medium?n=3")
+
+
+class TestOpenTraces:
+    def test_fan_out_labels(self):
+        pairs = open_traces("synthetic://random?n=2&seed=4")
+        assert len(pairs) == 2
+        assert [label for label, _ in pairs] == ["synthetic[0]", "synthetic[1]"]
