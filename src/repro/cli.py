@@ -227,10 +227,17 @@ def cmd_ingest(args: argparse.Namespace) -> int:
             if record.dataset:
                 line += f" (dataset://{record.dataset})"
         else:
-            line = f"FAILED ({record.error})"
+            line = f"FAILED [{record.error_kind or 'unknown'}] ({record.error})"
         emit(f"  {record.label:<28} {line}")
     if result.n_replayed:
         emit(f"{result.n_replayed} source(s) replayed from checkpoint", stream=sys.stderr)
+    if result.n_failed:
+        emit("failure summary:")
+        for group in result.failure_summary():
+            emit(
+                f"  {group['count']:>4}× [{group['error_kind']}] {group['error']}"
+                f" (e.g. {group['sources'][0]})"
+            )
     emit(f"{len(result.records) - result.n_failed}/{len(result.records)} trace(s) ingested")
     return 0 if result.ok else 1
 
@@ -567,7 +574,39 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_serve(args: argparse.Namespace) -> int:
+    """``roarray chaos --serve``: the service-level resilience drills."""
+    from repro.experiments.reporting.console import emit, emit_json
+    from repro.serve import ServeChaosOptions, run_serve_chaos
+
+    options = ServeChaosOptions(seed=args.seed)
+    result = run_serve_chaos(options, scenarios=args.scenario or None)
+    scorecard = result.scorecard()
+    if args.scorecard:
+        from repro.runtime.checkpoint import atomic_write
+
+        atomic_write(args.scorecard, scorecard)
+    if args.json:
+        emit_json(scorecard)
+        return 0 if result.passed else 1
+    emit(
+        f"serve chaos: {result.n_passed}/{len(result.outcomes)} scenario(s) passed"
+        + (f" | scorecard: {args.scorecard}" if args.scorecard else "")
+    )
+    for outcome in result.outcomes:
+        verdict = "PASS" if outcome.passed else "FAIL"
+        highlights = ", ".join(
+            f"{key}={value}"
+            for key, value in outcome.details.items()
+            if isinstance(value, (int, float, str, bool))
+        )
+        emit(f"  [{verdict}] {outcome.name}: {highlights}")
+    return 0 if result.passed else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if args.serve:
+        return _chaos_serve(args)
     from repro.experiments.reporting.console import emit, emit_json
     from repro.experiments.reporting.markdown import format_degradation_table
     from repro.faults import (
@@ -725,6 +764,86 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_supervised(args: argparse.Namespace, workload, config, tracer) -> int:
+    """``roarray serve --snapshot-dir``: the crash-supervised drive.
+
+    Runs the synchronous supervised core instead of the asyncio host:
+    packets feed through a :class:`~repro.serve.ServiceSupervisor`
+    that snapshots periodically and journals every delivered fix to
+    ``<snapshot-dir>/fixes.jsonl``.  SIGTERM / SIGINT request a
+    graceful stop — the in-flight step finishes, a final snapshot is
+    written and the process exits 75 (resumable); re-running the same
+    command resumes the stream and produces a byte-identical journal.
+    """
+    import signal
+
+    from repro.experiments.reporting.console import emit, emit_json
+    from repro.runtime.checkpoint import EXIT_RESUMABLE
+    from repro.serve import LocalizationService, ServiceSupervisor, SnapshotPolicy
+
+    stop_requested = False
+
+    def _request_stop(signum, frame):
+        nonlocal stop_requested
+        stop_requested = True
+
+    def factory(clock):
+        return LocalizationService(
+            workload.room,
+            workload.access_points,
+            array=workload.array,
+            layout=workload.layout,
+            config=config,
+            tracer=tracer,
+            clock=clock,
+        )
+
+    policy = SnapshotPolicy(
+        directory=args.snapshot_dir,
+        every_packets=args.snapshot_every,
+        max_duty=args.snapshot_duty,
+    )
+    previous_term = signal.signal(signal.SIGTERM, _request_stop)
+    previous_int = signal.signal(signal.SIGINT, _request_stop)
+    try:
+        with ServiceSupervisor(factory, policy) as supervisor:
+            if args.warm_in and not supervisor.resumed:
+                slots = supervisor.service.load_warm_state(args.warm_in)
+                emit(
+                    f"loaded {slots} warm-start slot(s) from {args.warm_in}",
+                    stream=sys.stderr,
+                )
+            result = supervisor.run(workload.packets, stop=lambda: stop_requested)
+            service = supervisor.service
+    finally:
+        signal.signal(signal.SIGTERM, previous_term)
+        signal.signal(signal.SIGINT, previous_int)
+    if args.warm_out:
+        service.save_warm_state(args.warm_out)
+    summary = {
+        "workload": args.workload,
+        "snapshot_dir": str(args.snapshot_dir),
+        "fixes_journal": str(policy.fixes_path),
+        **result.to_dict(),
+    }
+    if args.json:
+        emit_json(summary)
+    else:
+        state = "interrupted (resumable)" if result.interrupted else "complete"
+        emit(
+            f"supervised serve {state}: {result.n_consumed}/"
+            f"{len(workload.packets)} packets, {len(result.fixes)} fix(es) "
+            f"delivered this run ({result.n_delivered} total in "
+            f"{policy.fixes_path})"
+        )
+        emit(
+            f"snapshots: {result.n_snapshots} | restarts: {result.n_restarts} | "
+            f"replay-suppressed fixes: {result.n_suppressed}"
+            + (" | resumed from snapshot" if result.resumed else "")
+        )
+    return EXIT_RESUMABLE if result.interrupted else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -750,6 +869,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         device=args.device,
         dtype=args.dtype,
     )
+    if args.snapshot_dir:
+        return _serve_supervised(args, workload, config, tracer)
     service = LocalizationService(
         workload.room,
         workload.access_points,
@@ -1077,6 +1198,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal both chaos batches to DIR; an interrupted run exits "
         "with status 75 and `roarray resume DIR` finishes it",
     )
+    chaos.add_argument(
+        "--serve", action="store_true",
+        help="run the service-level resilience drills (AP blackout, queue "
+        "storm, corrupted packets, mid-stream crash recovery) instead of "
+        "the offline fault-injection experiment",
+    )
+    chaos.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="with --serve: run only the named scenario (repeatable)",
+    )
+    chaos.add_argument(
+        "--scorecard", default=None, metavar="PATH",
+        help="with --serve: write the resilience scorecard JSON to PATH",
+    )
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
     chaos.set_defaults(handler=cmd_chaos)
 
@@ -1167,6 +1302,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--dtype", choices=("complex64", "complex128"), default=None,
         help="solver precision (default complex128)",
+    )
+    serve.add_argument(
+        "--snapshot-dir", default=None, metavar="DIR",
+        help="run crash-supervised: snapshot service state to DIR, journal "
+        "fixes to DIR/fixes.jsonl, resume from DIR if a snapshot exists; "
+        "SIGTERM drains gracefully and exits 75 (resumable)",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=64, metavar="N",
+        help="with --snapshot-dir: snapshot after every N packets (default 64)",
+    )
+    serve.add_argument(
+        "--snapshot-duty", type=float, default=0.01, metavar="FRAC",
+        help="with --snapshot-dir: defer periodic snapshots so their I/O "
+        "stays under this fraction of wall time (default 0.01; 0 disables "
+        "the throttle)",
     )
     serve.add_argument(
         "--require-all-clients", action="store_true",

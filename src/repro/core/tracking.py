@@ -63,6 +63,40 @@ class KalmanTracker:
     def initialized(self) -> bool:
         return self._state is not None
 
+    def state_dict(self) -> dict:
+        """The filter's exact state for service snapshots.
+
+        Floats round-trip exactly through JSON (Python's ``repr`` is
+        lossless for float64), so a restored tracker continues the
+        track bit-for-bit — which is what makes supervised crash
+        recovery byte-identical.
+        """
+        return {
+            "process_noise": self.process_noise,
+            "measurement_noise_m": self.measurement_noise_m,
+            "gate_sigmas": self.gate_sigmas,
+            "state": None if self._state is None else [float(v) for v in self._state],
+            "covariance": (
+                None
+                if self._covariance is None
+                else [[float(v) for v in row] for row in self._covariance]
+            ),
+            "last_time": self._last_time,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "KalmanTracker":
+        tracker = cls(
+            process_noise=float(payload["process_noise"]),
+            measurement_noise_m=float(payload["measurement_noise_m"]),
+            gate_sigmas=float(payload["gate_sigmas"]),
+        )
+        if payload["state"] is not None:
+            tracker._state = np.array(payload["state"], dtype=float)
+            tracker._covariance = np.array(payload["covariance"], dtype=float)
+        tracker._last_time = float(payload["last_time"])
+        return tracker
+
     def update(self, time_s: float, fix: tuple[float, float]) -> TrackState:
         """Ingest one localization fix; returns the posterior state.
 

@@ -36,6 +36,23 @@ class CalibrationError(ReproError):
     """Phase calibration could not be performed with the given measurements."""
 
 
+#: Closed taxonomy of ingestion-failure kinds.  Every
+#: :class:`IngestError` carries exactly one of these so fuzz harnesses,
+#: failure summaries, and dashboards can bucket hostile inputs without
+#: parsing error prose.
+INGEST_FAULT_KINDS = (
+    "io",  # the file/stream itself could not be read (OSError territory)
+    "truncated",  # data ends mid-record / mid-array
+    "bad_length",  # a length field disagrees with the payload it frames
+    "bad_field",  # a scalar field holds an impossible value
+    "bad_shape",  # array layout cannot be normalized to (packets, m, s)
+    "empty",  # structurally readable but contains no usable records
+    "unsupported",  # recognized format variant this reader does not handle
+    "unresolved",  # the source spec / dataset reference does not resolve
+    "invalid",  # malformed in a way no finer bucket captures
+)
+
+
 class IngestError(ReproError):
     """A trace source could not be read or resolved.
 
@@ -45,7 +62,18 @@ class IngestError(ReproError):
     and sources that simply do not exist.  Defects *inside* a parseable
     trace (NaN packets, dead antennas) are not ingest errors — they are
     the validation gate's job (:class:`ValidationError`).
+
+    Every instance carries a ``kind`` from :data:`INGEST_FAULT_KINDS`;
+    the adversarial-ingestion harness asserts that hostile bytes always
+    surface as one of these, never as a stray ``struct.error`` or
+    ``IndexError``.
     """
+
+    def __init__(self, message: str, *, kind: str = "invalid"):
+        if kind not in INGEST_FAULT_KINDS:
+            raise ValueError(f"unknown ingest fault kind {kind!r}")
+        super().__init__(message)
+        self.kind = kind
 
 
 class DatasetError(IngestError):
@@ -56,6 +84,9 @@ class DatasetError(IngestError):
     the file on disk (a corrupted or silently replaced capture must not
     masquerade as the registered one).
     """
+
+    def __init__(self, message: str, *, kind: str = "unresolved"):
+        super().__init__(message, kind=kind)
 
 
 class ValidationError(ReproError):
@@ -130,4 +161,15 @@ class ServiceError(ReproError):
     completed.  Per-packet problems (unknown AP, malformed CSI, a full
     queue) are *not* errors: admission control rejects those packets
     with a taxonomized reason and the service keeps running.
+    """
+
+
+class SupervisorError(ServiceError):
+    """The service supervisor cannot keep the service alive.
+
+    Raised by :class:`repro.serve.resilience.ServiceSupervisor` when the
+    bounded restart budget is exhausted (the service keeps crashing on
+    the same input), or when the snapshot directory holds state that
+    does not match the stream being replayed.  Carries the last crash as
+    ``__cause__`` so operators see *why* restarts kept failing.
     """

@@ -23,8 +23,24 @@ This package is the only way traces enter the system:
 * The ingestion pipeline (:mod:`repro.io.ingest`) behind ``roarray
   ingest``: parse → stages → validate → calibrate → normalized ``.npz``
   → registry, checkpointable and fully spanned.
+* Byte-level fault injection (:mod:`repro.io.bytefaults`) — seeded
+  wire-format corruption (truncation, bit rot, hostile length fields,
+  duplicated/garbage frames) driving the adversarial-ingestion fuzz
+  harness that proves every parser fails closed with a taxonomized
+  :class:`~repro.exceptions.IngestError`.
 """
 
+from repro.io.bytefaults import (
+    BYTE_FAULT_CATALOGUE,
+    BitFlips,
+    ByteFault,
+    FrameDuplication,
+    GarbageInsertion,
+    LengthFieldCorruption,
+    Truncation,
+    corrupt_bytes,
+    fuzz_corpus,
+)
 from repro.io.calibration import CalibrationReport, fit_calibration
 from repro.io.ingest import IngestRecord, IngestResult, ingest_sources
 from repro.io.intel import read_intel_dat, write_intel_dat
@@ -53,19 +69,28 @@ from repro.io.stages import (
 from repro.io.synthetic import scenario_band, synthesize_from_spec
 
 __all__ = [
+    "BYTE_FAULT_CATALOGUE",
+    "BitFlips",
+    "ByteFault",
     "CalibrationReport",
     "DatasetEntry",
     "DatasetRegistry",
     "FILE_FORMATS",
+    "FrameDuplication",
+    "GarbageInsertion",
     "IngestRecord",
     "IngestResult",
+    "LengthFieldCorruption",
     "PhaseOffsetCorrection",
     "PreprocessingStage",
     "QuarantineGate",
     "StageReport",
     "StoRemoval",
     "TraceSource",
+    "Truncation",
+    "corrupt_bytes",
     "default_stages",
+    "fuzz_corpus",
     "file_sha256",
     "fit_calibration",
     "ingest_sources",

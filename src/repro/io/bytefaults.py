@@ -1,0 +1,226 @@
+"""Deterministic, seeded *byte-level* fault injectors.
+
+PR 4 injects faults at the trace level (dead antennas, NaN packets);
+this module injects them one layer down, at the wire format, so the
+parsers in :mod:`repro.io` can be driven with exactly the damage real
+capture files exhibit: logs cut mid-record by a crashed logger, length
+fields clobbered by a bad disk, frames duplicated by a retrying copy
+job, and random bit rot.
+
+Each injector is a small frozen dataclass with one method,
+
+    apply(data, rng) -> (corrupted_bytes, [ByteFault, ...])
+
+mirroring the :mod:`repro.faults.injectors` convention: inputs are
+never mutated, all randomness comes from the ``rng`` argument, and a
+zero-work configuration returns the input object unchanged.  The
+structured :class:`ByteFault` records are ground truth for the fuzz
+harness — every corrupted capture knows what was done to it.
+
+:func:`fuzz_corpus` turns one valid capture into a seeded stream of
+corrupted variants (cycling the catalogue with derived seeds), which is
+what the differential fuzz tests and the CI ``fuzz-smoke`` job iterate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+
+
+@dataclass(frozen=True)
+class ByteFault:
+    """One byte-level corruption, as ground truth for the fuzz harness."""
+
+    kind: str
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "detail": self.detail}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise FaultInjectionError(message)
+
+
+@dataclass(frozen=True)
+class Truncation:
+    """Cut the capture short, as a crashed logger or partial copy would.
+
+    The cut point is drawn uniformly from ``[min_keep, len)`` so the
+    result is never empty but can end anywhere — mid-header, mid-CSI,
+    or exactly on a record boundary.
+    """
+
+    min_keep: int = 1
+
+    kind = "truncation"
+
+    def __post_init__(self) -> None:
+        _require(self.min_keep >= 1, f"min_keep must be >= 1, got {self.min_keep}")
+
+    def apply(self, data: bytes, rng: np.random.Generator) -> tuple[bytes, list[ByteFault]]:
+        if len(data) <= self.min_keep:
+            return data, []
+        cut = int(rng.integers(self.min_keep, len(data)))
+        return data[:cut], [ByteFault(self.kind, f"cut at byte {cut} of {len(data)}")]
+
+
+@dataclass(frozen=True)
+class BitFlips:
+    """Flip ``n_flips`` random bits anywhere in the capture (bit rot)."""
+
+    n_flips: int = 8
+
+    kind = "bit_flips"
+
+    def __post_init__(self) -> None:
+        _require(self.n_flips >= 0, f"n_flips must be >= 0, got {self.n_flips}")
+
+    def apply(self, data: bytes, rng: np.random.Generator) -> tuple[bytes, list[ByteFault]]:
+        if self.n_flips == 0 or not data:
+            return data, []
+        corrupted = bytearray(data)
+        positions = rng.integers(0, len(data) * 8, size=self.n_flips)
+        for position in positions:
+            byte, bit = divmod(int(position), 8)
+            corrupted[byte] ^= 1 << bit
+        detail = ", ".join(str(int(p)) for p in sorted(positions))
+        return bytes(corrupted), [ByteFault(self.kind, f"flipped bits {detail}")]
+
+
+@dataclass(frozen=True)
+class LengthFieldCorruption:
+    """Overwrite ``n_fields`` aligned 16-bit words with hostile lengths.
+
+    Real length-prefixed formats (the Intel 5300 ``.dat`` framing, ZIP
+    local headers inside ``.npz``, MAT element tags) die in
+    characteristic ways when a length field lies: zero lengths that can
+    spin a naive parser forever, huge lengths that point past EOF, and
+    off-by-small lengths that misframe every following record.  The
+    overwrite value is drawn from exactly that adversarial menu.
+    """
+
+    n_fields: int = 1
+    endian: str = ">"
+
+    kind = "length_field"
+
+    def __post_init__(self) -> None:
+        _require(self.n_fields >= 0, f"n_fields must be >= 0, got {self.n_fields}")
+        _require(self.endian in (">", "<"), f"endian must be '>' or '<', got {self.endian!r}")
+
+    def apply(self, data: bytes, rng: np.random.Generator) -> tuple[bytes, list[ByteFault]]:
+        if self.n_fields == 0 or len(data) < 2:
+            return data, []
+        corrupted = bytearray(data)
+        faults: list[ByteFault] = []
+        for _ in range(self.n_fields):
+            offset = int(rng.integers(0, len(data) - 1))
+            menu = (0, 1, 0xFFFF, 0x7FFF, int(rng.integers(0, 0x10000)))
+            value = int(menu[int(rng.integers(0, len(menu)))])
+            corrupted[offset : offset + 2] = value.to_bytes(2, "big" if self.endian == ">" else "little")
+            faults.append(ByteFault(self.kind, f"u16 at byte {offset} := {value:#06x}"))
+        return bytes(corrupted), faults
+
+
+@dataclass(frozen=True)
+class FrameDuplication:
+    """Duplicate a random slice in place (a stuttering copy/append job)."""
+
+    max_frame: int = 4096
+
+    kind = "frame_duplication"
+
+    def __post_init__(self) -> None:
+        _require(self.max_frame >= 1, f"max_frame must be >= 1, got {self.max_frame}")
+
+    def apply(self, data: bytes, rng: np.random.Generator) -> tuple[bytes, list[ByteFault]]:
+        if len(data) < 2:
+            return data, []
+        length = int(rng.integers(1, min(self.max_frame, len(data)) + 1))
+        start = int(rng.integers(0, len(data) - length + 1))
+        end = start + length
+        corrupted = data[:end] + data[start:end] + data[end:]
+        return corrupted, [ByteFault(self.kind, f"duplicated bytes [{start}, {end})")]
+
+
+@dataclass(frozen=True)
+class GarbageInsertion:
+    """Splice ``n_bytes`` of random garbage at a random offset."""
+
+    n_bytes: int = 64
+
+    kind = "garbage_insertion"
+
+    def __post_init__(self) -> None:
+        _require(self.n_bytes >= 0, f"n_bytes must be >= 0, got {self.n_bytes}")
+
+    def apply(self, data: bytes, rng: np.random.Generator) -> tuple[bytes, list[ByteFault]]:
+        if self.n_bytes == 0:
+            return data, []
+        offset = int(rng.integers(0, len(data) + 1))
+        garbage = rng.integers(0, 256, size=self.n_bytes, dtype=np.uint8).tobytes()
+        corrupted = data[:offset] + garbage + data[offset:]
+        return corrupted, [ByteFault(self.kind, f"{self.n_bytes} garbage bytes at {offset}")]
+
+
+#: The default catalogue, one of each wire-level failure mode.
+BYTE_FAULT_CATALOGUE: tuple = (
+    Truncation(),
+    BitFlips(n_flips=8),
+    BitFlips(n_flips=1),
+    LengthFieldCorruption(n_fields=1),
+    LengthFieldCorruption(n_fields=3),
+    FrameDuplication(),
+    GarbageInsertion(n_bytes=64),
+    GarbageInsertion(n_bytes=3),
+)
+
+
+def corrupt_bytes(
+    data: bytes,
+    injectors: Sequence,
+    *,
+    seed: int,
+) -> tuple[bytes, list[ByteFault]]:
+    """Apply ``injectors`` in order with one seeded generator.
+
+    The same ``(data, injectors, seed)`` triple always produces the
+    same corrupted bytes, so every fuzz failure is a replayable test
+    case identified by its seed alone.
+    """
+    rng = np.random.default_rng(seed)
+    faults: list[ByteFault] = []
+    for injector in injectors:
+        data, injected = injector.apply(data, rng)
+        faults.extend(injected)
+    return data, faults
+
+
+def fuzz_corpus(
+    data: bytes,
+    *,
+    seed: int,
+    n: int,
+    injectors: Sequence | None = None,
+) -> Iterator[tuple[int, bytes, list[ByteFault]]]:
+    """Yield ``n`` seeded corrupted variants of one valid capture.
+
+    Variant ``i`` cycles the injector catalogue and derives its seed as
+    ``seed + i``, so corpora are reproducible, individually replayable,
+    and cover every injector evenly regardless of ``n``.
+    """
+    _require(n >= 0, f"n must be >= 0, got {n}")
+    catalogue = tuple(injectors) if injectors is not None else BYTE_FAULT_CATALOGUE
+    _require(len(catalogue) > 0, "injector catalogue must not be empty")
+    for i in range(n):
+        injector = catalogue[i % len(catalogue)]
+        variant_seed = seed + i
+        corrupted, faults = corrupt_bytes(data, [injector], seed=variant_seed)
+        yield variant_seed, corrupted, faults

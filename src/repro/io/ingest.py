@@ -36,6 +36,7 @@ class IngestRecord:
     stage_reports: list[dict] = field(default_factory=list)
     calibration: dict | None = None
     error: str | None = None
+    error_kind: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -52,6 +53,7 @@ class IngestRecord:
             "stage_reports": list(self.stage_reports),
             "calibration": self.calibration,
             "error": self.error,
+            "error_kind": self.error_kind,
         }
 
     @classmethod
@@ -70,6 +72,7 @@ class IngestRecord:
             stage_reports=list(payload.get("stage_reports", [])),
             calibration=payload.get("calibration"),
             error=payload.get("error"),
+            error_kind=payload.get("error_kind"),
         )
 
 
@@ -88,13 +91,59 @@ class IngestResult:
     def n_failed(self) -> int:
         return sum(1 for record in self.records if not record.ok)
 
+    def failure_summary(self) -> list[dict]:
+        """Failures deduplicated by ``(fault kind, normalized message)``.
+
+        A bulk ingestion of 500 captures from one broken logger fails
+        500 times with the same story; the summary tells it once, with a
+        count and the first few offending source paths.  Source/label
+        substrings inside messages are masked so per-path messages from
+        the same defect still collapse into one group.
+        """
+        groups: dict[tuple[str, str], dict] = {}
+        for record in self.records:
+            if record.ok:
+                continue
+            message = record.error or ""
+            for token in (record.source, record.label):
+                if token:
+                    message = message.replace(token, "<source>")
+            key = (record.error_kind or "unknown", message)
+            entry = groups.setdefault(
+                key,
+                {"error_kind": key[0], "error": message, "count": 0, "sources": []},
+            )
+            entry["count"] += 1
+            if len(entry["sources"]) < 5:
+                entry["sources"].append(record.source)
+        return sorted(
+            groups.values(), key=lambda e: (-e["count"], e["error_kind"], e["error"])
+        )
+
     def to_dict(self) -> dict:
         return {
             "records": [record.to_dict() for record in self.records],
             "n_replayed": self.n_replayed,
             "ok": self.ok,
             "n_failed": self.n_failed,
+            "failure_summary": self.failure_summary(),
         }
+
+
+def _fault_kind(error: ReproError) -> str:
+    """Classify a per-source failure for the ingest record/summary.
+
+    :class:`~repro.exceptions.IngestError` carries its own taxonomized
+    kind; other ``ReproError`` subclasses (validation gate, calibration,
+    configuration) classify by subsystem name.
+    """
+    kind = getattr(error, "kind", None)
+    if isinstance(kind, str) and kind:
+        return kind
+    name = type(error).__name__
+    if name.endswith("Error"):
+        name = name[: -len("Error")]
+    return name.lower()
 
 
 def _slug(label: str) -> str:
@@ -256,7 +305,11 @@ def _ingest_one(
     except ReproError as error:
         return [
             IngestRecord(
-                label=source, source=source, ok=False, error=f"{type(error).__name__}: {error}"
+                label=source,
+                source=source,
+                ok=False,
+                error=f"{type(error).__name__}: {error}",
+                error_kind=_fault_kind(error),
             )
         ]
 
@@ -325,6 +378,7 @@ def _ingest_one(
                         ok=False,
                         source_format=trace.source_format,
                         error=f"{type(error).__name__}: {error}",
+                        error_kind=_fault_kind(error),
                     )
                 )
     return records

@@ -167,7 +167,9 @@ class BfeeRecord:
 
 def _decode_bfee(payload: bytes) -> BfeeRecord:
     if len(payload) < 20:
-        raise IngestError(f"bfee record too short: {len(payload)} bytes (need >= 20)")
+        raise IngestError(
+            f"bfee record too short: {len(payload)} bytes (need >= 20)", kind="truncated"
+        )
     timestamp_low, bfee_count = struct.unpack_from("<IH", payload, 0)
     n_rx, n_tx = payload[8], payload[9]
     rssi = (payload[10], payload[11], payload[12])
@@ -175,16 +177,21 @@ def _decode_bfee(payload: bytes) -> BfeeRecord:
     agc, antenna_sel = payload[14], payload[15]
     length, rate = struct.unpack_from("<HH", payload, 16)
     if not 1 <= n_rx <= 3 or not 1 <= n_tx <= 3:
-        raise IngestError(f"bfee record claims {n_rx}×{n_tx} antennas (expected 1..3 each)")
+        raise IngestError(
+            f"bfee record claims {n_rx}×{n_tx} antennas (expected 1..3 each)",
+            kind="bad_field",
+        )
     expected = _calc_len(n_rx, n_tx)
     if length != expected:
         raise IngestError(
             f"bfee CSI length {length} != expected {expected} for "
-            f"{n_rx}×{n_tx}: truncated or corrupt record"
+            f"{n_rx}×{n_tx}: truncated or corrupt record",
+            kind="bad_length",
         )
     if len(payload) < 20 + length:
         raise IngestError(
-            f"bfee record truncated: {len(payload) - 20} CSI bytes, need {length}"
+            f"bfee record truncated: {len(payload) - 20} CSI bytes, need {length}",
+            kind="truncated",
         )
     # Two bytes of slack so the sliding 16-bit window below never
     # indexes past the end on the final value.
@@ -235,31 +242,116 @@ def _decode_bfee(payload: bytes) -> BfeeRecord:
     )
 
 
-def read_bfee_records(path: str | Path) -> list[BfeeRecord]:
+def _plausible_bfee_at(raw: bytes, pos: int) -> bool:
+    """O(1) check: does a well-framed bfee record plausibly start at ``pos``?
+
+    Used by resynchronization after corrupt framing.  Demands full
+    internal consistency — code byte, antenna counts in range, and the
+    in-payload CSI length matching both ``_calc_len`` and the outer
+    ``field_len`` — so random garbage essentially never matches.
+    """
+    if pos + 3 + 20 > len(raw):
+        return False
+    (field_len,) = struct.unpack_from(">H", raw, pos)
+    if raw[pos + 2] != BFEE_CODE:
+        return False
+    n_rx, n_tx = raw[pos + 3 + 8], raw[pos + 3 + 9]
+    if not (1 <= n_rx <= 3 and 1 <= n_tx <= 3):
+        return False
+    (length,) = struct.unpack_from("<H", raw, pos + 3 + 16)
+    return length == _calc_len(n_rx, n_tx) and field_len == 21 + length
+
+
+def _resync(raw: bytes, start: int, budget: int) -> int | None:
+    """Scan forward (at most ``budget`` bytes) for the next plausible bfee.
+
+    Each candidate test is O(1), so the scan is a single bounded forward
+    pass — a corrupted length field costs linear work, never a quadratic
+    rescan, and the returned offset is always > the corrupt one.
+    """
+    limit = min(len(raw), start + budget)
+    for pos in range(start, limit):
+        if _plausible_bfee_at(raw, pos):
+            return pos
+    return None
+
+
+def read_bfee_records(path: str | Path, *, max_resync_bytes: int = 1 << 16) -> list[BfeeRecord]:
     """Decode every bfee record in an Intel 5300 ``.dat`` log.
 
     Non-bfee records are skipped; a torn final record (the logger was
     killed mid-write) is dropped with a warning rather than rejected,
     matching how the reference MATLAB reader treats truncated logs.
+
+    Corrupt framing — a zero/self-referential length field, a length
+    pointing past EOF with data still behind it, or a bfee whose header
+    lies about its payload — does not abort the file: the parser skips
+    the damaged record and resynchronizes on the next internally
+    consistent bfee header.  Resynchronization is a bounded single
+    forward pass (``max_resync_bytes`` total across the file), and the
+    cursor advances strictly monotonically, so hostile bytes can force
+    neither an infinite loop nor quadratic work.  Files yielding no
+    decodable record raise :class:`IngestError` (kind ``"empty"``).
     """
-    raw = Path(path).read_bytes()
+    try:
+        raw = Path(path).read_bytes()
+    except OSError as error:
+        raise IngestError(f"cannot read {path}: {error}", kind="io") from error
     records: list[BfeeRecord] = []
     offset = 0
+    resync_budget = max_resync_bytes
+    n_skipped = 0
+
+    def try_resync(start: int, why: str) -> int | None:
+        nonlocal resync_budget, n_skipped
+        if resync_budget <= 0:
+            return None
+        found = _resync(raw, start, resync_budget)
+        if found is None:
+            resync_budget = 0
+            return None
+        resync_budget -= found - start
+        n_skipped += 1
+        warnings.warn(
+            f"skipping corrupt record at byte {start - 1} of {path} ({why}); "
+            f"resynchronized at byte {found}",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return found
+
     while offset + 3 <= len(raw):
         (field_len,) = struct.unpack_from(">H", raw, offset)
         code = raw[offset + 2]
         if field_len < 1:
-            raise IngestError(f"corrupt record header at byte {offset}: field_len 0")
+            resumed = try_resync(offset + 1, "zero field_len")
+            if resumed is None:
+                break
+            offset = resumed
+            continue
         end = offset + 2 + field_len
         if end > len(raw):
-            warnings.warn(
-                f"dropping torn final record at byte {offset} of {path}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            break
+            resumed = try_resync(offset + 1, f"field_len {field_len} past EOF")
+            if resumed is None:
+                warnings.warn(
+                    f"dropping torn final record at byte {offset} of {path}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            offset = resumed
+            continue
         if code == BFEE_CODE:
-            records.append(_decode_bfee(raw[offset + 3 : end]))
+            try:
+                records.append(_decode_bfee(raw[offset + 3 : end]))
+            except IngestError as error:
+                # The framing may be lying about where this record ends;
+                # don't trust `end` — rescan from just past the header.
+                resumed = try_resync(offset + 1, str(error))
+                if resumed is None:
+                    break
+                offset = resumed
+                continue
         offset = end
     if offset < len(raw) and offset + 3 > len(raw):
         warnings.warn(
@@ -268,7 +360,9 @@ def read_bfee_records(path: str | Path) -> list[BfeeRecord]:
             stacklevel=2,
         )
     if not records:
-        raise IngestError(f"no bfee records in {path}: not an Intel 5300 CSI log?")
+        raise IngestError(
+            f"no bfee records in {path}: not an Intel 5300 CSI log?", kind="empty"
+        )
     return records
 
 
@@ -319,10 +413,14 @@ def read_intel_dat(
     records = read_bfee_records(path)
     shapes = {(r.n_rx, r.n_tx) for r in records}
     if len(shapes) != 1:
-        raise IngestError(f"mixed antenna configurations in {path}: {sorted(shapes)}")
+        raise IngestError(
+            f"mixed antenna configurations in {path}: {sorted(shapes)}", kind="bad_shape"
+        )
     ((n_rx, n_tx),) = shapes
     if not 0 <= stream < n_tx:
-        raise IngestError(f"stream {stream} out of range for {n_tx} TX stream(s)")
+        raise IngestError(
+            f"stream {stream} out of range for {n_tx} TX stream(s)", kind="bad_field"
+        )
 
     matrices = np.empty((len(records), n_rx, N_SUBCARRIERS), dtype=complex)
     times = np.empty(len(records))

@@ -14,12 +14,14 @@ rejected with a clear error instead of a backtrace.
 
 from __future__ import annotations
 
+import struct
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.channel.trace import CsiTrace
-from repro.exceptions import IngestError
+from repro.exceptions import IngestError, ReproError
 
 #: Variable names probed, in order, when none is given.
 CSI_VARIABLE_CANDIDATES = ("sample_csi_trace", "csi_trace", "csi", "csi_data")
@@ -45,17 +47,31 @@ def _load_mat(path: Path) -> dict:
     except NotImplementedError as error:
         raise IngestError(
             f"{path} looks like a MATLAB v7.3 (HDF5) file; re-save it with "
-            "-v5 or convert it to .npz — h5py is not available"
+            "-v5 or convert it to .npz — h5py is not available",
+            kind="unsupported",
         ) from error
-    except (MatReadError, ValueError, OSError) as error:
-        raise IngestError(f"cannot parse {path} as a MATLAB file: {error}") from error
+    except OSError as error:
+        raise IngestError(
+            f"cannot parse {path} as a MATLAB file: {error}", kind="io"
+        ) from error
+    except (MatReadError, ValueError, TypeError, KeyError, EOFError, struct.error,
+            zlib.error, OverflowError, MemoryError, IndexError) as error:
+        # scipy's miobase/mio5 raise a zoo of low-level exceptions on
+        # hostile bytes; all of them mean the same thing here.
+        raise IngestError(
+            f"cannot parse {path} as a MATLAB file: {type(error).__name__}: {error}",
+            kind="invalid",
+        ) from error
 
 
 def _pick_variable(data: dict, variable: str | None, path: Path) -> tuple[str, np.ndarray]:
     if variable is not None:
         if variable not in data:
             available = sorted(k for k in data if not k.startswith("__"))
-            raise IngestError(f"{path} has no variable {variable!r} (found {available})")
+            raise IngestError(
+                f"{path} has no variable {variable!r} (found {available})",
+                kind="bad_field",
+            )
         return variable, np.asarray(data[variable])
     for name in CSI_VARIABLE_CANDIDATES:
         if name in data:
@@ -69,7 +85,8 @@ def _pick_variable(data: dict, variable: str | None, path: Path) -> tuple[str, n
         return next(iter(arrays.items()))
     raise IngestError(
         f"{path}: cannot identify the CSI variable (candidates "
-        f"{sorted(arrays) or 'none'}); pass variable= explicitly"
+        f"{sorted(arrays) or 'none'}); pass variable= explicitly",
+        kind="empty" if not arrays else "bad_field",
     )
 
 
@@ -77,9 +94,10 @@ def _normalize_layout(values: np.ndarray, name: str, path: Path) -> np.ndarray:
     """Coerce a raw ``.mat`` array to ``(packets, antennas, subcarriers)``."""
     values = np.squeeze(values)
     if values.ndim == 1:
-        if values.size % N_SUBCARRIERS != 0:
+        if values.size == 0 or values.size % N_SUBCARRIERS != 0:
             raise IngestError(
-                f"{path}:{name} has {values.size} values, not a multiple of {N_SUBCARRIERS}"
+                f"{path}:{name} has {values.size} values, not a multiple of {N_SUBCARRIERS}",
+                kind="bad_shape",
             )
         # SpotFi's sample_csi_trace: antenna-major flat vector.
         return values.reshape(1, values.size // N_SUBCARRIERS, N_SUBCARRIERS)
@@ -90,7 +108,8 @@ def _normalize_layout(values: np.ndarray, name: str, path: Path) -> np.ndarray:
         if cols <= MAX_ANTENNAS < rows or rows == N_SUBCARRIERS:
             return values.T[None, :, :]
         raise IngestError(
-            f"{path}:{name} shape {values.shape}: cannot tell antennas from subcarriers"
+            f"{path}:{name} shape {values.shape}: cannot tell antennas from subcarriers",
+            kind="bad_shape",
         )
     if values.ndim == 3:
         _, a, b = values.shape
@@ -99,9 +118,12 @@ def _normalize_layout(values: np.ndarray, name: str, path: Path) -> np.ndarray:
         if b <= MAX_ANTENNAS < a:
             return np.swapaxes(values, 1, 2)
         raise IngestError(
-            f"{path}:{name} shape {values.shape}: cannot tell antennas from subcarriers"
+            f"{path}:{name} shape {values.shape}: cannot tell antennas from subcarriers",
+            kind="bad_shape",
         )
-    raise IngestError(f"{path}:{name} has unsupported rank {values.ndim}")
+    raise IngestError(
+        f"{path}:{name} has unsupported rank {values.ndim}", kind="bad_shape"
+    )
 
 
 def read_spotfi_mat(
@@ -118,7 +140,13 @@ def read_spotfi_mat(
     path = Path(path)
     data = _load_mat(path)
     name, values = _pick_variable(data, variable, path)
-    csi = _normalize_layout(values.astype(complex), name, path)
+    try:
+        values_c = values.astype(complex)
+    except (TypeError, ValueError) as error:
+        raise IngestError(
+            f"{path}:{name} is not numeric CSI: {error}", kind="bad_field"
+        ) from error
+    csi = _normalize_layout(values_c, name, path)
     if not np.iscomplexobj(values):
         import warnings
 
@@ -130,19 +158,30 @@ def read_spotfi_mat(
 
     def scalar(key: str) -> float:
         if key in data:
-            value = np.asarray(data[key], dtype=float).ravel()
+            try:
+                value = np.asarray(data[key], dtype=float).ravel()
+            except (TypeError, ValueError):
+                return float("nan")
             if value.size == 1:
                 return float(value[0])
         return float("nan")
 
     times = np.zeros(0)
     if "timestamps" in data:
-        times = np.asarray(data["timestamps"], dtype=float).ravel()
-    return CsiTrace(
-        csi=csi,
-        snr_db=scalar("snr_db"),
-        rssi_dbm=scalar("rssi_dbm"),
-        capture_times_s=times,
-        ap_id=ap_id,
-        source_format="spotfi-mat",
-    )
+        try:
+            times = np.asarray(data["timestamps"], dtype=float).ravel()
+        except (TypeError, ValueError):
+            times = np.zeros(0)
+    try:
+        return CsiTrace(
+            csi=csi,
+            snr_db=scalar("snr_db"),
+            rssi_dbm=scalar("rssi_dbm"),
+            capture_times_s=times,
+            ap_id=ap_id,
+            source_format="spotfi-mat",
+        )
+    except ReproError as error:
+        raise IngestError(
+            f"{path}:{name} does not form a valid trace: {error}", kind="bad_shape"
+        ) from error

@@ -15,12 +15,30 @@ bit-rot in either direction.
 from __future__ import annotations
 
 import warnings
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from repro.channel.trace import CsiTrace
-from repro.exceptions import IngestError
+from repro.exceptions import IngestError, ReproError
+
+# np.load on hostile bytes surfaces zip-container and npy-header damage
+# through this zoo; inside the archive, member decompression adds
+# zlib.error and short reads add EOFError.
+_ARCHIVE_ERRORS = (
+    OSError,
+    ValueError,
+    TypeError,
+    KeyError,
+    EOFError,
+    IndexError,
+    OverflowError,
+    MemoryError,
+    zipfile.BadZipFile,
+    zlib.error,
+)
 
 #: Every field a trace archive may carry, by CsiTrace attribute name.
 KNOWN_FIELDS = frozenset(
@@ -61,36 +79,56 @@ def read_npz_trace(path: str | Path) -> CsiTrace:
     path = Path(path)
     try:
         archive = np.load(path)
-    except (OSError, ValueError) as error:
-        raise IngestError(f"cannot read {path} as a trace archive: {error}") from error
+    except _ARCHIVE_ERRORS as error:
+        kind = "io" if isinstance(error, (FileNotFoundError, PermissionError)) else "invalid"
+        raise IngestError(
+            f"cannot read {path} as a trace archive: {error}", kind=kind
+        ) from error
     with archive:
-        fields = set(archive.files)
-        unknown = sorted(fields - KNOWN_FIELDS)
-        if unknown:
-            warnings.warn(
-                f"{path} carries unknown trace fields {unknown} "
-                "(written by a newer version?); ignoring them",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        missing = {"csi", "snr_db"} - fields
-        if missing:
-            raise IngestError(f"{path} is not a trace archive: missing {sorted(missing)}")
+        try:
+            fields = set(archive.files)
+            unknown = sorted(fields - KNOWN_FIELDS)
+            if unknown:
+                warnings.warn(
+                    f"{path} carries unknown trace fields {unknown} "
+                    "(written by a newer version?); ignoring them",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            missing = {"csi", "snr_db"} - fields
+            if missing:
+                raise IngestError(
+                    f"{path} is not a trace archive: missing {sorted(missing)}",
+                    kind="bad_field",
+                )
 
-        kwargs: dict = {
-            "csi": np.asarray(archive["csi"]),
-            "snr_db": float(archive["snr_db"]),
-        }
-        for name in _ARRAY_FIELDS:
-            if name in fields:
-                kwargs[name] = np.asarray(archive[name])
-        for name in _SCALAR_FIELDS:
-            if name in fields:
-                kwargs[name] = float(archive[name])
-        for name in ("ap_id", "source_format"):
-            if name in fields:
-                kwargs[name] = str(archive[name])
+            kwargs: dict = {
+                "csi": np.asarray(archive["csi"]),
+                "snr_db": float(archive["snr_db"]),
+            }
+            for name in _ARRAY_FIELDS:
+                if name in fields:
+                    kwargs[name] = np.asarray(archive[name])
+            for name in _SCALAR_FIELDS:
+                if name in fields:
+                    kwargs[name] = float(archive[name])
+            for name in ("ap_id", "source_format"):
+                if name in fields:
+                    kwargs[name] = str(archive[name])
+        except _ARCHIVE_ERRORS as error:
+            # The container opened but a member is damaged (short
+            # deflate stream, corrupt npy header, non-scalar scalar).
+            raise IngestError(
+                f"{path} holds a damaged trace archive member: "
+                f"{type(error).__name__}: {error}",
+                kind="truncated",
+            ) from error
     # source_format is preserved verbatim (a synthesized-then-saved
     # trace stays "synthetic"); archives predating the field load as ""
     # — "origin unknown" — rather than being retroactively relabeled.
-    return CsiTrace(**kwargs)
+    try:
+        return CsiTrace(**kwargs)
+    except ReproError as error:
+        raise IngestError(
+            f"{path} does not form a valid trace: {error}", kind="bad_shape"
+        ) from error

@@ -65,7 +65,7 @@ def sniff_format(path: str | Path) -> str:
         with open(path, "rb") as handle:
             head = handle.read(128)
     except OSError as error:
-        raise IngestError(f"cannot read {path}: {error}") from error
+        raise IngestError(f"cannot read {path}: {error}", kind="io") from error
     if head.startswith(b"PK\x03\x04"):
         return "npz"
     if head.startswith(b"MATLAB"):
@@ -78,7 +78,8 @@ def sniff_format(path: str | Path) -> str:
             return "intel-dat"
     raise IngestError(
         f"cannot determine the trace format of {path}; pass format= explicitly "
-        f"(one of {', '.join(FILE_FORMATS)})"
+        f"(one of {', '.join(FILE_FORMATS)})",
+        kind="unresolved",
     )
 
 
@@ -92,7 +93,7 @@ def resolve_source(
     if spec.startswith(DATASET_PREFIX):
         name = spec[len(DATASET_PREFIX) :]
         if not name:
-            raise IngestError("empty dataset name in 'dataset://'")
+            raise IngestError("empty dataset name in 'dataset://'", kind="unresolved")
         return TraceSource(spec=spec, kind="dataset", dataset=name)
     if spec.startswith(SYNTHETIC_PREFIX):
         return TraceSource(spec=spec, kind="synthetic")
@@ -112,7 +113,8 @@ def resolve_source(
         return TraceSource(spec=spec, kind="synthetic")
     raise IngestError(
         f"trace source {spec!r} is neither an existing file, a dataset:// "
-        "reference, a synthetic:// spec, nor a known scenario name"
+        "reference, a synthetic:// spec, nor a known scenario name",
+        kind="unresolved",
     )
 
 

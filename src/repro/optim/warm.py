@@ -68,8 +68,19 @@ class WarmStartState:
         return solution
 
     def put(self, key: str, solution: np.ndarray) -> None:
-        """Store ``solution`` (copied) as the warm start for ``key``."""
-        self.slots[key] = np.array(solution, copy=True)
+        """Store ``solution`` (copied) as the warm start for ``key``.
+
+        Zeros are canonicalized (``-0.0`` becomes ``+0.0``: adding zero
+        flips only the sign of zeros).  Soft-thresholding leaves ``-0.0``
+        in most shrunk entries, which would make sparse-recovery
+        solutions look dense to the snapshot codec's bit-level nonzero
+        test; canonicalizing at the single write point keeps stored
+        slots identical on the clean path and after a snapshot restore.
+        """
+        stored = np.array(solution, copy=True)
+        if stored.dtype.kind in "fc":
+            stored += 0
+        self.slots[key] = stored
 
     def drop(self, key: str) -> None:
         """Forget one key (e.g. an evicted client session)."""

@@ -14,7 +14,15 @@ baseline).  The ``roarray serve`` / ``roarray loadgen`` CLI pair wraps
 them.
 """
 
+from repro.serve.backpressure import BackpressureController, BackpressurePolicy
 from repro.serve.batcher import MicroBatch, MicroBatcher, SolveRequest
+from repro.serve.breaker import BREAKER_STATES, BreakerBoard, CircuitBreaker
+from repro.serve.chaos import (
+    SERVE_CHAOS_SCENARIOS,
+    ServeChaosOptions,
+    ServeChaosResult,
+    run_serve_chaos,
+)
 from repro.serve.health import HEALTH_FAILURE_KINDS, ApHealth, ApHealthMonitor
 from repro.serve.loadgen import (
     LoadGenerator,
@@ -24,6 +32,12 @@ from repro.serve.loadgen import (
     replay,
 )
 from repro.serve.packets import REJECT_REASONS, CsiPacket, PositionFix, RejectedPacket
+from repro.serve.resilience import (
+    ManualClock,
+    ServiceSupervisor,
+    SnapshotPolicy,
+    SupervisorResult,
+)
 from repro.serve.service import LocalizationService, ServeConfig, ServeResult
 from repro.serve.session import ApEstimate, ClientSession
 
@@ -31,20 +45,33 @@ __all__ = [
     "ApEstimate",
     "ApHealth",
     "ApHealthMonitor",
+    "BREAKER_STATES",
+    "BackpressureController",
+    "BackpressurePolicy",
+    "BreakerBoard",
+    "CircuitBreaker",
     "ClientSession",
     "CsiPacket",
     "HEALTH_FAILURE_KINDS",
     "LoadGenerator",
     "LocalizationService",
+    "ManualClock",
     "MicroBatch",
     "MicroBatcher",
     "PositionFix",
     "REJECT_REASONS",
     "RejectedPacket",
+    "SERVE_CHAOS_SCENARIOS",
+    "ServeChaosOptions",
+    "ServeChaosResult",
     "ServeConfig",
     "ServeResult",
+    "ServiceSupervisor",
+    "SnapshotPolicy",
     "SolveRequest",
+    "SupervisorResult",
     "Workload",
+    "run_serve_chaos",
     "median_fix_error_m",
     "offline_reference",
     "replay",

@@ -1,0 +1,183 @@
+"""Adaptive backpressure: a deterministic degradation ladder.
+
+The micro-batcher's pending set is the service's only queue; before
+this module existed its only overload response was the binary
+``queue_full`` reject at 100% occupancy.  The controller adds graded
+responses at configurable watermarks, trading accuracy and freshness
+for throughput *before* the cliff:
+
+=====  ==================  ============================================
+level  trigger             degradation
+=====  ==================  ============================================
+0      below watermarks    none — full MMV windows, full batches
+1      ``watermarks[0]``   shrink the MMV window (fewer snapshot
+                           columns per solve — cheaper joint solves,
+                           slightly noisier AoA)
+2      ``watermarks[1]``   additionally cap the solve-group width
+                           (smaller matmuls, lower per-batch latency)
+3      ``watermarks[2]``   additionally shed *stale* packets at
+                           admission (reason ``"shed_stale"``): old
+                           data is the cheapest to sacrifice
+=====  ==================  ============================================
+
+Transitions are pure functions of queue occupancy with hysteresis on
+the way down (so the ladder does not chatter around a watermark), and
+every escalation/de-escalation emits obs metrics.  Because occupancy
+itself is deterministic under replay, so is the whole ladder — a
+supervised restart re-walks the same levels at the same packets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """Watermarks and per-level degradations of the ladder."""
+
+    #: Queue-occupancy fractions (of ``max_pending``) that trigger
+    #: levels 1, 2 and 3; strictly increasing, in (0, 1].
+    watermarks: tuple[float, float, float] = (0.5, 0.75, 0.9)
+    #: MMV snapshot-window cap at level >= 1 (columns kept, newest
+    #: first).  ``window_cap=2`` halves the default 4-packet window.
+    window_cap: int = 2
+    #: Solve-group width cap at level >= 2, as a fraction of
+    #: ``batch_size`` (rounded up, never below 1).
+    batch_cap_fraction: float = 0.5
+    #: At level 3, packets older than ``shed_horizon_fraction *
+    #: window_s`` behind the session clock are shed at admission.
+    shed_horizon_fraction: float = 0.5
+    #: Occupancy must fall this far below a watermark to de-escalate.
+    hysteresis: float = 0.05
+
+    def __post_init__(self) -> None:
+        if len(self.watermarks) != 3 or not all(
+            0.0 < w <= 1.0 for w in self.watermarks
+        ):
+            raise ConfigurationError(
+                f"watermarks must be three fractions in (0, 1], got {self.watermarks}"
+            )
+        if not (self.watermarks[0] < self.watermarks[1] < self.watermarks[2]):
+            raise ConfigurationError(
+                f"watermarks must be strictly increasing, got {self.watermarks}"
+            )
+        if self.window_cap < 1:
+            raise ConfigurationError(f"window_cap must be >= 1, got {self.window_cap}")
+        if not 0.0 < self.batch_cap_fraction <= 1.0:
+            raise ConfigurationError(
+                f"batch_cap_fraction must be in (0, 1], got {self.batch_cap_fraction}"
+            )
+        if not 0.0 < self.shed_horizon_fraction <= 1.0:
+            raise ConfigurationError(
+                f"shed_horizon_fraction must be in (0, 1], got {self.shed_horizon_fraction}"
+            )
+        if self.hysteresis < 0:
+            raise ConfigurationError(f"hysteresis must be >= 0, got {self.hysteresis}")
+
+    def to_dict(self) -> dict:
+        return {
+            "watermarks": list(self.watermarks),
+            "window_cap": self.window_cap,
+            "batch_cap_fraction": self.batch_cap_fraction,
+            "shed_horizon_fraction": self.shed_horizon_fraction,
+            "hysteresis": self.hysteresis,
+        }
+
+
+class BackpressureController:
+    """Track queue occupancy and hold the current degradation level."""
+
+    def __init__(self, policy: BackpressurePolicy, *, max_pending: int, metrics=None) -> None:
+        if max_pending < 1:
+            raise ConfigurationError(f"max_pending must be >= 1, got {max_pending}")
+        self.policy = policy
+        self.max_pending = max_pending
+        self.metrics = metrics
+        self.level = 0
+        self.n_escalations = 0
+        self.n_deescalations = 0
+        self.max_level_seen = 0
+
+    def _level_for(self, occupancy: float) -> int:
+        marks = self.policy.watermarks
+        level = 0
+        for index, mark in enumerate(marks, start=1):
+            if occupancy >= mark:
+                level = index
+        # Hysteresis: keep the current level unless occupancy has
+        # dropped clear below that level's watermark.
+        if level < self.level:
+            hold = self.level
+            while hold > 0 and occupancy < marks[hold - 1] - self.policy.hysteresis:
+                hold -= 1
+            level = max(level, hold)
+        return level
+
+    def update(self, pending: int) -> int:
+        """Recompute the level from the pending count; emit transitions."""
+        occupancy = pending / self.max_pending
+        level = self._level_for(occupancy)
+        if level != self.level:
+            direction = "escalate" if level > self.level else "deescalate"
+            if level > self.level:
+                self.n_escalations += 1
+            else:
+                self.n_deescalations += 1
+            if self.metrics is not None:
+                self.metrics.counter(
+                    f"serve.backpressure.{direction}.to_level_{level}"
+                ).inc()
+                self.metrics.gauge("serve.backpressure.level").set(level)
+            self.level = level
+            self.max_level_seen = max(self.max_level_seen, level)
+        return self.level
+
+    # -- per-level degradations ---------------------------------------------
+
+    def window_cap(self, window_packets: int) -> int:
+        """MMV snapshot columns to keep at the current level."""
+        if self.level >= 1:
+            return min(window_packets, self.policy.window_cap)
+        return window_packets
+
+    def batch_cap(self, batch_size: int) -> int:
+        """Solve-group width cap at the current level."""
+        if self.level >= 2:
+            return min(
+                batch_size,
+                max(1, math.ceil(batch_size * self.policy.batch_cap_fraction)),
+            )
+        return batch_size
+
+    def shed_horizon_s(self, window_s: float) -> float | None:
+        """Staleness horizon for admission shedding, or ``None``."""
+        if self.level >= 3:
+            return window_s * self.policy.shed_horizon_fraction
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "max_level_seen": self.max_level_seen,
+            "n_escalations": self.n_escalations,
+            "n_deescalations": self.n_deescalations,
+            "policy": self.policy.to_dict(),
+        }
+
+    def state_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "max_level_seen": self.max_level_seen,
+            "n_escalations": self.n_escalations,
+            "n_deescalations": self.n_deescalations,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        self.level = int(payload["level"])
+        self.max_level_seen = int(payload["max_level_seen"])
+        self.n_escalations = int(payload["n_escalations"])
+        self.n_deescalations = int(payload["n_deescalations"])

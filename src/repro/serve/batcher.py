@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.serve.codec import decode_array, encode_array
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,29 @@ class SolveRequest:
     def width(self) -> int:
         """Snapshot count ``p`` — batches group by this for the MMV solve."""
         return int(self.snapshots.shape[1])
+
+    def state_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "client": self.client,
+            "ap": self.ap,
+            "snapshots": encode_array(self.snapshots),
+            "packet_time_s": self.packet_time_s,
+            "rssi_dbm": self.rssi_dbm,
+            "enqueued_at": self.enqueued_at,
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "SolveRequest":
+        return cls(
+            key=str(payload["key"]),
+            client=str(payload["client"]),
+            ap=str(payload["ap"]),
+            snapshots=decode_array(payload["snapshots"]),
+            packet_time_s=float(payload["packet_time_s"]),
+            rssi_dbm=float(payload["rssi_dbm"]),
+            enqueued_at=float(payload["enqueued_at"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -131,3 +155,26 @@ class MicroBatcher:
         for key in keys:
             self._deadlines.pop(key, None)
         return MicroBatch(requests=requests, trigger=trigger)
+
+    # -- snapshot support ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The pending backlog, in insertion order, losslessly.
+
+        Insertion order *is* state: it determines which keys the next
+        size-triggered batch takes, so the snapshot preserves it (dicts
+        restore in the order entries are written).
+        """
+        return {
+            "pending": [request.state_dict() for request in self._pending.values()],
+            "deadlines": {key: self._deadlines[key] for key in self._deadlines},
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        self._pending = {}
+        self._deadlines = {}
+        for item in payload["pending"]:
+            request = SolveRequest.from_state_dict(item)
+            self._pending[request.key] = request
+        for key, deadline in payload["deadlines"].items():
+            self._deadlines[key] = float(deadline)

@@ -1,0 +1,210 @@
+"""Per-AP circuit breakers for the streaming service.
+
+The :class:`~repro.serve.health.ApHealthMonitor` *reports* a flapping
+AP; the breaker *acts* on it.  Without one, an AP whose solves keep
+failing still consumes solver budget on every packet — each admission
+builds a window, enqueues a solve, burns a batch slot, fails, and
+pushes the health monitor further into outage while starving healthy
+APs of batch width.  The breaker cuts that loop at admission, before
+any budget is spent.
+
+Classic three-state machine, deterministic on packet time:
+
+``closed``
+    Normal operation.  ``failure_threshold`` *consecutive* failures
+    trip it open.
+``open``
+    Packets are rejected at admission (reason ``"breaker_open"``) for
+    ``open_for_s`` seconds of packet time — no window updates, no
+    batch slots, no solver budget.
+``half_open``
+    After the cool-down, exactly ``half_open_probes`` packets are
+    admitted as probes.  One success closes the breaker; one failure
+    re-opens it for a fresh cool-down.
+
+All clocks are *packet* time, so breaker behavior is byte-identical
+under supervised replay — an essential property for crash recovery:
+the restored service must re-take exactly the decisions the crashed
+one took.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+#: The breaker state machine's states.
+BREAKER_STATES = ("closed", "open", "half_open")
+
+
+@dataclass
+class CircuitBreaker:
+    """One AP's breaker: closed / open / half-open on packet time."""
+
+    failure_threshold: int = 5
+    open_for_s: float = 1.0
+    half_open_probes: int = 1
+
+    state: str = "closed"
+    consecutive_failures: int = 0
+    opened_at_s: float = 0.0
+    probes_in_flight: int = 0
+    n_trips: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.open_for_s <= 0:
+            raise ConfigurationError(f"open_for_s must be positive, got {self.open_for_s}")
+        if self.half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+        if self.state not in BREAKER_STATES:
+            raise ConfigurationError(
+                f"unknown breaker state {self.state!r}; taxonomy: {BREAKER_STATES}"
+            )
+
+    def allow(self, now_s: float) -> bool:
+        """Admission decision for one packet at packet time ``now_s``."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if now_s - self.opened_at_s < self.open_for_s:
+                return False
+            self.state = "half_open"
+            self.probes_in_flight = 0
+        # half_open: admit a bounded number of probes.
+        if self.probes_in_flight < self.half_open_probes:
+            self.probes_in_flight += 1
+            return True
+        return False
+
+    def record_success(self, now_s: float) -> None:
+        self.consecutive_failures = 0
+        if self.state != "closed":
+            self.state = "closed"
+            self.probes_in_flight = 0
+
+    def record_failure(self, now_s: float) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half_open" or (
+            self.state == "closed" and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self.opened_at_s = float(now_s)
+            self.probes_in_flight = 0
+            self.n_trips += 1
+
+    def state_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at_s": self.opened_at_s,
+            "probes_in_flight": self.probes_in_flight,
+            "n_trips": self.n_trips,
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        state = str(payload["state"])
+        if state not in BREAKER_STATES:
+            raise ConfigurationError(
+                f"unknown breaker state {state!r}; taxonomy: {BREAKER_STATES}"
+            )
+        self.state = state
+        self.consecutive_failures = int(payload["consecutive_failures"])
+        self.opened_at_s = float(payload["opened_at_s"])
+        self.probes_in_flight = int(payload["probes_in_flight"])
+        self.n_trips = int(payload["n_trips"])
+
+
+class BreakerBoard:
+    """The service's breakers, one per registered AP, with obs metrics.
+
+    Every state transition is counted as
+    ``serve.breaker.transition.<old>_to_<new>`` and the per-AP trip
+    count as ``serve.breaker.trips``, so dashboards can see which AP is
+    flapping and how often the board is saving solver budget
+    (``serve.rejected.breaker_open`` counts the saved packets).
+    """
+
+    def __init__(
+        self,
+        ap_names,
+        *,
+        failure_threshold: int = 5,
+        open_for_s: float = 1.0,
+        half_open_probes: int = 1,
+        metrics=None,
+    ) -> None:
+        names = list(ap_names)
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate AP names: {names}")
+        self._breakers = {
+            name: CircuitBreaker(
+                failure_threshold=failure_threshold,
+                open_for_s=open_for_s,
+                half_open_probes=half_open_probes,
+            )
+            for name in names
+        }
+        self.metrics = metrics
+
+    def __contains__(self, ap: str) -> bool:
+        return ap in self._breakers
+
+    def state(self, ap: str) -> str:
+        return self._breakers[ap].state
+
+    def breaker(self, ap: str) -> CircuitBreaker:
+        return self._breakers[ap]
+
+    def _transition(self, ap: str, before: str, after: str) -> None:
+        if before != after and self.metrics is not None:
+            self.metrics.counter(f"serve.breaker.transition.{before}_to_{after}").inc()
+
+    def allow(self, ap: str, now_s: float) -> bool:
+        breaker = self._breakers[ap]
+        before = breaker.state
+        allowed = breaker.allow(now_s)
+        self._transition(ap, before, breaker.state)
+        return allowed
+
+    def record_success(self, ap: str, now_s: float) -> None:
+        breaker = self._breakers[ap]
+        before = breaker.state
+        breaker.record_success(now_s)
+        self._transition(ap, before, breaker.state)
+
+    def record_failure(self, ap: str, now_s: float) -> None:
+        breaker = self._breakers[ap]
+        before = breaker.state
+        breaker.record_failure(now_s)
+        self._transition(ap, before, breaker.state)
+        if breaker.state != before and breaker.state == "open" and self.metrics is not None:
+            self.metrics.counter("serve.breaker.trips").inc()
+
+    def open_reason(self, ap: str) -> str:
+        breaker = self._breakers[ap]
+        return (
+            f"circuit breaker open: {breaker.consecutive_failures} consecutive "
+            f"failures (trip #{breaker.n_trips})"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            name: breaker.state_dict()
+            for name, breaker in sorted(self._breakers.items())
+        }
+
+    def state_dict(self) -> dict:
+        return self.to_dict()
+
+    def restore_state(self, payload: dict) -> None:
+        for name, state in payload.items():
+            if name not in self._breakers:
+                raise ConfigurationError(f"snapshot names unknown AP {name!r}")
+            self._breakers[name].restore_state(state)

@@ -1,0 +1,410 @@
+"""Service-level chaos: scripted failure drills with a scorecard.
+
+:mod:`repro.faults` injects faults into *offline* experiment inputs;
+this module aims the same philosophy at the live service.  Each
+scenario scripts one production failure mode against a small
+deterministic workload and asserts the resilience machinery actually
+engaged:
+
+* ``baseline`` — the clean path through the supervisor: snapshots
+  written, every client fixed, zero restarts.
+* ``ap_blackout`` — one AP goes dark mid-stream; the service must keep
+  fixing clients from the survivors and account for the outage.
+* ``queue_storm`` — admission outruns solving; the backpressure ladder
+  must escalate and every turned-away packet must carry a taxonomized
+  reason (never an exception).
+* ``corrupted_packets`` — one AP emits garbage CSI; the per-AP circuit
+  breaker must trip so the flood stops costing validation work, while
+  the remaining APs keep the fix stream alive.
+* ``mid_stream_crash`` — the service is crashed twice mid-stream; the
+  supervisor's restore-and-replay must deliver a fix journal
+  *byte-identical* to an uninterrupted run (exactly-once recovery).
+
+:func:`run_serve_chaos` executes the scenarios and returns a
+:class:`ServeChaosResult` whose :meth:`~ServeChaosResult.scorecard` is
+the JSON artifact ``roarray chaos --serve`` emits and CI archives.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.grids import AngleGrid, DelayGrid
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.serve.loadgen import LoadGenerator, Workload
+from repro.serve.packets import REJECT_REASONS, CsiPacket
+from repro.serve.resilience import ServiceSupervisor, SnapshotPolicy
+from repro.serve.service import LocalizationService, ServeConfig
+
+#: Scorecard format version.
+SCORECARD_VERSION = 1
+
+#: Scenario registry order — also the execution order.
+SERVE_CHAOS_SCENARIOS = (
+    "baseline",
+    "ap_blackout",
+    "queue_storm",
+    "corrupted_packets",
+    "mid_stream_crash",
+)
+
+
+@dataclass(frozen=True)
+class ServeChaosOptions:
+    """Knobs of the drill: workload scale, seed, snapshot cadence."""
+
+    n_clients: int = 3
+    duration_s: float = 1.0
+    sample_interval_s: float = 0.5
+    n_aps: int = 3
+    band: str = "high"
+    seed: int = 7
+    snapshot_every: int = 8
+    max_restarts: int = 4
+    #: Working directory for snapshot/journal files; a temporary
+    #: directory is used (and cleaned up) when ``None``.
+    workdir: str | Path | None = None
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """One scenario's verdict plus the evidence behind it."""
+
+    name: str
+    passed: bool
+    details: dict
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "passed": self.passed, "details": self.details}
+
+
+@dataclass
+class ServeChaosResult:
+    """All scenario outcomes; renders the resilience scorecard."""
+
+    options: ServeChaosOptions
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(outcome.passed for outcome in self.outcomes)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.passed)
+
+    def scorecard(self) -> dict:
+        return {
+            "version": SCORECARD_VERSION,
+            "passed": self.passed,
+            "n_scenarios": len(self.outcomes),
+            "n_passed": self.n_passed,
+            "options": {
+                "n_clients": self.options.n_clients,
+                "duration_s": self.options.duration_s,
+                "n_aps": self.options.n_aps,
+                "band": self.options.band,
+                "seed": self.options.seed,
+                "snapshot_every": self.options.snapshot_every,
+            },
+            "scenarios": [outcome.to_dict() for outcome in self.outcomes],
+        }
+
+
+def _chaos_config(**overrides) -> ServeConfig:
+    """The drills' solver working point: small grids, tier-1 speed."""
+    defaults = dict(
+        batch_size=4,
+        max_delay_s=0.01,
+        window_packets=4,
+        min_quorum=2,
+        resolution_m=0.5,
+        angle_grid=AngleGrid(n_points=61),
+        delay_grid=DelayGrid(n_points=21),
+        max_iterations=100,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _workload(options: ServeChaosOptions, **overrides) -> Workload:
+    params = dict(
+        n_clients=options.n_clients,
+        duration_s=options.duration_s,
+        sample_interval_s=options.sample_interval_s,
+        stationary_fraction=0.34,
+        n_aps=options.n_aps,
+        band=options.band,
+        seed=options.seed,
+    )
+    params.update(overrides)
+    return LoadGenerator(**params).generate()
+
+
+def _factory(workload: Workload, config: ServeConfig):
+    def build(clock) -> LocalizationService:
+        return LocalizationService(
+            workload.room,
+            workload.access_points,
+            array=workload.array,
+            layout=workload.layout,
+            config=config,
+            clock=clock,
+            metrics=MetricsRegistry(),
+        )
+
+    return build
+
+
+def _supervised_run(
+    workload: Workload,
+    config: ServeConfig,
+    workdir: Path,
+    options: ServeChaosOptions,
+    *,
+    fault_hook=None,
+):
+    policy = SnapshotPolicy(directory=workdir, every_packets=options.snapshot_every)
+    with ServiceSupervisor(
+        _factory(workload, config), policy, max_restarts=options.max_restarts
+    ) as supervisor:
+        result = supervisor.run(workload.packets, fault_hook=fault_hook)
+        service = supervisor.service
+    return result, service, policy
+
+
+def _reject_counts(service: LocalizationService) -> dict[str, int]:
+    counts = {}
+    for reason in REJECT_REASONS:
+        value = service.metrics.counter(f"serve.rejected.{reason}").value
+        if value:
+            counts[reason] = int(value)
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def _scenario_baseline(options: ServeChaosOptions, workdir: Path) -> ScenarioOutcome:
+    workload = _workload(options)
+    result, service, _ = _supervised_run(workload, _chaos_config(), workdir, options)
+    fixed = {fix.client for fix in result.fixes}
+    details = {
+        "n_packets": len(workload.packets),
+        "n_fixes": len(result.fixes),
+        "clients_fixed": len(fixed),
+        "clients_total": len(workload.clients),
+        "n_snapshots": result.n_snapshots,
+        "n_restarts": result.n_restarts,
+    }
+    passed = (
+        fixed == set(workload.clients)
+        and result.n_snapshots >= 1
+        and result.n_restarts == 0
+    )
+    return ScenarioOutcome("baseline", passed, details)
+
+
+def _scenario_ap_blackout(options: ServeChaosOptions, workdir: Path) -> ScenarioOutcome:
+    # The blackout AP simply stops transmitting for the middle of the
+    # stream; the service must keep fixing from the survivors and its
+    # health monitor must notice the silence.
+    probe = _workload(options)
+    dark = probe.access_points[0].name
+    start = options.duration_s * 0.3
+    end = options.duration_s * 1.5
+    workload = _workload(options, outages={dark: (start, end)})
+    config = _chaos_config(outage_after_s=options.sample_interval_s)
+    result, service, _ = _supervised_run(workload, config, workdir, options)
+    health = service.health.to_dict(service.latest_packet_time_s)
+    details = {
+        "dark_ap": dark,
+        "outage_window_s": [start, end],
+        "n_fixes": len(result.fixes),
+        "clients_fixed": len({fix.client for fix in result.fixes}),
+        "clients_total": len(workload.clients),
+        "dark_ap_status": health[dark]["status"],
+        "n_restarts": result.n_restarts,
+    }
+    passed = (
+        len(result.fixes) > 0
+        and health[dark]["status"] == "outage"
+        and result.n_restarts == 0
+    )
+    return ScenarioOutcome("ap_blackout", passed, details)
+
+
+def _scenario_queue_storm(options: ServeChaosOptions, workdir: Path) -> ScenarioOutcome:
+    # Admission outruns solving: a tiny pending bound and a storm of
+    # submissions with no processing in between.  The ladder must
+    # escalate and the overflow must become taxonomized rejects.
+    workload = _workload(options)
+    distinct_keys = len({(p.client, p.ap) for p in workload.packets})
+    max_pending = max(2, distinct_keys - 1)
+    config = _chaos_config(
+        batch_size=max_pending, max_delay_s=60.0, max_pending=max_pending
+    )
+    service = _factory(workload, config)(lambda: 0.0)
+    reasons = []
+    for packet in workload.packets:
+        reason = service.submit(packet)
+        if reason is not None:
+            reasons.append(reason)
+    fixes = service.drain()
+    counts = _reject_counts(service)
+    escalations = sum(
+        int(service.metrics.counter(f"serve.backpressure.escalate.to_level_{n}").value)
+        for n in (1, 2, 3)
+    )
+    details = {
+        "max_pending": max_pending,
+        "distinct_keys": distinct_keys,
+        "reject_counts": counts,
+        "backpressure_escalations": escalations,
+        "final_level": service.backpressure.level,
+        "n_fixes": len(fixes),
+    }
+    passed = (
+        counts.get("queue_full", 0) > 0
+        and escalations >= 1
+        and all(reason in REJECT_REASONS for reason in reasons)
+        and len(fixes) > 0
+    )
+    return ScenarioOutcome("queue_storm", passed, details)
+
+
+def _scenario_corrupted_packets(
+    options: ServeChaosOptions, workdir: Path
+) -> ScenarioOutcome:
+    # One AP floods garbage: every one of its packets arrives NaN-
+    # poisoned.  Validation must reject them all, the breaker must trip
+    # so the flood stops being inspected at all, and the surviving APs
+    # must keep the fix stream alive.
+    workload = _workload(options)
+    bad_ap = workload.access_points[0].name
+    packets = []
+    for packet in workload.packets:
+        if packet.ap == bad_ap:
+            poisoned = np.full_like(np.asarray(packet.csi), np.nan + 0j)
+            packet = CsiPacket(
+                client=packet.client,
+                ap=packet.ap,
+                time_s=packet.time_s,
+                csi=poisoned,
+                rssi_dbm=packet.rssi_dbm,
+            )
+        packets.append(packet)
+    config = _chaos_config(breaker_failure_threshold=3, breaker_open_for_s=60.0)
+    workload = replace(workload, packets=packets)
+    result, service, _ = _supervised_run(workload, config, workdir, options)
+    counts = _reject_counts(service)
+    trips = int(service.metrics.counter("serve.breaker.trips").value)
+    details = {
+        "bad_ap": bad_ap,
+        "reject_counts": counts,
+        "breaker_trips": trips,
+        "breaker_state": service.breakers.state(bad_ap),
+        "n_fixes": len(result.fixes),
+        "n_restarts": result.n_restarts,
+    }
+    passed = (
+        counts.get("invalid_csi", 0) >= config.breaker_failure_threshold
+        and trips >= 1
+        and counts.get("breaker_open", 0) >= 1
+        and len(result.fixes) > 0
+        and result.n_restarts == 0
+    )
+    return ScenarioOutcome("corrupted_packets", passed, details)
+
+
+def _scenario_mid_stream_crash(
+    options: ServeChaosOptions, workdir: Path
+) -> ScenarioOutcome:
+    # The exactly-once drill: crash the service twice mid-stream and
+    # demand the recovered fix journal match an uninterrupted run's
+    # journal byte for byte.
+    workload = _workload(options)
+    config = _chaos_config()
+    steady_dir = workdir / "steady"
+    crashy_dir = workdir / "crashy"
+    steady_dir.mkdir(parents=True, exist_ok=True)
+    crashy_dir.mkdir(parents=True, exist_ok=True)
+
+    steady, _, steady_policy = _supervised_run(workload, config, steady_dir, options)
+
+    n = len(workload.packets)
+    crash_points = {max(1, n // 3), max(2, (2 * n) // 3)}
+    armed = set(crash_points)
+
+    def crash_hook(index: int) -> None:
+        if index in armed:
+            armed.discard(index)
+            raise RuntimeError(f"chaos: injected crash before packet {index}")
+
+    crashy, _, crashy_policy = _supervised_run(
+        workload, config, crashy_dir, options, fault_hook=crash_hook
+    )
+
+    steady_bytes = steady_policy.fixes_path.read_bytes()
+    crashy_bytes = crashy_policy.fixes_path.read_bytes()
+    details = {
+        "n_packets": n,
+        "crash_points": sorted(crash_points),
+        "n_restarts": crashy.n_restarts,
+        "n_suppressed": crashy.n_suppressed,
+        "steady_fixes": steady.n_delivered,
+        "crashy_fixes": crashy.n_delivered,
+        "journals_identical": steady_bytes == crashy_bytes,
+    }
+    passed = (
+        steady_bytes == crashy_bytes
+        and len(steady_bytes) > 0
+        and crashy.n_restarts == len(crash_points)
+    )
+    return ScenarioOutcome("mid_stream_crash", passed, details)
+
+
+_SCENARIOS = {
+    "baseline": _scenario_baseline,
+    "ap_blackout": _scenario_ap_blackout,
+    "queue_storm": _scenario_queue_storm,
+    "corrupted_packets": _scenario_corrupted_packets,
+    "mid_stream_crash": _scenario_mid_stream_crash,
+}
+
+
+def run_serve_chaos(
+    options: ServeChaosOptions | None = None,
+    *,
+    scenarios: list[str] | None = None,
+) -> ServeChaosResult:
+    """Run the service chaos drills and collect the scorecard."""
+    options = options if options is not None else ServeChaosOptions()
+    names = list(scenarios) if scenarios is not None else list(SERVE_CHAOS_SCENARIOS)
+    unknown = sorted(set(names) - set(_SCENARIOS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown serve chaos scenario(s) {unknown}; "
+            f"available: {list(SERVE_CHAOS_SCENARIOS)}"
+        )
+    result = ServeChaosResult(options=options)
+
+    def execute(base: Path) -> None:
+        for name in names:
+            scenario_dir = base / name
+            scenario_dir.mkdir(parents=True, exist_ok=True)
+            result.outcomes.append(_SCENARIOS[name](options, scenario_dir))
+
+    if options.workdir is not None:
+        execute(Path(options.workdir))
+    else:
+        with tempfile.TemporaryDirectory(prefix="serve-chaos-") as tmp:
+            execute(Path(tmp))
+    return result

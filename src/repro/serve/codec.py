@@ -1,0 +1,107 @@
+"""Exact JSON codecs for service snapshot state.
+
+Supervised crash recovery promises *byte-identical* fixes after a
+restore, which demands lossless serialization of every piece of mutable
+service state — and snapshots ride the clean path, so encoding speed is
+a throughput concern, not a nicety.  Two primitives make both true:
+
+* Arrays round-trip as base64 of their raw float64/complex128 bytes:
+  bit-exact by construction (no decimal formatting in the loop) and
+  orders of magnitude faster to encode than ``repr``-per-float lists,
+  which is what keeps the supervisor's periodic snapshots inside the
+  serve benchmark's clean-path overhead budget.
+* Mostly-zero arrays switch to a sparse form (nonzero indices + values)
+  whenever that is smaller.  Warm-start slots are sparse-recovery
+  solutions — typically >90% exact zeros after soft-thresholding — so
+  this cuts the dominant snapshot payload by an order of magnitude.
+  Nonzeros are selected at the *bit* level, so ``-0.0`` and subnormals
+  survive and the dense reconstruction is byte-identical, not merely
+  value-equal.
+* Sentinel times (``-inf`` before any packet) map to ``None`` so the
+  snapshot stays standard JSON.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+from repro.exceptions import ServiceError
+
+#: The only dtypes a snapshot array may carry — everything the service
+#: stores is (or exactly widens to) one of these.
+_DTYPES = {"float64": np.float64, "complex128": np.complex128}
+
+
+def encode_array(array: np.ndarray) -> dict:
+    """Lossless JSON form of a (possibly complex) array.
+
+    Dense arrays serialize as shape + raw bytes.  When the array is
+    mostly exact zeros the encoder emits a sparse form instead —
+    nonzero flat indices plus their raw bytes — chosen only when it is
+    strictly smaller than the dense form (a sparse entry costs 24
+    bytes: an int64 index plus a float64/complex128 payload component).
+    Both forms decode through :func:`decode_array`.
+    """
+    array = np.asarray(array)
+    dtype = np.complex128 if np.iscomplexobj(array) else np.float64
+    array = np.ascontiguousarray(array, dtype=dtype)
+    flat = array.reshape(-1)
+    if flat.size:
+        # Bit-level nonzero test: -0.0 and subnormals count as nonzero,
+        # so scattering into np.zeros reconstructs the exact bytes.
+        components = flat.view(np.uint64).reshape(flat.size, -1)
+        indices = np.flatnonzero(components.any(axis=1))
+        sparse_nbytes = indices.size * (8 + array.dtype.itemsize)
+        if sparse_nbytes < flat.nbytes:
+            values = np.ascontiguousarray(flat[indices])
+            return {
+                "shape": list(array.shape),
+                "dtype": array.dtype.name,
+                "indices": base64.b64encode(
+                    indices.astype(np.int64).tobytes()
+                ).decode("ascii"),
+                "values": base64.b64encode(values.tobytes()).decode("ascii"),
+            }
+    return {
+        "shape": list(array.shape),
+        "dtype": array.dtype.name,
+        "b64": base64.b64encode(array.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(payload: dict) -> np.ndarray:
+    dtype = _DTYPES.get(payload["dtype"])
+    if dtype is None:
+        raise ServiceError(
+            f"snapshot array has unsupported dtype {payload['dtype']!r} "
+            f"(expected one of {sorted(_DTYPES)})"
+        )
+    shape = tuple(payload["shape"])
+    if "indices" in payload:
+        indices = np.frombuffer(
+            base64.b64decode(payload["indices"].encode("ascii")), dtype=np.int64
+        )
+        values = np.frombuffer(
+            base64.b64decode(payload["values"].encode("ascii")), dtype=dtype
+        )
+        if indices.size != values.size:
+            raise ServiceError(
+                f"sparse snapshot array is inconsistent: {indices.size} "
+                f"indices but {values.size} values"
+            )
+        flat = np.zeros(int(np.prod(shape, dtype=np.int64)), dtype=dtype)
+        flat[indices] = values
+        return flat.reshape(shape)
+    raw = base64.b64decode(payload["b64"].encode("ascii"))
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def encode_time(value: float) -> float | None:
+    """``-inf`` sentinels (no packet yet) become ``None`` in JSON."""
+    return None if value == float("-inf") else float(value)
+
+
+def decode_time(value: float | None) -> float:
+    return float("-inf") if value is None else float(value)

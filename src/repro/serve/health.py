@@ -56,6 +56,14 @@ class ApHealth:
             "n_solves": self.n_solves,
         }
 
+    def restore(self, payload: dict) -> None:
+        self.last_packet_s = payload["last_packet_s"]
+        self.last_success_s = payload["last_success_s"]
+        self.consecutive_failures = int(payload["consecutive_failures"])
+        self.failures = {str(k): int(v) for k, v in payload["failures"].items()}
+        self.n_packets = int(payload["n_packets"])
+        self.n_solves = int(payload["n_solves"])
+
 
 class ApHealthMonitor:
     """Fold packet arrivals and solve outcomes into per-AP health states."""
@@ -66,6 +74,7 @@ class ApHealthMonitor:
         *,
         outage_after_s: float = 2.0,
         failure_threshold: int = 3,
+        metrics=None,
     ) -> None:
         if outage_after_s <= 0:
             raise ConfigurationError(f"outage_after_s must be positive, got {outage_after_s}")
@@ -78,7 +87,11 @@ class ApHealthMonitor:
             raise ConfigurationError(f"duplicate AP names: {names}")
         self.outage_after_s = outage_after_s
         self.failure_threshold = failure_threshold
+        self.metrics = metrics
         self._aps = {name: ApHealth(name=name) for name in names}
+        # Last status each AP was *observed* in; transitions between
+        # observations are counted per edge so dashboards see flapping.
+        self._last_status: dict[str, str | None] = {name: None for name in names}
 
     def record_packet(self, ap: str, time_s: float) -> None:
         health = self._aps[ap]
@@ -104,17 +117,31 @@ class ApHealthMonitor:
         health.failures[kind] = health.failures.get(kind, 0) + 1
 
     def status(self, ap: str, now_s: float) -> str:
-        """``"healthy"`` / ``"degraded"`` / ``"outage"`` as of ``now_s``."""
+        """``"healthy"`` / ``"degraded"`` / ``"outage"`` as of ``now_s``.
+
+        Every observed state *change* emits a
+        ``serve.ap_health.transition.<old>_to_<new>`` counter; the
+        first observation of an AP sets its baseline silently.
+        """
         health = self._aps[ap]
         if health.last_packet_s is None:
-            return "outage"
-        if now_s - health.last_packet_s > self.outage_after_s:
-            return "outage"
-        if health.consecutive_failures >= self.failure_threshold:
-            return "outage"
-        if health.consecutive_failures > 0:
-            return "degraded"
-        return "healthy"
+            status = "outage"
+        elif now_s - health.last_packet_s > self.outage_after_s:
+            status = "outage"
+        elif health.consecutive_failures >= self.failure_threshold:
+            status = "outage"
+        elif health.consecutive_failures > 0:
+            status = "degraded"
+        else:
+            status = "healthy"
+        previous = self._last_status[ap]
+        if previous != status:
+            self._last_status[ap] = status
+            if previous is not None and self.metrics is not None:
+                self.metrics.counter(
+                    f"serve.ap_health.transition.{previous}_to_{status}"
+                ).inc()
+        return status
 
     def outage_reason(self, ap: str, now_s: float) -> str:
         """Human-readable reason for an ``"outage"`` status."""
@@ -141,3 +168,21 @@ class ApHealthMonitor:
             name: {"status": self.status(name, now_s), **health.to_dict()}
             for name, health in sorted(self._aps.items())
         }
+
+    # -- snapshot support ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Full internal state for the service snapshot (exact restore)."""
+        return {
+            "aps": {name: health.to_dict() for name, health in self._aps.items()},
+            "last_status": dict(self._last_status),
+        }
+
+    def restore_state(self, payload: dict) -> None:
+        for name, state in payload["aps"].items():
+            if name not in self._aps:
+                raise ConfigurationError(f"snapshot names unknown AP {name!r}")
+            self._aps[name].restore(state)
+        for name, status in payload["last_status"].items():
+            if name in self._last_status:
+                self._last_status[name] = status

@@ -21,9 +21,19 @@ from repro.exceptions import ConfigurationError
 #: The full admission-control taxonomy.  Every rejected packet carries
 #: exactly one of these, and the service counts each under
 #: ``serve.rejected.<reason>`` so an operator can tell backpressure
-#: ("queue_full") from bad input ("invalid_csi", "unknown_ap"), late
-#: arrivals ("stale") and shutdown ("draining") at a glance.
-REJECT_REASONS = ("queue_full", "draining", "unknown_ap", "invalid_csi", "stale")
+#: ("queue_full", and "shed_stale" when the degradation ladder sheds
+#: old data first) from bad input ("invalid_csi", "unknown_ap"), late
+#: arrivals ("stale"), a tripped per-AP circuit breaker
+#: ("breaker_open") and shutdown ("draining") at a glance.
+REJECT_REASONS = (
+    "queue_full",
+    "draining",
+    "unknown_ap",
+    "invalid_csi",
+    "stale",
+    "shed_stale",
+    "breaker_open",
+)
 
 
 @dataclass(frozen=True)

@@ -52,7 +52,10 @@ from repro.exceptions import ConfigurationError, QuorumError, ServiceError, Solv
 from repro.obs import NULL_TRACER, MetricsRegistry
 from repro.optim.batch import solve_batch
 from repro.optim.warm import WarmStartState
+from repro.serve.backpressure import BackpressureController, BackpressurePolicy
 from repro.serve.batcher import MicroBatch, MicroBatcher, SolveRequest
+from repro.serve.breaker import BreakerBoard
+from repro.serve.codec import decode_array, encode_array
 from repro.serve.health import ApHealthMonitor
 from repro.serve.packets import CsiPacket, PositionFix, RejectedPacket
 from repro.serve.session import ClientSession
@@ -87,6 +90,16 @@ class ServeConfig:
     #: AP health thresholds (packet staleness / consecutive failures).
     outage_after_s: float = 2.0
     failure_threshold: int = 3
+    #: Per-AP circuit breaker: consecutive failures to trip, packet-time
+    #: cool-down while open, and probes admitted half-open.  The breaker
+    #: trips *after* health degrades (default 5 > failure_threshold 3)
+    #: so dashboards see the AP flap before its packets stop costing
+    #: solver budget.
+    breaker_failure_threshold: int = 5
+    breaker_open_for_s: float = 1.0
+    breaker_half_open_probes: int = 1
+    #: Adaptive-backpressure degradation ladder (queue watermarks).
+    backpressure: BackpressurePolicy = field(default_factory=BackpressurePolicy)
     #: Chain per-(client, AP) solutions across micro-batches.
     warm_start: bool = True
     #: Sparse-solve working point.
@@ -130,6 +143,8 @@ class ServeResult:
     warm: dict
     metrics: dict
     health: dict
+    breakers: dict = field(default_factory=dict)
+    backpressure: dict = field(default_factory=dict)
 
     @property
     def n_fixes(self) -> int:
@@ -169,6 +184,8 @@ class ServeResult:
             "rejected": [packet.to_dict() for packet in self.rejected],
             "metrics": self.metrics,
             "health": self.health,
+            "breakers": self.breakers,
+            "backpressure": self.backpressure,
         }
 
 
@@ -229,6 +246,19 @@ class LocalizationService:
             names,
             outage_after_s=self.config.outage_after_s,
             failure_threshold=self.config.failure_threshold,
+            metrics=self.metrics,
+        )
+        self.breakers = BreakerBoard(
+            names,
+            failure_threshold=self.config.breaker_failure_threshold,
+            open_for_s=self.config.breaker_open_for_s,
+            half_open_probes=self.config.breaker_half_open_probes,
+            metrics=self.metrics,
+        )
+        self.backpressure = BackpressureController(
+            self.config.backpressure,
+            max_pending=self.config.max_pending,
+            metrics=self.metrics,
         )
         self.sessions: dict[str, ClientSession] = {}
         self._batcher = MicroBatcher(
@@ -237,6 +267,12 @@ class LocalizationService:
             max_pending=self.config.max_pending,
         )
         self._dirty: set[str] = set()
+        # Snapshot encode cache for warm slots, keyed by the slot's
+        # array object identity.  Safe because WarmStartState.put always
+        # rebinds a fresh copy (an unchanged identity means unchanged
+        # bytes), and the solver never mutates a stored slot in place
+        # (warm seeds are copied into the stacked x0).
+        self._warm_encode_cache: dict[str, tuple] = {}
         self._draining = False
         self._running = False
         self.max_batch_observed = 0
@@ -261,12 +297,19 @@ class LocalizationService:
             return "draining"
         if packet.ap not in self.access_points:
             return "unknown_ap"
+        # A tripped breaker rejects before validation or any window
+        # work: a flapping AP's packets must not consume solver budget
+        # — or even the cost of looking at them.
+        if not self.breakers.allow(packet.ap, packet.time_s):
+            return "breaker_open"
         csi = np.asarray(packet.csi)
         expected = (self.array.n_antennas, self.layout.n_subcarriers)
         if csi.shape != expected or not np.all(np.isfinite(csi)):
             self.health.record_failure(packet.ap, "invalid_csi", packet.time_s)
+            self.breakers.record_failure(packet.ap, packet.time_s)
             return "invalid_csi"
 
+        level = self.backpressure.update(self._batcher.pending)
         session = self.sessions.get(packet.client)
         if session is None:
             session = ClientSession(
@@ -278,14 +321,27 @@ class LocalizationService:
         elif packet.time_s < session.latest_time_s - self.config.window_s:
             # Older than anything the window could still hold.
             return "stale"
+        elif level >= 3:
+            # Ladder step 3: under heavy overload, shed stale data
+            # first — packets well behind the session clock are the
+            # cheapest accuracy to give up.
+            horizon = self.backpressure.shed_horizon_s(self.config.window_s)
+            if horizon is not None and packet.time_s < session.latest_time_s - horizon:
+                return "shed_stale"
 
         now = self.clock()
         session.add_packet(packet.ap, packet.time_s, vectorize_csi_matrix(csi))
+        snapshots = session.snapshots(packet.ap)
+        # Ladder step 1: shrink the MMV window (keep the newest
+        # columns) so each joint solve gets cheaper under load.
+        cap = self.backpressure.window_cap(self.config.window_packets)
+        if snapshots.shape[1] > cap:
+            snapshots = snapshots[:, -cap:]
         request = SolveRequest(
             key=f"{packet.client}:{packet.ap}",
             client=packet.client,
             ap=packet.ap,
-            snapshots=session.snapshots(packet.ap),
+            snapshots=snapshots,
             packet_time_s=packet.time_s,
             rssi_dbm=packet.rssi_dbm,
             enqueued_at=now,
@@ -330,11 +386,15 @@ class LocalizationService:
         by_width: dict[int, list[SolveRequest]] = {}
         for request in batch.requests:
             by_width.setdefault(request.width, []).append(request)
+        # Ladder step 2: cap the solve-group width under load so one
+        # giant matmul cannot hold the event loop for a full batch.
+        group_cap = self.backpressure.batch_cap(self.config.batch_size)
         with self.tracer.span(
             "serve.micro_batch", size=len(batch), trigger=batch.trigger
         ):
             for width, requests in sorted(by_width.items()):
-                self._solve_group(width, requests)
+                for start in range(0, len(requests), group_cap):
+                    self._solve_group(width, requests[start : start + group_cap])
 
     def _solve_group(self, width: int, requests: list[SolveRequest]) -> None:
         warm = self.config.warm_start
@@ -359,6 +419,7 @@ class LocalizationService:
             self.metrics.counter("serve.solve_failures").inc(len(requests))
             for request in requests:
                 self.health.record_failure(request.ap, "solver", request.packet_time_s)
+                self.breakers.record_failure(request.ap, request.packet_time_s)
             with self.tracer.span("serve.solve_failure", error=str(error)):
                 pass
             return
@@ -383,6 +444,7 @@ class LocalizationService:
                 request.enqueued_at,
             )
             self.health.record_success(request.ap, request.packet_time_s)
+            self.breakers.record_success(request.ap, request.packet_time_s)
             self._dirty.add(request.client)
         self.metrics.counter("serve.solves").inc(len(requests))
 
@@ -411,7 +473,10 @@ class LocalizationService:
         for name in self.access_points:
             if name in fresh:
                 continue
-            if self.health.status(name, session.latest_time_s) == "outage":
+            if self.breakers.state(name) == "open":
+                reason = self.breakers.open_reason(name)
+                bucket = "breaker_open"
+            elif self.health.status(name, session.latest_time_s) == "outage":
                 reason = f"AP outage: {self.health.outage_reason(name, session.latest_time_s)}"
                 bucket = "outage"
             elif name in session.estimates:
@@ -533,7 +598,92 @@ class LocalizationService:
             },
             metrics=self.metrics.to_dict(),
             health=self.health.to_dict(self.latest_packet_time_s),
+            breakers=self.breakers.to_dict(),
+            backpressure=self.backpressure.to_dict(),
         )
+
+    # -- snapshot / restore --------------------------------------------------
+
+    #: Bump when the snapshot layout changes incompatibly.
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> dict:
+        """Every piece of mutable service state, losslessly.
+
+        The contract: a fresh service that ``restore_state``s this
+        payload and then receives the same packet sequence produces
+        *byte-identical* fixes to the service that never stopped.  That
+        requires exact float round-trips everywhere (see
+        :mod:`repro.serve.codec`) and packet-time clocks throughout —
+        anything keyed to a wall clock would replay differently.
+        """
+        return {
+            "version": self.SNAPSHOT_VERSION,
+            # Warm slots go through the fast binary-exact codec, not
+            # WarmStartState.to_dict — at thousands of slots the
+            # repr-per-float path would dominate snapshot cost.  An
+            # identity-keyed cache skips re-encoding slots untouched
+            # since the previous snapshot.
+            "warm": {"slots": self._encode_warm_slots()},
+            "health": self.health.state_dict(),
+            "breakers": self.breakers.state_dict(),
+            "backpressure": self.backpressure.state_dict(),
+            "sessions": {
+                client: session.state_dict()
+                for client, session in self.sessions.items()
+            },
+            "batcher": self._batcher.state_dict(),
+            "dirty": sorted(self._dirty),
+            "draining": self._draining,
+            "max_batch_observed": self.max_batch_observed,
+            "batch_triggers": dict(self.batch_triggers),
+            "latest_packet_time_s": self.latest_packet_time_s,
+        }
+
+    def _encode_warm_slots(self) -> dict:
+        cache = self._warm_encode_cache
+        slots = self.warm_state.slots
+        encoded = {}
+        for key, value in slots.items():
+            ref, payload = cache.get(key, (None, None))
+            if value is not ref:
+                payload = encode_array(value)
+                cache[key] = (value, payload)
+            encoded[key] = payload
+        for key in [key for key in cache if key not in slots]:
+            del cache[key]
+        return encoded
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a :meth:`snapshot_state` payload into this service."""
+        version = payload.get("version")
+        if version != self.SNAPSHOT_VERSION:
+            raise ServiceError(
+                f"unsupported service snapshot version {version!r} "
+                f"(this build writes {self.SNAPSHOT_VERSION})"
+            )
+        self.warm_state = WarmStartState(
+            slots={
+                key: decode_array(value)
+                for key, value in payload["warm"]["slots"].items()
+            }
+        )
+        self._warm_encode_cache.clear()
+        self.health.restore_state(payload["health"])
+        self.breakers.restore_state(payload["breakers"])
+        self.backpressure.restore_state(payload["backpressure"])
+        self.sessions = {
+            client: ClientSession.from_state_dict(state)
+            for client, state in payload["sessions"].items()
+        }
+        self._batcher.restore_state(payload["batcher"])
+        self._dirty = set(payload["dirty"])
+        self._draining = bool(payload["draining"])
+        self.max_batch_observed = int(payload["max_batch_observed"])
+        self.batch_triggers = {
+            str(k): int(v) for k, v in payload["batch_triggers"].items()
+        }
+        self.latest_packet_time_s = float(payload["latest_packet_time_s"])
 
     # -- warm-start persistence ----------------------------------------------
 
@@ -547,4 +697,5 @@ class LocalizationService:
         """Restore a snapshot; returns the number of slots loaded."""
         with open(path) as handle:
             self.warm_state = WarmStartState.from_dict(json.load(handle))
+        self._warm_encode_cache.clear()
         return len(self.warm_state)

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.tracking import KalmanTracker
 from repro.exceptions import ConfigurationError
+from repro.serve.codec import decode_array, decode_time, encode_array, encode_time
 
 
 @dataclass(frozen=True)
@@ -100,3 +101,53 @@ class ClientSession:
     def fix_due(self) -> bool:
         """True when new data arrived since the last emitted fix."""
         return self.latest_time_s > self.last_fix_time_s
+
+    # -- snapshot support ----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything mutable, losslessly, for the service snapshot."""
+        return {
+            "client": self.client,
+            "window_packets": self.window_packets,
+            "window_s": self.window_s,
+            "windows": {
+                ap: [[time_s, encode_array(y)] for time_s, y in window]
+                for ap, window in self._windows.items()
+            },
+            "estimates": {
+                ap: {
+                    "time_s": est.time_s,
+                    "aoa_deg": est.aoa_deg,
+                    "rssi_dbm": est.rssi_dbm,
+                    "enqueued_at": est.enqueued_at,
+                }
+                for ap, est in self.estimates.items()
+            },
+            "latest_time_s": encode_time(self.latest_time_s),
+            "last_fix_time_s": encode_time(self.last_fix_time_s),
+            "tracker": self.tracker.state_dict(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, payload: dict) -> "ClientSession":
+        session = cls(
+            str(payload["client"]),
+            window_packets=int(payload["window_packets"]),
+            window_s=float(payload["window_s"]),
+            tracker=KalmanTracker.from_state_dict(payload["tracker"]),
+        )
+        for ap, window in payload["windows"].items():
+            session._windows[ap] = deque(
+                (float(time_s), decode_array(y)) for time_s, y in window
+            )
+        for ap, est in payload["estimates"].items():
+            session.estimates[ap] = ApEstimate(
+                ap=ap,
+                time_s=float(est["time_s"]),
+                aoa_deg=float(est["aoa_deg"]),
+                rssi_dbm=float(est["rssi_dbm"]),
+                enqueued_at=float(est["enqueued_at"]),
+            )
+        session.latest_time_s = decode_time(payload["latest_time_s"])
+        session.last_fix_time_s = decode_time(payload["last_fix_time_s"])
+        return session

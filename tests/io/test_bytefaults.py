@@ -1,0 +1,130 @@
+"""Byte-level fault injectors: determinism, size contracts, catalogue."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FaultInjectionError
+from repro.io.bytefaults import (
+    BYTE_FAULT_CATALOGUE,
+    BitFlips,
+    ByteFault,
+    FrameDuplication,
+    GarbageInsertion,
+    LengthFieldCorruption,
+    Truncation,
+    corrupt_bytes,
+    fuzz_corpus,
+)
+
+PAYLOAD = bytes(range(256)) * 4
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        first, faults_a = corrupt_bytes(PAYLOAD, BYTE_FAULT_CATALOGUE, seed=99)
+        second, faults_b = corrupt_bytes(PAYLOAD, BYTE_FAULT_CATALOGUE, seed=99)
+        assert first == second
+        assert [f.to_dict() for f in faults_a] == [f.to_dict() for f in faults_b]
+
+    def test_different_seed_different_bytes(self):
+        first, _ = corrupt_bytes(PAYLOAD, [BitFlips(n_flips=16)], seed=1)
+        second, _ = corrupt_bytes(PAYLOAD, [BitFlips(n_flips=16)], seed=2)
+        assert first != second
+
+    @given(data=st.binary(min_size=2, max_size=512), seed=st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_replayable_for_arbitrary_input(self, data, seed):
+        first, _ = corrupt_bytes(data, BYTE_FAULT_CATALOGUE, seed=seed)
+        second, _ = corrupt_bytes(data, BYTE_FAULT_CATALOGUE, seed=seed)
+        assert isinstance(first, bytes) and first == second
+
+
+class TestInjectorContracts:
+    def test_truncation_shortens_but_never_empties(self):
+        corrupted, [fault] = Truncation(min_keep=4).apply(PAYLOAD, rng())
+        assert 4 <= len(corrupted) < len(PAYLOAD)
+        assert corrupted == PAYLOAD[: len(corrupted)]
+        assert fault.kind == "truncation"
+
+    def test_truncation_short_input_is_noop(self):
+        data = b"ab"
+        corrupted, faults = Truncation(min_keep=2).apply(data, rng())
+        assert corrupted == data and faults == []
+
+    def test_bit_flips_preserve_length(self):
+        corrupted, [fault] = BitFlips(n_flips=8).apply(PAYLOAD, rng())
+        assert len(corrupted) == len(PAYLOAD)
+        assert corrupted != PAYLOAD
+        assert fault.kind == "bit_flips"
+
+    def test_zero_flips_is_noop(self):
+        corrupted, faults = BitFlips(n_flips=0).apply(PAYLOAD, rng())
+        assert corrupted is PAYLOAD and faults == []
+
+    def test_length_field_preserves_length(self):
+        corrupted, faults = LengthFieldCorruption(n_fields=3).apply(PAYLOAD, rng())
+        assert len(corrupted) == len(PAYLOAD)
+        assert len(faults) == 3
+        assert all(f.kind == "length_field" for f in faults)
+
+    def test_frame_duplication_grows(self):
+        corrupted, [fault] = FrameDuplication(max_frame=32).apply(PAYLOAD, rng())
+        assert len(PAYLOAD) < len(corrupted) <= len(PAYLOAD) + 32
+        assert fault.kind == "frame_duplication"
+
+    def test_garbage_insertion_grows_by_n_bytes(self):
+        corrupted, [fault] = GarbageInsertion(n_bytes=7).apply(PAYLOAD, rng())
+        assert len(corrupted) == len(PAYLOAD) + 7
+        assert fault.kind == "garbage_insertion"
+
+    def test_misconfiguration_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            Truncation(min_keep=0)
+        with pytest.raises(FaultInjectionError):
+            BitFlips(n_flips=-1)
+        with pytest.raises(FaultInjectionError):
+            LengthFieldCorruption(endian="?")
+        with pytest.raises(FaultInjectionError):
+            GarbageInsertion(n_bytes=-1)
+
+    def test_bytefault_to_dict(self):
+        assert ByteFault("truncation", "cut").to_dict() == {
+            "kind": "truncation",
+            "detail": "cut",
+        }
+
+
+class TestFuzzCorpus:
+    def test_yields_n_seeded_variants(self):
+        variants = list(fuzz_corpus(PAYLOAD, seed=100, n=11))
+        assert len(variants) == 11
+        assert [seed for seed, _, _ in variants] == list(range(100, 111))
+        # Each variant is individually replayable from its seed alone.
+        for i, (seed, corrupted, _) in enumerate(variants):
+            injector = BYTE_FAULT_CATALOGUE[i % len(BYTE_FAULT_CATALOGUE)]
+            replayed, _ = corrupt_bytes(PAYLOAD, [injector], seed=seed)
+            assert replayed == corrupted
+
+    def test_cycles_full_catalogue(self):
+        n = len(BYTE_FAULT_CATALOGUE)
+        kinds = [
+            faults[0].kind
+            for _, _, faults in fuzz_corpus(PAYLOAD, seed=0, n=n)
+            if faults
+        ]
+        assert set(kinds) == {injector.kind for injector in BYTE_FAULT_CATALOGUE}
+
+    def test_zero_n_is_empty(self):
+        assert list(fuzz_corpus(PAYLOAD, seed=0, n=0)) == []
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            list(fuzz_corpus(PAYLOAD, seed=0, n=-1))
+        with pytest.raises(FaultInjectionError):
+            list(fuzz_corpus(PAYLOAD, seed=0, n=1, injectors=()))

@@ -65,6 +65,38 @@ class TestFailureTolerance:
         assert not result.ok
         assert "shape_mismatch" in result.records[0].error
 
+    @pytest.mark.filterwarnings("ignore:dropping torn final record")
+    def test_failures_carry_source_and_fault_kind(self, tmp_path):
+        bad = tmp_path / "bad.dat"
+        bad.write_bytes(b"definitely not a bfee log")
+        [record] = ingest_sources([bad]).records
+        assert not record.ok
+        assert record.source == str(bad)
+        assert record.error_kind == "empty"
+        assert record.to_dict()["error_kind"] == "empty"
+
+    @pytest.mark.filterwarnings("ignore:dropping torn final record")
+    def test_failure_summary_dedupes_same_defect(self, tmp_path, int8_csi):
+        # Three captures broken the same way, one broken differently,
+        # one fine: the summary tells two stories, not four.
+        same_defect = []
+        for name in ("a", "b", "c"):
+            bad = tmp_path / f"{name}.dat"
+            bad.write_bytes(b"not a bfee log either")
+            same_defect.append(bad)
+        missing = tmp_path / "gone.dat"
+        good = tmp_path / "good.dat"
+        write_intel_dat(good, int8_csi)
+        result = ingest_sources([*same_defect, missing, good])
+        summary = result.failure_summary()
+        assert [entry["count"] for entry in summary] == [3, 1]
+        assert summary[0]["error_kind"] == "empty"
+        assert summary[1]["error_kind"] == "unresolved"
+        # Per-path prose is masked so one defect groups across files,
+        # but the offending sources are still listed.
+        assert "<source>" in summary[0]["error"]
+        assert summary[0]["sources"] == [str(path) for path in same_defect]
+
 
 class TestRegistration:
     def test_register_prefix_lands_in_manifest(self, tmp_path, int8_csi):

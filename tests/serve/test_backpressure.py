@@ -1,0 +1,111 @@
+"""Backpressure ladder: watermarks, hysteresis, degradations, metrics."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.serve import BackpressureController, BackpressurePolicy
+
+
+def controller(max_pending=20, metrics=None, **policy):
+    return BackpressureController(
+        BackpressurePolicy(**policy), max_pending=max_pending, metrics=metrics
+    )
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_watermarks(self):
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy(watermarks=(0.5, 0.75))
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy(watermarks=(0.75, 0.5, 0.9))
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy(watermarks=(0.0, 0.5, 0.9))
+
+    def test_rejects_bad_degradations(self):
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy(window_cap=0)
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy(batch_cap_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy(shed_horizon_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            BackpressurePolicy(hysteresis=-0.1)
+
+    def test_rejects_bad_max_pending(self):
+        with pytest.raises(ConfigurationError):
+            controller(max_pending=0)
+
+
+class TestLadder:
+    def test_levels_follow_watermarks(self):
+        ladder = controller(max_pending=20)
+        assert ladder.update(9) == 0
+        assert ladder.update(10) == 1
+        assert ladder.update(15) == 2
+        assert ladder.update(18) == 3
+        assert ladder.max_level_seen == 3
+        assert ladder.n_escalations == 3
+
+    def test_hysteresis_holds_level_near_watermark(self):
+        ladder = controller(max_pending=100)
+        assert ladder.update(50) == 1
+        # Just below the watermark but inside the hysteresis band: hold.
+        assert ladder.update(47) == 1
+        assert ladder.n_deescalations == 0
+        # Clear below the band: de-escalate.
+        assert ladder.update(44) == 0
+        assert ladder.n_deescalations == 1
+
+    def test_levels_can_skip_straight_down(self):
+        ladder = controller(max_pending=100)
+        ladder.update(95)
+        assert ladder.level == 3
+        assert ladder.update(0) == 0
+
+    def test_degradations_by_level(self):
+        ladder = controller(max_pending=10, window_cap=2, batch_cap_fraction=0.5)
+        assert ladder.window_cap(4) == 4
+        assert ladder.batch_cap(16) == 16
+        assert ladder.shed_horizon_s(2.0) is None
+        ladder.update(5)  # level 1
+        assert ladder.window_cap(4) == 2
+        assert ladder.batch_cap(16) == 16
+        ladder.update(8)  # level 2
+        assert ladder.batch_cap(16) == 8
+        assert ladder.shed_horizon_s(2.0) is None
+        ladder.update(9)  # level 3
+        assert ladder.shed_horizon_s(2.0) == pytest.approx(1.0)
+
+    def test_batch_cap_never_below_one(self):
+        ladder = controller(max_pending=10, batch_cap_fraction=0.01)
+        ladder.update(8)
+        assert ladder.batch_cap(1) == 1
+
+    def test_transition_metrics(self):
+        metrics = MetricsRegistry()
+        ladder = controller(max_pending=10, metrics=metrics)
+        ladder.update(5)
+        ladder.update(9)
+        ladder.update(0)
+        assert metrics.counter("serve.backpressure.escalate.to_level_1").value == 1
+        assert metrics.counter("serve.backpressure.escalate.to_level_3").value == 1
+        assert metrics.counter("serve.backpressure.deescalate.to_level_0").value == 1
+        assert metrics.gauge("serve.backpressure.level").value == 0
+
+
+class TestStateDict:
+    def test_round_trip(self):
+        ladder = controller(max_pending=10)
+        ladder.update(8)
+        ladder.update(2)
+        restored = controller(max_pending=10)
+        restored.restore_state(ladder.state_dict())
+        assert restored.state_dict() == ladder.state_dict()
+        assert restored.level == ladder.level
+
+    def test_to_dict_includes_policy(self):
+        ladder = controller(max_pending=10)
+        payload = ladder.to_dict()
+        assert payload["level"] == 0
+        assert payload["policy"]["watermarks"] == [0.5, 0.75, 0.9]

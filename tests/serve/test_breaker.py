@@ -1,0 +1,133 @@
+"""Per-AP circuit breakers: state machine, board metrics, restore."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.serve import BREAKER_STATES, BreakerBoard, CircuitBreaker
+
+
+class TestStateMachine:
+    def test_closed_admits(self):
+        breaker = CircuitBreaker()
+        assert breaker.state == "closed"
+        assert breaker.allow(0.0)
+
+    def test_trips_open_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, open_for_s=1.0)
+        for _ in range(2):
+            breaker.record_failure(0.0)
+        assert breaker.state == "closed"
+        breaker.record_failure(0.0)
+        assert breaker.state == "open"
+        assert breaker.n_trips == 1
+        assert not breaker.allow(0.5)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        for _ in range(10):
+            breaker.record_failure(0.0)
+            breaker.record_failure(0.0)
+            breaker.record_success(0.0)
+        assert breaker.state == "closed"
+        assert breaker.n_trips == 0
+
+    def test_cooldown_admits_bounded_probes(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_for_s=1.0, half_open_probes=2)
+        breaker.record_failure(0.0)
+        assert not breaker.allow(0.5)
+        assert breaker.allow(1.5)
+        assert breaker.state == "half_open"
+        assert breaker.allow(1.6)
+        assert not breaker.allow(1.7)
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_for_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(2.0)
+        breaker.record_success(2.0)
+        assert breaker.state == "closed"
+        assert breaker.allow(2.1)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_for_s=1.0)
+        breaker.record_failure(0.0)
+        assert breaker.allow(2.0)
+        breaker.record_failure(2.0)
+        assert breaker.state == "open"
+        assert breaker.opened_at_s == 2.0
+        assert breaker.n_trips == 2
+        assert not breaker.allow(2.9)
+        assert breaker.allow(3.1)
+
+    def test_state_dict_round_trip(self):
+        breaker = CircuitBreaker(failure_threshold=1, open_for_s=1.0)
+        breaker.record_failure(0.25)
+        restored = CircuitBreaker(failure_threshold=1, open_for_s=1.0)
+        restored.restore_state(breaker.state_dict())
+        assert restored.state_dict() == breaker.state_dict()
+        # The restored breaker makes the same admission decisions.
+        assert restored.allow(0.5) == breaker.allow(0.5)
+        assert restored.allow(1.5) == breaker.allow(1.5)
+
+    def test_restore_rejects_unknown_state(self):
+        breaker = CircuitBreaker()
+        payload = breaker.state_dict() | {"state": "melted"}
+        with pytest.raises(ConfigurationError, match="melted"):
+            breaker.restore_state(payload)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(open_for_s=0.0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(half_open_probes=0)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(state="melted")
+
+
+class TestBreakerBoard:
+    def test_duplicate_aps_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            BreakerBoard(["a", "a"])
+
+    def test_transitions_and_trips_are_counted(self):
+        metrics = MetricsRegistry()
+        board = BreakerBoard(
+            ["east", "west"], failure_threshold=2, open_for_s=1.0, metrics=metrics
+        )
+        board.record_failure("east", 0.0)
+        board.record_failure("east", 0.0)
+        assert board.state("east") == "open"
+        assert metrics.counter("serve.breaker.trips").value == 1
+        assert metrics.counter("serve.breaker.transition.closed_to_open").value == 1
+        assert board.allow("east", 1.5)
+        assert metrics.counter("serve.breaker.transition.open_to_half_open").value == 1
+        board.record_success("east", 1.5)
+        assert metrics.counter("serve.breaker.transition.half_open_to_closed").value == 1
+        # The untouched AP never transitioned and stays closed.
+        assert board.state("west") == "closed"
+
+    def test_open_reason_mentions_streak_and_trip(self):
+        board = BreakerBoard(["east"], failure_threshold=1)
+        board.record_failure("east", 0.0)
+        reason = board.open_reason("east")
+        assert "1 consecutive" in reason and "trip #1" in reason
+
+    def test_state_dict_round_trip(self):
+        board = BreakerBoard(["east", "west"], failure_threshold=1)
+        board.record_failure("west", 3.0)
+        restored = BreakerBoard(["east", "west"], failure_threshold=1)
+        restored.restore_state(board.state_dict())
+        assert restored.state_dict() == board.state_dict()
+        assert restored.state("west") == "open"
+
+    def test_restore_rejects_unknown_ap(self):
+        board = BreakerBoard(["east"])
+        with pytest.raises(ConfigurationError, match="unknown AP"):
+            board.restore_state({"north": CircuitBreaker().state_dict()})
+
+
+def test_breaker_states_taxonomy_is_closed():
+    assert BREAKER_STATES == ("closed", "open", "half_open")

@@ -1,0 +1,73 @@
+"""Service-level chaos drills and the resilience scorecard."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.serve import (
+    SERVE_CHAOS_SCENARIOS,
+    ServeChaosOptions,
+    run_serve_chaos,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def drills(tmp_path_factory):
+    """One full pass over every scenario (the expensive part, run once)."""
+    options = ServeChaosOptions(workdir=tmp_path_factory.mktemp("serve-chaos"))
+    return run_serve_chaos(options)
+
+
+class TestScenarios:
+    def test_every_scenario_passes(self, drills):
+        verdicts = {outcome.name: outcome.passed for outcome in drills.outcomes}
+        assert verdicts == {name: True for name in SERVE_CHAOS_SCENARIOS}
+        assert drills.passed and drills.n_passed == len(SERVE_CHAOS_SCENARIOS)
+
+    def test_blackout_detected_and_survived(self, drills):
+        outcome = {o.name: o for o in drills.outcomes}["ap_blackout"]
+        assert outcome.details["dark_ap_status"] == "outage"
+        assert outcome.details["n_fixes"] > 0
+
+    def test_storm_is_taxonomized_not_thrown(self, drills):
+        outcome = {o.name: o for o in drills.outcomes}["queue_storm"]
+        assert outcome.details["reject_counts"].get("queue_full", 0) > 0
+        assert outcome.details["backpressure_escalations"] >= 1
+
+    def test_breaker_trips_on_corruption(self, drills):
+        outcome = {o.name: o for o in drills.outcomes}["corrupted_packets"]
+        assert outcome.details["breaker_trips"] >= 1
+        assert outcome.details["breaker_state"] == "open"
+
+    def test_crash_recovery_journals_identical(self, drills):
+        outcome = {o.name: o for o in drills.outcomes}["mid_stream_crash"]
+        assert outcome.details["journals_identical"]
+        assert outcome.details["n_restarts"] == len(outcome.details["crash_points"])
+
+
+class TestScorecard:
+    def test_scorecard_shape(self, drills):
+        scorecard = drills.scorecard()
+        assert scorecard["version"] == 1
+        assert scorecard["passed"] is True
+        assert scorecard["n_scenarios"] == len(SERVE_CHAOS_SCENARIOS)
+        assert [s["name"] for s in scorecard["scenarios"]] == list(
+            SERVE_CHAOS_SCENARIOS
+        )
+        # The scorecard is the CI artifact: it must be JSON-serializable.
+        json.dumps(scorecard)
+
+
+class TestSelection:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="power_cut"):
+            run_serve_chaos(scenarios=["power_cut"])
+
+    def test_subset_runs_only_named(self, tmp_path):
+        options = ServeChaosOptions(workdir=tmp_path)
+        result = run_serve_chaos(options, scenarios=["queue_storm"])
+        assert [outcome.name for outcome in result.outcomes] == ["queue_storm"]
+        assert result.passed

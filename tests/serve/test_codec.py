@@ -1,0 +1,96 @@
+"""Snapshot array codec: dense and sparse forms, bit-exact round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.serve.codec import decode_array, decode_time, encode_array, encode_time
+
+
+def round_trip(array):
+    return decode_array(encode_array(array))
+
+
+class TestDenseForm:
+    def test_dense_float_round_trip(self):
+        rng = np.random.default_rng(3)
+        array = rng.normal(size=(7, 5))
+        payload = encode_array(array)
+        assert "b64" in payload and "indices" not in payload
+        np.testing.assert_array_equal(round_trip(array), array)
+
+    def test_dense_complex_round_trip(self):
+        rng = np.random.default_rng(4)
+        array = rng.normal(size=(3, 4)) + 1j * rng.normal(size=(3, 4))
+        restored = round_trip(array)
+        assert restored.dtype == np.complex128
+        assert restored.tobytes() == array.astype(np.complex128).tobytes()
+
+    def test_empty_array_round_trip(self):
+        array = np.zeros((0, 4), dtype=np.complex128)
+        restored = round_trip(array)
+        assert restored.shape == (0, 4)
+        assert restored.dtype == np.complex128
+
+    def test_unsupported_dtype_rejected(self):
+        payload = encode_array(np.ones(3))
+        payload["dtype"] = "int8"
+        with pytest.raises(ServiceError, match="unsupported dtype"):
+            decode_array(payload)
+
+
+class TestSparseForm:
+    def test_mostly_zero_array_goes_sparse_and_shrinks(self):
+        array = np.zeros((1281, 2), dtype=np.complex128)
+        array[17, 0] = 1.5 - 0.25j
+        array[902, 1] = -3.0
+        payload = encode_array(array)
+        assert "indices" in payload and "b64" not in payload
+        dense_chars = len(encode_array(np.ones_like(array))["b64"])
+        assert len(payload["indices"]) + len(payload["values"]) < dense_chars / 10
+        restored = decode_array(payload)
+        assert restored.tobytes() == array.tobytes()
+
+    def test_dense_data_stays_dense(self):
+        rng = np.random.default_rng(5)
+        array = rng.normal(size=(64,))
+        assert "b64" in encode_array(array)
+
+    def test_all_zero_array_round_trip(self):
+        array = np.zeros((9, 3), dtype=np.complex128)
+        payload = encode_array(array)
+        assert "indices" in payload
+        restored = decode_array(payload)
+        assert restored.tobytes() == array.tobytes()
+
+    def test_negative_zero_survives_bit_exactly(self):
+        # Soft-thresholding emits -0.0 for shrunk negative entries; the
+        # bit-level nonzero test must keep them so the dense
+        # reconstruction is byte-identical, not merely value-equal.
+        array = np.zeros(32)
+        array[3] = -0.0
+        array[7] = 5e-324  # smallest subnormal
+        payload = encode_array(array)
+        assert "indices" in payload
+        restored = decode_array(payload)
+        assert restored.tobytes() == array.tobytes()
+        assert np.signbit(restored[3])
+
+    def test_complex_negative_zero_component(self):
+        array = np.zeros(16, dtype=np.complex128)
+        array[2] = complex(0.0, -0.0)
+        restored = round_trip(array)
+        assert restored.tobytes() == array.tobytes()
+
+    def test_inconsistent_sparse_payload_rejected(self):
+        payload = encode_array(np.zeros(8))
+        payload["values"] = encode_array(np.ones(2))["b64"]
+        with pytest.raises(ServiceError, match="inconsistent"):
+            decode_array(payload)
+
+
+class TestTimes:
+    def test_sentinel_round_trip(self):
+        assert encode_time(float("-inf")) is None
+        assert decode_time(None) == float("-inf")
+        assert decode_time(encode_time(12.5)) == 12.5

@@ -89,3 +89,51 @@ class TestValidation:
             ApHealthMonitor(["ap-a"], failure_threshold=0)
         with pytest.raises(ConfigurationError):
             ApHealthMonitor(["ap-a", "ap-a"])
+
+
+class TestTransitionMetrics:
+    def test_observed_transitions_are_counted_per_edge(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        m = monitor(metrics=metrics)
+        # First observation sets the baseline silently.
+        m.record_packet("ap-a", 1.0)
+        m.record_success("ap-a", 1.0)
+        assert m.status("ap-a", 1.0) == "healthy"
+        assert (
+            metrics.counter("serve.ap_health.transition.healthy_to_degraded").value
+            == 0
+        )
+        m.record_failure("ap-a", "solver", 1.1)
+        assert m.status("ap-a", 1.1) == "degraded"
+        m.record_success("ap-a", 1.2)
+        assert m.status("ap-a", 1.2) == "healthy"
+        assert m.status("ap-a", 10.0) == "outage"
+        assert (
+            metrics.counter("serve.ap_health.transition.healthy_to_degraded").value
+            == 1
+        )
+        assert (
+            metrics.counter("serve.ap_health.transition.degraded_to_healthy").value
+            == 1
+        )
+        assert (
+            metrics.counter("serve.ap_health.transition.healthy_to_outage").value == 1
+        )
+
+    def test_steady_status_emits_nothing(self):
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        m = monitor(metrics=metrics)
+        m.record_packet("ap-a", 1.0)
+        m.record_success("ap-a", 1.0)
+        for _ in range(5):
+            m.status("ap-a", 1.0)
+        transitions = [
+            name
+            for name in metrics.to_dict()
+            if name.startswith("serve.ap_health.transition.")
+        ]
+        assert transitions == []

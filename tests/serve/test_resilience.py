@@ -1,0 +1,229 @@
+"""Supervised crash recovery: snapshots, ack journal, exactly-once replay."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ServiceError, SupervisorError
+from repro.obs import MetricsRegistry
+from repro.serve import LocalizationService, ManualClock, ServiceSupervisor, SnapshotPolicy
+from repro.serve.resilience import count_journaled_fixes, load_snapshot
+
+from tests.serve.conftest import small_serve_config
+
+CONFIG = small_serve_config()
+
+
+def factory(workload):
+    def build(clock) -> LocalizationService:
+        return LocalizationService(
+            workload.room,
+            workload.access_points,
+            array=workload.array,
+            layout=workload.layout,
+            config=CONFIG,
+            clock=clock,
+            metrics=MetricsRegistry(),
+        )
+
+    return build
+
+
+def supervised(workload, directory, *, every_packets=8, **kwargs):
+    policy = SnapshotPolicy(directory=directory, every_packets=every_packets)
+    return ServiceSupervisor(factory(workload), policy, **kwargs), policy
+
+
+@pytest.fixture(scope="module")
+def steady(workload, tmp_path_factory):
+    """One uninterrupted supervised run: the byte-parity reference."""
+    supervisor, policy = supervised(workload, tmp_path_factory.mktemp("steady"))
+    with supervisor:
+        result = supervisor.run(workload.packets)
+    return result, policy
+
+
+class TestManualClock:
+    def test_advances_monotonically(self):
+        clock = ManualClock()
+        clock.advance_to(2.0)
+        clock.advance_to(1.0)
+        assert clock() == 2.0
+
+    def test_start_time(self):
+        assert ManualClock(5.0)() == 5.0
+
+
+class TestSnapshotPolicy:
+    def test_paths_inside_directory(self, tmp_path):
+        policy = SnapshotPolicy(directory=tmp_path)
+        assert policy.snapshot_path == tmp_path / "service.json"
+        assert policy.fixes_path == tmp_path / "fixes.jsonl"
+
+    def test_rejects_negative_cadence(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SnapshotPolicy(directory=tmp_path, every_packets=-1)
+
+    def test_rejects_negative_restart_budget(self, workload, tmp_path):
+        with pytest.raises(ConfigurationError):
+            supervised(workload, tmp_path, max_restarts=-1)
+
+    def test_rejects_bad_duty(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SnapshotPolicy(directory=tmp_path, max_duty=1.0)
+        with pytest.raises(ConfigurationError):
+            SnapshotPolicy(directory=tmp_path, max_duty=-0.1)
+
+
+class TestDutyThrottle:
+    def test_tiny_duty_defers_periodic_snapshots(self, workload, steady, tmp_path):
+        # A near-zero duty budget lets the first cadence snapshot
+        # through, then defers every later one — but the final snapshot
+        # and the fix stream are untouched.
+        _, steady_policy = steady
+        metrics = MetricsRegistry()
+        policy = SnapshotPolicy(directory=tmp_path, every_packets=2, max_duty=1e-9)
+        with ServiceSupervisor(factory(workload), policy, metrics=metrics) as sup:
+            result = sup.run(workload.packets)
+        assert result.n_snapshots == 2  # first periodic + final
+        assert metrics.counter("serve.supervisor.snapshots_deferred").value > 0
+        assert policy.fixes_path.read_bytes() == steady_policy.fixes_path.read_bytes()
+
+    def test_zero_duty_snapshots_on_every_cadence_hit(self, workload, tmp_path):
+        policy = SnapshotPolicy(directory=tmp_path, every_packets=8, max_duty=0.0)
+        with ServiceSupervisor(factory(workload), policy) as sup:
+            result = sup.run(workload.packets)
+        assert result.n_snapshots >= len(workload.packets) // 8
+
+    def test_result_accounts_snapshot_and_journal_time(self, workload, steady):
+        result, _ = steady
+        assert result.snapshot_seconds > 0.0
+        assert result.journal_seconds > 0.0
+        assert result.to_dict()["snapshot_seconds"] == result.snapshot_seconds
+
+
+class TestJournal:
+    def test_missing_journal_counts_zero(self, tmp_path):
+        assert count_journaled_fixes(tmp_path / "fixes.jsonl") == 0
+
+    def test_torn_tail_is_counted_out_and_healed(self, tmp_path):
+        path = tmp_path / "fixes.jsonl"
+        complete = json.dumps({"client": "a"}) + "\n" + json.dumps({"client": "b"}) + "\n"
+        path.write_text(complete + '{"client": "c", "posi')
+        assert count_journaled_fixes(path) == 2
+        # The torn bytes are gone; the next append starts on a boundary.
+        assert path.read_text() == complete
+
+    def test_non_object_line_stops_the_count(self, tmp_path):
+        path = tmp_path / "fixes.jsonl"
+        path.write_text(json.dumps({"client": "a"}) + "\n[1, 2]\n")
+        assert count_journaled_fixes(path) == 1
+
+
+class TestSnapshotFile:
+    def test_unreadable_snapshot_is_service_error(self, tmp_path):
+        with pytest.raises(ServiceError, match="unreadable"):
+            load_snapshot(tmp_path / "service.json")
+
+    def test_wrong_version_is_service_error(self, tmp_path):
+        path = tmp_path / "service.json"
+        path.write_text(json.dumps({"version": 999}))
+        with pytest.raises(ServiceError, match="version"):
+            load_snapshot(path)
+
+
+class TestSupervisedRun:
+    def test_clean_run_delivers_and_snapshots(self, workload, steady):
+        result, policy = steady
+        assert result.n_consumed == len(workload.packets)
+        assert result.n_delivered == len(result.fixes) > 0
+        assert result.n_restarts == 0
+        assert result.n_suppressed == 0
+        assert result.n_snapshots >= 1
+        assert not result.resumed and not result.interrupted
+        # Ack journal and snapshot cursors agree.
+        assert count_journaled_fixes(policy.fixes_path) == result.n_delivered
+        snapshot = load_snapshot(policy.snapshot_path)
+        assert snapshot["n_consumed"] == len(workload.packets)
+        assert snapshot["n_fixes"] == result.n_delivered
+
+    def test_crash_recovery_is_byte_identical(self, workload, steady, tmp_path):
+        steady_result, steady_policy = steady
+        metrics = MetricsRegistry()
+        supervisor, policy = supervised(workload, tmp_path, metrics=metrics)
+        armed = {len(workload.packets) // 3}
+
+        def crash(index):
+            if index in armed:
+                armed.discard(index)
+                raise RuntimeError("injected crash")
+
+        with supervisor:
+            result = supervisor.run(workload.packets, fault_hook=crash)
+        assert result.n_restarts == 1
+        assert metrics.counter("serve.supervisor.restarts").value == 1
+        assert policy.fixes_path.read_bytes() == steady_policy.fixes_path.read_bytes()
+        assert result.n_delivered == steady_result.n_delivered
+
+    def test_replay_from_zero_suppresses_delivered_fixes(
+        self, workload, steady, tmp_path
+    ):
+        # No periodic snapshots: a crash replays the whole stream, so
+        # every fix journaled before the crash must be suppressed, not
+        # re-delivered.
+        _, steady_policy = steady
+        supervisor, policy = supervised(workload, tmp_path, every_packets=0)
+        armed = {(2 * len(workload.packets)) // 3}
+
+        def crash(index):
+            if index in armed:
+                armed.discard(index)
+                raise RuntimeError("late crash")
+
+        with supervisor:
+            result = supervisor.run(workload.packets, fault_hook=crash)
+        assert result.n_restarts == 1
+        assert result.n_suppressed > 0
+        assert policy.fixes_path.read_bytes() == steady_policy.fixes_path.read_bytes()
+
+    def test_restart_budget_exhaustion_raises(self, workload, tmp_path):
+        supervisor, _ = supervised(workload, tmp_path, max_restarts=2)
+
+        def always_crash(index):
+            raise RuntimeError("deterministic fault")
+
+        with supervisor:
+            with pytest.raises(SupervisorError, match="crashed 3 times") as excinfo:
+                supervisor.run(workload.packets, fault_hook=always_crash)
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_graceful_stop_then_resume_is_byte_identical(
+        self, workload, steady, tmp_path
+    ):
+        _, steady_policy = steady
+        supervisor, policy = supervised(workload, tmp_path)
+        with supervisor:
+            first = supervisor.run(
+                workload.packets, stop=lambda: supervisor.n_consumed >= 10
+            )
+        assert first.interrupted
+        assert first.n_consumed == 10
+        assert policy.snapshot_path.exists()
+
+        resumed_supervisor, _ = supervised(workload, tmp_path)
+        assert resumed_supervisor.resumed
+        with resumed_supervisor:
+            second = resumed_supervisor.run(workload.packets)
+        assert not second.interrupted and second.resumed
+        assert second.n_consumed == len(workload.packets)
+        # Interrupt + resume delivered exactly the uninterrupted stream.
+        assert policy.fixes_path.read_bytes() == steady_policy.fixes_path.read_bytes()
+
+    def test_mismatched_journal_and_snapshot_refused(self, workload, steady, tmp_path):
+        _, steady_policy = steady
+        (tmp_path / "service.json").write_bytes(
+            steady_policy.snapshot_path.read_bytes()
+        )
+        (tmp_path / "fixes.jsonl").write_text("")
+        with pytest.raises(ServiceError, match="different runs"):
+            supervised(workload, tmp_path)
