@@ -604,9 +604,61 @@ def _chaos_serve(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
+def _chaos_nlos(args: argparse.Namespace) -> int:
+    """``roarray chaos --scenario nlos_*``: the measurement-corruption drills.
+
+    Exits 0 iff every requested drill passes its acceptance criteria
+    (detection AND bounded consensus error).  The drills run at their
+    pinned working point (high SNR band, 18° bias floor) — that working
+    point is part of the scored contract, so ``--band`` is not
+    forwarded here.
+    """
+    from repro.experiments.reporting.console import emit, emit_json
+    from repro.faults.nlos import NLOS_SCENARIOS, run_nlos_suite
+
+    unknown = sorted(set(args.scenario) - set(NLOS_SCENARIOS))
+    if unknown:
+        emit(
+            f"unknown NLOS scenario(s) {unknown}; available: {list(NLOS_SCENARIOS)}",
+            stream=sys.stderr,
+        )
+        return 2
+    tracer = _tracer_of(args)
+    suite = run_nlos_suite(
+        scenarios=tuple(args.scenario),
+        seed=args.seed,
+        workers=args.workers,
+        tracer=tracer,
+        checkpoint_dir=args.checkpoint,
+    )
+    scorecard = suite.scorecard()
+    if args.scorecard:
+        from repro.runtime.checkpoint import atomic_write
+
+        atomic_write(args.scorecard, scorecard)
+    if args.json:
+        emit_json(scorecard)
+        return 0 if suite.passed else 1
+    emit(
+        f"nlos drills: {suite.n_passed}/{len(suite.drills)} passed"
+        + (f" | scorecard: {args.scorecard}" if args.scorecard else "")
+    )
+    for drill in suite.drills:
+        verdict = "PASS" if drill.passed else "FAIL"
+        highlights = ", ".join(
+            f"{key}={value:.2f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in drill.criteria.items()
+            if isinstance(value, (int, float))
+        )
+        emit(f"  [{verdict}] {drill.name}: {highlights}")
+    return 0 if suite.passed else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     if args.serve:
         return _chaos_serve(args)
+    if args.scenario:
+        return _chaos_nlos(args)
     from repro.experiments.reporting.console import emit, emit_json
     from repro.experiments.reporting.markdown import format_degradation_table
     from repro.faults import (
@@ -861,6 +913,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         outage_after_s=args.outage_after,
         min_quorum=args.min_quorum,
         resolution_m=args.resolution,
+        robust=args.robust,
         warm_start=not args.no_warm,
         angle_grid=AngleGrid(n_points=args.angle_points),
         delay_grid=DelayGrid(n_points=args.delay_points),
@@ -1206,11 +1259,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--scenario", action="append", metavar="NAME",
-        help="with --serve: run only the named scenario (repeatable)",
+        help="run only the named scenario (repeatable): with --serve the "
+        "service resilience drills; otherwise the NLOS measurement-corruption "
+        "drills (nlos_single_ap, nlos_majority, ghost_multipath), exiting 0 "
+        "iff every drill passes",
     )
     chaos.add_argument(
         "--scorecard", default=None, metavar="PATH",
-        help="with --serve: write the resilience scorecard JSON to PATH",
+        help="with --serve or --scenario: write the scorecard JSON to PATH",
     )
     chaos.add_argument("--json", action="store_true", help="machine-readable output")
     chaos.set_defaults(handler=cmd_chaos)
@@ -1276,6 +1332,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--min-quorum", type=int, default=2, help="min APs per fix")
     serve.add_argument("--resolution", type=float, default=0.25, help="fix grid pitch in m")
+    serve.add_argument(
+        "--robust", action="store_true",
+        help="NLOS/corruption-aware fixes: localize by AP consensus, attach "
+        "per-AP trust scores, and demote persistently-untrusted APs in health",
+    )
     serve.add_argument(
         "--angle-points", type=int, default=91, help="AoA grid size (default 91)"
     )

@@ -28,18 +28,29 @@ from repro.core.fusion import fuse_packets, svd_reduce_snapshots
 from repro.core.grids import AngleGrid, DelayGrid
 from repro.core.joint import estimate_joint_spectrum
 from repro.core.localization import (
+    TRUST_THRESHOLD,
+    ApEvidence,
+    ApTrustScore,
+    ConsensusResult,
     DegradedResult,
     DroppedAp,
+    localize_consensus,
     localize_robust,
     localize_weighted_aoa,
+    peak_dispersion,
+    score_ap_trust,
 )
 from repro.core.pipeline import RoArrayEstimator
 from repro.core.steering import SteeringCache, joint_steering_dictionary
 from repro.core.tracking import KalmanTracker, TrackState, track_fixes
 
 __all__ = [
+    "TRUST_THRESHOLD",
     "AngleGrid",
+    "ApEvidence",
+    "ApTrustScore",
     "AzimuthElevationGrid",
+    "ConsensusResult",
     "DegradedResult",
     "DelayGrid",
     "DroppedAp",
@@ -58,6 +69,9 @@ __all__ = [
     "fuse_packets",
     "identify_direct_path",
     "joint_steering_dictionary",
+    "localize_consensus",
     "localize_robust",
     "localize_weighted_aoa",
+    "peak_dispersion",
+    "score_ap_trust",
 ]

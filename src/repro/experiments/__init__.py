@@ -13,6 +13,12 @@
 """
 
 from repro.experiments.metrics import ErrorCdf, summarize_systems
+from repro.experiments.nlos import (
+    NlosSweepPoint,
+    NlosSweepResult,
+    format_sweep_table,
+    run_nlos_sweep,
+)
 from repro.experiments.real import (
     RealTraceOutcome,
     RealTraceResult,
@@ -42,6 +48,8 @@ __all__ = [
     "SNR_BANDS",
     "ErrorCdf",
     "LocalizationOutcome",
+    "NlosSweepPoint",
+    "NlosSweepResult",
     "RealTraceOutcome",
     "RealTraceResult",
     "SnrBand",
@@ -49,12 +57,14 @@ __all__ = [
     "build_random_scene",
     "classroom_access_points",
     "classroom_room",
+    "format_sweep_table",
     "generate_report",
     "run_ap_density_experiment",
     "run_calibration_experiment",
     "run_fusion_experiment",
     "run_iteration_progress_experiment",
     "run_music_snr_experiment",
+    "run_nlos_sweep",
     "run_polarization_experiment",
     "run_snr_band_experiment",
     "summarize_systems",

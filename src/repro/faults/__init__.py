@@ -21,11 +21,23 @@ from repro.faults.chaos import (
     hardened_roarray_config,
     run_chaos_experiment,
 )
+from repro.faults.nlos import (
+    NLOS_SCENARIOS,
+    NlosDrillResult,
+    NlosSuiteResult,
+    NlosTrialOutcome,
+    nlos_scenario,
+    robust_ap_evidence,
+    run_nlos_drill,
+    run_nlos_suite,
+)
 from repro.faults.injectors import (
     INJECTORS,
     AntennaDropout,
     ApOutage,
+    GhostPath,
     InjectedFault,
+    NlosBias,
     PacketDuplication,
     PacketLoss,
     PhaseGlitch,
@@ -51,13 +63,19 @@ from repro.faults.validate import (
 __all__ = [
     "DEFECT_KINDS",
     "INJECTORS",
+    "NLOS_SCENARIOS",
+    "NlosDrillResult",
+    "NlosSuiteResult",
+    "NlosTrialOutcome",
     "AntennaDropout",
     "ApFault",
     "ApOutage",
     "ChaosResult",
     "ChaosScenario",
     "CsiDefect",
+    "GhostPath",
     "InjectedFault",
+    "NlosBias",
     "InjectionRecord",
     "InjectionResult",
     "LocationOutcome",
@@ -71,6 +89,10 @@ __all__ = [
     "classify_defects",
     "demo_scenario",
     "hardened_roarray_config",
+    "nlos_scenario",
+    "robust_ap_evidence",
     "run_chaos_experiment",
+    "run_nlos_drill",
+    "run_nlos_suite",
     "sanitize_trace",
 ]

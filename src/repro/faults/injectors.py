@@ -24,6 +24,11 @@ The catalogue mirrors the failure modes of a real deployment:
 * :class:`SnrCollapse` — sudden interference bursts.
 * :class:`ApOutage` — the whole AP goes dark (handled by scenarios:
   ``apply`` returns ``None`` in place of a trace).
+* :class:`NlosBias` — a blocked line-of-sight: the measurement-domain
+  arrival geometry rotates so the AP reports a consistently wrong AoA,
+  with diffuse scatter smearing the spectrum.
+* :class:`GhostPath` — a strong early reflection that hijacks the
+  smallest-ToA direct-path selection rule.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.channel.constants import INTEL5300_SUBCARRIER_SPACING
 from repro.channel.trace import CsiTrace
 from repro.exceptions import FaultInjectionError
 
@@ -296,6 +302,173 @@ class ApOutage:
         return None, [InjectedFault(self.kind, "no trace delivered")]
 
 
+def _steering(n_antennas: int, spacing_wavelengths: float, aoa_deg: float) -> np.ndarray:
+    """ULA steering vector with spacing expressed in wavelengths."""
+    factor = np.exp(-2j * np.pi * spacing_wavelengths * np.cos(np.deg2rad(aoa_deg)))
+    return factor ** np.arange(n_antennas)
+
+
+def _delay_ramp(n_subcarriers: int, spacing_hz: float, toa_s: float) -> np.ndarray:
+    """Per-subcarrier phase ramp [1, Γ, …, Γ^{L−1}] for one delay."""
+    factor = np.exp(-2j * np.pi * spacing_hz * toa_s)
+    return factor ** np.arange(n_subcarriers)
+
+
+def _require_direct_aoa(trace: CsiTrace, kind: str) -> float:
+    aoa = trace.direct_aoa_deg
+    if not np.isfinite(aoa):
+        raise FaultInjectionError(
+            f"{kind} needs direct_aoa_deg ground truth; trace has none"
+        )
+    return float(aoa)
+
+
+@dataclass(frozen=True)
+class NlosBias:
+    """Blocked line-of-sight: the arrival geometry rotates by ``bias_deg``.
+
+    When an obstacle blocks the LoS path, the energy that reaches the
+    array comes via a reflection — every arrival shifts coherently to
+    the reflector's bearing.  The injector models this in the
+    measurement domain: each antenna ``i`` is multiplied by
+    ``exp(−j·2π·d/λ·Δu·i)`` with ``Δu = cos(θ₀+bias) − cos(θ₀)``, which
+    moves the direct path's apparent AoA from θ₀ to θ₀+bias while
+    preserving per-packet noise and impairments.  On top of the
+    rotation, ``n_scatter`` weak diffuse paths (rough-surface
+    scattering around the reflected bearing, at longer delays) smear
+    the spectrum — the dispersion signature the trust scorer keys on.
+
+    Ground-truth fields (``direct_aoa_deg``, true positions) are left
+    untouched: the client did not move, the measurement is simply
+    wrong.  That is exactly what makes this the adversarial case for
+    consensus localization — a single AP reporting a clean-looking,
+    confidently wrong angle.
+    """
+
+    bias_deg: float = 15.0
+    n_scatter: int = 3
+    scatter_amplitude: float = 0.35
+    scatter_spread_deg: float = 25.0
+    scatter_delay_spread_s: float = 60e-9
+    spacing_wavelengths: float = 0.5
+    subcarrier_spacing_hz: float = INTEL5300_SUBCARRIER_SPACING
+
+    kind = "nlos_bias"
+
+    def __post_init__(self) -> None:
+        if self.bias_deg == 0.0 or not np.isfinite(self.bias_deg):
+            raise FaultInjectionError(f"bias_deg must be finite and nonzero, got {self.bias_deg}")
+        if self.n_scatter < 0:
+            raise FaultInjectionError(f"n_scatter must be >= 0, got {self.n_scatter}")
+        if self.scatter_amplitude < 0:
+            raise FaultInjectionError(
+                f"scatter_amplitude must be >= 0, got {self.scatter_amplitude}"
+            )
+        if not 0 < self.spacing_wavelengths <= 0.5:
+            raise FaultInjectionError(
+                f"spacing_wavelengths must be in (0, 0.5], got {self.spacing_wavelengths}"
+            )
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        aoa = _require_direct_aoa(trace, self.kind)
+        biased_aoa = float(np.clip(aoa + self.bias_deg, 0.0, 180.0))
+        delta_u = np.cos(np.deg2rad(biased_aoa)) - np.cos(np.deg2rad(aoa))
+        ramp = np.exp(
+            -2j * np.pi * self.spacing_wavelengths * delta_u * np.arange(trace.n_antennas)
+        )
+        csi = trace.csi * ramp[None, :, None]
+
+        if self.n_scatter > 0 and self.scatter_amplitude > 0:
+            rms = float(np.sqrt(np.mean(np.abs(trace.csi) ** 2)))
+            base_toa = trace.direct_toa_s if np.isfinite(trace.direct_toa_s) else 0.0
+            scale = self.scatter_amplitude * rms / np.sqrt(self.n_scatter)
+            for _ in range(self.n_scatter):
+                angle = float(
+                    np.clip(
+                        biased_aoa + rng.uniform(-self.scatter_spread_deg, self.scatter_spread_deg),
+                        0.0,
+                        180.0,
+                    )
+                )
+                toa = base_toa + rng.uniform(0.0, self.scatter_delay_spread_s)
+                spatial = _steering(trace.n_antennas, self.spacing_wavelengths, angle)
+                temporal = _delay_ramp(trace.n_subcarriers, self.subcarrier_spacing_hz, toa)
+                # Per-packet fading phase: diffuse scatter decorrelates
+                # packet to packet while the specular rotation stays fixed.
+                phases = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi, size=trace.n_packets))
+                csi = csi + scale * phases[:, None, None] * np.outer(spatial, temporal)[None, :, :]
+
+        faults = [
+            InjectedFault(
+                self.kind,
+                f"aoa {aoa:.1f}° → {biased_aoa:.1f}° "
+                f"({self.n_scatter} scatter paths @ {self.scatter_amplitude:g}×)",
+            )
+        ]
+        return _with_csi(trace, csi), faults
+
+
+@dataclass(frozen=True)
+class GhostPath:
+    """A strong multipath arrival engineered to impersonate the LoS path.
+
+    Adds one coherent path at ``aoa_offset_deg`` away from the true
+    direct bearing whose delay sits ``delay_offset_s`` relative to the
+    true direct ToA.  With a *negative* offset the ghost arrives first,
+    so the smallest-ToA direct-path selection rule picks it and the AP
+    reports the ghost's bearing — the multipath analogue of
+    :class:`NlosBias` that corrupts path *selection* instead of the
+    whole geometry.  The ghost's phase decorrelates packet to packet
+    (fading), which is what leaves the joint spectrum visibly
+    two-lobed.
+    """
+
+    amplitude: float = 1.5
+    aoa_offset_deg: float = 30.0
+    delay_offset_s: float = -60e-9
+    spacing_wavelengths: float = 0.5
+    subcarrier_spacing_hz: float = INTEL5300_SUBCARRIER_SPACING
+
+    kind = "ghost_path"
+
+    def __post_init__(self) -> None:
+        if self.amplitude <= 0 or not np.isfinite(self.amplitude):
+            raise FaultInjectionError(f"amplitude must be positive, got {self.amplitude}")
+        if self.aoa_offset_deg == 0.0 or not np.isfinite(self.aoa_offset_deg):
+            raise FaultInjectionError(
+                f"aoa_offset_deg must be finite and nonzero, got {self.aoa_offset_deg}"
+            )
+        if not np.isfinite(self.delay_offset_s):
+            raise FaultInjectionError(f"delay_offset_s must be finite, got {self.delay_offset_s}")
+        if not 0 < self.spacing_wavelengths <= 0.5:
+            raise FaultInjectionError(
+                f"spacing_wavelengths must be in (0, 0.5], got {self.spacing_wavelengths}"
+            )
+
+    def apply(self, trace: CsiTrace, rng: np.random.Generator) -> tuple[CsiTrace, list[InjectedFault]]:
+        aoa = _require_direct_aoa(trace, self.kind)
+        ghost_aoa = float(np.clip(aoa + self.aoa_offset_deg, 0.0, 180.0))
+        base_toa = trace.direct_toa_s if np.isfinite(trace.direct_toa_s) else 0.0
+        ghost_toa = max(0.0, base_toa + self.delay_offset_s)
+
+        rms = float(np.sqrt(np.mean(np.abs(trace.csi) ** 2)))
+        spatial = _steering(trace.n_antennas, self.spacing_wavelengths, ghost_aoa)
+        path = np.outer(
+            spatial, _delay_ramp(trace.n_subcarriers, self.subcarrier_spacing_hz, ghost_toa)
+        )
+        phases = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi, size=trace.n_packets))
+        csi = trace.csi + self.amplitude * rms * phases[:, None, None] * path[None, :, :]
+
+        faults = [
+            InjectedFault(
+                self.kind,
+                f"ghost @ {ghost_aoa:.1f}°, τ {ghost_toa * 1e9:.0f} ns "
+                f"({self.amplitude:g}× rms)",
+            )
+        ]
+        return _with_csi(trace, csi), faults
+
+
 #: Everything a scenario can compose, in catalogue order.
 INJECTORS: tuple[type, ...] = (
     AntennaDropout,
@@ -306,4 +479,6 @@ INJECTORS: tuple[type, ...] = (
     ValueCorruption,
     SnrCollapse,
     ApOutage,
+    NlosBias,
+    GhostPath,
 )

@@ -1,0 +1,497 @@
+"""NLOS chaos drills: measurement-domain corruption vs. AP consensus.
+
+The injectors in :mod:`repro.faults.injectors` cover faults that make a
+trace *visibly* broken — NaN entries, dead antennas, collapsed SNR.
+:class:`~repro.faults.injectors.NlosBias` and
+:class:`~repro.faults.injectors.GhostPath` are different in kind: the
+corrupted trace is perfectly healthy CSI that estimates to a clean,
+confidently *wrong* angle.  No validation gate can catch it; only
+cross-AP consensus can.
+
+This module is the acceptance harness for that layer.  Each drill runs
+the full chain — synthesize the classroom world, corrupt selected APs
+in the measurement domain, analyze every trace through the hardened
+batch runtime, probe each AP with the outlier-augmented robust solver
+for corruption evidence, and localize with
+:func:`~repro.core.localization.localize_consensus` — and asserts both
+*detection* (the corrupted AP's trust collapses) and *bounded error*
+(the consensus fix stays close to the clean-world fix).
+
+Drills:
+
+* ``nlos_single_ap`` — one of four APs reports an AoA biased by ≥ 15°;
+  the victim rotates across trials.  Pass: the victim is flagged
+  (trust < threshold) in ≥ 90% of trials AND the median consensus
+  error is ≤ 1.3× the clean median.
+* ``nlos_majority`` — three of four APs are biased the same way; no
+  quorum of honest APs exists.  Pass: the fix is marked
+  ``contaminated`` in ≥ 70% of trials (the system must not claim
+  confidence it does not have).
+* ``ghost_multipath`` — a strong early reflection hijacks the
+  smallest-ToA direct-path rule on one AP.  Pass: victim flagged in
+  ≥ 70% of trials AND median consensus error ≤ 1.5× clean.
+
+Determinism: synthesis, injection, analysis and the evidence probes
+are all pure functions of ``seed``, so a drill rerun — at any worker
+count, or resumed from its checkpoint journal — produces a
+byte-identical scorecard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.impairments import ImpairmentModel
+from repro.channel.trace import CsiTrace
+from repro.core.config import RoArrayConfig
+from repro.core.localization import (
+    ApEvidence,
+    ApObservation,
+    ConsensusResult,
+    localize_consensus,
+    localize_robust,
+    peak_dispersion,
+)
+from repro.core.steering import SteeringCache, vectorize_csi_matrix
+from repro.exceptions import ConfigurationError, QuorumError
+from repro.faults.injectors import GhostPath, NlosBias
+from repro.faults.scenario import ApFault, ChaosScenario
+from repro.obs import NULL_TRACER, MetricsRegistry
+from repro.optim.robust import solve_robust_lasso
+from repro.optim.tuning import residual_kappa
+
+SCORECARD_VERSION = 1
+
+#: Drill names, in catalogue order (``roarray chaos --scenario`` accepts these).
+NLOS_SCENARIOS = ("nlos_single_ap", "nlos_majority", "ghost_multipath")
+
+
+def robust_ap_evidence(
+    cache: SteeringCache,
+    trace: CsiTrace,
+    *,
+    kappa_fraction: float = 0.15,
+    max_iterations: int = 150,
+) -> ApEvidence:
+    """Probe one AP's trace with the outlier-augmented solver.
+
+    Solves the robust program ``min ‖y − [Ã|I][x;e]‖² + κ‖x‖₁ + λ‖e‖₁``
+    on the first packet against the cached joint dictionary and distills
+    the two measurement-domain corruption signatures
+    :func:`~repro.core.localization.score_ap_trust` fuses:
+
+    * ``outlier_fraction`` — the share of measurement energy the solver
+      had to attribute to the outlier channel ``e`` rather than to any
+      dictionary atom (corruption that is *not* explicable as a path);
+    * ``peak_dispersion`` — how smeared the recovered angle spectrum is
+      around its peak (diffuse NLOS scatter leaves no single clean lobe).
+
+    A clean trace probes near (0, small); NLOS and ghost-path traces
+    probe visibly above the trust scorer's evidence floors.
+    """
+    from repro.core.joint import coefficients_to_joint_power
+
+    y = vectorize_csi_matrix(trace.packet(0))
+    kappa = residual_kappa(cache.joint_operator, y, fraction=kappa_fraction)
+    result = solve_robust_lasso(
+        cache.joint_operator,
+        y,
+        kappa=kappa,
+        max_iterations=max_iterations,
+        lipschitz=cache.joint_lipschitz,
+    )
+    power = coefficients_to_joint_power(
+        result.x, cache.angle_grid.n_points, cache.delay_grid.n_points
+    )
+    dispersion = peak_dispersion(cache.angle_grid.angles_deg, power.max(axis=1))
+    return ApEvidence(
+        outlier_fraction=min(1.0, result.outlier_fraction),
+        peak_dispersion=dispersion,
+    )
+
+
+def nlos_scenario(
+    name: str,
+    *,
+    n_aps: int,
+    victims: tuple[int, ...],
+    bias_deg: float = 18.0,
+    seed: int = 0,
+) -> ChaosScenario:
+    """The per-trial fault composition for one drill."""
+    if any(not 0 <= v < n_aps for v in victims):
+        raise ConfigurationError(f"victim indices {victims} out of range for {n_aps} APs")
+    if name == "ghost_multipath":
+        faults = tuple(ApFault(ap=v, injector=GhostPath()) for v in victims)
+    else:
+        faults = tuple(
+            ApFault(ap=v, injector=NlosBias(bias_deg=bias_deg)) for v in victims
+        )
+    return ChaosScenario(name=name, faults=faults, seed=seed)
+
+
+@dataclass(frozen=True)
+class NlosTrialOutcome:
+    """One trial's clean/blind/consensus comparison."""
+
+    trial: int
+    victims: tuple[str, ...]
+    clean_error_m: float
+    blind_error_m: float
+    consensus_error_m: float | None
+    detected: bool
+    false_flags: tuple[str, ...]
+    contaminated: bool
+    quorum_failure: str | None
+    trust: dict[str, float]
+    evidence: dict[str, dict]
+
+    def to_dict(self) -> dict:
+        return {
+            "trial": self.trial,
+            "victims": list(self.victims),
+            "clean_error_m": self.clean_error_m,
+            "blind_error_m": self.blind_error_m,
+            "consensus_error_m": self.consensus_error_m,
+            "detected": self.detected,
+            "false_flags": list(self.false_flags),
+            "contaminated": self.contaminated,
+            "quorum_failure": self.quorum_failure,
+            "trust": dict(self.trust),
+            "evidence": dict(self.evidence),
+        }
+
+
+@dataclass
+class NlosDrillResult:
+    """One drill's verdict plus the evidence behind it."""
+
+    name: str
+    passed: bool
+    criteria: dict
+    trials: tuple[NlosTrialOutcome, ...]
+    seed: int
+    workers: int
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "criteria": self.criteria,
+            "seed": self.seed,
+            "workers": self.workers,
+            "trials": [trial.to_dict() for trial in self.trials],
+        }
+
+
+@dataclass
+class NlosSuiteResult:
+    """All drill results; renders the NLOS robustness scorecard."""
+
+    drills: list[NlosDrillResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(drill.passed for drill in self.drills)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(1 for drill in self.drills if drill.passed)
+
+    def scorecard(self) -> dict:
+        return {
+            "version": SCORECARD_VERSION,
+            "passed": self.passed,
+            "n_scenarios": len(self.drills),
+            "n_passed": self.n_passed,
+            "scenarios": [drill.to_dict() for drill in self.drills],
+        }
+
+
+def _drill_victims(name: str, trial: int, n_aps: int) -> tuple[int, ...]:
+    """Which APs a trial corrupts; the victim set rotates with the trial."""
+    if name == "nlos_majority":
+        honest = trial % n_aps
+        return tuple(ap for ap in range(n_aps) if ap != honest)
+    return (trial % n_aps,)
+
+
+def run_nlos_drill(
+    name: str,
+    *,
+    n_trials: int = 10,
+    n_aps: int = 4,
+    n_packets: int = 4,
+    bias_deg: float = 18.0,
+    band: str = "high",
+    seed: int = 0,
+    workers: int = 0,
+    resolution_m: float = 0.1,
+    config: RoArrayConfig | None = None,
+    tracer=NULL_TRACER,
+    metrics: MetricsRegistry | None = None,
+    checkpoint_dir=None,
+) -> NlosDrillResult:
+    """Run one NLOS drill end-to-end and score it.
+
+    Mirrors :func:`repro.faults.chaos.run_chaos_experiment`'s
+    determinism contract: synthesis and injection are pure functions of
+    ``seed``; the clean and faulted analyses run through the batch
+    runtime (worker-count independent, checkpointable to
+    ``nlos_<name>_clean.jsonl`` / ``nlos_<name>_faulted.jsonl``); the
+    evidence probes and consensus localization are deterministic
+    post-processing.  A rerun at any worker count — or resumed from its
+    journals — yields a byte-identical result.
+    """
+    from repro.core.pipeline import RoArrayEstimator
+    from repro.experiments.runner import _batch_analyses, _journal_policy, _scene_traces
+    from repro.experiments.scenarios import SNR_BANDS, build_random_scene
+    from repro.faults.chaos import hardened_roarray_config
+
+    if name not in NLOS_SCENARIOS:
+        raise ConfigurationError(
+            f"unknown NLOS scenario {name!r}; available: {list(NLOS_SCENARIOS)}"
+        )
+    if n_trials < 1:
+        raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
+    if band not in SNR_BANDS:
+        raise ConfigurationError(f"band must be one of {sorted(SNR_BANDS)}, got {band!r}")
+    if bias_deg < 15.0:
+        raise ConfigurationError(
+            f"bias_deg must be >= 15 (the drill's detectability floor), got {bias_deg}"
+        )
+    config = config if config is not None else hardened_roarray_config()
+    metrics = metrics if metrics is not None else MetricsRegistry()
+    snr_band = SNR_BANDS[band]
+    rng = np.random.default_rng(seed)
+
+    with tracer.span("experiment", name=f"nlos:{name}", n_trials=n_trials):
+        # --- Synthesis + injection: pure functions of the seed. -------------
+        scenes, clean_per_trial, injections = [], [], []
+        with tracer.span("synthesis", n_trials=n_trials, n_aps=n_aps):
+            for trial in range(n_trials):
+                scene = build_random_scene(rng, n_aps=n_aps)
+                snrs = [snr_band.draw(rng) for _ in range(n_aps)]
+                scenes.append(scene)
+                clean_per_trial.append(
+                    _scene_traces(
+                        scene,
+                        snr_db_per_ap=snrs,
+                        n_packets=n_packets,
+                        impairments=ImpairmentModel(),
+                        rng=rng,
+                        boot_seed=seed * 20_000 + trial * 100,
+                    )
+                )
+        with tracer.span("injection", scenario=name):
+            for trial in range(n_trials):
+                scenario = nlos_scenario(
+                    name,
+                    n_aps=n_aps,
+                    victims=_drill_victims(name, trial, n_aps),
+                    bias_deg=bias_deg,
+                    seed=seed,
+                )
+                injections.append(scenario.apply(clean_per_trial[trial], salt=trial))
+                metrics.counter("nlos.faults_injected").inc(
+                    len(injections[-1].injected)
+                )
+
+        # --- Analysis through the batch runtime (workers-parity safe). ------
+        estimator = RoArrayEstimator(config=config)
+        clean_flat = [t for traces in clean_per_trial for t in traces]
+        faulted_flat = [
+            injection.traces[ap]
+            for injection in injections
+            for ap in range(n_aps)
+        ]
+        with tracer.span("clean_batch", n_jobs=len(clean_flat)):
+            clean_analyses = _batch_analyses(
+                estimator,
+                clean_flat,
+                workers=workers,
+                base_seed=seed,
+                tracer=tracer,
+                checkpoint=_journal_policy(
+                    checkpoint_dir, f"nlos_{name}_clean", f"nlos:{name}:clean", metrics
+                ),
+            )
+        with tracer.span("faulted_batch", n_jobs=len(faulted_flat)):
+            faulted_analyses = _batch_analyses(
+                estimator,
+                faulted_flat,
+                workers=workers,
+                base_seed=seed,
+                tracer=tracer,
+                checkpoint=_journal_policy(
+                    checkpoint_dir, f"nlos_{name}_faulted", f"nlos:{name}:faulted", metrics
+                ),
+            )
+
+        # --- Evidence probes + consensus localization per trial. -------------
+        trials: list[NlosTrialOutcome] = []
+        for trial in range(n_trials):
+            scene = scenes[trial]
+            injection = injections[trial]
+            victim_names = tuple(
+                scene.access_points[ap].name
+                for ap in _drill_victims(name, trial, n_aps)
+            )
+            clean_obs = [
+                ApObservation(
+                    access_point=scene.access_points[ap],
+                    aoa_deg=clean_analyses[trial * n_aps + ap].direct.aoa_deg,
+                    rssi_dbm=clean_per_trial[trial][ap].rssi_dbm,
+                )
+                for ap in range(n_aps)
+            ]
+            faulted_obs = [
+                ApObservation(
+                    access_point=scene.access_points[ap],
+                    aoa_deg=faulted_analyses[trial * n_aps + ap].direct.aoa_deg,
+                    rssi_dbm=injection.traces[ap].rssi_dbm,
+                )
+                for ap in range(n_aps)
+            ]
+            evidence = {
+                scene.access_points[ap].name: robust_ap_evidence(
+                    estimator.cache, injection.traces[ap]
+                )
+                for ap in range(n_aps)
+            }
+
+            clean_fix = localize_robust(clean_obs, scene.room, resolution_m=resolution_m)
+            blind_fix = localize_robust(faulted_obs, scene.room, resolution_m=resolution_m)
+
+            fix: ConsensusResult | None
+            quorum_failure: str | None = None
+            try:
+                fix = localize_consensus(
+                    faulted_obs,
+                    scene.room,
+                    evidence=evidence,
+                    resolution_m=resolution_m,
+                )
+            except QuorumError as error:
+                fix, quorum_failure = None, str(error)
+
+            scores = {} if fix is None else {s.name: s for s in fix.trust_scores}
+            trust = {name: score.trust for name, score in scores.items()}
+            detected = fix is not None and all(
+                not scores[name].trusted for name in victim_names
+            )
+            false_flags = tuple(
+                s.name
+                for s in scores.values()
+                if not s.trusted and s.name not in victim_names
+            )
+            metrics.counter("nlos.trials").inc()
+            if detected:
+                metrics.counter("nlos.victims_flagged").inc()
+            trials.append(
+                NlosTrialOutcome(
+                    trial=trial,
+                    victims=victim_names,
+                    clean_error_m=clean_fix.error_to(scene.client),
+                    blind_error_m=blind_fix.error_to(scene.client),
+                    consensus_error_m=(
+                        None if fix is None else fix.error_to(scene.client)
+                    ),
+                    detected=detected,
+                    false_flags=false_flags,
+                    contaminated=fix.contaminated if fix is not None else True,
+                    quorum_failure=quorum_failure,
+                    trust={k: float(v) for k, v in trust.items()},
+                    evidence={k: v.to_dict() for k, v in evidence.items()},
+                )
+            )
+
+    passed, criteria = _score_drill(name, trials)
+    return NlosDrillResult(
+        name=name,
+        passed=passed,
+        criteria=criteria,
+        trials=tuple(trials),
+        seed=seed,
+        workers=workers,
+    )
+
+
+def _score_drill(name: str, trials: list[NlosTrialOutcome]) -> tuple[bool, dict]:
+    """The drill's pass criteria: detection AND bounded error."""
+    clean_median = float(np.median([t.clean_error_m for t in trials]))
+    consensus_errors = [
+        t.consensus_error_m for t in trials if t.consensus_error_m is not None
+    ]
+    consensus_median = (
+        float(np.median(consensus_errors)) if consensus_errors else float("inf")
+    )
+    blind_median = float(np.median([t.blind_error_m for t in trials]))
+    detection_rate = float(np.mean([t.detected for t in trials]))
+    contamination_rate = float(np.mean([t.contaminated for t in trials]))
+    false_flag_rate = float(np.mean([len(t.false_flags) > 0 for t in trials]))
+
+    # An absolute floor keeps the ratio criterion meaningful when the
+    # clean world localizes to within a grid cell or two.
+    error_floor_m = 0.3
+
+    if name == "nlos_single_ap":
+        error_bound = max(1.3 * clean_median, error_floor_m)
+        checks = {
+            "detection_rate >= 0.9": detection_rate >= 0.9,
+            f"consensus_median <= {error_bound:.3f}": consensus_median <= error_bound,
+        }
+    elif name == "nlos_majority":
+        checks = {"contamination_rate >= 0.7": contamination_rate >= 0.7}
+    else:  # ghost_multipath
+        error_bound = max(1.5 * clean_median, error_floor_m)
+        checks = {
+            "detection_rate >= 0.7": detection_rate >= 0.7,
+            f"consensus_median <= {error_bound:.3f}": consensus_median <= error_bound,
+        }
+
+    criteria = {
+        "clean_median_m": clean_median,
+        "blind_median_m": blind_median,
+        "consensus_median_m": consensus_median,
+        "detection_rate": detection_rate,
+        "contamination_rate": contamination_rate,
+        "false_flag_rate": false_flag_rate,
+        "checks": checks,
+    }
+    return all(checks.values()), criteria
+
+
+def run_nlos_suite(
+    *,
+    scenarios=None,
+    n_trials: int = 10,
+    seed: int = 0,
+    workers: int = 0,
+    tracer=NULL_TRACER,
+    checkpoint_dir=None,
+    **drill_options,
+) -> NlosSuiteResult:
+    """Run the requested drills (default: all) into one scorecard."""
+    names = list(scenarios) if scenarios is not None else list(NLOS_SCENARIOS)
+    unknown = sorted(set(names) - set(NLOS_SCENARIOS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown NLOS scenario(s) {unknown}; available: {list(NLOS_SCENARIOS)}"
+        )
+    result = NlosSuiteResult()
+    for name in names:
+        result.drills.append(
+            run_nlos_drill(
+                name,
+                n_trials=n_trials,
+                seed=seed,
+                workers=workers,
+                tracer=tracer,
+                checkpoint_dir=checkpoint_dir,
+                **drill_options,
+            )
+        )
+    return result

@@ -75,6 +75,17 @@ from repro.optim.operators import (
 from repro.optim.guard import GuardrailPolicy, solve_guarded
 from repro.optim.result import SolverResult
 from repro.optim.reweighted import solve_reweighted_lasso
+from repro.optim.robust import (
+    OutlierAugmentedOperator,
+    RobustSolverResult,
+    RowWeightedOperator,
+    robust_lambda,
+    robust_objective,
+    robust_penalty_weights,
+    solve_huber_irls,
+    solve_robust_lasso,
+    solve_robust_mmv,
+)
 from repro.optim.sbl import solve_sbl
 from repro.optim.tuning import mmv_residual_kappa, noise_scaled_kappa, residual_kappa
 from repro.optim.warm import WarmStartState
@@ -89,6 +100,9 @@ __all__ = [
     "FLOAT64_PARITY_TOLERANCE",
     "GuardrailPolicy",
     "KroneckerJointOperator",
+    "OutlierAugmentedOperator",
+    "RobustSolverResult",
+    "RowWeightedOperator",
     "SolverResult",
     "WarmStartState",
     "as_operator",
@@ -100,15 +114,21 @@ __all__ = [
     "mmv_residual_kappa",
     "noise_scaled_kappa",
     "residual_kappa",
+    "robust_lambda",
+    "robust_objective",
+    "robust_penalty_weights",
     "row_soft_threshold",
     "soft_threshold",
     "solve",
     "solve_batch",
     "solve_guarded",
+    "solve_huber_irls",
     "solve_lasso_admm",
     "solve_lasso_fista",
     "solve_mmv_fista",
     "solve_omp",
     "solve_reweighted_lasso",
+    "solve_robust_lasso",
+    "solve_robust_mmv",
     "solve_sbl",
 ]

@@ -53,10 +53,10 @@ from repro.optim.tuning import mmv_residual_kappa, residual_kappa
 
 #: Methods solve_batch can run, with the options each accepts.
 _BATCH_METHODS = {
-    "fista": {"max_iterations", "tolerance", "lipschitz"},
+    "fista": {"max_iterations", "tolerance", "lipschitz", "penalty_weights"},
     "admm": {"rho", "max_iterations", "tolerance", "factors"},
     "omp": {"sparsity", "tolerance"},
-    "mmv": {"max_iterations", "tolerance", "lipschitz"},
+    "mmv": {"max_iterations", "tolerance", "lipschitz", "penalty_weights"},
 }
 
 #: Columns per lockstep block.  Problems are independent columns, so a
@@ -408,6 +408,7 @@ def _batched_fista(
     max_iterations: int = 200,
     tolerance: float = 1e-6,
     lipschitz: float | None = None,
+    penalty_weights=None,
 ):
     bk = operator.backend
     cdtype = bk.complex_dtype(operator.precision)
@@ -419,15 +420,19 @@ def _batched_fista(
         raise SolverError(f"kappa must be non-negative, got {kappas}")
     if max_iterations < 1:
         raise SolverError(f"max_iterations must be >= 1, got {max_iterations}")
+    weights = _resolve_penalty_weights(bk, penalty_weights, n, rdtype)
 
     lipschitz = 2.0 * (operator.lipschitz() if lipschitz is None else float(lipschitz))
     if lipschitz <= 0:
         X = bk.zeros((n, n_problems), cdtype)
-        objectives, _ = _lasso_batch_objectives(operator, X, Y, kap)
+        objectives, _ = _lasso_batch_objectives(operator, X, Y, kap, weights)
         return _result(operator, X, objectives, [0] * n_problems, [True] * n_problems,
                        "fista", kappas)
     step = 1.0 / lipschitz
     thresholds = bk.asarray((kap * step).reshape(1, n_problems), dtype=rdtype)
+    if weights is not None:
+        # Per-coefficient weighted ℓ1: one threshold per (row, problem).
+        thresholds = weights.reshape(n, 1) * thresholds
 
     X = (
         bk.zeros((n, n_problems), cdtype)
@@ -476,8 +481,22 @@ def _batched_fista(
                 if not active.any():
                     break
 
-    objectives, _ = _lasso_batch_objectives(operator, X, Y, kap)
+    objectives, _ = _lasso_batch_objectives(operator, X, Y, kap, weights)
     return _result(operator, X, objectives, iterations, converged, "fista", kappas)
+
+
+def _resolve_penalty_weights(bk, penalty_weights, n, rdtype):
+    """Validate and re-home per-coefficient ℓ1/ℓ2,1 weights (or None)."""
+    if penalty_weights is None:
+        return None
+    weights_host = np.asarray(penalty_weights, dtype=np.float64)
+    if weights_host.shape != (n,):
+        raise SolverError(
+            f"penalty_weights must have shape ({n},), got {weights_host.shape}"
+        )
+    if np.any(weights_host < 0) or not np.all(np.isfinite(weights_host)):
+        raise SolverError("penalty_weights must be finite and non-negative")
+    return bk.asarray(weights_host, dtype=rdtype)
 
 
 def _batched_admm(
@@ -623,6 +642,7 @@ def _batched_mmv(
     max_iterations: int = 200,
     tolerance: float = 1e-6,
     lipschitz: float | None = None,
+    penalty_weights=None,
 ):
     bk = operator.backend
     cdtype = bk.complex_dtype(operator.precision)
@@ -634,11 +654,12 @@ def _batched_mmv(
     kap = np.asarray(kappas, dtype=np.float64)
     if np.any(kap < 0):
         raise SolverError(f"kappa must be non-negative, got {kappas}")
+    weights = _resolve_penalty_weights(bk, penalty_weights, n, rdtype)
 
     lipschitz = 2.0 * (operator.lipschitz() if lipschitz is None else float(lipschitz))
     if lipschitz <= 0:
         X = bk.zeros((n_problems, n, n_snapshots), cdtype)
-        objectives = _mmv_batch_objectives(operator, X, Ys, kap)
+        objectives = _mmv_batch_objectives(operator, X, Ys, kap, weights)
         return BatchSolverResult(
             x=X, objectives=tuple(objectives), iterations=(0,) * n_problems,
             converged=(True,) * n_problems, method="mmv", backend_name=bk.name,
@@ -646,6 +667,9 @@ def _batched_mmv(
         )
     step = 1.0 / lipschitz
     thresholds = bk.asarray((kap * step).reshape(n_problems, 1, 1), dtype=rdtype)
+    if weights is not None:
+        # Per-row weighted ℓ2,1: one threshold per (problem, row).
+        thresholds = thresholds * weights.reshape(1, n, 1)
 
     X = (
         bk.zeros((n_problems, n, n_snapshots), cdtype)
@@ -693,7 +717,7 @@ def _batched_mmv(
                 if not active.any():
                     break
 
-    objectives = _mmv_batch_objectives(operator, X, Ys, kap)
+    objectives = _mmv_batch_objectives(operator, X, Ys, kap, weights)
     return BatchSolverResult(
         x=X,
         objectives=tuple(float(v) for v in objectives),
@@ -707,20 +731,26 @@ def _batched_mmv(
     )
 
 
-def _lasso_batch_objectives(operator, X_cols, Y, kap):
+def _lasso_batch_objectives(operator, X_cols, Y, kap, penalty_weights=None):
     bk = operator.backend
     residual = operator.matvec(X_cols) - Y
     data = bk.to_numpy(bk.norms(residual, axis=0)).astype(np.float64) ** 2
-    l1 = bk.to_numpy(bk.sum(bk.abs(X_cols), axis=0)).astype(np.float64)
+    magnitudes = bk.abs(X_cols)
+    if penalty_weights is not None:
+        magnitudes = penalty_weights.reshape(tuple(X_cols.shape)[0], 1) * magnitudes
+    l1 = bk.to_numpy(bk.sum(magnitudes, axis=0)).astype(np.float64)
     objectives = data + kap * l1
     return objectives, data
 
 
-def _mmv_batch_objectives(operator, X, Ys, kap):
+def _mmv_batch_objectives(operator, X, Ys, kap, penalty_weights=None):
     bk = operator.backend
     residual = operator.matmul_batch(X) - Ys
     data = bk.to_numpy(bk.norms(residual, axis=(1, 2))).astype(np.float64) ** 2
-    row_sums = bk.to_numpy(bk.sum(bk.norms(X, axis=2), axis=1)).astype(np.float64)
+    row_norms = bk.norms(X, axis=2)
+    if penalty_weights is not None:
+        row_norms = penalty_weights.reshape(1, tuple(X.shape)[1]) * row_norms
+    row_sums = bk.to_numpy(bk.sum(row_norms, axis=1)).astype(np.float64)
     return data + kap * row_sums
 
 

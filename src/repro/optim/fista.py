@@ -26,13 +26,25 @@ from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
-def lasso_objective(matrix, rhs: np.ndarray, x: np.ndarray, kappa: float) -> float:
-    """The LASSO objective ``‖Ax − y‖₂² + κ‖x‖₁`` (paper Eq. 11)."""
+def lasso_objective(
+    matrix, rhs: np.ndarray, x: np.ndarray, kappa: float, *, penalty_weights=None
+) -> float:
+    """The LASSO objective ``‖Ax − y‖₂² + κ‖x‖₁`` (paper Eq. 11).
+
+    With ``penalty_weights`` the ℓ1 term is the weighted
+    ``κ·Σⱼ wⱼ|xⱼ|`` — the penalty of the outlier-augmented program in
+    :mod:`repro.optim.robust`.
+    """
     operator = as_operator(matrix)
     bk = operator.backend
     product = operator.matvec(x)
     residual = product - bk.ensure(rhs, like=product)
-    return bk.vdot_real(residual, residual) + kappa * bk.abs_sum(x)
+    if penalty_weights is None:
+        l1 = bk.abs_sum(x)
+    else:
+        weights = bk.asarray(penalty_weights, dtype=bk.real_dtype(operator.precision))
+        l1 = bk.sum_float(weights * bk.abs(x))
+    return bk.vdot_real(residual, residual) + kappa * l1
 
 
 def solve_lasso_fista(
@@ -44,6 +56,7 @@ def solve_lasso_fista(
     tolerance: float = 1e-6,
     x0: np.ndarray | None = None,
     lipschitz: float | None = None,
+    penalty_weights: np.ndarray | None = None,
     track_history: bool = False,
     monotone: bool = False,
     telemetry: ConvergenceTrace | None = None,
@@ -82,6 +95,12 @@ def solve_lasso_fista(
         when re-solving with the same dictionary (the grids in
         :mod:`repro.core.steering` cache it).  Operator dictionaries
         that omit it use ``matrix.lipschitz()``.
+    penalty_weights:
+        Optional per-coefficient ℓ1 weights ``w ≥ 0`` of shape ``(n,)``:
+        the penalty becomes ``κ·Σⱼ wⱼ|xⱼ|`` (proximal step threshold
+        ``κ·wⱼ/L`` per coordinate).  This is how the outlier-augmented
+        program of :mod:`repro.optim.robust` prices its identity block
+        at ``λ = κ·w`` without a second solver.
     track_history:
         Record the objective at every iteration (used by the Fig. 3
         experiment and by tests that assert monotone-ish descent).
@@ -125,6 +144,15 @@ def solve_lasso_fista(
     # the whole iteration in complex64 (no-op for the default path).
     rhs = bk.asarray(rhs, dtype=cdtype)
     n = operator.shape[1]
+    if penalty_weights is not None:
+        weights_host = np.asarray(penalty_weights, dtype=np.float64)
+        if weights_host.shape != (n,):
+            raise SolverError(
+                f"penalty_weights must have shape ({n},), got {weights_host.shape}"
+            )
+        if np.any(weights_host < 0) or not np.all(np.isfinite(weights_host)):
+            raise SolverError("penalty_weights must be finite and non-negative")
+        penalty_weights = bk.asarray(weights_host, dtype=bk.real_dtype(operator.precision))
     if lipschitz is None:
         lipschitz = 2.0 * operator.lipschitz()
     else:
@@ -134,21 +162,27 @@ def solve_lasso_fista(
         x = bk.zeros(n, cdtype)
         return SolverResult(
             x=x,
-            objective=lasso_objective(operator, rhs, x, kappa),
+            objective=lasso_objective(
+                operator, rhs, x, kappa, penalty_weights=penalty_weights
+            ),
             iterations=0,
             converged=True,
             convergence=telemetry,
         )
 
     step = 1.0 / lipschitz
-    threshold = kappa * step
+    threshold = kappa * step if penalty_weights is None else (kappa * step) * penalty_weights
 
     x = bk.zeros(n, cdtype) if x0 is None else bk.copy(bk.asarray(x0, dtype=cdtype))
     if tuple(x.shape) != (n,):
         raise SolverError(f"x0 has shape {tuple(x.shape)}, expected ({n},)")
     momentum_point = bk.copy(x)
     t = 1.0
-    objective = lasso_objective(operator, rhs, x, kappa) if monotone else None
+    objective = (
+        lasso_objective(operator, rhs, x, kappa, penalty_weights=penalty_weights)
+        if monotone
+        else None
+    )
 
     history: list[float] = []
     converged = False
@@ -164,7 +198,9 @@ def solve_lasso_fista(
             # MFISTA: accept the candidate only if it does not increase
             # the objective; the momentum point always moves through the
             # candidate so acceleration is preserved.
-            candidate_objective = lasso_objective(operator, rhs, candidate, kappa)
+            candidate_objective = lasso_objective(
+                operator, rhs, candidate, kappa, penalty_weights=penalty_weights
+            )
             if candidate_objective <= objective:
                 x_next, objective = candidate, candidate_objective
             else:
@@ -187,15 +223,22 @@ def solve_lasso_fista(
 
         if track_history:
             history.append(
-                objective if monotone else lasso_objective(operator, rhs, x, kappa)
+                objective
+                if monotone
+                else lasso_objective(
+                    operator, rhs, x, kappa, penalty_weights=penalty_weights
+                )
             )
         if telemetry is not None or callback is not None:
             residual_norm = bk.norm(operator.matvec(x) - rhs)
-            current = (
-                objective
-                if monotone
-                else residual_norm**2 + kappa * bk.abs_sum(x)
-            )
+            if monotone:
+                current = objective
+            elif penalty_weights is None:
+                current = residual_norm**2 + kappa * bk.abs_sum(x)
+            else:
+                current = residual_norm**2 + kappa * bk.sum_float(
+                    penalty_weights * bk.abs(x)
+                )
             if telemetry is not None:
                 telemetry.record(
                     objective=current,
@@ -210,7 +253,7 @@ def solve_lasso_fista(
 
     return SolverResult(
         x=x,
-        objective=lasso_objective(operator, rhs, x, kappa),
+        objective=lasso_objective(operator, rhs, x, kappa, penalty_weights=penalty_weights),
         iterations=iterations,
         converged=converged,
         history=history,

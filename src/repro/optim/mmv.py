@@ -27,14 +27,20 @@ from repro.optim.operators import as_operator
 from repro.optim.result import SolverResult
 
 
-def mmv_objective(matrix, rhs: np.ndarray, x: np.ndarray, kappa: float) -> float:
-    """``‖AX − Y‖_F² + κ·Σᵢ‖Xᵢ,:‖₂``."""
+def mmv_objective(
+    matrix, rhs: np.ndarray, x: np.ndarray, kappa: float, *, penalty_weights=None
+) -> float:
+    """``‖AX − Y‖_F² + κ·Σᵢ‖Xᵢ,:‖₂`` (``κ·Σᵢ wᵢ‖Xᵢ,:‖₂`` when weighted)."""
     operator = as_operator(matrix)
     bk = operator.backend
     product = operator.matvec(x)
     residual = product - bk.ensure(rhs, like=product)
     data_term = bk.vdot_real(residual, residual)
-    return data_term + kappa * bk.sum_float(bk.norms(x, axis=1))
+    row_norms = bk.norms(x, axis=1)
+    if penalty_weights is not None:
+        weights = bk.asarray(penalty_weights, dtype=bk.real_dtype(operator.precision))
+        row_norms = weights * row_norms
+    return data_term + kappa * bk.sum_float(row_norms)
 
 
 def solve_mmv_fista(
@@ -46,6 +52,7 @@ def solve_mmv_fista(
     tolerance: float = 1e-6,
     x0: np.ndarray | None = None,
     lipschitz: float | None = None,
+    penalty_weights: np.ndarray | None = None,
     track_history: bool = False,
     telemetry: ConvergenceTrace | None = None,
     callback: Callable[[int, np.ndarray, float], None] | None = None,
@@ -68,6 +75,11 @@ def solve_mmv_fista(
     lipschitz:
         Optional precomputed ``‖AᴴA‖₂``; operator dictionaries default
         to ``matrix.lipschitz()``.
+    penalty_weights:
+        Optional per-row ℓ2,1 weights ``w ≥ 0`` of shape ``(n,)``: the
+        penalty becomes ``κ·Σᵢ wᵢ‖Xᵢ,:‖₂`` (the outlier-augmented
+        program of :mod:`repro.optim.robust` prices its identity rows
+        this way).
     telemetry / callback:
         Per-iteration hooks as in
         :func:`~repro.optim.fista.solve_lasso_fista` — objective,
@@ -97,6 +109,17 @@ def solve_mmv_fista(
     p = rhs.shape[1]
     if p == 0:
         raise SolverError("snapshot matrix has zero columns")
+    weight_column = None
+    if penalty_weights is not None:
+        weights_host = np.asarray(penalty_weights, dtype=np.float64)
+        if weights_host.shape != (n,):
+            raise SolverError(
+                f"penalty_weights must have shape ({n},), got {weights_host.shape}"
+            )
+        if np.any(weights_host < 0) or not np.all(np.isfinite(weights_host)):
+            raise SolverError("penalty_weights must be finite and non-negative")
+        penalty_weights = bk.asarray(weights_host, dtype=bk.real_dtype(operator.precision))
+        weight_column = penalty_weights.reshape(n, 1)
 
     if lipschitz is None:
         lipschitz = 2.0 * operator.lipschitz()
@@ -106,7 +129,9 @@ def solve_mmv_fista(
         x = bk.zeros((n, p), cdtype)
         return SolverResult(
             x=x,
-            objective=mmv_objective(operator, rhs, x, kappa),
+            objective=mmv_objective(
+                operator, rhs, x, kappa, penalty_weights=penalty_weights
+            ),
             iterations=0,
             converged=True,
             convergence=telemetry,
@@ -126,7 +151,19 @@ def solve_mmv_fista(
     iterations = 0
     for iterations in range(1, max_iterations + 1):
         gradient = 2.0 * operator.rmatvec(operator.matvec(momentum_point) - rhs)
-        x_next = bk.row_soft_threshold(momentum_point - step * gradient, threshold)
+        point = momentum_point - step * gradient
+        if weight_column is None:
+            x_next = bk.row_soft_threshold(point, threshold)
+        else:
+            # Per-row thresholds (the weighted ℓ2,1 prox): same shrinkage
+            # as row_soft_threshold with threshold·wᵢ on row i.
+            row_norms = bk.norms(point, axis=1, keepdims=True)
+            shrunk = bk.maximum(row_norms - threshold * weight_column, 0.0)
+            with bk.errstate():
+                factors = bk.where(
+                    row_norms > 0, shrunk / bk.where(row_norms > 0, row_norms, 1.0), 0.0
+                )
+            x_next = point * factors
 
         # math.sqrt keeps t a python float — a np.float64 scalar would
         # promote complex64 iterates to complex128 under NEP 50.
@@ -138,11 +175,16 @@ def solve_mmv_fista(
         x, t = x_next, t_next
 
         if track_history:
-            history.append(mmv_objective(operator, rhs, x, kappa))
+            history.append(
+                mmv_objective(operator, rhs, x, kappa, penalty_weights=penalty_weights)
+            )
         if telemetry is not None or callback is not None:
             residual = operator.matvec(x) - rhs
             residual_norm = bk.norm(residual)
-            current = residual_norm**2 + kappa * bk.sum_float(bk.norms(x, axis=1))
+            row_norms = bk.norms(x, axis=1)
+            if penalty_weights is not None:
+                row_norms = penalty_weights * row_norms
+            current = residual_norm**2 + kappa * bk.sum_float(row_norms)
             if telemetry is not None:
                 telemetry.record(
                     objective=current,
@@ -157,7 +199,7 @@ def solve_mmv_fista(
 
     return SolverResult(
         x=x,
-        objective=mmv_objective(operator, rhs, x, kappa),
+        objective=mmv_objective(operator, rhs, x, kappa, penalty_weights=penalty_weights),
         iterations=iterations,
         converged=converged,
         history=history,

@@ -1,6 +1,6 @@
 """Solver microbenchmarks shared by the CLI and the CI smoke jobs.
 
-Two self-contained measurements:
+Three self-contained measurements:
 
 * :func:`joint_solve_benchmark` — dense GEMM vs the structured
   :class:`~repro.optim.operators.KroneckerJointOperator` path on one
@@ -9,8 +9,12 @@ Two self-contained measurements:
   :func:`repro.optim.solve_batch` stacking many measurements into
   lockstep batched iterations, on a selectable array backend
   (``BENCH_batched_solve.json``).
+* :func:`robust_solve_benchmark` — the plain LASSO solve vs the
+  outlier-augmented ``[Ã | I]`` robust solve on the same measurement
+  (``BENCH_robust_solve.json``); the robustness tax must stay small
+  enough to leave the augmented path on by default in hardened mode.
 
-Both pin the iteration count (``tolerance=0``) so the compared paths do
+All pin the iteration count (``tolerance=0``) so the compared paths do
 identical algorithmic work and the wall-time ratio measures pure linear
 algebra throughput, not convergence luck.
 """
@@ -107,6 +111,98 @@ def joint_solve_benchmark(
         "operator_seconds": operator_seconds,
         "speedup": dense_seconds / operator_seconds,
         "max_relative_spectrum_error": max_relative_error,
+    }
+
+
+def robust_solve_benchmark(
+    *,
+    snr_db: float = 12.0,
+    seed: int = 2017,
+    repeats: int = 3,
+    max_iterations: int | None = None,
+) -> dict:
+    """Measure the robustness tax: plain LASSO vs outlier-augmented solve.
+
+    Times :func:`repro.optim.solve_lasso_fista` against
+    :func:`repro.optim.solve_robust_lasso` on the same measurement,
+    operator, κ, and pinned iteration count.  The augmented problem
+    carries one extra variable per measurement row and a second
+    shrinkage per iteration, so its per-iteration cost is strictly
+    higher; the ratio is the price of leaving NLOS/corruption
+    resilience on.  The CI smoke gate holds it at ≤ 1.6×.
+
+    Also records the clean-trace ``outlier_fraction`` — near zero by
+    construction, which is what lets hardened mode run the augmented
+    path unconditionally without distorting clean solves.
+    """
+    from repro.channel.csi import CsiSynthesizer
+    from repro.channel.impairments import ImpairmentModel
+    from repro.channel.paths import random_profile
+    from repro.core.pipeline import RoArrayEstimator
+    from repro.core.steering import vectorize_csi_matrix
+    from repro.experiments.runner import evaluation_roarray_config
+    from repro.optim import solve_lasso_fista, solve_robust_lasso
+    from repro.optim.tuning import residual_kappa
+
+    estimator = RoArrayEstimator(config=evaluation_roarray_config())
+    cache = estimator.cache
+    config = estimator.config
+    if max_iterations is None:
+        max_iterations = config.max_iterations
+
+    rng = np.random.default_rng(seed)
+    profile = random_profile(rng, direct_aoa_deg=150.0)
+    synthesizer = CsiSynthesizer(
+        estimator.array, estimator.layout, ImpairmentModel(), seed=seed
+    )
+    trace = synthesizer.packets(profile, n_packets=1, snr_db=snr_db, rng=rng)
+    y = vectorize_csi_matrix(trace.packet(0))
+
+    operator = cache.joint_operator
+    lipschitz = cache.joint_lipschitz
+    kappa = residual_kappa(operator, y, fraction=config.kappa_fraction)
+
+    def best_time(run):
+        best, outcome = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outcome = run()
+            best = min(best, time.perf_counter() - start)
+        return best, outcome
+
+    plain_seconds, plain_result = best_time(
+        lambda: solve_lasso_fista(
+            operator, y, kappa,
+            max_iterations=max_iterations, tolerance=0.0, lipschitz=lipschitz,
+        )
+    )
+    robust_seconds, robust_result = best_time(
+        lambda: solve_robust_lasso(
+            operator, y, kappa,
+            max_iterations=max_iterations, tolerance=0.0, lipschitz=lipschitz,
+        )
+    )
+
+    scale = max(1.0, float(np.abs(plain_result.x).max()))
+    spectrum_deviation = float(np.abs(robust_result.x - plain_result.x).max()) / scale
+
+    return {
+        "benchmark": "robust_solve",
+        "grid": {
+            "n_angles": config.angle_grid.n_points,
+            "n_delays": config.delay_grid.n_points,
+            "rows": operator.shape[0],
+            "columns": operator.shape[1],
+        },
+        "iterations": int(max_iterations),
+        "repeats": int(repeats),
+        "snr_db": float(snr_db),
+        "seed": int(seed),
+        "plain_seconds": plain_seconds,
+        "robust_seconds": robust_seconds,
+        "overhead_ratio": robust_seconds / plain_seconds,
+        "clean_outlier_fraction": float(robust_result.outlier_fraction),
+        "max_relative_spectrum_deviation": spectrum_deviation,
     }
 
 

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.localization import DroppedAp
+import numpy as np
+
+from repro.core.localization import TRUST_THRESHOLD, DroppedAp
 from repro.exceptions import ConfigurationError
 from repro.runtime.jobs import FAILURE_KINDS
 
@@ -45,6 +47,7 @@ class ApHealth:
     failures: dict[str, int] = field(default_factory=dict)
     n_packets: int = 0
     n_solves: int = 0
+    last_trust: float | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -54,6 +57,7 @@ class ApHealth:
             "failures": dict(sorted(self.failures.items())),
             "n_packets": self.n_packets,
             "n_solves": self.n_solves,
+            "last_trust": self.last_trust,
         }
 
     def restore(self, payload: dict) -> None:
@@ -63,6 +67,9 @@ class ApHealth:
         self.failures = {str(k): int(v) for k, v in payload["failures"].items()}
         self.n_packets = int(payload["n_packets"])
         self.n_solves = int(payload["n_solves"])
+        # Snapshots written before trust scoring existed lack the key.
+        trust = payload.get("last_trust")
+        self.last_trust = None if trust is None else float(trust)
 
 
 class ApHealthMonitor:
@@ -74,6 +81,7 @@ class ApHealthMonitor:
         *,
         outage_after_s: float = 2.0,
         failure_threshold: int = 3,
+        trust_threshold: float = TRUST_THRESHOLD,
         metrics=None,
     ) -> None:
         if outage_after_s <= 0:
@@ -82,11 +90,16 @@ class ApHealthMonitor:
             raise ConfigurationError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"
             )
+        if not 0 < trust_threshold <= 1:
+            raise ConfigurationError(
+                f"trust_threshold must be in (0, 1], got {trust_threshold}"
+            )
         names = list(ap_names)
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate AP names: {names}")
         self.outage_after_s = outage_after_s
         self.failure_threshold = failure_threshold
+        self.trust_threshold = trust_threshold
         self.metrics = metrics
         self._aps = {name: ApHealth(name=name) for name in names}
         # Last status each AP was *observed* in; transitions between
@@ -105,6 +118,20 @@ class ApHealthMonitor:
         health.consecutive_failures = 0
         if health.last_success_s is None or time_s > health.last_success_s:
             health.last_success_s = time_s
+
+    def record_trust(self, ap: str, trust: float) -> None:
+        """Fold one consensus-localization trust score into AP health.
+
+        A solve can succeed mechanically while its *measurement* is
+        corrupted (NLOS bias, ghost path) — trust is the orthogonal
+        signal: an AP whose latest score sits below the threshold shows
+        ``"degraded"`` even with a perfect packet/solve record, so
+        dashboards surface the corrupted AP before operators chase the
+        clients it was misplacing.
+        """
+        if not np.isfinite(trust) or not 0 <= trust <= 1:
+            raise ConfigurationError(f"trust must be in [0, 1], got {trust}")
+        self._aps[ap].last_trust = float(trust)
 
     def record_failure(self, ap: str, kind: str, time_s: float) -> None:
         if kind not in HEALTH_FAILURE_KINDS:
@@ -131,6 +158,8 @@ class ApHealthMonitor:
         elif health.consecutive_failures >= self.failure_threshold:
             status = "outage"
         elif health.consecutive_failures > 0:
+            status = "degraded"
+        elif health.last_trust is not None and health.last_trust < self.trust_threshold:
             status = "degraded"
         else:
             status = "healthy"

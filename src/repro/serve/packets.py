@@ -107,6 +107,10 @@ class PositionFix:
     per-client Kalman tracker's posterior (``accepted=False`` means the
     innovation gate rejected the raw fix and the track coasted).
     ``latency_s`` measures ingest → fix on the service clock.
+    ``trust`` / ``contaminated`` are populated only when the service
+    runs with ``ServeConfig.robust``: per-AP consensus trust in [0, 1]
+    and whether the fix was computed after excluding measurement-domain
+    corruption (NLOS bias, ghost paths).
     """
 
     client: str
@@ -120,6 +124,8 @@ class PositionFix:
     velocity: tuple[float, float]
     accepted: bool
     latency_s: float
+    trust: dict = field(default_factory=dict)
+    contaminated: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -134,6 +140,8 @@ class PositionFix:
             "velocity": [self.velocity[0], self.velocity[1]],
             "accepted": self.accepted,
             "latency_s": self.latency_s,
+            "trust": {name: float(value) for name, value in sorted(self.trust.items())},
+            "contaminated": self.contaminated,
         }
 
     def error_to(self, true_position: tuple[float, float]) -> float:

@@ -46,7 +46,13 @@ from repro.channel.ofdm import SubcarrierLayout, intel5300_layout
 from repro.core.direct_path import identify_direct_path
 from repro.core.grids import AngleGrid, DelayGrid
 from repro.core.joint import coefficients_to_joint_power
-from repro.core.localization import ApObservation, DroppedAp, localize_robust
+from repro.core.localization import (
+    TRUST_THRESHOLD,
+    ApObservation,
+    DroppedAp,
+    localize_consensus,
+    localize_robust,
+)
 from repro.core.steering import SteeringCache, vectorize_csi_matrix
 from repro.exceptions import ConfigurationError, QuorumError, ServiceError, SolverError
 from repro.obs import NULL_TRACER, MetricsRegistry
@@ -98,6 +104,12 @@ class ServeConfig:
     breaker_failure_threshold: int = 5
     breaker_open_for_s: float = 1.0
     breaker_half_open_probes: int = 1
+    #: NLOS/corruption-aware fixes: localize by AP consensus, score
+    #: per-AP trust, and demote persistently-untrusted APs in health.
+    robust: bool = False
+    #: Trust below this marks an AP untrusted (consensus exclusion and
+    #: health demotion); only meaningful with ``robust=True``.
+    trust_threshold: float = TRUST_THRESHOLD
     #: Adaptive-backpressure degradation ladder (queue watermarks).
     backpressure: BackpressurePolicy = field(default_factory=BackpressurePolicy)
     #: Chain per-(client, AP) solutions across micro-batches.
@@ -126,6 +138,10 @@ class ServeConfig:
         if self.max_iterations < 1:
             raise ConfigurationError(
                 f"max_iterations must be >= 1, got {self.max_iterations}"
+            )
+        if not 0 < self.trust_threshold <= 1:
+            raise ConfigurationError(
+                f"trust_threshold must be in (0, 1], got {self.trust_threshold}"
             )
 
 
@@ -246,6 +262,7 @@ class LocalizationService:
             names,
             outage_after_s=self.config.outage_after_s,
             failure_threshold=self.config.failure_threshold,
+            trust_threshold=self.config.trust_threshold,
             metrics=self.metrics,
         )
         self.breakers = BreakerBoard(
@@ -488,14 +505,33 @@ class LocalizationService:
             dropped.append(DroppedAp(name=name, reason=reason))
             self.metrics.counter(f"serve.dropped_ap.{bucket}").inc()
 
+        trust: dict[str, float] = {}
+        contaminated = False
         try:
-            located = localize_robust(
-                observations,
-                self.room,
-                dropped=dropped,
-                min_quorum=self.config.min_quorum,
-                resolution_m=self.config.resolution_m,
-            )
+            if self.config.robust:
+                located = localize_consensus(
+                    observations,
+                    self.room,
+                    dropped=dropped,
+                    min_quorum=self.config.min_quorum,
+                    resolution_m=self.config.resolution_m,
+                    trust_threshold=self.config.trust_threshold,
+                )
+                contaminated = located.contaminated
+                for score in located.trust_scores:
+                    trust[score.name] = score.trust
+                    self.health.record_trust(score.name, score.trust)
+                    self.metrics.histogram("serve.ap_trust").observe(score.trust)
+                if contaminated:
+                    self.metrics.counter("serve.contaminated_fixes").inc()
+            else:
+                located = localize_robust(
+                    observations,
+                    self.room,
+                    dropped=dropped,
+                    min_quorum=self.config.min_quorum,
+                    resolution_m=self.config.resolution_m,
+                )
         except QuorumError:
             self.metrics.counter("serve.below_quorum").inc()
             return None
@@ -524,6 +560,8 @@ class LocalizationService:
             velocity=state.velocity,
             accepted=state.accepted,
             latency_s=latency,
+            trust=trust,
+            contaminated=contaminated,
         )
 
     # -- asyncio host --------------------------------------------------------

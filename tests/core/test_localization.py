@@ -206,3 +206,229 @@ class TestDegradedLocalization:
         assert payload["degraded"] is True
         assert payload["quorum"] == 2
         assert payload["dropped_aps"] == [{"name": "east", "reason": "outage"}]
+
+
+# ---------------------------------------------------------------------------
+# Trust scoring and consensus localization
+# ---------------------------------------------------------------------------
+
+from repro.core.localization import (  # noqa: E402
+    TRUST_THRESHOLD,
+    ApEvidence,
+    ApTrustScore,
+    ConsensusResult,
+    localize_consensus,
+    peak_dispersion,
+    score_ap_trust,
+)
+
+ALL_APS = (AP_WEST, AP_SOUTH, AP_EAST, AP_NORTH)
+
+
+def _biased_observation(ap, client, bias_deg, rssi=-50.0):
+    aoa = float(np.clip(ap.bearing_to_aoa(np.array(client)) + bias_deg, 0.0, 180.0))
+    return ApObservation(ap, aoa, rssi)
+
+
+class TestPeakDispersion:
+    def test_single_spike_has_zero_dispersion(self):
+        angles = np.linspace(0.0, 180.0, 181)
+        power = np.zeros(181)
+        power[90] = 1.0
+        assert peak_dispersion(angles, power) == 0.0
+
+    def test_flat_spectrum_is_dispersed(self):
+        angles = np.linspace(0.0, 180.0, 181)
+        dispersion = peak_dispersion(angles, np.ones(181))
+        assert dispersion > 0.8
+
+    def test_zero_spectrum_is_maximally_dispersed(self):
+        angles = np.linspace(0.0, 180.0, 11)
+        assert peak_dispersion(angles, np.zeros(11)) == 1.0
+
+    def test_rejects_shape_mismatch_and_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            peak_dispersion(np.arange(5.0), np.ones(4))
+        with pytest.raises(ConfigurationError):
+            peak_dispersion(np.arange(5.0), np.ones(5), window_deg=0.0)
+
+
+class TestScoreApTrust:
+    def test_clean_ap_scores_near_one(self):
+        assert score_ap_trust(0.0) == pytest.approx(1.0)
+        assert score_ap_trust(2.0) > 0.9
+
+    def test_large_disagreement_falls_below_threshold(self):
+        assert score_ap_trust(15.0) < TRUST_THRESHOLD
+        assert score_ap_trust(15.0) < score_ap_trust(8.0)
+
+    def test_solver_evidence_lowers_trust(self):
+        base = score_ap_trust(3.0)
+        with_outliers = score_ap_trust(3.0, ApEvidence(outlier_fraction=0.6))
+        with_smear = score_ap_trust(3.0, ApEvidence(peak_dispersion=0.8))
+        assert with_outliers < base
+        assert with_smear < base
+
+    def test_small_evidence_is_free(self):
+        # Below-floor evidence (noise-level e energy, ordinary multipath
+        # spread) must not penalize clean APs.
+        clean = score_ap_trust(3.0)
+        slight = score_ap_trust(
+            3.0, ApEvidence(outlier_fraction=0.05, peak_dispersion=0.2)
+        )
+        assert slight == pytest.approx(clean)
+
+    def test_evidence_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            ApEvidence(outlier_fraction=-0.1)
+        with pytest.raises(ConfigurationError):
+            ApEvidence(peak_dispersion=float("nan"))
+
+
+class TestWeightedLocalization:
+    def test_explicit_weights_override_rssi(self):
+        client = (4.0, 3.0)
+        observations = [
+            truth_observation(AP_WEST, client, rssi=-40.0),
+            truth_observation(AP_SOUTH, client, rssi=-70.0),
+            ApObservation(AP_EAST, 40.0, -40.0),  # strong but wrong
+        ]
+        # Zero weight on the wrong AP recovers the clean fix even though
+        # its RSSI would dominate.
+        located = localize_weighted_aoa(
+            observations, ROOM, weights=[1.0, 1.0, 0.0]
+        )
+        assert located.error_to(client) < 0.2
+
+    def test_weights_validated(self):
+        client = (4.0, 3.0)
+        observations = [
+            truth_observation(AP_WEST, client),
+            truth_observation(AP_SOUTH, client),
+        ]
+        with pytest.raises(ConfigurationError):
+            localize_weighted_aoa(observations, ROOM, weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            localize_weighted_aoa(observations, ROOM, weights=[-1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            localize_weighted_aoa(observations, ROOM, weights=[0.0, 0.0])
+
+    def test_trust_mapping_shrinks_bad_ap_influence(self):
+        client = (4.0, 3.0)
+        observations = [
+            truth_observation(AP_WEST, client),
+            truth_observation(AP_SOUTH, client),
+            _biased_observation(AP_EAST, client, 25.0),
+            truth_observation(AP_NORTH, client),
+        ]
+        blind = localize_robust(observations, ROOM)
+        trusted = localize_robust(observations, ROOM, trust={"east": 0.01})
+        assert trusted.error_to(client) < blind.error_to(client)
+
+    def test_all_zero_trust_falls_back_to_rssi_weights(self):
+        client = (4.0, 3.0)
+        observations = [
+            truth_observation(AP_WEST, client),
+            truth_observation(AP_SOUTH, client),
+        ]
+        fix = localize_robust(
+            observations, ROOM, trust={"west": 0.0, "south": 0.0}
+        )
+        assert fix.error_to(client) < 0.2
+
+
+class TestConsensusLocalization:
+    def _observations(self, client, bias=None):
+        out = []
+        for ap in ALL_APS:
+            bias_deg = bias.get(ap.name, 0.0) if bias else 0.0
+            out.append(_biased_observation(ap, client, bias_deg))
+        return out
+
+    def test_clean_scene_matches_robust_fix(self):
+        client = (4.0, 3.0)
+        cons = localize_consensus(self._observations(client), ROOM)
+        robust = localize_robust(self._observations(client), ROOM)
+        assert cons.position == robust.position
+        assert not cons.contaminated
+        assert all(score.trusted for score in cons.trust_scores)
+        assert cons.used_aps == tuple(ap.name for ap in ALL_APS)
+
+    def test_single_nlos_ap_is_flagged_and_excluded(self):
+        client = (4.0, 3.0)
+        cons = localize_consensus(
+            self._observations(client, bias={"east": 18.0}), ROOM
+        )
+        assert cons.contaminated
+        assert cons.trust_for("east") < TRUST_THRESHOLD
+        assert "east" not in cons.used_aps
+        assert any(d.name == "east" and "untrusted" in d.reason for d in cons.dropped_aps)
+        assert cons.error_to(client) < 0.3
+
+    def test_consensus_beats_blind_fix_under_nlos(self):
+        client = (6.0, 5.0)
+        observations = self._observations(client, bias={"north": 20.0})
+        blind = localize_robust(observations, ROOM)
+        cons = localize_consensus(observations, ROOM)
+        assert cons.error_to(client) < blind.error_to(client)
+
+    def test_solver_evidence_feeds_trust(self):
+        client = (4.0, 3.0)
+        cons = localize_consensus(
+            self._observations(client),
+            ROOM,
+            evidence={"east": ApEvidence(outlier_fraction=0.9, peak_dispersion=0.9)},
+        )
+        east = [s for s in cons.trust_scores if s.name == "east"][0]
+        west = [s for s in cons.trust_scores if s.name == "west"][0]
+        assert east.trust < west.trust
+        assert east.outlier_fraction == 0.9
+
+    def test_majority_contamination_is_detected(self):
+        client = (4.0, 3.0)
+        cons = localize_consensus(
+            self._observations(
+                client, bias={"south": 22.0, "east": 22.0, "north": 22.0}
+            ),
+            ROOM,
+        )
+        assert cons.contaminated
+
+    def test_below_quorum_raises(self):
+        with pytest.raises(QuorumError):
+            localize_consensus(
+                [truth_observation(AP_WEST, (4.0, 3.0))], ROOM
+            )
+
+    def test_validates_parameters(self):
+        observations = self._observations((4.0, 3.0))
+        with pytest.raises(ConfigurationError):
+            localize_consensus(observations, ROOM, min_quorum=1)
+        with pytest.raises(ConfigurationError):
+            localize_consensus(observations, ROOM, inlier_rms_deg=0.0)
+
+    def test_deterministic(self):
+        observations = self._observations((4.0, 3.0), bias={"east": 18.0})
+        first = localize_consensus(observations, ROOM)
+        second = localize_consensus(observations, ROOM)
+        assert first == second
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        cons = localize_consensus(
+            self._observations((4.0, 3.0), bias={"east": 18.0}),
+            ROOM,
+            dropped=[DroppedAp("extra", "outage")],
+        )
+        payload = json.loads(json.dumps(cons.to_dict()))
+        assert payload["contaminated"] is True
+        assert {s["name"] for s in payload["trust_scores"]} == {
+            "west", "south", "east", "north"
+        }
+        assert payload["dropped_aps"][0] == {"name": "extra", "reason": "outage"}
+
+    def test_trust_for_unknown_ap_raises(self):
+        cons = localize_consensus(self._observations((4.0, 3.0)), ROOM)
+        with pytest.raises(KeyError):
+            cons.trust_for("nonexistent")

@@ -88,3 +88,65 @@ class TestTrackFixes:
         states = track_fixes(sequence)
         assert len(states) == 10
         assert all(s.accepted for s in states[:1])
+
+
+class TestRejectStreakReinit:
+    def _converged_tracker(self, **kwargs):
+        tracker = KalmanTracker(measurement_noise_m=0.2, **kwargs)
+        for i in range(10):
+            tracker.update(i * 0.5, (i * 0.5, 2.0))
+        return tracker
+
+    def test_teleporting_client_reacquired(self):
+        """A genuine teleport (elevator, stairwell) must not strand the track.
+
+        After the client reappears far away, every honest fix fails the
+        gate; once the streak hits the limit the filter restarts there
+        instead of coasting on the stale trajectory forever.
+        """
+        tracker = self._converged_tracker(reinit_after_rejects=3)
+        states = [
+            tracker.update(5.0 + i * 0.5, (20.0, 15.0)) for i in range(4)
+        ]
+        assert [s.accepted for s in states[:2]] == [False, False]
+        reinit = states[2]
+        assert reinit.reinitialized
+        assert reinit.accepted
+        assert reinit.position == (20.0, 15.0)
+        # Subsequent fixes near the new location pass the gate normally.
+        assert states[3].accepted
+        assert not states[3].reinitialized
+
+    def test_streak_resets_on_accept(self):
+        tracker = self._converged_tracker(reinit_after_rejects=3)
+        tracker.update(5.0, (20.0, 15.0))
+        tracker.update(5.5, (20.0, 15.0))
+        tracker.update(6.0, (5.9, 2.0))  # honest fix breaks the streak
+        state = tracker.update(6.5, (20.0, 15.0))
+        assert not state.accepted
+        assert not state.reinitialized
+
+    def test_streak_survives_snapshot_roundtrip(self):
+        tracker = self._converged_tracker(reinit_after_rejects=3)
+        tracker.update(5.0, (20.0, 15.0))
+        tracker.update(5.5, (20.0, 15.0))
+        restored = KalmanTracker.from_state_dict(tracker.state_dict())
+        state = restored.update(6.0, (20.0, 15.0))
+        assert state.reinitialized
+        assert state.position == (20.0, 15.0)
+
+    def test_legacy_snapshot_without_streak_fields(self):
+        tracker = self._converged_tracker()
+        payload = tracker.state_dict()
+        del payload["reject_streak"]
+        del payload["reinit_after_rejects"]
+        restored = KalmanTracker.from_state_dict(payload)
+        assert restored.reinit_after_rejects == 5
+        state = restored.update(5.0, (5.0, 2.0))
+        assert state.accepted
+
+    def test_rejects_bad_reinit_parameter(self):
+        with pytest.raises(ConfigurationError):
+            KalmanTracker(reinit_after_rejects=0)
+        with pytest.raises(ConfigurationError):
+            KalmanTracker(reinit_after_rejects=2.5)  # type: ignore[arg-type]

@@ -167,6 +167,6 @@ class TestParameterValidation:
             SnrCollapse(drop_db=-1.0)
 
     def test_catalogue_lists_every_injector(self):
-        assert len(INJECTORS) == 8
+        assert len(INJECTORS) == 10
         kinds = {injector.kind for injector in INJECTORS}
-        assert len(kinds) == 8
+        assert len(kinds) == 10

@@ -1,0 +1,200 @@
+"""Unit tests for the measurement-domain NLOS injectors.
+
+These injectors corrupt the arrival *geometry* rather than the sample
+values, so the assertions here are spectral: a beamformer sweep over
+the faulted trace must show the apparent AoA/ToA moving the way the
+physics says it should, while the ground-truth fields stay untouched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.faults as faults_pkg
+from repro.channel.csi import CsiSynthesizer
+from repro.channel.paths import random_profile
+from repro.exceptions import FaultInjectionError
+from repro.faults import INJECTORS, GhostPath, NlosBias
+
+SPACING_WAVELENGTHS = 0.5
+SUBCARRIER_SPACING_HZ = 1.25e6
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _apparent_aoa(trace) -> float:
+    """Bartlett-beamformer AoA estimate pooled over packets/subcarriers."""
+    angles = np.linspace(0.0, 180.0, 721)
+    steering = np.exp(
+        -2j
+        * np.pi
+        * SPACING_WAVELENGTHS
+        * np.cos(np.deg2rad(angles))[:, None]
+        * np.arange(trace.n_antennas)[None, :]
+    )
+    snapshots = np.transpose(trace.csi, (0, 2, 1)).reshape(-1, trace.n_antennas)
+    power = np.abs(snapshots @ steering.conj().T) ** 2
+    return float(angles[int(np.argmax(power.sum(axis=0)))])
+
+
+def _apparent_toa(trace) -> float:
+    """Delay-beamformer ToA estimate pooled over packets/antennas."""
+    delays = np.linspace(0.0, 600e-9, 601)
+    ramps = np.exp(
+        -2j
+        * np.pi
+        * SUBCARRIER_SPACING_HZ
+        * delays[:, None]
+        * np.arange(trace.n_subcarriers)[None, :]
+    )
+    snapshots = trace.csi.reshape(-1, trace.n_subcarriers)
+    power = np.abs(snapshots @ ramps.conj().T) ** 2
+    return float(delays[int(np.argmax(power.sum(axis=0)))])
+
+
+@pytest.fixture
+def los_trace(array, layout, clean_impairments, rng):
+    """A strongly line-of-sight trace with a late direct ToA.
+
+    ``direct_toa_s=200 ns`` leaves room for a negative-delay ghost to
+    land well inside the observable delay window, and the −12 dB
+    reflections keep the clean beamformer peak pinned to the LoS path.
+    """
+    synthesizer = CsiSynthesizer(array, layout, clean_impairments, seed=11)
+    profile = random_profile(
+        rng,
+        n_paths=3,
+        direct_aoa_deg=70.0,
+        direct_toa_s=200e-9,
+        reflection_power_db=-12.0,
+    )
+    return synthesizer.packets(profile, n_packets=8, snr_db=25.0, rng=rng)
+
+
+class TestNlosBias:
+    def test_shifts_apparent_aoa_by_bias(self, los_trace):
+        clean_aoa = _apparent_aoa(los_trace)
+        faulted, faults = NlosBias(bias_deg=20.0, n_scatter=0).apply(los_trace, _rng(0))
+        shift = _apparent_aoa(faulted) - clean_aoa
+        assert shift == pytest.approx(20.0, abs=4.0)
+        assert faults[0].kind == "nlos_bias"
+        assert "aoa" in faults[0].detail
+
+    def test_negative_bias_shifts_the_other_way(self, los_trace):
+        clean_aoa = _apparent_aoa(los_trace)
+        faulted, _ = NlosBias(bias_deg=-20.0, n_scatter=0).apply(los_trace, _rng(0))
+        assert _apparent_aoa(faulted) - clean_aoa == pytest.approx(-20.0, abs=4.0)
+
+    def test_ground_truth_fields_untouched(self, los_trace):
+        faulted, _ = NlosBias(bias_deg=18.0).apply(los_trace, _rng(3))
+        assert faulted.direct_aoa_deg == los_trace.direct_aoa_deg
+        assert faulted.direct_toa_s == los_trace.direct_toa_s
+        assert faulted.csi.shape == los_trace.csi.shape
+
+    def test_input_trace_not_mutated(self, los_trace):
+        original = los_trace.csi.copy()
+        NlosBias(bias_deg=18.0).apply(los_trace, _rng(0))
+        np.testing.assert_array_equal(los_trace.csi, original)
+
+    def test_deterministic_given_seed(self, los_trace):
+        first, faults_a = NlosBias(bias_deg=18.0).apply(los_trace, _rng(42))
+        second, faults_b = NlosBias(bias_deg=18.0).apply(los_trace, _rng(42))
+        assert first.equals(second)
+        assert faults_a == faults_b
+
+    def test_scatter_decorrelates_with_seed(self, los_trace):
+        first, _ = NlosBias(bias_deg=18.0, n_scatter=3).apply(los_trace, _rng(0))
+        second, _ = NlosBias(bias_deg=18.0, n_scatter=3).apply(los_trace, _rng(1))
+        assert not first.equals(second)
+
+    def test_pure_rotation_preserves_power(self, los_trace):
+        faulted, _ = NlosBias(bias_deg=25.0, n_scatter=0).apply(los_trace, _rng(0))
+        assert np.linalg.norm(faulted.csi) == pytest.approx(
+            np.linalg.norm(los_trace.csi), rel=1e-12
+        )
+
+    def test_requires_direct_aoa_ground_truth(self, los_trace):
+        blind = dataclasses.replace(los_trace, direct_aoa_deg=float("nan"))
+        with pytest.raises(FaultInjectionError, match="direct_aoa_deg"):
+            NlosBias(bias_deg=18.0).apply(blind, _rng(0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bias_deg": 0.0},
+            {"bias_deg": float("inf")},
+            {"n_scatter": -1},
+            {"scatter_amplitude": -0.5},
+            {"spacing_wavelengths": 0.7},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            NlosBias(**kwargs)
+
+
+class TestGhostPath:
+    def test_ghost_arrives_before_direct_path(self, los_trace):
+        clean_toa = _apparent_toa(los_trace)
+        injector = GhostPath(amplitude=3.0, delay_offset_s=-100e-9)
+        faulted, faults = injector.apply(los_trace, _rng(0))
+        ghost_toa = _apparent_toa(faulted)
+        # The smallest-ToA direct-path rule would now pick the ghost.
+        assert ghost_toa == pytest.approx(clean_toa - 100e-9, abs=20e-9)
+        assert faults[0].kind == "ghost_path"
+
+    def test_strong_ghost_captures_the_aoa_peak(self, los_trace):
+        clean_aoa = _apparent_aoa(los_trace)
+        faulted, _ = GhostPath(amplitude=3.0, aoa_offset_deg=40.0).apply(
+            los_trace, _rng(0)
+        )
+        assert _apparent_aoa(faulted) - clean_aoa == pytest.approx(40.0, abs=6.0)
+
+    def test_ground_truth_fields_untouched(self, los_trace):
+        faulted, _ = GhostPath().apply(los_trace, _rng(0))
+        assert faulted.direct_aoa_deg == los_trace.direct_aoa_deg
+        assert faulted.direct_toa_s == los_trace.direct_toa_s
+
+    def test_deterministic_given_seed(self, los_trace):
+        first, _ = GhostPath().apply(los_trace, _rng(7))
+        second, _ = GhostPath().apply(los_trace, _rng(7))
+        assert first.equals(second)
+
+    def test_fading_phase_varies_with_seed(self, los_trace):
+        first, _ = GhostPath().apply(los_trace, _rng(0))
+        second, _ = GhostPath().apply(los_trace, _rng(1))
+        assert not first.equals(second)
+
+    def test_requires_direct_aoa_ground_truth(self, los_trace):
+        blind = dataclasses.replace(los_trace, direct_aoa_deg=float("nan"))
+        with pytest.raises(FaultInjectionError, match="direct_aoa_deg"):
+            GhostPath().apply(blind, _rng(0))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"amplitude": 0.0},
+            {"amplitude": float("nan")},
+            {"aoa_offset_deg": 0.0},
+            {"delay_offset_s": float("nan")},
+            {"spacing_wavelengths": 0.6},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(FaultInjectionError):
+            GhostPath(**kwargs)
+
+
+class TestCatalogue:
+    def test_nlos_injectors_in_catalogue(self):
+        assert NlosBias in INJECTORS
+        assert GhostPath in INJECTORS
+
+    def test_package_exports(self):
+        assert "NlosBias" in faults_pkg.__all__
+        assert "GhostPath" in faults_pkg.__all__

@@ -109,3 +109,73 @@ class TestStateDict:
         payload = ladder.to_dict()
         assert payload["level"] == 0
         assert payload["policy"]["watermarks"] == [0.5, 0.75, 0.9]
+
+
+class TestWatermarkBoundaries:
+    """Exact behavior at the default 0.5 / 0.75 / 0.9 watermarks.
+
+    ``max_pending=1000`` makes one pending packet an occupancy epsilon
+    of 0.001, so each case sits just below, exactly at, or just above a
+    watermark — the three points where an off-by-one in the >= / <
+    comparisons or the hysteresis arithmetic would flip the level.
+    """
+
+    EPSILON = 1  # pending-count epsilon at max_pending=1000
+
+    def at(self, fraction: float, offset: int = 0) -> int:
+        return int(round(fraction * 1000)) + offset
+
+    @pytest.mark.parametrize(
+        "watermark,level", [(0.5, 1), (0.75, 2), (0.9, 3)]
+    )
+    def test_exactly_at_watermark_escalates(self, watermark, level):
+        ladder = controller(max_pending=1000)
+        assert ladder.update(self.at(watermark)) == level
+
+    @pytest.mark.parametrize(
+        "watermark,level_below", [(0.5, 0), (0.75, 1), (0.9, 2)]
+    )
+    def test_epsilon_below_watermark_stays_below(self, watermark, level_below):
+        ladder = controller(max_pending=1000)
+        assert ladder.update(self.at(watermark, -self.EPSILON)) == level_below
+
+    @pytest.mark.parametrize(
+        "watermark,level", [(0.5, 1), (0.75, 2), (0.9, 3)]
+    )
+    def test_epsilon_above_watermark_escalates(self, watermark, level):
+        ladder = controller(max_pending=1000)
+        assert ladder.update(self.at(watermark, +self.EPSILON)) == level
+
+    @pytest.mark.parametrize("watermark,level", [(0.5, 1), (0.75, 2), (0.9, 3)])
+    def test_inside_hysteresis_band_holds_level(self, watermark, level):
+        # Default hysteresis 0.05: dropping to watermark − 0.04 must NOT
+        # de-escalate; watermark − hysteresis − epsilon must.
+        ladder = controller(max_pending=1000)
+        ladder.update(self.at(watermark))
+        assert ladder.update(self.at(watermark - 0.04)) == level
+        assert ladder.update(self.at(watermark - 0.05, -self.EPSILON)) == level - 1
+
+    def test_recovery_descends_in_order(self):
+        # A drain from saturation walks 3 → 2 → 1 → 0 in watermark
+        # order, never skipping upward and never re-escalating.
+        ladder = controller(max_pending=1000)
+        assert ladder.update(1000) == 3
+        levels = [ladder.update(pending) for pending in range(1000, -1, -50)]
+        assert levels[0] == 3 and levels[-1] == 0
+        assert all(b <= a for a, b in zip(levels, levels[1:]))
+        assert {1, 2} <= set(levels)  # intermediate rungs actually visited
+        assert ladder.n_deescalations == 3
+        assert ladder.n_escalations == 1
+
+    def test_full_cycle_counts_transitions(self):
+        ladder = controller(max_pending=1000)
+        for pending in (500, 750, 900):  # one escalation per watermark
+            ladder.update(pending)
+        # One de-escalation per rung: each step clears exactly one
+        # hysteresis band (watermark − 0.05 − epsilon) while staying
+        # above the next one down.
+        for pending in (849, 699, 449):
+            ladder.update(pending)
+        assert ladder.level == 0
+        assert ladder.n_escalations == 3
+        assert ladder.n_deescalations == 3

@@ -137,3 +137,66 @@ class TestTransitionMetrics:
             if name.startswith("serve.ap_health.transition.")
         ]
         assert transitions == []
+
+
+class TestTrust:
+    def _healthy(self, **kwargs) -> ApHealthMonitor:
+        m = monitor(**kwargs)
+        m.record_packet("ap-a", 1.0)
+        m.record_success("ap-a", 1.0)
+        return m
+
+    def test_low_trust_demotes_healthy_to_degraded(self):
+        m = self._healthy()
+        assert m.status("ap-a", 1.0) == "healthy"
+        m.record_trust("ap-a", 0.2)
+        assert m.status("ap-a", 1.0) == "degraded"
+
+    def test_high_trust_keeps_healthy(self):
+        m = self._healthy()
+        m.record_trust("ap-a", 0.9)
+        assert m.status("ap-a", 1.0) == "healthy"
+
+    def test_trust_recovery_restores_healthy(self):
+        m = self._healthy()
+        m.record_trust("ap-a", 0.1)
+        assert m.status("ap-a", 1.0) == "degraded"
+        m.record_trust("ap-a", 0.95)
+        assert m.status("ap-a", 1.0) == "healthy"
+
+    def test_outage_takes_precedence_over_trust(self):
+        m = self._healthy()
+        m.record_trust("ap-a", 0.1)
+        assert m.status("ap-a", 10.0) == "outage"
+
+    def test_custom_threshold(self):
+        m = self._healthy(trust_threshold=0.9)
+        m.record_trust("ap-a", 0.8)
+        assert m.status("ap-a", 1.0) == "degraded"
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5, float("nan")])
+    def test_rejects_bad_trust_values(self, bad):
+        with pytest.raises(ConfigurationError, match="trust"):
+            monitor().record_trust("ap-a", bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.5])
+    def test_rejects_bad_threshold(self, bad):
+        with pytest.raises(ConfigurationError, match="trust_threshold"):
+            monitor(trust_threshold=bad)
+
+    def test_trust_survives_snapshot_roundtrip(self):
+        m = self._healthy()
+        m.record_trust("ap-a", 0.3)
+        restored = monitor()
+        restored.restore_state(m.state_dict())
+        assert restored.status("ap-a", 1.0) == "degraded"
+        assert restored.to_dict(1.0)["ap-a"]["last_trust"] == 0.3
+
+    def test_legacy_snapshot_without_trust_restores(self):
+        m = self._healthy()
+        state = m.state_dict()
+        for payload in state["aps"].values():
+            payload.pop("last_trust")
+        restored = monitor()
+        restored.restore_state(state)
+        assert restored.status("ap-a", 1.0) == "healthy"

@@ -249,3 +249,49 @@ class TestWarmStatePersistence:
         assert isinstance(restored.warm_state, WarmStartState)
         for key, value in service.warm_state.slots.items():
             np.testing.assert_array_equal(restored.warm_state.slots[key], value)
+
+
+class TestRobustMode:
+    def test_robust_fixes_carry_trust_scores(self, workload):
+        service = make_service(workload, small_serve_config(robust=True))
+        fixes = run_sync(service, workload.packets)
+        assert {fix.client for fix in fixes} == set(workload.clients)
+        for fix in fixes:
+            assert set(fix.trust) == set(fix.used_aps)
+            assert all(0.0 <= value <= 1.0 for value in fix.trust.values())
+        # Clean workload: nothing should look corrupted.
+        assert not any(fix.contaminated for fix in fixes)
+        errors = [
+            fix.error_to(workload.truth_position(fix.client, fix.time_s))
+            for fix in fixes
+        ]
+        assert float(np.median(errors)) < 2.0
+
+    def test_robust_trust_feeds_health(self, workload):
+        service = make_service(workload, small_serve_config(robust=True))
+        run_sync(service, workload.packets)
+        health = service.health.to_dict(max(p.time_s for p in workload.packets))
+        for record in health.values():
+            assert record["last_trust"] is not None
+        assert service.metrics.histogram("serve.ap_trust").to_dict()["count"] > 0
+
+    def test_robust_fix_to_dict_serializable(self, workload):
+        import json
+
+        service = make_service(workload, small_serve_config(robust=True))
+        fixes = run_sync(service, workload.packets)
+        payload = json.dumps([fix.to_dict() for fix in fixes])
+        decoded = json.loads(payload)
+        assert "trust" in decoded[0] and "contaminated" in decoded[0]
+
+    def test_default_mode_has_no_trust(self, workload, serve_config):
+        service = make_service(workload, serve_config)
+        fixes = run_sync(service, workload.packets)
+        assert all(fix.trust == {} for fix in fixes)
+        assert all(not fix.contaminated for fix in fixes)
+
+    def test_rejects_bad_trust_threshold(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="trust_threshold"):
+            small_serve_config(robust=True, trust_threshold=0.0)
